@@ -1,0 +1,177 @@
+//! Degree cumulative distribution functions (Figure 1 of the paper).
+//!
+//! Section 4.2 validates the random-permutation arrival model by comparing two CDFs over
+//! out-degree `d`:
+//!
+//! * the **arrival degree CDF** `a(d)` — the fraction of newly arriving edges whose
+//!   source has out-degree at most `d`;
+//! * the **existing degree CDF** `e(d)` — the fraction of all existing edges whose source
+//!   has out-degree at most `d` (equivalently, `s(d)/m` where `s(d)` sums the degrees of
+//!   all nodes with degree ≤ d).
+//!
+//! Under the proportionality consequence of the random-permutation model the two curves
+//! nearly coincide, which is what Figure 1 shows and what experiment E1 reproduces.
+
+/// A point of a cumulative distribution function over degrees.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CdfPoint {
+    /// Degree threshold `d`.
+    pub degree: usize,
+    /// Cumulative fraction at `d`.
+    pub fraction: f64,
+}
+
+/// The existing degree CDF `e(d)`: for each distinct degree `d`, the fraction of edge
+/// endpoints (weighted by degree) belonging to nodes with out-degree ≤ d.
+///
+/// `degrees` holds the out-degree of every node.  Nodes of degree zero contribute no
+/// edges and therefore do not appear in the CDF.
+pub fn existing_degree_cdf(degrees: &[usize]) -> Vec<CdfPoint> {
+    let total: usize = degrees.iter().sum();
+    if total == 0 {
+        return Vec::new();
+    }
+    let mut sorted: Vec<usize> = degrees.iter().copied().filter(|&d| d > 0).collect();
+    sorted.sort_unstable();
+    cumulative(&sorted, |d| d as f64, total as f64)
+}
+
+/// The arrival degree CDF `a(d)`: for each distinct degree `d`, the fraction of observed
+/// arrivals whose source had out-degree ≤ d at arrival time.
+///
+/// `arrival_source_degrees` holds, for every observed arrival, the out-degree of the
+/// arriving edge's source (measured at arrival time, including the new edge — matching
+/// how the existing CDF counts each node's own edges).
+pub fn arrival_degree_cdf(arrival_source_degrees: &[usize]) -> Vec<CdfPoint> {
+    if arrival_source_degrees.is_empty() {
+        return Vec::new();
+    }
+    let mut sorted = arrival_source_degrees.to_vec();
+    sorted.sort_unstable();
+    cumulative(&sorted, |_| 1.0, sorted.len() as f64)
+}
+
+fn cumulative(sorted_degrees: &[usize], weight: impl Fn(usize) -> f64, total: f64) -> Vec<CdfPoint> {
+    let mut points = Vec::new();
+    let mut running = 0.0f64;
+    let mut i = 0usize;
+    while i < sorted_degrees.len() {
+        let degree = sorted_degrees[i];
+        while i < sorted_degrees.len() && sorted_degrees[i] == degree {
+            running += weight(sorted_degrees[i]);
+            i += 1;
+        }
+        points.push(CdfPoint {
+            degree,
+            fraction: running / total,
+        });
+    }
+    points
+}
+
+/// Evaluates a CDF (as returned by the functions above) at an arbitrary degree by step
+/// interpolation: the fraction of mass at or below `degree`.
+pub fn evaluate_cdf(cdf: &[CdfPoint], degree: usize) -> f64 {
+    match cdf.iter().rposition(|p| p.degree <= degree) {
+        Some(i) => cdf[i].fraction,
+        None => 0.0,
+    }
+}
+
+/// Maximum absolute difference between two CDFs over the union of their degree points
+/// (a Kolmogorov–Smirnov-style distance).  Figure 1's "the two cdfs track each other"
+/// claim becomes "this distance is small".
+pub fn max_cdf_distance(a: &[CdfPoint], b: &[CdfPoint]) -> f64 {
+    let mut degrees: Vec<usize> = a.iter().chain(b.iter()).map(|p| p.degree).collect();
+    degrees.sort_unstable();
+    degrees.dedup();
+    degrees
+        .into_iter()
+        .map(|d| (evaluate_cdf(a, d) - evaluate_cdf(b, d)).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn existing_cdf_weights_by_degree() {
+        // Degrees 1, 1, 2: total 4 edge endpoints; nodes of degree 1 carry 2/4, degree 2
+        // carries the rest.
+        let cdf = existing_degree_cdf(&[1, 1, 2, 0]);
+        assert_eq!(cdf.len(), 2);
+        assert_eq!(cdf[0].degree, 1);
+        assert!((cdf[0].fraction - 0.5).abs() < 1e-12);
+        assert_eq!(cdf[1].degree, 2);
+        assert!((cdf[1].fraction - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arrival_cdf_counts_each_arrival_once() {
+        let cdf = arrival_degree_cdf(&[1, 3, 3, 3]);
+        assert_eq!(cdf[0], CdfPoint { degree: 1, fraction: 0.25 });
+        assert_eq!(cdf[1].degree, 3);
+        assert!((cdf[1].fraction - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdfs_are_monotone_and_end_at_one() {
+        let degrees: Vec<usize> = (0..200).map(|i| (i % 17) + 1).collect();
+        for cdf in [existing_degree_cdf(&degrees), arrival_degree_cdf(&degrees)] {
+            for pair in cdf.windows(2) {
+                assert!(pair[0].degree < pair[1].degree);
+                assert!(pair[0].fraction <= pair[1].fraction + 1e-12);
+            }
+            assert!((cdf.last().unwrap().fraction - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_inputs_give_empty_cdfs() {
+        assert!(existing_degree_cdf(&[]).is_empty());
+        assert!(existing_degree_cdf(&[0, 0]).is_empty());
+        assert!(arrival_degree_cdf(&[]).is_empty());
+    }
+
+    #[test]
+    fn evaluate_cdf_steps_correctly() {
+        let cdf = existing_degree_cdf(&[1, 2, 2]);
+        assert_eq!(evaluate_cdf(&cdf, 0), 0.0);
+        assert!((evaluate_cdf(&cdf, 1) - 0.2).abs() < 1e-12);
+        assert!((evaluate_cdf(&cdf, 2) - 1.0).abs() < 1e-12);
+        assert!((evaluate_cdf(&cdf, 100) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_distributions_have_zero_distance() {
+        let degrees: Vec<usize> = (1..100).collect();
+        let a = existing_degree_cdf(&degrees);
+        let b = existing_degree_cdf(&degrees);
+        assert_eq!(max_cdf_distance(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn disjoint_distributions_have_distance_one() {
+        let a = arrival_degree_cdf(&[1, 1, 1]);
+        let b = arrival_degree_cdf(&[10, 10]);
+        assert!((max_cdf_distance(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn proportional_sampling_tracks_existing_cdf() {
+        // If arrivals are sampled proportionally to degree, the arrival CDF matches the
+        // existing CDF exactly in expectation; emulate that by repeating each node's
+        // degree `degree` times.
+        let degrees: Vec<usize> = (1..=50).collect();
+        let existing = existing_degree_cdf(&degrees);
+        let mut arrivals = Vec::new();
+        for &d in &degrees {
+            for _ in 0..d {
+                arrivals.push(d);
+            }
+        }
+        let arrival = arrival_degree_cdf(&arrivals);
+        assert!(max_cdf_distance(&existing, &arrival) < 1e-12);
+    }
+}

@@ -1,0 +1,179 @@
+//! Rank/value power-law fitting.
+//!
+//! The paper plots the i-th largest value (in-degree, PageRank, personalized PageRank)
+//! against the rank `i` on log–log axes and reads off the slope: `value_i ∝ i^{-α}`
+//! (Figures 2–4; α ≈ 0.76 for Twitter in-degree and PageRank, mean ≈ 0.77 over the
+//! personalized vectors).  [`fit_power_law`] reproduces that measurement by ordinary
+//! least squares on `(ln i, ln value_i)` over a caller-chosen rank window — the paper
+//! restricts the personalized fits to ranks `[2f, 20f]` where `f` is the user's friend
+//! count (Remark 4), and this module lets the experiments do the same.
+
+/// Result of a least-squares power-law fit on a rank plot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerLawFit {
+    /// The power-law exponent α in `value_i ∝ i^{-α}` (reported positive).
+    pub exponent: f64,
+    /// The fitted value at rank 1 (`e^intercept` of the log–log regression).
+    pub scale: f64,
+    /// Coefficient of determination of the log–log regression.
+    pub r_squared: f64,
+    /// Number of rank/value points that entered the fit.
+    pub points: usize,
+}
+
+/// Sorts `values` in decreasing order and returns `(rank, value)` pairs with 1-based
+/// ranks, dropping non-positive values (they cannot appear on a log–log plot).
+pub fn rank_series(values: &[f64]) -> Vec<(usize, f64)> {
+    let mut sorted: Vec<f64> = values.iter().copied().filter(|&v| v > 0.0).collect();
+    sorted.sort_by(|a, b| b.partial_cmp(a).expect("values must not be NaN"));
+    sorted
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| (i + 1, v))
+        .collect()
+}
+
+/// Fits `value_i ∝ i^{-α}` over the ranks `rank_range` (1-based, inclusive-exclusive) of
+/// the descending-sorted `values`.
+///
+/// Returns `None` if fewer than two usable points fall inside the window.
+pub fn fit_power_law(values: &[f64], rank_range: std::ops::Range<usize>) -> Option<PowerLawFit> {
+    assert!(rank_range.start >= 1, "ranks are 1-based");
+    let series = rank_series(values);
+    let window: Vec<(f64, f64)> = series
+        .iter()
+        .filter(|(rank, _)| rank_range.contains(rank))
+        .map(|&(rank, value)| ((rank as f64).ln(), value.ln()))
+        .collect();
+    if window.len() < 2 {
+        return None;
+    }
+
+    let n = window.len() as f64;
+    let mean_x = window.iter().map(|(x, _)| x).sum::<f64>() / n;
+    let mean_y = window.iter().map(|(_, y)| y).sum::<f64>() / n;
+    let sxx: f64 = window.iter().map(|(x, _)| (x - mean_x).powi(2)).sum();
+    let sxy: f64 = window
+        .iter()
+        .map(|(x, y)| (x - mean_x) * (y - mean_y))
+        .sum();
+    if sxx == 0.0 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+
+    let ss_tot: f64 = window.iter().map(|(_, y)| (y - mean_y).powi(2)).sum();
+    let ss_res: f64 = window
+        .iter()
+        .map(|(x, y)| (y - (intercept + slope * x)).powi(2))
+        .sum();
+    let r_squared = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+
+    Some(PowerLawFit {
+        exponent: -slope,
+        scale: intercept.exp(),
+        r_squared,
+        points: window.len(),
+    })
+}
+
+/// Convenience wrapper fitting over every rank.
+pub fn fit_power_law_full(values: &[f64]) -> Option<PowerLawFit> {
+    fit_power_law(values, 1..usize::MAX)
+}
+
+/// The normalised power-law model of Section 3.1 (Equation 3):
+/// `π_j = (1 − α) j^{-α} / n^{1−α}`.
+pub fn model_score(rank: usize, n: usize, alpha: f64) -> f64 {
+    assert!(rank >= 1, "ranks are 1-based");
+    assert!((0.0..1.0).contains(&alpha), "the model needs 0 <= alpha < 1");
+    (1.0 - alpha) * (rank as f64).powf(-alpha) / (n as f64).powf(1.0 - alpha)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic_power_law(n: usize, alpha: f64) -> Vec<f64> {
+        (1..=n).map(|i| (i as f64).powf(-alpha)).collect()
+    }
+
+    #[test]
+    fn recovers_exact_exponent_on_synthetic_data() {
+        let values = synthetic_power_law(1_000, 0.76);
+        let fit = fit_power_law_full(&values).unwrap();
+        assert!((fit.exponent - 0.76).abs() < 1e-9);
+        assert!((fit.scale - 1.0).abs() < 1e-9);
+        assert!(fit.r_squared > 0.999999);
+        assert_eq!(fit.points, 1_000);
+    }
+
+    #[test]
+    fn rank_window_restricts_the_fit() {
+        // Head follows exponent 0.3 (ranks 1..=50), tail follows exponent 0.9 in the
+        // global rank (ranks 51..=1000, scaled to keep the sequence decreasing);
+        // fitting only the tail window must recover the tail exponent.
+        let mut values: Vec<f64> = (1..=50).map(|i| (i as f64).powf(-0.3)).collect();
+        let scale = 50f64.powf(-0.3) * 51f64.powf(0.9) * 0.999;
+        values.extend((51..=1_000).map(|i| scale * (i as f64).powf(-0.9)));
+        let tail_fit = fit_power_law(&values, 200..1_000).unwrap();
+        assert!(
+            (tail_fit.exponent - 0.9).abs() < 1e-6,
+            "tail exponent {} should be 0.9",
+            tail_fit.exponent
+        );
+    }
+
+    #[test]
+    fn rank_series_sorts_and_drops_nonpositive() {
+        let series = rank_series(&[0.2, 0.0, 0.5, -1.0, 0.1]);
+        assert_eq!(series, vec![(1, 0.5), (2, 0.2), (3, 0.1)]);
+    }
+
+    #[test]
+    fn too_few_points_gives_none() {
+        assert!(fit_power_law(&[1.0], 1..10).is_none());
+        assert!(fit_power_law(&[1.0, 0.5, 0.25], 10..20).is_none());
+        assert!(fit_power_law(&[], 1..10).is_none());
+    }
+
+    #[test]
+    fn noisy_data_still_close() {
+        // Deterministic pseudo-noise keeps the test reproducible without an RNG dep.
+        let values: Vec<f64> = (1..=2_000)
+            .map(|i| {
+                let noise = 1.0 + 0.05 * ((i * 2_654_435_761usize % 97) as f64 / 97.0 - 0.5);
+                (i as f64).powf(-0.8) * noise
+            })
+            .collect();
+        let fit = fit_power_law_full(&values).unwrap();
+        assert!((fit.exponent - 0.8).abs() < 0.02, "got {}", fit.exponent);
+        assert!(fit.r_squared > 0.99);
+    }
+
+    #[test]
+    fn model_score_is_normalised_approximately() {
+        let n = 100_000;
+        let alpha = 0.75;
+        let total: f64 = (1..=n).map(|j| model_score(j, n, alpha)).sum();
+        // The paper approximates the sum by an integral; the error is O(n^{alpha-1}).
+        assert!((total - 1.0).abs() < 0.05, "total mass {total}");
+    }
+
+    #[test]
+    fn model_score_decreases_with_rank() {
+        assert!(model_score(1, 1_000, 0.5) > model_score(2, 1_000, 0.5));
+        assert!(model_score(10, 1_000, 0.5) > model_score(100, 1_000, 0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "ranks are 1-based")]
+    fn zero_rank_panics() {
+        let _ = model_score(0, 10, 0.5);
+    }
+}

@@ -1,0 +1,191 @@
+//! Retrieval metrics: precision@k, recall/precision curves and the 11-point
+//! interpolated average precision used in Figure 5 of the paper.
+//!
+//! The paper treats the top-100 of a very long (50 000-step) personalized walk as the
+//! "true" result set and asks how well the top-1000 of a short (5 000-step) walk
+//! retrieves it, reporting the 11-point interpolated average precision curve from
+//! *Introduction to Information Retrieval* (Manning et al.).
+
+use std::collections::HashSet;
+
+/// Precision among the first `k` entries of `ranked` with respect to `relevant`.
+///
+/// If `ranked` has fewer than `k` entries, the divisor is `k` nonetheless (missing
+/// results count as misses), matching how a recommender that returns too few items
+/// should be penalised.
+pub fn precision_at_k(ranked: &[usize], relevant: &HashSet<usize>, k: usize) -> f64 {
+    assert!(k > 0, "k must be positive");
+    let hits = ranked
+        .iter()
+        .take(k)
+        .filter(|item| relevant.contains(item))
+        .count();
+    hits as f64 / k as f64
+}
+
+/// Number of relevant items among the first `k` entries of `ranked`.
+pub fn hits_at_k(ranked: &[usize], relevant: &HashSet<usize>, k: usize) -> usize {
+    ranked
+        .iter()
+        .take(k)
+        .filter(|item| relevant.contains(item))
+        .count()
+}
+
+/// The (recall, precision) curve of a ranked list: one point per rank at which a
+/// relevant item is retrieved.
+pub fn recall_precision_curve(ranked: &[usize], relevant: &HashSet<usize>) -> Vec<(f64, f64)> {
+    if relevant.is_empty() {
+        return Vec::new();
+    }
+    let mut curve = Vec::new();
+    let mut hits = 0usize;
+    for (i, item) in ranked.iter().enumerate() {
+        if relevant.contains(item) {
+            hits += 1;
+            let recall = hits as f64 / relevant.len() as f64;
+            let precision = hits as f64 / (i + 1) as f64;
+            curve.push((recall, precision));
+        }
+    }
+    curve
+}
+
+/// Interpolated precision at `recall_level`: the maximum precision achieved at any
+/// recall ≥ `recall_level` (zero if that recall is never reached).
+pub fn interpolated_precision_at(curve: &[(f64, f64)], recall_level: f64) -> f64 {
+    curve
+        .iter()
+        .filter(|(recall, _)| *recall + 1e-12 >= recall_level)
+        .map(|&(_, precision)| precision)
+        .fold(0.0, f64::max)
+}
+
+/// The 11-point interpolated precision values at recall levels 0.0, 0.1, …, 1.0.
+pub fn eleven_point_interpolated_precision(
+    ranked: &[usize],
+    relevant: &HashSet<usize>,
+) -> [f64; 11] {
+    let curve = recall_precision_curve(ranked, relevant);
+    let mut out = [0.0f64; 11];
+    for (i, slot) in out.iter_mut().enumerate() {
+        *slot = interpolated_precision_at(&curve, i as f64 / 10.0);
+    }
+    out
+}
+
+/// The 11-point interpolated *average* precision: the mean of the 11 interpolated
+/// precision values (the single-number summary plotted in Figure 5).
+pub fn interpolated_average_precision(ranked: &[usize], relevant: &HashSet<usize>) -> f64 {
+    let points = eleven_point_interpolated_precision(ranked, relevant);
+    points.iter().sum::<f64>() / points.len() as f64
+}
+
+/// Averages several 11-point curves point-wise (Figure 5 averages over 100 users).
+pub fn average_curves(curves: &[[f64; 11]]) -> [f64; 11] {
+    let mut out = [0.0f64; 11];
+    if curves.is_empty() {
+        return out;
+    }
+    for curve in curves {
+        for (slot, value) in out.iter_mut().zip(curve.iter()) {
+            *slot += value;
+        }
+    }
+    for slot in &mut out {
+        *slot /= curves.len() as f64;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn relevant(items: &[usize]) -> HashSet<usize> {
+        items.iter().copied().collect()
+    }
+
+    #[test]
+    fn perfect_ranking_has_precision_one_everywhere() {
+        let rel = relevant(&[1, 2, 3]);
+        let ranked = vec![1, 2, 3, 4, 5];
+        let points = eleven_point_interpolated_precision(&ranked, &rel);
+        for &p in &points {
+            assert!((p - 1.0).abs() < 1e-12);
+        }
+        assert!((interpolated_average_precision(&ranked, &rel) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_everything_gives_zero() {
+        let rel = relevant(&[10, 11]);
+        let ranked = vec![1, 2, 3];
+        assert_eq!(interpolated_average_precision(&ranked, &rel), 0.0);
+        assert_eq!(precision_at_k(&ranked, &rel, 3), 0.0);
+        assert_eq!(hits_at_k(&ranked, &rel, 3), 0);
+    }
+
+    #[test]
+    fn precision_at_k_counts_only_the_prefix() {
+        let rel = relevant(&[3, 4]);
+        let ranked = vec![1, 3, 2, 4];
+        assert!((precision_at_k(&ranked, &rel, 2) - 0.5).abs() < 1e-12);
+        assert!((precision_at_k(&ranked, &rel, 4) - 0.5).abs() < 1e-12);
+        assert_eq!(hits_at_k(&ranked, &rel, 4), 2);
+        // Short lists are penalised: only 4 items returned out of k = 8.
+        assert!((precision_at_k(&ranked, &rel, 8) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn textbook_example_matches_hand_computation() {
+        // Relevant = {a, b, c, d, e} (5 items); ranking hits at positions 1, 3, 6, 10.
+        let rel = relevant(&[0, 1, 2, 3, 4]);
+        let ranked = vec![0, 100, 1, 101, 102, 2, 103, 104, 105, 3];
+        let curve = recall_precision_curve(&ranked, &rel);
+        assert_eq!(curve.len(), 4);
+        assert!((curve[0].1 - 1.0).abs() < 1e-12);
+        assert!((curve[1].1 - 2.0 / 3.0).abs() < 1e-12);
+        assert!((curve[2].1 - 0.5).abs() < 1e-12);
+        assert!((curve[3].1 - 0.4).abs() < 1e-12);
+        // Interpolated precision at recall 0.4 is the max precision at recall >= 0.4,
+        // which is achieved by the hit at rank 3 (recall 0.4, precision 2/3).
+        assert!((interpolated_precision_at(&curve, 0.4) - 2.0 / 3.0).abs() < 1e-12);
+        // Recall 1.0 is never reached (only 4 of 5 relevant items retrieved).
+        assert_eq!(interpolated_precision_at(&curve, 1.0), 0.0);
+    }
+
+    #[test]
+    fn interpolation_is_monotone_nonincreasing_in_recall() {
+        let rel = relevant(&[2, 5, 9, 14]);
+        let ranked: Vec<usize> = (0..20).collect();
+        let points = eleven_point_interpolated_precision(&ranked, &rel);
+        for pair in points.windows(2) {
+            assert!(pair[0] + 1e-12 >= pair[1]);
+        }
+    }
+
+    #[test]
+    fn empty_relevant_set_yields_empty_curve() {
+        let rel = HashSet::new();
+        assert!(recall_precision_curve(&[1, 2, 3], &rel).is_empty());
+        assert_eq!(interpolated_average_precision(&[1, 2, 3], &rel), 0.0);
+    }
+
+    #[test]
+    fn average_curves_is_pointwise_mean() {
+        let a = [1.0; 11];
+        let mut b = [0.0; 11];
+        b[0] = 1.0;
+        let avg = average_curves(&[a, b]);
+        assert!((avg[0] - 1.0).abs() < 1e-12);
+        assert!((avg[5] - 0.5).abs() < 1e-12);
+        assert_eq!(average_curves(&[]), [0.0; 11]);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn precision_at_zero_panics() {
+        let _ = precision_at_k(&[1], &relevant(&[1]), 0);
+    }
+}

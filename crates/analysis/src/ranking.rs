@@ -1,0 +1,94 @@
+//! Top-k extraction and ranking-comparison utilities.
+//!
+//! All recommenders in this workspace (Monte Carlo personalized PageRank/SALSA, the
+//! power-iteration references, HITS, COSINE) reduce to "rank nodes by a score vector,
+//! excluding the seed and its existing friends"; these helpers implement that shared
+//! step plus the overlap measures used to compare rankings.
+
+use std::collections::HashSet;
+
+/// Returns the indices of the `k` largest entries of `scores`, in decreasing score
+/// order, skipping any index in `exclude`.  Ties are broken by index so the result is
+/// deterministic.
+pub fn top_k_indices(scores: &[f64], k: usize, exclude: &HashSet<usize>) -> Vec<usize> {
+    let mut candidates: Vec<usize> = (0..scores.len())
+        .filter(|i| !exclude.contains(i) && scores[*i] > 0.0)
+        .collect();
+    candidates.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .expect("scores must not be NaN")
+            .then(a.cmp(&b))
+    });
+    candidates.truncate(k);
+    candidates
+}
+
+/// Counts how many of `predicted`'s first `k` entries appear in `actual`.
+pub fn hits_in_top_k(predicted: &[usize], actual: &HashSet<usize>, k: usize) -> usize {
+    predicted
+        .iter()
+        .take(k)
+        .filter(|item| actual.contains(item))
+        .count()
+}
+
+/// The overlap fraction |top-k(a) ∩ top-k(b)| / k between two ranked lists.
+pub fn top_k_overlap(a: &[usize], b: &[usize], k: usize) -> f64 {
+    assert!(k > 0, "k must be positive");
+    let set_a: HashSet<usize> = a.iter().take(k).copied().collect();
+    let inter = b.iter().take(k).filter(|item| set_a.contains(item)).count();
+    inter as f64 / k as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_k_orders_by_score_then_index() {
+        let scores = vec![0.1, 0.5, 0.5, 0.9, 0.0];
+        let top = top_k_indices(&scores, 3, &HashSet::new());
+        assert_eq!(top, vec![3, 1, 2]);
+    }
+
+    #[test]
+    fn exclusions_and_zero_scores_are_skipped() {
+        let scores = vec![0.9, 0.8, 0.7, 0.0];
+        let exclude: HashSet<usize> = [0].into_iter().collect();
+        let top = top_k_indices(&scores, 10, &exclude);
+        assert_eq!(top, vec![1, 2]);
+    }
+
+    #[test]
+    fn top_k_with_k_larger_than_candidates() {
+        let scores = vec![0.2, 0.1];
+        assert_eq!(top_k_indices(&scores, 5, &HashSet::new()), vec![0, 1]);
+        assert!(top_k_indices(&[], 5, &HashSet::new()).is_empty());
+    }
+
+    #[test]
+    fn hits_in_top_k_counts_prefix_matches() {
+        let actual: HashSet<usize> = [1, 2, 3].into_iter().collect();
+        let predicted = vec![5, 1, 6, 2, 3];
+        assert_eq!(hits_in_top_k(&predicted, &actual, 2), 1);
+        assert_eq!(hits_in_top_k(&predicted, &actual, 5), 3);
+        assert_eq!(hits_in_top_k(&predicted, &actual, 100), 3);
+    }
+
+    #[test]
+    fn overlap_is_symmetric_and_bounded() {
+        let a = vec![1, 2, 3, 4];
+        let b = vec![3, 4, 5, 6];
+        assert!((top_k_overlap(&a, &b, 4) - 0.5).abs() < 1e-12);
+        assert!((top_k_overlap(&b, &a, 4) - 0.5).abs() < 1e-12);
+        assert_eq!(top_k_overlap(&a, &a, 4), 1.0);
+        assert_eq!(top_k_overlap(&a, &[7, 8], 2), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_overlap_panics() {
+        let _ = top_k_overlap(&[1], &[1], 0);
+    }
+}

@@ -1,0 +1,94 @@
+//! Small statistical helpers shared by the experiment harness.
+
+/// Arithmetic mean; zero for an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Population standard deviation; zero for slices of length < 2.
+pub fn std_dev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    (values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / values.len() as f64).sqrt()
+}
+
+/// The m-th harmonic number `H_m = Σ_{t=1..m} 1/t` (the quantity that turns the
+/// per-arrival cost `nR/(tε²)` of Theorem 4 into the `nR ln m / ε²` total).
+pub fn harmonic_number(m: usize) -> f64 {
+    (1..=m).map(|t| 1.0 / t as f64).sum()
+}
+
+/// Five-number-ish summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Minimum observation.
+    pub min: f64,
+    /// Maximum observation.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarises a sample; returns `None` for an empty slice.
+    pub fn of(values: &[f64]) -> Option<Summary> {
+        if values.is_empty() {
+            return None;
+        }
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Some(Summary {
+            count: values.len(),
+            mean: mean(values),
+            std_dev: std_dev(values),
+            min,
+            max,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std_dev_basics() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+        // Population std dev of {2, 4, 4, 4, 5, 5, 7, 9} is exactly 2.
+        let sample = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((std_dev(&sample) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn harmonic_number_matches_known_values() {
+        assert_eq!(harmonic_number(0), 0.0);
+        assert_eq!(harmonic_number(1), 1.0);
+        assert!((harmonic_number(4) - (1.0 + 0.5 + 1.0 / 3.0 + 0.25)).abs() < 1e-12);
+        // H_m ≈ ln m + γ for large m.
+        let h = harmonic_number(100_000);
+        let approx = (100_000f64).ln() + 0.5772156649;
+        assert!((h - approx).abs() < 1e-4);
+    }
+
+    #[test]
+    fn summary_reports_extremes() {
+        let s = Summary::of(&[1.0, 3.0, 2.0]).unwrap();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.mean, 2.0);
+        assert!(Summary::of(&[]).is_none());
+    }
+}

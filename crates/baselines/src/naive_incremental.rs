@@ -1,0 +1,137 @@
+//! The "just recompute on every arrival" baselines.
+//!
+//! Section 1.3 of the paper charges the naive strategies their full cost:
+//!
+//! * recomputing PageRank by power iteration after each of the `m` arrivals costs
+//!   `Σ_{x=1..m} Ω(x / ln(1/(1−ε))) = Ω(m² / ln(1/(1−ε)))` edge traversals;
+//! * recomputing the Monte Carlo estimates from scratch after each arrival costs
+//!   `Ω(m · nR/ε)` walk steps.
+//!
+//! [`NaiveRecompute`] actually performs the recomputation (on graphs small enough to
+//! afford it) and reports measured work, while [`power_iteration_recompute_work`] and
+//! [`monte_carlo_recompute_work`] evaluate the closed-form totals so the experiment
+//! harness can extrapolate to sizes where running the naive strategy is hopeless —
+//! which is precisely the paper's point.
+
+use crate::power_iteration::{power_iteration, PowerIterationConfig};
+use ppr_graph::{DynamicGraph, Edge};
+
+/// Closed-form total edge-traversal cost of recomputing PageRank by power iteration
+/// after every one of `m` arrivals, assuming the solver needs `iterations_per_run`
+/// sweeps per run (the paper's bound uses `1 / ln(1/(1−ε))` sweeps per digit of
+/// precision; pass the iteration count your configuration actually uses).
+pub fn power_iteration_recompute_work(m: usize, iterations_per_run: usize) -> f64 {
+    // Σ_{x=1..m} x * iterations = iterations * m (m + 1) / 2.
+    iterations_per_run as f64 * (m as f64) * (m as f64 + 1.0) / 2.0
+}
+
+/// Closed-form total walk-step cost of redoing the Monte Carlo estimation from scratch
+/// after every one of `m` arrivals over an `n`-node graph with `r` walks per node and
+/// reset probability `epsilon` (each run costs `n·r/ε` expected steps).
+pub fn monte_carlo_recompute_work(n: usize, m: usize, r: usize, epsilon: f64) -> f64 {
+    assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0, 1)");
+    m as f64 * (n as f64) * (r as f64) / epsilon
+}
+
+/// Measured result of actually running the naive power-iteration recomputation.
+#[derive(Debug, Clone)]
+pub struct NaiveRecompute {
+    /// Total edge traversals across all recomputations.
+    pub total_edge_traversals: u64,
+    /// Number of recomputations performed.
+    pub recomputations: usize,
+    /// PageRank scores after the final arrival.
+    pub final_scores: Vec<f64>,
+}
+
+impl NaiveRecompute {
+    /// Replays `arrivals` into an initially empty graph over `node_count` nodes,
+    /// recomputing global PageRank by power iteration after every `recompute_every`-th
+    /// arrival (use 1 for the paper's fully naive strategy; larger strides let tests and
+    /// benches measure the same curve at an affordable cost).
+    pub fn run(
+        node_count: usize,
+        arrivals: &[Edge],
+        config: &PowerIterationConfig,
+        recompute_every: usize,
+    ) -> Self {
+        assert!(recompute_every >= 1, "recompute_every must be at least 1");
+        let mut graph = DynamicGraph::with_nodes(node_count);
+        let mut total_edge_traversals = 0u64;
+        let mut recomputations = 0usize;
+        let mut final_scores = vec![1.0 / node_count.max(1) as f64; node_count];
+
+        for (t, &edge) in arrivals.iter().enumerate() {
+            graph.add_edge_growing(edge);
+            if (t + 1) % recompute_every == 0 || t + 1 == arrivals.len() {
+                let result = power_iteration(&graph, config);
+                total_edge_traversals += result.edge_traversals;
+                recomputations += 1;
+                final_scores = result.scores;
+            }
+        }
+
+        NaiveRecompute {
+            total_edge_traversals,
+            recomputations,
+            final_scores,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppr_graph::generators::{preferential_attachment_edges, PreferentialAttachmentConfig};
+
+    #[test]
+    fn closed_form_power_iteration_cost_is_quadratic() {
+        let work_small = power_iteration_recompute_work(1_000, 10);
+        let work_big = power_iteration_recompute_work(2_000, 10);
+        let ratio = work_big / work_small;
+        assert!((ratio - 4.0).abs() < 0.01, "doubling m should quadruple cost, got {ratio}");
+    }
+
+    #[test]
+    fn closed_form_monte_carlo_cost_is_linear_in_m_and_n() {
+        let base = monte_carlo_recompute_work(1_000, 500, 5, 0.2);
+        assert_eq!(base, 500.0 * 1_000.0 * 5.0 / 0.2);
+        assert_eq!(monte_carlo_recompute_work(2_000, 500, 5, 0.2), 2.0 * base);
+        assert_eq!(monte_carlo_recompute_work(1_000, 1_000, 5, 0.2), 2.0 * base);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be in (0, 1)")]
+    fn monte_carlo_cost_rejects_bad_epsilon() {
+        let _ = monte_carlo_recompute_work(10, 10, 1, 0.0);
+    }
+
+    #[test]
+    fn naive_recompute_measures_growing_cost() {
+        let config = PreferentialAttachmentConfig::new(200, 3, 5);
+        let arrivals = preferential_attachment_edges(&config);
+        let pi_config = PowerIterationConfig {
+            epsilon: 0.2,
+            max_iterations: 20,
+            tolerance: 1e-8,
+        };
+        let run = NaiveRecompute::run(200, &arrivals, &pi_config, 50);
+        assert!(run.recomputations >= arrivals.len() / 50);
+        assert!(run.total_edge_traversals > arrivals.len() as u64);
+        let sum: f64 = run.final_scores.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stride_one_recomputes_after_every_edge() {
+        let arrivals = vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(2, 0)];
+        let run = NaiveRecompute::run(3, &arrivals, &PowerIterationConfig::default(), 1);
+        assert_eq!(run.recomputations, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "recompute_every must be at least 1")]
+    fn rejects_zero_stride() {
+        let _ = NaiveRecompute::run(2, &[Edge::new(0, 1)], &PowerIterationConfig::default(), 0);
+    }
+}

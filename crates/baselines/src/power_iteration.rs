@@ -1,0 +1,298 @@
+//! Power-iteration PageRank, global and personalized.
+//!
+//! This is the baseline the paper's running-time comparisons are stated against
+//! (Equation 1 of the paper): each iteration costs `O(m)` edge traversals and the error
+//! contracts by a factor `1 − ε`, so reaching a fixed precision costs
+//! `O(m / ln(1/(1−ε)))`.  The implementation:
+//!
+//! * handles dangling nodes by sending their `1 − ε` share of probability mass to the
+//!   reset distribution (uniform for global PageRank, the seed for personalized
+//!   PageRank), which is exactly the stationary distribution of the Monte Carlo walk
+//!   that ends its segment when it reaches a node with no outgoing edge;
+//! * reports the number of edge traversals performed, so the naive-recompute baseline
+//!   can be charged its true cost.
+
+use ppr_graph::{GraphView, NodeId};
+
+/// Configuration for the power iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerIterationConfig {
+    /// Reset (teleport) probability ε.  The paper's experiments use 0.2.
+    pub epsilon: f64,
+    /// Maximum number of iterations.
+    pub max_iterations: usize,
+    /// L1 convergence tolerance; iteration stops early once the change drops below it.
+    pub tolerance: f64,
+}
+
+impl Default for PowerIterationConfig {
+    fn default() -> Self {
+        PowerIterationConfig {
+            epsilon: 0.2,
+            max_iterations: 100,
+            tolerance: 1e-10,
+        }
+    }
+}
+
+impl PowerIterationConfig {
+    /// Creates a config with the given reset probability and defaults otherwise.
+    pub fn with_epsilon(epsilon: f64) -> Self {
+        assert!(
+            epsilon > 0.0 && epsilon < 1.0,
+            "epsilon must be in (0, 1), got {epsilon}"
+        );
+        PowerIterationConfig {
+            epsilon,
+            ..Default::default()
+        }
+    }
+}
+
+/// Result of a power-iteration run.
+#[derive(Debug, Clone)]
+pub struct PowerIterationResult {
+    /// The score vector, indexed by node; sums to 1.
+    pub scores: Vec<f64>,
+    /// Number of iterations actually performed.
+    pub iterations: usize,
+    /// Whether the L1 tolerance was reached before `max_iterations`.
+    pub converged: bool,
+    /// Number of edge traversals performed (≈ `iterations * m`), the work unit used by
+    /// the paper's cost comparisons.
+    pub edge_traversals: u64,
+}
+
+/// Reset distribution: uniform over all nodes (global PageRank) or concentrated on a
+/// seed node (personalized PageRank).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Reset {
+    Uniform,
+    Seed(NodeId),
+}
+
+/// Computes global PageRank with reset probability `config.epsilon`.
+pub fn power_iteration<G: GraphView + ?Sized>(
+    graph: &G,
+    config: &PowerIterationConfig,
+) -> PowerIterationResult {
+    run(graph, config, Reset::Uniform)
+}
+
+/// Computes PageRank personalized on `seed`: every reset jumps back to `seed`.
+pub fn personalized_power_iteration<G: GraphView + ?Sized>(
+    graph: &G,
+    seed: NodeId,
+    config: &PowerIterationConfig,
+) -> PowerIterationResult {
+    assert!(
+        seed.index() < graph.node_count(),
+        "seed node {seed} outside the graph"
+    );
+    run(graph, config, Reset::Seed(seed))
+}
+
+fn run<G: GraphView + ?Sized>(
+    graph: &G,
+    config: &PowerIterationConfig,
+    reset: Reset,
+) -> PowerIterationResult {
+    let n = graph.node_count();
+    assert!(n > 0, "cannot run PageRank on an empty graph");
+    assert!(
+        config.epsilon > 0.0 && config.epsilon < 1.0,
+        "epsilon must be in (0, 1), got {}",
+        config.epsilon
+    );
+    let epsilon = config.epsilon;
+
+    let mut current = match reset {
+        Reset::Uniform => vec![1.0 / n as f64; n],
+        Reset::Seed(seed) => {
+            let mut v = vec![0.0; n];
+            v[seed.index()] = 1.0;
+            v
+        }
+    };
+    let mut next = vec![0.0f64; n];
+    let mut edge_traversals = 0u64;
+    let mut iterations = 0usize;
+    let mut converged = false;
+
+    while iterations < config.max_iterations {
+        iterations += 1;
+
+        // Reset mass plus dangling-node redistribution.
+        let dangling_mass: f64 = graph
+            .nodes()
+            .filter(|&u| graph.is_dangling(u))
+            .map(|u| current[u.index()])
+            .sum();
+        let base = epsilon + (1.0 - epsilon) * dangling_mass;
+        match reset {
+            Reset::Uniform => next.iter_mut().for_each(|x| *x = base / n as f64),
+            Reset::Seed(seed) => {
+                next.iter_mut().for_each(|x| *x = 0.0);
+                next[seed.index()] = base;
+            }
+        }
+
+        // Push each node's mass along its outgoing edges.
+        for u in graph.nodes() {
+            let out = graph.out_neighbors(u);
+            if out.is_empty() {
+                continue;
+            }
+            let share = (1.0 - epsilon) * current[u.index()] / out.len() as f64;
+            for &v in out {
+                next[v.index()] += share;
+            }
+            edge_traversals += out.len() as u64;
+        }
+
+        let delta: f64 = current
+            .iter()
+            .zip(next.iter())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        std::mem::swap(&mut current, &mut next);
+        if delta < config.tolerance {
+            converged = true;
+            break;
+        }
+    }
+
+    PowerIterationResult {
+        scores: current,
+        iterations,
+        converged,
+        edge_traversals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppr_graph::generators::{complete_graph, directed_cycle, star_inward};
+    use ppr_graph::{DynamicGraph, Edge};
+
+    fn assert_sums_to_one(scores: &[f64]) {
+        let sum: f64 = scores.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "scores sum to {sum}");
+    }
+
+    #[test]
+    fn cycle_gives_uniform_pagerank() {
+        let g = directed_cycle(8);
+        let result = power_iteration(&g, &PowerIterationConfig::default());
+        assert!(result.converged);
+        assert_sums_to_one(&result.scores);
+        for &score in &result.scores {
+            assert!((score - 0.125).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn complete_graph_gives_uniform_pagerank() {
+        let g = complete_graph(5);
+        let result = power_iteration(&g, &PowerIterationConfig::with_epsilon(0.15));
+        assert_sums_to_one(&result.scores);
+        for &score in &result.scores {
+            assert!((score - 0.2).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn star_center_dominates() {
+        let g = star_inward(10);
+        let result = power_iteration(&g, &PowerIterationConfig::default());
+        assert_sums_to_one(&result.scores);
+        let centre = result.scores[0];
+        for &leaf in &result.scores[1..] {
+            assert!(centre > 3.0 * leaf, "centre {centre} should dominate leaf {leaf}");
+        }
+    }
+
+    #[test]
+    fn analytic_two_node_chain() {
+        // 0 -> 1, node 1 dangling.  With reset ε and dangling mass redistributed
+        // uniformly the stationary equations are:
+        //   π0 = (ε + (1-ε) π1) / 2
+        //   π1 = (ε + (1-ε) π1) / 2 + (1-ε) π0
+        let mut g = DynamicGraph::with_nodes(2);
+        g.add_edge(Edge::new(0, 1));
+        let epsilon = 0.2;
+        let result = power_iteration(&g, &PowerIterationConfig::with_epsilon(epsilon));
+        assert_sums_to_one(&result.scores);
+        let p0 = result.scores[0];
+        let p1 = result.scores[1];
+        let base = epsilon + (1.0 - epsilon) * p1;
+        assert!((p0 - base / 2.0).abs() < 1e-8);
+        assert!((p1 - (base / 2.0 + (1.0 - epsilon) * p0)).abs() < 1e-8);
+        assert!(p1 > p0);
+    }
+
+    #[test]
+    fn personalized_concentrates_on_seed_neighbourhood() {
+        // Path 0 -> 1 -> 2 -> 3: personalizing on node 0 must rank nodes by distance.
+        let g = ppr_graph::generators::directed_path(4);
+        let result =
+            personalized_power_iteration(&g, NodeId(0), &PowerIterationConfig::default());
+        assert_sums_to_one(&result.scores);
+        assert!(result.scores[0] > result.scores[1]);
+        assert!(result.scores[1] > result.scores[2]);
+        assert!(result.scores[2] > result.scores[3]);
+        assert!(result.scores[3] > 0.0);
+    }
+
+    #[test]
+    fn personalized_seed_mass_is_at_least_epsilon() {
+        let g = directed_cycle(6);
+        let epsilon = 0.3;
+        let result =
+            personalized_power_iteration(&g, NodeId(2), &PowerIterationConfig::with_epsilon(epsilon));
+        assert!(result.scores[2] >= epsilon - 1e-9);
+    }
+
+    #[test]
+    fn work_accounting_counts_edge_traversals() {
+        let g = directed_cycle(10);
+        let config = PowerIterationConfig {
+            epsilon: 0.2,
+            max_iterations: 7,
+            tolerance: 0.0, // never converge early
+        };
+        let result = power_iteration(&g, &config);
+        assert_eq!(result.iterations, 7);
+        assert!(!result.converged);
+        assert_eq!(result.edge_traversals, 7 * 10);
+    }
+
+    #[test]
+    fn higher_epsilon_converges_faster() {
+        let g = ppr_graph::generators::preferential_attachment(300, 4, 3);
+        let slow = power_iteration(&g, &PowerIterationConfig::with_epsilon(0.05));
+        let fast = power_iteration(&g, &PowerIterationConfig::with_epsilon(0.5));
+        assert!(fast.iterations < slow.iterations);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be in (0, 1)")]
+    fn rejects_invalid_epsilon() {
+        let _ = PowerIterationConfig::with_epsilon(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "seed node")]
+    fn rejects_out_of_range_seed() {
+        let g = directed_cycle(3);
+        let _ = personalized_power_iteration(&g, NodeId(9), &PowerIterationConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty graph")]
+    fn rejects_empty_graph() {
+        let g = DynamicGraph::new();
+        let _ = power_iteration(&g, &PowerIterationConfig::default());
+    }
+}

@@ -1,0 +1,51 @@
+//! Criterion bench for experiment E10 (Proposition 5): repair cost of random edge
+//! deletions.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ppr_bench::workloads::twitter_like;
+use ppr_core::{IncrementalPageRank, MonteCarloConfig};
+use ppr_graph::GraphView;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_deletions(c: &mut Criterion) {
+    let workload = twitter_like(3_000, 8, 7);
+    let engine_template =
+        IncrementalPageRank::from_graph(&workload.graph, MonteCarloConfig::new(0.2, 4).with_seed(3));
+    let mut rng = SmallRng::seed_from_u64(11);
+    let mut victims = workload.graph.collect_edges();
+    victims.shuffle(&mut rng);
+    victims.truncate(200);
+
+    let mut group = c.benchmark_group("deletion_cost");
+    group.throughput(Throughput::Elements(victims.len() as u64));
+    group.bench_function("delete_200_random_edges", |b| {
+        b.iter_batched(
+            || {
+                // Each measurement starts from a fresh engine so that every iteration
+                // deletes edges that are actually present.
+                IncrementalPageRank::from_graph(
+                    engine_template.graph(),
+                    MonteCarloConfig::new(0.2, 4).with_seed(5),
+                )
+            },
+            |mut engine| {
+                for &edge in &victims {
+                    black_box(engine.remove_edge(edge));
+                }
+                engine.work().walk_steps
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_deletions
+}
+criterion_main!(benches);

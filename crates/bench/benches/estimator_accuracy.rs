@@ -1,0 +1,41 @@
+//! Criterion bench for experiment E14 (Theorem 1): building the Monte Carlo estimator
+//! (R walk segments per node) for several values of R, next to a power-iteration run on
+//! the same graph for scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppr_baselines::power_iteration::{power_iteration, PowerIterationConfig};
+use ppr_bench::workloads::twitter_like;
+use ppr_core::{IncrementalPageRank, MonteCarloConfig};
+use std::hint::black_box;
+
+fn bench_monte_carlo_build(c: &mut Criterion) {
+    let workload = twitter_like(5_000, 8, 7);
+    let mut group = c.benchmark_group("estimator_build");
+    for &r in &[1usize, 5, 20] {
+        group.bench_with_input(BenchmarkId::new("monte_carlo", r), &r, |b, &r| {
+            b.iter(|| {
+                let engine = IncrementalPageRank::from_graph(
+                    &workload.graph,
+                    MonteCarloConfig::new(0.2, r).with_seed(3),
+                );
+                black_box(engine.scores())
+            })
+        });
+    }
+    group.bench_function("power_iteration_reference", |b| {
+        b.iter(|| {
+            black_box(power_iteration(
+                &workload.graph,
+                &PowerIterationConfig::with_epsilon(0.2),
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_monte_carlo_build
+}
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion bench for experiment E1/E2 (Figure 1 + the §4.2 statistic): times the
+//! arrival-replay and CDF construction on a reduced workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ppr_bench::experiments::fig1;
+use std::hint::black_box;
+
+fn bench_fig1(c: &mut Criterion) {
+    let params = fig1::Fig1Params {
+        nodes: 3_000,
+        out_degree: 8,
+        in_exponent: 0.76,
+        observe_fraction: 0.1,
+        epsilon: 0.2,
+        seed: 1,
+    };
+    c.bench_function("fig1_arrival_cdf", |b| {
+        b.iter(|| black_box(fig1::run(black_box(&params))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig1
+}
+criterion_main!(benches);

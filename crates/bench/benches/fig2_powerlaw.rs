@@ -1,0 +1,27 @@
+//! Criterion bench for experiment E3 (Figure 2): power-law graph generation, PageRank,
+//! and exponent fitting.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ppr_bench::experiments::fig2;
+use std::hint::black_box;
+
+fn bench_fig2(c: &mut Criterion) {
+    let params = fig2::Fig2Params {
+        nodes: 5_000,
+        out_degree: 8,
+        in_exponent: 0.76,
+        epsilon: 0.2,
+        fit_window: (0.002, 0.2),
+        seed: 1,
+    };
+    c.bench_function("fig2_powerlaw", |b| {
+        b.iter(|| black_box(fig2::run(black_box(&params))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig2
+}
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion bench for experiments E4/E5 (Figures 3–4): personalized power-iteration
+//! vectors and their power-law fits on a reduced user set.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ppr_bench::experiments::personalized_powerlaw;
+use std::hint::black_box;
+
+fn bench_fig4(c: &mut Criterion) {
+    let params = personalized_powerlaw::PersonalizedPowerLawParams {
+        nodes: 4_000,
+        out_degree: 25,
+        in_exponent: 0.76,
+        users: 5,
+        min_friends: 20,
+        max_friends: 30,
+        epsilon: 0.2,
+        seed: 1,
+    };
+    c.bench_function("fig4_personalized_exponents", |b| {
+        b.iter(|| black_box(personalized_powerlaw::run(black_box(&params), 0)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig4
+}
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench for experiment E6 (Figure 5): stitched long/short personalized walks
+//! and the interpolated-precision computation on a reduced user set.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ppr_bench::experiments::fig5;
+use std::hint::black_box;
+
+fn bench_fig5(c: &mut Criterion) {
+    let params = fig5::Fig5Params {
+        nodes: 2_000,
+        out_degree: 25,
+        users: 4,
+        min_friends: 20,
+        max_friends: 30,
+        long_walk: 10_000,
+        short_walk: 2_000,
+        true_k: 50,
+        retrieved_k: 500,
+        r: 5,
+        epsilon: 0.2,
+        seed: 1,
+    };
+    c.bench_function("fig5_precision", |b| {
+        b.iter(|| black_box(fig5::run(black_box(&params))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig5
+}
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Criterion benches for experiment E7 (Figure 6): fetch counts of the stitched walker,
+//! including the Remark 1 ablation (full-adjacency fetch vs single sampled edge).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppr_bench::workloads::{personalization_seeds, twitter_like};
+use ppr_core::{IncrementalPageRank, MonteCarloConfig, PersonalizedWalker};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+/// Times one stitched personalized walk of 5 000 visits for several values of `R`.
+fn bench_stitched_walk(c: &mut Criterion) {
+    let workload = twitter_like(3_000, 25, 7);
+    let seeds = personalization_seeds(&workload.graph, 1, 20, 30, 3);
+    let seed = seeds[0];
+    let mut group = c.benchmark_group("fig6_stitched_walk");
+    for &r in &[5usize, 10, 20] {
+        let engine = IncrementalPageRank::from_graph(
+            &workload.graph,
+            MonteCarloConfig::new(0.2, r).with_seed(11),
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(r), &engine, |b, engine| {
+            let mut salt = 0u64;
+            b.iter(|| {
+                salt += 1;
+                let mut walker = PersonalizedWalker::new(
+                    engine.social_store(),
+                    engine.walk_store(),
+                    0.2,
+                    salt,
+                );
+                black_box(walker.walk(seed, 5_000))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Remark 1 ablation: the cost of answering per-step neighbour queries with a single
+/// sampled edge instead of consuming cached segments (an upper bound on the "no
+/// stitching" walk cost in store accesses).
+fn bench_sampled_edge_walk(c: &mut Criterion) {
+    let workload = twitter_like(3_000, 25, 7);
+    let seeds = personalization_seeds(&workload.graph, 1, 20, 30, 3);
+    let seed = seeds[0];
+    let engine = IncrementalPageRank::from_graph(
+        &workload.graph,
+        MonteCarloConfig::new(0.2, 5).with_seed(13),
+    );
+    c.bench_function("fig6_sampled_edge_walk", |b| {
+        let mut rng = SmallRng::seed_from_u64(17);
+        b.iter(|| {
+            // A plain 5 000-step personalized walk that queries the store for one
+            // sampled out-edge at every step (the Remark 1 fetch variant).
+            let store = engine.social_store();
+            let mut current = seed;
+            let mut visits = 0u64;
+            use rand::Rng;
+            for _ in 0..5_000 {
+                visits += 1;
+                if rng.gen_bool(0.2) {
+                    current = seed;
+                    continue;
+                }
+                match store.sample_out_neighbor(current, &mut rng) {
+                    Some(next) => current = next,
+                    None => current = seed,
+                }
+            }
+            black_box(visits)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_stitched_walk, bench_sampled_edge_walk
+}
+criterion_main!(benches);

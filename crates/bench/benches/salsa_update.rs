@@ -1,0 +1,46 @@
+//! Criterion bench for experiment E11 (Theorem 6): SALSA segment maintenance under edge
+//! arrivals, next to the PageRank engine on the same arrival stream.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppr_bench::workloads::twitter_like;
+use ppr_core::{IncrementalPageRank, IncrementalSalsa, MonteCarloConfig};
+use ppr_graph::stream::split_at_fraction;
+use ppr_graph::DynamicGraph;
+use std::hint::black_box;
+
+fn bench_salsa_vs_pagerank_updates(c: &mut Criterion) {
+    let workload = twitter_like(2_000, 8, 7);
+    let (prefix, suffix) = split_at_fraction(&workload.arrivals, 0.9);
+    let base = DynamicGraph::from_edges(&prefix, 2_000);
+    let config = MonteCarloConfig::new(0.2, 3).with_seed(3);
+
+    let mut group = c.benchmark_group("salsa_update");
+    group.bench_function(BenchmarkId::from_parameter("pagerank"), |b| {
+        b.iter(|| {
+            let mut engine = IncrementalPageRank::from_graph(&base, config);
+            engine.reset_work();
+            for &edge in &suffix {
+                engine.add_edge(edge);
+            }
+            black_box(engine.work().walk_steps)
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("salsa"), |b| {
+        b.iter(|| {
+            let mut engine = IncrementalSalsa::from_graph(&base, config);
+            engine.reset_work();
+            for &edge in &suffix {
+                engine.add_edge(edge);
+            }
+            black_box(engine.work().walk_steps)
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_salsa_vs_pagerank_updates
+}
+criterion_main!(benches);

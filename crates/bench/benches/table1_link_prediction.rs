@@ -1,0 +1,32 @@
+//! Criterion bench for experiment E8 (Table 1): the four recommenders evaluated on a
+//! reduced snapshot.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ppr_bench::experiments::table1;
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let params = table1::Table1Params {
+        nodes: 2_000,
+        out_degree: 25,
+        uniform_mix: 0.5,
+        celebrity_core: 30,
+        users: 5,
+        future_follows: 10,
+        p_triadic: 0.7,
+        min_target_followers: 3,
+        iterations: 10,
+        epsilon: 0.2,
+        seed: 1,
+    };
+    c.bench_function("table1_link_prediction", |b| {
+        b.iter(|| black_box(table1::run(black_box(&params))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table1
+}
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Regenerates the Theorem 1 accuracy measurement: Monte Carlo estimator error vs the
+//! number of stored walk segments per node.
+
+use ppr_bench::experiments::concentration;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut params = concentration::ConcentrationParams::default();
+    if quick {
+        params.nodes = 5_000;
+        params.r_values = vec![1, 2, 5, 10];
+    }
+    let result = concentration::run(&params);
+    concentration::print_report(&result);
+}

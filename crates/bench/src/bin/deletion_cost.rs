@@ -1,0 +1,15 @@
+//! Regenerates the edge-deletion cost measurement (Proposition 5).
+
+use ppr_bench::experiments::cost;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut params = cost::CostParams::default();
+    let mut deletions = 2_000;
+    if quick {
+        params.nodes = 5_000;
+        deletions = 500;
+    }
+    let result = cost::deletion_cost(&params, deletions);
+    cost::print_deletion_report(&result);
+}

@@ -1,0 +1,11 @@
+//! Regenerates Example 1: the adversarial arrival order forces Ω(n) walk-segment updates
+//! for a single edge, while the same edge in a benign position is nearly free.
+
+use ppr_bench::experiments::cost;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let n_param = if quick { 100 } else { 1_000 };
+    let result = cost::example1(n_param, 5, 0.2, 42);
+    cost::print_example1_report(&result);
+}

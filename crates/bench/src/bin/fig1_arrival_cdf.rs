@@ -1,0 +1,14 @@
+//! Regenerates Figure 1: arrival-degree CDF vs existing-degree CDF, plus the §4.2
+//! `m·E[π/d]` statistic.  Pass `--quick` for a reduced-size run.
+
+use ppr_bench::experiments::fig1;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut params = fig1::Fig1Params::default();
+    if quick {
+        params.nodes = 5_000;
+    }
+    let result = fig1::run(&params);
+    fig1::print_report(&result);
+}

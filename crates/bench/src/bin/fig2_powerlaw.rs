@@ -1,0 +1,13 @@
+//! Regenerates Figure 2: in-degree and global PageRank rank power laws.
+
+use ppr_bench::experiments::fig2;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut params = fig2::Fig2Params::default();
+    if quick {
+        params.nodes = 10_000;
+    }
+    let result = fig2::run(&params);
+    fig2::print_report(&result);
+}

@@ -1,0 +1,14 @@
+//! Regenerates Figure 3: personalized PageRank power laws for six users.
+
+use ppr_bench::experiments::personalized_powerlaw;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut params = personalized_powerlaw::PersonalizedPowerLawParams::default();
+    if quick {
+        params.nodes = 6_000;
+        params.users = 12;
+    }
+    let result = personalized_powerlaw::run(&params, 6);
+    personalized_powerlaw::print_fig3_report(&result);
+}

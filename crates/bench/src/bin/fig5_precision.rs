@@ -1,0 +1,15 @@
+//! Regenerates Figure 5: 11-point interpolated average precision of a 5 000-step
+//! personalized walk against the "true" top-100 of a 50 000-step walk.
+
+use ppr_bench::experiments::fig5;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut params = fig5::Fig5Params::default();
+    if quick {
+        params.nodes = 5_000;
+        params.users = 20;
+    }
+    let result = fig5::run(&params);
+    fig5::print_report(&result);
+}

@@ -1,0 +1,16 @@
+//! Regenerates Figure 6: fetches against the Social Store vs walk length for
+//! R ∈ {5, 10, 20}, with the Theorem 8 bound next to each observed curve.
+
+use ppr_bench::experiments::fig6;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut params = fig6::Fig6Params::default();
+    if quick {
+        params.nodes = 5_000;
+        params.users = 10;
+        params.walk_lengths = vec![100, 500, 2_000, 8_000, 20_000];
+    }
+    let result = fig6::run(&params);
+    fig6::print_report(&result);
+}

@@ -1,0 +1,15 @@
+//! Regenerates the headline cost claim (Theorem 4): the total work to keep the Monte
+//! Carlo PageRank estimates updated over m random-order arrivals, compared with the
+//! theoretical bound and with both naive recomputation strategies.
+
+use ppr_bench::experiments::cost;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut params = cost::CostParams::default();
+    if quick {
+        params.nodes = 5_000;
+    }
+    let result = cost::incremental_cost(&params);
+    cost::print_incremental_report(&result);
+}

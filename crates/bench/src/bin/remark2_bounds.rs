@@ -1,0 +1,19 @@
+//! Evaluates the closed-form bounds at the parameters of the paper's Remark 2
+//! (α = 0.75, c = 5, R = 10, k = 100, n = 10⁸): walk length ≈ 63 200 steps but only
+//! ≈ 2 000 fetches.
+
+use ppr_core::bounds::{expected_fetches, top_k_fetches, walk_length_for_top_k};
+
+fn main() {
+    let (alpha, c, r, k, n) = (0.75, 5.0, 10usize, 100usize, 100_000_000usize);
+    let s_k = walk_length_for_top_k(k, c, alpha, n);
+    let fetches = top_k_fetches(k, c, alpha, r);
+    println!("# Remark 2 (alpha = {alpha}, c = {c}, R = {r}, k = {k}, n = {n})");
+    println!("walk length s_k (Eq. 4)        = {s_k:.0}   (paper: ~63200)");
+    println!("fetch bound (Corollary 9)      = {fetches:.0}   (paper: ~2000)");
+    println!(
+        "Theorem 8 evaluated at s_k     = {:.0}",
+        expected_fetches(s_k, n, r, alpha)
+    );
+    println!("both are vastly smaller than n = {n}");
+}

@@ -1,0 +1,16 @@
+//! Regenerates the SALSA maintenance cost measurement (Theorem 6).
+
+use ppr_bench::experiments::cost;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut params = cost::CostParams::default();
+    if quick {
+        params.nodes = 3_000;
+    } else {
+        // SALSA maintains 2R segments per node; keep the paper-scale run affordable.
+        params.nodes = 10_000;
+    }
+    let result = cost::salsa_cost(&params);
+    cost::print_salsa_report(&result);
+}

@@ -1,0 +1,15 @@
+//! Regenerates Table 1: link-prediction effectiveness of HITS, COSINE, personalized
+//! PageRank and personalized SALSA.
+
+use ppr_bench::experiments::table1;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut params = table1::Table1Params::default();
+    if quick {
+        params.nodes = 6_000;
+        params.users = 30;
+    }
+    let result = table1::run(&params);
+    table1::print_report(&result);
+}

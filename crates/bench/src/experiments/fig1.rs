@@ -1,0 +1,191 @@
+//! Experiment E1/E2 — Figure 1 and the §4.2 random-permutation statistic.
+//!
+//! The paper validates the random-permutation arrival model in two ways:
+//!
+//! 1. the arrival-degree CDF and the existing-degree CDF nearly coincide (Figure 1);
+//! 2. the statistic `m · E[π_{u_t} / outdeg_{u_t}(t)]` over observed arrivals is ≈ 1
+//!    (they measured 0.81 on 4.63 M Twitter arrivals).
+//!
+//! We replay the last `observe_fraction` of a random-permutation arrival sequence on top
+//! of the prefix snapshot and compute both quantities.
+
+use crate::workloads::power_law_workload;
+use ppr_analysis::cdf::{arrival_degree_cdf, existing_degree_cdf, max_cdf_distance, CdfPoint};
+use ppr_baselines::power_iteration::{power_iteration, PowerIterationConfig};
+use ppr_graph::stream::split_at_fraction;
+use ppr_graph::{DynamicGraph, GraphView};
+
+/// Parameters for the Figure 1 experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig1Params {
+    /// Number of nodes in the synthetic graph.
+    pub nodes: usize,
+    /// Average out-degree of the generator (out-degrees are heavy-tailed, as on
+    /// Twitter, which is what makes the Figure 1 comparison informative).
+    pub out_degree: usize,
+    /// Target in-degree rank power-law exponent of the generator.
+    pub in_exponent: f64,
+    /// Fraction of the arrival sequence treated as "new" arrivals (the paper observed
+    /// the edges between two snapshots).
+    pub observe_fraction: f64,
+    /// Reset probability used for the PageRank in the `m·E[π/d]` statistic.
+    pub epsilon: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Fig1Params {
+    fn default() -> Self {
+        Fig1Params {
+            nodes: 20_000,
+            out_degree: 10,
+            in_exponent: 0.76,
+            observe_fraction: 0.2,
+            epsilon: 0.2,
+            seed: 42,
+        }
+    }
+}
+
+/// Result of the Figure 1 experiment.
+#[derive(Debug, Clone)]
+pub struct Fig1Result {
+    /// Existing-degree CDF `e(d)` of the base snapshot.
+    pub existing: Vec<CdfPoint>,
+    /// Arrival-degree CDF `a(d)` of the observed arrivals.
+    pub arrival: Vec<CdfPoint>,
+    /// Kolmogorov–Smirnov-style distance between the two CDFs (small = the
+    /// proportionality assumption holds).
+    pub max_distance: f64,
+    /// The `m·E[π_{u_t}/outdeg_{u_t}(t)]` statistic (≈ 1 under the model; 0.81 on
+    /// Twitter).
+    pub m_times_expected_ratio: f64,
+    /// Number of observed arrivals.
+    pub observed_arrivals: usize,
+}
+
+/// Runs the experiment.
+pub fn run(params: &Fig1Params) -> Fig1Result {
+    let workload = power_law_workload(
+        params.nodes,
+        params.out_degree,
+        params.in_exponent,
+        params.seed,
+    );
+    let (prefix, suffix) = split_at_fraction(&workload.arrivals, 1.0 - params.observe_fraction);
+    let mut graph = DynamicGraph::from_edges(&prefix, params.nodes);
+
+    // PageRank of the base snapshot, used for the §4.2 statistic exactly as the paper
+    // evaluates π on the first snapshot.
+    let pagerank = power_iteration(&graph, &PowerIterationConfig::with_epsilon(params.epsilon));
+
+    // Figure 1 compares the arrival sources' out-degree distribution against the
+    // degree-weighted distribution of the snapshot, so both sides are measured on the
+    // base snapshot (the paper likewise measures degrees on a snapshot of the graph,
+    // not on every intermediate state).
+    let base_out_degrees = graph.out_degrees();
+    let existing = existing_degree_cdf(&base_out_degrees);
+
+    let mut arrival_degrees = Vec::with_capacity(suffix.len());
+    let mut ratio_sum = 0.0f64;
+    for edge in &suffix {
+        graph.add_edge_growing(*edge);
+        // The Lemma 3 statistic needs the out-degree at arrival time (new edge included).
+        let d_now = graph.out_degree(edge.source);
+        let m_t = graph.edge_count() as f64;
+        ratio_sum += m_t * pagerank.scores[edge.source.index()] / d_now as f64;
+        // The CDF comparison uses the snapshot degree of the source.
+        let d_base = base_out_degrees[edge.source.index()];
+        if d_base > 0 {
+            arrival_degrees.push(d_base);
+        }
+    }
+    let arrival = arrival_degree_cdf(&arrival_degrees);
+    let m_times_expected_ratio = if suffix.is_empty() {
+        0.0
+    } else {
+        ratio_sum / suffix.len() as f64
+    };
+
+    Fig1Result {
+        max_distance: max_cdf_distance(&existing, &arrival),
+        existing,
+        arrival,
+        m_times_expected_ratio,
+        observed_arrivals: suffix.len(),
+    }
+}
+
+/// Prints the two CDFs as `degree existing_fraction arrival_fraction` rows plus the
+/// summary statistics, mirroring the data behind Figure 1.
+pub fn print_report(result: &Fig1Result) {
+    println!("# Figure 1: arrival vs existing degree CDF");
+    println!("# degree existing_cdf arrival_cdf");
+    let degrees: Vec<usize> = {
+        let mut d: Vec<usize> = result
+            .existing
+            .iter()
+            .chain(result.arrival.iter())
+            .map(|p| p.degree)
+            .collect();
+        d.sort_unstable();
+        d.dedup();
+        d
+    };
+    for &degree in &degrees {
+        let e = ppr_analysis::cdf::evaluate_cdf(&result.existing, degree);
+        let a = ppr_analysis::cdf::evaluate_cdf(&result.arrival, degree);
+        println!("{degree} {e:.4} {a:.4}");
+    }
+    println!("# observed arrivals: {}", result.observed_arrivals);
+    println!("# max CDF distance: {:.4}", result.max_distance);
+    println!(
+        "# m * E[pi_u / outdeg_u] = {:.3}  (paper measured 0.81; model predicts ~1)",
+        result.m_times_expected_ratio
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_params() -> Fig1Params {
+        Fig1Params {
+            nodes: 2_000,
+            out_degree: 8,
+            in_exponent: 0.76,
+            observe_fraction: 0.1,
+            epsilon: 0.2,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn cdfs_track_each_other_under_random_permutation() {
+        let result = run(&small_params());
+        assert!(result.observed_arrivals > 500);
+        assert!(
+            result.max_distance < 0.12,
+            "under random-permutation arrivals the CDFs should nearly coincide, distance = {}",
+            result.max_distance
+        );
+    }
+
+    #[test]
+    fn m_times_ratio_is_near_one() {
+        let result = run(&small_params());
+        assert!(
+            (0.6..=1.4).contains(&result.m_times_expected_ratio),
+            "the §4.2 statistic should be close to 1, got {}",
+            result.m_times_expected_ratio
+        );
+    }
+
+    #[test]
+    fn experiment_is_deterministic() {
+        let a = run(&small_params());
+        let b = run(&small_params());
+        assert_eq!(a.max_distance, b.max_distance);
+        assert_eq!(a.m_times_expected_ratio, b.m_times_expected_ratio);
+    }
+}

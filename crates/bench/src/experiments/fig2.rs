@@ -1,0 +1,160 @@
+//! Experiment E3 — Figure 2: in-degree and global PageRank follow the same power law.
+//!
+//! The paper reports a rank-plot exponent of roughly 0.76 for both the in-degree and the
+//! global PageRank of the Twitter graph.  We reproduce the shape on the synthetic
+//! preferential-attachment workload: both series are power laws and their fitted
+//! exponents are close to each other.
+
+use crate::workloads::power_law_workload;
+use ppr_analysis::powerlaw::{fit_power_law, rank_series, PowerLawFit};
+use ppr_baselines::power_iteration::{power_iteration, PowerIterationConfig};
+
+/// Parameters for the Figure 2 experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig2Params {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Average out-degree of the generator.
+    pub out_degree: usize,
+    /// Target in-degree rank power-law exponent of the generator (the paper's Twitter
+    /// measurement is 0.76).
+    pub in_exponent: f64,
+    /// Reset probability for the PageRank computation.
+    pub epsilon: f64,
+    /// Rank window used for the power-law fits (as a fraction of n: `[start, end)`).
+    pub fit_window: (f64, f64),
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Fig2Params {
+    fn default() -> Self {
+        Fig2Params {
+            nodes: 50_000,
+            out_degree: 10,
+            in_exponent: 0.76,
+            epsilon: 0.2,
+            fit_window: (0.001, 0.2),
+            seed: 42,
+        }
+    }
+}
+
+/// Result of the Figure 2 experiment.
+#[derive(Debug, Clone)]
+pub struct Fig2Result {
+    /// `(rank, value)` series of the i-th largest in-degree.
+    pub indegree_series: Vec<(usize, f64)>,
+    /// `(rank, value)` series of the i-th largest PageRank.
+    pub pagerank_series: Vec<(usize, f64)>,
+    /// Power-law fit of the in-degree series.
+    pub indegree_fit: PowerLawFit,
+    /// Power-law fit of the PageRank series.
+    pub pagerank_fit: PowerLawFit,
+}
+
+/// Runs the experiment.
+pub fn run(params: &Fig2Params) -> Fig2Result {
+    let workload = power_law_workload(
+        params.nodes,
+        params.out_degree,
+        params.in_exponent,
+        params.seed,
+    );
+    let indegrees: Vec<f64> = workload.graph.in_degrees().iter().map(|&d| d as f64).collect();
+    let pagerank = power_iteration(
+        &workload.graph,
+        &PowerIterationConfig::with_epsilon(params.epsilon),
+    );
+
+    let lo = ((params.nodes as f64) * params.fit_window.0).max(1.0) as usize;
+    let hi = ((params.nodes as f64) * params.fit_window.1) as usize;
+    let window = lo..hi.max(lo + 2);
+
+    let indegree_fit =
+        fit_power_law(&indegrees, window.clone()).expect("in-degree fit must succeed");
+    let pagerank_fit =
+        fit_power_law(&pagerank.scores, window).expect("PageRank fit must succeed");
+
+    Fig2Result {
+        indegree_series: rank_series(&indegrees),
+        pagerank_series: rank_series(&pagerank.scores),
+        indegree_fit,
+        pagerank_fit,
+    }
+}
+
+/// Prints log-spaced rows of both rank series plus the fitted exponents (the data behind
+/// the two panels of Figure 2).
+pub fn print_report(result: &Fig2Result) {
+    println!("# Figure 2: in-degree and PageRank power laws (log-spaced ranks)");
+    println!("# rank indegree pagerank");
+    let max_rank = result
+        .indegree_series
+        .len()
+        .max(result.pagerank_series.len());
+    let mut rank = 1usize;
+    while rank <= max_rank {
+        let indeg = result
+            .indegree_series
+            .get(rank - 1)
+            .map(|&(_, v)| v)
+            .unwrap_or(0.0);
+        let pr = result
+            .pagerank_series
+            .get(rank - 1)
+            .map(|&(_, v)| v)
+            .unwrap_or(0.0);
+        println!("{rank} {indeg:.6} {pr:.8}");
+        rank = (rank as f64 * 1.5).ceil() as usize;
+    }
+    println!(
+        "# in-degree exponent = {:.3} (r^2 = {:.3});  PageRank exponent = {:.3} (r^2 = {:.3})",
+        result.indegree_fit.exponent,
+        result.indegree_fit.r_squared,
+        result.pagerank_fit.exponent,
+        result.pagerank_fit.r_squared
+    );
+    println!("# paper: both exponents ~= 0.76 on the Twitter graph");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_params() -> Fig2Params {
+        Fig2Params {
+            nodes: 5_000,
+            out_degree: 8,
+            in_exponent: 0.76,
+            epsilon: 0.2,
+            fit_window: (0.002, 0.2),
+            seed: 9,
+        }
+    }
+
+    #[test]
+    fn both_series_are_power_laws_with_similar_exponents() {
+        let result = run(&small_params());
+        assert!(result.indegree_fit.r_squared > 0.9, "in-degree should be a clean power law");
+        assert!(result.pagerank_fit.r_squared > 0.9, "PageRank should be a clean power law");
+        let diff = (result.indegree_fit.exponent - result.pagerank_fit.exponent).abs();
+        assert!(
+            diff < 0.25,
+            "the two exponents should roughly agree (paper: both ≈ 0.76), got {} vs {}",
+            result.indegree_fit.exponent,
+            result.pagerank_fit.exponent
+        );
+    }
+
+    #[test]
+    fn exponents_are_in_a_plausible_range() {
+        let result = run(&small_params());
+        assert!(
+            (0.3..1.3).contains(&result.indegree_fit.exponent),
+            "exponent {} out of range",
+            result.indegree_fit.exponent
+        );
+        assert!(result.indegree_series[0].1 >= result.indegree_series[10].1);
+    }
+}

@@ -1,0 +1,223 @@
+//! Experiment E7 — Figure 6: number of fetches vs. walk length, observed and bounded.
+//!
+//! For `R ∈ {5, 10, 20}` cached segments per node, the stitched personalized walk of
+//! Algorithm 1 is run for increasing lengths and the number of Social-Store fetches is
+//! recorded and averaged over the selected users.  Next to each observed curve the
+//! harness evaluates the Theorem 8 bound `1 + (2(1−α)/nR)^{1/α−1}·s^{1/α}` using each
+//! user's own fitted power-law exponent, exactly as the paper draws its thick lines.
+
+use crate::workloads::{personalization_seeds, power_law_workload};
+use ppr_analysis::powerlaw::fit_power_law;
+use ppr_core::bounds::expected_fetches;
+use ppr_core::{IncrementalPageRank, MonteCarloConfig, PersonalizedWalker};
+use ppr_graph::{GraphView, NodeId};
+
+/// Parameters for the Figure 6 experiment.
+#[derive(Debug, Clone)]
+pub struct Fig6Params {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Out-degree per node of the generator.
+    pub out_degree: usize,
+    /// Number of users to average over.
+    pub users: usize,
+    /// Friend-count window for user selection.
+    pub min_friends: usize,
+    /// Upper end of the friend-count window.
+    pub max_friends: usize,
+    /// Values of `R` (segments per node) to sweep (paper: 5, 10, 20).
+    pub r_values: Vec<usize>,
+    /// Walk lengths to measure (paper: 100 … 50 000).
+    pub walk_lengths: Vec<usize>,
+    /// Reset probability.
+    pub epsilon: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Fig6Params {
+    fn default() -> Self {
+        Fig6Params {
+            nodes: 20_000,
+            out_degree: 25,
+            users: 50,
+            min_friends: 20,
+            max_friends: 30,
+            r_values: vec![5, 10, 20],
+            walk_lengths: vec![100, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000],
+            epsilon: 0.2,
+            seed: 42,
+        }
+    }
+}
+
+/// One measured curve (fixed `R`).
+#[derive(Debug, Clone)]
+pub struct Fig6Curve {
+    /// Segments per node for this curve.
+    pub r: usize,
+    /// `(walk length, mean observed fetches, mean theoretical bound)` rows.
+    pub rows: Vec<(usize, f64, f64)>,
+}
+
+/// Result of the Figure 6 experiment.
+#[derive(Debug, Clone)]
+pub struct Fig6Result {
+    /// One curve per value of `R`.
+    pub curves: Vec<Fig6Curve>,
+    /// Number of users averaged over.
+    pub users_evaluated: usize,
+}
+
+/// Runs the experiment.
+pub fn run(params: &Fig6Params) -> Fig6Result {
+    let workload = power_law_workload(params.nodes, params.out_degree, 0.76, params.seed);
+    let seeds = personalization_seeds(
+        &workload.graph,
+        params.users,
+        params.min_friends,
+        params.max_friends,
+        params.seed ^ 0xf16,
+    );
+    assert!(!seeds.is_empty(), "no personalization seeds found for the chosen window");
+
+    // Per-user power-law exponent of the personalized score vector, estimated from a
+    // long stitched walk (the paper uses each user's own exponent for its bound curve).
+    let exponent_engine = IncrementalPageRank::from_graph(
+        &workload.graph,
+        MonteCarloConfig::new(params.epsilon, 10).with_seed(params.seed ^ 0xa1fa),
+    );
+    let alphas: Vec<f64> = seeds
+        .iter()
+        .enumerate()
+        .map(|(i, &user)| estimate_alpha(&exponent_engine, user, params, i as u64))
+        .collect();
+
+    let mut curves = Vec::with_capacity(params.r_values.len());
+    for &r in &params.r_values {
+        let engine = IncrementalPageRank::from_graph(
+            &workload.graph,
+            MonteCarloConfig::new(params.epsilon, r).with_seed(params.seed ^ (r as u64)),
+        );
+        let mut rows = Vec::with_capacity(params.walk_lengths.len());
+        for &length in &params.walk_lengths {
+            let mut observed_total = 0.0f64;
+            let mut bound_total = 0.0f64;
+            for (i, &user) in seeds.iter().enumerate() {
+                let mut walker = PersonalizedWalker::new(
+                    engine.social_store(),
+                    engine.walk_store(),
+                    params.epsilon,
+                    params.seed ^ (length as u64) ^ ((i as u64) << 20) ^ ((r as u64) << 40),
+                );
+                let result = walker.walk(user, length);
+                observed_total += result.fetches as f64;
+                bound_total += expected_fetches(length as f64, params.nodes, r, alphas[i]);
+            }
+            rows.push((
+                length,
+                observed_total / seeds.len() as f64,
+                bound_total / seeds.len() as f64,
+            ));
+        }
+        curves.push(Fig6Curve { r, rows });
+    }
+
+    Fig6Result {
+        curves,
+        users_evaluated: seeds.len(),
+    }
+}
+
+fn estimate_alpha(
+    engine: &IncrementalPageRank,
+    user: NodeId,
+    params: &Fig6Params,
+    salt: u64,
+) -> f64 {
+    let friends = engine.graph().out_degree(user).max(1);
+    let mut walker = PersonalizedWalker::new(
+        engine.social_store(),
+        engine.walk_store(),
+        params.epsilon,
+        params.seed ^ 0xa1fa ^ salt,
+    );
+    let result = walker.walk(user, 30_000);
+    let scores = result.frequencies();
+    let window = (2 * friends).max(2)..(20 * friends).max(2 * friends + 10);
+    fit_power_law(&scores, window)
+        .map(|fit| fit.exponent.clamp(0.4, 0.95))
+        .unwrap_or(0.76)
+}
+
+/// Prints one block per `R` with `length observed bound` rows (the data behind the three
+/// panels of Figure 6).
+pub fn print_report(result: &Fig6Result) {
+    println!("# Figure 6: fetches to the Social Store vs walk length");
+    for curve in &result.curves {
+        println!("# R = {}", curve.r);
+        println!("# walk_length observed_fetches theoretical_bound");
+        for &(length, observed, bound) in &curve.rows {
+            println!("{length} {observed:.1} {bound:.1}");
+        }
+        println!();
+    }
+    println!("# users averaged: {}", result.users_evaluated);
+    println!("# paper: the bound upper-bounds the observation and the curves are nearly insensitive to R");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_params() -> Fig6Params {
+        Fig6Params {
+            nodes: 3_000,
+            out_degree: 25,
+            users: 6,
+            min_friends: 20,
+            max_friends: 30,
+            r_values: vec![5, 20],
+            walk_lengths: vec![500, 2_000, 8_000],
+            epsilon: 0.2,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn fetches_grow_with_walk_length_and_stay_below_walk_length() {
+        let result = run(&small_params());
+        assert_eq!(result.curves.len(), 2);
+        for curve in &result.curves {
+            for pair in curve.rows.windows(2) {
+                assert!(
+                    pair[1].1 >= pair[0].1,
+                    "observed fetches must not decrease with walk length"
+                );
+            }
+            for &(length, observed, _) in &curve.rows {
+                assert!(
+                    observed < length as f64,
+                    "stitching must beat one fetch per step ({observed} fetches for {length} steps)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn more_cached_segments_do_not_increase_fetches_much() {
+        // The paper's observation: the number of fetches is not very sensitive to R;
+        // in particular the R = 20 curve is not substantially above the R = 5 curve.
+        let result = run(&small_params());
+        let r5 = &result.curves[0];
+        let r20 = &result.curves[1];
+        for (a, b) in r5.rows.iter().zip(&r20.rows) {
+            assert!(
+                b.1 <= a.1 * 1.3 + 10.0,
+                "R = 20 ({:.1}) should not need many more fetches than R = 5 ({:.1})",
+                b.1,
+                a.1
+            );
+        }
+    }
+}

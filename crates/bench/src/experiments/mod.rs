@@ -1,0 +1,11 @@
+//! One module per reproduced experiment.  See the crate-level table for the mapping to
+//! the paper's figures and tables.
+
+pub mod concentration;
+pub mod cost;
+pub mod fig1;
+pub mod fig2;
+pub mod fig5;
+pub mod fig6;
+pub mod personalized_powerlaw;
+pub mod table1;

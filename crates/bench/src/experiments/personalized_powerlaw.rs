@@ -1,0 +1,215 @@
+//! Experiments E4/E5 — Figures 3 and 4: personalized PageRank vectors follow power laws
+//! whose exponents cluster around the in-degree/PageRank exponent.
+//!
+//! For each selected user the personalized PageRank vector is computed exactly (power
+//! iteration personalized on the seed), sorted, and a power law is fitted over the rank
+//! window `[2f, 20f]` where `f` is the user's friend count — the same window the paper
+//! uses (Remark 4) to skip the direct-friend head of the vector.
+
+use crate::workloads::{personalization_seeds, power_law_workload};
+use ppr_analysis::powerlaw::{fit_power_law, rank_series, PowerLawFit};
+use ppr_analysis::stats::{mean, std_dev};
+use ppr_baselines::power_iteration::{personalized_power_iteration, PowerIterationConfig};
+use ppr_graph::{GraphView, NodeId};
+
+/// Parameters for the Figures 3/4 experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct PersonalizedPowerLawParams {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Average out-degree of the generator.
+    pub out_degree: usize,
+    /// Target in-degree rank power-law exponent of the generator.
+    pub in_exponent: f64,
+    /// Number of users to evaluate (the paper uses 100).
+    pub users: usize,
+    /// Friend-count window for user selection (the paper uses 20–30).
+    pub min_friends: usize,
+    /// Upper end of the friend-count window.
+    pub max_friends: usize,
+    /// Reset probability.
+    pub epsilon: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PersonalizedPowerLawParams {
+    fn default() -> Self {
+        PersonalizedPowerLawParams {
+            nodes: 20_000,
+            out_degree: 25,
+            in_exponent: 0.76,
+            users: 100,
+            min_friends: 20,
+            max_friends: 30,
+            epsilon: 0.2,
+            seed: 42,
+        }
+    }
+}
+
+/// Per-user outcome.
+#[derive(Debug, Clone)]
+pub struct UserPowerLaw {
+    /// The seed user.
+    pub user: NodeId,
+    /// The user's friend count `f`.
+    pub friends: usize,
+    /// Power-law fit over the rank window `[2f, 20f]`.
+    pub fit: PowerLawFit,
+    /// The `(rank, score)` series (kept only for the first few users, to draw Figure 3).
+    pub series: Option<Vec<(usize, f64)>>,
+}
+
+/// Result of the Figures 3/4 experiment.
+#[derive(Debug, Clone)]
+pub struct PersonalizedPowerLawResult {
+    /// One entry per evaluated user, sorted by fitted exponent (the Figure 4 x-axis).
+    pub users: Vec<UserPowerLaw>,
+    /// Mean of the fitted exponents (paper: ≈ 0.77).
+    pub mean_exponent: f64,
+    /// Standard deviation of the fitted exponents (paper: ≈ 0.08).
+    pub std_exponent: f64,
+}
+
+/// Runs the experiment.  The full `(rank, score)` series is retained for the first
+/// `keep_series` users so the Figure 3 panels can be printed.
+pub fn run(params: &PersonalizedPowerLawParams, keep_series: usize) -> PersonalizedPowerLawResult {
+    let workload = power_law_workload(
+        params.nodes,
+        params.out_degree,
+        params.in_exponent,
+        params.seed,
+    );
+    let seeds = personalization_seeds(
+        &workload.graph,
+        params.users,
+        params.min_friends,
+        params.max_friends,
+        params.seed ^ 0xfeed,
+    );
+    let config = PowerIterationConfig {
+        epsilon: params.epsilon,
+        max_iterations: 60,
+        tolerance: 1e-12,
+    };
+
+    let mut users = Vec::with_capacity(seeds.len());
+    for (i, &user) in seeds.iter().enumerate() {
+        let friends = workload.graph.out_degree(user);
+        let scores = personalized_power_iteration(&workload.graph, user, &config).scores;
+        let window = (2 * friends).max(2)..(20 * friends).max(2 * friends + 10);
+        let Some(fit) = fit_power_law(&scores, window) else {
+            continue;
+        };
+        let series = (i < keep_series).then(|| {
+            let mut s = rank_series(&scores);
+            s.truncate(5_000);
+            s
+        });
+        users.push(UserPowerLaw {
+            user,
+            friends,
+            fit,
+            series,
+        });
+    }
+
+    let exponents: Vec<f64> = users.iter().map(|u| u.fit.exponent).collect();
+    let mean_exponent = mean(&exponents);
+    let std_exponent = std_dev(&exponents);
+    users.sort_by(|a, b| a.fit.exponent.partial_cmp(&b.fit.exponent).unwrap());
+
+    PersonalizedPowerLawResult {
+        users,
+        mean_exponent,
+        std_exponent,
+    }
+}
+
+/// Prints the Figure 3 panels (rank series of the first users that kept their series).
+pub fn print_fig3_report(result: &PersonalizedPowerLawResult) {
+    println!("# Figure 3: personalized PageRank power laws (one panel per user)");
+    for user in result.users.iter().filter(|u| u.series.is_some()) {
+        let series = user.series.as_ref().expect("filtered on is_some");
+        println!(
+            "# user {} friends {} exponent {:.3}",
+            user.user, user.friends, user.fit.exponent
+        );
+        let mut rank = 1usize;
+        while rank <= series.len() {
+            println!("{} {:.8}", rank, series[rank - 1].1);
+            rank = (rank as f64 * 2.0).ceil() as usize;
+        }
+        println!();
+    }
+}
+
+/// Prints the Figure 4 series (sorted exponents) plus the mean/std summary.
+pub fn print_fig4_report(result: &PersonalizedPowerLawResult) {
+    println!("# Figure 4: sorted personalized power-law exponents");
+    println!("# user_index exponent");
+    for (i, user) in result.users.iter().enumerate() {
+        println!("{} {:.4}", i + 1, user.fit.exponent);
+    }
+    println!(
+        "# mean exponent = {:.3}, std = {:.3}  (paper: mean 0.77, std 0.08)",
+        result.mean_exponent, result.std_exponent
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_params() -> PersonalizedPowerLawParams {
+        PersonalizedPowerLawParams {
+            nodes: 6_000,
+            out_degree: 25,
+            in_exponent: 0.76,
+            users: 12,
+            min_friends: 20,
+            max_friends: 30,
+            epsilon: 0.2,
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn personalized_vectors_follow_power_laws() {
+        let result = run(&small_params(), 3);
+        assert!(result.users.len() >= 8, "selection should find enough users");
+        let mean_r2 = result.users.iter().map(|u| u.fit.r_squared).sum::<f64>()
+            / result.users.len() as f64;
+        assert!(
+            mean_r2 > 0.8,
+            "personalized vectors should be near power laws on average (mean r^2 = {mean_r2})"
+        );
+        for user in &result.users {
+            assert!(
+                user.fit.r_squared > 0.6,
+                "user {} personalized vector far from a power law (r^2 = {})",
+                user.user,
+                user.fit.r_squared
+            );
+            assert!(user.fit.exponent > 0.0);
+        }
+        // Exponents are reported sorted for the Figure 4 plot.
+        for pair in result.users.windows(2) {
+            assert!(pair[0].fit.exponent <= pair[1].fit.exponent);
+        }
+    }
+
+    #[test]
+    fn mean_exponent_is_in_a_plausible_band_and_series_are_kept() {
+        let result = run(&small_params(), 3);
+        assert!(
+            (0.2..1.6).contains(&result.mean_exponent),
+            "mean exponent {} looks wrong",
+            result.mean_exponent
+        );
+        assert!(result.std_exponent < 0.6);
+        let with_series = result.users.iter().filter(|u| u.series.is_some()).count();
+        assert_eq!(with_series, 3);
+    }
+}

@@ -1,0 +1,179 @@
+//! Monte Carlo PageRank estimates from stored walk segments (Section 2.1, Theorem 1).
+//!
+//! With `R` segments per node and reset probability ε, the expected total stored walk
+//! length is `nR/ε` and the estimator is
+//!
+//! ```text
+//! π̃_v = X_v / (nR/ε)
+//! ```
+//!
+//! where `X_v` is the number of visits to `v` across all stored segments.  Theorem 1
+//! shows `π̃_v` is sharply concentrated around `π_v`.  Because our walker (like the
+//! paper's) ends a session early when it strands on a dangling node, the *realised*
+//! total walk length can be below `nR/ε`; [`PageRankEstimates::normalized`] therefore
+//! also exposes the self-normalised estimate `X_v / Σ_u X_u`, which always sums to one
+//! and is what the accuracy experiments compare against power iteration.
+
+use ppr_graph::NodeId;
+use ppr_store::WalkStore;
+
+/// PageRank estimates derived from a [`WalkStore`].
+#[derive(Debug, Clone)]
+pub struct PageRankEstimates {
+    raw: Vec<f64>,
+    normalized: Vec<f64>,
+}
+
+impl PageRankEstimates {
+    /// Builds estimates from the visit counts of `store`, using the paper's
+    /// normalisation constant `nR/ε`.
+    pub fn from_store(store: &WalkStore, epsilon: f64) -> Self {
+        assert!(
+            epsilon > 0.0 && epsilon < 1.0,
+            "epsilon must be in (0, 1), got {epsilon}"
+        );
+        let n = store.node_count();
+        let denom = n as f64 * store.r() as f64 / epsilon;
+        let total = store.total_visits() as f64;
+        let counts = store.visit_counts();
+        let raw: Vec<f64> = counts.iter().map(|&x| x as f64 / denom).collect();
+        let normalized: Vec<f64> = if total > 0.0 {
+            counts.iter().map(|&x| x as f64 / total).collect()
+        } else {
+            vec![0.0; n]
+        };
+        PageRankEstimates { raw, normalized }
+    }
+
+    /// The paper's estimator `X_v / (nR/ε)` for every node.
+    pub fn raw(&self) -> &[f64] {
+        &self.raw
+    }
+
+    /// Self-normalised estimates `X_v / Σ_u X_u` (sum to 1 whenever any visit exists).
+    pub fn normalized(&self) -> &[f64] {
+        &self.normalized
+    }
+
+    /// The raw estimate of a single node.
+    pub fn score(&self, node: NodeId) -> f64 {
+        self.raw[node.index()]
+    }
+
+    /// Number of nodes covered by the estimates.
+    pub fn len(&self) -> usize {
+        self.raw.len()
+    }
+
+    /// `true` when the estimate vectors are empty.
+    pub fn is_empty(&self) -> bool {
+        self.raw.is_empty()
+    }
+
+    /// Mean absolute error between the normalised estimates and a reference score
+    /// vector (typically power iteration), `Σ_v |π̃_v − π_v| / n`.
+    pub fn mean_absolute_error(&self, reference: &[f64]) -> f64 {
+        assert_eq!(
+            reference.len(),
+            self.normalized.len(),
+            "reference vector has the wrong length"
+        );
+        if self.normalized.is_empty() {
+            return 0.0;
+        }
+        self.normalized
+            .iter()
+            .zip(reference)
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f64>()
+            / self.normalized.len() as f64
+    }
+
+    /// Total variation distance `½ Σ_v |π̃_v − π_v|` between the normalised estimates
+    /// and a reference distribution.
+    pub fn total_variation_distance(&self, reference: &[f64]) -> f64 {
+        assert_eq!(
+            reference.len(),
+            self.normalized.len(),
+            "reference vector has the wrong length"
+        );
+        0.5 * self
+            .normalized
+            .iter()
+            .zip(reference)
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppr_store::SegmentId;
+
+    fn store_with_paths(node_count: usize, r: usize, paths: &[(u32, usize, &[u32])]) -> WalkStore {
+        let mut store = WalkStore::new(node_count, r);
+        for &(node, slot, path) in paths {
+            store.set_segment(
+                SegmentId::new(NodeId(node), slot, r),
+                path.iter().map(|&x| NodeId(x)).collect(),
+            );
+        }
+        store
+    }
+
+    #[test]
+    fn raw_estimates_follow_the_paper_formula() {
+        // n = 2, R = 1, ε = 0.5  =>  denominator nR/ε = 4.
+        let store = store_with_paths(2, 1, &[(0, 0, &[0, 1]), (1, 0, &[1])]);
+        let est = PageRankEstimates::from_store(&store, 0.5);
+        assert_eq!(est.len(), 2);
+        assert!((est.score(NodeId(0)) - 0.25).abs() < 1e-12);
+        assert!((est.score(NodeId(1)) - 0.5).abs() < 1e-12);
+        assert_eq!(est.raw(), &[0.25, 0.5]);
+    }
+
+    #[test]
+    fn normalized_estimates_sum_to_one() {
+        let store = store_with_paths(3, 2, &[(0, 0, &[0, 1, 2]), (1, 1, &[1, 2]), (2, 0, &[2])]);
+        let est = PageRankEstimates::from_store(&store, 0.2);
+        let sum: f64 = est.normalized().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        // Node 2 is visited 3 times out of 6 total visits.
+        assert!((est.normalized()[2] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_store_gives_zero_estimates() {
+        let store = WalkStore::new(4, 2);
+        let est = PageRankEstimates::from_store(&store, 0.2);
+        assert!(est.raw().iter().all(|&x| x == 0.0));
+        assert!(est.normalized().iter().all(|&x| x == 0.0));
+        assert!(!est.is_empty());
+    }
+
+    #[test]
+    fn error_metrics_against_reference() {
+        let store = store_with_paths(2, 1, &[(0, 0, &[0]), (1, 0, &[1])]);
+        let est = PageRankEstimates::from_store(&store, 0.5);
+        // Normalised estimates are [0.5, 0.5]; compare to [0.75, 0.25].
+        let reference = vec![0.75, 0.25];
+        assert!((est.mean_absolute_error(&reference) - 0.25).abs() < 1e-12);
+        assert!((est.total_variation_distance(&reference) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong length")]
+    fn error_metrics_check_lengths() {
+        let store = WalkStore::new(2, 1);
+        let est = PageRankEstimates::from_store(&store, 0.2);
+        let _ = est.mean_absolute_error(&[0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be in (0, 1)")]
+    fn rejects_bad_epsilon() {
+        let store = WalkStore::new(2, 1);
+        let _ = PageRankEstimates::from_store(&store, 0.0);
+    }
+}

@@ -1,0 +1,686 @@
+//! Incremental maintenance of Monte Carlo PageRank under edge arrivals and deletions
+//! (Section 2.2: Proposition 2, Lemma 3, Theorem 4, Proposition 5).
+//!
+//! [`IncrementalPageRank`] owns the Social Store (the evolving graph) and the PageRank
+//! Store (the `R` walk segments per node).  When an edge `(u, v)` arrives:
+//!
+//! * only segments that visit `u` can be affected — the store's visit index finds them
+//!   without scanning anything else;
+//! * each visit of such a segment to `u` would have taken the new edge with probability
+//!   `1/outdeg(u)`, so the segment is rerouted at its first visit for which an
+//!   independent coin with that bias comes up heads;
+//! * a rerouted segment keeps its (still valid) prefix and regenerates the suffix —
+//!   or, under [`RerouteStrategy::FromSource`], is regenerated entirely — at an expected
+//!   cost of `O(1/ε)` walk steps.
+//!
+//! Deletions are symmetric: only segments that actually traverse the vanished edge are
+//! rerouted from the point of traversal.
+//!
+//! The engine keeps a [`WorkCounter`] so experiments can compare the measured update
+//! work against the `nR ln m / ε²` bound of Theorem 4 and the `nR/(m ε²)` deletion bound
+//! of Proposition 5.
+
+use crate::config::{MonteCarloConfig, RerouteStrategy};
+use crate::estimator::PageRankEstimates;
+use crate::personalized::PersonalizedWalker;
+use crate::walker;
+use ppr_graph::{DynamicGraph, Edge, GraphView, NodeId};
+use ppr_store::{SegmentId, SocialStore, WalkStore, WorkCounter};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Work performed while processing a single edge arrival or deletion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct UpdateStats {
+    /// Number of walk segments rerouted or rebuilt.
+    pub segments_updated: u64,
+    /// Number of random-walk steps executed to repair them.
+    pub walk_steps: u64,
+    /// Whether any segment was touched at all (if `false`, the arrival was absorbed by
+    /// the `1 − (1 − 1/d)^{W}` filter of Section 2.2 without touching the PageRank
+    /// Store).
+    pub touched_walk_store: bool,
+}
+
+impl UpdateStats {
+    pub(crate) fn record_segment(&mut self, steps: u64) {
+        self.segments_updated += 1;
+        self.walk_steps += steps;
+        self.touched_walk_store = true;
+    }
+}
+
+/// Monte Carlo PageRank with incrementally maintained walk segments.
+#[derive(Debug)]
+pub struct IncrementalPageRank {
+    store: SocialStore,
+    walks: WalkStore,
+    config: MonteCarloConfig,
+    rng: SmallRng,
+    work: WorkCounter,
+    initialization_steps: u64,
+}
+
+impl IncrementalPageRank {
+    /// Builds the engine over an existing graph, generating `R` walk segments per node.
+    pub fn from_graph(graph: &DynamicGraph, config: MonteCarloConfig) -> Self {
+        Self::from_social_store(SocialStore::from_graph(graph.clone(), 1), config)
+    }
+
+    /// Builds the engine over an existing Social Store, generating `R` walk segments per
+    /// node.
+    pub fn from_social_store(store: SocialStore, config: MonteCarloConfig) -> Self {
+        let node_count = store.node_count();
+        let walks = WalkStore::new(node_count, config.r);
+        let rng = SmallRng::seed_from_u64(config.seed);
+        let mut engine = IncrementalPageRank {
+            store,
+            walks,
+            config,
+            rng,
+            work: WorkCounter::new(),
+            initialization_steps: 0,
+        };
+        for node in 0..node_count {
+            engine.generate_segments_for(NodeId::from_index(node));
+        }
+        engine
+    }
+
+    /// Builds the engine over an empty graph with `node_count` isolated nodes.
+    pub fn new_empty(node_count: usize, config: MonteCarloConfig) -> Self {
+        Self::from_graph(&DynamicGraph::with_nodes(node_count), config)
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &MonteCarloConfig {
+        &self.config
+    }
+
+    /// The Social Store (graph plus fetch accounting).
+    pub fn social_store(&self) -> &SocialStore {
+        &self.store
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &DynamicGraph {
+        self.store.graph()
+    }
+
+    /// The PageRank Store holding the walk segments.
+    pub fn walk_store(&self) -> &WalkStore {
+        &self.walks
+    }
+
+    /// Number of nodes currently known to the engine.
+    pub fn node_count(&self) -> usize {
+        self.store.node_count()
+    }
+
+    /// Cumulative update work performed since construction (excluding initialization).
+    pub fn work(&self) -> &WorkCounter {
+        &self.work
+    }
+
+    /// Walk steps spent generating the initial segments (the `nR/ε` initialization cost
+    /// the paper compares the update cost against).
+    pub fn initialization_steps(&self) -> u64 {
+        self.initialization_steps
+    }
+
+    /// Resets the cumulative work counter (initialization cost is kept).
+    pub fn reset_work(&mut self) {
+        self.work = WorkCounter::new();
+    }
+
+    /// Adds an isolated node and generates its walk segments; returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId::from_index(self.node_count());
+        self.ensure_nodes(id.index() + 1);
+        id
+    }
+
+    /// Current PageRank estimates.
+    pub fn estimates(&self) -> PageRankEstimates {
+        PageRankEstimates::from_store(&self.walks, self.config.epsilon)
+    }
+
+    /// Self-normalised PageRank scores for every node (sum to 1).
+    pub fn scores(&self) -> Vec<f64> {
+        self.estimates().normalized().to_vec()
+    }
+
+    /// The paper's raw estimator `X_v / (nR/ε)` for a single node.
+    pub fn score(&self, node: NodeId) -> f64 {
+        self.estimates().score(node)
+    }
+
+    /// Runs the personalized walk of Algorithm 1 from `seed` for `walk_length` visits
+    /// and returns the top-`k` nodes by visit count, excluding `seed` itself and its
+    /// direct friends (as the paper's recommender does).
+    pub fn personalized_top_k(
+        &self,
+        seed: NodeId,
+        k: usize,
+        walk_length: usize,
+    ) -> Vec<(NodeId, f64)> {
+        let mut walker = PersonalizedWalker::new(
+            &self.store,
+            &self.walks,
+            self.config.epsilon,
+            self.config.seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(seed.0 as u64 + 1)),
+        );
+        walker.top_k(seed, k, walk_length, true)
+    }
+
+    /// Processes the arrival of `edge`, repairing every affected walk segment.
+    pub fn add_edge(&mut self, edge: Edge) -> UpdateStats {
+        let needed = edge.source.index().max(edge.target.index()) + 1;
+        self.ensure_nodes(needed);
+        self.store.add_edge(edge);
+
+        let u = edge.source;
+        let v = edge.target;
+        let d = self.store.out_degree(u);
+        let mut stats = UpdateStats::default();
+
+        let visiting: Vec<SegmentId> = self.walks.segments_visiting(u).map(|(id, _)| id).collect();
+        for id in visiting {
+            self.maybe_reroute_for_arrival(id, u, v, d, &mut stats);
+        }
+
+        self.work.edges_processed += 1;
+        self.work.segments_updated += stats.segments_updated;
+        self.work.walk_steps += stats.walk_steps;
+        if !stats.touched_walk_store {
+            self.work.arrivals_filtered += 1;
+        }
+        stats
+    }
+
+    /// Processes the deletion of `edge`, repairing every segment that traversed it.
+    /// Returns `None` if the edge was not present.
+    pub fn remove_edge(&mut self, edge: Edge) -> Option<UpdateStats> {
+        if !self.store.remove_edge(edge) {
+            return None;
+        }
+        let u = edge.source;
+        let v = edge.target;
+        let mut stats = UpdateStats::default();
+
+        // If a parallel copy of the edge survives, every traversal of u -> v is still a
+        // legal step of the walk and the uniform-neighbour distribution at u is already
+        // reflected by the reroute performed when that copy arrived, so nothing to do.
+        if !self.store.graph().has_edge(edge) {
+            let visiting: Vec<SegmentId> =
+                self.walks.segments_visiting(u).map(|(id, _)| id).collect();
+            for id in visiting {
+                self.maybe_reroute_for_deletion(id, u, v, &mut stats);
+            }
+        }
+
+        self.work.edges_processed += 1;
+        self.work.segments_updated += stats.segments_updated;
+        self.work.walk_steps += stats.walk_steps;
+        if !stats.touched_walk_store {
+            self.work.arrivals_filtered += 1;
+        }
+        Some(stats)
+    }
+
+    /// Verifies that every stored segment is a valid walk in the *current* graph: it
+    /// starts at its source node and every consecutive pair of visits is an existing
+    /// edge.  This is the invariant incremental maintenance must preserve.
+    pub fn validate_segments(&self) -> Result<(), String> {
+        let graph = self.store.graph();
+        for node in graph.nodes() {
+            for id in self.walks.segment_ids_of(node) {
+                let segment = self.walks.segment(id);
+                if segment.is_empty() {
+                    return Err(format!("segment {id:?} of node {node} was never generated"));
+                }
+                if segment.source() != Some(node) {
+                    return Err(format!(
+                        "segment {id:?} starts at {:?}, expected {node}",
+                        segment.source()
+                    ));
+                }
+                for pair in segment.path().windows(2) {
+                    let edge = Edge {
+                        source: pair[0],
+                        target: pair[1],
+                    };
+                    if !graph.has_edge(edge) {
+                        return Err(format!(
+                            "segment {id:?} traverses missing edge {edge}"
+                        ));
+                    }
+                }
+            }
+        }
+        self.walks.check_consistency()
+    }
+
+    // ----- internal helpers -------------------------------------------------------
+
+    fn ensure_nodes(&mut self, n: usize) {
+        let before = self.store.node_count();
+        if n <= before {
+            return;
+        }
+        self.store.ensure_nodes(n);
+        self.walks.ensure_nodes(n);
+        for node in before..n {
+            self.generate_segments_for(NodeId::from_index(node));
+        }
+    }
+
+    fn generate_segments_for(&mut self, node: NodeId) {
+        for slot in 0..self.config.r {
+            let id = SegmentId::new(node, slot, self.config.r);
+            let walk = walker::pagerank_segment(
+                self.store.graph(),
+                node,
+                self.config.epsilon,
+                self.config.max_segment_length,
+                &mut self.rng,
+            );
+            self.initialization_steps += walk.steps;
+            self.walks.set_segment(id, walk.path);
+        }
+    }
+
+    fn maybe_reroute_for_arrival(
+        &mut self,
+        id: SegmentId,
+        u: NodeId,
+        v: NodeId,
+        out_degree: usize,
+        stats: &mut UpdateStats,
+    ) {
+        debug_assert!(out_degree >= 1);
+        let path = self.walks.segment(id).path();
+        let positions = self.walks.segment(id).positions_of(u);
+        let last_index = path.len() - 1;
+
+        // Decide where (if anywhere) the segment must be rerouted.
+        let mut reroute_at: Option<usize> = None;
+        for &pos in &positions {
+            if pos < last_index {
+                // At an interior visit the surfer took one of the then-existing edges;
+                // with the new edge present it would have chosen it with probability
+                // 1/outdeg(u).
+                if self.rng.gen_bool(1.0 / out_degree as f64) {
+                    reroute_at = Some(pos);
+                    break;
+                }
+            } else if out_degree == 1 {
+                // The segment ended at u because u was dangling; now that u has an
+                // outgoing edge the surfer would have continued with probability 1 − ε.
+                if self.rng.gen_bool(1.0 - self.config.epsilon) {
+                    reroute_at = Some(pos);
+                    break;
+                }
+            }
+            // A final visit to a non-dangling u ended with an ε-reset, which the new
+            // edge does not affect.
+        }
+
+        let Some(pos) = reroute_at else {
+            return;
+        };
+
+        match self.config.reroute {
+            RerouteStrategy::FromUpdatePoint => {
+                let mut new_path: Vec<NodeId> = self.walks.segment(id).path()[..=pos].to_vec();
+                let mut steps = 0u64;
+                if new_path.len() < self.config.max_segment_length {
+                    new_path.push(v);
+                    steps += 1;
+                    steps += walker::extend_pagerank_walk(
+                        self.store.graph(),
+                        &mut new_path,
+                        self.config.epsilon,
+                        self.config.max_segment_length,
+                        &mut self.rng,
+                    );
+                }
+                self.walks.set_segment(id, new_path);
+                stats.record_segment(steps);
+            }
+            RerouteStrategy::FromSource => {
+                let source = self.walks.source_of(id);
+                let walk = walker::pagerank_segment(
+                    self.store.graph(),
+                    source,
+                    self.config.epsilon,
+                    self.config.max_segment_length,
+                    &mut self.rng,
+                );
+                let steps = walk.steps;
+                self.walks.set_segment(id, walk.path);
+                stats.record_segment(steps);
+            }
+        }
+    }
+
+    fn maybe_reroute_for_deletion(
+        &mut self,
+        id: SegmentId,
+        u: NodeId,
+        v: NodeId,
+        stats: &mut UpdateStats,
+    ) {
+        let segment = self.walks.segment(id);
+        let Some(pos) = segment
+            .path()
+            .windows(2)
+            .position(|pair| pair[0] == u && pair[1] == v)
+        else {
+            return;
+        };
+
+        match self.config.reroute {
+            RerouteStrategy::FromUpdatePoint => {
+                let mut new_path: Vec<NodeId> = segment.path()[..=pos].to_vec();
+                let steps = walker::extend_pagerank_walk(
+                    self.store.graph(),
+                    &mut new_path,
+                    self.config.epsilon,
+                    self.config.max_segment_length,
+                    &mut self.rng,
+                );
+                self.walks.set_segment(id, new_path);
+                stats.record_segment(steps);
+            }
+            RerouteStrategy::FromSource => {
+                let source = self.walks.source_of(id);
+                let walk = walker::pagerank_segment(
+                    self.store.graph(),
+                    source,
+                    self.config.epsilon,
+                    self.config.max_segment_length,
+                    &mut self.rng,
+                );
+                let steps = walk.steps;
+                self.walks.set_segment(id, walk.path);
+                stats.record_segment(steps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppr_baselines::power_iteration::{power_iteration, PowerIterationConfig};
+    use ppr_graph::generators::{directed_cycle, example1_gadget, preferential_attachment_edges, PreferentialAttachmentConfig};
+
+    fn config(r: usize, seed: u64) -> MonteCarloConfig {
+        MonteCarloConfig::new(0.2, r).with_seed(seed)
+    }
+
+    #[test]
+    fn initialization_creates_r_segments_per_node() {
+        let g = directed_cycle(10);
+        let engine = IncrementalPageRank::from_graph(&g, config(3, 1));
+        assert_eq!(engine.node_count(), 10);
+        for node in g.nodes() {
+            for id in engine.walk_store().segment_ids_of(node) {
+                let segment = engine.walk_store().segment(id);
+                assert_eq!(segment.source(), Some(node));
+            }
+        }
+        assert!(engine.validate_segments().is_ok());
+        assert!(engine.initialization_steps() > 0);
+        assert_eq!(engine.work().edges_processed, 0);
+    }
+
+    #[test]
+    fn add_edge_keeps_segments_valid() {
+        let mut engine = IncrementalPageRank::new_empty(5, config(4, 2));
+        let edges = [
+            Edge::new(0, 1),
+            Edge::new(1, 2),
+            Edge::new(2, 3),
+            Edge::new(3, 4),
+            Edge::new(4, 0),
+            Edge::new(0, 2),
+            Edge::new(2, 0),
+        ];
+        for &edge in &edges {
+            engine.add_edge(edge);
+            engine.validate_segments().unwrap();
+        }
+        assert_eq!(engine.graph().edge_count(), edges.len());
+        assert_eq!(engine.work().edges_processed, edges.len() as u64);
+    }
+
+    #[test]
+    fn add_edge_grows_the_node_set_and_generates_segments() {
+        let mut engine = IncrementalPageRank::new_empty(1, config(2, 3));
+        engine.add_edge(Edge::new(0, 7));
+        assert_eq!(engine.node_count(), 8);
+        for node in 0..8 {
+            for id in engine.walk_store().segment_ids_of(NodeId(node)) {
+                assert!(!engine.walk_store().segment(id).is_empty());
+            }
+        }
+        engine.validate_segments().unwrap();
+    }
+
+    #[test]
+    fn first_outgoing_edge_extends_previously_dangling_walks() {
+        // Node 0 starts with no outgoing edges: all its segments are just [0].  After
+        // the first edge 0 -> 1 arrives, a (1 − ε) fraction of them should continue.
+        let mut engine = IncrementalPageRank::new_empty(2, config(200, 5));
+        let before: usize = engine
+            .walk_store()
+            .segment_ids_of(NodeId(0))
+            .map(|id| engine.walk_store().segment(id).len())
+            .sum();
+        assert_eq!(before, 200, "dangling node segments are single visits");
+        let stats = engine.add_edge(Edge::new(0, 1));
+        assert!(stats.segments_updated > 100, "most segments should extend");
+        let extended = engine
+            .walk_store()
+            .segment_ids_of(NodeId(0))
+            .filter(|&id| engine.walk_store().segment(id).len() > 1)
+            .count();
+        assert!(
+            (120..=200).contains(&extended),
+            "≈ (1-ε) of 200 segments should now leave node 0, got {extended}"
+        );
+        engine.validate_segments().unwrap();
+    }
+
+    #[test]
+    fn arrival_update_probability_scales_with_out_degree() {
+        // When u already has many outgoing edges, a new edge rarely disturbs walks.
+        let mut dense = IncrementalPageRank::from_graph(
+            &ppr_graph::generators::complete_graph(50),
+            config(5, 7),
+        );
+        let stats_dense = dense.add_edge(Edge::new(0, 1)); // parallel edge, outdeg 50
+        let mut sparse = IncrementalPageRank::from_graph(&directed_cycle(50), config(5, 7));
+        let stats_sparse = sparse.add_edge(Edge::new(0, 25)); // outdeg becomes 2
+        assert!(
+            stats_sparse.segments_updated >= stats_dense.segments_updated,
+            "sparse arrival should disturb at least as many segments ({} vs {})",
+            stats_sparse.segments_updated,
+            stats_dense.segments_updated
+        );
+        dense.validate_segments().unwrap();
+        sparse.validate_segments().unwrap();
+    }
+
+    #[test]
+    fn remove_edge_repairs_traversing_segments() {
+        let g = directed_cycle(6);
+        let mut engine = IncrementalPageRank::from_graph(&g, config(10, 11));
+        // Add a chord so node 0 still has an out-edge after the deletion.
+        engine.add_edge(Edge::new(0, 3));
+        let stats = engine.remove_edge(Edge::new(0, 1)).expect("edge exists");
+        assert!(stats.touched_walk_store || stats.segments_updated == 0);
+        engine.validate_segments().unwrap();
+        assert!(!engine.graph().has_edge(Edge::new(0, 1)));
+    }
+
+    #[test]
+    fn remove_edge_that_leaves_node_dangling_truncates_walks() {
+        let g = directed_cycle(4);
+        let mut engine = IncrementalPageRank::from_graph(&g, config(8, 13));
+        engine.remove_edge(Edge::new(2, 3)).expect("edge exists");
+        engine.validate_segments().unwrap();
+        // No stored segment may traverse 2 -> 3 any more.
+        for node in engine.graph().nodes() {
+            for id in engine.walk_store().segment_ids_of(node) {
+                assert!(!engine.walk_store().segment(id).uses_edge(NodeId(2), NodeId(3)));
+            }
+        }
+    }
+
+    #[test]
+    fn removing_a_missing_edge_is_a_no_op() {
+        let mut engine = IncrementalPageRank::from_graph(&directed_cycle(4), config(2, 1));
+        assert!(engine.remove_edge(Edge::new(0, 2)).is_none());
+        assert_eq!(engine.work().edges_processed, 0);
+    }
+
+    #[test]
+    fn estimates_track_power_iteration_after_incremental_build() {
+        // Build a 300-node preferential-attachment graph edge by edge and compare the
+        // Monte Carlo estimates with power iteration on the final graph.
+        let pa = PreferentialAttachmentConfig::new(300, 4, 17);
+        let edges = preferential_attachment_edges(&pa);
+        let mut engine = IncrementalPageRank::new_empty(300, config(20, 23));
+        for &edge in &edges {
+            engine.add_edge(edge);
+        }
+        engine.validate_segments().unwrap();
+
+        let exact = power_iteration(engine.graph(), &PowerIterationConfig::with_epsilon(0.2));
+        let estimates = engine.estimates();
+        let tvd = estimates.total_variation_distance(&exact.scores);
+        assert!(
+            tvd < 0.12,
+            "incrementally maintained estimates should track power iteration, TVD = {tvd:.4}"
+        );
+
+        // The incremental estimates should be about as good as estimates built from
+        // scratch on the final graph with the same parameters.
+        let fresh = IncrementalPageRank::from_graph(engine.graph(), config(20, 29));
+        let fresh_tvd = fresh.estimates().total_variation_distance(&exact.scores);
+        assert!(
+            tvd < fresh_tvd * 2.0 + 0.02,
+            "incremental TVD {tvd:.4} should be comparable to fresh TVD {fresh_tvd:.4}"
+        );
+    }
+
+    #[test]
+    fn update_work_is_much_cheaper_than_reinitialization() {
+        // Theorem 4: the marginal update cost for late edges is tiny compared with
+        // rebuilding all walks (nR/ε steps).
+        let pa = PreferentialAttachmentConfig::new(400, 5, 31);
+        let edges = preferential_attachment_edges(&pa);
+        let (prefix, suffix) = ppr_graph::stream::split_at_fraction(&edges, 0.9);
+        let base = DynamicGraph::from_edges(&prefix, 400);
+        let mut engine = IncrementalPageRank::from_graph(&base, config(5, 37));
+        engine.reset_work();
+        for &edge in &suffix {
+            engine.add_edge(edge);
+        }
+        let per_edge_steps = engine.work().steps_per_edge();
+        let reinit_cost = engine.config().expected_initialization_cost(400);
+        assert!(
+            per_edge_steps < reinit_cost / 50.0,
+            "per-edge update cost {per_edge_steps:.1} should be far below re-initialization {reinit_cost:.0}"
+        );
+    }
+
+    #[test]
+    fn adversarial_example1_forces_many_updates() {
+        // Example 1 of the paper: with the adversarial arrival order (every edge into
+        // the hub first, the hub's own edges last), delivering u -> v1 while the hub is
+        // still dangling forces Ω(n) segment updates, because a constant fraction of
+        // all walks terminate on the hub and must now be extended.
+        let ex = example1_gadget(50);
+        let n = ex.graph.node_count();
+        let prefix = ex.adversarial_prefix_graph();
+        let mut engine = IncrementalPageRank::from_graph(&prefix, config(5, 41));
+        engine.reset_work();
+        let stats = engine.add_edge(ex.adversarial_edge);
+        assert!(
+            stats.segments_updated as usize > n / 2,
+            "the adversarial edge should disturb Ω(n) segments, got {} (n = {n})",
+            stats.segments_updated
+        );
+        engine.validate_segments().unwrap();
+
+        // For contrast, the same edge arriving after the hub's other out-edges (the
+        // random-permutation-friendly order) disturbs only O(R/ε) segments.
+        let mut late_engine = IncrementalPageRank::from_graph(&ex.graph, config(5, 43));
+        late_engine.reset_work();
+        let late_stats = late_engine.add_edge(ex.adversarial_edge);
+        assert!(
+            late_stats.segments_updated * 4 < stats.segments_updated,
+            "late arrival ({}) should be far cheaper than the adversarial one ({})",
+            late_stats.segments_updated,
+            stats.segments_updated
+        );
+    }
+
+    #[test]
+    fn from_source_strategy_also_preserves_validity_and_accuracy() {
+        let pa = PreferentialAttachmentConfig::new(200, 4, 43);
+        let edges = preferential_attachment_edges(&pa);
+        let mut engine = IncrementalPageRank::new_empty(
+            200,
+            MonteCarloConfig::new(0.2, 10)
+                .with_seed(47)
+                .with_reroute(RerouteStrategy::FromSource),
+        );
+        for &edge in &edges {
+            engine.add_edge(edge);
+        }
+        engine.validate_segments().unwrap();
+        let exact = power_iteration(engine.graph(), &PowerIterationConfig::with_epsilon(0.2));
+        let tvd = engine.estimates().total_variation_distance(&exact.scores);
+        assert!(tvd < 0.15, "FromSource rerouting should stay accurate, TVD = {tvd:.4}");
+    }
+
+    #[test]
+    fn scores_sum_to_one_and_add_node_works() {
+        let mut engine = IncrementalPageRank::from_graph(&directed_cycle(5), config(3, 53));
+        let scores = engine.scores();
+        assert_eq!(scores.len(), 5);
+        assert!((scores.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        let new = engine.add_node();
+        assert_eq!(new, NodeId(5));
+        assert_eq!(engine.node_count(), 6);
+        assert_eq!(engine.scores().len(), 6);
+        engine.validate_segments().unwrap();
+    }
+
+    #[test]
+    fn personalized_top_k_returns_reachable_non_friends() {
+        let mut engine = IncrementalPageRank::from_graph(&directed_cycle(8), config(5, 59));
+        // Add chords so node 0 has friends {1, 4}.
+        engine.add_edge(Edge::new(0, 4));
+        let top = engine.personalized_top_k(NodeId(0), 3, 2_000);
+        assert!(top.len() <= 3);
+        assert!(!top.is_empty());
+        for &(node, score) in &top {
+            assert!(score > 0.0);
+            assert_ne!(node, NodeId(0), "the seed must be excluded");
+            assert_ne!(node, NodeId(1), "direct friends must be excluded");
+            assert_ne!(node, NodeId(4), "direct friends must be excluded");
+        }
+        // The friends-of-friends (nodes 2 and 5, reached through friends 1 and 4) are
+        // the strongest recommendations; they are symmetric so either may rank first.
+        let top_nodes: Vec<NodeId> = top.iter().map(|&(n, _)| n).collect();
+        assert!(top_nodes.contains(&NodeId(2)));
+        assert!(top_nodes.contains(&NodeId(5)));
+        assert!(top[0].0 == NodeId(2) || top[0].0 == NodeId(5));
+    }
+}

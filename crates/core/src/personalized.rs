@@ -1,0 +1,387 @@
+//! Personalized PageRank by stitching cached walk segments (Algorithm 1, Section 3).
+//!
+//! To answer a personalized query for seed `w`, the walker simulates a long random walk
+//! with resets to `w`, but instead of paying one social-store access per step it
+//! opportunistically consumes the `R` cached walk segments of every node it reaches:
+//!
+//! * with probability ε the walk resets to `w`;
+//! * otherwise, if the current node still has an unused cached segment, the whole
+//!   segment is appended to the walk and the walk resets (the segment already ends at a
+//!   reset);
+//! * otherwise, if the current node has already been fetched, one random out-edge is
+//!   taken in memory;
+//! * otherwise a *fetch* is issued, bringing the node's adjacency (and its cached
+//!   segments) into memory.
+//!
+//! The number of fetches is the cost the paper bounds in Theorem 8 / Corollary 9 and
+//! measures in Figure 6.
+
+use ppr_graph::{GraphView, NodeId};
+use ppr_store::{SocialStore, WalkStore};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, HashSet};
+
+/// Outcome of one stitched personalized walk.
+#[derive(Debug, Clone)]
+pub struct PersonalizedWalkResult {
+    /// Visit counts per node (the empirical personalized distribution).
+    pub visits: Vec<u64>,
+    /// Total number of visits recorded (≥ the requested length; the final appended
+    /// segment may overshoot).
+    pub total_visits: u64,
+    /// Number of fetch operations issued against the Social Store.
+    pub fetches: u64,
+    /// Number of cached walk segments consumed.
+    pub segments_used: u64,
+    /// Number of single random steps taken from already-fetched adjacency.
+    pub random_steps: u64,
+    /// Number of ε-resets (and dangling-node resets) back to the seed.
+    pub resets: u64,
+}
+
+impl PersonalizedWalkResult {
+    /// Normalised visit frequency of `node`.
+    pub fn frequency(&self, node: NodeId) -> f64 {
+        if self.total_visits == 0 {
+            0.0
+        } else {
+            self.visits[node.index()] as f64 / self.total_visits as f64
+        }
+    }
+
+    /// The full normalised personalized score vector.
+    pub fn frequencies(&self) -> Vec<f64> {
+        if self.total_visits == 0 {
+            return vec![0.0; self.visits.len()];
+        }
+        self.visits
+            .iter()
+            .map(|&v| v as f64 / self.total_visits as f64)
+            .collect()
+    }
+
+    /// The top-`k` nodes by visit count, skipping every node in `exclude`, as
+    /// `(node, normalised frequency)` pairs in decreasing order.
+    pub fn top_k(&self, k: usize, exclude: &HashSet<NodeId>) -> Vec<(NodeId, f64)> {
+        let mut candidates: Vec<(NodeId, u64)> = self
+            .visits
+            .iter()
+            .enumerate()
+            .filter(|&(i, &count)| count > 0 && !exclude.contains(&NodeId::from_index(i)))
+            .map(|(i, &count)| (NodeId::from_index(i), count))
+            .collect();
+        candidates.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        candidates.truncate(k);
+        candidates
+            .into_iter()
+            .map(|(node, count)| (node, count as f64 / self.total_visits.max(1) as f64))
+            .collect()
+    }
+}
+
+/// Per-node state the walker keeps in main memory after fetching the node.
+#[derive(Debug)]
+struct FetchedNode {
+    out_neighbors: Vec<NodeId>,
+    next_unused_segment: usize,
+}
+
+/// The stitched personalized walker of Algorithm 1.
+#[derive(Debug)]
+pub struct PersonalizedWalker<'a> {
+    store: &'a SocialStore,
+    walks: &'a WalkStore,
+    epsilon: f64,
+    rng: SmallRng,
+}
+
+impl<'a> PersonalizedWalker<'a> {
+    /// Creates a walker over the given stores with reset probability `epsilon`.
+    pub fn new(store: &'a SocialStore, walks: &'a WalkStore, epsilon: f64, seed: u64) -> Self {
+        assert!(
+            epsilon > 0.0 && epsilon < 1.0,
+            "epsilon must be in (0, 1), got {epsilon}"
+        );
+        assert_eq!(
+            store.node_count(),
+            walks.node_count(),
+            "Social Store and PageRank Store must cover the same node set"
+        );
+        PersonalizedWalker {
+            store,
+            walks,
+            epsilon,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Runs Algorithm 1 from `seed` until at least `length` visits are recorded.
+    pub fn walk(&mut self, seed: NodeId, length: usize) -> PersonalizedWalkResult {
+        assert!(
+            seed.index() < self.store.node_count(),
+            "seed node {seed} outside the store"
+        );
+        assert!(length >= 1, "the walk must record at least one visit");
+
+        let n = self.store.node_count();
+        let r = self.walks.r();
+        let mut result = PersonalizedWalkResult {
+            visits: vec![0; n],
+            total_visits: 0,
+            fetches: 0,
+            segments_used: 0,
+            random_steps: 0,
+            resets: 0,
+        };
+        let mut memory: HashMap<NodeId, FetchedNode> = HashMap::new();
+        let visit = |node: NodeId, result: &mut PersonalizedWalkResult| {
+            result.visits[node.index()] += 1;
+            result.total_visits += 1;
+        };
+
+        let mut current = seed;
+        visit(seed, &mut result);
+
+        while (result.total_visits as usize) < length {
+            if self.rng.gen_bool(self.epsilon) {
+                result.resets += 1;
+                current = seed;
+                visit(seed, &mut result);
+                continue;
+            }
+
+            match memory.get_mut(&current) {
+                Some(state) if state.next_unused_segment < r => {
+                    // Consume one cached segment: append its continuation, then reset.
+                    let slot = state.next_unused_segment;
+                    state.next_unused_segment += 1;
+                    let id = ppr_store::SegmentId::new(current, slot, r);
+                    let segment = self.walks.segment(id);
+                    result.segments_used += 1;
+                    for &node in segment.path().iter().skip(1) {
+                        visit(node, &mut result);
+                    }
+                    result.resets += 1;
+                    current = seed;
+                    visit(seed, &mut result);
+                }
+                Some(state) => {
+                    // All cached segments consumed: take a single in-memory random step.
+                    if state.out_neighbors.is_empty() {
+                        // Dangling node: the surfer's session ends, i.e. reset.
+                        result.resets += 1;
+                        current = seed;
+                        visit(seed, &mut result);
+                    } else {
+                        let next =
+                            state.out_neighbors[self.rng.gen_range(0..state.out_neighbors.len())];
+                        result.random_steps += 1;
+                        current = next;
+                        visit(next, &mut result);
+                    }
+                }
+                None => {
+                    // Fetch the node; the walk does not advance this round (Algorithm 1).
+                    let fetched = self.store.fetch(current);
+                    memory.insert(
+                        current,
+                        FetchedNode {
+                            out_neighbors: fetched.out_neighbors.to_vec(),
+                            next_unused_segment: 0,
+                        },
+                    );
+                    result.fetches += 1;
+                }
+            }
+        }
+
+        result
+    }
+
+    /// Convenience wrapper: runs [`Self::walk`] and returns the top-`k` nodes, excluding
+    /// the seed itself and (if `exclude_friends`) its direct friends, exactly as the
+    /// paper's recommender evaluation does.
+    pub fn top_k(
+        &mut self,
+        seed: NodeId,
+        k: usize,
+        walk_length: usize,
+        exclude_friends: bool,
+    ) -> Vec<(NodeId, f64)> {
+        let result = self.walk(seed, walk_length);
+        let mut exclude: HashSet<NodeId> = HashSet::new();
+        exclude.insert(seed);
+        if exclude_friends {
+            exclude.extend(self.store.graph().out_neighbors(seed).iter().copied());
+        }
+        result.top_k(k, &exclude)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MonteCarloConfig;
+    use crate::incremental::IncrementalPageRank;
+    use ppr_graph::generators::{directed_cycle, preferential_attachment};
+    use ppr_graph::{DynamicGraph, Edge};
+
+    fn engine(graph: &DynamicGraph, r: usize, seed: u64) -> IncrementalPageRank {
+        IncrementalPageRank::from_graph(graph, MonteCarloConfig::new(0.2, r).with_seed(seed))
+    }
+
+    #[test]
+    fn walk_reaches_requested_length() {
+        let g = directed_cycle(10);
+        let eng = engine(&g, 3, 1);
+        let mut walker =
+            PersonalizedWalker::new(eng.social_store(), eng.walk_store(), 0.2, 7);
+        let result = walker.walk(NodeId(0), 500);
+        assert!(result.total_visits >= 500);
+        assert_eq!(result.visits.iter().sum::<u64>(), result.total_visits);
+        assert!(result.visits[0] > 0, "the seed is always visited");
+    }
+
+    #[test]
+    fn only_reachable_nodes_are_visited() {
+        // Two disjoint cycles 0-1-2 and 3-4-5; a walk from node 0 must never see 3..6.
+        let mut g = DynamicGraph::with_nodes(6);
+        for &(s, t) in &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)] {
+            g.add_edge(Edge::new(s, t));
+        }
+        let eng = engine(&g, 4, 3);
+        let mut walker =
+            PersonalizedWalker::new(eng.social_store(), eng.walk_store(), 0.2, 11);
+        let result = walker.walk(NodeId(0), 2_000);
+        for node in 3..6 {
+            assert_eq!(result.visits[node], 0, "unreachable node {node} was visited");
+        }
+        assert!(result.frequency(NodeId(0)) > 0.2);
+    }
+
+    #[test]
+    fn fetches_are_counted_and_bounded_by_touched_nodes() {
+        let g = preferential_attachment(300, 4, 5);
+        let eng = engine(&g, 5, 7);
+        eng.social_store().reset_metrics();
+        let mut walker =
+            PersonalizedWalker::new(eng.social_store(), eng.walk_store(), 0.2, 13);
+        let result = walker.walk(NodeId(10), 3_000);
+        assert!(result.fetches > 0, "a non-trivial walk must fetch something");
+        assert_eq!(
+            result.fetches,
+            eng.social_store().metrics().fetches,
+            "walker fetch count must agree with the store's accounting"
+        );
+        let touched = result.visits.iter().filter(|&&v| v > 0).count() as u64;
+        assert!(
+            result.fetches <= touched,
+            "each fetch targets a distinct visited node ({} fetches, {touched} touched)",
+            result.fetches
+        );
+    }
+
+    #[test]
+    fn caching_segments_reduces_fetches_versus_plain_walking() {
+        // With R cached segments per node the walk needs far fewer fetches than visits.
+        let g = preferential_attachment(500, 5, 9);
+        let eng = engine(&g, 10, 11);
+        let mut walker =
+            PersonalizedWalker::new(eng.social_store(), eng.walk_store(), 0.2, 17);
+        let result = walker.walk(NodeId(0), 5_000);
+        assert!(
+            (result.fetches as f64) < 0.5 * result.total_visits as f64,
+            "stitching should save most per-step accesses: {} fetches for {} visits",
+            result.fetches,
+            result.total_visits
+        );
+        assert!(result.segments_used > 0);
+    }
+
+    #[test]
+    fn frequencies_sum_to_one() {
+        let g = directed_cycle(5);
+        let eng = engine(&g, 2, 13);
+        let mut walker =
+            PersonalizedWalker::new(eng.social_store(), eng.walk_store(), 0.2, 19);
+        let result = walker.walk(NodeId(2), 800);
+        let sum: f64 = result.frequencies().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn top_k_excludes_seed_and_friends() {
+        let mut g = DynamicGraph::with_nodes(6);
+        for &(s, t) in &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 2)] {
+            g.add_edge(Edge::new(s, t));
+        }
+        let eng = engine(&g, 5, 17);
+        let mut walker =
+            PersonalizedWalker::new(eng.social_store(), eng.walk_store(), 0.2, 23);
+        let top = walker.top_k(NodeId(0), 4, 3_000, true);
+        for &(node, _) in &top {
+            assert_ne!(node, NodeId(0));
+            assert_ne!(node, NodeId(1), "friend 1 must be excluded");
+            assert_ne!(node, NodeId(2), "friend 2 must be excluded");
+        }
+        assert!(!top.is_empty());
+        // Scores are sorted in decreasing order.
+        for pair in top.windows(2) {
+            assert!(pair[0].1 >= pair[1].1);
+        }
+    }
+
+    #[test]
+    fn personalized_distribution_favours_nearby_nodes() {
+        // On a long path-with-return, nodes close to the seed get higher frequency.
+        let mut g = DynamicGraph::with_nodes(20);
+        for i in 0..19u32 {
+            g.add_edge(Edge::new(i, i + 1));
+        }
+        g.add_edge(Edge::new(19, 0));
+        let eng = engine(&g, 5, 19);
+        let mut walker =
+            PersonalizedWalker::new(eng.social_store(), eng.walk_store(), 0.3, 29);
+        let result = walker.walk(NodeId(0), 20_000);
+        assert!(result.frequency(NodeId(1)) > result.frequency(NodeId(10)));
+        assert!(result.frequency(NodeId(2)) > result.frequency(NodeId(15)));
+    }
+
+    #[test]
+    fn result_top_k_respects_exclusions_and_order() {
+        let result = PersonalizedWalkResult {
+            visits: vec![10, 5, 7, 0, 3],
+            total_visits: 25,
+            fetches: 0,
+            segments_used: 0,
+            random_steps: 0,
+            resets: 0,
+        };
+        let exclude: HashSet<NodeId> = [NodeId(0)].into_iter().collect();
+        let top = result.top_k(2, &exclude);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].0, NodeId(2));
+        assert_eq!(top[1].0, NodeId(1));
+        assert!((top[0].1 - 7.0 / 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "seed node")]
+    fn rejects_out_of_range_seed() {
+        let g = directed_cycle(3);
+        let eng = engine(&g, 1, 23);
+        let mut walker =
+            PersonalizedWalker::new(eng.social_store(), eng.walk_store(), 0.2, 31);
+        let _ = walker.walk(NodeId(50), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "must cover the same node set")]
+    fn rejects_mismatched_stores() {
+        let g = directed_cycle(3);
+        let eng = engine(&g, 1, 29);
+        let other_walks = ppr_store::WalkStore::new(10, 1);
+        let _ = PersonalizedWalker::new(eng.social_store(), &other_walks, 0.2, 37);
+    }
+}

@@ -1,0 +1,690 @@
+//! Incremental Monte Carlo SALSA (Section 2.3, Theorem 6).
+//!
+//! SALSA is the stationary behaviour of an alternating forward/backward random walk: a
+//! *hub* position follows a random out-edge to an *authority* position, which follows a
+//! random in-edge back to a hub position, and so on, with ε-resets allowed only before
+//! forward steps.  To estimate hub and authority scores the engine stores `2R` segments
+//! per node — `R` starting with a forward step (the node acts as a hub) and `R` starting
+//! with a backward step (the node acts as an authority) — and counts visits by parity.
+//!
+//! Incremental maintenance mirrors the PageRank case, except that an arriving edge
+//! `(u, v)` can disturb walks at two places: forward steps taken out of `u` (with
+//! probability `1/outdeg(u)` per hub visit) and backward steps taken out of `v` (with
+//! probability `1/indeg(v)` per authority visit).  Theorem 6 shows the total update work
+//! is within a factor 16 of the PageRank bound.
+//!
+//! Personalized SALSA scores are obtained with a direct alternating walk with resets to
+//! the seed; the paper's fetch-stitching analysis (Theorem 8) is developed for PageRank
+//! and the same store layout would apply, but the reproduction keeps the SALSA
+//! personalization simple because no experiment in the paper measures its fetch count.
+
+use crate::config::{MonteCarloConfig, RerouteStrategy};
+use crate::walker;
+use ppr_graph::{DynamicGraph, Edge, GraphView, NodeId};
+use ppr_store::{SegmentId, SocialStore, WalkStore, WorkCounter};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+use crate::incremental::UpdateStats;
+
+/// Hub and authority estimates derived from the stored SALSA segments.
+#[derive(Debug, Clone)]
+pub struct SalsaEstimates {
+    /// Normalised hub scores (sum to 1 when any hub visit exists).
+    pub hubs: Vec<f64>,
+    /// Normalised authority scores (sum to 1 when any authority visit exists).
+    pub authorities: Vec<f64>,
+}
+
+/// Monte Carlo SALSA with incrementally maintained alternating walk segments.
+#[derive(Debug)]
+pub struct IncrementalSalsa {
+    store: SocialStore,
+    walks: WalkStore,
+    config: MonteCarloConfig,
+    rng: SmallRng,
+    work: WorkCounter,
+}
+
+impl IncrementalSalsa {
+    /// Builds the engine over an existing graph, storing `2R` segments per node.
+    pub fn from_graph(graph: &DynamicGraph, config: MonteCarloConfig) -> Self {
+        let store = SocialStore::from_graph(graph.clone(), 1);
+        let node_count = store.node_count();
+        let walks = WalkStore::new(node_count, 2 * config.r);
+        let rng = SmallRng::seed_from_u64(config.seed.wrapping_add(0x5a15a));
+        let mut engine = IncrementalSalsa {
+            store,
+            walks,
+            config,
+            rng,
+            work: WorkCounter::new(),
+        };
+        for node in 0..node_count {
+            engine.generate_segments_for(NodeId::from_index(node));
+        }
+        engine
+    }
+
+    /// Builds the engine over an empty graph with `node_count` isolated nodes.
+    pub fn new_empty(node_count: usize, config: MonteCarloConfig) -> Self {
+        Self::from_graph(&DynamicGraph::with_nodes(node_count), config)
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &MonteCarloConfig {
+        &self.config
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &DynamicGraph {
+        self.store.graph()
+    }
+
+    /// The store holding the `2R` SALSA segments per node.
+    pub fn walk_store(&self) -> &WalkStore {
+        &self.walks
+    }
+
+    /// Cumulative update work since construction.
+    pub fn work(&self) -> &WorkCounter {
+        &self.work
+    }
+
+    /// Resets the cumulative work counter.
+    pub fn reset_work(&mut self) {
+        self.work = WorkCounter::new();
+    }
+
+    /// Number of nodes currently known to the engine.
+    pub fn node_count(&self) -> usize {
+        self.store.node_count()
+    }
+
+    /// Whether the segment in `slot` of a node starts with a forward step.
+    fn slot_is_forward(&self, slot: usize) -> bool {
+        slot < self.config.r
+    }
+
+    /// Parity of hub visits within a segment: forward-start segments occupy hub
+    /// positions at even indices, backward-start segments at odd indices.
+    fn hub_parity(&self, id: SegmentId) -> usize {
+        if self.slot_is_forward(id.slot(self.walks.r())) {
+            0
+        } else {
+            1
+        }
+    }
+
+    /// Current hub/authority estimates from the stored segments.
+    pub fn estimates(&self) -> SalsaEstimates {
+        let n = self.node_count();
+        let mut hub_visits = vec![0u64; n];
+        let mut auth_visits = vec![0u64; n];
+        for node in self.store.graph().nodes() {
+            for id in self.walks.segment_ids_of(node) {
+                let hub_parity = self.hub_parity(id);
+                for (pos, &visited) in self.walks.segment(id).path().iter().enumerate() {
+                    if pos % 2 == hub_parity {
+                        hub_visits[visited.index()] += 1;
+                    } else {
+                        auth_visits[visited.index()] += 1;
+                    }
+                }
+            }
+        }
+        SalsaEstimates {
+            hubs: normalize(&hub_visits),
+            authorities: normalize(&auth_visits),
+        }
+    }
+
+    /// Authority scores personalized on `seed`, estimated with a direct alternating walk
+    /// of `walk_length` visits that resets to the seed before forward steps with
+    /// probability ε.
+    pub fn personalized_authorities(&self, seed: NodeId, walk_length: usize) -> Vec<f64> {
+        assert!(
+            seed.index() < self.node_count(),
+            "seed node {seed} outside the graph"
+        );
+        let mut rng = SmallRng::seed_from_u64(
+            self.config.seed ^ 0xa55a_0000u64 ^ (seed.0 as u64).wrapping_mul(0x9e37_79b9),
+        );
+        let graph = self.store.graph();
+        let epsilon = self.config.epsilon;
+        let n = self.node_count();
+        let mut auth_visits = vec![0u64; n];
+        let mut total_auth = 0u64;
+
+        let mut current = seed;
+        let mut forward = true;
+        let mut visits = 0usize;
+        while visits < walk_length {
+            visits += 1;
+            if forward {
+                if rng.gen_bool(epsilon) {
+                    current = seed;
+                    forward = true;
+                    continue;
+                }
+                match graph.random_out_neighbor(current, &mut rng) {
+                    Some(next) => {
+                        auth_visits[next.index()] += 1;
+                        total_auth += 1;
+                        current = next;
+                        forward = false;
+                    }
+                    None => {
+                        current = seed;
+                        forward = true;
+                    }
+                }
+            } else {
+                match graph.random_in_neighbor(current, &mut rng) {
+                    Some(next) => {
+                        current = next;
+                        forward = true;
+                    }
+                    None => {
+                        current = seed;
+                        forward = true;
+                    }
+                }
+            }
+        }
+
+        if total_auth == 0 {
+            return vec![0.0; n];
+        }
+        auth_visits
+            .iter()
+            .map(|&v| v as f64 / total_auth as f64)
+            .collect()
+    }
+
+    /// Top-`k` friend recommendations for `seed` by personalized authority score,
+    /// excluding the seed and its existing friends.
+    pub fn personalized_top_k(
+        &self,
+        seed: NodeId,
+        k: usize,
+        walk_length: usize,
+    ) -> Vec<(NodeId, f64)> {
+        let scores = self.personalized_authorities(seed, walk_length);
+        let mut exclude: HashSet<usize> = HashSet::new();
+        exclude.insert(seed.index());
+        exclude.extend(
+            self.store
+                .graph()
+                .out_neighbors(seed)
+                .iter()
+                .map(|n| n.index()),
+        );
+        let mut candidates: Vec<(usize, f64)> = scores
+            .iter()
+            .enumerate()
+            .filter(|&(i, &s)| s > 0.0 && !exclude.contains(&i))
+            .map(|(i, &s)| (i, s))
+            .collect();
+        candidates.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        candidates.truncate(k);
+        candidates
+            .into_iter()
+            .map(|(i, s)| (NodeId::from_index(i), s))
+            .collect()
+    }
+
+    /// Processes the arrival of `edge`, repairing affected forward and backward steps.
+    pub fn add_edge(&mut self, edge: Edge) -> UpdateStats {
+        let needed = edge.source.index().max(edge.target.index()) + 1;
+        self.ensure_nodes(needed);
+        self.store.add_edge(edge);
+
+        let u = edge.source;
+        let v = edge.target;
+        let out_degree = self.store.out_degree(u);
+        let in_degree = self.store.in_degree(v);
+        let mut stats = UpdateStats::default();
+
+        // Forward steps out of u (hub visits to u).
+        let visiting_u: Vec<SegmentId> = self.walks.segments_visiting(u).map(|(id, _)| id).collect();
+        for id in visiting_u {
+            self.maybe_reroute(id, u, v, out_degree, true, &mut stats);
+        }
+        // Backward steps out of v (authority visits to v).
+        let visiting_v: Vec<SegmentId> = self.walks.segments_visiting(v).map(|(id, _)| id).collect();
+        for id in visiting_v {
+            self.maybe_reroute(id, v, u, in_degree, false, &mut stats);
+        }
+
+        self.work.edges_processed += 1;
+        self.work.segments_updated += stats.segments_updated;
+        self.work.walk_steps += stats.walk_steps;
+        if !stats.touched_walk_store {
+            self.work.arrivals_filtered += 1;
+        }
+        stats
+    }
+
+    /// Processes the deletion of `edge`.  Returns `None` if the edge was not present.
+    pub fn remove_edge(&mut self, edge: Edge) -> Option<UpdateStats> {
+        if !self.store.remove_edge(edge) {
+            return None;
+        }
+        let u = edge.source;
+        let v = edge.target;
+        let mut stats = UpdateStats::default();
+
+        if !self.store.graph().has_edge(edge) {
+            // Forward traversals u -> v at hub positions of u.
+            let visiting_u: Vec<SegmentId> =
+                self.walks.segments_visiting(u).map(|(id, _)| id).collect();
+            for id in visiting_u {
+                self.reroute_deleted_traversal(id, u, v, true, &mut stats);
+            }
+            // Backward traversals v -> u at authority positions of v.
+            let visiting_v: Vec<SegmentId> =
+                self.walks.segments_visiting(v).map(|(id, _)| id).collect();
+            for id in visiting_v {
+                self.reroute_deleted_traversal(id, v, u, false, &mut stats);
+            }
+        }
+
+        self.work.edges_processed += 1;
+        self.work.segments_updated += stats.segments_updated;
+        self.work.walk_steps += stats.walk_steps;
+        if !stats.touched_walk_store {
+            self.work.arrivals_filtered += 1;
+        }
+        Some(stats)
+    }
+
+    /// Verifies that every stored segment is a valid alternating walk in the current
+    /// graph: forward positions follow out-edges, backward positions follow in-edges.
+    pub fn validate_segments(&self) -> Result<(), String> {
+        let graph = self.store.graph();
+        for node in graph.nodes() {
+            for id in self.walks.segment_ids_of(node) {
+                let segment = self.walks.segment(id);
+                if segment.source() != Some(node) {
+                    return Err(format!("segment {id:?} does not start at {node}"));
+                }
+                let hub_parity = self.hub_parity(id);
+                for (pos, pair) in segment.path().windows(2).enumerate() {
+                    let forward = pos % 2 == hub_parity;
+                    let edge = if forward {
+                        Edge { source: pair[0], target: pair[1] }
+                    } else {
+                        Edge { source: pair[1], target: pair[0] }
+                    };
+                    if !graph.has_edge(edge) {
+                        return Err(format!(
+                            "segment {id:?} traverses missing edge {edge} at position {pos}"
+                        ));
+                    }
+                }
+            }
+        }
+        self.walks.check_consistency()
+    }
+
+    // ----- internal helpers -------------------------------------------------------
+
+    fn ensure_nodes(&mut self, n: usize) {
+        let before = self.store.node_count();
+        if n <= before {
+            return;
+        }
+        self.store.ensure_nodes(n);
+        self.walks.ensure_nodes(n);
+        for node in before..n {
+            self.generate_segments_for(NodeId::from_index(node));
+        }
+    }
+
+    fn generate_segments_for(&mut self, node: NodeId) {
+        let r2 = 2 * self.config.r;
+        for slot in 0..r2 {
+            let id = SegmentId::new(node, slot, r2);
+            let walk = walker::salsa_segment(
+                self.store.graph(),
+                node,
+                slot < self.config.r,
+                self.config.epsilon,
+                self.config.max_segment_length,
+                &mut self.rng,
+            );
+            self.walks.set_segment(id, walk.path);
+        }
+    }
+
+    /// Rerouting logic shared by forward and backward arrival repairs: `pivot` is the
+    /// node whose step distribution changed (`u` for forward, `v` for backward),
+    /// `new_target` is the other endpoint, `degree` the pivot's relevant degree after
+    /// the insertion, and `forward` tells which parity of visits to `pivot` is affected.
+    fn maybe_reroute(
+        &mut self,
+        id: SegmentId,
+        pivot: NodeId,
+        new_target: NodeId,
+        degree: usize,
+        forward: bool,
+        stats: &mut UpdateStats,
+    ) {
+        debug_assert!(degree >= 1);
+        let hub_parity = self.hub_parity(id);
+        let affected_parity = if forward { hub_parity } else { 1 - hub_parity };
+        let segment = self.walks.segment(id);
+        let last_index = segment.len() - 1;
+        let positions: Vec<usize> = segment
+            .positions_of(pivot)
+            .into_iter()
+            .filter(|&pos| pos % 2 == affected_parity)
+            .collect();
+
+        let mut reroute_at: Option<usize> = None;
+        for &pos in &positions {
+            if pos < last_index {
+                if self.rng.gen_bool(1.0 / degree as f64) {
+                    reroute_at = Some(pos);
+                    break;
+                }
+            } else if degree == 1 {
+                // The segment previously stopped here because the pivot had no edge in
+                // the required direction.  Forward steps are preceded by a reset coin
+                // (continue with probability 1 − ε); backward steps are unconditional.
+                let continue_probability = if forward { 1.0 - self.config.epsilon } else { 1.0 };
+                if self.rng.gen_bool(continue_probability) {
+                    reroute_at = Some(pos);
+                    break;
+                }
+            }
+        }
+
+        let Some(pos) = reroute_at else {
+            return;
+        };
+        self.rebuild_suffix(id, pos, Some(new_target), forward, stats);
+    }
+
+    fn reroute_deleted_traversal(
+        &mut self,
+        id: SegmentId,
+        from: NodeId,
+        to: NodeId,
+        forward: bool,
+        stats: &mut UpdateStats,
+    ) {
+        let hub_parity = self.hub_parity(id);
+        let affected_parity = if forward { hub_parity } else { 1 - hub_parity };
+        let segment = self.walks.segment(id);
+        let pos = segment.path().windows(2).enumerate().find_map(|(pos, pair)| {
+            (pos % 2 == affected_parity && pair[0] == from && pair[1] == to).then_some(pos)
+        });
+        let Some(pos) = pos else {
+            return;
+        };
+        self.rebuild_suffix(id, pos, None, forward, stats);
+    }
+
+    /// Rebuilds the suffix of segment `id` after position `pos`.  If `forced_next` is
+    /// set, that node is taken as the next visit (an arrival reroute); otherwise the
+    /// next step is re-sampled (a deletion repair).  `forward` is the direction of the
+    /// step leaving position `pos`.
+    fn rebuild_suffix(
+        &mut self,
+        id: SegmentId,
+        pos: usize,
+        forced_next: Option<NodeId>,
+        forward: bool,
+        stats: &mut UpdateStats,
+    ) {
+        if self.config.reroute == RerouteStrategy::FromSource {
+            let r2 = 2 * self.config.r;
+            let source = id.source(r2);
+            let walk = walker::salsa_segment(
+                self.store.graph(),
+                source,
+                self.slot_is_forward(id.slot(r2)),
+                self.config.epsilon,
+                self.config.max_segment_length,
+                &mut self.rng,
+            );
+            let steps = walk.steps;
+            self.walks.set_segment(id, walk.path);
+            stats.record_segment(steps);
+            return;
+        }
+
+        let mut path: Vec<NodeId> = self.walks.segment(id).path()[..=pos].to_vec();
+        let mut steps = 0u64;
+        let graph = self.store.graph();
+        let mut direction_forward = forward;
+        let mut current = *path.last().expect("prefix is non-empty");
+
+        if let Some(next) = forced_next {
+            if path.len() < self.config.max_segment_length {
+                path.push(next);
+                current = next;
+                steps += 1;
+                direction_forward = !direction_forward;
+            }
+        } else {
+            // Re-sample the step that used to traverse the deleted edge; the reset coin
+            // for a forward step was already spent when the segment was first built.
+            let next = if direction_forward {
+                graph.random_out_neighbor(current, &mut self.rng)
+            } else {
+                graph.random_in_neighbor(current, &mut self.rng)
+            };
+            if let Some(next) = next {
+                if path.len() < self.config.max_segment_length {
+                    path.push(next);
+                    current = next;
+                    steps += 1;
+                    direction_forward = !direction_forward;
+                }
+            } else {
+                // The pivot lost its last edge in that direction: the segment now ends here.
+                self.walks.set_segment(id, path);
+                stats.record_segment(steps);
+                return;
+            }
+        }
+
+        // Continue the alternating walk until a reset / missing edge / the length cap.
+        while path.len() < self.config.max_segment_length {
+            if direction_forward && self.rng.gen_bool(self.config.epsilon) {
+                break;
+            }
+            let next = if direction_forward {
+                graph.random_out_neighbor(current, &mut self.rng)
+            } else {
+                graph.random_in_neighbor(current, &mut self.rng)
+            };
+            match next {
+                Some(node) => {
+                    path.push(node);
+                    current = node;
+                    steps += 1;
+                    direction_forward = !direction_forward;
+                }
+                None => break,
+            }
+        }
+
+        self.walks.set_segment(id, path);
+        stats.record_segment(steps);
+    }
+}
+
+fn normalize(counts: &[u64]) -> Vec<f64> {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return vec![0.0; counts.len()];
+    }
+    counts.iter().map(|&c| c as f64 / total as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppr_baselines::salsa_exact::salsa_exact;
+    use ppr_graph::generators::{
+        directed_cycle, preferential_attachment, preferential_attachment_edges, star_inward,
+        PreferentialAttachmentConfig,
+    };
+
+    fn config(r: usize, seed: u64) -> MonteCarloConfig {
+        MonteCarloConfig::new(0.2, r).with_seed(seed)
+    }
+
+    #[test]
+    fn initialization_stores_two_r_segments_per_node() {
+        let g = directed_cycle(6);
+        let engine = IncrementalSalsa::from_graph(&g, config(3, 1));
+        assert_eq!(engine.walk_store().r(), 6);
+        for node in g.nodes() {
+            assert_eq!(engine.walk_store().segment_ids_of(node).count(), 6);
+        }
+        engine.validate_segments().unwrap();
+    }
+
+    #[test]
+    fn authority_estimates_track_indegree_on_a_star() {
+        // Global SALSA authority ≈ in-degree share (as the paper notes for ε -> 0); the
+        // star concentrates every authority visit on the centre.
+        let g = star_inward(8);
+        let engine = IncrementalSalsa::from_graph(&g, config(20, 3));
+        let est = engine.estimates();
+        // The backward-start segments seed every node (including leaves) with one
+        // authority visit, so the centre does not get *all* the mass, but it dominates.
+        assert!(est.authorities[0] > 0.7, "centre authority {}", est.authorities[0]);
+        for &leaf in &est.authorities[1..] {
+            assert!(leaf < 0.06, "leaf authority {leaf} should be tiny");
+        }
+        let hub_sum: f64 = est.hubs.iter().sum();
+        assert!((hub_sum - 1.0).abs() < 1e-9);
+        assert!(est.hubs[0] < 0.1, "the centre follows nobody so it is barely a hub");
+    }
+
+    #[test]
+    fn authority_estimates_agree_with_exact_salsa() {
+        let g = preferential_attachment(150, 4, 7);
+        let engine = IncrementalSalsa::from_graph(&g, config(25, 9));
+        let mc = engine.estimates();
+        let exact = salsa_exact(&g, 30);
+        let tvd: f64 = 0.5
+            * mc.authorities
+                .iter()
+                .zip(&exact.authorities)
+                .map(|(a, b)| (a - b).abs())
+                .sum::<f64>();
+        assert!(
+            tvd < 0.15,
+            "Monte Carlo SALSA authorities should track the exact ones, TVD = {tvd:.4}"
+        );
+    }
+
+    #[test]
+    fn add_edge_keeps_alternating_segments_valid() {
+        let mut engine = IncrementalSalsa::new_empty(6, config(4, 11));
+        let edges = [
+            Edge::new(0, 1),
+            Edge::new(1, 2),
+            Edge::new(2, 3),
+            Edge::new(3, 0),
+            Edge::new(4, 0),
+            Edge::new(5, 2),
+            Edge::new(0, 5),
+        ];
+        for &edge in &edges {
+            engine.add_edge(edge);
+            engine.validate_segments().unwrap();
+        }
+        assert_eq!(engine.graph().edge_count(), edges.len());
+    }
+
+    #[test]
+    fn remove_edge_repairs_both_directions() {
+        let g = preferential_attachment(60, 3, 13);
+        let mut engine = IncrementalSalsa::from_graph(&g, config(5, 15));
+        let edges = engine.graph().collect_edges();
+        for edge in edges.into_iter().step_by(7).take(10).collect::<Vec<_>>() {
+            engine.remove_edge(edge);
+            engine.validate_segments().unwrap();
+        }
+    }
+
+    #[test]
+    fn incremental_build_matches_exact_salsa() {
+        let pa = PreferentialAttachmentConfig::new(120, 4, 17);
+        let edges = preferential_attachment_edges(&pa);
+        let mut engine = IncrementalSalsa::new_empty(120, config(15, 19));
+        for &edge in &edges {
+            engine.add_edge(edge);
+        }
+        engine.validate_segments().unwrap();
+        let exact = salsa_exact(engine.graph(), 30);
+        let mc = engine.estimates();
+        let tvd: f64 = 0.5
+            * mc.authorities
+                .iter()
+                .zip(&exact.authorities)
+                .map(|(a, b)| (a - b).abs())
+                .sum::<f64>();
+        assert!(tvd < 0.2, "incremental SALSA should stay accurate, TVD = {tvd:.4}");
+    }
+
+    #[test]
+    fn personalized_authorities_prefer_seed_neighbourhood() {
+        // Two communities bridged by one edge; personalized SALSA for a node in
+        // community A should give community A most of the authority mass.
+        let mut g = DynamicGraph::with_nodes(8);
+        for &(s, t) in &[(0, 1), (1, 0), (1, 2), (2, 1), (0, 2), (2, 0), (3, 0)] {
+            g.add_edge(Edge::new(s, t));
+        }
+        for &(s, t) in &[(4, 5), (5, 4), (5, 6), (6, 5), (6, 7), (7, 6)] {
+            g.add_edge(Edge::new(s, t));
+        }
+        g.add_edge(Edge::new(2, 4));
+        let engine = IncrementalSalsa::from_graph(&g, config(5, 21));
+        let scores = engine.personalized_authorities(NodeId(0), 30_000);
+        let mass_a: f64 = scores[..4].iter().sum();
+        let mass_b: f64 = scores[4..].iter().sum();
+        assert!(mass_a > mass_b, "A = {mass_a:.3}, B = {mass_b:.3}");
+        let top = engine.personalized_top_k(NodeId(0), 3, 30_000);
+        assert!(!top.is_empty());
+        for &(node, _) in &top {
+            assert_ne!(node, NodeId(0));
+            assert_ne!(node, NodeId(1), "existing friends are excluded");
+            assert_ne!(node, NodeId(2), "existing friends are excluded");
+        }
+    }
+
+    #[test]
+    fn update_work_counter_accumulates() {
+        let mut engine = IncrementalSalsa::new_empty(10, config(2, 23));
+        for i in 0..9u32 {
+            engine.add_edge(Edge::new(i, i + 1));
+        }
+        assert_eq!(engine.work().edges_processed, 9);
+        assert!(engine.work().total_work() > 0);
+        engine.reset_work();
+        assert_eq!(engine.work().edges_processed, 0);
+    }
+
+    #[test]
+    fn removing_absent_edge_is_noop() {
+        let mut engine = IncrementalSalsa::from_graph(&directed_cycle(4), config(2, 25));
+        assert!(engine.remove_edge(Edge::new(0, 2)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "seed node")]
+    fn personalized_rejects_bad_seed() {
+        let engine = IncrementalSalsa::from_graph(&directed_cycle(3), config(2, 27));
+        let _ = engine.personalized_authorities(NodeId(9), 100);
+    }
+}

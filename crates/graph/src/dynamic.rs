@@ -1,0 +1,358 @@
+//! [`DynamicGraph`]: a directed graph under edge insertions and deletions.
+//!
+//! This is the in-memory stand-in for the adjacency data FlockDB serves at Twitter:
+//! for every node we keep both the out-adjacency (who the node follows) and the
+//! in-adjacency (who follows the node), so that forward walks (PageRank), backward
+//! walks and alternating walks (SALSA) all have O(1)-amortised random access to the
+//! neighbour lists while the graph keeps changing.
+
+use crate::view::GraphView;
+use crate::{Edge, NodeId};
+use rand::Rng;
+
+/// A mutable directed graph with dense node ids.
+///
+/// Parallel edges are permitted (the generators never produce them, but the incremental
+/// engine does not care) and self-loops are permitted as well.  Edge removal is O(out
+/// degree + in degree) of the endpoints, which matches the cost model of an adjacency
+/// store: a deletion has to locate the entry either way.
+#[derive(Debug, Clone, Default)]
+pub struct DynamicGraph {
+    out_adj: Vec<Vec<NodeId>>,
+    in_adj: Vec<Vec<NodeId>>,
+    edge_count: usize,
+}
+
+impl DynamicGraph {
+    /// Creates an empty graph with zero nodes.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a graph with `n` isolated nodes.
+    pub fn with_nodes(n: usize) -> Self {
+        DynamicGraph {
+            out_adj: vec![Vec::new(); n],
+            in_adj: vec![Vec::new(); n],
+            edge_count: 0,
+        }
+    }
+
+    /// Builds a graph from an edge list; the node count is `max endpoint + 1` unless
+    /// `min_nodes` is larger.
+    pub fn from_edges(edges: &[Edge], min_nodes: usize) -> Self {
+        let max_node = edges
+            .iter()
+            .map(|e| e.source.index().max(e.target.index()) + 1)
+            .max()
+            .unwrap_or(0);
+        let mut graph = Self::with_nodes(max_node.max(min_nodes));
+        for &edge in edges {
+            graph.add_edge(edge);
+        }
+        graph
+    }
+
+    /// Adds a new isolated node and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId::from_index(self.out_adj.len());
+        self.out_adj.push(Vec::new());
+        self.in_adj.push(Vec::new());
+        id
+    }
+
+    /// Ensures the graph has at least `n` nodes, adding isolated nodes if necessary.
+    pub fn ensure_nodes(&mut self, n: usize) {
+        while self.out_adj.len() < n {
+            self.add_node();
+        }
+    }
+
+    /// Inserts a directed edge.  Both endpoints must already exist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, edge: Edge) {
+        let n = self.out_adj.len();
+        assert!(
+            edge.source.index() < n && edge.target.index() < n,
+            "edge {edge} references a node outside 0..{n}"
+        );
+        self.out_adj[edge.source.index()].push(edge.target);
+        self.in_adj[edge.target.index()].push(edge.source);
+        self.edge_count += 1;
+    }
+
+    /// Inserts a directed edge, growing the node set if an endpoint does not exist yet.
+    pub fn add_edge_growing(&mut self, edge: Edge) {
+        let needed = edge.source.index().max(edge.target.index()) + 1;
+        self.ensure_nodes(needed);
+        self.add_edge(edge);
+    }
+
+    /// Removes one occurrence of the directed edge, returning `true` if it was present.
+    pub fn remove_edge(&mut self, edge: Edge) -> bool {
+        if edge.source.index() >= self.out_adj.len() || edge.target.index() >= self.in_adj.len() {
+            return false;
+        }
+        let out = &mut self.out_adj[edge.source.index()];
+        let Some(pos) = out.iter().position(|&t| t == edge.target) else {
+            return false;
+        };
+        out.swap_remove(pos);
+        let inn = &mut self.in_adj[edge.target.index()];
+        let pos = inn
+            .iter()
+            .position(|&s| s == edge.source)
+            .expect("out/in adjacency lists out of sync");
+        inn.swap_remove(pos);
+        self.edge_count -= 1;
+        true
+    }
+
+    /// Returns `true` if at least one copy of the edge is present.
+    pub fn has_edge(&self, edge: Edge) -> bool {
+        edge.source.index() < self.out_adj.len()
+            && self.out_adj[edge.source.index()].contains(&edge.target)
+    }
+
+    /// Picks a uniformly random out-neighbour of `node`, or `None` if it has none.
+    pub fn random_out_neighbor<R: Rng + ?Sized>(&self, node: NodeId, rng: &mut R) -> Option<NodeId> {
+        let neighbors = &self.out_adj[node.index()];
+        if neighbors.is_empty() {
+            None
+        } else {
+            Some(neighbors[rng.gen_range(0..neighbors.len())])
+        }
+    }
+
+    /// Picks a uniformly random in-neighbour of `node`, or `None` if it has none.
+    pub fn random_in_neighbor<R: Rng + ?Sized>(&self, node: NodeId, rng: &mut R) -> Option<NodeId> {
+        let neighbors = &self.in_adj[node.index()];
+        if neighbors.is_empty() {
+            None
+        } else {
+            Some(neighbors[rng.gen_range(0..neighbors.len())])
+        }
+    }
+
+    /// Returns a uniformly random node id, or `None` for an empty graph.
+    pub fn random_node<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<NodeId> {
+        if self.out_adj.is_empty() {
+            None
+        } else {
+            Some(NodeId::from_index(rng.gen_range(0..self.out_adj.len())))
+        }
+    }
+
+    /// Removes every edge while keeping the node set.
+    pub fn clear_edges(&mut self) {
+        for list in &mut self.out_adj {
+            list.clear();
+        }
+        for list in &mut self.in_adj {
+            list.clear();
+        }
+        self.edge_count = 0;
+    }
+
+    /// Out-degree distribution as a vector indexed by node.
+    pub fn out_degrees(&self) -> Vec<usize> {
+        self.out_adj.iter().map(Vec::len).collect()
+    }
+
+    /// In-degree distribution as a vector indexed by node.
+    pub fn in_degrees(&self) -> Vec<usize> {
+        self.in_adj.iter().map(Vec::len).collect()
+    }
+
+    /// Internal consistency check used by tests and debug assertions: the out- and
+    /// in-adjacency structures must describe the same multiset of edges.
+    pub fn check_consistency(&self) -> Result<(), String> {
+        let out_total: usize = self.out_adj.iter().map(Vec::len).sum();
+        let in_total: usize = self.in_adj.iter().map(Vec::len).sum();
+        if out_total != self.edge_count {
+            return Err(format!(
+                "out-adjacency holds {out_total} edges but edge_count is {}",
+                self.edge_count
+            ));
+        }
+        if in_total != self.edge_count {
+            return Err(format!(
+                "in-adjacency holds {in_total} edges but edge_count is {}",
+                self.edge_count
+            ));
+        }
+        let mut out_edges: Vec<(u32, u32)> = Vec::with_capacity(out_total);
+        for (u, targets) in self.out_adj.iter().enumerate() {
+            for &t in targets {
+                out_edges.push((u as u32, t.0));
+            }
+        }
+        let mut in_edges: Vec<(u32, u32)> = Vec::with_capacity(in_total);
+        for (v, sources) in self.in_adj.iter().enumerate() {
+            for &s in sources {
+                in_edges.push((s.0, v as u32));
+            }
+        }
+        out_edges.sort_unstable();
+        in_edges.sort_unstable();
+        if out_edges != in_edges {
+            return Err("out- and in-adjacency lists describe different edge sets".to_string());
+        }
+        Ok(())
+    }
+}
+
+impl GraphView for DynamicGraph {
+    #[inline]
+    fn node_count(&self) -> usize {
+        self.out_adj.len()
+    }
+
+    #[inline]
+    fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    #[inline]
+    fn out_neighbors(&self, node: NodeId) -> &[NodeId] {
+        &self.out_adj[node.index()]
+    }
+
+    #[inline]
+    fn in_neighbors(&self, node: NodeId) -> &[NodeId] {
+        &self.in_adj[node.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn empty_graph_has_no_nodes_or_edges() {
+        let g = DynamicGraph::new();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.check_consistency().is_ok());
+    }
+
+    #[test]
+    fn add_and_remove_edges() {
+        let mut g = DynamicGraph::with_nodes(4);
+        g.add_edge(Edge::new(0, 1));
+        g.add_edge(Edge::new(0, 2));
+        g.add_edge(Edge::new(3, 0));
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.out_degree(NodeId(0)), 2);
+        assert_eq!(g.in_degree(NodeId(0)), 1);
+        assert!(g.has_edge(Edge::new(0, 2)));
+
+        assert!(g.remove_edge(Edge::new(0, 2)));
+        assert!(!g.has_edge(Edge::new(0, 2)));
+        assert_eq!(g.edge_count(), 2);
+        assert!(!g.remove_edge(Edge::new(0, 2)), "double removal must fail");
+        assert!(g.check_consistency().is_ok());
+    }
+
+    #[test]
+    fn parallel_edges_are_counted_separately() {
+        let mut g = DynamicGraph::with_nodes(2);
+        g.add_edge(Edge::new(0, 1));
+        g.add_edge(Edge::new(0, 1));
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.out_degree(NodeId(0)), 2);
+        assert!(g.remove_edge(Edge::new(0, 1)));
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.has_edge(Edge::new(0, 1)));
+    }
+
+    #[test]
+    fn add_edge_growing_extends_node_set() {
+        let mut g = DynamicGraph::new();
+        g.add_edge_growing(Edge::new(2, 5));
+        assert_eq!(g.node_count(), 6);
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.has_edge(Edge::new(2, 5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "references a node outside")]
+    fn add_edge_out_of_range_panics() {
+        let mut g = DynamicGraph::with_nodes(2);
+        g.add_edge(Edge::new(0, 5));
+    }
+
+    #[test]
+    fn from_edges_builds_expected_graph() {
+        let edges = vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(2, 0)];
+        let g = DynamicGraph::from_edges(&edges, 0);
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        let g_padded = DynamicGraph::from_edges(&edges, 10);
+        assert_eq!(g_padded.node_count(), 10);
+    }
+
+    #[test]
+    fn random_neighbor_sampling_respects_adjacency() {
+        let mut g = DynamicGraph::with_nodes(4);
+        g.add_edge(Edge::new(0, 1));
+        g.add_edge(Edge::new(0, 2));
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let v = g.random_out_neighbor(NodeId(0), &mut rng).unwrap();
+            assert!(v == NodeId(1) || v == NodeId(2));
+        }
+        assert!(g.random_out_neighbor(NodeId(3), &mut rng).is_none());
+        assert!(g.random_in_neighbor(NodeId(0), &mut rng).is_none());
+        let u = g.random_in_neighbor(NodeId(1), &mut rng).unwrap();
+        assert_eq!(u, NodeId(0));
+    }
+
+    #[test]
+    fn random_node_covers_range() {
+        let g = DynamicGraph::with_nodes(3);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[g.random_node(&mut rng).unwrap().index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert!(DynamicGraph::new().random_node(&mut rng).is_none());
+    }
+
+    #[test]
+    fn clear_edges_keeps_nodes() {
+        let mut g = DynamicGraph::with_nodes(3);
+        g.add_edge(Edge::new(0, 1));
+        g.clear_edges();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.check_consistency().is_ok());
+    }
+
+    #[test]
+    fn degree_vectors_match_graphview() {
+        let mut g = DynamicGraph::with_nodes(3);
+        g.add_edge(Edge::new(0, 1));
+        g.add_edge(Edge::new(0, 2));
+        g.add_edge(Edge::new(1, 2));
+        assert_eq!(g.out_degrees(), vec![2, 1, 0]);
+        assert_eq!(g.in_degrees(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn self_loops_are_allowed() {
+        let mut g = DynamicGraph::with_nodes(1);
+        g.add_edge(Edge::new(0, 0));
+        assert_eq!(g.out_degree(NodeId(0)), 1);
+        assert_eq!(g.in_degree(NodeId(0)), 1);
+        assert!(g.check_consistency().is_ok());
+        assert!(g.remove_edge(Edge::new(0, 0)));
+        assert_eq!(g.edge_count(), 0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Plain-text edge-list (de)serialisation.
+//!
+//! Experiments write their inputs and outputs as simple whitespace-separated
+//! `source target` lines so that runs can be reproduced and inspected without any
+//! binary tooling.  Lines starting with `#` are comments.
+
+use crate::{Edge, NodeId};
+use std::io::{self, BufRead, Write};
+
+/// Writes `edges` as `source target` lines to `writer`.
+pub fn write_edges<W: Write>(writer: &mut W, edges: &[Edge]) -> io::Result<()> {
+    for e in edges {
+        writeln!(writer, "{} {}", e.source.0, e.target.0)?;
+    }
+    Ok(())
+}
+
+/// Parses `source target` lines from `reader`.  Blank lines and lines starting with `#`
+/// are skipped.  Returns an error describing the offending line on malformed input.
+pub fn read_edges<R: BufRead>(reader: R) -> io::Result<Vec<Edge>> {
+    let mut edges = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let source = parse_node(parts.next(), lineno, trimmed)?;
+        let target = parse_node(parts.next(), lineno, trimmed)?;
+        if parts.next().is_some() {
+            return Err(malformed(lineno, trimmed, "expected exactly two fields"));
+        }
+        edges.push(Edge { source, target });
+    }
+    Ok(edges)
+}
+
+fn parse_node(field: Option<&str>, lineno: usize, line: &str) -> io::Result<NodeId> {
+    let field = field.ok_or_else(|| malformed(lineno, line, "missing field"))?;
+    let value: u32 = field
+        .parse()
+        .map_err(|_| malformed(lineno, line, "field is not a u32"))?;
+    Ok(NodeId(value))
+}
+
+fn malformed(lineno: usize, line: &str, reason: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("malformed edge list at line {}: {reason}: {line:?}", lineno + 1),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let edges = vec![Edge::new(0, 1), Edge::new(5, 2), Edge::new(2, 2)];
+        let mut buffer = Vec::new();
+        write_edges(&mut buffer, &edges).unwrap();
+        let parsed = read_edges(&buffer[..]).unwrap();
+        assert_eq!(parsed, edges);
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let text = "# a comment\n\n0 1\n  \n# another\n2 3\n";
+        let parsed = read_edges(text.as_bytes()).unwrap();
+        assert_eq!(parsed, vec![Edge::new(0, 1), Edge::new(2, 3)]);
+    }
+
+    #[test]
+    fn rejects_missing_field() {
+        let err = read_edges("0\n".as_bytes()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn rejects_extra_fields() {
+        let err = read_edges("0 1 2\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("exactly two fields"));
+    }
+
+    #[test]
+    fn rejects_non_numeric() {
+        let err = read_edges("a b\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("not a u32"));
+    }
+
+    #[test]
+    fn empty_input_gives_empty_list() {
+        assert!(read_edges("".as_bytes()).unwrap().is_empty());
+    }
+}

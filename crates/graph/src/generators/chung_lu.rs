@@ -1,0 +1,184 @@
+//! Chung–Lu style directed power-law graph generator.
+//!
+//! Each node `i` gets an expected in-weight proportional to `(i + 1)^{-alpha}` (a rank
+//! power law with exponent `alpha`, matching the paper's Figure 2 where the i-th largest
+//! in-degree is proportional to `i^{-0.76}`) and an expected out-weight proportional to
+//! `(i + 1)^{-beta}`.  Edges are then drawn independently with both endpoints sampled
+//! from the corresponding weight distributions.
+//!
+//! Compared with preferential attachment this generator gives direct control over the
+//! power-law exponent, which is what the personalized-PageRank model of Section 3.1
+//! parameterises on.
+
+use crate::{DynamicGraph, Edge, NodeId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for the Chung–Lu power-law generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChungLuConfig {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of edges to draw.
+    pub edges: usize,
+    /// Rank power-law exponent of the expected in-degrees (the paper observes ≈ 0.76).
+    pub in_exponent: f64,
+    /// Rank power-law exponent of the expected out-degrees.  `0.0` gives uniform
+    /// out-degrees.
+    pub out_exponent: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ChungLuConfig {
+    /// A Twitter-like default: in-degree exponent 0.76, mildly skewed out-degrees.
+    pub fn twitter_like(nodes: usize, edges: usize, seed: u64) -> Self {
+        ChungLuConfig {
+            nodes,
+            edges,
+            in_exponent: 0.76,
+            out_exponent: 0.4,
+            seed,
+        }
+    }
+}
+
+/// Pre-computed cumulative distribution over nodes with rank power-law weights.
+#[derive(Debug)]
+struct RankPowerLawSampler {
+    cumulative: Vec<f64>,
+}
+
+impl RankPowerLawSampler {
+    fn new(nodes: usize, exponent: f64) -> Self {
+        assert!(nodes > 0, "sampler needs at least one node");
+        assert!(exponent >= 0.0, "exponent must be non-negative");
+        let mut cumulative = Vec::with_capacity(nodes);
+        let mut total = 0.0f64;
+        for i in 0..nodes {
+            total += ((i + 1) as f64).powf(-exponent);
+            cumulative.push(total);
+        }
+        RankPowerLawSampler { cumulative }
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> NodeId {
+        let total = *self.cumulative.last().expect("non-empty cumulative table");
+        let x = rng.gen_range(0.0..total);
+        let idx = self.cumulative.partition_point(|&c| c <= x);
+        NodeId::from_index(idx.min(self.cumulative.len() - 1))
+    }
+}
+
+/// Draws the edges of a Chung–Lu power-law graph.
+///
+/// Self-loops are rejected and redrawn; parallel edges are allowed (they are rare and
+/// the walk algorithms treat them as multi-edges, matching how a follower graph with
+/// repeated follow/unfollow events would look).
+pub fn chung_lu_edges(config: &ChungLuConfig) -> Vec<Edge> {
+    assert!(config.nodes >= 2, "need at least two nodes");
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let in_sampler = RankPowerLawSampler::new(config.nodes, config.in_exponent);
+    let out_sampler = RankPowerLawSampler::new(config.nodes, config.out_exponent);
+
+    let mut edges = Vec::with_capacity(config.edges);
+    while edges.len() < config.edges {
+        let source = out_sampler.sample(&mut rng);
+        let target = in_sampler.sample(&mut rng);
+        if source != target {
+            edges.push(Edge { source, target });
+        }
+    }
+    edges
+}
+
+/// Builds a [`DynamicGraph`] from [`chung_lu_edges`].
+pub fn chung_lu(config: &ChungLuConfig) -> DynamicGraph {
+    DynamicGraph::from_edges(&chung_lu_edges(config), config.nodes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphView;
+
+    #[test]
+    fn generates_requested_counts() {
+        let config = ChungLuConfig::twitter_like(1_000, 8_000, 3);
+        let g = chung_lu(&config);
+        assert_eq!(g.node_count(), 1_000);
+        assert_eq!(g.edge_count(), 8_000);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let config = ChungLuConfig::twitter_like(500, 2_000, 21);
+        assert_eq!(chung_lu_edges(&config), chung_lu_edges(&config));
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let config = ChungLuConfig::twitter_like(300, 3_000, 5);
+        for e in chung_lu_edges(&config) {
+            assert!(!e.is_self_loop());
+        }
+    }
+
+    #[test]
+    fn low_rank_nodes_receive_more_edges() {
+        let config = ChungLuConfig {
+            nodes: 2_000,
+            edges: 40_000,
+            in_exponent: 0.8,
+            out_exponent: 0.0,
+            seed: 9,
+        };
+        let g = chung_lu(&config);
+        let in_degrees = g.in_degrees();
+        let head: usize = in_degrees[..20].iter().sum();
+        let tail: usize = in_degrees[in_degrees.len() - 20..].iter().sum();
+        assert!(
+            head > 10 * tail.max(1),
+            "rank-0 nodes should dominate: head={head}, tail={tail}"
+        );
+    }
+
+    #[test]
+    fn zero_out_exponent_gives_roughly_uniform_out_degrees() {
+        let config = ChungLuConfig {
+            nodes: 1_000,
+            edges: 20_000,
+            in_exponent: 0.76,
+            out_exponent: 0.0,
+            seed: 2,
+        };
+        let g = chung_lu(&config);
+        let out_degrees = g.out_degrees();
+        let max = *out_degrees.iter().max().unwrap() as f64;
+        let mean = 20_000.0 / 1_000.0;
+        assert!(
+            max < mean * 4.0,
+            "uniform out-degrees should not produce extreme hubs (max {max}, mean {mean})"
+        );
+    }
+
+    #[test]
+    fn sampler_respects_weights() {
+        let sampler = RankPowerLawSampler::new(4, 1.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[sampler.sample(&mut rng).index()] += 1;
+        }
+        // Weights are 1, 1/2, 1/3, 1/4: node 0 must be sampled most, node 3 least.
+        assert!(counts[0] > counts[1] && counts[1] > counts[2] && counts[2] > counts[3]);
+        let ratio = counts[0] as f64 / counts[3] as f64;
+        assert!((3.0..5.5).contains(&ratio), "expected ratio near 4, got {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least two nodes")]
+    fn rejects_tiny_graphs() {
+        let _ = chung_lu_edges(&ChungLuConfig::twitter_like(1, 10, 0));
+    }
+}

@@ -1,0 +1,73 @@
+//! Directed Erdős–Rényi G(n, m) generator.
+//!
+//! Used as a *non*-power-law control in the experiments (the paper's personalization
+//! bound of Theorem 8 depends on the power-law assumption; the Erdős–Rényi control shows
+//! what changes without it) and as a convenient random graph for unit tests.
+
+use crate::{DynamicGraph, Edge};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Draws `edges` directed edges uniformly at random among `nodes` nodes, without
+/// self-loops.  Parallel edges are allowed.
+pub fn erdos_renyi_edges(nodes: usize, edges: usize, seed: u64) -> Vec<Edge> {
+    assert!(nodes >= 2, "need at least two nodes to draw an edge");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(edges);
+    while out.len() < edges {
+        let source = rng.gen_range(0..nodes) as u32;
+        let target = rng.gen_range(0..nodes) as u32;
+        if source != target {
+            out.push(Edge::new(source, target));
+        }
+    }
+    out
+}
+
+/// Builds a [`DynamicGraph`] with `edges` uniformly random directed edges.
+pub fn erdos_renyi(nodes: usize, edges: usize, seed: u64) -> DynamicGraph {
+    DynamicGraph::from_edges(&erdos_renyi_edges(nodes, edges, seed), nodes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphView;
+
+    #[test]
+    fn produces_requested_counts() {
+        let g = erdos_renyi(100, 500, 1);
+        assert_eq!(g.node_count(), 100);
+        assert_eq!(g.edge_count(), 500);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        assert_eq!(erdos_renyi_edges(50, 200, 7), erdos_renyi_edges(50, 200, 7));
+        assert_ne!(erdos_renyi_edges(50, 200, 7), erdos_renyi_edges(50, 200, 8));
+    }
+
+    #[test]
+    fn no_self_loops() {
+        for e in erdos_renyi_edges(30, 300, 3) {
+            assert!(!e.is_self_loop());
+        }
+    }
+
+    #[test]
+    fn degrees_are_concentrated() {
+        let g = erdos_renyi(1_000, 20_000, 9);
+        let max_in = *g.in_degrees().iter().max().unwrap() as f64;
+        let mean_in = 20.0;
+        assert!(
+            max_in < mean_in * 3.5,
+            "Erdős–Rényi in-degrees should concentrate around the mean (max {max_in})"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least two nodes")]
+    fn rejects_single_node() {
+        let _ = erdos_renyi_edges(1, 5, 0);
+    }
+}

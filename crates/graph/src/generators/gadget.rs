@@ -1,0 +1,250 @@
+//! Small deterministic graphs and the adversarial gadget of the paper's Example 1.
+//!
+//! Example 1 (Section 2.2) shows that the random-permutation assumption is necessary:
+//! there is a graph on `n = 3N + 1` nodes where inserting the single edge `u -> v1`
+//! forces Ω(n) walk segments to be rebuilt.  [`example1_gadget`] builds that graph and
+//! returns the adversarial edge so the experiment `example1_adversarial` can measure the
+//! blow-up directly.
+
+use crate::{DynamicGraph, Edge, NodeId};
+
+/// The adversarial construction of Example 1.
+///
+/// The blow-up is about arrival *order*: the adversary lets every edge pointing *into*
+/// the hub `u` (and the whole `v`/`y` structure) arrive first, and only then delivers
+/// `u -> v1` — at which point `u` has Ω(n) walk segments ending on it and no other
+/// outgoing edge, so every one of those segments must be extended.
+/// [`Example1::adversarial_prefix_graph`] is the graph at that adversarial moment;
+/// [`Example1::graph`] is the complete gadget (the hub's edges to the `x_j` included)
+/// for experiments that want the final edge set.
+#[derive(Debug, Clone)]
+pub struct Example1 {
+    /// The complete gadget (all edges except the adversarial one).
+    pub graph: DynamicGraph,
+    /// The single edge `u -> v1` delivered at the adversarial moment.
+    pub adversarial_edge: Edge,
+    /// The hub's outgoing edges `u -> x_j`, which the adversary schedules *after* the
+    /// adversarial edge.
+    pub hub_out_edges: Vec<Edge>,
+    /// The hub node `u`.
+    pub hub: NodeId,
+    /// The cycle entry node `v1`.
+    pub cycle_entry: NodeId,
+    /// Size parameter `N`; the graph has `3N + 1` nodes.
+    pub n_param: usize,
+}
+
+impl Example1 {
+    /// The graph as it stands when the adversarial edge arrives: every edge of the
+    /// gadget except the hub's own outgoing edges (`u -> x_j`), which the adversary
+    /// has postponed.  At this point Ω(n) walk segments terminate at the dangling hub,
+    /// and inserting `u -> v1` forces all of them to be extended.
+    pub fn adversarial_prefix_graph(&self) -> DynamicGraph {
+        let mut graph = self.graph.clone();
+        for &edge in &self.hub_out_edges {
+            let removed = graph.remove_edge(edge);
+            debug_assert!(removed, "hub out-edge {edge} missing from the full gadget");
+        }
+        graph
+    }
+}
+
+/// Builds the Example 1 gadget with parameter `n_param = N`.
+///
+/// Node layout (total `3N + 1` nodes):
+/// * `0..N`      — the directed cycle `v_1, ..., v_N`
+/// * `N`         — the hub `u`
+/// * `N+1..2N+1` — the `x_j` nodes
+/// * `2N+1..3N+1`— the `y_j` nodes
+///
+/// Edges: `v_j -> u` for all j, `u -> x_j` and `x_j -> u` for all j, `v_1 -> y_j` and
+/// `y_j -> v_1` for all j, plus the cycle edges `v_j -> v_{j+1}`.
+pub fn example1_gadget(n_param: usize) -> Example1 {
+    assert!(n_param >= 2, "Example 1 needs N >= 2");
+    let n = 3 * n_param + 1;
+    let mut graph = DynamicGraph::with_nodes(n);
+
+    let v = |j: usize| NodeId::from_index(j); // j in 0..N  (v_{j+1} in the paper)
+    let u = NodeId::from_index(n_param);
+    let x = |j: usize| NodeId::from_index(n_param + 1 + j);
+    let y = |j: usize| NodeId::from_index(2 * n_param + 1 + j);
+
+    let mut hub_out_edges = Vec::with_capacity(n_param);
+    for j in 0..n_param {
+        // Cycle edge v_j -> v_{j+1 mod N}.
+        graph.add_edge(Edge {
+            source: v(j),
+            target: v((j + 1) % n_param),
+        });
+        // v_j -> u.
+        graph.add_edge(Edge {
+            source: v(j),
+            target: u,
+        });
+        // u -> x_j and x_j -> u.
+        let hub_edge = Edge {
+            source: u,
+            target: x(j),
+        };
+        graph.add_edge(hub_edge);
+        hub_out_edges.push(hub_edge);
+        graph.add_edge(Edge {
+            source: x(j),
+            target: u,
+        });
+        // v_1 -> y_j and y_j -> v_1.
+        graph.add_edge(Edge {
+            source: v(0),
+            target: y(j),
+        });
+        graph.add_edge(Edge {
+            source: y(j),
+            target: v(0),
+        });
+    }
+
+    Example1 {
+        graph,
+        adversarial_edge: Edge {
+            source: u,
+            target: v(0),
+        },
+        hub_out_edges,
+        hub: u,
+        cycle_entry: v(0),
+        n_param,
+    }
+}
+
+/// A directed cycle `0 -> 1 -> ... -> n-1 -> 0`.
+pub fn directed_cycle(n: usize) -> DynamicGraph {
+    assert!(n >= 2, "a cycle needs at least two nodes");
+    let mut g = DynamicGraph::with_nodes(n);
+    for i in 0..n {
+        g.add_edge(Edge::new(i as u32, ((i + 1) % n) as u32));
+    }
+    g
+}
+
+/// A directed path `0 -> 1 -> ... -> n-1`.
+pub fn directed_path(n: usize) -> DynamicGraph {
+    assert!(n >= 1, "a path needs at least one node");
+    let mut g = DynamicGraph::with_nodes(n);
+    for i in 0..n.saturating_sub(1) {
+        g.add_edge(Edge::new(i as u32, (i + 1) as u32));
+    }
+    g
+}
+
+/// A star where every leaf `1..n` points at the centre `0`.
+pub fn star_inward(n: usize) -> DynamicGraph {
+    assert!(n >= 2, "a star needs at least two nodes");
+    let mut g = DynamicGraph::with_nodes(n);
+    for i in 1..n {
+        g.add_edge(Edge::new(i as u32, 0));
+    }
+    g
+}
+
+/// A star where the centre `0` points at every leaf `1..n`.
+pub fn star_outward(n: usize) -> DynamicGraph {
+    assert!(n >= 2, "a star needs at least two nodes");
+    let mut g = DynamicGraph::with_nodes(n);
+    for i in 1..n {
+        g.add_edge(Edge::new(0, i as u32));
+    }
+    g
+}
+
+/// The complete directed graph on `n` nodes (no self-loops).
+pub fn complete_graph(n: usize) -> DynamicGraph {
+    assert!(n >= 2, "a complete graph needs at least two nodes");
+    let mut g = DynamicGraph::with_nodes(n);
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                g.add_edge(Edge::new(i as u32, j as u32));
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphView;
+
+    #[test]
+    fn example1_has_expected_shape() {
+        let ex = example1_gadget(10);
+        let g = &ex.graph;
+        assert_eq!(g.node_count(), 31);
+        // 6 edges per j (cycle, v->u, u->x, x->u, v1->y, y->v1).
+        assert_eq!(g.edge_count(), 60);
+        assert_eq!(ex.hub, NodeId(10));
+        assert_eq!(ex.cycle_entry, NodeId(0));
+        // The hub is followed by every cycle node and every x node.
+        assert_eq!(g.in_degree(ex.hub), 20);
+        // The hub follows every x node (the adversarial edge is not inserted yet).
+        assert_eq!(g.out_degree(ex.hub), 10);
+        assert_eq!(ex.hub_out_edges.len(), 10);
+        assert!(!g.has_edge(ex.adversarial_edge));
+        assert!(g.check_consistency().is_ok());
+    }
+
+    #[test]
+    fn adversarial_prefix_graph_leaves_the_hub_dangling() {
+        let ex = example1_gadget(8);
+        let prefix = ex.adversarial_prefix_graph();
+        assert_eq!(prefix.out_degree(ex.hub), 0, "the hub's out-edges arrive later");
+        assert_eq!(prefix.in_degree(ex.hub), 16, "edges into the hub already arrived");
+        assert_eq!(prefix.edge_count(), ex.graph.edge_count() - ex.n_param);
+        assert!(prefix.check_consistency().is_ok());
+    }
+
+    #[test]
+    fn example1_cycle_entry_is_heavily_connected() {
+        let ex = example1_gadget(5);
+        // v1 follows: v2 (cycle), u, and all 5 y nodes = 7 out-edges.
+        assert_eq!(ex.graph.out_degree(ex.cycle_entry), 7);
+        // v1 is followed by: v_N (cycle) and all 5 y nodes = 6 in-edges.
+        assert_eq!(ex.graph.in_degree(ex.cycle_entry), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "Example 1 needs N >= 2")]
+    fn example1_rejects_tiny_parameter() {
+        let _ = example1_gadget(1);
+    }
+
+    #[test]
+    fn cycle_path_star_complete_shapes() {
+        let cycle = directed_cycle(5);
+        assert_eq!(cycle.edge_count(), 5);
+        assert!(cycle.nodes().all(|u| cycle.out_degree(u) == 1 && cycle.in_degree(u) == 1));
+
+        let path = directed_path(4);
+        assert_eq!(path.edge_count(), 3);
+        assert!(path.is_dangling(NodeId(3)));
+
+        let star_in = star_inward(6);
+        assert_eq!(star_in.in_degree(NodeId(0)), 5);
+        assert_eq!(star_in.out_degree(NodeId(0)), 0);
+
+        let star_out = star_outward(6);
+        assert_eq!(star_out.out_degree(NodeId(0)), 5);
+        assert_eq!(star_out.in_degree(NodeId(0)), 0);
+
+        let complete = complete_graph(4);
+        assert_eq!(complete.edge_count(), 12);
+        assert!(complete.nodes().all(|u| complete.out_degree(u) == 3));
+    }
+
+    #[test]
+    fn single_node_path_is_edgeless() {
+        let path = directed_path(1);
+        assert_eq!(path.node_count(), 1);
+        assert_eq!(path.edge_count(), 0);
+    }
+}

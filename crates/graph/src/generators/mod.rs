@@ -1,0 +1,29 @@
+//! Synthetic social-graph generators.
+//!
+//! The paper's experiments run on the Twitter follower graph, which we cannot ship.
+//! These generators produce graphs with the two properties the paper's analysis and
+//! experiments actually rely on:
+//!
+//! 1. **Power-law in-degrees** (Figure 2; exponent ≈ 0.76 on the rank plot), supplied by
+//!    [`preferential_attachment`] and [`chung_lu`].
+//! 2. **Random-permutation edge arrivals** (Section 2.2 / Figure 1), supplied by
+//!    replaying any generated edge list through [`crate::stream`].
+//!
+//! In addition, [`gadget`] builds the adversarial construction of the paper's Example 1,
+//! and small deterministic graphs (cycles, stars, complete graphs) used heavily in unit
+//! and property tests.
+
+pub mod chung_lu;
+pub mod erdos_renyi;
+pub mod gadget;
+pub mod preferential_attachment;
+
+pub use chung_lu::{chung_lu, chung_lu_edges, ChungLuConfig};
+pub use erdos_renyi::{erdos_renyi, erdos_renyi_edges};
+pub use gadget::{
+    complete_graph, directed_cycle, directed_path, example1_gadget, star_inward, star_outward,
+    Example1,
+};
+pub use preferential_attachment::{
+    preferential_attachment, preferential_attachment_edges, PreferentialAttachmentConfig,
+};

@@ -1,0 +1,206 @@
+//! Directed preferential attachment (Barabási–Albert style) generator.
+//!
+//! Nodes arrive one at a time; each new node follows `out_degree` existing nodes chosen
+//! proportionally to their current in-degree plus one.  The "+1" smoothing means that
+//! freshly arrived nodes can also be followed, exactly as in the Bollobás et al. directed
+//! scale-free model, and produces a power-law in-degree distribution — the property the
+//! paper verifies on Twitter data in Figure 2.
+
+use crate::{DynamicGraph, Edge, NodeId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for the directed preferential-attachment generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PreferentialAttachmentConfig {
+    /// Total number of nodes to generate.
+    pub nodes: usize,
+    /// Number of outgoing edges each arriving node creates.
+    pub out_degree: usize,
+    /// Probability of choosing the target uniformly at random instead of by preferential
+    /// attachment.  `0.0` gives pure preferential attachment; larger values flatten the
+    /// in-degree power law (larger rank-plot exponent).
+    pub uniform_mix: f64,
+    /// RNG seed, so that every experiment is reproducible.
+    pub seed: u64,
+}
+
+impl PreferentialAttachmentConfig {
+    /// A reasonable default: pure preferential attachment.
+    pub fn new(nodes: usize, out_degree: usize, seed: u64) -> Self {
+        PreferentialAttachmentConfig {
+            nodes,
+            out_degree,
+            uniform_mix: 0.0,
+            seed,
+        }
+    }
+
+    /// Sets the uniform-attachment mixing probability.
+    pub fn with_uniform_mix(mut self, uniform_mix: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&uniform_mix),
+            "uniform_mix must be a probability, got {uniform_mix}"
+        );
+        self.uniform_mix = uniform_mix;
+        self
+    }
+}
+
+/// Generates the edges of a directed preferential-attachment graph, in arrival order.
+///
+/// The first `out_degree + 1` nodes form a seed clique (every seed follows every other
+/// seed), so that every node — including the eventual in-degree hubs, which are almost
+/// always seed nodes — ends up with exactly `out_degree` outgoing edges, as a real
+/// follower graph's celebrities also follow a normal number of accounts.  Each later
+/// node `u` adds `out_degree` edges to distinct existing nodes chosen preferentially by
+/// in-degree.
+pub fn preferential_attachment_edges(config: &PreferentialAttachmentConfig) -> Vec<Edge> {
+    assert!(config.nodes >= 2, "need at least two nodes");
+    assert!(config.out_degree >= 1, "need at least one edge per node");
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+
+    // `pool` holds one entry per node creation (the +1 smoothing) plus one entry per
+    // received edge, so sampling uniformly from it samples proportionally to
+    // in-degree + 1.
+    let mut pool: Vec<NodeId> = Vec::with_capacity(config.nodes * (config.out_degree + 1));
+    let mut edges: Vec<Edge> = Vec::with_capacity(config.nodes * config.out_degree);
+
+    let seed_nodes = (config.out_degree + 1).min(config.nodes);
+    for u in 0..seed_nodes {
+        pool.push(NodeId::from_index(u));
+    }
+    // Seed clique: every seed node follows every other seed node.
+    for u in 0..seed_nodes {
+        for v in 0..seed_nodes {
+            if u != v {
+                edges.push(Edge::new(u as u32, v as u32));
+                pool.push(NodeId::from_index(v));
+            }
+        }
+    }
+
+    let mut chosen: Vec<NodeId> = Vec::with_capacity(config.out_degree);
+    for u in seed_nodes..config.nodes {
+        let source = NodeId::from_index(u);
+        chosen.clear();
+        let want = config.out_degree.min(u);
+        let mut attempts = 0usize;
+        while chosen.len() < want && attempts < want * 20 {
+            attempts += 1;
+            let candidate = if rng.gen_bool(config.uniform_mix) {
+                NodeId::from_index(rng.gen_range(0..u))
+            } else {
+                pool[rng.gen_range(0..pool.len())]
+            };
+            if candidate != source && !chosen.contains(&candidate) {
+                chosen.push(candidate);
+            }
+        }
+        for &target in &chosen {
+            edges.push(Edge {
+                source,
+                target,
+            });
+            pool.push(target);
+        }
+        pool.push(source);
+    }
+
+    edges
+}
+
+/// Generates a directed preferential-attachment graph (see
+/// [`preferential_attachment_edges`] for the arrival-ordered edge list).
+pub fn preferential_attachment(nodes: usize, out_degree: usize, seed: u64) -> DynamicGraph {
+    let config = PreferentialAttachmentConfig::new(nodes, out_degree, seed);
+    let edges = preferential_attachment_edges(&config);
+    DynamicGraph::from_edges(&edges, nodes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphView;
+
+    #[test]
+    fn generates_expected_node_and_edge_counts() {
+        let g = preferential_attachment(500, 4, 11);
+        assert_eq!(g.node_count(), 500);
+        // Every node — the 5 seed-clique nodes included — contributes exactly
+        // `out_degree` outgoing edges.
+        assert_eq!(g.edge_count(), 500 * 4);
+        assert!(g.out_degrees().iter().all(|&d| d == 4));
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let config = PreferentialAttachmentConfig::new(200, 3, 99);
+        let a = preferential_attachment_edges(&config);
+        let b = preferential_attachment_edges(&config);
+        assert_eq!(a, b);
+        let c = preferential_attachment_edges(&PreferentialAttachmentConfig::new(200, 3, 100));
+        assert_ne!(a, c, "different seeds should give different graphs");
+    }
+
+    #[test]
+    fn no_self_loops_and_no_duplicate_targets_per_node() {
+        let config = PreferentialAttachmentConfig::new(300, 5, 7);
+        let edges = preferential_attachment_edges(&config);
+        for e in &edges {
+            assert_ne!(e.source, e.target, "self loop generated: {e}");
+        }
+        let mut per_source: std::collections::HashMap<NodeId, Vec<NodeId>> =
+            std::collections::HashMap::new();
+        for e in &edges {
+            per_source.entry(e.source).or_default().push(e.target);
+        }
+        for (source, targets) in per_source {
+            let mut sorted = targets.clone();
+            sorted.sort();
+            sorted.dedup();
+            assert_eq!(
+                sorted.len(),
+                targets.len(),
+                "node {source} follows the same node twice"
+            );
+        }
+    }
+
+    #[test]
+    fn in_degree_is_heavy_tailed() {
+        let g = preferential_attachment(3_000, 5, 13);
+        let mut in_degrees = g.in_degrees();
+        in_degrees.sort_unstable_by(|a, b| b.cmp(a));
+        let max = in_degrees[0];
+        let median = in_degrees[in_degrees.len() / 2];
+        // Preferential attachment produces hubs far above the median in-degree.
+        assert!(
+            max >= 10 * median.max(1),
+            "expected a heavy tail, max={max} median={median}"
+        );
+    }
+
+    #[test]
+    fn uniform_mix_flattens_the_tail() {
+        let pa = preferential_attachment(2_000, 5, 17);
+        let mixed = DynamicGraph::from_edges(
+            &preferential_attachment_edges(
+                &PreferentialAttachmentConfig::new(2_000, 5, 17).with_uniform_mix(1.0),
+            ),
+            2_000,
+        );
+        let max_pa = *pa.in_degrees().iter().max().unwrap();
+        let max_mixed = *mixed.in_degrees().iter().max().unwrap();
+        assert!(
+            max_pa > max_mixed,
+            "pure PA should have a larger hub than uniform attachment ({max_pa} vs {max_mixed})"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "uniform_mix must be a probability")]
+    fn invalid_uniform_mix_panics() {
+        let _ = PreferentialAttachmentConfig::new(10, 2, 0).with_uniform_mix(1.5);
+    }
+}

@@ -1,0 +1,235 @@
+//! Two-date snapshot splits for the link-prediction experiment (Table 1).
+//!
+//! The paper selects 100 Twitter users who had 20–30 friends on the first date and grew
+//! their friend set by 50–100 % over five weeks, then asks how many of the *new*
+//! friendships appear in the top-100 / top-1000 of each recommender.  This module
+//! reproduces the selection protocol over a synthetic arrival sequence: the prefix of the
+//! sequence is "date 1", the suffix supplies the held-out future friendships.
+
+use crate::view::GraphView;
+use crate::{DynamicGraph, Edge, NodeId};
+use std::collections::HashSet;
+
+/// A pair of snapshots of an evolving graph: the base graph at date 1 and the edges that
+/// arrive between date 1 and date 2.
+#[derive(Debug, Clone)]
+pub struct SnapshotPair {
+    base_edges: Vec<Edge>,
+    future_edges: Vec<Edge>,
+    node_count: usize,
+}
+
+/// A user selected for the link-prediction evaluation, together with the held-out
+/// friendships they created after date 1.
+#[derive(Debug, Clone)]
+pub struct EvaluationUser {
+    /// The seed user.
+    pub user: NodeId,
+    /// Nodes this user started following between the two dates (restricted to nodes that
+    /// already existed and were "reasonably followed" at date 1).
+    pub future_targets: Vec<NodeId>,
+}
+
+/// Selection criteria matching Section 4.1 / Appendix A of the paper.
+#[derive(Debug, Clone, Copy)]
+pub struct UserSelection {
+    /// Minimum number of friends (out-degree) at date 1.  Paper: 20.
+    pub min_friends: usize,
+    /// Maximum number of friends at date 1.  Paper: 30.
+    pub max_friends: usize,
+    /// Minimum relative growth of the friend set between the dates.  Paper: 0.5.
+    pub min_growth: f64,
+    /// Minimum number of followers a future friend must already have at date 1 to count
+    /// ("reasonably followed").  Paper: 10.
+    pub min_target_followers: usize,
+    /// Maximum number of users to select.
+    pub max_users: usize,
+}
+
+impl Default for UserSelection {
+    fn default() -> Self {
+        UserSelection {
+            min_friends: 20,
+            max_friends: 30,
+            min_growth: 0.5,
+            min_target_followers: 10,
+            max_users: 100,
+        }
+    }
+}
+
+impl SnapshotPair {
+    /// Splits an arrival sequence into a base snapshot (`fraction` of the edges) and the
+    /// future arrivals.
+    pub fn from_arrivals(arrivals: &[Edge], fraction: f64, node_count: usize) -> Self {
+        let (base_edges, future_edges) = crate::stream::split_at_fraction(arrivals, fraction);
+        SnapshotPair {
+            base_edges,
+            future_edges,
+            node_count,
+        }
+    }
+
+    /// The graph as of date 1.
+    pub fn base_graph(&self) -> DynamicGraph {
+        DynamicGraph::from_edges(&self.base_edges, self.node_count)
+    }
+
+    /// The edges that arrive between date 1 and date 2.
+    pub fn future_edges(&self) -> &[Edge] {
+        &self.future_edges
+    }
+
+    /// The edges present at date 1.
+    pub fn base_edges(&self) -> &[Edge] {
+        &self.base_edges
+    }
+
+    /// Number of nodes in both snapshots.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Selects evaluation users according to `criteria` (a synthetic analogue of the
+    /// paper's "20–30 friends, grew by 50–100 %, new friends already reasonably
+    /// followed" protocol).
+    pub fn select_users(&self, criteria: &UserSelection) -> Vec<EvaluationUser> {
+        let base = self.base_graph();
+        // Future out-edges per user, filtered to targets existing & followed at date 1
+        // and not already followed by the user.
+        let mut users = Vec::new();
+        let mut future_by_user: Vec<Vec<NodeId>> = vec![Vec::new(); self.node_count];
+        for e in &self.future_edges {
+            if e.source.index() < self.node_count && e.target.index() < self.node_count {
+                future_by_user[e.source.index()].push(e.target);
+            }
+        }
+
+        for u in base.nodes() {
+            let friends = base.out_degree(u);
+            if friends < criteria.min_friends || friends > criteria.max_friends {
+                continue;
+            }
+            let existing: HashSet<NodeId> = base.out_neighbors(u).iter().copied().collect();
+            let mut targets: Vec<NodeId> = Vec::new();
+            let mut seen: HashSet<NodeId> = HashSet::new();
+            for &t in &future_by_user[u.index()] {
+                if t == u || existing.contains(&t) || seen.contains(&t) {
+                    continue;
+                }
+                if base.in_degree(t) < criteria.min_target_followers {
+                    continue;
+                }
+                seen.insert(t);
+                targets.push(t);
+            }
+            let growth = targets.len() as f64 / friends.max(1) as f64;
+            if growth + 1e-12 < criteria.min_growth {
+                continue;
+            }
+            users.push(EvaluationUser {
+                user: u,
+                future_targets: targets,
+            });
+            if users.len() >= criteria.max_users {
+                break;
+            }
+        }
+        users
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{preferential_attachment_edges, PreferentialAttachmentConfig};
+
+    fn snapshot() -> SnapshotPair {
+        let config = PreferentialAttachmentConfig::new(2_000, 25, 77);
+        let edges = preferential_attachment_edges(&config);
+        // Replay in random order so that each user's follows are spread across the two
+        // snapshots (in pure generation order a node creates all its edges at birth).
+        let arrivals = crate::stream::random_permutation(&edges, 7);
+        SnapshotPair::from_arrivals(&arrivals, 0.7, 2_000)
+    }
+
+    #[test]
+    fn split_preserves_every_edge() {
+        let snap = snapshot();
+        let config = PreferentialAttachmentConfig::new(2_000, 25, 77);
+        let all = preferential_attachment_edges(&config);
+        assert_eq!(snap.base_edges().len() + snap.future_edges().len(), all.len());
+        assert_eq!(snap.node_count(), 2_000);
+    }
+
+    #[test]
+    fn base_graph_has_only_prefix_edges() {
+        let snap = snapshot();
+        let base = snap.base_graph();
+        assert_eq!(base.edge_count(), snap.base_edges().len());
+        assert_eq!(base.node_count(), 2_000);
+    }
+
+    #[test]
+    fn selected_users_meet_criteria() {
+        let snap = snapshot();
+        let criteria = UserSelection {
+            min_friends: 10,
+            max_friends: 30,
+            min_growth: 0.05,
+            min_target_followers: 3,
+            max_users: 50,
+        };
+        let users = snap.select_users(&criteria);
+        assert!(!users.is_empty(), "the synthetic snapshot should yield evaluation users");
+        let base = snap.base_graph();
+        for eu in &users {
+            let friends = base.out_degree(eu.user);
+            assert!(friends >= criteria.min_friends && friends <= criteria.max_friends);
+            assert!(!eu.future_targets.is_empty());
+            let existing: HashSet<NodeId> = base.out_neighbors(eu.user).iter().copied().collect();
+            for &t in &eu.future_targets {
+                assert!(!existing.contains(&t), "future target already followed at date 1");
+                assert!(base.in_degree(t) >= criteria.min_target_followers);
+                assert_ne!(t, eu.user);
+            }
+        }
+        assert!(users.len() <= criteria.max_users);
+    }
+
+    #[test]
+    fn future_targets_are_deduplicated() {
+        // Build a tiny arrival sequence by hand: user 0 follows node 3 twice in the
+        // future window; the duplicate must be dropped.
+        let mut arrivals = vec![
+            Edge::new(1, 3),
+            Edge::new(2, 3),
+            Edge::new(4, 3),
+            Edge::new(0, 1),
+            Edge::new(0, 2),
+        ];
+        arrivals.extend([Edge::new(0, 3), Edge::new(0, 3)]);
+        let snap = SnapshotPair::from_arrivals(&arrivals, 5.0 / 7.0, 5);
+        let criteria = UserSelection {
+            min_friends: 1,
+            max_friends: 10,
+            min_growth: 0.0,
+            min_target_followers: 3,
+            max_users: 10,
+        };
+        let users = snap.select_users(&criteria);
+        let user0 = users.iter().find(|u| u.user == NodeId(0)).expect("user 0 selected");
+        assert_eq!(user0.future_targets, vec![NodeId(3)]);
+    }
+
+    #[test]
+    fn strict_criteria_can_select_nobody() {
+        let snap = snapshot();
+        let criteria = UserSelection {
+            min_friends: 1_000,
+            max_friends: 2_000,
+            ..UserSelection::default()
+        };
+        assert!(snap.select_users(&criteria).is_empty());
+    }
+}

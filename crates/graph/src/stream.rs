@@ -1,0 +1,244 @@
+//! Edge-arrival orderings.
+//!
+//! The paper's incremental analysis (Theorem 4) is stated for the *random permutation*
+//! model: the adversary picks the final edge set, but the edges arrive in a uniformly
+//! random order.  Section 2.2 also analyses the *Dirichlet* arrival model and shows by
+//! example that a fully adversarial order breaks the bound.  This module provides all
+//! three orderings plus the prefix/suffix split used to warm up a graph before replaying
+//! the remaining arrivals.
+
+use crate::{Edge, NodeId};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// How an edge set is ordered into an arrival sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalOrder {
+    /// Keep the order in which the generator emitted the edges (for preferential
+    /// attachment this is already a growth order).
+    AsGenerated,
+    /// Uniformly random permutation (the model of Theorem 4), with the given seed.
+    RandomPermutation(u64),
+    /// Sort edges so that all edges out of low-degree sources arrive last.  This is a
+    /// deliberately bad order used to demonstrate that the analysis needs randomness.
+    AdversarialLowDegreeLast,
+}
+
+/// Applies an [`ArrivalOrder`] to an edge list, returning the arrival sequence.
+pub fn order_edges(edges: &[Edge], order: ArrivalOrder) -> Vec<Edge> {
+    let mut out = edges.to_vec();
+    match order {
+        ArrivalOrder::AsGenerated => {}
+        ArrivalOrder::RandomPermutation(seed) => {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            out.shuffle(&mut rng);
+        }
+        ArrivalOrder::AdversarialLowDegreeLast => {
+            // Final out-degree of each source in the complete edge set.
+            let max_node = edges
+                .iter()
+                .map(|e| e.source.index().max(e.target.index()) + 1)
+                .max()
+                .unwrap_or(0);
+            let mut out_degree = vec![0usize; max_node];
+            for e in edges {
+                out_degree[e.source.index()] += 1;
+            }
+            // High-degree sources first, so that when a low-degree source's edge finally
+            // arrives, the arriving edge captures a large fraction of that source's
+            // stationary probability.
+            out.sort_by(|a, b| out_degree[b.source.index()].cmp(&out_degree[a.source.index()]));
+        }
+    }
+    out
+}
+
+/// Uniformly random permutation of an edge list (convenience wrapper).
+pub fn random_permutation(edges: &[Edge], seed: u64) -> Vec<Edge> {
+    order_edges(edges, ArrivalOrder::RandomPermutation(seed))
+}
+
+/// Splits an arrival sequence at `fraction` (0.0..=1.0): the prefix is used to build the
+/// initial graph, the suffix is replayed as live arrivals.
+pub fn split_at_fraction(edges: &[Edge], fraction: f64) -> (Vec<Edge>, Vec<Edge>) {
+    assert!(
+        (0.0..=1.0).contains(&fraction),
+        "fraction must be in [0, 1], got {fraction}"
+    );
+    let cut = ((edges.len() as f64) * fraction).round() as usize;
+    let cut = cut.min(edges.len());
+    (edges[..cut].to_vec(), edges[cut..].to_vec())
+}
+
+/// Generates an arrival sequence under the Dirichlet model of Section 2.2:
+/// at time `t` the source `u` is chosen with probability `(d_u(t-1) + 1) / (t - 1 + n)`
+/// where `d_u` is the current out-degree; the target is chosen uniformly among the other
+/// nodes.
+pub fn dirichlet_stream(nodes: usize, edges: usize, seed: u64) -> Vec<Edge> {
+    assert!(nodes >= 2, "need at least two nodes");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(edges);
+    // `pool` holds one entry per node (the +1 term) plus one entry per emitted edge,
+    // so uniform sampling from it realises the Dirichlet source distribution.
+    let mut pool: Vec<NodeId> = (0..nodes).map(NodeId::from_index).collect();
+    for _ in 0..edges {
+        let source = pool[rng.gen_range(0..pool.len())];
+        let target = loop {
+            let candidate = NodeId::from_index(rng.gen_range(0..nodes));
+            if candidate != source {
+                break candidate;
+            }
+        };
+        out.push(Edge { source, target });
+        pool.push(source);
+    }
+    out
+}
+
+/// The empirical statistic validated in Section 4.2: for each arriving edge `(u, w)`
+/// compute `π_u / outdeg_u` *at arrival time* and report `m` times the average, which the
+/// random-permutation model predicts to be ≈ 1 (the paper measured 0.81 on Twitter).
+///
+/// `pagerank` is a score vector over all nodes (any stationary-distribution estimate);
+/// `out_degree_at_arrival[t]` must be the out-degree of `arrivals[t].source` *after* the
+/// t-th edge has been inserted, matching `outdeg_{u_t}(t)` in Lemma 3.
+pub fn m_times_expected_ratio(
+    pagerank: &[f64],
+    arrivals: &[Edge],
+    out_degree_at_arrival: &[usize],
+) -> f64 {
+    assert_eq!(
+        arrivals.len(),
+        out_degree_at_arrival.len(),
+        "one out-degree observation per arrival is required"
+    );
+    if arrivals.is_empty() {
+        return 0.0;
+    }
+    let mean: f64 = arrivals
+        .iter()
+        .zip(out_degree_at_arrival)
+        .map(|(e, &d)| {
+            assert!(d > 0, "the arriving edge itself gives its source degree >= 1");
+            pagerank[e.source.index()] / d as f64
+        })
+        .sum::<f64>()
+        / arrivals.len() as f64;
+    arrivals.len() as f64 * mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::preferential_attachment_edges;
+    use crate::generators::PreferentialAttachmentConfig;
+
+    fn sample_edges() -> Vec<Edge> {
+        preferential_attachment_edges(&PreferentialAttachmentConfig::new(200, 3, 5))
+    }
+
+    #[test]
+    fn permutation_preserves_multiset() {
+        let edges = sample_edges();
+        let shuffled = random_permutation(&edges, 9);
+        assert_eq!(edges.len(), shuffled.len());
+        let mut a = edges.clone();
+        let mut b = shuffled.clone();
+        a.sort_by_key(|e| (e.source.0, e.target.0));
+        b.sort_by_key(|e| (e.source.0, e.target.0));
+        assert_eq!(a, b);
+        assert_ne!(edges, shuffled, "a 600-edge shuffle should not be the identity");
+    }
+
+    #[test]
+    fn permutation_is_deterministic_per_seed() {
+        let edges = sample_edges();
+        assert_eq!(random_permutation(&edges, 4), random_permutation(&edges, 4));
+        assert_ne!(random_permutation(&edges, 4), random_permutation(&edges, 5));
+    }
+
+    #[test]
+    fn as_generated_is_identity() {
+        let edges = sample_edges();
+        assert_eq!(order_edges(&edges, ArrivalOrder::AsGenerated), edges);
+    }
+
+    #[test]
+    fn adversarial_order_puts_low_degree_sources_last() {
+        let edges = vec![
+            Edge::new(0, 1),
+            Edge::new(0, 2),
+            Edge::new(0, 3),
+            Edge::new(4, 0),
+        ];
+        let ordered = order_edges(&edges, ArrivalOrder::AdversarialLowDegreeLast);
+        assert_eq!(ordered.last().unwrap().source, NodeId(4));
+        assert_eq!(ordered[0].source, NodeId(0));
+    }
+
+    #[test]
+    fn split_at_fraction_covers_whole_sequence() {
+        let edges = sample_edges();
+        let (prefix, suffix) = split_at_fraction(&edges, 0.8);
+        assert_eq!(prefix.len() + suffix.len(), edges.len());
+        assert_eq!(prefix.len(), (edges.len() as f64 * 0.8).round() as usize);
+        let (all, none) = split_at_fraction(&edges, 1.0);
+        assert_eq!(all.len(), edges.len());
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction must be in [0, 1]")]
+    fn split_rejects_bad_fraction() {
+        let _ = split_at_fraction(&sample_edges(), 1.2);
+    }
+
+    #[test]
+    fn dirichlet_stream_has_requested_length_and_valid_nodes() {
+        let stream = dirichlet_stream(50, 500, 3);
+        assert_eq!(stream.len(), 500);
+        for e in &stream {
+            assert!(e.source.index() < 50 && e.target.index() < 50);
+            assert!(!e.is_self_loop());
+        }
+    }
+
+    #[test]
+    fn dirichlet_stream_is_rich_get_richer() {
+        let stream = dirichlet_stream(100, 5_000, 11);
+        let mut out_degree = vec![0usize; 100];
+        for e in &stream {
+            out_degree[e.source.index()] += 1;
+        }
+        let max = *out_degree.iter().max().unwrap();
+        let min = *out_degree.iter().min().unwrap();
+        assert!(
+            max >= 3 * (min + 1),
+            "Dirichlet sources should be skewed: max={max} min={min}"
+        );
+    }
+
+    #[test]
+    fn m_times_expected_ratio_on_uniform_inputs() {
+        // Uniform PageRank 1/n and every arriving source has out-degree 1:
+        // m * mean(π/d) = m * (1/n) so with m = n the statistic is exactly 1.
+        let n = 10usize;
+        let pagerank = vec![1.0 / n as f64; n];
+        let arrivals: Vec<Edge> = (0..n).map(|i| Edge::new(i as u32, ((i + 1) % n) as u32)).collect();
+        let degrees = vec![1usize; n];
+        let stat = m_times_expected_ratio(&pagerank, &arrivals, &degrees);
+        assert!((stat - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn m_times_expected_ratio_empty_is_zero() {
+        assert_eq!(m_times_expected_ratio(&[], &[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one out-degree observation per arrival")]
+    fn m_times_expected_ratio_checks_lengths() {
+        let _ = m_times_expected_ratio(&[1.0], &[Edge::new(0, 1)], &[]);
+    }
+}

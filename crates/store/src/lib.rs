@@ -1,0 +1,26 @@
+//! Storage substrates for the `fast-ppr` workspace.
+//!
+//! The paper assumes two stores:
+//!
+//! * the **Social Store** ("FlockDB" at Twitter): the social graph held in distributed
+//!   shared memory, supporting random access to a node's adjacency.  The cost the paper
+//!   charges to the personalization algorithm is the number of *fetches* made against
+//!   this store, so [`social::SocialStore`] instruments every access.
+//! * the **PageRank Store**: for every node, `R` cached random-walk segments plus two
+//!   counters — `W(v)`, the number of walk-segment visits to `v`, and `d(v)`, the
+//!   out-degree of `v` — which drive both the Monte Carlo estimator and the
+//!   `1 - (1 - 1/d(v))^{W(v)}` filter that decides whether an arriving edge needs to
+//!   touch the PageRank Store at all.  This is [`walks::WalkStore`].
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod metrics;
+pub mod segment;
+pub mod social;
+pub mod walks;
+
+pub use metrics::{StoreMetrics, WorkCounter};
+pub use segment::{SegmentId, WalkSegment};
+pub use social::SocialStore;
+pub use walks::WalkStore;

@@ -1,0 +1,148 @@
+//! Instrumentation counters.
+//!
+//! The paper's efficiency claims are stated in terms of abstract work units — fetches
+//! against the Social Store, walk segments rebuilt, walk steps re-simulated — rather
+//! than wall-clock time on Twitter's hardware.  These counters make those quantities
+//! observable so the experiments can compare measured work against the theoretical
+//! bounds (Theorems 4, 6, 8; Proposition 5; Corollary 9).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters exposed by the [`crate::SocialStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreMetrics {
+    /// Number of `fetch` operations (the quantity bounded by Theorem 8 / Corollary 9 and
+    /// plotted in Figure 6).
+    pub fetches: u64,
+    /// Total number of adjacency entries returned by fetches.
+    pub edges_returned: u64,
+    /// Number of single-neighbour random samples served without a full fetch (the
+    /// Remark 1 variant of the fetch operation).
+    pub sampled_neighbor_queries: u64,
+    /// Number of edge insertions applied to the store.
+    pub edge_insertions: u64,
+    /// Number of edge deletions applied to the store.
+    pub edge_deletions: u64,
+}
+
+/// Thread-safe counter block backing [`StoreMetrics`].
+#[derive(Debug, Default)]
+pub(crate) struct AtomicStoreMetrics {
+    pub fetches: AtomicU64,
+    pub edges_returned: AtomicU64,
+    pub sampled_neighbor_queries: AtomicU64,
+    pub edge_insertions: AtomicU64,
+    pub edge_deletions: AtomicU64,
+}
+
+impl AtomicStoreMetrics {
+    pub(crate) fn snapshot(&self) -> StoreMetrics {
+        StoreMetrics {
+            fetches: self.fetches.load(Ordering::Relaxed),
+            edges_returned: self.edges_returned.load(Ordering::Relaxed),
+            sampled_neighbor_queries: self.sampled_neighbor_queries.load(Ordering::Relaxed),
+            edge_insertions: self.edge_insertions.load(Ordering::Relaxed),
+            edge_deletions: self.edge_deletions.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn reset(&self) {
+        self.fetches.store(0, Ordering::Relaxed);
+        self.edges_returned.store(0, Ordering::Relaxed);
+        self.sampled_neighbor_queries.store(0, Ordering::Relaxed);
+        self.edge_insertions.store(0, Ordering::Relaxed);
+        self.edge_deletions.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Accumulator for the update work performed by the incremental engines.
+///
+/// One unit of `walk_steps` corresponds to one random-walk step re-simulated, which is
+/// the unit in which Theorem 4 states its `nR ln m / ε²` bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WorkCounter {
+    /// Number of walk segments that were rerouted or rebuilt.
+    pub segments_updated: u64,
+    /// Number of random-walk steps executed while rerouting/rebuilding segments.
+    pub walk_steps: u64,
+    /// Number of edge arrivals processed.
+    pub edges_processed: u64,
+    /// Number of arrivals that were filtered out without touching the PageRank Store
+    /// (the `1 - (1 - 1/d(v))^{W(v)}` pre-check of Section 2.2).
+    pub arrivals_filtered: u64,
+}
+
+impl WorkCounter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds another counter's totals into this one.
+    pub fn merge(&mut self, other: &WorkCounter) {
+        self.segments_updated += other.segments_updated;
+        self.walk_steps += other.walk_steps;
+        self.edges_processed += other.edges_processed;
+        self.arrivals_filtered += other.arrivals_filtered;
+    }
+
+    /// Total abstract work: walk steps plus one unit per segment touched.
+    pub fn total_work(&self) -> u64 {
+        self.walk_steps + self.segments_updated
+    }
+
+    /// Average walk steps per processed arrival; zero if nothing was processed.
+    pub fn steps_per_edge(&self) -> f64 {
+        if self.edges_processed == 0 {
+            0.0
+        } else {
+            self.walk_steps as f64 / self.edges_processed as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atomic_snapshot_and_reset() {
+        let metrics = AtomicStoreMetrics::default();
+        metrics.fetches.fetch_add(3, Ordering::Relaxed);
+        metrics.edges_returned.fetch_add(10, Ordering::Relaxed);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.fetches, 3);
+        assert_eq!(snap.edges_returned, 10);
+        assert_eq!(snap.edge_insertions, 0);
+        metrics.reset();
+        assert_eq!(metrics.snapshot(), StoreMetrics::default());
+    }
+
+    #[test]
+    fn work_counter_merge_and_totals() {
+        let mut a = WorkCounter {
+            segments_updated: 2,
+            walk_steps: 10,
+            edges_processed: 4,
+            arrivals_filtered: 1,
+        };
+        let b = WorkCounter {
+            segments_updated: 1,
+            walk_steps: 5,
+            edges_processed: 2,
+            arrivals_filtered: 0,
+        };
+        a.merge(&b);
+        assert_eq!(a.segments_updated, 3);
+        assert_eq!(a.walk_steps, 15);
+        assert_eq!(a.edges_processed, 6);
+        assert_eq!(a.arrivals_filtered, 1);
+        assert_eq!(a.total_work(), 18);
+        assert!((a.steps_per_edge() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn steps_per_edge_handles_zero_edges() {
+        assert_eq!(WorkCounter::new().steps_per_edge(), 0.0);
+    }
+}

@@ -1,0 +1,172 @@
+//! Walk segments and their identifiers.
+//!
+//! A *walk segment* is one "continuous session by a random surfer" (Section 1.1): a
+//! random walk started at its source node and continued until its first reset.  The
+//! PageRank Store keeps `R` such segments per node; the global estimator only needs
+//! their visit counts, while the personalized walker (Algorithm 1) consumes entire
+//! segments.
+
+use ppr_graph::NodeId;
+
+/// Identifier of a walk segment in a [`crate::WalkStore`].
+///
+/// Segments are stored in a flat array with `R` consecutive slots per node, so the id is
+/// simply the flat index `node_index * R + slot`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SegmentId(pub u32);
+
+impl SegmentId {
+    /// Builds the id of the `slot`-th segment of `node` when `r` segments are stored per
+    /// node.
+    #[inline]
+    pub fn new(node: NodeId, slot: usize, r: usize) -> Self {
+        debug_assert!(slot < r, "slot {slot} out of range for R = {r}");
+        SegmentId((node.index() * r + slot) as u32)
+    }
+
+    /// The flat index of this segment.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The node this segment starts at, given `r` segments per node.
+    #[inline]
+    pub fn source(self, r: usize) -> NodeId {
+        NodeId::from_index(self.index() / r)
+    }
+
+    /// The slot (0-based) of this segment among its source's segments.
+    #[inline]
+    pub fn slot(self, r: usize) -> usize {
+        self.index() % r
+    }
+}
+
+/// One cached random-walk segment.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WalkSegment {
+    path: Vec<NodeId>,
+}
+
+impl WalkSegment {
+    /// Creates a segment from its visited path.  The path must start at the segment's
+    /// source node; an empty path denotes a segment that has not been generated yet.
+    pub fn new(path: Vec<NodeId>) -> Self {
+        WalkSegment { path }
+    }
+
+    /// The full visited path, starting at the source node.
+    #[inline]
+    pub fn path(&self) -> &[NodeId] {
+        &self.path
+    }
+
+    /// Number of node visits in the segment (the contribution to `X_v` counters).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.path.len()
+    }
+
+    /// `true` if the segment has not been generated yet.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.path.is_empty()
+    }
+
+    /// The node the segment starts at, if generated.
+    #[inline]
+    pub fn source(&self) -> Option<NodeId> {
+        self.path.first().copied()
+    }
+
+    /// The last node of the segment (where the reset happened), if generated.
+    #[inline]
+    pub fn last(&self) -> Option<NodeId> {
+        self.path.last().copied()
+    }
+
+    /// Positions (indices into the path) at which the segment visits `node`.
+    pub fn positions_of(&self, node: NodeId) -> Vec<usize> {
+        self.path
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &v)| (v == node).then_some(i))
+            .collect()
+    }
+
+    /// Whether the segment traverses the directed edge `from -> to` at any step.
+    pub fn uses_edge(&self, from: NodeId, to: NodeId) -> bool {
+        self.path.windows(2).any(|w| w[0] == from && w[1] == to)
+    }
+
+    /// Consumes the segment and returns the owned path.
+    pub fn into_path(self) -> Vec<NodeId> {
+        self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(nodes: &[u32]) -> WalkSegment {
+        WalkSegment::new(nodes.iter().map(|&n| NodeId(n)).collect())
+    }
+
+    #[test]
+    fn segment_id_roundtrip() {
+        let r = 4;
+        for node in 0..10u32 {
+            for slot in 0..r {
+                let id = SegmentId::new(NodeId(node), slot, r);
+                assert_eq!(id.source(r), NodeId(node));
+                assert_eq!(id.slot(r), slot);
+            }
+        }
+    }
+
+    #[test]
+    fn segment_ids_are_dense_and_unique() {
+        let r = 3;
+        let mut seen = std::collections::HashSet::new();
+        for node in 0..5u32 {
+            for slot in 0..r {
+                assert!(seen.insert(SegmentId::new(NodeId(node), slot, r)));
+            }
+        }
+        assert_eq!(seen.len(), 15);
+        let max = seen.iter().map(|s| s.index()).max().unwrap();
+        assert_eq!(max, 14);
+    }
+
+    #[test]
+    fn path_accessors() {
+        let s = seg(&[3, 1, 4, 1, 5]);
+        assert_eq!(s.len(), 5);
+        assert!(!s.is_empty());
+        assert_eq!(s.source(), Some(NodeId(3)));
+        assert_eq!(s.last(), Some(NodeId(5)));
+        assert_eq!(s.positions_of(NodeId(1)), vec![1, 3]);
+        assert_eq!(s.positions_of(NodeId(9)), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn uses_edge_detects_consecutive_pairs_only() {
+        let s = seg(&[0, 1, 2, 1]);
+        assert!(s.uses_edge(NodeId(0), NodeId(1)));
+        assert!(s.uses_edge(NodeId(2), NodeId(1)));
+        assert!(!s.uses_edge(NodeId(1), NodeId(0)));
+        assert!(!s.uses_edge(NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn empty_segment_behaviour() {
+        let s = WalkSegment::default();
+        assert!(s.is_empty());
+        assert_eq!(s.source(), None);
+        assert_eq!(s.last(), None);
+        assert!(!s.uses_edge(NodeId(0), NodeId(1)));
+        assert_eq!(s.into_path(), Vec::<NodeId>::new());
+    }
+}

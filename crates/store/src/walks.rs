@@ -1,0 +1,323 @@
+//! The PageRank Store: per-node cached walk segments with visit indexing.
+//!
+//! Section 2.1 of the paper stores `R` walk segments per node, "where each segment is
+//! stored at every node that it passes through".  That secondary index is what makes
+//! incremental maintenance cheap: when an edge `(u, v)` arrives, only the segments that
+//! visit `u` can possibly need an update.  [`WalkStore`] keeps:
+//!
+//! * the segments themselves, in `R` consecutive slots per source node;
+//! * for every node `v`, the map from segment id to the number of times that segment
+//!   visits `v` (whose sum is the paper's `W(v)` counter and the estimator's `X_v`);
+//! * the running total of all visits, used to normalise the PageRank estimates.
+
+use crate::segment::{SegmentId, WalkSegment};
+use ppr_graph::NodeId;
+use std::collections::HashMap;
+
+/// Storage for `R` random-walk segments per node, indexed by visited node.
+#[derive(Debug, Clone)]
+pub struct WalkStore {
+    r: usize,
+    segments: Vec<WalkSegment>,
+    /// For every node, which segments visit it and how many times.
+    visitors: Vec<HashMap<SegmentId, u32>>,
+    /// Total visits per node (`X_v` / `W(v)` in the paper).
+    visit_counts: Vec<u64>,
+    /// Sum of `visit_counts` (i.e. the total length of all stored segments).
+    total_visits: u64,
+}
+
+impl WalkStore {
+    /// Creates an empty store for `node_count` nodes with `r` segments per node.
+    pub fn new(node_count: usize, r: usize) -> Self {
+        assert!(r >= 1, "need at least one walk segment per node");
+        WalkStore {
+            r,
+            segments: vec![WalkSegment::default(); node_count * r],
+            visitors: vec![HashMap::new(); node_count],
+            visit_counts: vec![0; node_count],
+            total_visits: 0,
+        }
+    }
+
+    /// Number of segments stored per node.
+    #[inline]
+    pub fn r(&self) -> usize {
+        self.r
+    }
+
+    /// Number of nodes the store currently addresses.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.visit_counts.len()
+    }
+
+    /// Grows the store to address at least `n` nodes (new nodes start with empty
+    /// segments).
+    pub fn ensure_nodes(&mut self, n: usize) {
+        if n <= self.node_count() {
+            return;
+        }
+        self.segments.resize(n * self.r, WalkSegment::default());
+        self.visitors.resize(n, HashMap::new());
+        self.visit_counts.resize(n, 0);
+    }
+
+    /// Ids of the `R` segments whose source is `node`.
+    pub fn segment_ids_of(&self, node: NodeId) -> impl Iterator<Item = SegmentId> + '_ {
+        let r = self.r;
+        (0..r).map(move |slot| SegmentId::new(node, slot, r))
+    }
+
+    /// The segment with the given id.
+    #[inline]
+    pub fn segment(&self, id: SegmentId) -> &WalkSegment {
+        &self.segments[id.index()]
+    }
+
+    /// The source node of a segment id.
+    #[inline]
+    pub fn source_of(&self, id: SegmentId) -> NodeId {
+        id.source(self.r)
+    }
+
+    /// Replaces the path of segment `id`, keeping every index consistent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new path is non-empty and does not start at the segment's source
+    /// node, or if it visits a node outside the store.
+    pub fn set_segment(&mut self, id: SegmentId, path: Vec<NodeId>) {
+        let source = self.source_of(id);
+        if let Some(&first) = path.first() {
+            assert_eq!(
+                first, source,
+                "segment {id:?} must start at its source node {source}"
+            );
+        }
+        for &v in &path {
+            assert!(
+                v.index() < self.node_count(),
+                "segment visits node {v} outside the store (node_count = {})",
+                self.node_count()
+            );
+        }
+        self.remove_from_index(id);
+        self.add_to_index(id, &path);
+        self.segments[id.index()] = WalkSegment::new(path);
+    }
+
+    /// Clears the segment with the given id (used before regenerating it from scratch).
+    pub fn clear_segment(&mut self, id: SegmentId) {
+        self.remove_from_index(id);
+        self.segments[id.index()] = WalkSegment::default();
+    }
+
+    fn add_to_index(&mut self, id: SegmentId, path: &[NodeId]) {
+        for &v in path {
+            *self.visitors[v.index()].entry(id).or_insert(0) += 1;
+            self.visit_counts[v.index()] += 1;
+        }
+        self.total_visits += path.len() as u64;
+    }
+
+    fn remove_from_index(&mut self, id: SegmentId) {
+        let old_path = std::mem::take(&mut self.segments[id.index()]).into_path();
+        for &v in &old_path {
+            let entry = self.visitors[v.index()]
+                .get_mut(&id)
+                .expect("visit index out of sync with segment path");
+            *entry -= 1;
+            if *entry == 0 {
+                self.visitors[v.index()].remove(&id);
+            }
+            self.visit_counts[v.index()] -= 1;
+        }
+        self.total_visits -= old_path.len() as u64;
+    }
+
+    /// The segments that currently visit `node`, with their visit multiplicities.
+    pub fn segments_visiting(&self, node: NodeId) -> impl Iterator<Item = (SegmentId, u32)> + '_ {
+        self.visitors[node.index()].iter().map(|(&id, &count)| (id, count))
+    }
+
+    /// Number of distinct segments visiting `node`.
+    pub fn distinct_visitors(&self, node: NodeId) -> usize {
+        self.visitors[node.index()].len()
+    }
+
+    /// Total walk-segment visits to `node` — the paper's `W(v)` counter and the
+    /// estimator's `X_v`.
+    #[inline]
+    pub fn visit_count(&self, node: NodeId) -> u64 {
+        self.visit_counts[node.index()]
+    }
+
+    /// The full visit-count vector, indexed by node.
+    pub fn visit_counts(&self) -> &[u64] {
+        &self.visit_counts
+    }
+
+    /// Sum of all visit counts (total stored walk length).
+    #[inline]
+    pub fn total_visits(&self) -> u64 {
+        self.total_visits
+    }
+
+    /// The probability `1 - (1 - 1/d)^{W(v)}` used by Section 2.2 to decide, on arrival
+    /// of an edge out of `node` whose source now has out-degree `d`, whether the
+    /// PageRank Store needs to be consulted at all.
+    pub fn update_probability(&self, node: NodeId, out_degree: usize) -> f64 {
+        if out_degree == 0 {
+            return 0.0;
+        }
+        let w = self.visit_count(node);
+        1.0 - (1.0 - 1.0 / out_degree as f64).powi(i32::try_from(w.min(i32::MAX as u64)).unwrap())
+    }
+
+    /// Debug check: recomputes the visit index from scratch and compares.
+    pub fn check_consistency(&self) -> Result<(), String> {
+        let mut counts = vec![0u64; self.node_count()];
+        let mut total = 0u64;
+        for seg in &self.segments {
+            for &v in seg.path() {
+                counts[v.index()] += 1;
+                total += 1;
+            }
+        }
+        if counts != self.visit_counts {
+            return Err("visit_counts out of sync with stored segments".to_string());
+        }
+        if total != self.total_visits {
+            return Err(format!(
+                "total_visits is {} but segments hold {total} visits",
+                self.total_visits
+            ));
+        }
+        for (v, visitors) in self.visitors.iter().enumerate() {
+            let expected: u64 = visitors.values().map(|&c| c as u64).sum();
+            if expected != self.visit_counts[v] {
+                return Err(format!(
+                    "visitor index for node {v} sums to {expected}, expected {}",
+                    self.visit_counts[v]
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(nodes: &[u32]) -> Vec<NodeId> {
+        nodes.iter().map(|&n| NodeId(n)).collect()
+    }
+
+    #[test]
+    fn set_segment_updates_indexes() {
+        let mut store = WalkStore::new(4, 2);
+        let id = SegmentId::new(NodeId(0), 0, 2);
+        store.set_segment(id, path(&[0, 1, 2, 1]));
+        assert_eq!(store.visit_count(NodeId(1)), 2);
+        assert_eq!(store.visit_count(NodeId(0)), 1);
+        assert_eq!(store.total_visits(), 4);
+        assert_eq!(store.distinct_visitors(NodeId(1)), 1);
+        assert!(store.check_consistency().is_ok());
+    }
+
+    #[test]
+    fn replacing_a_segment_removes_old_visits() {
+        let mut store = WalkStore::new(4, 1);
+        let id = SegmentId::new(NodeId(0), 0, 1);
+        store.set_segment(id, path(&[0, 1, 2]));
+        store.set_segment(id, path(&[0, 3]));
+        assert_eq!(store.visit_count(NodeId(1)), 0);
+        assert_eq!(store.visit_count(NodeId(2)), 0);
+        assert_eq!(store.visit_count(NodeId(3)), 1);
+        assert_eq!(store.total_visits(), 2);
+        assert_eq!(store.distinct_visitors(NodeId(1)), 0);
+        assert!(store.check_consistency().is_ok());
+    }
+
+    #[test]
+    fn clear_segment_resets_everything_it_touched() {
+        let mut store = WalkStore::new(3, 1);
+        let id = SegmentId::new(NodeId(1), 0, 1);
+        store.set_segment(id, path(&[1, 2, 2]));
+        store.clear_segment(id);
+        assert!(store.segment(id).is_empty());
+        assert_eq!(store.total_visits(), 0);
+        assert_eq!(store.visit_count(NodeId(2)), 0);
+        assert!(store.check_consistency().is_ok());
+    }
+
+    #[test]
+    fn multiple_segments_per_node_are_independent() {
+        let mut store = WalkStore::new(3, 2);
+        let a = SegmentId::new(NodeId(0), 0, 2);
+        let b = SegmentId::new(NodeId(0), 1, 2);
+        store.set_segment(a, path(&[0, 1]));
+        store.set_segment(b, path(&[0, 2, 1]));
+        assert_eq!(store.visit_count(NodeId(1)), 2);
+        assert_eq!(store.distinct_visitors(NodeId(1)), 2);
+        let ids: Vec<_> = store.segment_ids_of(NodeId(0)).collect();
+        assert_eq!(ids, vec![a, b]);
+        assert_eq!(store.source_of(b), NodeId(0));
+        assert_eq!(store.segment(b).path(), path(&[0, 2, 1]).as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "must start at its source node")]
+    fn segment_must_start_at_source() {
+        let mut store = WalkStore::new(3, 1);
+        store.set_segment(SegmentId::new(NodeId(0), 0, 1), path(&[1, 2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the store")]
+    fn segment_cannot_visit_unknown_nodes() {
+        let mut store = WalkStore::new(2, 1);
+        store.set_segment(SegmentId::new(NodeId(0), 0, 1), path(&[0, 5]));
+    }
+
+    #[test]
+    fn ensure_nodes_grows_storage() {
+        let mut store = WalkStore::new(2, 3);
+        store.ensure_nodes(5);
+        assert_eq!(store.node_count(), 5);
+        let id = SegmentId::new(NodeId(4), 2, 3);
+        store.set_segment(id, path(&[4, 1]));
+        assert_eq!(store.visit_count(NodeId(4)), 1);
+        // Shrinking is a no-op.
+        store.ensure_nodes(1);
+        assert_eq!(store.node_count(), 5);
+    }
+
+    #[test]
+    fn update_probability_matches_formula() {
+        let mut store = WalkStore::new(2, 1);
+        store.set_segment(SegmentId::new(NodeId(0), 0, 1), path(&[0, 1, 0, 1, 0]));
+        // W(0) = 3 visits, d = 2  =>  1 - (1/2)^3 = 0.875
+        assert!((store.update_probability(NodeId(0), 2) - 0.875).abs() < 1e-12);
+        // Zero out-degree can never reroute a walk.
+        assert_eq!(store.update_probability(NodeId(0), 0), 0.0);
+        // W(1) = 2 visits, d = 5  =>  1 - (4/5)^2.
+        assert_eq!(store.update_probability(NodeId(1), 5), 1.0 - (1.0 - 0.2f64).powi(2));
+    }
+
+    #[test]
+    fn empty_store_is_consistent() {
+        let store = WalkStore::new(10, 2);
+        assert_eq!(store.total_visits(), 0);
+        assert!(store.check_consistency().is_ok());
+        assert_eq!(store.visit_counts().len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one walk segment")]
+    fn zero_r_rejected() {
+        let _ = WalkStore::new(3, 0);
+    }
+}

@@ -1,0 +1,49 @@
+//! Fetch efficiency of personalized top-k queries: how many Social-Store fetches a
+//! stitched walk needs as the walk grows (Theorem 8), and how the Equation 4 walk length
+//! compares with the Corollary 9 fetch bound (Remark 2).
+//!
+//! Run with: `cargo run --release --example top_k_personalized`
+
+use fast_ppr::prelude::*;
+use ppr_core::bounds;
+
+fn main() {
+    let graph = preferential_attachment(20_000, 25, 3);
+    let r = 10;
+    let epsilon = 0.2;
+    let engine = IncrementalPageRank::from_graph(&graph, MonteCarloConfig::new(epsilon, r).with_seed(5));
+    let seed = graph
+        .nodes()
+        .find(|&u| (20..=30).contains(&graph.out_degree(u)))
+        .expect("generator gives every node 25 friends");
+
+    println!("walk_length   fetches   fetches/step");
+    for &length in &[500usize, 2_000, 8_000, 32_000] {
+        engine.social_store().reset_metrics();
+        let mut walker = PersonalizedWalker::new(
+            engine.social_store(),
+            engine.walk_store(),
+            epsilon,
+            length as u64,
+        );
+        let result = walker.walk(seed, length);
+        println!(
+            "{length:11}   {:7}   {:.3}",
+            result.fetches,
+            result.fetches as f64 / result.total_visits as f64
+        );
+    }
+
+    println!("\nRemark 2 closed forms (alpha = 0.75, c = 5, R = 10, k = 100, n = 1e8):");
+    let s_k = bounds::walk_length_for_top_k(100, 5.0, 0.75, 100_000_000);
+    println!("  walk length needed (Eq. 4):      {s_k:.0} steps");
+    println!(
+        "  fetch bound (Corollary 9):       {:.0} fetches",
+        bounds::top_k_fetches(100, 5.0, 0.75, r)
+    );
+
+    println!("\ntop 10 personalized results for user {seed}:");
+    for (node, score) in engine.personalized_top_k(seed, 10, 10_000) {
+        println!("  node {node:6}  frequency {score:.4}");
+    }
+}

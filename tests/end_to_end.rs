@@ -1,0 +1,131 @@
+//! Cross-crate integration tests: the full pipeline from graph generation through
+//! incremental maintenance to personalized retrieval, checked against the exact
+//! baselines.
+
+use fast_ppr::prelude::*;
+use ppr_analysis::ranking::{top_k_indices, top_k_overlap};
+use ppr_baselines::power_iteration::PowerIterationConfig;
+use ppr_graph::generators::{preferential_attachment_edges, PreferentialAttachmentConfig};
+use ppr_graph::stream::random_permutation;
+use ppr_graph::Edge;
+use std::collections::HashSet;
+
+/// Builds the whole system incrementally from an empty graph and checks that the
+/// resulting global estimates track power iteration on the final graph.
+#[test]
+fn incremental_build_tracks_power_iteration_end_to_end() {
+    let nodes = 400;
+    let generated =
+        preferential_attachment_edges(&PreferentialAttachmentConfig::new(nodes, 5, 21));
+    let arrivals = random_permutation(&generated, 23);
+
+    let mut engine =
+        IncrementalPageRank::new_empty(nodes, MonteCarloConfig::new(0.2, 20).with_seed(25));
+    for &edge in &arrivals {
+        engine.add_edge(edge);
+    }
+    engine.validate_segments().expect("segments stay valid");
+
+    let exact = power_iteration(engine.graph(), &PowerIterationConfig::with_epsilon(0.2));
+    let tvd = engine.estimates().total_variation_distance(&exact.scores);
+    assert!(tvd < 0.12, "total variation distance {tvd} too large");
+
+    // The update work stays far below a per-edge rebuild.
+    let rebuild = engine.config().expected_initialization_cost(nodes);
+    assert!(
+        engine.work().steps_per_edge() < rebuild / 20.0,
+        "per-edge work {} should be far below a rebuild ({rebuild})",
+        engine.work().steps_per_edge()
+    );
+}
+
+/// The personalized Monte Carlo ranking agrees with exact personalized power iteration
+/// on the head of the ranking.
+#[test]
+fn stitched_personalized_ranking_matches_exact_ranking() {
+    let graph = preferential_attachment(2_000, 25, 27);
+    let engine =
+        IncrementalPageRank::from_graph(&graph, MonteCarloConfig::new(0.2, 10).with_seed(29));
+    let seed = NodeId(1_500);
+    let exclude: HashSet<usize> = std::iter::once(seed.index())
+        .chain(graph.out_neighbors(seed).iter().map(|n| n.index()))
+        .collect();
+
+    let exact = personalized_power_iteration(&graph, seed, &PowerIterationConfig::with_epsilon(0.2));
+    let exact_top = top_k_indices(&exact.scores, 20, &exclude);
+
+    let mc_top: Vec<usize> = engine
+        .personalized_top_k(seed, 20, 30_000)
+        .into_iter()
+        .map(|(node, _)| node.index())
+        .collect();
+
+    let overlap = top_k_overlap(&exact_top, &mc_top, 20);
+    assert!(
+        overlap >= 0.5,
+        "Monte Carlo and exact personalized top-20 should mostly agree, overlap = {overlap}"
+    );
+}
+
+/// Edge deletions keep the system consistent and the estimates accurate.
+#[test]
+fn deletions_keep_estimates_consistent() {
+    let graph = preferential_attachment(300, 6, 31);
+    let mut engine =
+        IncrementalPageRank::from_graph(&graph, MonteCarloConfig::new(0.2, 15).with_seed(33));
+
+    let victims: Vec<Edge> = engine
+        .graph()
+        .collect_edges()
+        .into_iter()
+        .step_by(3)
+        .take(200)
+        .collect();
+    for edge in &victims {
+        engine.remove_edge(*edge).expect("victim edges exist");
+    }
+    engine.validate_segments().expect("segments stay valid after deletions");
+
+    let exact = power_iteration(engine.graph(), &PowerIterationConfig::with_epsilon(0.2));
+    let tvd = engine.estimates().total_variation_distance(&exact.scores);
+    assert!(tvd < 0.15, "estimates should survive deletions, TVD = {tvd}");
+}
+
+/// Monte Carlo SALSA authorities agree with the exact SALSA iteration, end to end.
+#[test]
+fn monte_carlo_salsa_matches_exact_salsa() {
+    let graph = preferential_attachment(250, 5, 35);
+    let engine = IncrementalSalsa::from_graph(&graph, MonteCarloConfig::new(0.2, 20).with_seed(37));
+    let exact = salsa_exact(&graph, 30);
+    let estimates = engine.estimates();
+    let tvd: f64 = 0.5
+        * estimates
+            .authorities
+            .iter()
+            .zip(&exact.authorities)
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f64>();
+    assert!(tvd < 0.15, "SALSA authority TVD {tvd} too large");
+}
+
+/// The full recommender comparison of Appendix A runs through the façade crate.
+#[test]
+fn recommenders_produce_disjoint_from_friends_rankings() {
+    let graph = preferential_attachment(1_000, 20, 39);
+    let seed = NodeId(700);
+    let friends: HashSet<NodeId> = graph.out_neighbors(seed).iter().copied().collect();
+
+    let engine =
+        IncrementalPageRank::from_graph(&graph, MonteCarloConfig::new(0.2, 5).with_seed(41));
+    for (node, _) in engine.personalized_top_k(seed, 10, 5_000) {
+        assert!(!friends.contains(&node) && node != seed);
+    }
+
+    let hits = personalized_hits(&graph, seed, 0.2, 10);
+    let salsa = IncrementalSalsa::from_graph(&graph, MonteCarloConfig::new(0.2, 5).with_seed(43));
+    let salsa_top = salsa.personalized_top_k(seed, 10, 20_000);
+    assert!(!hits.authorities.is_empty());
+    for (node, _) in salsa_top {
+        assert!(!friends.contains(&node) && node != seed);
+    }
+}

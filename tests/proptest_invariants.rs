@@ -1,0 +1,176 @@
+//! Property-based tests over the core data structures and the incremental engine.
+//!
+//! The central invariant of the paper's method is that, whatever sequence of edge
+//! insertions and deletions occurs, every stored walk segment remains a valid walk of
+//! the *current* graph and the visit index stays in sync — that is exactly what makes
+//! the O(nR ln m / ε²) maintenance argument sound.  These tests drive the system with
+//! arbitrary operation sequences and check those invariants, plus structural properties
+//! of the graph substrate and the analysis toolkit.
+
+use fast_ppr::prelude::*;
+use ppr_graph::{CsrGraph, Edge};
+use proptest::prelude::*;
+
+/// An arbitrary edge among `n` nodes.
+fn arb_edge(n: u32) -> impl Strategy<Value = Edge> {
+    (0..n, 0..n).prop_map(|(s, t)| Edge::new(s, t))
+}
+
+/// An arbitrary insert/delete operation among `n` nodes.
+#[derive(Debug, Clone)]
+enum Op {
+    Add(Edge),
+    Remove(Edge),
+}
+
+fn arb_op(n: u32) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => arb_edge(n).prop_map(Op::Add),
+        1 => arb_edge(n).prop_map(Op::Remove),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The dynamic graph's out/in adjacency stay mirror images of each other under any
+    /// operation sequence, and the CSR snapshot agrees with the dynamic representation.
+    #[test]
+    fn dynamic_graph_stays_consistent(ops in proptest::collection::vec(arb_op(24), 1..120)) {
+        let mut graph = DynamicGraph::with_nodes(24);
+        for op in &ops {
+            match op {
+                Op::Add(edge) => graph.add_edge(*edge),
+                Op::Remove(edge) => { graph.remove_edge(*edge); },
+            }
+        }
+        prop_assert!(graph.check_consistency().is_ok());
+        let csr = CsrGraph::from_view(&graph);
+        prop_assert_eq!(csr.edge_count(), graph.edge_count());
+        for u in graph.nodes() {
+            prop_assert_eq!(csr.out_degree(u), graph.out_degree(u));
+            prop_assert_eq!(csr.in_degree(u), graph.in_degree(u));
+        }
+    }
+
+    /// Whatever sequence of arrivals and deletions is applied, every stored walk segment
+    /// remains a valid walk of the current graph, the walk store's indexes stay
+    /// consistent, and the estimates remain a probability distribution.
+    #[test]
+    fn incremental_engine_invariants_hold_under_arbitrary_updates(
+        ops in proptest::collection::vec(arb_op(16), 1..80),
+        r in 1usize..5,
+        seed in 0u64..1_000,
+    ) {
+        let mut engine = IncrementalPageRank::new_empty(
+            16,
+            MonteCarloConfig::new(0.2, r).with_seed(seed),
+        );
+        for op in &ops {
+            match op {
+                Op::Add(edge) => { engine.add_edge(*edge); },
+                Op::Remove(edge) => { engine.remove_edge(*edge); },
+            }
+        }
+        prop_assert!(engine.validate_segments().is_ok());
+        let scores = engine.scores();
+        let sum: f64 = scores.iter().sum();
+        prop_assert!(scores.iter().all(|&s| s >= 0.0));
+        prop_assert!((sum - 1.0).abs() < 1e-9 || sum == 0.0);
+        // The raw estimator is bounded by the store's total capacity.
+        let estimates = engine.estimates();
+        prop_assert!(estimates.raw().iter().all(|&s| (0.0..=1.0 + 1e-9).contains(&s)));
+    }
+
+    /// The SALSA engine maintains its alternating-walk invariant under arbitrary updates.
+    #[test]
+    fn salsa_engine_invariants_hold_under_arbitrary_updates(
+        ops in proptest::collection::vec(arb_op(12), 1..50),
+        seed in 0u64..1_000,
+    ) {
+        let mut engine = IncrementalSalsa::new_empty(
+            12,
+            MonteCarloConfig::new(0.25, 2).with_seed(seed),
+        );
+        for op in &ops {
+            match op {
+                Op::Add(edge) => { engine.add_edge(*edge); },
+                Op::Remove(edge) => { engine.remove_edge(*edge); },
+            }
+        }
+        prop_assert!(engine.validate_segments().is_ok());
+        let estimates = engine.estimates();
+        let hub_sum: f64 = estimates.hubs.iter().sum();
+        let auth_sum: f64 = estimates.authorities.iter().sum();
+        prop_assert!((hub_sum - 1.0).abs() < 1e-9 || hub_sum == 0.0);
+        prop_assert!((auth_sum - 1.0).abs() < 1e-9 || auth_sum == 0.0);
+    }
+
+    /// Power iteration always returns a probability distribution whose mass respects the
+    /// reset floor ε/n, on arbitrary graphs.
+    #[test]
+    fn power_iteration_returns_a_distribution(
+        edges in proptest::collection::vec(arb_edge(20), 0..150),
+        epsilon in 0.05f64..0.9,
+    ) {
+        let graph = DynamicGraph::from_edges(&edges, 20);
+        let result = power_iteration(
+            &graph,
+            &ppr_baselines::power_iteration::PowerIterationConfig {
+                epsilon,
+                max_iterations: 100,
+                tolerance: 1e-12,
+            },
+        );
+        let sum: f64 = result.scores.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-6);
+        let floor = epsilon / 20.0;
+        prop_assert!(result.scores.iter().all(|&s| s >= floor - 1e-9));
+    }
+
+    /// The Monte Carlo estimator agrees with power iteration in expectation: on random
+    /// small graphs the total variation distance stays bounded (a coarse but fully
+    /// generic accuracy property).
+    #[test]
+    fn estimator_is_never_wildly_wrong(
+        edges in proptest::collection::vec(arb_edge(12), 10..80),
+        seed in 0u64..500,
+    ) {
+        let graph = DynamicGraph::from_edges(&edges, 12);
+        let engine = IncrementalPageRank::from_graph(
+            &graph,
+            MonteCarloConfig::new(0.2, 40).with_seed(seed),
+        );
+        let exact = power_iteration(
+            &graph,
+            &ppr_baselines::power_iteration::PowerIterationConfig::with_epsilon(0.2),
+        );
+        let tvd = engine.estimates().total_variation_distance(&exact.scores);
+        prop_assert!(tvd < 0.25, "TVD {} too large for R = 40 on a 12-node graph", tvd);
+    }
+
+    /// Interpolated average precision is 1 for a perfect ranking, 0 when nothing
+    /// relevant is retrieved, and always within [0, 1].
+    #[test]
+    fn interpolated_precision_is_well_behaved(
+        relevant in proptest::collection::hash_set(0usize..50, 1..10),
+        ranked in proptest::collection::vec(0usize..50, 0..50),
+    ) {
+        let ap = interpolated_average_precision(&ranked, &relevant);
+        prop_assert!((0.0..=1.0).contains(&ap));
+        let perfect: Vec<usize> = relevant.iter().copied().collect();
+        prop_assert!((interpolated_average_precision(&perfect, &relevant) - 1.0).abs() < 1e-12);
+        let miss: Vec<usize> = (50..60).collect();
+        prop_assert_eq!(interpolated_average_precision(&miss, &relevant), 0.0);
+    }
+
+    /// Power-law fitting recovers the exponent of exact synthetic power laws for any
+    /// exponent in the paper's range.
+    #[test]
+    fn power_law_fit_recovers_known_exponents(alpha in 0.1f64..0.99, n in 100usize..2_000) {
+        let values: Vec<f64> = (1..=n).map(|i| (i as f64).powf(-alpha)).collect();
+        let fit = fit_power_law(&values, 1..n + 1).expect("enough points");
+        prop_assert!((fit.exponent - alpha).abs() < 1e-6);
+        prop_assert!(fit.r_squared > 0.999);
+    }
+}
