@@ -51,7 +51,11 @@ pub fn arrival_degree_cdf(arrival_source_degrees: &[usize]) -> Vec<CdfPoint> {
     cumulative(&sorted, |_| 1.0, sorted.len() as f64)
 }
 
-fn cumulative(sorted_degrees: &[usize], weight: impl Fn(usize) -> f64, total: f64) -> Vec<CdfPoint> {
+fn cumulative(
+    sorted_degrees: &[usize],
+    weight: impl Fn(usize) -> f64,
+    total: f64,
+) -> Vec<CdfPoint> {
     let mut points = Vec::new();
     let mut running = 0.0f64;
     let mut i = 0usize;
@@ -110,7 +114,13 @@ mod tests {
     #[test]
     fn arrival_cdf_counts_each_arrival_once() {
         let cdf = arrival_degree_cdf(&[1, 3, 3, 3]);
-        assert_eq!(cdf[0], CdfPoint { degree: 1, fraction: 0.25 });
+        assert_eq!(
+            cdf[0],
+            CdfPoint {
+                degree: 1,
+                fraction: 0.25
+            }
+        );
         assert_eq!(cdf[1].degree, 3);
         assert!((cdf[1].fraction - 1.0).abs() < 1e-12);
     }

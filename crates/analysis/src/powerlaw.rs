@@ -91,7 +91,10 @@ pub fn fit_power_law_full(values: &[f64]) -> Option<PowerLawFit> {
 /// `π_j = (1 − α) j^{-α} / n^{1−α}`.
 pub fn model_score(rank: usize, n: usize, alpha: f64) -> f64 {
     assert!(rank >= 1, "ranks are 1-based");
-    assert!((0.0..1.0).contains(&alpha), "the model needs 0 <= alpha < 1");
+    assert!(
+        (0.0..1.0).contains(&alpha),
+        "the model needs 0 <= alpha < 1"
+    );
     (1.0 - alpha) * (rank as f64).powf(-alpha) / (n as f64).powf(1.0 - alpha)
 }
 

@@ -137,7 +137,10 @@ mod tests {
         let g = star_inward(6);
         let scores = hits(&g, 20);
         assert!(scores.authorities[0] > 0.99);
-        assert!(scores.hubs[0] < 1e-9, "the centre follows nobody, so it is no hub");
+        assert!(
+            scores.hubs[0] < 1e-9,
+            "the centre follows nobody, so it is no hub"
+        );
         for &h in &scores.hubs[1..] {
             assert!((h - 0.2).abs() < 1e-9);
         }
@@ -182,7 +185,11 @@ mod tests {
         let g = directed_cycle(6);
         let scores = personalized_hits(&g, NodeId(3), 0.2, 15);
         assert_normalised(&scores.hubs);
-        let max = scores.hubs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let max = scores
+            .hubs
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
         assert_eq!(scores.hubs[3], max);
     }
 

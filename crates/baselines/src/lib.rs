@@ -1,11 +1,11 @@
 //! Baseline algorithms the paper compares against.
 //!
-//! * [`power_iteration`] — the classic linear-algebraic PageRank computation (global and
-//!   personalized), including the per-iteration work accounting used by the cost
+//! * [`mod@power_iteration`] — the classic linear-algebraic PageRank computation (global
+//!   and personalized), including the per-iteration work accounting used by the cost
 //!   comparisons of Section 1.3.
-//! * [`salsa_exact`] — SALSA computed by iterating its degree-normalised equations
+//! * [`mod@salsa_exact`] — SALSA computed by iterating its degree-normalised equations
 //!   (global and personalized), the exact counterpart of the Monte Carlo SALSA engine.
-//! * [`hits`] — HITS and the ε-personalized HITS variant of Appendix A.
+//! * [`mod@hits`] — HITS and the ε-personalized HITS variant of Appendix A.
 //! * [`cosine`] — the COSINE neighbour-similarity recommender of Appendix A.
 //! * [`naive_incremental`] — the "just recompute on every arrival" strategies whose total
 //!   cost the paper's incremental algorithm improves upon (Ω(m²/ln(1/(1−ε))) for power

@@ -89,7 +89,10 @@ mod tests {
         let work_small = power_iteration_recompute_work(1_000, 10);
         let work_big = power_iteration_recompute_work(2_000, 10);
         let ratio = work_big / work_small;
-        assert!((ratio - 4.0).abs() < 0.01, "doubling m should quadruple cost, got {ratio}");
+        assert!(
+            (ratio - 4.0).abs() < 0.01,
+            "doubling m should quadruple cost, got {ratio}"
+        );
     }
 
     #[test]

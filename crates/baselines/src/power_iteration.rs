@@ -209,7 +209,10 @@ mod tests {
         assert_sums_to_one(&result.scores);
         let centre = result.scores[0];
         for &leaf in &result.scores[1..] {
-            assert!(centre > 3.0 * leaf, "centre {centre} should dominate leaf {leaf}");
+            assert!(
+                centre > 3.0 * leaf,
+                "centre {centre} should dominate leaf {leaf}"
+            );
         }
     }
 
@@ -236,8 +239,7 @@ mod tests {
     fn personalized_concentrates_on_seed_neighbourhood() {
         // Path 0 -> 1 -> 2 -> 3: personalizing on node 0 must rank nodes by distance.
         let g = ppr_graph::generators::directed_path(4);
-        let result =
-            personalized_power_iteration(&g, NodeId(0), &PowerIterationConfig::default());
+        let result = personalized_power_iteration(&g, NodeId(0), &PowerIterationConfig::default());
         assert_sums_to_one(&result.scores);
         assert!(result.scores[0] > result.scores[1]);
         assert!(result.scores[1] > result.scores[2]);
@@ -249,8 +251,11 @@ mod tests {
     fn personalized_seed_mass_is_at_least_epsilon() {
         let g = directed_cycle(6);
         let epsilon = 0.3;
-        let result =
-            personalized_power_iteration(&g, NodeId(2), &PowerIterationConfig::with_epsilon(epsilon));
+        let result = personalized_power_iteration(
+            &g,
+            NodeId(2),
+            &PowerIterationConfig::with_epsilon(epsilon),
+        );
         assert!(result.scores[2] >= epsilon - 1e-9);
     }
 

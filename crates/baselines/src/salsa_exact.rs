@@ -209,7 +209,10 @@ mod tests {
             .iter()
             .cloned()
             .fold(f64::NEG_INFINITY, f64::max);
-        assert_eq!(scores.hubs[1], max, "seed should have the largest hub score");
+        assert_eq!(
+            scores.hubs[1], max,
+            "seed should have the largest hub score"
+        );
     }
 
     #[test]

@@ -12,8 +12,10 @@ use std::hint::black_box;
 
 fn bench_deletions(c: &mut Criterion) {
     let workload = twitter_like(3_000, 8, 7);
-    let engine_template =
-        IncrementalPageRank::from_graph(&workload.graph, MonteCarloConfig::new(0.2, 4).with_seed(3));
+    let engine_template = IncrementalPageRank::from_graph(
+        &workload.graph,
+        MonteCarloConfig::new(0.2, 4).with_seed(3),
+    );
     let mut rng = SmallRng::seed_from_u64(11);
     let mut victims = workload.graph.collect_edges();
     victims.shuffle(&mut rng);

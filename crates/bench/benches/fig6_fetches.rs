@@ -23,12 +23,8 @@ fn bench_stitched_walk(c: &mut Criterion) {
             let mut salt = 0u64;
             b.iter(|| {
                 salt += 1;
-                let mut walker = PersonalizedWalker::new(
-                    engine.social_store(),
-                    engine.walk_store(),
-                    0.2,
-                    salt,
-                );
+                let mut walker =
+                    PersonalizedWalker::new(engine.social_store(), engine.walk_store(), 0.2, salt);
                 black_box(walker.walk(seed, 5_000))
             })
         });

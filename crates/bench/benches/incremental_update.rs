@@ -35,7 +35,9 @@ fn bench_reroute_strategies(c: &mut Criterion) {
     ] {
         group.bench_function(BenchmarkId::from_parameter(label), |b| {
             b.iter(|| {
-                let config = MonteCarloConfig::new(0.2, 4).with_seed(3).with_reroute(strategy);
+                let config = MonteCarloConfig::new(0.2, 4)
+                    .with_seed(3)
+                    .with_reroute(strategy);
                 black_box(replay_suffix(config))
             })
         });

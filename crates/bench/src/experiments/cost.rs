@@ -12,7 +12,9 @@
 //!   for a single edge, while the same edge in a benign position is nearly free.
 
 use crate::workloads::twitter_like;
-use ppr_baselines::naive_incremental::{monte_carlo_recompute_work, power_iteration_recompute_work};
+use ppr_baselines::naive_incremental::{
+    monte_carlo_recompute_work, power_iteration_recompute_work,
+};
 use ppr_core::bounds;
 use ppr_core::{IncrementalPageRank, IncrementalSalsa, MonteCarloConfig};
 use ppr_graph::generators::example1_gadget;
@@ -155,7 +157,9 @@ pub fn print_incremental_report(result: &IncrementalCostResult) {
         "# initialization cost (walk steps): {}  |  total arrivals: {}",
         result.initialization_steps, result.total_arrivals
     );
-    println!("# paper: total update work stays within a logarithmic factor of the initialization cost");
+    println!(
+        "# paper: total update work stays within a logarithmic factor of the initialization cost"
+    );
 }
 
 /// Result of the deletion-cost experiment (E10).
@@ -374,7 +378,11 @@ mod tests {
             result.mean_segments,
             result.proposition5_bound
         );
-        assert!(result.mean_steps < 100.0, "deletions must be cheap, got {}", result.mean_steps);
+        assert!(
+            result.mean_steps < 100.0,
+            "deletions must be cheap, got {}",
+            result.mean_steps
+        );
     }
 
     #[test]

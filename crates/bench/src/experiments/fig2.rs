@@ -61,7 +61,12 @@ pub fn run(params: &Fig2Params) -> Fig2Result {
         params.in_exponent,
         params.seed,
     );
-    let indegrees: Vec<f64> = workload.graph.in_degrees().iter().map(|&d| d as f64).collect();
+    let indegrees: Vec<f64> = workload
+        .graph
+        .in_degrees()
+        .iter()
+        .map(|&d| d as f64)
+        .collect();
     let pagerank = power_iteration(
         &workload.graph,
         &PowerIterationConfig::with_epsilon(params.epsilon),
@@ -73,8 +78,7 @@ pub fn run(params: &Fig2Params) -> Fig2Result {
 
     let indegree_fit =
         fit_power_law(&indegrees, window.clone()).expect("in-degree fit must succeed");
-    let pagerank_fit =
-        fit_power_law(&pagerank.scores, window).expect("PageRank fit must succeed");
+    let pagerank_fit = fit_power_law(&pagerank.scores, window).expect("PageRank fit must succeed");
 
     Fig2Result {
         indegree_series: rank_series(&indegrees),
@@ -136,8 +140,14 @@ mod tests {
     #[test]
     fn both_series_are_power_laws_with_similar_exponents() {
         let result = run(&small_params());
-        assert!(result.indegree_fit.r_squared > 0.9, "in-degree should be a clean power law");
-        assert!(result.pagerank_fit.r_squared > 0.9, "PageRank should be a clean power law");
+        assert!(
+            result.indegree_fit.r_squared > 0.9,
+            "in-degree should be a clean power law"
+        );
+        assert!(
+            result.pagerank_fit.r_squared > 0.9,
+            "PageRank should be a clean power law"
+        );
         let diff = (result.indegree_fit.exponent - result.pagerank_fit.exponent).abs();
         assert!(
             diff < 0.25,

@@ -79,7 +79,10 @@ pub fn run(params: &Fig6Params) -> Fig6Result {
         params.max_friends,
         params.seed ^ 0xf16,
     );
-    assert!(!seeds.is_empty(), "no personalization seeds found for the chosen window");
+    assert!(
+        !seeds.is_empty(),
+        "no personalization seeds found for the chosen window"
+    );
 
     // Per-user power-law exponent of the personalized score vector, estimated from a
     // long stitched walk (the paper uses each user's own exponent for its bound curve).

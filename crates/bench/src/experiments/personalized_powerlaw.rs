@@ -178,9 +178,12 @@ mod tests {
     #[test]
     fn personalized_vectors_follow_power_laws() {
         let result = run(&small_params(), 3);
-        assert!(result.users.len() >= 8, "selection should find enough users");
-        let mean_r2 = result.users.iter().map(|u| u.fit.r_squared).sum::<f64>()
-            / result.users.len() as f64;
+        assert!(
+            result.users.len() >= 8,
+            "selection should find enough users"
+        );
+        let mean_r2 =
+            result.users.iter().map(|u| u.fit.r_squared).sum::<f64>() / result.users.len() as f64;
         assert!(
             mean_r2 > 0.8,
             "personalized vectors should be near power laws on average (mean r^2 = {mean_r2})"

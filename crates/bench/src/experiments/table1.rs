@@ -104,8 +104,12 @@ pub struct Table1Result {
 
 /// Runs the experiment.
 pub fn run(params: &Table1Params) -> Table1Result {
-    let mut workload =
-        mixed_attachment(params.nodes, params.out_degree, params.uniform_mix, params.seed);
+    let mut workload = mixed_attachment(
+        params.nodes,
+        params.out_degree,
+        params.uniform_mix,
+        params.seed,
+    );
     add_celebrity_core(
         &mut workload.graph,
         params.celebrity_core,
@@ -128,7 +132,10 @@ pub fn run(params: &Table1Params) -> Table1Result {
         tolerance: 0.0,
     };
 
-    let mut totals = [MethodRow { top_100: 0.0, top_1000: 0.0 }; 4];
+    let mut totals = [MethodRow {
+        top_100: 0.0,
+        top_1000: 0.0,
+    }; 4];
     let mut future_total = 0usize;
     let mut users_evaluated = 0usize;
     for (i, &user) in users.iter().enumerate() {

@@ -18,6 +18,9 @@
 //! | [`experiments::concentration`] | Theorem 1 (estimator accuracy vs. R) | `concentration` |
 //! | [`ppr_core::bounds`] | Remark 2 closed forms | `remark2_bounds` |
 
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
 pub mod experiments;
 pub mod workloads;
 

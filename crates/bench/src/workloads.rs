@@ -115,10 +115,18 @@ pub fn add_celebrity_core(
         while added < follows_per_member.min(core.len() - 1) && attempts < follows_per_member * 20 {
             attempts += 1;
             let target = core[rng.gen_range(0..core.len())];
-            if target == member || graph.has_edge(Edge { source: member, target }) {
+            if target == member
+                || graph.has_edge(Edge {
+                    source: member,
+                    target,
+                })
+            {
                 continue;
             }
-            graph.add_edge(Edge { source: member, target });
+            graph.add_edge(Edge {
+                source: member,
+                target,
+            });
             added += 1;
         }
     }
@@ -144,7 +152,10 @@ pub fn synthesize_future_follows(
     min_target_followers: usize,
     seed: u64,
 ) -> Vec<NodeId> {
-    assert!((0.0..=1.0).contains(&p_triadic), "p_triadic must be a probability");
+    assert!(
+        (0.0..=1.0).contains(&p_triadic),
+        "p_triadic must be a probability"
+    );
     let mut rng = SmallRng::seed_from_u64(seed);
     let friends: Vec<NodeId> = graph.out_neighbors(user).to_vec();
     let already: HashSet<NodeId> = friends.iter().copied().collect();
@@ -252,7 +263,10 @@ mod tests {
         assert_eq!(w.graph.edge_count(), 20_000);
         let mut indeg = w.graph.in_degrees();
         indeg.sort_unstable_by(|a, b| b.cmp(a));
-        assert!(indeg[0] > 5 * indeg[1_000].max(1), "in-degrees should be heavy tailed");
+        assert!(
+            indeg[0] > 5 * indeg[1_000].max(1),
+            "in-degrees should be heavy tailed"
+        );
     }
 
     #[test]
@@ -272,7 +286,10 @@ mod tests {
             assert!(seen.insert(t), "targets must be distinct");
         }
         // Deterministic per seed.
-        assert_eq!(targets, synthesize_future_follows(&w.graph, user, 10, 0.6, 5, 99));
+        assert_eq!(
+            targets,
+            synthesize_future_follows(&w.graph, user, 10, 0.6, 5, 99)
+        );
     }
 
     #[test]
@@ -295,7 +312,10 @@ mod tests {
                 .iter()
                 .filter(|n| core_set.contains(n))
                 .count();
-            assert!(within > 0, "core member {member} should follow other core members");
+            assert!(
+                within > 0,
+                "core member {member} should follow other core members"
+            );
         }
     }
 
@@ -311,7 +331,11 @@ mod tests {
             .collect();
         let triadic = synthesize_future_follows(&w.graph, user, 15, 1.0, 1, 5);
         let in_two_hop = triadic.iter().filter(|t| two_hop.contains(t)).count();
-        assert_eq!(in_two_hop, triadic.len(), "pure triadic closure stays within two hops");
+        assert_eq!(
+            in_two_hop,
+            triadic.len(),
+            "pure triadic closure stays within two hops"
+        );
         let global = synthesize_future_follows(&w.graph, user, 15, 0.0, 1, 7);
         let global_in_two_hop = global.iter().filter(|t| two_hop.contains(t)).count();
         assert!(

@@ -186,8 +186,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "power-law exponent must be in (0, 1)")]
-    fn rejects_alpha_one()
-    {
+    fn rejects_alpha_one() {
         let _ = walk_length_for_top_k(10, 5.0, 1.0, 100);
     }
 

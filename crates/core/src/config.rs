@@ -76,7 +76,10 @@ impl MonteCarloConfig {
 
     /// Sets the hard cap on stored segment length.
     pub fn with_max_segment_length(mut self, max_segment_length: usize) -> Self {
-        assert!(max_segment_length >= 1, "segments must be allowed at least one node");
+        assert!(
+            max_segment_length >= 1,
+            "segments must be allowed at least one node"
+        );
         self.max_segment_length = max_segment_length;
         self
     }
@@ -134,7 +137,10 @@ mod tests {
     #[test]
     fn expected_costs_follow_the_formulas() {
         let config = MonteCarloConfig::new(0.2, 4);
-        assert_eq!(config.expected_initialization_cost(1_000), 1_000.0 * 4.0 / 0.2);
+        assert_eq!(
+            config.expected_initialization_cost(1_000),
+            1_000.0 * 4.0 / 0.2
+        );
         assert!(config.max_segment_length >= (60.0 / 0.2) as usize);
     }
 

@@ -13,6 +13,12 @@
 //! total walk length can be below `nR/ε`; [`PageRankEstimates::normalized`] therefore
 //! also exposes the self-normalised estimate `X_v / Σ_u X_u`, which always sums to one
 //! and is what the accuracy experiments compare against power iteration.
+//!
+//! The `nR/ε` expected stored length that normalises this estimator is the same
+//! quantity that drives the maintenance bounds in [`crate::bounds`]: keeping these
+//! segments up to date costs [`crate::bounds::total_update_work`] over `m` arrivals
+//! (Theorem 4) and [`crate::bounds::deletion_update_work`] per deletion
+//! (Proposition 5).
 
 use ppr_graph::NodeId;
 use ppr_store::WalkStore;

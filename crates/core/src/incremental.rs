@@ -18,7 +18,10 @@
 //!
 //! The engine keeps a [`WorkCounter`] so experiments can compare the measured update
 //! work against the `nR ln m / ε²` bound of Theorem 4 and the `nR/(m ε²)` deletion bound
-//! of Proposition 5.
+//! of Proposition 5.  The closed forms this engine instantiates are
+//! [`crate::bounds::per_arrival_update_work`] and [`crate::bounds::total_update_work`]
+//! (Theorem 4) for arrivals, and [`crate::bounds::deletion_update_work`]
+//! (Proposition 5) for deletions.
 
 use crate::config::{MonteCarloConfig, RerouteStrategy};
 use crate::estimator::PageRankEstimates;
@@ -251,9 +254,7 @@ impl IncrementalPageRank {
                         target: pair[1],
                     };
                     if !graph.has_edge(edge) {
-                        return Err(format!(
-                            "segment {id:?} traverses missing edge {edge}"
-                        ));
+                        return Err(format!("segment {id:?} traverses missing edge {edge}"));
                     }
                 }
             }
@@ -414,7 +415,10 @@ impl IncrementalPageRank {
 mod tests {
     use super::*;
     use ppr_baselines::power_iteration::{power_iteration, PowerIterationConfig};
-    use ppr_graph::generators::{directed_cycle, example1_gadget, preferential_attachment_edges, PreferentialAttachmentConfig};
+    use ppr_graph::generators::{
+        directed_cycle, example1_gadget, preferential_attachment_edges,
+        PreferentialAttachmentConfig,
+    };
 
     fn config(r: usize, seed: u64) -> MonteCarloConfig {
         MonteCarloConfig::new(0.2, r).with_seed(seed)
@@ -535,7 +539,10 @@ mod tests {
         // No stored segment may traverse 2 -> 3 any more.
         for node in engine.graph().nodes() {
             for id in engine.walk_store().segment_ids_of(node) {
-                assert!(!engine.walk_store().segment(id).uses_edge(NodeId(2), NodeId(3)));
+                assert!(!engine
+                    .walk_store()
+                    .segment(id)
+                    .uses_edge(NodeId(2), NodeId(3)));
             }
         }
     }
@@ -646,7 +653,10 @@ mod tests {
         engine.validate_segments().unwrap();
         let exact = power_iteration(engine.graph(), &PowerIterationConfig::with_epsilon(0.2));
         let tvd = engine.estimates().total_variation_distance(&exact.scores);
-        assert!(tvd < 0.15, "FromSource rerouting should stay accurate, TVD = {tvd:.4}");
+        assert!(
+            tvd < 0.15,
+            "FromSource rerouting should stay accurate, TVD = {tvd:.4}"
+        );
     }
 
     #[test]

@@ -14,7 +14,10 @@
 //!   segments) into memory.
 //!
 //! The number of fetches is the cost the paper bounds in Theorem 8 / Corollary 9 and
-//! measures in Figure 6.
+//! measures in Figure 6.  The closed forms this walker instantiates are
+//! [`crate::bounds::expected_fetches`] (Theorem 8) and [`crate::bounds::top_k_fetches`]
+//! (Corollary 9), with the walk length set by [`crate::bounds::walk_length_for_top_k`]
+//! (Equation 4).
 
 use ppr_graph::{GraphView, NodeId};
 use ppr_store::{SocialStore, WalkStore};
@@ -235,8 +238,7 @@ mod tests {
     fn walk_reaches_requested_length() {
         let g = directed_cycle(10);
         let eng = engine(&g, 3, 1);
-        let mut walker =
-            PersonalizedWalker::new(eng.social_store(), eng.walk_store(), 0.2, 7);
+        let mut walker = PersonalizedWalker::new(eng.social_store(), eng.walk_store(), 0.2, 7);
         let result = walker.walk(NodeId(0), 500);
         assert!(result.total_visits >= 500);
         assert_eq!(result.visits.iter().sum::<u64>(), result.total_visits);
@@ -251,11 +253,13 @@ mod tests {
             g.add_edge(Edge::new(s, t));
         }
         let eng = engine(&g, 4, 3);
-        let mut walker =
-            PersonalizedWalker::new(eng.social_store(), eng.walk_store(), 0.2, 11);
+        let mut walker = PersonalizedWalker::new(eng.social_store(), eng.walk_store(), 0.2, 11);
         let result = walker.walk(NodeId(0), 2_000);
         for node in 3..6 {
-            assert_eq!(result.visits[node], 0, "unreachable node {node} was visited");
+            assert_eq!(
+                result.visits[node], 0,
+                "unreachable node {node} was visited"
+            );
         }
         assert!(result.frequency(NodeId(0)) > 0.2);
     }
@@ -265,10 +269,12 @@ mod tests {
         let g = preferential_attachment(300, 4, 5);
         let eng = engine(&g, 5, 7);
         eng.social_store().reset_metrics();
-        let mut walker =
-            PersonalizedWalker::new(eng.social_store(), eng.walk_store(), 0.2, 13);
+        let mut walker = PersonalizedWalker::new(eng.social_store(), eng.walk_store(), 0.2, 13);
         let result = walker.walk(NodeId(10), 3_000);
-        assert!(result.fetches > 0, "a non-trivial walk must fetch something");
+        assert!(
+            result.fetches > 0,
+            "a non-trivial walk must fetch something"
+        );
         assert_eq!(
             result.fetches,
             eng.social_store().metrics().fetches,
@@ -287,8 +293,7 @@ mod tests {
         // With R cached segments per node the walk needs far fewer fetches than visits.
         let g = preferential_attachment(500, 5, 9);
         let eng = engine(&g, 10, 11);
-        let mut walker =
-            PersonalizedWalker::new(eng.social_store(), eng.walk_store(), 0.2, 17);
+        let mut walker = PersonalizedWalker::new(eng.social_store(), eng.walk_store(), 0.2, 17);
         let result = walker.walk(NodeId(0), 5_000);
         assert!(
             (result.fetches as f64) < 0.5 * result.total_visits as f64,
@@ -303,8 +308,7 @@ mod tests {
     fn frequencies_sum_to_one() {
         let g = directed_cycle(5);
         let eng = engine(&g, 2, 13);
-        let mut walker =
-            PersonalizedWalker::new(eng.social_store(), eng.walk_store(), 0.2, 19);
+        let mut walker = PersonalizedWalker::new(eng.social_store(), eng.walk_store(), 0.2, 19);
         let result = walker.walk(NodeId(2), 800);
         let sum: f64 = result.frequencies().iter().sum();
         assert!((sum - 1.0).abs() < 1e-9);
@@ -317,8 +321,7 @@ mod tests {
             g.add_edge(Edge::new(s, t));
         }
         let eng = engine(&g, 5, 17);
-        let mut walker =
-            PersonalizedWalker::new(eng.social_store(), eng.walk_store(), 0.2, 23);
+        let mut walker = PersonalizedWalker::new(eng.social_store(), eng.walk_store(), 0.2, 23);
         let top = walker.top_k(NodeId(0), 4, 3_000, true);
         for &(node, _) in &top {
             assert_ne!(node, NodeId(0));
@@ -341,8 +344,7 @@ mod tests {
         }
         g.add_edge(Edge::new(19, 0));
         let eng = engine(&g, 5, 19);
-        let mut walker =
-            PersonalizedWalker::new(eng.social_store(), eng.walk_store(), 0.3, 29);
+        let mut walker = PersonalizedWalker::new(eng.social_store(), eng.walk_store(), 0.3, 29);
         let result = walker.walk(NodeId(0), 20_000);
         assert!(result.frequency(NodeId(1)) > result.frequency(NodeId(10)));
         assert!(result.frequency(NodeId(2)) > result.frequency(NodeId(15)));
@@ -371,8 +373,7 @@ mod tests {
     fn rejects_out_of_range_seed() {
         let g = directed_cycle(3);
         let eng = engine(&g, 1, 23);
-        let mut walker =
-            PersonalizedWalker::new(eng.social_store(), eng.walk_store(), 0.2, 31);
+        let mut walker = PersonalizedWalker::new(eng.social_store(), eng.walk_store(), 0.2, 31);
         let _ = walker.walk(NodeId(50), 10);
     }
 

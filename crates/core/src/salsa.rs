@@ -11,7 +11,8 @@
 //! `(u, v)` can disturb walks at two places: forward steps taken out of `u` (with
 //! probability `1/outdeg(u)` per hub visit) and backward steps taken out of `v` (with
 //! probability `1/indeg(v)` per authority visit).  Theorem 6 shows the total update work
-//! is within a factor 16 of the PageRank bound.
+//! is within a factor 16 of the PageRank bound; the closed form this engine
+//! instantiates is [`crate::bounds::salsa_total_update_work`].
 //!
 //! Personalized SALSA scores are obtained with a direct alternating walk with resets to
 //! the seed; the paper's fetch-stitching analysis (Theorem 8) is developed for PageRank
@@ -248,12 +249,14 @@ impl IncrementalSalsa {
         let mut stats = UpdateStats::default();
 
         // Forward steps out of u (hub visits to u).
-        let visiting_u: Vec<SegmentId> = self.walks.segments_visiting(u).map(|(id, _)| id).collect();
+        let visiting_u: Vec<SegmentId> =
+            self.walks.segments_visiting(u).map(|(id, _)| id).collect();
         for id in visiting_u {
             self.maybe_reroute(id, u, v, out_degree, true, &mut stats);
         }
         // Backward steps out of v (authority visits to v).
-        let visiting_v: Vec<SegmentId> = self.walks.segments_visiting(v).map(|(id, _)| id).collect();
+        let visiting_v: Vec<SegmentId> =
+            self.walks.segments_visiting(v).map(|(id, _)| id).collect();
         for id in visiting_v {
             self.maybe_reroute(id, v, u, in_degree, false, &mut stats);
         }
@@ -314,9 +317,15 @@ impl IncrementalSalsa {
                 for (pos, pair) in segment.path().windows(2).enumerate() {
                     let forward = pos % 2 == hub_parity;
                     let edge = if forward {
-                        Edge { source: pair[0], target: pair[1] }
+                        Edge {
+                            source: pair[0],
+                            target: pair[1],
+                        }
                     } else {
-                        Edge { source: pair[1], target: pair[0] }
+                        Edge {
+                            source: pair[1],
+                            target: pair[0],
+                        }
                     };
                     if !graph.has_edge(edge) {
                         return Err(format!(
@@ -394,7 +403,11 @@ impl IncrementalSalsa {
                 // The segment previously stopped here because the pivot had no edge in
                 // the required direction.  Forward steps are preceded by a reset coin
                 // (continue with probability 1 − ε); backward steps are unconditional.
-                let continue_probability = if forward { 1.0 - self.config.epsilon } else { 1.0 };
+                let continue_probability = if forward {
+                    1.0 - self.config.epsilon
+                } else {
+                    1.0
+                };
                 if self.rng.gen_bool(continue_probability) {
                     reroute_at = Some(pos);
                     break;
@@ -419,9 +432,13 @@ impl IncrementalSalsa {
         let hub_parity = self.hub_parity(id);
         let affected_parity = if forward { hub_parity } else { 1 - hub_parity };
         let segment = self.walks.segment(id);
-        let pos = segment.path().windows(2).enumerate().find_map(|(pos, pair)| {
-            (pos % 2 == affected_parity && pair[0] == from && pair[1] == to).then_some(pos)
-        });
+        let pos = segment
+            .path()
+            .windows(2)
+            .enumerate()
+            .find_map(|(pos, pair)| {
+                (pos % 2 == affected_parity && pair[0] == from && pair[1] == to).then_some(pos)
+            });
         let Some(pos) = pos else {
             return;
         };
@@ -560,13 +577,20 @@ mod tests {
         let est = engine.estimates();
         // The backward-start segments seed every node (including leaves) with one
         // authority visit, so the centre does not get *all* the mass, but it dominates.
-        assert!(est.authorities[0] > 0.7, "centre authority {}", est.authorities[0]);
+        assert!(
+            est.authorities[0] > 0.7,
+            "centre authority {}",
+            est.authorities[0]
+        );
         for &leaf in &est.authorities[1..] {
             assert!(leaf < 0.06, "leaf authority {leaf} should be tiny");
         }
         let hub_sum: f64 = est.hubs.iter().sum();
         assert!((hub_sum - 1.0).abs() < 1e-9);
-        assert!(est.hubs[0] < 0.1, "the centre follows nobody so it is barely a hub");
+        assert!(
+            est.hubs[0] < 0.1,
+            "the centre follows nobody so it is barely a hub"
+        );
     }
 
     #[test]
@@ -634,7 +658,10 @@ mod tests {
                 .zip(&exact.authorities)
                 .map(|(a, b)| (a - b).abs())
                 .sum::<f64>();
-        assert!(tvd < 0.2, "incremental SALSA should stay accurate, TVD = {tvd:.4}");
+        assert!(
+            tvd < 0.2,
+            "incremental SALSA should stay accurate, TVD = {tvd:.4}"
+        );
     }
 
     #[test]

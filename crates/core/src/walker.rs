@@ -123,7 +123,11 @@ pub fn mean_segment_length<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> f64 {
     let total: usize = (0..samples)
-        .map(|_| pagerank_segment(graph, start, epsilon, max_length, rng).path.len())
+        .map(|_| {
+            pagerank_segment(graph, start, epsilon, max_length, rng)
+                .path
+                .len()
+        })
         .sum();
     total as f64 / samples as f64
 }
@@ -144,7 +148,10 @@ mod tests {
             let walk = pagerank_segment(&g, NodeId(3), 0.3, 1_000, &mut rng);
             assert_eq!(walk.path[0], NodeId(3));
             for pair in walk.path.windows(2) {
-                assert!(g.has_edge(Edge { source: pair[0], target: pair[1] }));
+                assert!(g.has_edge(Edge {
+                    source: pair[0],
+                    target: pair[1]
+                }));
             }
             assert_eq!(walk.steps as usize, walk.path.len() - 1);
         }
@@ -238,7 +245,9 @@ mod tests {
         let mut total = 0usize;
         let samples = 20_000;
         for _ in 0..samples {
-            total += salsa_segment(&g, NodeId(0), true, 0.2, 10_000, &mut rng).path.len();
+            total += salsa_segment(&g, NodeId(0), true, 0.2, 10_000, &mut rng)
+                .path
+                .len();
         }
         let mean = total as f64 / samples as f64;
         let expected = 1.0 + 2.0 * (1.0 - 0.2) / 0.2;

@@ -127,7 +127,10 @@ mod tests {
         assert_eq!(g.edge_count(), 5);
         assert_eq!(g.out_neighbors(NodeId(0)), &[NodeId(1), NodeId(2)]);
         assert_eq!(g.out_neighbors(NodeId(3)), &[NodeId(2)]);
-        assert_eq!(g.in_neighbors(NodeId(2)), &[NodeId(0), NodeId(1), NodeId(3)]);
+        assert_eq!(
+            g.in_neighbors(NodeId(2)),
+            &[NodeId(0), NodeId(1), NodeId(3)]
+        );
         assert_eq!(g.in_degree(NodeId(0)), 1);
         assert_eq!(g.out_degree(NodeId(2)), 1);
     }

@@ -118,7 +118,11 @@ impl DynamicGraph {
     }
 
     /// Picks a uniformly random out-neighbour of `node`, or `None` if it has none.
-    pub fn random_out_neighbor<R: Rng + ?Sized>(&self, node: NodeId, rng: &mut R) -> Option<NodeId> {
+    pub fn random_out_neighbor<R: Rng + ?Sized>(
+        &self,
+        node: NodeId,
+        rng: &mut R,
+    ) -> Option<NodeId> {
         let neighbors = &self.out_adj[node.index()];
         if neighbors.is_empty() {
             None

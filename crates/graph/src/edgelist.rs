@@ -47,7 +47,10 @@ fn parse_node(field: Option<&str>, lineno: usize, line: &str) -> io::Result<Node
 fn malformed(lineno: usize, line: &str, reason: &str) -> io::Error {
     io::Error::new(
         io::ErrorKind::InvalidData,
-        format!("malformed edge list at line {}: {reason}: {line:?}", lineno + 1),
+        format!(
+            "malformed edge list at line {}: {reason}: {line:?}",
+            lineno + 1
+        ),
     )
 }
 

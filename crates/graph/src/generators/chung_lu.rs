@@ -173,7 +173,10 @@ mod tests {
         // Weights are 1, 1/2, 1/3, 1/4: node 0 must be sampled most, node 3 least.
         assert!(counts[0] > counts[1] && counts[1] > counts[2] && counts[2] > counts[3]);
         let ratio = counts[0] as f64 / counts[3] as f64;
-        assert!((3.0..5.5).contains(&ratio), "expected ratio near 4, got {ratio}");
+        assert!(
+            (3.0..5.5).contains(&ratio),
+            "expected ratio near 4, got {ratio}"
+        );
     }
 
     #[test]

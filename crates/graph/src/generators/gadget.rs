@@ -197,8 +197,16 @@ mod tests {
     fn adversarial_prefix_graph_leaves_the_hub_dangling() {
         let ex = example1_gadget(8);
         let prefix = ex.adversarial_prefix_graph();
-        assert_eq!(prefix.out_degree(ex.hub), 0, "the hub's out-edges arrive later");
-        assert_eq!(prefix.in_degree(ex.hub), 16, "edges into the hub already arrived");
+        assert_eq!(
+            prefix.out_degree(ex.hub),
+            0,
+            "the hub's out-edges arrive later"
+        );
+        assert_eq!(
+            prefix.in_degree(ex.hub),
+            16,
+            "edges into the hub already arrived"
+        );
         assert_eq!(prefix.edge_count(), ex.graph.edge_count() - ex.n_param);
         assert!(prefix.check_consistency().is_ok());
     }
@@ -222,7 +230,9 @@ mod tests {
     fn cycle_path_star_complete_shapes() {
         let cycle = directed_cycle(5);
         assert_eq!(cycle.edge_count(), 5);
-        assert!(cycle.nodes().all(|u| cycle.out_degree(u) == 1 && cycle.in_degree(u) == 1));
+        assert!(cycle
+            .nodes()
+            .all(|u| cycle.out_degree(u) == 1 && cycle.in_degree(u) == 1));
 
         let path = directed_path(4);
         assert_eq!(path.edge_count(), 3);

@@ -5,7 +5,7 @@
 //! experiments actually rely on:
 //!
 //! 1. **Power-law in-degrees** (Figure 2; exponent ≈ 0.76 on the rank plot), supplied by
-//!    [`preferential_attachment`] and [`chung_lu`].
+//!    [`mod@preferential_attachment`] and [`mod@chung_lu`].
 //! 2. **Random-permutation edge arrivals** (Section 2.2 / Figure 1), supplied by
 //!    replaying any generated edge list through [`crate::stream`].
 //!

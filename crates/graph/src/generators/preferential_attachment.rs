@@ -98,10 +98,7 @@ pub fn preferential_attachment_edges(config: &PreferentialAttachmentConfig) -> V
             }
         }
         for &target in &chosen {
-            edges.push(Edge {
-                source,
-                target,
-            });
+            edges.push(Edge { source, target });
             pool.push(target);
         }
         pool.push(source);

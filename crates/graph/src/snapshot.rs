@@ -158,7 +158,10 @@ mod tests {
         let snap = snapshot();
         let config = PreferentialAttachmentConfig::new(2_000, 25, 77);
         let all = preferential_attachment_edges(&config);
-        assert_eq!(snap.base_edges().len() + snap.future_edges().len(), all.len());
+        assert_eq!(
+            snap.base_edges().len() + snap.future_edges().len(),
+            all.len()
+        );
         assert_eq!(snap.node_count(), 2_000);
     }
 
@@ -181,7 +184,10 @@ mod tests {
             max_users: 50,
         };
         let users = snap.select_users(&criteria);
-        assert!(!users.is_empty(), "the synthetic snapshot should yield evaluation users");
+        assert!(
+            !users.is_empty(),
+            "the synthetic snapshot should yield evaluation users"
+        );
         let base = snap.base_graph();
         for eu in &users {
             let friends = base.out_degree(eu.user);
@@ -189,7 +195,10 @@ mod tests {
             assert!(!eu.future_targets.is_empty());
             let existing: HashSet<NodeId> = base.out_neighbors(eu.user).iter().copied().collect();
             for &t in &eu.future_targets {
-                assert!(!existing.contains(&t), "future target already followed at date 1");
+                assert!(
+                    !existing.contains(&t),
+                    "future target already followed at date 1"
+                );
                 assert!(base.in_degree(t) >= criteria.min_target_followers);
                 assert_ne!(t, eu.user);
             }
@@ -218,7 +227,10 @@ mod tests {
             max_users: 10,
         };
         let users = snap.select_users(&criteria);
-        let user0 = users.iter().find(|u| u.user == NodeId(0)).expect("user 0 selected");
+        let user0 = users
+            .iter()
+            .find(|u| u.user == NodeId(0))
+            .expect("user 0 selected");
         assert_eq!(user0.future_targets, vec![NodeId(3)]);
     }
 

@@ -120,7 +120,10 @@ pub fn m_times_expected_ratio(
         .iter()
         .zip(out_degree_at_arrival)
         .map(|(e, &d)| {
-            assert!(d > 0, "the arriving edge itself gives its source degree >= 1");
+            assert!(
+                d > 0,
+                "the arriving edge itself gives its source degree >= 1"
+            );
             pagerank[e.source.index()] / d as f64
         })
         .sum::<f64>()
@@ -148,7 +151,10 @@ mod tests {
         a.sort_by_key(|e| (e.source.0, e.target.0));
         b.sort_by_key(|e| (e.source.0, e.target.0));
         assert_eq!(a, b);
-        assert_ne!(edges, shuffled, "a 600-edge shuffle should not be the identity");
+        assert_ne!(
+            edges, shuffled,
+            "a 600-edge shuffle should not be the identity"
+        );
     }
 
     #[test]
@@ -225,7 +231,9 @@ mod tests {
         // m * mean(π/d) = m * (1/n) so with m = n the statistic is exactly 1.
         let n = 10usize;
         let pagerank = vec![1.0 / n as f64; n];
-        let arrivals: Vec<Edge> = (0..n).map(|i| Edge::new(i as u32, ((i + 1) % n) as u32)).collect();
+        let arrivals: Vec<Edge> = (0..n)
+            .map(|i| Edge::new(i as u32, ((i + 1) % n) as u32))
+            .collect();
         let degrees = vec![1usize; n];
         let stat = m_times_expected_ratio(&pagerank, &arrivals, &degrees);
         assert!((stat - 1.0).abs() < 1e-12);

@@ -51,7 +51,10 @@ pub trait GraphView {
         let mut edges = Vec::with_capacity(self.edge_count());
         for u in self.nodes() {
             for &v in self.out_neighbors(u) {
-                edges.push(Edge { source: u, target: v });
+                edges.push(Edge {
+                    source: u,
+                    target: v,
+                });
             }
         }
         edges

@@ -138,7 +138,9 @@ impl WalkStore {
 
     /// The segments that currently visit `node`, with their visit multiplicities.
     pub fn segments_visiting(&self, node: NodeId) -> impl Iterator<Item = (SegmentId, u32)> + '_ {
-        self.visitors[node.index()].iter().map(|(&id, &count)| (id, count))
+        self.visitors[node.index()]
+            .iter()
+            .map(|(&id, &count)| (id, count))
     }
 
     /// Number of distinct segments visiting `node`.
@@ -304,7 +306,10 @@ mod tests {
         // Zero out-degree can never reroute a walk.
         assert_eq!(store.update_probability(NodeId(0), 0), 0.0);
         // W(1) = 2 visits, d = 5  =>  1 - (4/5)^2.
-        assert_eq!(store.update_probability(NodeId(1), 5), 1.0 - (1.0 - 0.2f64).powi(2));
+        assert_eq!(
+            store.update_probability(NodeId(1), 5),
+            1.0 - (1.0 - 0.2f64).powi(2)
+        );
     }
 
     #[test]

@@ -61,7 +61,12 @@ fn main() {
     );
 
     // Deletions are just as cheap (Proposition 5).
-    let victims: Vec<_> = engine.graph().collect_edges().into_iter().take(1_000).collect();
+    let victims: Vec<_> = engine
+        .graph()
+        .collect_edges()
+        .into_iter()
+        .take(1_000)
+        .collect();
     engine.reset_work();
     for edge in victims {
         engine.remove_edge(edge);

@@ -36,7 +36,7 @@ fn main() {
     // New follows arrive: the engine repairs only the affected walk segments.
     let new_edges = [(3_001, 17), (3_001, 42), (9_999, 3_001)];
     for &(source, target) in &new_edges {
-        let stats = engine.add_edge(ppr_graph::Edge::new(source, target));
+        let stats = engine.add_edge(Edge::new(source, target));
         println!(
             "arrival {source} -> {target}: {} segments repaired, {} walk steps",
             stats.segments_updated, stats.walk_steps

@@ -11,7 +11,8 @@ fn main() {
     let graph = preferential_attachment(20_000, 25, 3);
     let r = 10;
     let epsilon = 0.2;
-    let engine = IncrementalPageRank::from_graph(&graph, MonteCarloConfig::new(epsilon, r).with_seed(5));
+    let engine =
+        IncrementalPageRank::from_graph(&graph, MonteCarloConfig::new(epsilon, r).with_seed(5));
     let seed = graph
         .nodes()
         .find(|&u| (20..=30).contains(&graph.out_degree(u)))

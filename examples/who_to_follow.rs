@@ -16,7 +16,11 @@ fn main() {
         .nodes()
         .find(|&u| (20..=30).contains(&graph.out_degree(u)))
         .expect("every node follows 25 accounts in this generator");
-    let friends: HashSet<usize> = graph.out_neighbors(user).iter().map(|n| n.index()).collect();
+    let friends: HashSet<usize> = graph
+        .out_neighbors(user)
+        .iter()
+        .map(|n| n.index())
+        .collect();
     let exclude: HashSet<usize> = friends.iter().copied().chain([user.index()]).collect();
     println!("recommending for user {user} ({} friends)\n", friends.len());
 

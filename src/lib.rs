@@ -38,6 +38,9 @@
 //! assert!(top.len() <= 10);
 //! ```
 
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
 pub use ppr_analysis as analysis;
 pub use ppr_baselines as baselines;
 pub use ppr_core as core;
@@ -58,7 +61,7 @@ pub mod prelude {
     pub use ppr_graph::dynamic::DynamicGraph;
     pub use ppr_graph::generators::preferential_attachment;
     pub use ppr_graph::view::GraphView;
-    pub use ppr_graph::NodeId;
+    pub use ppr_graph::{Edge, NodeId};
     pub use ppr_store::social::SocialStore;
     pub use ppr_store::walks::WalkStore;
 }

@@ -15,8 +15,7 @@ use std::collections::HashSet;
 #[test]
 fn incremental_build_tracks_power_iteration_end_to_end() {
     let nodes = 400;
-    let generated =
-        preferential_attachment_edges(&PreferentialAttachmentConfig::new(nodes, 5, 21));
+    let generated = preferential_attachment_edges(&PreferentialAttachmentConfig::new(nodes, 5, 21));
     let arrivals = random_permutation(&generated, 23);
 
     let mut engine =
@@ -51,7 +50,8 @@ fn stitched_personalized_ranking_matches_exact_ranking() {
         .chain(graph.out_neighbors(seed).iter().map(|n| n.index()))
         .collect();
 
-    let exact = personalized_power_iteration(&graph, seed, &PowerIterationConfig::with_epsilon(0.2));
+    let exact =
+        personalized_power_iteration(&graph, seed, &PowerIterationConfig::with_epsilon(0.2));
     let exact_top = top_k_indices(&exact.scores, 20, &exclude);
 
     let mc_top: Vec<usize> = engine
@@ -84,11 +84,16 @@ fn deletions_keep_estimates_consistent() {
     for edge in &victims {
         engine.remove_edge(*edge).expect("victim edges exist");
     }
-    engine.validate_segments().expect("segments stay valid after deletions");
+    engine
+        .validate_segments()
+        .expect("segments stay valid after deletions");
 
     let exact = power_iteration(engine.graph(), &PowerIterationConfig::with_epsilon(0.2));
     let tvd = engine.estimates().total_variation_distance(&exact.scores);
-    assert!(tvd < 0.15, "estimates should survive deletions, TVD = {tvd}");
+    assert!(
+        tvd < 0.15,
+        "estimates should survive deletions, TVD = {tvd}"
+    );
 }
 
 /// Monte Carlo SALSA authorities agree with the exact SALSA iteration, end to end.

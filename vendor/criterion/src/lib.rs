@@ -1,0 +1,345 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The fast-ppr workspace is built in hermetic environments with no access to
+//! crates.io, so this vendored crate implements the `criterion` 0.5 API subset
+//! used by the benches under `crates/bench/benches/`: [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`]/[`Bencher::iter_batched`],
+//! [`BenchmarkId`], [`Throughput`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! It measures wall-clock means over a configurable number of samples and
+//! prints one line per benchmark — enough to compare runs by hand, with no
+//! statistical machinery, plotting, or CLI filtering.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for a benchmark within a group, e.g. `name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Creates an id from a parameter value alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(value: &str) -> Self {
+        BenchmarkId {
+            id: value.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(value: String) -> Self {
+        BenchmarkId { id: value }
+    }
+}
+
+/// Throughput annotation attached to a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The routine processes this many logical elements per iteration.
+    Elements(u64),
+    /// The routine processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// Hint for how `iter_batched` should size its setup batches (ignored here).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Times a single benchmark routine.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    total: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher {
+            samples,
+            total: Duration::ZERO,
+            iterations: 0,
+        }
+    }
+
+    /// Runs `routine` repeatedly, timing each call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One untimed warm-up call.
+        black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.total += start.elapsed();
+            self.iterations += 1;
+        }
+    }
+
+    /// Runs `routine` on fresh inputs produced by `setup`; only `routine` is timed.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.total += start.elapsed();
+            self.iterations += 1;
+        }
+    }
+
+    fn mean(&self) -> Duration {
+        if self.iterations == 0 {
+            Duration::ZERO
+        } else {
+            self.total / self.iterations as u32
+        }
+    }
+}
+
+/// The benchmark driver: configuration plus registration of benchmark routines.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(None, &id.into(), self.sample_size, f, None);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size,
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name and an optional throughput.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Annotates every benchmark in the group with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Overrides the number of timed samples for this group only.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(
+            Some(&self.name),
+            &id.into(),
+            self.sample_size,
+            f,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    group: Option<&str>,
+    id: &BenchmarkId,
+    samples: usize,
+    mut f: F,
+    throughput: Option<Throughput>,
+) {
+    let label = match group {
+        Some(group) => format!("{group}/{id}"),
+        None => id.to_string(),
+    };
+    let mut bencher = Bencher::new(samples);
+    f(&mut bencher);
+    let mean = bencher.mean();
+    match throughput {
+        Some(Throughput::Elements(n)) if mean > Duration::ZERO => {
+            let rate = n as f64 / mean.as_secs_f64();
+            println!("bench {label:<50} mean {mean:>12.2?} ({rate:.0} elem/s)");
+        }
+        Some(Throughput::Bytes(n)) if mean > Duration::ZERO => {
+            let rate = n as f64 / mean.as_secs_f64();
+            println!("bench {label:<50} mean {mean:>12.2?} ({rate:.0} B/s)");
+        }
+        _ => println!("bench {label:<50} mean {mean:>12.2?}"),
+    }
+}
+
+/// Bundles benchmark functions into a named group runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generates a `main` that runs every listed group, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn bench_function_runs_routine() {
+        static CALLS: AtomicU64 = AtomicU64::new(0);
+        let mut c = Criterion::default().sample_size(3);
+        c.bench_function("counter", |b| {
+            b.iter(|| CALLS.fetch_add(1, Ordering::Relaxed))
+        });
+        // 1 warm-up + 3 samples.
+        assert_eq!(CALLS.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn group_bench_with_input_passes_input() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut group = c.benchmark_group("group");
+        group.throughput(Throughput::Elements(7));
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn iter_batched_reruns_setup_per_sample() {
+        static SETUPS: AtomicU64 = AtomicU64::new(0);
+        let mut c = Criterion::default().sample_size(5);
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || SETUPS.fetch_add(1, Ordering::Relaxed),
+                |x| x + 1,
+                BatchSize::LargeInput,
+            )
+        });
+        assert_eq!(SETUPS.load(Ordering::Relaxed), 6);
+    }
+
+    #[test]
+    fn group_sample_size_does_not_leak_past_finish() {
+        static CALLS: AtomicU64 = AtomicU64::new(0);
+        let mut c = Criterion::default().sample_size(2);
+        let mut group = c.benchmark_group("noisy");
+        group.sample_size(50);
+        group.finish();
+        c.bench_function("after_group", |b| {
+            b.iter(|| CALLS.fetch_add(1, Ordering::Relaxed))
+        });
+        // 1 warm-up + the Criterion-level 2 samples, not the group's 50.
+        assert_eq!(CALLS.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

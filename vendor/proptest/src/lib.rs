@@ -1,0 +1,447 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! property-testing crate.
+//!
+//! The fast-ppr workspace is built in hermetic environments with no access to
+//! crates.io, so this vendored crate implements the `proptest` 1.x API subset
+//! used by `tests/proptest_invariants.rs`:
+//!
+//! * the [`strategy::Strategy`] trait with `prop_map`, implemented for integer
+//!   and float ranges and for tuples;
+//! * [`collection::vec`] and [`collection::hash_set`];
+//! * the [`proptest!`], [`prop_oneof!`], and `prop_assert*` macros;
+//! * [`test_runner::ProptestConfig`] (only `cases` is honoured).
+//!
+//! Unlike real proptest there is **no shrinking**: a failing case prints the
+//! case index and the generated inputs' `Debug` output to stderr and then
+//! re-raises the panic. Case generation is deterministic per test name, so
+//! failures reproduce.
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators over it.
+
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A recipe for generating values of type `Self::Value`.
+    pub trait Strategy {
+        /// The type of value this strategy generates.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Returns a strategy that applies `f` to every generated value.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    // Ranges sample through the vendored `rand` crate's uniform implementations,
+    // exactly as real proptest delegates to `rand`.
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rand::Rng::gen_range(rng, self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u32, u64, usize, f64);
+
+    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+        type Value = (A::Value, B::Value);
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (self.0.generate(rng), self.1.generate(rng))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+        type Value = (A::Value, B::Value, C::Value);
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (
+                self.0.generate(rng),
+                self.1.generate(rng),
+                self.2.generate(rng),
+            )
+        }
+    }
+
+    /// A type-erased strategy, used by [`Union`] and the `prop_oneof!` macro.
+    pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Boxes a strategy, erasing its concrete type.
+    pub fn boxed<S: Strategy + 'static>(strategy: S) -> BoxedStrategy<S::Value> {
+        Box::new(strategy)
+    }
+
+    /// A weighted choice among several strategies yielding the same value type.
+    pub struct Union<V> {
+        variants: Vec<(u32, BoxedStrategy<V>)>,
+    }
+
+    impl<V> Union<V> {
+        /// Builds a union from `(weight, strategy)` pairs.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `variants` is empty or all weights are zero.
+        pub fn new(variants: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+            let total: u64 = variants.iter().map(|(w, _)| *w as u64).sum();
+            assert!(
+                total > 0,
+                "prop_oneof! requires at least one positive weight"
+            );
+            Union { variants }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let total: u64 = self.variants.iter().map(|(w, _)| *w as u64).sum();
+            let mut pick = rand::Rng::gen_range(rng, 0..total);
+            for (weight, strategy) in &self.variants {
+                if pick < *weight as u64 {
+                    return strategy.generate(rng);
+                }
+                pick -= *weight as u64;
+            }
+            unreachable!("weighted pick exceeded total weight")
+        }
+    }
+}
+
+pub mod collection {
+    //! Strategies for collections of strategy-generated elements.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::HashSet;
+    use std::hash::Hash;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with a size drawn from `size` and elements from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates `Vec`s of `element` values with lengths in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.clone().generate(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `HashSet`s with a target size drawn from `size`.
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates `HashSet`s of `element` values with sizes in `size`.
+    ///
+    /// The element strategy must span at least `size.end - 1` distinct values,
+    /// otherwise generation may give up below the requested size.
+    pub fn hash_set<S>(element: S, size: Range<usize>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        HashSetStrategy { element, size }
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        type Value = HashSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+            let target = self.size.clone().generate(rng);
+            let mut set = HashSet::with_capacity(target);
+            // Duplicates shrink the set, so retry with a generous attempt budget.
+            let mut attempts = 0;
+            while set.len() < target && attempts < 100 * (target + 1) {
+                set.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Test-runner configuration and the deterministic RNG behind strategies.
+
+    /// Configuration for a `proptest!` block; only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases each test runs.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Returns the default configuration with `cases` overridden.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Deterministic RNG seeded from the test name and case index, backed by the
+    /// vendored `rand` crate's [`SmallRng`] (as real proptest delegates to `rand`).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        inner: SmallRng,
+    }
+
+    impl TestRng {
+        /// Creates the RNG for case `case` of the test named `name`.
+        ///
+        /// Seeds are a hash of the test name xored with the case index, so each
+        /// test gets an independent, reproducible stream.
+        pub fn for_case(name: &str, case: u32) -> Self {
+            let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+            for byte in name.bytes() {
+                seed ^= byte as u64;
+                seed = seed.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng {
+                inner: SmallRng::seed_from_u64(
+                    seed ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                ),
+            }
+        }
+    }
+
+    impl rand::RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.inner.next_u64()
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports for tests, mirroring `proptest::prelude`.
+
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a `proptest!` body (no shrinking; panics directly).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Asserts equality inside a `proptest!` body (no shrinking; panics directly).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// Asserts inequality inside a `proptest!` body (no shrinking; panics directly).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}
+
+/// Weighted choice among strategies, mirroring proptest's `prop_oneof!`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::boxed($strategy))),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::boxed($strategy))),+
+        ])
+    };
+}
+
+/// Declares property tests, mirroring proptest's `proptest!` macro.
+///
+/// Each `fn name(arg in strategy, ...) { body }` item expands to an ordinary
+/// `#[test]` (the attribute comes from the item itself) that runs `body` for
+/// `config.cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = $config:expr;
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $config;
+                for __case in 0..__config.cases {
+                    let mut __rng =
+                        $crate::test_runner::TestRng::for_case(stringify!($name), __case);
+                    $(let $arg =
+                        $crate::strategy::Strategy::generate(&($strategy), &mut __rng);)+
+                    // Capture the inputs before the body can consume them, so a
+                    // failing case can report what it was run with.
+                    let __inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}; "),+),
+                        $(&$arg),+
+                    );
+                    let __result = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(move || $body),
+                    );
+                    if let Err(__panic) = __result {
+                        eprintln!(
+                            "proptest: {} failed at case {}/{} with inputs: {}",
+                            stringify!($name),
+                            __case,
+                            __config.cases,
+                            __inputs,
+                        );
+                        ::std::panic::resume_unwind(__panic);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_sample_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::for_case("ranges", 0);
+        for _ in 0..1_000 {
+            assert!((3..9u32).contains(&(3..9u32).generate(&mut rng)));
+            assert!((0.0..1.0f64).contains(&(0.0..1.0f64).generate(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn collections_honour_size_ranges() {
+        let mut rng = crate::test_runner::TestRng::for_case("collections", 1);
+        for _ in 0..200 {
+            let v = crate::collection::vec(0..10u32, 2..7).generate(&mut rng);
+            assert!((2..7).contains(&v.len()));
+            let s = crate::collection::hash_set(0usize..50, 1..10).generate(&mut rng);
+            assert!((1..10).contains(&s.len()));
+        }
+    }
+
+    #[test]
+    fn oneof_respects_weights() {
+        let strategy = prop_oneof![
+            3 => (0..1u32).prop_map(|_| "heavy"),
+            1 => (0..1u32).prop_map(|_| "light"),
+        ];
+        let mut rng = crate::test_runner::TestRng::for_case("oneof", 2);
+        let heavy = (0..10_000)
+            .filter(|_| strategy.generate(&mut rng) == "heavy")
+            .count();
+        assert!(
+            (7_000..8_000).contains(&heavy),
+            "heavy arm hit {heavy}/10000"
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_binds_arguments(x in 0..100u32, pair in (0..5usize, 0.0..1.0f64)) {
+            prop_assert!(x < 100);
+            prop_assert!(pair.0 < 5);
+            prop_assert!((0.0..1.0).contains(&pair.1));
+        }
+
+        /// The failure path re-raises the panic (after reporting the case inputs).
+        #[test]
+        #[should_panic]
+        fn failing_property_still_panics(x in 0..10u32) {
+            prop_assert!(x > 100, "deliberately impossible");
+        }
+    }
+}
