@@ -281,7 +281,7 @@ pub fn example1(n_param: usize, r: usize, epsilon: f64, seed: u64) -> Example1Re
     let config = MonteCarloConfig::new(epsilon, r).with_seed(seed);
 
     let mut adversarial =
-        IncrementalPageRank::from_graph(&gadget.adversarial_prefix_graph(), config);
+        IncrementalPageRank::from_graph(gadget.adversarial_prefix_graph(), config);
     adversarial.reset_work();
     let adversarial_stats = adversarial.add_edge(gadget.adversarial_edge);
 

@@ -50,7 +50,7 @@ pub fn mixed_attachment(nodes: usize, out_degree: usize, uniform_mix: f64, seed:
     let config =
         PreferentialAttachmentConfig::new(nodes, out_degree, seed).with_uniform_mix(uniform_mix);
     let generated = preferential_attachment_edges(&config);
-    let arrivals = random_permutation(&generated, seed ^ 0x13198a2e_0370_7344);
+    let arrivals = random_permutation(&generated, seed ^ 0x1319_8a2e_0370_7344);
     let graph = DynamicGraph::from_edges(&arrivals, nodes);
     Workload {
         graph,

@@ -1,0 +1,80 @@
+//! Shared batching machinery for the engines' `apply_arrivals` paths.
+
+use ppr_graph::{Edge, NodeId};
+use ppr_store::SocialStore;
+use std::collections::HashMap;
+
+/// One pivot node's share of a batch: the pivot, its relevant degree from *before* the
+/// batch, and the forced reroute targets its new edges contribute, in arrival order.
+pub(crate) type ArrivalGroup = (NodeId, usize, Vec<NodeId>);
+
+/// Groups a batch of arrivals by pivot node in first-arrival order, capturing each
+/// pivot's pre-batch degree.
+///
+/// Must be called **before** any edge of the batch is inserted into `store`: the
+/// captured degree is the pivot's degree with no batch edge applied, which is what the
+/// `k/(d₀+k)` reservoir composition of the per-edge coins needs.  `key` maps an edge to
+/// `(pivot, forced_target)` — `(source, target)` for PageRank and SALSA's forward
+/// direction, `(target, source)` for SALSA's backward direction — and `degree` reads
+/// the pivot's relevant degree (out-degree for forward steps, in-degree for backward).
+pub(crate) fn group_arrivals(
+    store: &SocialStore,
+    edges: &[Edge],
+    key: impl Fn(Edge) -> (NodeId, NodeId),
+    degree: impl Fn(&SocialStore, NodeId) -> usize,
+) -> Vec<ArrivalGroup> {
+    let mut groups: Vec<ArrivalGroup> = Vec::new();
+    let mut index: HashMap<NodeId, usize> = HashMap::new();
+    for &edge in edges {
+        let (pivot, target) = key(edge);
+        let slot = *index.entry(pivot).or_insert_with(|| {
+            groups.push((pivot, degree(store, pivot), Vec::new()));
+            groups.len() - 1
+        });
+        groups[slot].2.push(target);
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_preserve_first_arrival_order_and_pre_batch_degrees() {
+        let mut store = SocialStore::new(4, 1);
+        store.add_edge(Edge::new(2, 0)); // node 2 has pre-batch out-degree 1
+        let batch = [
+            Edge::new(2, 1),
+            Edge::new(0, 3),
+            Edge::new(2, 3),
+            Edge::new(0, 1),
+        ];
+        let groups = group_arrivals(
+            &store,
+            &batch,
+            |e| (e.source, e.target),
+            |s, n| s.out_degree(n),
+        );
+        assert_eq!(
+            groups,
+            vec![
+                (NodeId(2), 1, vec![NodeId(1), NodeId(3)]),
+                (NodeId(0), 0, vec![NodeId(3), NodeId(1)]),
+            ]
+        );
+    }
+
+    #[test]
+    fn backward_key_groups_by_target_with_in_degrees() {
+        let store = SocialStore::new(3, 1);
+        let batch = [Edge::new(0, 2), Edge::new(1, 2)];
+        let groups = group_arrivals(
+            &store,
+            &batch,
+            |e| (e.target, e.source),
+            |s, n| s.in_degree(n),
+        );
+        assert_eq!(groups, vec![(NodeId(2), 0, vec![NodeId(0), NodeId(1)])]);
+    }
+}

@@ -21,9 +21,9 @@
 //! (Proposition 5).
 
 use ppr_graph::NodeId;
-use ppr_store::WalkStore;
+use ppr_store::WalkIndex;
 
-/// PageRank estimates derived from a [`WalkStore`].
+/// PageRank estimates derived from any [`WalkIndex`] store.
 #[derive(Debug, Clone)]
 pub struct PageRankEstimates {
     raw: Vec<f64>,
@@ -32,8 +32,9 @@ pub struct PageRankEstimates {
 
 impl PageRankEstimates {
     /// Builds estimates from the visit counts of `store`, using the paper's
-    /// normalisation constant `nR/ε`.
-    pub fn from_store(store: &WalkStore, epsilon: f64) -> Self {
+    /// normalisation constant `nR/ε`.  Reads go through the [`WalkIndex`] API, so any
+    /// store layout implementing it works.
+    pub fn from_store<W: WalkIndex>(store: &W, epsilon: f64) -> Self {
         assert!(
             epsilon > 0.0 && epsilon < 1.0,
             "epsilon must be in (0, 1), got {epsilon}"
@@ -115,15 +116,13 @@ impl PageRankEstimates {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ppr_store::SegmentId;
+    use ppr_store::{SegmentId, WalkStore};
 
     fn store_with_paths(node_count: usize, r: usize, paths: &[(u32, usize, &[u32])]) -> WalkStore {
         let mut store = WalkStore::new(node_count, r);
         for &(node, slot, path) in paths {
-            store.set_segment(
-                SegmentId::new(NodeId(node), slot, r),
-                path.iter().map(|&x| NodeId(x)).collect(),
-            );
+            let path: Vec<NodeId> = path.iter().map(|&x| NodeId(x)).collect();
+            store.set_segment(SegmentId::new(NodeId(node), slot, r), &path);
         }
         store
     }

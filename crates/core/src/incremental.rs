@@ -4,7 +4,7 @@
 //! [`IncrementalPageRank`] owns the Social Store (the evolving graph) and the PageRank
 //! Store (the `R` walk segments per node).  When an edge `(u, v)` arrives:
 //!
-//! * only segments that visit `u` can be affected — the store's visit index finds them
+//! * only segments that visit `u` can be affected — the store's visit postings find them
 //!   without scanning anything else;
 //! * each visit of such a segment to `u` would have taken the new edge with probability
 //!   `1/outdeg(u)`, so the segment is rerouted at its first visit for which an
@@ -16,6 +16,20 @@
 //! Deletions are symmetric: only segments that actually traverse the vanished edge are
 //! rerouted from the point of traversal.
 //!
+//! All reads go through the [`ppr_store::WalkIndex`] store-API layer and all repairs reuse one
+//! scratch path buffer, so the steady-state maintenance path performs **zero
+//! per-segment heap allocations**: a reroute copies the surviving prefix into the
+//! scratch buffer, extends it, and rewrites the segment's arena slot in place.
+//!
+//! [`IncrementalPageRank::apply_arrivals`] processes a whole batch of arrivals at once,
+//! grouping the coin flips and index maintenance per source node: for a source gaining
+//! `k` edges on top of `d₀` existing ones, every visit reroutes with probability
+//! `k/(d₀+k)` to a uniformly chosen new edge — exactly the distribution the `k`
+//! single-edge updates compose to (each per-edge coin `1/(d₀+i)` composes by the
+//! reservoir argument to `1/(d₀+k)` per new edge) — while scanning the visit postings of
+//! each source once instead of once per edge.  This per-source grouping is the shape
+//! that sharded and parallel maintenance will partition over.
+//!
 //! The engine keeps a [`WorkCounter`] so experiments can compare the measured update
 //! work against the `nR ln m / ε²` bound of Theorem 4 and the `nR/(m ε²)` deletion bound
 //! of Proposition 5.  The closed forms this engine instantiates are
@@ -23,6 +37,7 @@
 //! (Theorem 4) for arrivals, and [`crate::bounds::deletion_update_work`]
 //! (Proposition 5) for deletions.
 
+use crate::batch;
 use crate::config::{MonteCarloConfig, RerouteStrategy};
 use crate::estimator::PageRankEstimates;
 use crate::personalized::PersonalizedWalker;
@@ -31,8 +46,10 @@ use ppr_graph::{DynamicGraph, Edge, GraphView, NodeId};
 use ppr_store::{SegmentId, SocialStore, WalkStore, WorkCounter};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
 
-/// Work performed while processing a single edge arrival or deletion.
+/// Work performed while processing a single edge arrival or deletion (or a whole
+/// batch, when returned by [`IncrementalPageRank::apply_arrivals`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct UpdateStats {
     /// Number of walk segments rerouted or rebuilt.
@@ -62,12 +79,22 @@ pub struct IncrementalPageRank {
     rng: SmallRng,
     work: WorkCounter,
     initialization_steps: u64,
+    /// Reusable path buffer for segment repairs (keeps reroutes allocation-free).
+    scratch: Vec<NodeId>,
+    /// Reusable buffer for the ids of the segments visiting the updated node.
+    visiting: Vec<SegmentId>,
+    /// Per-batch reroute frontier: for every segment already rerouted in the current
+    /// batch, the first rewritten position.  Visits at or past it belong to a suffix
+    /// regenerated on the final graph and must not flip further coins.
+    batch_limits: HashMap<SegmentId, usize>,
 }
 
 impl IncrementalPageRank {
-    /// Builds the engine over an existing graph, generating `R` walk segments per node.
-    pub fn from_graph(graph: &DynamicGraph, config: MonteCarloConfig) -> Self {
-        Self::from_social_store(SocialStore::from_graph(graph.clone(), 1), config)
+    /// Builds the engine over a graph or an existing Social Store, generating `R` walk
+    /// segments per node.  Pass the graph by value to avoid copying it; `&DynamicGraph`
+    /// is also accepted (and cloned) for callers that keep theirs.
+    pub fn from_graph(graph: impl Into<SocialStore>, config: MonteCarloConfig) -> Self {
+        Self::from_social_store(graph.into(), config)
     }
 
     /// Builds the engine over an existing Social Store, generating `R` walk segments per
@@ -83,6 +110,9 @@ impl IncrementalPageRank {
             rng,
             work: WorkCounter::new(),
             initialization_steps: 0,
+            scratch: Vec::new(),
+            visiting: Vec::new(),
+            batch_limits: HashMap::new(),
         };
         for node in 0..node_count {
             engine.generate_segments_for(NodeId::from_index(node));
@@ -92,7 +122,7 @@ impl IncrementalPageRank {
 
     /// Builds the engine over an empty graph with `node_count` isolated nodes.
     pub fn new_empty(node_count: usize, config: MonteCarloConfig) -> Self {
-        Self::from_graph(&DynamicGraph::with_nodes(node_count), config)
+        Self::from_graph(DynamicGraph::with_nodes(node_count), config)
     }
 
     /// The engine's configuration.
@@ -180,17 +210,17 @@ impl IncrementalPageRank {
     pub fn add_edge(&mut self, edge: Edge) -> UpdateStats {
         let needed = edge.source.index().max(edge.target.index()) + 1;
         self.ensure_nodes(needed);
+        let prior_degree = self.store.out_degree(edge.source);
         self.store.add_edge(edge);
 
-        let u = edge.source;
-        let v = edge.target;
-        let d = self.store.out_degree(u);
         let mut stats = UpdateStats::default();
-
-        let visiting: Vec<SegmentId> = self.walks.segments_visiting(u).map(|(id, _)| id).collect();
-        for id in visiting {
-            self.maybe_reroute_for_arrival(id, u, v, d, &mut stats);
-        }
+        self.batch_limits.clear();
+        self.process_arrival_group(
+            edge.source,
+            prior_degree,
+            std::slice::from_ref(&edge.target),
+            &mut stats,
+        );
 
         self.work.edges_processed += 1;
         self.work.segments_updated += stats.segments_updated;
@@ -198,6 +228,56 @@ impl IncrementalPageRank {
         if !stats.touched_walk_store {
             self.work.arrivals_filtered += 1;
         }
+        stats
+    }
+
+    /// Processes a whole batch of edge arrivals, grouping the coin flips and the visit
+    /// index maintenance per source node.
+    ///
+    /// All edges are inserted into the Social Store first; then, for every source `u`
+    /// that gained `k` edges on top of `d₀` existing ones, the segments visiting `u` are
+    /// enumerated **once** and each eligible visit reroutes with probability `k/(d₀+k)`
+    /// to a uniformly chosen new edge — the exact composition of the `k` per-edge
+    /// `1/(d₀+i)` coins.  Suffixes are regenerated on the post-batch graph, and a
+    /// segment rerouted for one source is only re-examined by later groups on the
+    /// prefix that predates its reroute.
+    ///
+    /// Returns the aggregate statistics over the whole batch.
+    pub fn apply_arrivals(&mut self, edges: &[Edge]) -> UpdateStats {
+        let mut stats = UpdateStats::default();
+        let Some(needed) = edges
+            .iter()
+            .map(|e| e.source.index().max(e.target.index()) + 1)
+            .max()
+        else {
+            return stats;
+        };
+        self.ensure_nodes(needed);
+
+        // Group targets per source in first-arrival order, capturing each source's
+        // out-degree from before the batch, then insert every edge.
+        let groups = batch::group_arrivals(
+            &self.store,
+            edges,
+            |e| (e.source, e.target),
+            |s, n| s.out_degree(n),
+        );
+        for &edge in edges {
+            self.store.add_edge(edge);
+        }
+
+        self.batch_limits.clear();
+        for (u, prior_degree, targets) in groups {
+            let updates_before = stats.segments_updated;
+            self.process_arrival_group(u, prior_degree, &targets, &mut stats);
+            if stats.segments_updated == updates_before {
+                self.work.arrivals_filtered += targets.len() as u64;
+            }
+        }
+
+        self.work.edges_processed += edges.len() as u64;
+        self.work.segments_updated += stats.segments_updated;
+        self.work.walk_steps += stats.walk_steps;
         stats
     }
 
@@ -215,11 +295,12 @@ impl IncrementalPageRank {
         // legal step of the walk and the uniform-neighbour distribution at u is already
         // reflected by the reroute performed when that copy arrived, so nothing to do.
         if !self.store.graph().has_edge(edge) {
-            let visiting: Vec<SegmentId> =
-                self.walks.segments_visiting(u).map(|(id, _)| id).collect();
-            for id in visiting {
+            let mut visiting = std::mem::take(&mut self.visiting);
+            self.walks.collect_visiting(u, &mut visiting);
+            for &id in &visiting {
                 self.maybe_reroute_for_deletion(id, u, v, &mut stats);
             }
+            self.visiting = visiting;
         }
 
         self.work.edges_processed += 1;
@@ -238,17 +319,17 @@ impl IncrementalPageRank {
         let graph = self.store.graph();
         for node in graph.nodes() {
             for id in self.walks.segment_ids_of(node) {
-                let segment = self.walks.segment(id);
-                if segment.is_empty() {
+                let path = self.walks.segment_path(id);
+                if path.is_empty() {
                     return Err(format!("segment {id:?} of node {node} was never generated"));
                 }
-                if segment.source() != Some(node) {
+                if path.first() != Some(&node) {
                     return Err(format!(
                         "segment {id:?} starts at {:?}, expected {node}",
-                        segment.source()
+                        path.first()
                     ));
                 }
-                for pair in segment.path().windows(2) {
+                for pair in path.windows(2) {
                     let edge = Edge {
                         source: pair[0],
                         target: pair[1],
@@ -279,90 +360,134 @@ impl IncrementalPageRank {
     fn generate_segments_for(&mut self, node: NodeId) {
         for slot in 0..self.config.r {
             let id = SegmentId::new(node, slot, self.config.r);
-            let walk = walker::pagerank_segment(
+            let steps = walker::pagerank_segment_into(
                 self.store.graph(),
                 node,
                 self.config.epsilon,
                 self.config.max_segment_length,
                 &mut self.rng,
+                &mut self.scratch,
             );
-            self.initialization_steps += walk.steps;
-            self.walks.set_segment(id, walk.path);
+            self.initialization_steps += steps;
+            self.walks.set_segment(id, &self.scratch);
         }
     }
 
-    fn maybe_reroute_for_arrival(
+    /// Repairs the segments visiting `u` after `targets` new out-edges of `u` (already
+    /// inserted) arrived on top of `prior_degree` existing ones.
+    fn process_arrival_group(
+        &mut self,
+        u: NodeId,
+        prior_degree: usize,
+        targets: &[NodeId],
+        stats: &mut UpdateStats,
+    ) {
+        debug_assert!(!targets.is_empty());
+        let mut visiting = std::mem::take(&mut self.visiting);
+        self.walks.collect_visiting(u, &mut visiting);
+        for &id in &visiting {
+            let limit = self.batch_limits.get(&id).copied().unwrap_or(usize::MAX);
+            if limit == 0 {
+                continue; // fully regenerated earlier in this batch
+            }
+            if let Some(pos) = self.maybe_reroute_group(id, u, prior_degree, targets, limit, stats)
+            {
+                let new_limit = match self.config.reroute {
+                    RerouteStrategy::FromUpdatePoint => pos,
+                    RerouteStrategy::FromSource => 0,
+                };
+                self.batch_limits.insert(id, new_limit);
+            }
+        }
+        self.visiting = visiting;
+    }
+
+    /// Decides whether (and where) segment `id` reroutes for a group of new edges out
+    /// of `u`, performs the repair, and returns the reroute position.
+    fn maybe_reroute_group(
         &mut self,
         id: SegmentId,
         u: NodeId,
-        v: NodeId,
-        out_degree: usize,
+        prior_degree: usize,
+        targets: &[NodeId],
+        limit: usize,
         stats: &mut UpdateStats,
-    ) {
-        debug_assert!(out_degree >= 1);
-        let path = self.walks.segment(id).path();
-        let positions = self.walks.segment(id).positions_of(u);
-        let last_index = path.len() - 1;
+    ) -> Option<usize> {
+        let k = targets.len();
+        let path_len = self.walks.segment_len(id);
+        if path_len == 0 {
+            return None;
+        }
+        let last_index = path_len - 1;
 
         // Decide where (if anywhere) the segment must be rerouted.
-        let mut reroute_at: Option<usize> = None;
-        for &pos in &positions {
+        let mut reroute_at: Option<(usize, NodeId)> = None;
+        for pos in self.walks.positions_of(id, u) {
+            if pos >= limit {
+                // Everything from `limit` on was regenerated on the post-batch graph
+                // and already samples the new edges; positions only increase, so stop.
+                break;
+            }
             if pos < last_index {
-                // At an interior visit the surfer took one of the then-existing edges;
-                // with the new edge present it would have chosen it with probability
-                // 1/outdeg(u).
-                if self.rng.gen_bool(1.0 / out_degree as f64) {
-                    reroute_at = Some(pos);
+                // At an interior visit the surfer took one of the `prior_degree + k`
+                // now-existing edges uniformly; it lands on a new one with probability
+                // k/(d₀+k) (the reservoir composition of the k per-edge 1/(d₀+i)
+                // coins), each new edge being equally likely.
+                if self.rng.gen_bool(k as f64 / (prior_degree + k) as f64) {
+                    let target = walker::pick_new_target(&mut self.rng, targets);
+                    reroute_at = Some((pos, target));
                     break;
                 }
-            } else if out_degree == 1 {
-                // The segment ended at u because u was dangling; now that u has an
-                // outgoing edge the surfer would have continued with probability 1 − ε.
+            } else if prior_degree == 0 {
+                // The segment ended at u because u was dangling; now that u has
+                // outgoing edges the surfer would have continued with probability
+                // 1 − ε, choosing uniformly among the new edges.
                 if self.rng.gen_bool(1.0 - self.config.epsilon) {
-                    reroute_at = Some(pos);
+                    let target = walker::pick_new_target(&mut self.rng, targets);
+                    reroute_at = Some((pos, target));
                     break;
                 }
             }
             // A final visit to a non-dangling u ended with an ε-reset, which the new
-            // edge does not affect.
+            // edges do not affect.
         }
 
-        let Some(pos) = reroute_at else {
-            return;
-        };
-
+        let (pos, target) = reroute_at?;
         match self.config.reroute {
             RerouteStrategy::FromUpdatePoint => {
-                let mut new_path: Vec<NodeId> = self.walks.segment(id).path()[..=pos].to_vec();
+                self.scratch.clear();
+                self.scratch
+                    .extend_from_slice(&self.walks.segment_path(id)[..=pos]);
                 let mut steps = 0u64;
-                if new_path.len() < self.config.max_segment_length {
-                    new_path.push(v);
+                if self.scratch.len() < self.config.max_segment_length {
+                    self.scratch.push(target);
                     steps += 1;
                     steps += walker::extend_pagerank_walk(
                         self.store.graph(),
-                        &mut new_path,
+                        &mut self.scratch,
                         self.config.epsilon,
                         self.config.max_segment_length,
                         &mut self.rng,
                     );
                 }
-                self.walks.set_segment(id, new_path);
+                self.walks.set_segment(id, &self.scratch);
                 stats.record_segment(steps);
             }
             RerouteStrategy::FromSource => {
                 let source = self.walks.source_of(id);
-                let walk = walker::pagerank_segment(
+                let steps = walker::pagerank_segment_into(
                     self.store.graph(),
                     source,
                     self.config.epsilon,
                     self.config.max_segment_length,
                     &mut self.rng,
+                    &mut self.scratch,
                 );
-                let steps = walk.steps;
-                self.walks.set_segment(id, walk.path);
+                self.walks.set_segment(id, &self.scratch);
                 stats.record_segment(steps);
             }
         }
+        Some(pos)
     }
 
     fn maybe_reroute_for_deletion(
@@ -372,39 +497,36 @@ impl IncrementalPageRank {
         v: NodeId,
         stats: &mut UpdateStats,
     ) {
-        let segment = self.walks.segment(id);
-        let Some(pos) = segment
-            .path()
-            .windows(2)
-            .position(|pair| pair[0] == u && pair[1] == v)
-        else {
+        let Some(pos) = self.walks.first_traversal(id, u, v) else {
             return;
         };
 
         match self.config.reroute {
             RerouteStrategy::FromUpdatePoint => {
-                let mut new_path: Vec<NodeId> = segment.path()[..=pos].to_vec();
+                self.scratch.clear();
+                self.scratch
+                    .extend_from_slice(&self.walks.segment_path(id)[..=pos]);
                 let steps = walker::extend_pagerank_walk(
                     self.store.graph(),
-                    &mut new_path,
+                    &mut self.scratch,
                     self.config.epsilon,
                     self.config.max_segment_length,
                     &mut self.rng,
                 );
-                self.walks.set_segment(id, new_path);
+                self.walks.set_segment(id, &self.scratch);
                 stats.record_segment(steps);
             }
             RerouteStrategy::FromSource => {
                 let source = self.walks.source_of(id);
-                let walk = walker::pagerank_segment(
+                let steps = walker::pagerank_segment_into(
                     self.store.graph(),
                     source,
                     self.config.epsilon,
                     self.config.max_segment_length,
                     &mut self.rng,
+                    &mut self.scratch,
                 );
-                let steps = walk.steps;
-                self.walks.set_segment(id, walk.path);
+                self.walks.set_segment(id, &self.scratch);
                 stats.record_segment(steps);
             }
         }
@@ -431,8 +553,7 @@ mod tests {
         assert_eq!(engine.node_count(), 10);
         for node in g.nodes() {
             for id in engine.walk_store().segment_ids_of(node) {
-                let segment = engine.walk_store().segment(id);
-                assert_eq!(segment.source(), Some(node));
+                assert_eq!(engine.walk_store().segment_source(id), Some(node));
             }
         }
         assert!(engine.validate_segments().is_ok());
@@ -467,7 +588,7 @@ mod tests {
         assert_eq!(engine.node_count(), 8);
         for node in 0..8 {
             for id in engine.walk_store().segment_ids_of(NodeId(node)) {
-                assert!(!engine.walk_store().segment(id).is_empty());
+                assert!(!engine.walk_store().segment_is_empty(id));
             }
         }
         engine.validate_segments().unwrap();
@@ -481,7 +602,7 @@ mod tests {
         let before: usize = engine
             .walk_store()
             .segment_ids_of(NodeId(0))
-            .map(|id| engine.walk_store().segment(id).len())
+            .map(|id| engine.walk_store().segment_len(id))
             .sum();
         assert_eq!(before, 200, "dangling node segments are single visits");
         let stats = engine.add_edge(Edge::new(0, 1));
@@ -489,7 +610,7 @@ mod tests {
         let extended = engine
             .walk_store()
             .segment_ids_of(NodeId(0))
-            .filter(|&id| engine.walk_store().segment(id).len() > 1)
+            .filter(|&id| engine.walk_store().segment_len(id) > 1)
             .count();
         assert!(
             (120..=200).contains(&extended),
@@ -502,11 +623,11 @@ mod tests {
     fn arrival_update_probability_scales_with_out_degree() {
         // When u already has many outgoing edges, a new edge rarely disturbs walks.
         let mut dense = IncrementalPageRank::from_graph(
-            &ppr_graph::generators::complete_graph(50),
+            ppr_graph::generators::complete_graph(50),
             config(5, 7),
         );
         let stats_dense = dense.add_edge(Edge::new(0, 1)); // parallel edge, outdeg 50
-        let mut sparse = IncrementalPageRank::from_graph(&directed_cycle(50), config(5, 7));
+        let mut sparse = IncrementalPageRank::from_graph(directed_cycle(50), config(5, 7));
         let stats_sparse = sparse.add_edge(Edge::new(0, 25)); // outdeg becomes 2
         assert!(
             stats_sparse.segments_updated >= stats_dense.segments_updated,
@@ -539,17 +660,14 @@ mod tests {
         // No stored segment may traverse 2 -> 3 any more.
         for node in engine.graph().nodes() {
             for id in engine.walk_store().segment_ids_of(node) {
-                assert!(!engine
-                    .walk_store()
-                    .segment(id)
-                    .uses_edge(NodeId(2), NodeId(3)));
+                assert!(!engine.walk_store().uses_edge(id, NodeId(2), NodeId(3)));
             }
         }
     }
 
     #[test]
     fn removing_a_missing_edge_is_a_no_op() {
-        let mut engine = IncrementalPageRank::from_graph(&directed_cycle(4), config(2, 1));
+        let mut engine = IncrementalPageRank::from_graph(directed_cycle(4), config(2, 1));
         assert!(engine.remove_edge(Edge::new(0, 2)).is_none());
         assert_eq!(engine.work().edges_processed, 0);
     }
@@ -582,6 +700,92 @@ mod tests {
             tvd < fresh_tvd * 2.0 + 0.02,
             "incremental TVD {tvd:.4} should be comparable to fresh TVD {fresh_tvd:.4}"
         );
+    }
+
+    #[test]
+    fn batched_arrivals_match_sequential_accuracy() {
+        // Replay the same preferential-attachment stream through apply_arrivals in
+        // chunks; the estimates must track power iteration exactly as the per-edge
+        // replay does, and every invariant must hold after every batch.
+        let pa = PreferentialAttachmentConfig::new(300, 4, 19);
+        let edges = preferential_attachment_edges(&pa);
+        let mut engine = IncrementalPageRank::new_empty(300, config(20, 31));
+        for chunk in edges.chunks(64) {
+            let stats = engine.apply_arrivals(chunk);
+            assert!(stats.segments_updated >= stats.touched_walk_store as u64);
+            engine.validate_segments().unwrap();
+        }
+        assert_eq!(engine.graph().edge_count(), edges.len());
+        assert_eq!(engine.work().edges_processed, edges.len() as u64);
+
+        let exact = power_iteration(engine.graph(), &PowerIterationConfig::with_epsilon(0.2));
+        let tvd = engine.estimates().total_variation_distance(&exact.scores);
+        assert!(
+            tvd < 0.12,
+            "batched arrivals must stay as accurate as sequential ones, TVD = {tvd:.4}"
+        );
+    }
+
+    #[test]
+    fn batched_arrivals_group_work_per_source() {
+        // A hub gaining many edges at once: one batch touches the hub's postings once,
+        // and the result is a valid, accurate store.
+        let mut engine = IncrementalPageRank::new_empty(40, config(5, 37));
+        let spokes: Vec<Edge> = (1..40u32).map(|i| Edge::new(0, i)).collect();
+        let stats = engine.apply_arrivals(&spokes);
+        engine.validate_segments().unwrap();
+        assert!(stats.touched_walk_store, "a dangling hub must extend walks");
+        // Empty batches are a no-op.
+        let empty = engine.apply_arrivals(&[]);
+        assert_eq!(empty, UpdateStats::default());
+    }
+
+    #[test]
+    fn batched_and_sequential_single_edges_agree() {
+        // apply_arrivals over singleton slices is behaviourally identical to add_edge
+        // (same RNG draws, same reroutes) — the batch path is a strict generalization.
+        let g = directed_cycle(12);
+        let mut a = IncrementalPageRank::from_graph(&g, config(6, 41));
+        let mut b = IncrementalPageRank::from_graph(&g, config(6, 41));
+        for (i, edge) in [Edge::new(0, 5), Edge::new(3, 9), Edge::new(5, 1)]
+            .into_iter()
+            .enumerate()
+        {
+            let sa = a.add_edge(edge);
+            let sb = b.apply_arrivals(std::slice::from_ref(&edge));
+            assert_eq!(sa, sb, "edge {i}: stats must match");
+        }
+        assert_eq!(a.scores(), b.scores());
+    }
+
+    #[test]
+    fn steady_state_arrivals_reuse_arena_slots() {
+        // Build the graph fully (slot capacities discover their segments' length
+        // range), then churn it with further arrivals: reroutes in this steady state
+        // must overwhelmingly rewrite their arena slot in place — relocation is the
+        // only allocating path, and it only fires when a segment outgrows every length
+        // it has ever had.
+        let pa = PreferentialAttachmentConfig::new(400, 5, 43);
+        let edges = preferential_attachment_edges(&pa);
+        let mut engine = IncrementalPageRank::new_empty(400, config(5, 47));
+        engine.apply_arrivals(&edges);
+        // Churn: re-deliver a third of the edges as parallel copies, three times; the
+        // first two rounds let every hot slot discover its length range.
+        let churn: Vec<Edge> = edges.iter().copied().step_by(3).collect();
+        engine.apply_arrivals(&churn);
+        engine.apply_arrivals(&churn);
+        let warm = engine.walk_store().arena_stats();
+        engine.apply_arrivals(&churn);
+        let done = engine.walk_store().arena_stats();
+        let writes = done.in_place_writes - warm.in_place_writes;
+        let relocations = done.relocations - warm.relocations;
+        assert!(writes > 100, "the churn phase must reroute many segments");
+        assert!(
+            relocations * 10 < writes,
+            "steady-state reroutes must be dominated by in-place slot reuse: \
+             {relocations} relocations vs {writes} in-place writes"
+        );
+        engine.validate_segments().unwrap();
     }
 
     #[test]
@@ -660,8 +864,24 @@ mod tests {
     }
 
     #[test]
+    fn batched_arrivals_stay_valid_under_from_source_rerouting() {
+        let pa = PreferentialAttachmentConfig::new(150, 4, 53);
+        let edges = preferential_attachment_edges(&pa);
+        let mut engine = IncrementalPageRank::new_empty(
+            150,
+            MonteCarloConfig::new(0.2, 6)
+                .with_seed(59)
+                .with_reroute(RerouteStrategy::FromSource),
+        );
+        for chunk in edges.chunks(32) {
+            engine.apply_arrivals(chunk);
+        }
+        engine.validate_segments().unwrap();
+    }
+
+    #[test]
     fn scores_sum_to_one_and_add_node_works() {
-        let mut engine = IncrementalPageRank::from_graph(&directed_cycle(5), config(3, 53));
+        let mut engine = IncrementalPageRank::from_graph(directed_cycle(5), config(3, 53));
         let scores = engine.scores();
         assert_eq!(scores.len(), 5);
         assert!((scores.iter().sum::<f64>() - 1.0).abs() < 1e-9);
@@ -673,8 +893,18 @@ mod tests {
     }
 
     #[test]
+    fn from_graph_by_value_avoids_keeping_the_original() {
+        // Satellite regression: the engine can consume its graph outright, so building
+        // over a large graph does not require a second copy to stay alive.
+        let graph = directed_cycle(30);
+        let engine = IncrementalPageRank::from_graph(graph, config(2, 61));
+        assert_eq!(engine.node_count(), 30);
+        engine.validate_segments().unwrap();
+    }
+
+    #[test]
     fn personalized_top_k_returns_reachable_non_friends() {
-        let mut engine = IncrementalPageRank::from_graph(&directed_cycle(8), config(5, 59));
+        let mut engine = IncrementalPageRank::from_graph(directed_cycle(8), config(5, 59));
         // Add chords so node 0 has friends {1, 4}.
         engine.add_edge(Edge::new(0, 4));
         let top = engine.personalized_top_k(NodeId(0), 3, 2_000);

@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod batch;
 pub mod bounds;
 pub mod config;
 pub mod estimator;

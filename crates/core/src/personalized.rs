@@ -20,7 +20,7 @@
 //! (Equation 4).
 
 use ppr_graph::{GraphView, NodeId};
-use ppr_store::{SocialStore, WalkStore};
+use ppr_store::{SocialStore, WalkIndex, WalkStore};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{HashMap, HashSet};
@@ -91,17 +91,21 @@ struct FetchedNode {
 }
 
 /// The stitched personalized walker of Algorithm 1.
+///
+/// The walker consumes the PageRank Store purely through the [`WalkIndex`] API, so it
+/// runs unchanged over any store layout that implements it (the arena-backed
+/// [`WalkStore`] being the default).
 #[derive(Debug)]
-pub struct PersonalizedWalker<'a> {
+pub struct PersonalizedWalker<'a, W: WalkIndex = WalkStore> {
     store: &'a SocialStore,
-    walks: &'a WalkStore,
+    walks: &'a W,
     epsilon: f64,
     rng: SmallRng,
 }
 
-impl<'a> PersonalizedWalker<'a> {
+impl<'a, W: WalkIndex> PersonalizedWalker<'a, W> {
     /// Creates a walker over the given stores with reset probability `epsilon`.
-    pub fn new(store: &'a SocialStore, walks: &'a WalkStore, epsilon: f64, seed: u64) -> Self {
+    pub fn new(store: &'a SocialStore, walks: &'a W, epsilon: f64, seed: u64) -> Self {
         assert!(
             epsilon > 0.0 && epsilon < 1.0,
             "epsilon must be in (0, 1), got {epsilon}"
@@ -160,9 +164,8 @@ impl<'a> PersonalizedWalker<'a> {
                     let slot = state.next_unused_segment;
                     state.next_unused_segment += 1;
                     let id = ppr_store::SegmentId::new(current, slot, r);
-                    let segment = self.walks.segment(id);
                     result.segments_used += 1;
-                    for &node in segment.path().iter().skip(1) {
+                    for &node in self.walks.segment_path(id).iter().skip(1) {
                         visit(node, &mut result);
                     }
                     result.resets += 1;

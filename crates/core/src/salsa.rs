@@ -14,18 +14,24 @@
 //! is within a factor 16 of the PageRank bound; the closed form this engine
 //! instantiates is [`crate::bounds::salsa_total_update_work`].
 //!
+//! Like the PageRank engine, all store reads go through the [`ppr_store::WalkIndex`] API, repairs
+//! reuse one scratch buffer (zero steady-state allocations), and
+//! [`IncrementalSalsa::apply_arrivals`] batches a stream of arrivals by grouping the
+//! forward coin flips per source and the backward coin flips per target.
+//!
 //! Personalized SALSA scores are obtained with a direct alternating walk with resets to
 //! the seed; the paper's fetch-stitching analysis (Theorem 8) is developed for PageRank
 //! and the same store layout would apply, but the reproduction keeps the SALSA
 //! personalization simple because no experiment in the paper measures its fetch count.
 
+use crate::batch;
 use crate::config::{MonteCarloConfig, RerouteStrategy};
 use crate::walker;
 use ppr_graph::{DynamicGraph, Edge, GraphView, NodeId};
 use ppr_store::{SegmentId, SocialStore, WalkStore, WorkCounter};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 use crate::incremental::UpdateStats;
 
@@ -46,12 +52,20 @@ pub struct IncrementalSalsa {
     config: MonteCarloConfig,
     rng: SmallRng,
     work: WorkCounter,
+    /// Reusable path buffer for segment repairs (keeps reroutes allocation-free).
+    scratch: Vec<NodeId>,
+    /// Reusable buffer for the ids of the segments visiting the updated node.
+    visiting: Vec<SegmentId>,
+    /// Per-batch reroute frontier, as in the PageRank engine.
+    batch_limits: HashMap<SegmentId, usize>,
 }
 
 impl IncrementalSalsa {
-    /// Builds the engine over an existing graph, storing `2R` segments per node.
-    pub fn from_graph(graph: &DynamicGraph, config: MonteCarloConfig) -> Self {
-        let store = SocialStore::from_graph(graph.clone(), 1);
+    /// Builds the engine over a graph or an existing Social Store, storing `2R` segments
+    /// per node.  Pass the graph by value to avoid copying it; `&DynamicGraph` is also
+    /// accepted (and cloned) for callers that keep theirs.
+    pub fn from_graph(graph: impl Into<SocialStore>, config: MonteCarloConfig) -> Self {
+        let store = graph.into();
         let node_count = store.node_count();
         let walks = WalkStore::new(node_count, 2 * config.r);
         let rng = SmallRng::seed_from_u64(config.seed.wrapping_add(0x5a15a));
@@ -61,6 +75,9 @@ impl IncrementalSalsa {
             config,
             rng,
             work: WorkCounter::new(),
+            scratch: Vec::new(),
+            visiting: Vec::new(),
+            batch_limits: HashMap::new(),
         };
         for node in 0..node_count {
             engine.generate_segments_for(NodeId::from_index(node));
@@ -70,7 +87,7 @@ impl IncrementalSalsa {
 
     /// Builds the engine over an empty graph with `node_count` isolated nodes.
     pub fn new_empty(node_count: usize, config: MonteCarloConfig) -> Self {
-        Self::from_graph(&DynamicGraph::with_nodes(node_count), config)
+        Self::from_graph(DynamicGraph::with_nodes(node_count), config)
     }
 
     /// The engine's configuration.
@@ -126,7 +143,7 @@ impl IncrementalSalsa {
         for node in self.store.graph().nodes() {
             for id in self.walks.segment_ids_of(node) {
                 let hub_parity = self.hub_parity(id);
-                for (pos, &visited) in self.walks.segment(id).path().iter().enumerate() {
+                for (pos, &visited) in self.walks.segment_path(id).iter().enumerate() {
                     if pos % 2 == hub_parity {
                         hub_visits[visited.index()] += 1;
                     } else {
@@ -240,32 +257,98 @@ impl IncrementalSalsa {
     pub fn add_edge(&mut self, edge: Edge) -> UpdateStats {
         let needed = edge.source.index().max(edge.target.index()) + 1;
         self.ensure_nodes(needed);
+        let prior_out = self.store.out_degree(edge.source);
+        let prior_in = self.store.in_degree(edge.target);
         self.store.add_edge(edge);
 
-        let u = edge.source;
-        let v = edge.target;
-        let out_degree = self.store.out_degree(u);
-        let in_degree = self.store.in_degree(v);
         let mut stats = UpdateStats::default();
-
+        self.batch_limits.clear();
         // Forward steps out of u (hub visits to u).
-        let visiting_u: Vec<SegmentId> =
-            self.walks.segments_visiting(u).map(|(id, _)| id).collect();
-        for id in visiting_u {
-            self.maybe_reroute(id, u, v, out_degree, true, &mut stats);
-        }
+        self.process_salsa_group(
+            edge.source,
+            prior_out,
+            std::slice::from_ref(&edge.target),
+            true,
+            &mut stats,
+        );
         // Backward steps out of v (authority visits to v).
-        let visiting_v: Vec<SegmentId> =
-            self.walks.segments_visiting(v).map(|(id, _)| id).collect();
-        for id in visiting_v {
-            self.maybe_reroute(id, v, u, in_degree, false, &mut stats);
-        }
+        self.process_salsa_group(
+            edge.target,
+            prior_in,
+            std::slice::from_ref(&edge.source),
+            false,
+            &mut stats,
+        );
 
         self.work.edges_processed += 1;
         self.work.segments_updated += stats.segments_updated;
         self.work.walk_steps += stats.walk_steps;
         if !stats.touched_walk_store {
             self.work.arrivals_filtered += 1;
+        }
+        stats
+    }
+
+    /// Processes a whole batch of edge arrivals, grouping forward coin flips per source
+    /// node and backward coin flips per target node, exactly as
+    /// [`crate::IncrementalPageRank::apply_arrivals`] does for the PageRank walks.
+    pub fn apply_arrivals(&mut self, edges: &[Edge]) -> UpdateStats {
+        let mut stats = UpdateStats::default();
+        let Some(needed) = edges
+            .iter()
+            .map(|e| e.source.index().max(e.target.index()) + 1)
+            .max()
+        else {
+            return stats;
+        };
+        self.ensure_nodes(needed);
+
+        // Forward groups key on the source (out-degree coins), backward groups on the
+        // target (in-degree coins); both capture pre-batch degrees, then all edges are
+        // inserted at once.
+        let forward = batch::group_arrivals(
+            &self.store,
+            edges,
+            |e| (e.source, e.target),
+            |s, n| s.out_degree(n),
+        );
+        let backward = batch::group_arrivals(
+            &self.store,
+            edges,
+            |e| (e.target, e.source),
+            |s, n| s.in_degree(n),
+        );
+        for &edge in edges {
+            self.store.add_edge(edge);
+        }
+
+        self.batch_limits.clear();
+        let mut touched_forward: HashSet<NodeId> = HashSet::new();
+        let mut touched_backward: HashSet<NodeId> = HashSet::new();
+        for (u, prior_out, targets) in forward {
+            let before = stats.segments_updated;
+            self.process_salsa_group(u, prior_out, &targets, true, &mut stats);
+            if stats.segments_updated > before {
+                touched_forward.insert(u);
+            }
+        }
+        for (v, prior_in, sources) in backward {
+            let before = stats.segments_updated;
+            self.process_salsa_group(v, prior_in, &sources, false, &mut stats);
+            if stats.segments_updated > before {
+                touched_backward.insert(v);
+            }
+        }
+
+        self.work.edges_processed += edges.len() as u64;
+        self.work.segments_updated += stats.segments_updated;
+        self.work.walk_steps += stats.walk_steps;
+        // As in the per-edge path, an arrival counts as filtered when neither of its
+        // endpoints' groups disturbed any segment.
+        for &edge in edges {
+            if !touched_forward.contains(&edge.source) && !touched_backward.contains(&edge.target) {
+                self.work.arrivals_filtered += 1;
+            }
         }
         stats
     }
@@ -281,17 +364,17 @@ impl IncrementalSalsa {
 
         if !self.store.graph().has_edge(edge) {
             // Forward traversals u -> v at hub positions of u.
-            let visiting_u: Vec<SegmentId> =
-                self.walks.segments_visiting(u).map(|(id, _)| id).collect();
-            for id in visiting_u {
+            let mut visiting = std::mem::take(&mut self.visiting);
+            self.walks.collect_visiting(u, &mut visiting);
+            for &id in &visiting {
                 self.reroute_deleted_traversal(id, u, v, true, &mut stats);
             }
             // Backward traversals v -> u at authority positions of v.
-            let visiting_v: Vec<SegmentId> =
-                self.walks.segments_visiting(v).map(|(id, _)| id).collect();
-            for id in visiting_v {
+            self.walks.collect_visiting(v, &mut visiting);
+            for &id in &visiting {
                 self.reroute_deleted_traversal(id, v, u, false, &mut stats);
             }
+            self.visiting = visiting;
         }
 
         self.work.edges_processed += 1;
@@ -309,12 +392,12 @@ impl IncrementalSalsa {
         let graph = self.store.graph();
         for node in graph.nodes() {
             for id in self.walks.segment_ids_of(node) {
-                let segment = self.walks.segment(id);
-                if segment.source() != Some(node) {
+                let path = self.walks.segment_path(id);
+                if path.first() != Some(&node) {
                     return Err(format!("segment {id:?} does not start at {node}"));
                 }
                 let hub_parity = self.hub_parity(id);
-                for (pos, pair) in segment.path().windows(2).enumerate() {
+                for (pos, pair) in path.windows(2).enumerate() {
                     let forward = pos % 2 == hub_parity;
                     let edge = if forward {
                         Edge {
@@ -356,50 +439,91 @@ impl IncrementalSalsa {
         let r2 = 2 * self.config.r;
         for slot in 0..r2 {
             let id = SegmentId::new(node, slot, r2);
-            let walk = walker::salsa_segment(
+            walker::salsa_segment_into(
                 self.store.graph(),
                 node,
                 slot < self.config.r,
                 self.config.epsilon,
                 self.config.max_segment_length,
                 &mut self.rng,
+                &mut self.scratch,
             );
-            self.walks.set_segment(id, walk.path);
+            self.walks.set_segment(id, &self.scratch);
         }
     }
 
-    /// Rerouting logic shared by forward and backward arrival repairs: `pivot` is the
-    /// node whose step distribution changed (`u` for forward, `v` for backward),
-    /// `new_target` is the other endpoint, `degree` the pivot's relevant degree after
-    /// the insertion, and `forward` tells which parity of visits to `pivot` is affected.
-    fn maybe_reroute(
+    /// Repairs the segments visiting `pivot` after it gained `targets.len()` new edges
+    /// in one direction: out-edges when `forward` (the pivot's hub steps changed),
+    /// in-edges otherwise (its authority steps changed).  `prior_degree` is the pivot's
+    /// relevant degree before the group was inserted.
+    fn process_salsa_group(
         &mut self,
-        id: SegmentId,
         pivot: NodeId,
-        new_target: NodeId,
-        degree: usize,
+        prior_degree: usize,
+        targets: &[NodeId],
         forward: bool,
         stats: &mut UpdateStats,
     ) {
-        debug_assert!(degree >= 1);
+        debug_assert!(!targets.is_empty());
+        let mut visiting = std::mem::take(&mut self.visiting);
+        self.walks.collect_visiting(pivot, &mut visiting);
+        for &id in &visiting {
+            let limit = self.batch_limits.get(&id).copied().unwrap_or(usize::MAX);
+            if limit == 0 {
+                continue;
+            }
+            if let Some(pos) =
+                self.maybe_reroute_group(id, pivot, prior_degree, targets, forward, limit, stats)
+            {
+                let new_limit = match self.config.reroute {
+                    RerouteStrategy::FromUpdatePoint => pos,
+                    RerouteStrategy::FromSource => 0,
+                };
+                self.batch_limits.insert(id, new_limit);
+            }
+        }
+        self.visiting = visiting;
+    }
+
+    /// Decides whether (and where) segment `id` reroutes for a group of new edges at
+    /// `pivot`, performs the repair, and returns the reroute position.
+    #[allow(clippy::too_many_arguments)]
+    fn maybe_reroute_group(
+        &mut self,
+        id: SegmentId,
+        pivot: NodeId,
+        prior_degree: usize,
+        targets: &[NodeId],
+        forward: bool,
+        limit: usize,
+        stats: &mut UpdateStats,
+    ) -> Option<usize> {
+        let k = targets.len();
+        let path_len = self.walks.segment_len(id);
+        if path_len == 0 {
+            return None;
+        }
         let hub_parity = self.hub_parity(id);
         let affected_parity = if forward { hub_parity } else { 1 - hub_parity };
-        let segment = self.walks.segment(id);
-        let last_index = segment.len() - 1;
-        let positions: Vec<usize> = segment
-            .positions_of(pivot)
-            .into_iter()
-            .filter(|&pos| pos % 2 == affected_parity)
-            .collect();
+        let last_index = path_len - 1;
 
-        let mut reroute_at: Option<usize> = None;
-        for &pos in &positions {
+        let mut reroute_at: Option<(usize, NodeId)> = None;
+        for pos in self.walks.positions_of(id, pivot) {
+            if pos >= limit {
+                break;
+            }
+            if pos % 2 != affected_parity {
+                continue;
+            }
             if pos < last_index {
-                if self.rng.gen_bool(1.0 / degree as f64) {
-                    reroute_at = Some(pos);
+                // The step leaving this visit now has `prior_degree + k` choices; it
+                // lands on a new edge with probability k/(d₀+k), uniformly among them.
+                if self.rng.gen_bool(k as f64 / (prior_degree + k) as f64) {
+                    let target = walker::pick_new_target(&mut self.rng, targets);
+                    reroute_at = Some((pos, target));
                     break;
                 }
-            } else if degree == 1 {
+            } else if prior_degree == 0 {
                 // The segment previously stopped here because the pivot had no edge in
                 // the required direction.  Forward steps are preceded by a reset coin
                 // (continue with probability 1 − ε); backward steps are unconditional.
@@ -409,16 +533,16 @@ impl IncrementalSalsa {
                     1.0
                 };
                 if self.rng.gen_bool(continue_probability) {
-                    reroute_at = Some(pos);
+                    let target = walker::pick_new_target(&mut self.rng, targets);
+                    reroute_at = Some((pos, target));
                     break;
                 }
             }
         }
 
-        let Some(pos) = reroute_at else {
-            return;
-        };
-        self.rebuild_suffix(id, pos, Some(new_target), forward, stats);
+        let (pos, target) = reroute_at?;
+        self.rebuild_suffix(id, pos, Some(target), forward, stats);
+        Some(pos)
     }
 
     fn reroute_deleted_traversal(
@@ -431,9 +555,9 @@ impl IncrementalSalsa {
     ) {
         let hub_parity = self.hub_parity(id);
         let affected_parity = if forward { hub_parity } else { 1 - hub_parity };
-        let segment = self.walks.segment(id);
-        let pos = segment
-            .path()
+        let pos = self
+            .walks
+            .segment_path(id)
             .windows(2)
             .enumerate()
             .find_map(|(pos, pair)| {
@@ -460,78 +584,70 @@ impl IncrementalSalsa {
         if self.config.reroute == RerouteStrategy::FromSource {
             let r2 = 2 * self.config.r;
             let source = id.source(r2);
-            let walk = walker::salsa_segment(
+            let steps = walker::salsa_segment_into(
                 self.store.graph(),
                 source,
                 self.slot_is_forward(id.slot(r2)),
                 self.config.epsilon,
                 self.config.max_segment_length,
                 &mut self.rng,
+                &mut self.scratch,
             );
-            let steps = walk.steps;
-            self.walks.set_segment(id, walk.path);
+            self.walks.set_segment(id, &self.scratch);
             stats.record_segment(steps);
             return;
         }
 
-        let mut path: Vec<NodeId> = self.walks.segment(id).path()[..=pos].to_vec();
+        self.scratch.clear();
+        self.scratch
+            .extend_from_slice(&self.walks.segment_path(id)[..=pos]);
         let mut steps = 0u64;
-        let graph = self.store.graph();
         let mut direction_forward = forward;
-        let mut current = *path.last().expect("prefix is non-empty");
 
         if let Some(next) = forced_next {
-            if path.len() < self.config.max_segment_length {
-                path.push(next);
-                current = next;
+            if self.scratch.len() < self.config.max_segment_length {
+                self.scratch.push(next);
                 steps += 1;
                 direction_forward = !direction_forward;
             }
         } else {
             // Re-sample the step that used to traverse the deleted edge; the reset coin
             // for a forward step was already spent when the segment was first built.
+            let current = *self.scratch.last().expect("prefix is non-empty");
             let next = if direction_forward {
-                graph.random_out_neighbor(current, &mut self.rng)
+                self.store
+                    .graph()
+                    .random_out_neighbor(current, &mut self.rng)
             } else {
-                graph.random_in_neighbor(current, &mut self.rng)
+                self.store
+                    .graph()
+                    .random_in_neighbor(current, &mut self.rng)
             };
             if let Some(next) = next {
-                if path.len() < self.config.max_segment_length {
-                    path.push(next);
-                    current = next;
+                if self.scratch.len() < self.config.max_segment_length {
+                    self.scratch.push(next);
                     steps += 1;
                     direction_forward = !direction_forward;
                 }
             } else {
                 // The pivot lost its last edge in that direction: the segment now ends here.
-                self.walks.set_segment(id, path);
+                self.walks.set_segment(id, &self.scratch);
                 stats.record_segment(steps);
                 return;
             }
         }
 
         // Continue the alternating walk until a reset / missing edge / the length cap.
-        while path.len() < self.config.max_segment_length {
-            if direction_forward && self.rng.gen_bool(self.config.epsilon) {
-                break;
-            }
-            let next = if direction_forward {
-                graph.random_out_neighbor(current, &mut self.rng)
-            } else {
-                graph.random_in_neighbor(current, &mut self.rng)
-            };
-            match next {
-                Some(node) => {
-                    path.push(node);
-                    current = node;
-                    steps += 1;
-                    direction_forward = !direction_forward;
-                }
-                None => break,
-            }
-        }
+        steps += walker::extend_salsa_walk(
+            self.store.graph(),
+            &mut self.scratch,
+            direction_forward,
+            self.config.epsilon,
+            self.config.max_segment_length,
+            &mut self.rng,
+        );
 
-        self.walks.set_segment(id, path);
+        self.walks.set_segment(id, &self.scratch);
         stats.record_segment(steps);
     }
 }
@@ -631,6 +747,32 @@ mod tests {
     }
 
     #[test]
+    fn batched_arrivals_keep_alternating_segments_valid_and_accurate() {
+        let pa = PreferentialAttachmentConfig::new(120, 4, 18);
+        let edges = preferential_attachment_edges(&pa);
+        let mut engine = IncrementalSalsa::new_empty(120, config(15, 20));
+        for chunk in edges.chunks(48) {
+            engine.apply_arrivals(chunk);
+            engine.validate_segments().unwrap();
+        }
+        assert_eq!(engine.graph().edge_count(), edges.len());
+        let exact = salsa_exact(engine.graph(), 30);
+        let mc = engine.estimates();
+        let tvd: f64 = 0.5
+            * mc.authorities
+                .iter()
+                .zip(&exact.authorities)
+                .map(|(a, b)| (a - b).abs())
+                .sum::<f64>();
+        assert!(
+            tvd < 0.2,
+            "batched incremental SALSA should stay accurate, TVD = {tvd:.4}"
+        );
+        // Empty batches are a no-op.
+        assert_eq!(engine.apply_arrivals(&[]), UpdateStats::default());
+    }
+
+    #[test]
     fn remove_edge_repairs_both_directions() {
         let g = preferential_attachment(60, 3, 13);
         let mut engine = IncrementalSalsa::from_graph(&g, config(5, 15));
@@ -704,14 +846,14 @@ mod tests {
 
     #[test]
     fn removing_absent_edge_is_noop() {
-        let mut engine = IncrementalSalsa::from_graph(&directed_cycle(4), config(2, 25));
+        let mut engine = IncrementalSalsa::from_graph(directed_cycle(4), config(2, 25));
         assert!(engine.remove_edge(Edge::new(0, 2)).is_none());
     }
 
     #[test]
     #[should_panic(expected = "seed node")]
     fn personalized_rejects_bad_seed() {
-        let engine = IncrementalSalsa::from_graph(&directed_cycle(3), config(2, 27));
+        let engine = IncrementalSalsa::from_graph(directed_cycle(3), config(2, 27));
         let _ = engine.personalized_authorities(NodeId(9), 100);
     }
 }

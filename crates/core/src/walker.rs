@@ -34,11 +34,27 @@ pub fn pagerank_segment<R: Rng + ?Sized>(
     max_length: usize,
     rng: &mut R,
 ) -> GeneratedWalk {
-    debug_assert!(max_length >= 1);
     let mut path = Vec::with_capacity((2.0 / epsilon) as usize);
-    path.push(start);
-    let steps = extend_pagerank_walk(graph, &mut path, epsilon, max_length, rng);
+    let steps = pagerank_segment_into(graph, start, epsilon, max_length, rng, &mut path);
     GeneratedWalk { path, steps }
+}
+
+/// Allocation-free variant of [`pagerank_segment`]: generates the walk into `buf`
+/// (cleared first) and returns the number of steps taken.  The engines' reroute paths
+/// reuse one scratch buffer across repairs so that steady-state maintenance performs no
+/// per-segment heap allocation.
+pub fn pagerank_segment_into<R: Rng + ?Sized>(
+    graph: &DynamicGraph,
+    start: NodeId,
+    epsilon: f64,
+    max_length: usize,
+    rng: &mut R,
+    buf: &mut Vec<NodeId>,
+) -> u64 {
+    debug_assert!(max_length >= 1);
+    buf.clear();
+    buf.push(start);
+    extend_pagerank_walk(graph, buf, epsilon, max_length, rng)
 }
 
 /// Continues a PageRank walk whose current node is `path.last()`, pushing newly visited
@@ -83,12 +99,50 @@ pub fn salsa_segment<R: Rng + ?Sized>(
     max_length: usize,
     rng: &mut R,
 ) -> GeneratedWalk {
-    debug_assert!(max_length >= 1);
     let mut path = Vec::with_capacity((4.0 / epsilon) as usize);
-    path.push(start);
+    let steps = salsa_segment_into(
+        graph,
+        start,
+        start_forward,
+        epsilon,
+        max_length,
+        rng,
+        &mut path,
+    );
+    GeneratedWalk { path, steps }
+}
+
+/// Allocation-free variant of [`salsa_segment`]: generates the walk into `buf` (cleared
+/// first) and returns the number of steps taken.
+pub fn salsa_segment_into<R: Rng + ?Sized>(
+    graph: &DynamicGraph,
+    start: NodeId,
+    start_forward: bool,
+    epsilon: f64,
+    max_length: usize,
+    rng: &mut R,
+    buf: &mut Vec<NodeId>,
+) -> u64 {
+    debug_assert!(max_length >= 1);
+    buf.clear();
+    buf.push(start);
+    extend_salsa_walk(graph, buf, start_forward, epsilon, max_length, rng)
+}
+
+/// Continues an alternating SALSA walk whose current node is `path.last()`, where
+/// `forward` is the direction of the next step.  Resets (probability ε) are rolled only
+/// before forward steps; the walk also ends on a node with no edge in the required
+/// direction or at the `max_length` cap.  Returns the number of steps taken.
+pub fn extend_salsa_walk<R: Rng + ?Sized>(
+    graph: &DynamicGraph,
+    path: &mut Vec<NodeId>,
+    mut forward: bool,
+    epsilon: f64,
+    max_length: usize,
+    rng: &mut R,
+) -> u64 {
     let mut steps = 0u64;
-    let mut current = start;
-    let mut forward = start_forward;
+    let mut current = *path.last().expect("walk must have a current node");
     while path.len() < max_length {
         if forward && rng.gen_bool(epsilon) {
             break;
@@ -108,7 +162,21 @@ pub fn salsa_segment<R: Rng + ?Sized>(
             None => break,
         }
     }
-    GeneratedWalk { path, steps }
+    steps
+}
+
+/// Picks the forced reroute target among a batch group's new edges, uniformly.
+///
+/// The single-edge case must not consume a random draw: it keeps `add_edge` and
+/// `apply_arrivals(&[edge])` on identical RNG streams, which is what makes the batched
+/// path a strict generalization of the sequential one (and is asserted by tests).
+#[inline]
+pub(crate) fn pick_new_target<R: Rng + ?Sized>(rng: &mut R, targets: &[NodeId]) -> NodeId {
+    if targets.len() == 1 {
+        targets[0]
+    } else {
+        targets[rng.gen_range(0..targets.len())]
+    }
 }
 
 /// Empirical mean length of `samples` PageRank segments started from `start`; used by

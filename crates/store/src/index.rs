@@ -1,0 +1,148 @@
+//! The store-API layer every engine consumes.
+//!
+//! [`WalkIndex`] is the read surface of the PageRank Store: segment paths, per-node
+//! visit postings, and the exact `W(v)` / total-visit counters.  The Monte Carlo
+//! engines, the personalized walker of Algorithm 1, and the global estimator are all
+//! written against this trait, so the storage layout ([`crate::arena`] +
+//! [`crate::postings`] today) can evolve — sharded stores, mmap-backed arenas — without
+//! touching a single engine.
+
+use crate::segment::SegmentId;
+use crate::walks::WalkStore;
+use ppr_graph::NodeId;
+
+/// Read access to a PageRank Store: `R` walk segments per node plus the visit index.
+pub trait WalkIndex {
+    /// Number of segments stored per node.
+    fn r(&self) -> usize;
+
+    /// Number of nodes the store addresses.
+    fn node_count(&self) -> usize;
+
+    /// The stored path of segment `id` (empty if not generated yet).
+    fn segment_path(&self, id: SegmentId) -> &[NodeId];
+
+    /// The source node of segment `id`.
+    fn source_of(&self, id: SegmentId) -> NodeId;
+
+    /// Ids of the `R` segments whose source is `node`.
+    fn segment_ids_of(&self, node: NodeId) -> impl Iterator<Item = SegmentId> + '_;
+
+    /// The segments visiting `node` with their multiplicities, in segment-id order.
+    fn segments_visiting(&self, node: NodeId) -> impl Iterator<Item = (SegmentId, u32)> + '_;
+
+    /// Collects the ids of the segments visiting `node` into `out` (cleared first).
+    fn collect_visiting(&self, node: NodeId, out: &mut Vec<SegmentId>) {
+        out.clear();
+        out.extend(self.segments_visiting(node).map(|(id, _)| id));
+    }
+
+    /// Number of distinct segments visiting `node`.
+    fn distinct_visitors(&self, node: NodeId) -> usize {
+        self.segments_visiting(node).count()
+    }
+
+    /// Total walk-segment visits to `node` (the paper's `W(v)` / the estimator's `X_v`).
+    fn visit_count(&self, node: NodeId) -> u64;
+
+    /// The full visit-count vector, indexed by node.
+    fn visit_counts(&self) -> &[u64];
+
+    /// Sum of all visit counts (total stored walk length).
+    fn total_visits(&self) -> u64;
+
+    /// The Section 2.2 pre-filter probability `1 - (1 - 1/d)^{W(v)}`.
+    fn update_probability(&self, node: NodeId, out_degree: usize) -> f64;
+}
+
+impl WalkIndex for WalkStore {
+    #[inline]
+    fn r(&self) -> usize {
+        WalkStore::r(self)
+    }
+
+    #[inline]
+    fn node_count(&self) -> usize {
+        WalkStore::node_count(self)
+    }
+
+    #[inline]
+    fn segment_path(&self, id: SegmentId) -> &[NodeId] {
+        WalkStore::segment_path(self, id)
+    }
+
+    #[inline]
+    fn source_of(&self, id: SegmentId) -> NodeId {
+        WalkStore::source_of(self, id)
+    }
+
+    fn segment_ids_of(&self, node: NodeId) -> impl Iterator<Item = SegmentId> + '_ {
+        WalkStore::segment_ids_of(self, node)
+    }
+
+    fn segments_visiting(&self, node: NodeId) -> impl Iterator<Item = (SegmentId, u32)> + '_ {
+        WalkStore::segments_visiting(self, node)
+    }
+
+    #[inline]
+    fn visit_count(&self, node: NodeId) -> u64 {
+        WalkStore::visit_count(self, node)
+    }
+
+    #[inline]
+    fn visit_counts(&self) -> &[u64] {
+        WalkStore::visit_counts(self)
+    }
+
+    #[inline]
+    fn total_visits(&self) -> u64 {
+        WalkStore::total_visits(self)
+    }
+
+    fn update_probability(&self, node: NodeId, out_degree: usize) -> f64 {
+        WalkStore::update_probability(self, node, out_degree)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A consumer written purely against the trait, as the estimator is.
+    fn total_via_trait<W: WalkIndex>(index: &W) -> u64 {
+        (0..index.node_count())
+            .map(|v| index.visit_count(NodeId::from_index(v)))
+            .sum()
+    }
+
+    #[test]
+    fn walk_store_implements_the_full_surface() {
+        let mut store = WalkStore::new(4, 2);
+        let id = SegmentId::new(NodeId(1), 0, 2);
+        store.set_segment(id, &[NodeId(1), NodeId(2), NodeId(2)]);
+
+        assert_eq!(total_via_trait(&store), 3);
+        assert_eq!(WalkIndex::r(&store), 2);
+        assert_eq!(WalkIndex::node_count(&store), 4);
+        assert_eq!(
+            WalkIndex::segment_path(&store, id),
+            &[NodeId(1), NodeId(2), NodeId(2)]
+        );
+        assert_eq!(WalkIndex::source_of(&store, id), NodeId(1));
+        assert_eq!(WalkIndex::segment_ids_of(&store, NodeId(1)).count(), 2);
+        assert_eq!(
+            WalkIndex::segments_visiting(&store, NodeId(2)).collect::<Vec<_>>(),
+            vec![(id, 2)]
+        );
+        let mut buf = Vec::new();
+        WalkIndex::collect_visiting(&store, NodeId(2), &mut buf);
+        assert_eq!(buf, vec![id]);
+        assert_eq!(WalkIndex::distinct_visitors(&store, NodeId(2)), 1);
+        assert_eq!(WalkIndex::visit_count(&store, NodeId(2)), 2);
+        assert_eq!(WalkIndex::visit_counts(&store), &[0, 1, 2, 0]);
+        assert_eq!(WalkIndex::total_visits(&store), 3);
+        let p = WalkIndex::update_probability(&store, NodeId(2), 2);
+        assert!((p - 0.75).abs() < 1e-12);
+        assert_eq!(WalkIndex::update_probability(&store, NodeId(2), 0), 0.0);
+    }
+}

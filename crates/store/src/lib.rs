@@ -10,17 +10,29 @@
 //!   counters — `W(v)`, the number of walk-segment visits to `v`, and `d(v)`, the
 //!   out-degree of `v` — which drive both the Monte Carlo estimator and the
 //!   `1 - (1 - 1/d(v))^{W(v)}` filter that decides whether an arriving edge needs to
-//!   touch the PageRank Store at all.  This is [`walks::WalkStore`].
+//!   touch the PageRank Store at all.  This is [`walks::WalkStore`], built from a flat
+//!   step [`arena`] (one shared buffer of walk steps with per-segment slots) and
+//!   CSR-style visit [`postings`] (sorted `(SegmentId, count)` runs with a lazily
+//!   merged delta overlay).
+//!
+//! Engines consume the PageRank Store exclusively through the [`index::WalkIndex`]
+//! API layer, so the memory layout can keep evolving without touching them.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod arena;
+pub mod index;
 pub mod metrics;
+pub mod postings;
 pub mod segment;
 pub mod social;
 pub mod walks;
 
+pub use arena::ArenaStats;
+pub use index::WalkIndex;
 pub use metrics::{StoreMetrics, WorkCounter};
-pub use segment::{SegmentId, WalkSegment};
+pub use postings::VisitPostings;
+pub use segment::SegmentId;
 pub use social::SocialStore;
 pub use walks::WalkStore;

@@ -1,0 +1,305 @@
+//! Compact visit postings: which segments visit a node, and how often.
+//!
+//! The paper's secondary index — "each segment is stored at every node that it passes
+//! through" (Section 2.1) — was previously a `HashMap<SegmentId, u32>` per node: an
+//! allocation-heavy, cache-hostile layout on the arrival hot path, which scans the
+//! postings of the updated node for every edge.  [`VisitPostings`] stores the same
+//! multiset as a **sorted run of `(SegmentId, count)` entries** (the CSR idiom: dense,
+//! ordered, binary-searchable) plus a **small sorted delta overlay** absorbing recent
+//! `±1` updates.  The overlay is merged into the base run lazily, once it grows past a
+//! fraction of the base, so a burst of updates to one node costs a handful of shifts in
+//! a tiny vector instead of hash-map churn, while reads stream both runs with a linear
+//! merge-join.
+//!
+//! The consuming [`crate::WalkStore`] keeps the exact `W(v)` totals in a separate dense
+//! counter array, so postings only need to answer "which segments, with what
+//! multiplicity" — never "how many visits in total".
+
+use crate::segment::SegmentId;
+
+/// The delta overlay is merged into the base run when it exceeds
+/// `DELTA_MERGE_FLOOR.max(isqrt(base.len()))` entries.  The √B bound balances the two
+/// costs a record pays on a node with B base postings: the sorted insert shifts at most
+/// √B entries, and the O(B) merge is amortised over the √B records that triggered it —
+/// O(√B) per update overall, where a base-proportional threshold would degrade to
+/// O(B) insert shifts on hub nodes and a constant threshold to O(B/c) merge copies.
+/// The floor stops tiny postings from merging constantly.
+const DELTA_MERGE_FLOOR: usize = 16;
+
+/// Sorted postings of the segments visiting one node.
+#[derive(Debug, Clone, Default)]
+pub struct VisitPostings {
+    /// Sorted by `SegmentId`; counts are strictly positive.
+    base: Vec<(SegmentId, u32)>,
+    /// Sorted by `SegmentId`; signed pending changes, never zero.
+    delta: Vec<(SegmentId, i32)>,
+}
+
+impl VisitPostings {
+    /// Creates empty postings.
+    pub fn new() -> Self {
+        VisitPostings::default()
+    }
+
+    /// Records `change` visits of segment `id` (negative to remove visits).
+    ///
+    /// The update lands in the delta overlay; the overlay is folded into the base run
+    /// once it outgrows `DELTA_MERGE_FLOOR.max(isqrt(base.len()))`, keeping every
+    /// update O(√base) even on hub nodes visited by millions of segments.
+    pub fn record(&mut self, id: SegmentId, change: i32) {
+        if change == 0 {
+            return;
+        }
+        match self.delta.binary_search_by_key(&id, |&(d, _)| d) {
+            Ok(i) => {
+                self.delta[i].1 += change;
+                if self.delta[i].1 == 0 {
+                    self.delta.remove(i);
+                }
+            }
+            Err(i) => self.delta.insert(i, (id, change)),
+        }
+        if self.delta.len() > DELTA_MERGE_FLOOR.max(self.base.len().isqrt()) {
+            self.merge();
+        }
+    }
+
+    /// Folds the delta overlay into the base run.
+    pub fn merge(&mut self) {
+        if self.delta.is_empty() {
+            return;
+        }
+        let mut merged = Vec::with_capacity(self.base.len() + self.delta.len());
+        let mut bi = 0usize;
+        let mut di = 0usize;
+        while bi < self.base.len() || di < self.delta.len() {
+            let next_base = self.base.get(bi);
+            let next_delta = self.delta.get(di);
+            match (next_base, next_delta) {
+                (Some(&(b_id, b_count)), Some(&(d_id, d_change))) => {
+                    if b_id < d_id {
+                        merged.push((b_id, b_count));
+                        bi += 1;
+                    } else if d_id < b_id {
+                        debug_assert!(d_change > 0, "negative count for unseen segment");
+                        if d_change > 0 {
+                            merged.push((d_id, d_change as u32));
+                        }
+                        di += 1;
+                    } else {
+                        let net = b_count as i64 + d_change as i64;
+                        debug_assert!(net >= 0, "postings count went negative");
+                        if net > 0 {
+                            merged.push((b_id, net as u32));
+                        }
+                        bi += 1;
+                        di += 1;
+                    }
+                }
+                (Some(&(b_id, b_count)), None) => {
+                    merged.push((b_id, b_count));
+                    bi += 1;
+                }
+                (None, Some(&(d_id, d_change))) => {
+                    debug_assert!(d_change > 0, "negative count for unseen segment");
+                    if d_change > 0 {
+                        merged.push((d_id, d_change as u32));
+                    }
+                    di += 1;
+                }
+                (None, None) => unreachable!(),
+            }
+        }
+        self.base = merged;
+        self.delta.clear();
+    }
+
+    /// Iterates the postings as `(segment, count)` in increasing segment order,
+    /// merge-joining the base run with the delta overlay on the fly.
+    pub fn iter(&self) -> PostingsIter<'_> {
+        PostingsIter {
+            base: &self.base,
+            delta: &self.delta,
+            bi: 0,
+            di: 0,
+        }
+    }
+
+    /// Number of distinct segments with a positive count.
+    pub fn distinct(&self) -> usize {
+        self.iter().count()
+    }
+
+    /// The visit count of one segment (0 when absent).
+    pub fn count_of(&self, id: SegmentId) -> u32 {
+        let base = match self.base.binary_search_by_key(&id, |&(b, _)| b) {
+            Ok(i) => self.base[i].1 as i64,
+            Err(_) => 0,
+        };
+        let delta = match self.delta.binary_search_by_key(&id, |&(d, _)| d) {
+            Ok(i) => self.delta[i].1 as i64,
+            Err(_) => 0,
+        };
+        (base + delta).max(0) as u32
+    }
+
+    /// Sum of all counts (the node's `W(v)` as seen by this index).
+    pub fn total(&self) -> u64 {
+        self.iter().map(|(_, count)| count as u64).sum()
+    }
+
+    /// `true` when no segment visits the node.
+    pub fn is_empty(&self) -> bool {
+        self.iter().next().is_none()
+    }
+
+    /// Entries currently pending in the delta overlay (exposed for tests/benches).
+    pub fn pending_delta(&self) -> usize {
+        self.delta.len()
+    }
+}
+
+/// Merge-join iterator over a [`VisitPostings`]' base run and delta overlay.
+#[derive(Debug)]
+pub struct PostingsIter<'a> {
+    base: &'a [(SegmentId, u32)],
+    delta: &'a [(SegmentId, i32)],
+    bi: usize,
+    di: usize,
+}
+
+impl Iterator for PostingsIter<'_> {
+    type Item = (SegmentId, u32);
+
+    fn next(&mut self) -> Option<(SegmentId, u32)> {
+        loop {
+            let next_base = self.base.get(self.bi);
+            let next_delta = self.delta.get(self.di);
+            let (id, net) = match (next_base, next_delta) {
+                (Some(&(b_id, b_count)), Some(&(d_id, d_change))) => {
+                    if b_id < d_id {
+                        self.bi += 1;
+                        (b_id, b_count as i64)
+                    } else if d_id < b_id {
+                        self.di += 1;
+                        (d_id, d_change as i64)
+                    } else {
+                        self.bi += 1;
+                        self.di += 1;
+                        (b_id, b_count as i64 + d_change as i64)
+                    }
+                }
+                (Some(&(b_id, b_count)), None) => {
+                    self.bi += 1;
+                    (b_id, b_count as i64)
+                }
+                (None, Some(&(d_id, d_change))) => {
+                    self.di += 1;
+                    (d_id, d_change as i64)
+                }
+                (None, None) => return None,
+            };
+            if net > 0 {
+                return Some((id, net as u32));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(i: u32) -> SegmentId {
+        SegmentId(i)
+    }
+
+    #[test]
+    fn record_and_iterate_in_segment_order() {
+        let mut p = VisitPostings::new();
+        p.record(seg(5), 2);
+        p.record(seg(1), 1);
+        p.record(seg(3), 4);
+        let collected: Vec<_> = p.iter().collect();
+        assert_eq!(collected, vec![(seg(1), 1), (seg(3), 4), (seg(5), 2)]);
+        assert_eq!(p.distinct(), 3);
+        assert_eq!(p.total(), 7);
+        assert_eq!(p.count_of(seg(3)), 4);
+        assert_eq!(p.count_of(seg(9)), 0);
+    }
+
+    #[test]
+    fn negative_records_cancel_positive_ones() {
+        let mut p = VisitPostings::new();
+        p.record(seg(2), 3);
+        p.record(seg(2), -1);
+        assert_eq!(p.count_of(seg(2)), 2);
+        p.record(seg(2), -2);
+        assert_eq!(p.count_of(seg(2)), 0);
+        assert!(p.is_empty());
+        assert_eq!(p.iter().count(), 0);
+    }
+
+    #[test]
+    fn overlay_merges_after_enough_updates() {
+        let mut p = VisitPostings::new();
+        for i in 0..64u32 {
+            p.record(seg(i), 1);
+        }
+        assert!(
+            p.pending_delta() <= DELTA_MERGE_FLOOR.max(64 / 4),
+            "delta overlay must stay small, has {} entries",
+            p.pending_delta()
+        );
+        // All 64 postings are still visible and correct.
+        assert_eq!(p.distinct(), 64);
+        for i in 0..64u32 {
+            assert_eq!(p.count_of(seg(i)), 1);
+        }
+    }
+
+    #[test]
+    fn explicit_merge_folds_delta_into_base() {
+        let mut p = VisitPostings::new();
+        p.record(seg(1), 2);
+        p.merge();
+        p.record(seg(1), -2);
+        p.record(seg(0), 5);
+        p.merge();
+        assert_eq!(p.pending_delta(), 0);
+        let collected: Vec<_> = p.iter().collect();
+        assert_eq!(collected, vec![(seg(0), 5)]);
+    }
+
+    #[test]
+    fn interleaved_base_and_delta_reads_are_exact() {
+        let mut p = VisitPostings::new();
+        // Base run: even segments.
+        for i in (0..40u32).step_by(2) {
+            p.record(seg(i), 2);
+        }
+        p.merge();
+        // Overlay: odd segments added, some even removed.
+        for i in (1..40u32).step_by(4) {
+            p.record(seg(i), 1);
+        }
+        p.record(seg(0), -2);
+        p.record(seg(10), -1);
+        let collected: Vec<_> = p.iter().collect();
+        assert!(collected.windows(2).all(|w| w[0].0 < w[1].0), "sorted");
+        assert_eq!(p.count_of(seg(0)), 0);
+        assert_eq!(p.count_of(seg(10)), 1);
+        assert_eq!(p.count_of(seg(1)), 1);
+        assert_eq!(p.count_of(seg(2)), 2);
+        let total: u64 = collected.iter().map(|&(_, c)| c as u64).sum();
+        assert_eq!(total, p.total());
+    }
+
+    #[test]
+    fn zero_change_is_a_noop() {
+        let mut p = VisitPostings::new();
+        p.record(seg(1), 0);
+        assert!(p.is_empty());
+        assert_eq!(p.pending_delta(), 0);
+    }
+}

@@ -1,10 +1,9 @@
-//! Walk segments and their identifiers.
+//! Walk-segment identifiers.
 //!
 //! A *walk segment* is one "continuous session by a random surfer" (Section 1.1): a
 //! random walk started at its source node and continued until its first reset.  The
-//! PageRank Store keeps `R` such segments per node; the global estimator only needs
-//! their visit counts, while the personalized walker (Algorithm 1) consumes entire
-//! segments.
+//! PageRank Store keeps `R` such segments per node.  Segment *paths* live in the store's
+//! flat step arena (see [`crate::arena`]); this module only defines their identifier.
 
 use ppr_graph::NodeId;
 
@@ -18,10 +17,28 @@ pub struct SegmentId(pub u32);
 impl SegmentId {
     /// Builds the id of the `slot`-th segment of `node` when `r` segments are stored per
     /// node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= r`, or if `node_index * r + slot` does not fit the `u32` id
+    /// space (a store of more than `2^32 / R` nodes) — silently truncating the id would
+    /// alias two different segments and corrupt the visit index.
     #[inline]
     pub fn new(node: NodeId, slot: usize, r: usize) -> Self {
-        debug_assert!(slot < r, "slot {slot} out of range for R = {r}");
-        SegmentId((node.index() * r + slot) as u32)
+        assert!(slot < r, "slot {slot} out of range for R = {r}");
+        let index = node
+            .index()
+            .checked_mul(r)
+            .and_then(|base| base.checked_add(slot))
+            .filter(|&flat| flat <= u32::MAX as usize)
+            .unwrap_or_else(|| {
+                panic!(
+                    "segment id overflow: node {node} with R = {r} exceeds the u32 id space \
+                     (max addressable node index is {})",
+                    (u32::MAX as usize - slot) / r
+                )
+            });
+        SegmentId(index as u32)
     }
 
     /// The flat index of this segment.
@@ -43,76 +60,9 @@ impl SegmentId {
     }
 }
 
-/// One cached random-walk segment.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
-pub struct WalkSegment {
-    path: Vec<NodeId>,
-}
-
-impl WalkSegment {
-    /// Creates a segment from its visited path.  The path must start at the segment's
-    /// source node; an empty path denotes a segment that has not been generated yet.
-    pub fn new(path: Vec<NodeId>) -> Self {
-        WalkSegment { path }
-    }
-
-    /// The full visited path, starting at the source node.
-    #[inline]
-    pub fn path(&self) -> &[NodeId] {
-        &self.path
-    }
-
-    /// Number of node visits in the segment (the contribution to `X_v` counters).
-    #[inline]
-    pub fn len(&self) -> usize {
-        self.path.len()
-    }
-
-    /// `true` if the segment has not been generated yet.
-    #[inline]
-    pub fn is_empty(&self) -> bool {
-        self.path.is_empty()
-    }
-
-    /// The node the segment starts at, if generated.
-    #[inline]
-    pub fn source(&self) -> Option<NodeId> {
-        self.path.first().copied()
-    }
-
-    /// The last node of the segment (where the reset happened), if generated.
-    #[inline]
-    pub fn last(&self) -> Option<NodeId> {
-        self.path.last().copied()
-    }
-
-    /// Positions (indices into the path) at which the segment visits `node`.
-    pub fn positions_of(&self, node: NodeId) -> Vec<usize> {
-        self.path
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &v)| (v == node).then_some(i))
-            .collect()
-    }
-
-    /// Whether the segment traverses the directed edge `from -> to` at any step.
-    pub fn uses_edge(&self, from: NodeId, to: NodeId) -> bool {
-        self.path.windows(2).any(|w| w[0] == from && w[1] == to)
-    }
-
-    /// Consumes the segment and returns the owned path.
-    pub fn into_path(self) -> Vec<NodeId> {
-        self.path
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    fn seg(nodes: &[u32]) -> WalkSegment {
-        WalkSegment::new(nodes.iter().map(|&n| NodeId(n)).collect())
-    }
 
     #[test]
     fn segment_id_roundtrip() {
@@ -141,32 +91,26 @@ mod tests {
     }
 
     #[test]
-    fn path_accessors() {
-        let s = seg(&[3, 1, 4, 1, 5]);
-        assert_eq!(s.len(), 5);
-        assert!(!s.is_empty());
-        assert_eq!(s.source(), Some(NodeId(3)));
-        assert_eq!(s.last(), Some(NodeId(5)));
-        assert_eq!(s.positions_of(NodeId(1)), vec![1, 3]);
-        assert_eq!(s.positions_of(NodeId(9)), Vec::<usize>::new());
+    fn ids_near_the_u32_boundary_are_still_exact() {
+        let r = 2;
+        let max_node = (u32::MAX as usize - (r - 1)) / r;
+        let id = SegmentId::new(NodeId::from_index(max_node), r - 1, r);
+        assert_eq!(id.source(r), NodeId::from_index(max_node));
+        assert_eq!(id.slot(r), r - 1);
     }
 
     #[test]
-    fn uses_edge_detects_consecutive_pairs_only() {
-        let s = seg(&[0, 1, 2, 1]);
-        assert!(s.uses_edge(NodeId(0), NodeId(1)));
-        assert!(s.uses_edge(NodeId(2), NodeId(1)));
-        assert!(!s.uses_edge(NodeId(1), NodeId(0)));
-        assert!(!s.uses_edge(NodeId(0), NodeId(2)));
+    #[should_panic(expected = "segment id overflow")]
+    fn overflowing_the_u32_id_space_panics_instead_of_truncating() {
+        // Regression: `(node.index() * r + slot) as u32` used to truncate silently,
+        // aliasing two different segments once node_count * R crossed 2^32.
+        let r = 1_000;
+        let _ = SegmentId::new(NodeId::from_index(u32::MAX as usize / 2), 0, r);
     }
 
     #[test]
-    fn empty_segment_behaviour() {
-        let s = WalkSegment::default();
-        assert!(s.is_empty());
-        assert_eq!(s.source(), None);
-        assert_eq!(s.last(), None);
-        assert!(!s.uses_edge(NodeId(0), NodeId(1)));
-        assert_eq!(s.into_path(), Vec::<NodeId>::new());
+    #[should_panic(expected = "out of range for R")]
+    fn slot_must_be_below_r() {
+        let _ = SegmentId::new(NodeId(0), 3, 3);
     }
 }

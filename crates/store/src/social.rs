@@ -166,6 +166,25 @@ impl SocialStore {
     }
 }
 
+/// Wraps a graph in a single-shard store without copying it.  This is the conversion
+/// the engines' `from_graph` constructors use, so building an engine over a large graph
+/// never doubles peak memory.
+impl From<DynamicGraph> for SocialStore {
+    fn from(graph: DynamicGraph) -> Self {
+        SocialStore::from_graph(graph, 1)
+    }
+}
+
+/// Clones the graph into a single-shard store.  Prefer passing the graph by value (the
+/// [`From<DynamicGraph>`] impl) when the original is no longer needed — the reference
+/// form exists so read-only callers (tests, benches replaying one graph many times) can
+/// keep theirs.
+impl From<&DynamicGraph> for SocialStore {
+    fn from(graph: &DynamicGraph) -> Self {
+        SocialStore::from_graph(graph.clone(), 1)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -5,23 +5,34 @@
 //! incremental maintenance cheap: when an edge `(u, v)` arrives, only the segments that
 //! visit `u` can possibly need an update.  [`WalkStore`] keeps:
 //!
-//! * the segments themselves, in `R` consecutive slots per source node;
-//! * for every node `v`, the map from segment id to the number of times that segment
-//!   visits `v` (whose sum is the paper's `W(v)` counter and the estimator's `X_v`);
-//! * the running total of all visits, used to normalise the PageRank estimates.
+//! * the segments themselves, in `R` consecutive slots per source node, laid out in a
+//!   single flat [`StepArena`] — one shared step buffer with per-segment `(offset, len,
+//!   cap)` slots, so a steady-state reroute rewrites its slot **in place with zero heap
+//!   allocations** (see [`crate::arena`]);
+//! * for every node, the segments visiting it and their multiplicities, as compact
+//!   CSR-style [`VisitPostings`] — a sorted `(SegmentId, count)` run with a small delta
+//!   overlay merged lazily (see [`crate::postings`]);
+//! * the exact running totals: per-node visit counts (`X_v` / `W(v)` in the paper) and
+//!   their sum, maintained eagerly on every write so the estimator never waits on a
+//!   merge.
+//!
+//! Consumers read the store through the [`crate::WalkIndex`] API (`segment_path`,
+//! `positions_of`, `collect_visiting`, …); no engine touches raw segment vectors.
 
-use crate::segment::{SegmentId, WalkSegment};
+use crate::arena::{ArenaStats, StepArena};
+use crate::postings::{PostingsIter, VisitPostings};
+use crate::segment::SegmentId;
 use ppr_graph::NodeId;
-use std::collections::HashMap;
 
 /// Storage for `R` random-walk segments per node, indexed by visited node.
 #[derive(Debug, Clone)]
 pub struct WalkStore {
     r: usize,
-    segments: Vec<WalkSegment>,
+    /// All walk steps, flat; segment `id` owns slot `id.index()`.
+    arena: StepArena,
     /// For every node, which segments visit it and how many times.
-    visitors: Vec<HashMap<SegmentId, u32>>,
-    /// Total visits per node (`X_v` / `W(v)` in the paper).
+    postings: Vec<VisitPostings>,
+    /// Total visits per node (`X_v` / `W(v)` in the paper), maintained exactly.
     visit_counts: Vec<u64>,
     /// Sum of `visit_counts` (i.e. the total length of all stored segments).
     total_visits: u64,
@@ -33,8 +44,8 @@ impl WalkStore {
         assert!(r >= 1, "need at least one walk segment per node");
         WalkStore {
             r,
-            segments: vec![WalkSegment::default(); node_count * r],
-            visitors: vec![HashMap::new(); node_count],
+            arena: StepArena::new(node_count * r),
+            postings: vec![VisitPostings::new(); node_count],
             visit_counts: vec![0; node_count],
             total_visits: 0,
         }
@@ -58,8 +69,8 @@ impl WalkStore {
         if n <= self.node_count() {
             return;
         }
-        self.segments.resize(n * self.r, WalkSegment::default());
-        self.visitors.resize(n, HashMap::new());
+        self.arena.ensure_slots(n * self.r);
+        self.postings.resize_with(n, VisitPostings::new);
         self.visit_counts.resize(n, 0);
     }
 
@@ -69,10 +80,57 @@ impl WalkStore {
         (0..r).map(move |slot| SegmentId::new(node, slot, r))
     }
 
-    /// The segment with the given id.
+    /// The stored path of segment `id`, as a slice of the shared step arena.  Empty if
+    /// the segment has not been generated yet.
     #[inline]
-    pub fn segment(&self, id: SegmentId) -> &WalkSegment {
-        &self.segments[id.index()]
+    pub fn segment_path(&self, id: SegmentId) -> &[NodeId] {
+        self.arena.path(id.index())
+    }
+
+    /// Number of visits in segment `id`.
+    #[inline]
+    pub fn segment_len(&self, id: SegmentId) -> usize {
+        self.arena.len_of(id.index())
+    }
+
+    /// `true` when segment `id` has not been generated yet.
+    #[inline]
+    pub fn segment_is_empty(&self, id: SegmentId) -> bool {
+        self.segment_len(id) == 0
+    }
+
+    /// The first visit of segment `id` (its source), if generated.
+    #[inline]
+    pub fn segment_source(&self, id: SegmentId) -> Option<NodeId> {
+        self.segment_path(id).first().copied()
+    }
+
+    /// The last visit of segment `id` (where the reset happened), if generated.
+    #[inline]
+    pub fn segment_last(&self, id: SegmentId) -> Option<NodeId> {
+        self.segment_path(id).last().copied()
+    }
+
+    /// Positions (indices into the path) at which segment `id` visits `node`, in
+    /// increasing order, without allocating.
+    pub fn positions_of(&self, id: SegmentId, node: NodeId) -> impl Iterator<Item = usize> + '_ {
+        self.segment_path(id)
+            .iter()
+            .enumerate()
+            .filter_map(move |(i, &v)| (v == node).then_some(i))
+    }
+
+    /// The first position at which segment `id` traverses the directed edge
+    /// `from -> to`, if any.
+    pub fn first_traversal(&self, id: SegmentId, from: NodeId, to: NodeId) -> Option<usize> {
+        self.segment_path(id)
+            .windows(2)
+            .position(|w| w[0] == from && w[1] == to)
+    }
+
+    /// Whether segment `id` traverses the directed edge `from -> to` at any step.
+    pub fn uses_edge(&self, id: SegmentId, from: NodeId, to: NodeId) -> bool {
+        self.first_traversal(id, from, to).is_some()
     }
 
     /// The source node of a segment id.
@@ -81,13 +139,14 @@ impl WalkStore {
         id.source(self.r)
     }
 
-    /// Replaces the path of segment `id`, keeping every index consistent.
+    /// Replaces the path of segment `id`, keeping every index consistent.  A rewrite
+    /// that fits the segment's arena slot performs no heap allocation.
     ///
     /// # Panics
     ///
     /// Panics if the new path is non-empty and does not start at the segment's source
     /// node, or if it visits a node outside the store.
-    pub fn set_segment(&mut self, id: SegmentId, path: Vec<NodeId>) {
+    pub fn set_segment(&mut self, id: SegmentId, path: &[NodeId]) {
         let source = self.source_of(id);
         if let Some(&first) = path.first() {
             assert_eq!(
@@ -95,7 +154,7 @@ impl WalkStore {
                 "segment {id:?} must start at its source node {source}"
             );
         }
-        for &v in &path {
+        for &v in path {
             assert!(
                 v.index() < self.node_count(),
                 "segment visits node {v} outside the store (node_count = {})",
@@ -103,49 +162,46 @@ impl WalkStore {
             );
         }
         self.remove_from_index(id);
-        self.add_to_index(id, &path);
-        self.segments[id.index()] = WalkSegment::new(path);
+        for &v in path {
+            self.postings[v.index()].record(id, 1);
+            self.visit_counts[v.index()] += 1;
+        }
+        self.total_visits += path.len() as u64;
+        self.arena.write(id.index(), path);
     }
 
     /// Clears the segment with the given id (used before regenerating it from scratch).
     pub fn clear_segment(&mut self, id: SegmentId) {
         self.remove_from_index(id);
-        self.segments[id.index()] = WalkSegment::default();
-    }
-
-    fn add_to_index(&mut self, id: SegmentId, path: &[NodeId]) {
-        for &v in path {
-            *self.visitors[v.index()].entry(id).or_insert(0) += 1;
-            self.visit_counts[v.index()] += 1;
-        }
-        self.total_visits += path.len() as u64;
+        self.arena.clear(id.index());
     }
 
     fn remove_from_index(&mut self, id: SegmentId) {
-        let old_path = std::mem::take(&mut self.segments[id.index()]).into_path();
-        for &v in &old_path {
-            let entry = self.visitors[v.index()]
-                .get_mut(&id)
-                .expect("visit index out of sync with segment path");
-            *entry -= 1;
-            if *entry == 0 {
-                self.visitors[v.index()].remove(&id);
-            }
+        let old_path = self.arena.path(id.index());
+        for &v in old_path {
+            self.postings[v.index()].record(id, -1);
             self.visit_counts[v.index()] -= 1;
         }
         self.total_visits -= old_path.len() as u64;
     }
 
-    /// The segments that currently visit `node`, with their visit multiplicities.
-    pub fn segments_visiting(&self, node: NodeId) -> impl Iterator<Item = (SegmentId, u32)> + '_ {
-        self.visitors[node.index()]
-            .iter()
-            .map(|(&id, &count)| (id, count))
+    /// The segments that currently visit `node`, with their visit multiplicities, in
+    /// increasing segment-id order.
+    pub fn segments_visiting(&self, node: NodeId) -> PostingsIter<'_> {
+        self.postings[node.index()].iter()
+    }
+
+    /// Collects the ids of the segments visiting `node` into `out` (cleared first).
+    /// This is the arrival hot path: a reusable buffer keeps it allocation-free in
+    /// steady state.
+    pub fn collect_visiting(&self, node: NodeId, out: &mut Vec<SegmentId>) {
+        out.clear();
+        out.extend(self.postings[node.index()].iter().map(|(id, _)| id));
     }
 
     /// Number of distinct segments visiting `node`.
     pub fn distinct_visitors(&self, node: NodeId) -> usize {
-        self.visitors[node.index()].len()
+        self.postings[node.index()].distinct()
     }
 
     /// Total walk-segment visits to `node` — the paper's `W(v)` counter and the
@@ -166,6 +222,11 @@ impl WalkStore {
         self.total_visits
     }
 
+    /// Allocation-behaviour counters of the backing step arena.
+    pub fn arena_stats(&self) -> ArenaStats {
+        self.arena.stats()
+    }
+
     /// The probability `1 - (1 - 1/d)^{W(v)}` used by Section 2.2 to decide, on arrival
     /// of an edge out of `node` whose source now has out-degree `d`, whether the
     /// PageRank Store needs to be consulted at all.
@@ -181,8 +242,8 @@ impl WalkStore {
     pub fn check_consistency(&self) -> Result<(), String> {
         let mut counts = vec![0u64; self.node_count()];
         let mut total = 0u64;
-        for seg in &self.segments {
-            for &v in seg.path() {
+        for slot in 0..self.arena.slot_count() {
+            for &v in self.arena.path(slot) {
                 counts[v.index()] += 1;
                 total += 1;
             }
@@ -196,13 +257,26 @@ impl WalkStore {
                 self.total_visits
             ));
         }
-        for (v, visitors) in self.visitors.iter().enumerate() {
-            let expected: u64 = visitors.values().map(|&c| c as u64).sum();
+        for (v, postings) in self.postings.iter().enumerate() {
+            let expected = postings.total();
             if expected != self.visit_counts[v] {
                 return Err(format!(
-                    "visitor index for node {v} sums to {expected}, expected {}",
+                    "postings for node {v} sum to {expected}, expected {}",
                     self.visit_counts[v]
                 ));
+            }
+            // Spot-check each posting against the arena.
+            for (id, count) in postings.iter() {
+                let actual = self
+                    .segment_path(id)
+                    .iter()
+                    .filter(|&&n| n.index() == v)
+                    .count() as u32;
+                if actual != count {
+                    return Err(format!(
+                        "posting ({id:?}, {count}) at node {v} disagrees with the arena ({actual})"
+                    ));
+                }
             }
         }
         Ok(())
@@ -221,7 +295,7 @@ mod tests {
     fn set_segment_updates_indexes() {
         let mut store = WalkStore::new(4, 2);
         let id = SegmentId::new(NodeId(0), 0, 2);
-        store.set_segment(id, path(&[0, 1, 2, 1]));
+        store.set_segment(id, &path(&[0, 1, 2, 1]));
         assert_eq!(store.visit_count(NodeId(1)), 2);
         assert_eq!(store.visit_count(NodeId(0)), 1);
         assert_eq!(store.total_visits(), 4);
@@ -233,8 +307,8 @@ mod tests {
     fn replacing_a_segment_removes_old_visits() {
         let mut store = WalkStore::new(4, 1);
         let id = SegmentId::new(NodeId(0), 0, 1);
-        store.set_segment(id, path(&[0, 1, 2]));
-        store.set_segment(id, path(&[0, 3]));
+        store.set_segment(id, &path(&[0, 1, 2]));
+        store.set_segment(id, &path(&[0, 3]));
         assert_eq!(store.visit_count(NodeId(1)), 0);
         assert_eq!(store.visit_count(NodeId(2)), 0);
         assert_eq!(store.visit_count(NodeId(3)), 1);
@@ -247,9 +321,9 @@ mod tests {
     fn clear_segment_resets_everything_it_touched() {
         let mut store = WalkStore::new(3, 1);
         let id = SegmentId::new(NodeId(1), 0, 1);
-        store.set_segment(id, path(&[1, 2, 2]));
+        store.set_segment(id, &path(&[1, 2, 2]));
         store.clear_segment(id);
-        assert!(store.segment(id).is_empty());
+        assert!(store.segment_is_empty(id));
         assert_eq!(store.total_visits(), 0);
         assert_eq!(store.visit_count(NodeId(2)), 0);
         assert!(store.check_consistency().is_ok());
@@ -260,28 +334,45 @@ mod tests {
         let mut store = WalkStore::new(3, 2);
         let a = SegmentId::new(NodeId(0), 0, 2);
         let b = SegmentId::new(NodeId(0), 1, 2);
-        store.set_segment(a, path(&[0, 1]));
-        store.set_segment(b, path(&[0, 2, 1]));
+        store.set_segment(a, &path(&[0, 1]));
+        store.set_segment(b, &path(&[0, 2, 1]));
         assert_eq!(store.visit_count(NodeId(1)), 2);
         assert_eq!(store.distinct_visitors(NodeId(1)), 2);
         let ids: Vec<_> = store.segment_ids_of(NodeId(0)).collect();
         assert_eq!(ids, vec![a, b]);
         assert_eq!(store.source_of(b), NodeId(0));
-        assert_eq!(store.segment(b).path(), path(&[0, 2, 1]).as_slice());
+        assert_eq!(store.segment_path(b), path(&[0, 2, 1]).as_slice());
+    }
+
+    #[test]
+    fn path_queries_read_through_the_arena() {
+        let mut store = WalkStore::new(4, 1);
+        let id = SegmentId::new(NodeId(0), 0, 1);
+        store.set_segment(id, &path(&[0, 1, 2, 1]));
+        assert_eq!(store.segment_len(id), 4);
+        assert_eq!(store.segment_source(id), Some(NodeId(0)));
+        assert_eq!(store.segment_last(id), Some(NodeId(1)));
+        assert_eq!(
+            store.positions_of(id, NodeId(1)).collect::<Vec<_>>(),
+            [1, 3]
+        );
+        assert!(store.uses_edge(id, NodeId(1), NodeId(2)));
+        assert!(!store.uses_edge(id, NodeId(2), NodeId(0)));
+        assert_eq!(store.first_traversal(id, NodeId(2), NodeId(1)), Some(2));
     }
 
     #[test]
     #[should_panic(expected = "must start at its source node")]
     fn segment_must_start_at_source() {
         let mut store = WalkStore::new(3, 1);
-        store.set_segment(SegmentId::new(NodeId(0), 0, 1), path(&[1, 2]));
+        store.set_segment(SegmentId::new(NodeId(0), 0, 1), &path(&[1, 2]));
     }
 
     #[test]
     #[should_panic(expected = "outside the store")]
     fn segment_cannot_visit_unknown_nodes() {
         let mut store = WalkStore::new(2, 1);
-        store.set_segment(SegmentId::new(NodeId(0), 0, 1), path(&[0, 5]));
+        store.set_segment(SegmentId::new(NodeId(0), 0, 1), &path(&[0, 5]));
     }
 
     #[test]
@@ -290,7 +381,7 @@ mod tests {
         store.ensure_nodes(5);
         assert_eq!(store.node_count(), 5);
         let id = SegmentId::new(NodeId(4), 2, 3);
-        store.set_segment(id, path(&[4, 1]));
+        store.set_segment(id, &path(&[4, 1]));
         assert_eq!(store.visit_count(NodeId(4)), 1);
         // Shrinking is a no-op.
         store.ensure_nodes(1);
@@ -300,7 +391,7 @@ mod tests {
     #[test]
     fn update_probability_matches_formula() {
         let mut store = WalkStore::new(2, 1);
-        store.set_segment(SegmentId::new(NodeId(0), 0, 1), path(&[0, 1, 0, 1, 0]));
+        store.set_segment(SegmentId::new(NodeId(0), 0, 1), &path(&[0, 1, 0, 1, 0]));
         // W(0) = 3 visits, d = 2  =>  1 - (1/2)^3 = 0.875
         assert!((store.update_probability(NodeId(0), 2) - 0.875).abs() < 1e-12);
         // Zero out-degree can never reroute a walk.
@@ -318,6 +409,47 @@ mod tests {
         assert_eq!(store.total_visits(), 0);
         assert!(store.check_consistency().is_ok());
         assert_eq!(store.visit_counts().len(), 10);
+    }
+
+    #[test]
+    fn steady_state_rewrites_do_not_allocate_arena_regions() {
+        let mut store = WalkStore::new(4, 1);
+        let id = SegmentId::new(NodeId(0), 0, 1);
+        store.set_segment(id, &path(&[0, 1, 2]));
+        let relocations = store.arena_stats().relocations;
+        // Rewrites of comparable length reuse the slot: no relocation, no allocation.
+        for round in 0..200u32 {
+            let p = if round % 2 == 0 {
+                path(&[0, 3, 2, 1])
+            } else {
+                path(&[0, 1])
+            };
+            store.set_segment(id, &p);
+        }
+        assert_eq!(
+            store.arena_stats().relocations,
+            relocations,
+            "steady-state rewrites must be in place"
+        );
+        assert!(store.check_consistency().is_ok());
+    }
+
+    #[test]
+    fn collect_visiting_matches_segments_visiting() {
+        let mut store = WalkStore::new(5, 2);
+        store.set_segment(SegmentId::new(NodeId(0), 0, 2), &path(&[0, 2, 3]));
+        store.set_segment(SegmentId::new(NodeId(1), 1, 2), &path(&[1, 2]));
+        let mut buf = Vec::new();
+        store.collect_visiting(NodeId(2), &mut buf);
+        let from_iter: Vec<SegmentId> = store
+            .segments_visiting(NodeId(2))
+            .map(|(id, _)| id)
+            .collect();
+        assert_eq!(buf, from_iter);
+        assert_eq!(buf.len(), 2);
+        // The buffer is cleared on reuse.
+        store.collect_visiting(NodeId(4), &mut buf);
+        assert!(buf.is_empty());
     }
 
     #[test]

@@ -8,7 +8,9 @@
 //! * [`graph`] ([`ppr_graph`]) — directed dynamic/static graphs, synthetic social-graph
 //!   generators, and edge-arrival streams.
 //! * [`store`] ([`ppr_store`]) — the Social Store (FlockDB stand-in) and the PageRank
-//!   Store holding cached walk segments, both with explicit fetch/work accounting.
+//!   Store holding cached walk segments, both with explicit fetch/work accounting.  The
+//!   PageRank Store is backed by a flat step arena plus CSR-style visit postings, and
+//!   every engine consumes it through the `WalkIndex` API layer.
 //! * [`core`] ([`ppr_core`]) — the paper's contribution: Monte Carlo PageRank/SALSA with
 //!   incremental walk-segment maintenance and personalized top-k retrieval by walk
 //!   stitching (Algorithm 1).
@@ -36,6 +38,11 @@
 //! // Personalized top-10 for node 0 using the cached walk segments.
 //! let top = engine.personalized_top_k(NodeId(0), 10, 2_000);
 //! assert!(top.len() <= 10);
+//!
+//! // Edge arrivals can be applied one by one or as a batch (grouped per source node).
+//! engine.add_edge(Edge::new(0, 500));
+//! engine.apply_arrivals(&[Edge::new(1, 600), Edge::new(1, 700), Edge::new(2, 600)]);
+//! assert!(engine.validate_segments().is_ok());
 //! ```
 
 #![warn(missing_docs)]
@@ -62,6 +69,7 @@ pub mod prelude {
     pub use ppr_graph::generators::preferential_attachment;
     pub use ppr_graph::view::GraphView;
     pub use ppr_graph::{Edge, NodeId};
+    pub use ppr_store::index::WalkIndex;
     pub use ppr_store::social::SocialStore;
     pub use ppr_store::walks::WalkStore;
 }

@@ -9,6 +9,7 @@
 
 use fast_ppr::prelude::*;
 use ppr_graph::{CsrGraph, Edge};
+use ppr_store::SegmentId;
 use proptest::prelude::*;
 
 /// An arbitrary edge among `n` nodes.
@@ -28,6 +29,89 @@ fn arb_op(n: u32) -> impl Strategy<Value = Op> {
         3 => arb_edge(n).prop_map(Op::Add),
         1 => arb_edge(n).prop_map(Op::Remove),
     ]
+}
+
+/// An arbitrary direct store operation: rewrite a segment with a given path shape, or
+/// clear it.  `path_seed` deterministically expands into a short path from the source.
+#[derive(Debug, Clone)]
+enum StoreOp {
+    Set {
+        node: u32,
+        slot: usize,
+        path_seed: u64,
+    },
+    Clear {
+        node: u32,
+        slot: usize,
+    },
+}
+
+fn arb_store_op(n: u32, r: usize) -> impl Strategy<Value = StoreOp> {
+    prop_oneof![
+        4 => (0..n, 0..r, 0u64..u64::MAX).prop_map(|(node, slot, path_seed)| StoreOp::Set {
+            node,
+            slot,
+            path_seed,
+        }),
+        1 => (0..n, 0..r).prop_map(|(node, slot)| StoreOp::Clear { node, slot }),
+    ]
+}
+
+/// Expands a seed into a pseudo-random path of 0..=12 extra visits within `n` nodes,
+/// starting at `node` (the walk-validity rules do not apply at the store layer; the
+/// store only requires the first visit to be the source).
+fn expand_path(node: u32, n: u32, mut seed: u64) -> Vec<NodeId> {
+    let len = (seed % 13) as usize;
+    let mut path = Vec::with_capacity(len + 1);
+    path.push(NodeId(node));
+    for _ in 0..len {
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        path.push(NodeId((seed >> 33) as u32 % n));
+    }
+    path
+}
+
+/// Recounts, from the stored paths alone, every index the store maintains; used to
+/// check the CSR postings + delta overlay and the eager counters stay exact.
+fn assert_store_matches_recount(store: &WalkStore, n: u32) {
+    let mut counts = vec![0u64; n as usize];
+    let mut postings = vec![std::collections::HashMap::<SegmentId, u32>::new(); n as usize];
+    let mut total = 0u64;
+    for node in 0..n {
+        for id in store.segment_ids_of(NodeId(node)) {
+            for &v in store.segment_path(id) {
+                counts[v.index()] += 1;
+                *postings[v.index()].entry(id).or_insert(0) += 1;
+                total += 1;
+            }
+        }
+    }
+    assert_eq!(
+        store.visit_counts(),
+        counts.as_slice(),
+        "W(v) counters drifted"
+    );
+    assert_eq!(store.total_visits(), total, "total_visits drifted");
+    assert_eq!(
+        store.total_visits(),
+        store.visit_counts().iter().sum::<u64>(),
+        "total_visits must equal the sum of per-node counts"
+    );
+    for node in 0..n {
+        let from_store: std::collections::HashMap<SegmentId, u32> =
+            store.segments_visiting(NodeId(node)).collect();
+        assert_eq!(
+            from_store, postings[node as usize],
+            "postings for node {node} disagree with a from-scratch recount"
+        );
+        assert_eq!(
+            store.distinct_visitors(NodeId(node)),
+            postings[node as usize].len()
+        );
+    }
+    assert!(store.check_consistency().is_ok());
 }
 
 proptest! {
@@ -80,6 +164,66 @@ proptest! {
         // The raw estimator is bounded by the store's total capacity.
         let estimates = engine.estimates();
         prop_assert!(estimates.raw().iter().all(|&s| (0.0..=1.0 + 1e-9).contains(&s)));
+    }
+
+    /// The arena + CSR-postings walk store stays exactly consistent with a from-scratch
+    /// recount of all stored segments under arbitrary interleaved set/clear sequences,
+    /// and `total_visits == Σ visit_counts` always holds.
+    #[test]
+    fn walk_store_postings_match_recount_under_arbitrary_rewrites(
+        ops in proptest::collection::vec(arb_store_op(10, 3), 1..150),
+    ) {
+        let n = 10u32;
+        let r = 3usize;
+        let mut store = WalkStore::new(n as usize, r);
+        for op in &ops {
+            match *op {
+                StoreOp::Set { node, slot, path_seed } => {
+                    let path = expand_path(node, n, path_seed);
+                    store.set_segment(SegmentId::new(NodeId(node), slot, r), &path);
+                }
+                StoreOp::Clear { node, slot } => {
+                    store.clear_segment(SegmentId::new(NodeId(node), slot, r));
+                }
+            }
+        }
+        assert_store_matches_recount(&store, n);
+    }
+
+    /// The same exact-recount invariant holds for the store *inside the engine* after
+    /// arbitrary interleaved arrivals, deletions, and the reroutes they trigger — and
+    /// equally when the arrivals are delivered through the batched path.
+    #[test]
+    fn engine_store_postings_survive_arbitrary_update_sequences(
+        ops in proptest::collection::vec(arb_op(14), 1..60),
+        r in 1usize..4,
+        seed in 0u64..1_000,
+        batch in 1usize..8,
+    ) {
+        let mut engine = IncrementalPageRank::new_empty(
+            14,
+            MonteCarloConfig::new(0.25, r).with_seed(seed),
+        );
+        let mut pending: Vec<Edge> = Vec::new();
+        for op in &ops {
+            match op {
+                Op::Add(edge) => {
+                    pending.push(*edge);
+                    if pending.len() == batch {
+                        engine.apply_arrivals(&pending);
+                        pending.clear();
+                    }
+                }
+                Op::Remove(edge) => {
+                    engine.apply_arrivals(&pending);
+                    pending.clear();
+                    engine.remove_edge(*edge);
+                }
+            }
+        }
+        engine.apply_arrivals(&pending);
+        prop_assert!(engine.validate_segments().is_ok());
+        assert_store_matches_recount(engine.walk_store(), 14);
     }
 
     /// The SALSA engine maintains its alternating-walk invariant under arbitrary updates.

@@ -51,7 +51,7 @@ fn every_prelude_reexport_resolves_and_composes() {
     // ppr_core: MonteCarloConfig, IncrementalPageRank, IncrementalSalsa,
     // PersonalizedWalker.
     let config = MonteCarloConfig::new(0.25, 3).with_seed(13);
-    let engine = IncrementalPageRank::from_graph(&graph, config.clone());
+    let engine = IncrementalPageRank::from_graph(&graph, config);
     let salsa = IncrementalSalsa::from_graph(&graph, config);
     assert_eq!(salsa.estimates().authorities.len(), 200);
 
