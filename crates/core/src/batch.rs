@@ -1,8 +1,40 @@
-//! Shared batching machinery for the engines' `apply_arrivals` paths.
+//! Shared batching machinery for the engines' `apply_arrivals` paths: arrival
+//! grouping, the split-RNG seed derivation, and the candidate/reconcile plumbing the
+//! deterministic parallel reroute is built on.
+//!
+//! # The deterministic repair pipeline
+//!
+//! Both engines process a batch of arrivals in three phases:
+//!
+//! 1. **Candidate generation** (read-only, parallel): arrival groups are formed per
+//!    pivot node; for every group and every segment visiting its pivot, an independent
+//!    RNG stream — seeded from `(engine seed, batch index, pivot, segment)` via
+//!    `repair_seed` — flips the reroute coins over the segment's *pre-batch* path and,
+//!    on a hit, generates the candidate replacement path against the post-batch graph.
+//!    Because every `(group, segment)` pair has its own stream and only reads immutable
+//!    state, candidates can be computed in any order, by any number of threads, split
+//!    any way across shards, with bit-identical results.
+//! 2. **Reconciliation** (sequential, cheap): when several groups claim the same
+//!    segment, the candidate with the **smallest reroute position** wins.  Under
+//!    prefix-preserving reroutes this is exactly the fixed point the sequential
+//!    limit-tracking loop reaches — a reroute at position `p` makes later groups skip
+//!    positions `>= p`, so the surviving reroute is always the minimum over first-hit
+//!    positions — but stated order-independently.  Under from-source reroutes any
+//!    winner regenerates the whole segment on the post-batch graph, so the rule only
+//!    selects which RNG stream draws the (identically distributed) replacement.
+//! 3. **Apply** ([`ppr_store::WalkIndexMut::apply_rewrites`]): the winning rewrites,
+//!    sorted by segment id, are applied by the store — sequentially for the flat
+//!    [`ppr_store::WalkStore`], one worker thread per shard for the
+//!    [`ppr_store::ShardedWalkStore`].
+//!
+//! The fan-out in phase 1 partitions segments by their *owning shard* (the shard of
+//! their source node, [`ppr_store::WalkIndex::route_shards`] wide), which also keeps
+//! every worker's output deterministic in isolation.
 
 use ppr_graph::{Edge, NodeId};
-use ppr_store::SocialStore;
+use ppr_store::{SegmentId, SocialStore, WalkIndex};
 use std::collections::HashMap;
+use std::time::{Duration, Instant};
 
 /// One pivot node's share of a batch: the pivot, its relevant degree from *before* the
 /// batch, and the forced reroute targets its new edges contribute, in arrival order.
@@ -36,9 +68,234 @@ pub(crate) fn group_arrivals(
     groups
 }
 
+/// Derives the RNG seed of one `(batch, pivot, segment)` repair stream.
+///
+/// The split is deliberately finer than one stream per shard: seeding per repair
+/// stream makes the candidate computation independent of *which* shard or thread
+/// executes it, so the sharded engine is bit-identical to the single-shard engine at
+/// any `(shard count, thread count)` — the property the differential harness locks in.
+/// `backward` distinguishes SALSA's two walk directions, which can both touch the same
+/// `(pivot, segment)` pair in one batch.
+pub(crate) fn repair_seed(
+    seed: u64,
+    batch: u64,
+    pivot: NodeId,
+    segment: SegmentId,
+    backward: bool,
+) -> u64 {
+    let mut x = seed
+        ^ batch.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (pivot.0 as u64 + 1).wrapping_mul(0xD1B5_4A32_D192_ED03)
+        ^ (segment.index() as u64 + 1).wrapping_mul(0x2545_F491_4F6C_DD1D)
+        ^ ((backward as u64) << 63);
+    // splitmix64 finalizer: decorrelates the streams of neighbouring ids.
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// One proposed segment repair: group `group` reroutes `seg` at path position `pos`,
+/// replacing its path with `start..start + len` of the owning [`CandidateSet`]'s flat
+/// path buffer, at a cost of `steps` regenerated walk steps.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Candidate {
+    pub seg: SegmentId,
+    pub pos: u32,
+    pub group: u32,
+    pub steps: u64,
+    start: u32,
+    len: u32,
+}
+
+/// One phase-1 worker's output: its candidates plus the flat buffer holding their
+/// replacement paths.  Buffers are reused across batches.
+#[derive(Debug, Default)]
+pub(crate) struct CandidateSet {
+    pub candidates: Vec<Candidate>,
+    paths: Vec<NodeId>,
+    /// Per-worker scratch path for generating one candidate (taken/restored around
+    /// generation so workers stay allocation-free in steady state).
+    pub scratch: Vec<NodeId>,
+}
+
+impl CandidateSet {
+    pub fn clear(&mut self) {
+        self.candidates.clear();
+        self.paths.clear();
+    }
+
+    /// Records a candidate whose replacement path is currently in `path`.
+    pub fn push(&mut self, seg: SegmentId, pos: usize, group: usize, steps: u64, path: &[NodeId]) {
+        let start = self.paths.len() as u32;
+        self.paths.extend_from_slice(path);
+        self.candidates.push(Candidate {
+            seg,
+            pos: pos as u32,
+            group: group as u32,
+            steps,
+            start,
+            len: path.len() as u32,
+        });
+    }
+
+    /// The replacement path of one of this set's candidates.
+    pub fn path(&self, c: &Candidate) -> &[NodeId] {
+        &self.paths[c.start as usize..(c.start + c.len) as usize]
+    }
+}
+
+/// Runs `worker(shard, set)` for every route shard of `walks`, filling one
+/// [`CandidateSet`] per shard — sequentially when `threads <= 1` (or the store has a
+/// single shard), otherwise fanned out over `min(threads, shards)` scoped threads.
+/// Workers receive disjoint output sets and must only read shared state, so the filled
+/// sets are identical for every `threads` value.  `times` receives the wall time each
+/// shard's worker took (observability only; see [`BatchProfile`]).
+pub(crate) fn fan_out_candidates<W, F>(
+    walks: &W,
+    threads: usize,
+    sets: &mut Vec<CandidateSet>,
+    times: &mut Vec<Duration>,
+    worker: F,
+) where
+    W: WalkIndex + Sync,
+    F: Fn(usize, &mut CandidateSet) + Sync,
+{
+    let shards = walks.route_shards();
+    sets.resize_with(shards, CandidateSet::default);
+    for set in sets.iter_mut() {
+        set.clear();
+    }
+    times.clear();
+    times.resize(shards, Duration::ZERO);
+    let workers = if shards > 1 { threads.min(shards) } else { 1 };
+    if workers <= 1 {
+        for (sid, (set, time)) in sets.iter_mut().zip(times.iter_mut()).enumerate() {
+            let start = Instant::now();
+            worker(sid, set);
+            *time = start.elapsed();
+        }
+        return;
+    }
+    let chunk = shards.div_ceil(workers);
+    let worker = &worker;
+    std::thread::scope(|scope| {
+        for ((ci, set_chunk), time_chunk) in sets
+            .chunks_mut(chunk)
+            .enumerate()
+            .zip(times.chunks_mut(chunk))
+        {
+            scope.spawn(move || {
+                for ((off, set), time) in set_chunk.iter_mut().enumerate().zip(time_chunk) {
+                    let start = Instant::now();
+                    worker(ci * chunk + off, set);
+                    *time = start.elapsed();
+                }
+            });
+        }
+    });
+}
+
+/// Wall-time breakdown of the most recent arrival batches, accumulated per engine
+/// since construction (or the last reset): the total time spent in `apply_arrivals`,
+/// plus the per-shard times of the two parallelizable phases (candidate generation and
+/// plan application).
+///
+/// The point of the per-shard split is measuring scalability independently of the
+/// machine the measurement runs on: [`BatchProfile::critical_path`] charges each
+/// parallel phase its *slowest shard* instead of the shard sum, which is the wall time
+/// a deployment with one core per shard would pay.  Profiles are observability only —
+/// they never influence results.
+#[derive(Debug, Clone, Default)]
+pub struct BatchProfile {
+    /// Total wall time spent inside `apply_arrivals`.
+    pub total: Duration,
+    /// Per-shard wall time of candidate generation (phase 1).
+    pub phase1_shard_times: Vec<Duration>,
+    /// Per-shard wall time of plan application (phase 3).
+    pub apply_shard_times: Vec<Duration>,
+}
+
+impl BatchProfile {
+    fn add_shard_times(acc: &mut Vec<Duration>, times: &[Duration]) {
+        if acc.len() < times.len() {
+            acc.resize(times.len(), Duration::ZERO);
+        }
+        for (a, t) in acc.iter_mut().zip(times) {
+            *a += *t;
+        }
+    }
+
+    pub(crate) fn record(&mut self, total: Duration, phase1: &[Duration], apply: &[Duration]) {
+        self.total += total;
+        Self::add_shard_times(&mut self.phase1_shard_times, phase1);
+        Self::add_shard_times(&mut self.apply_shard_times, apply);
+    }
+
+    /// The accumulated wall time with each parallel phase charged its slowest shard:
+    /// `sequential residue + max(phase 1) + max(apply)`.  With one shard this equals
+    /// [`BatchProfile::total`]; with `S` balanced shards it approaches `total / S`
+    /// plus the residue.
+    pub fn critical_path(&self) -> Duration {
+        let phase1_sum: Duration = self.phase1_shard_times.iter().sum();
+        let apply_sum: Duration = self.apply_shard_times.iter().sum();
+        let residue = self
+            .total
+            .saturating_sub(phase1_sum)
+            .saturating_sub(apply_sum);
+        residue
+            + self
+                .phase1_shard_times
+                .iter()
+                .max()
+                .copied()
+                .unwrap_or_default()
+            + self
+                .apply_shard_times
+                .iter()
+                .max()
+                .copied()
+                .unwrap_or_default()
+    }
+}
+
+/// Reconciles the candidates of all shards: for every segment claimed by more than one
+/// group, the candidate with the smallest reroute position wins (positions are visits
+/// to distinct pivots, so no tie is possible).  Returns `(set index, candidate index)`
+/// winners sorted by segment id — a deterministic plan order regardless of how phase 1
+/// was scheduled.
+pub(crate) fn reconcile_candidates(sets: &[CandidateSet]) -> Vec<(usize, usize)> {
+    let mut best: HashMap<SegmentId, (usize, usize)> = HashMap::new();
+    for (si, set) in sets.iter().enumerate() {
+        for (ci, cand) in set.candidates.iter().enumerate() {
+            match best.entry(cand.seg) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert((si, ci));
+                }
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    let (bsi, bci) = *e.get();
+                    let incumbent = sets[bsi].candidates[bci].pos;
+                    debug_assert_ne!(
+                        incumbent, cand.pos,
+                        "two groups claimed the same reroute position"
+                    );
+                    if cand.pos < incumbent {
+                        e.insert((si, ci));
+                    }
+                }
+            }
+        }
+    }
+    let mut winners: Vec<(usize, usize)> = best.into_values().collect();
+    winners.sort_by_key(|&(si, ci)| sets[si].candidates[ci].seg);
+    winners
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ppr_store::WalkStore;
 
     #[test]
     fn groups_preserve_first_arrival_order_and_pre_batch_degrees() {
@@ -76,5 +333,86 @@ mod tests {
             |s, n| s.in_degree(n),
         );
         assert_eq!(groups, vec![(NodeId(2), 0, vec![NodeId(0), NodeId(1)])]);
+    }
+
+    #[test]
+    fn repair_seeds_are_distinct_across_every_axis() {
+        let base = repair_seed(7, 0, NodeId(0), SegmentId(0), false);
+        assert_ne!(base, repair_seed(8, 0, NodeId(0), SegmentId(0), false));
+        assert_ne!(base, repair_seed(7, 1, NodeId(0), SegmentId(0), false));
+        assert_ne!(base, repair_seed(7, 0, NodeId(1), SegmentId(0), false));
+        assert_ne!(base, repair_seed(7, 0, NodeId(0), SegmentId(1), false));
+        assert_ne!(base, repair_seed(7, 0, NodeId(0), SegmentId(0), true));
+        // Deterministic: the same coordinates always give the same stream.
+        assert_eq!(base, repair_seed(7, 0, NodeId(0), SegmentId(0), false));
+    }
+
+    #[test]
+    fn candidate_sets_round_trip_paths() {
+        let mut set = CandidateSet::default();
+        set.push(SegmentId(4), 2, 0, 5, &[NodeId(1), NodeId(2)]);
+        set.push(SegmentId(9), 0, 1, 0, &[NodeId(3)]);
+        assert_eq!(set.path(&set.candidates[0]), &[NodeId(1), NodeId(2)]);
+        assert_eq!(set.path(&set.candidates[1]), &[NodeId(3)]);
+        set.clear();
+        assert!(set.candidates.is_empty());
+    }
+
+    #[test]
+    fn reconcile_picks_minimum_position_and_sorts_by_segment() {
+        let mut a = CandidateSet::default();
+        let mut b = CandidateSet::default();
+        a.push(SegmentId(5), 4, 0, 1, &[NodeId(0)]);
+        b.push(SegmentId(5), 2, 1, 1, &[NodeId(1)]); // earlier position wins
+        b.push(SegmentId(1), 7, 2, 1, &[NodeId(2)]);
+        let winners = reconcile_candidates(&[a, b]);
+        assert_eq!(winners, vec![(1, 1), (1, 0)]); // SegmentId(1) first, then (5)
+    }
+
+    #[test]
+    fn fan_out_fills_one_set_per_shard_for_any_thread_count() {
+        let store = WalkStore::new(4, 1); // single route shard
+        let mut sets = Vec::new();
+        let mut times = Vec::new();
+        fan_out_candidates(&store, 8, &mut sets, &mut times, |sid, set| {
+            set.push(SegmentId(sid as u32), sid, 0, 0, &[]);
+        });
+        assert_eq!(sets.len(), 1);
+        assert_eq!(times.len(), 1);
+        assert_eq!(sets[0].candidates.len(), 1);
+
+        let sharded = ppr_store::ShardedWalkStore::new(12, 1, 3);
+        for threads in [1usize, 2, 8] {
+            fan_out_candidates(&sharded, threads, &mut sets, &mut times, |sid, set| {
+                set.push(SegmentId(sid as u32), sid, 0, 0, &[]);
+            });
+            assert_eq!(sets.len(), 3);
+            assert_eq!(times.len(), 3);
+            for (sid, set) in sets.iter().enumerate() {
+                assert_eq!(set.candidates.len(), 1);
+                assert_eq!(set.candidates[0].seg, SegmentId(sid as u32));
+            }
+        }
+    }
+
+    #[test]
+    fn batch_profile_critical_path_charges_the_slowest_shard() {
+        let mut profile = BatchProfile::default();
+        profile.record(
+            Duration::from_millis(10),
+            &[Duration::from_millis(4), Duration::from_millis(2)],
+            &[Duration::from_millis(1), Duration::from_millis(2)],
+        );
+        // residue = 10 - 6 - 3 = 1ms; critical path = 1 + 4 + 2 = 7ms.
+        assert_eq!(profile.critical_path(), Duration::from_millis(7));
+        // Accumulation is element-wise, so a second identical batch doubles it.
+        profile.record(
+            Duration::from_millis(10),
+            &[Duration::from_millis(4), Duration::from_millis(2)],
+            &[Duration::from_millis(1), Duration::from_millis(2)],
+        );
+        assert_eq!(profile.critical_path(), Duration::from_millis(14));
+        // An empty profile has a zero critical path.
+        assert_eq!(BatchProfile::default().critical_path(), Duration::ZERO);
     }
 }

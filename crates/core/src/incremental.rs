@@ -16,19 +16,24 @@
 //! Deletions are symmetric: only segments that actually traverse the vanished edge are
 //! rerouted from the point of traversal.
 //!
-//! All reads go through the [`ppr_store::WalkIndex`] store-API layer and all repairs reuse one
-//! scratch path buffer, so the steady-state maintenance path performs **zero
-//! per-segment heap allocations**: a reroute copies the surviving prefix into the
-//! scratch buffer, extends it, and rewrites the segment's arena slot in place.
+//! The engine is generic over the PageRank Store layout: any
+//! [`ppr_store::WalkIndexMut`] works, with the flat [`WalkStore`] as the default and
+//! the sharded [`ShardedWalkStore`] available through
+//! [`IncrementalPageRank::from_graph_sharded`].
 //!
 //! [`IncrementalPageRank::apply_arrivals`] processes a whole batch of arrivals at once,
 //! grouping the coin flips and index maintenance per source node: for a source gaining
 //! `k` edges on top of `d₀` existing ones, every visit reroutes with probability
 //! `k/(d₀+k)` to a uniformly chosen new edge — exactly the distribution the `k`
 //! single-edge updates compose to (each per-edge coin `1/(d₀+i)` composes by the
-//! reservoir argument to `1/(d₀+k)` per new edge) — while scanning the visit postings of
-//! each source once instead of once per edge.  This per-source grouping is the shape
-//! that sharded and parallel maintenance will partition over.
+//! reservoir argument to `1/(d₀+k)` per new edge).  Repairs run as a deterministic
+//! three-phase pipeline (candidates → reconcile → apply, see [`crate::batch`]): every
+//! `(batch, source, segment)` repair draws from its own split RNG stream, so the result
+//! is **bit-identical for every shard count and thread count**, including the
+//! single-shard sequential engine — `tests/differential_shard.rs` holds the system to
+//! exactly that contract.  With a sharded store, phase 1 fans segment repairs out
+//! across shards with `std::thread::scope`, and phase 3 applies the reconciled plan
+//! with one worker per shard.
 //!
 //! The engine keeps a [`WorkCounter`] so experiments can compare the measured update
 //! work against the `nR ln m / ε²` bound of Theorem 4 and the `nR/(m ε²)` deletion bound
@@ -37,16 +42,18 @@
 //! (Theorem 4) for arrivals, and [`crate::bounds::deletion_update_work`]
 //! (Proposition 5) for deletions.
 
-use crate::batch;
+use crate::batch::{self, BatchProfile, CandidateSet};
 use crate::config::{MonteCarloConfig, RerouteStrategy};
 use crate::estimator::PageRankEstimates;
 use crate::personalized::PersonalizedWalker;
 use crate::walker;
 use ppr_graph::{DynamicGraph, Edge, GraphView, NodeId};
-use ppr_store::{SegmentId, SocialStore, WalkStore, WorkCounter};
+use ppr_store::{
+    SegmentId, SegmentRewrites, ShardedWalkStore, SocialStore, WalkIndex, WalkIndexMut, WalkStore,
+    WorkCounter,
+};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
 
 /// Work performed while processing a single edge arrival or deletion (or a whole
 /// batch, when returned by [`IncrementalPageRank::apply_arrivals`]).
@@ -70,29 +77,40 @@ impl UpdateStats {
     }
 }
 
-/// Monte Carlo PageRank with incrementally maintained walk segments.
+/// Monte Carlo PageRank with incrementally maintained walk segments, generic over the
+/// PageRank Store layout (`W`).
 #[derive(Debug)]
-pub struct IncrementalPageRank {
+pub struct IncrementalPageRank<W: WalkIndexMut = WalkStore> {
     store: SocialStore,
-    walks: WalkStore,
+    walks: W,
     config: MonteCarloConfig,
     rng: SmallRng,
     work: WorkCounter,
     initialization_steps: u64,
-    /// Reusable path buffer for segment repairs (keeps reroutes allocation-free).
+    /// Worker threads used for the batched reroute pipeline (always 1 for a
+    /// single-shard store; results never depend on this).
+    threads: usize,
+    /// Index of the next arrival batch, mixed into every repair-stream seed.
+    batch_index: u64,
+    /// Reusable path buffer for segment repairs (keeps deletions allocation-free).
     scratch: Vec<NodeId>,
     /// Reusable buffer for the ids of the segments visiting the updated node.
     visiting: Vec<SegmentId>,
-    /// Per-batch reroute frontier: for every segment already rerouted in the current
-    /// batch, the first rewritten position.  Visits at or past it belong to a suffix
-    /// regenerated on the final graph and must not flip further coins.
-    batch_limits: HashMap<SegmentId, usize>,
+    /// Reusable phase-1 outputs, one per route shard.
+    candidate_sets: Vec<CandidateSet>,
+    /// Reusable per-shard phase-1 timing buffer.
+    phase1_times: Vec<std::time::Duration>,
+    /// Reusable reconciled rewrite plan.
+    rewrites: SegmentRewrites,
+    /// Accumulated wall-time breakdown of the arrival batches (observability only).
+    profile: BatchProfile,
 }
 
 impl IncrementalPageRank {
     /// Builds the engine over a graph or an existing Social Store, generating `R` walk
-    /// segments per node.  Pass the graph by value to avoid copying it; `&DynamicGraph`
-    /// is also accepted (and cloned) for callers that keep theirs.
+    /// segments per node in a single-shard [`WalkStore`].  Pass the graph by value to
+    /// avoid copying it; `&DynamicGraph` is also accepted (and cloned) for callers that
+    /// keep theirs.
     pub fn from_graph(graph: impl Into<SocialStore>, config: MonteCarloConfig) -> Self {
         Self::from_social_store(graph.into(), config)
     }
@@ -100,8 +118,47 @@ impl IncrementalPageRank {
     /// Builds the engine over an existing Social Store, generating `R` walk segments per
     /// node.
     pub fn from_social_store(store: SocialStore, config: MonteCarloConfig) -> Self {
+        let walks = WalkStore::new(store.node_count(), config.r);
+        Self::with_store(store, walks, config, 1)
+    }
+
+    /// Builds the engine over an empty graph with `node_count` isolated nodes.
+    pub fn new_empty(node_count: usize, config: MonteCarloConfig) -> Self {
+        Self::from_graph(DynamicGraph::with_nodes(node_count), config)
+    }
+}
+
+impl IncrementalPageRank<ShardedWalkStore> {
+    /// Builds the engine over a [`ShardedWalkStore`] split `shards` ways, repairing
+    /// arrival batches with up to `threads` worker threads.  The Social Store is
+    /// re-sharded to the same shard count, so both stores place every node on the same
+    /// shard (the shared [`ppr_store::routing::shard_of`] rule).
+    ///
+    /// Scores, segments, and postings are **bit-identical** to the single-shard
+    /// engine's for every `(shards, threads)` combination; the knobs only change how
+    /// the repair work is scheduled.
+    pub fn from_graph_sharded(
+        graph: impl Into<SocialStore>,
+        config: MonteCarloConfig,
+        shards: usize,
+        threads: usize,
+    ) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        assert!(threads >= 1, "need at least one worker thread");
+        let store = graph.into();
+        let store = if store.shard_count() == shards {
+            store
+        } else {
+            SocialStore::from_graph(store.into_graph(), shards)
+        };
+        let walks = ShardedWalkStore::new(store.node_count(), config.r, shards);
+        Self::with_store(store, walks, config, threads)
+    }
+}
+
+impl<W: WalkIndexMut + Sync> IncrementalPageRank<W> {
+    fn with_store(store: SocialStore, walks: W, config: MonteCarloConfig, threads: usize) -> Self {
         let node_count = store.node_count();
-        let walks = WalkStore::new(node_count, config.r);
         let rng = SmallRng::seed_from_u64(config.seed);
         let mut engine = IncrementalPageRank {
             store,
@@ -110,9 +167,14 @@ impl IncrementalPageRank {
             rng,
             work: WorkCounter::new(),
             initialization_steps: 0,
+            threads,
+            batch_index: 0,
             scratch: Vec::new(),
             visiting: Vec::new(),
-            batch_limits: HashMap::new(),
+            candidate_sets: Vec::new(),
+            phase1_times: Vec::new(),
+            rewrites: SegmentRewrites::new(),
+            profile: BatchProfile::default(),
         };
         for node in 0..node_count {
             engine.generate_segments_for(NodeId::from_index(node));
@@ -120,9 +182,17 @@ impl IncrementalPageRank {
         engine
     }
 
-    /// Builds the engine over an empty graph with `node_count` isolated nodes.
-    pub fn new_empty(node_count: usize, config: MonteCarloConfig) -> Self {
-        Self::from_graph(DynamicGraph::with_nodes(node_count), config)
+    /// Accumulated wall-time breakdown of every arrival batch since construction (or
+    /// the last [`Self::reset_batch_profile`]): total time plus per-shard times of the
+    /// two parallelizable phases.  [`BatchProfile::critical_path`] turns it into the
+    /// wall time a one-core-per-shard deployment would pay.
+    pub fn batch_profile(&self) -> &BatchProfile {
+        &self.profile
+    }
+
+    /// Resets the accumulated batch profile.
+    pub fn reset_batch_profile(&mut self) {
+        self.profile = BatchProfile::default();
     }
 
     /// The engine's configuration.
@@ -141,8 +211,20 @@ impl IncrementalPageRank {
     }
 
     /// The PageRank Store holding the walk segments.
-    pub fn walk_store(&self) -> &WalkStore {
+    pub fn walk_store(&self) -> &W {
         &self.walks
+    }
+
+    /// Number of worker threads the batched reroute pipeline may use.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Sets the worker-thread budget.  Results are bit-identical for every value; only
+    /// scheduling changes.
+    pub fn set_threads(&mut self, threads: usize) {
+        assert!(threads >= 1, "need at least one worker thread");
+        self.threads = threads;
     }
 
     /// Number of nodes currently known to the engine.
@@ -207,28 +289,11 @@ impl IncrementalPageRank {
     }
 
     /// Processes the arrival of `edge`, repairing every affected walk segment.
+    ///
+    /// A single arrival is exactly a batch of one: this delegates to
+    /// [`Self::apply_arrivals`], so the two paths are on identical RNG streams.
     pub fn add_edge(&mut self, edge: Edge) -> UpdateStats {
-        let needed = edge.source.index().max(edge.target.index()) + 1;
-        self.ensure_nodes(needed);
-        let prior_degree = self.store.out_degree(edge.source);
-        self.store.add_edge(edge);
-
-        let mut stats = UpdateStats::default();
-        self.batch_limits.clear();
-        self.process_arrival_group(
-            edge.source,
-            prior_degree,
-            std::slice::from_ref(&edge.target),
-            &mut stats,
-        );
-
-        self.work.edges_processed += 1;
-        self.work.segments_updated += stats.segments_updated;
-        self.work.walk_steps += stats.walk_steps;
-        if !stats.touched_walk_store {
-            self.work.arrivals_filtered += 1;
-        }
-        stats
+        self.apply_arrivals(std::slice::from_ref(&edge))
     }
 
     /// Processes a whole batch of edge arrivals, grouping the coin flips and the visit
@@ -238,9 +303,16 @@ impl IncrementalPageRank {
     /// that gained `k` edges on top of `d₀` existing ones, the segments visiting `u` are
     /// enumerated **once** and each eligible visit reroutes with probability `k/(d₀+k)`
     /// to a uniformly chosen new edge — the exact composition of the `k` per-edge
-    /// `1/(d₀+i)` coins.  Suffixes are regenerated on the post-batch graph, and a
-    /// segment rerouted for one source is only re-examined by later groups on the
-    /// prefix that predates its reroute.
+    /// `1/(d₀+i)` coins.  Suffixes are regenerated on the post-batch graph.
+    ///
+    /// Repairs run as the deterministic candidate → reconcile → apply pipeline of
+    /// [`crate::batch`]: each `(source, segment)` repair draws from its own split RNG
+    /// stream, candidate generation fans out over the store's shards (up to
+    /// [`Self::threads`] workers), and when several sources claim the same segment the
+    /// smallest reroute position wins — under the default prefix-preserving reroute,
+    /// the same fixed point the sequential limit-tracking loop reaches (see
+    /// [`crate::batch`] for the [`RerouteStrategy::FromSource`] case) — so results
+    /// are bit-identical at any shard and thread count.
     ///
     /// Returns the aggregate statistics over the whole batch.
     pub fn apply_arrivals(&mut self, edges: &[Edge]) -> UpdateStats {
@@ -252,6 +324,7 @@ impl IncrementalPageRank {
         else {
             return stats;
         };
+        let batch_started = std::time::Instant::now();
         self.ensure_nodes(needed);
 
         // Group targets per source in first-arrival order, capturing each source's
@@ -265,16 +338,76 @@ impl IncrementalPageRank {
         for &edge in edges {
             self.store.add_edge(edge);
         }
+        let batch_index = self.batch_index;
+        self.batch_index += 1;
+        let threads = self.threads;
 
-        self.batch_limits.clear();
-        for (u, prior_degree, targets) in groups {
-            let updates_before = stats.segments_updated;
-            self.process_arrival_group(u, prior_degree, &targets, &mut stats);
-            if stats.segments_updated == updates_before {
+        // Phase 1: candidate generation, read-only against the pre-batch walk store
+        // and the post-batch graph, partitioned by the shard owning each segment.
+        let mut sets = std::mem::take(&mut self.candidate_sets);
+        let mut phase1_times = std::mem::take(&mut self.phase1_times);
+        {
+            let graph = self.store.graph();
+            let walks = &self.walks;
+            let config = &self.config;
+            let groups = &groups;
+            let shards = walks.route_shards();
+            let r = walks.r();
+            batch::fan_out_candidates(walks, threads, &mut sets, &mut phase1_times, |sid, set| {
+                let mut scratch = std::mem::take(&mut set.scratch);
+                for (gi, (u, prior_degree, targets)) in groups.iter().enumerate() {
+                    for (id, _) in walks.segments_visiting(*u) {
+                        if shards > 1 && (id.index() / r) % shards != sid {
+                            continue;
+                        }
+                        if let Some((pos, steps)) = pagerank_candidate(
+                            graph,
+                            walks,
+                            config,
+                            batch_index,
+                            *u,
+                            *prior_degree,
+                            targets,
+                            id,
+                            &mut scratch,
+                        ) {
+                            set.push(id, pos, gi, steps, &scratch);
+                        }
+                    }
+                }
+                set.scratch = scratch;
+            });
+        }
+
+        // Phase 2: reconcile conflicting claims (smallest reroute position wins) into
+        // a rewrite plan ordered by segment id.
+        let winners = batch::reconcile_candidates(&sets);
+        let mut rewrites = std::mem::take(&mut self.rewrites);
+        rewrites.clear();
+        let mut touched = vec![false; groups.len()];
+        for &(si, ci) in &winners {
+            let cand = &sets[si].candidates[ci];
+            rewrites.push(cand.seg, sets[si].path(cand));
+            stats.record_segment(cand.steps);
+            touched[cand.group as usize] = true;
+        }
+
+        // Phase 3: the store applies the plan (parallel per shard when it can).
+        self.walks.apply_rewrites(&rewrites, threads);
+        self.profile.record(
+            batch_started.elapsed(),
+            &phase1_times,
+            self.walks.last_apply_shard_times(),
+        );
+        self.candidate_sets = sets;
+        self.phase1_times = phase1_times;
+        self.rewrites = rewrites;
+
+        for (gi, (_, _, targets)) in groups.iter().enumerate() {
+            if !touched[gi] {
                 self.work.arrivals_filtered += targets.len() as u64;
             }
         }
-
         self.work.edges_processed += edges.len() as u64;
         self.work.segments_updated += stats.segments_updated;
         self.work.walk_steps += stats.walk_steps;
@@ -373,123 +506,6 @@ impl IncrementalPageRank {
         }
     }
 
-    /// Repairs the segments visiting `u` after `targets` new out-edges of `u` (already
-    /// inserted) arrived on top of `prior_degree` existing ones.
-    fn process_arrival_group(
-        &mut self,
-        u: NodeId,
-        prior_degree: usize,
-        targets: &[NodeId],
-        stats: &mut UpdateStats,
-    ) {
-        debug_assert!(!targets.is_empty());
-        let mut visiting = std::mem::take(&mut self.visiting);
-        self.walks.collect_visiting(u, &mut visiting);
-        for &id in &visiting {
-            let limit = self.batch_limits.get(&id).copied().unwrap_or(usize::MAX);
-            if limit == 0 {
-                continue; // fully regenerated earlier in this batch
-            }
-            if let Some(pos) = self.maybe_reroute_group(id, u, prior_degree, targets, limit, stats)
-            {
-                let new_limit = match self.config.reroute {
-                    RerouteStrategy::FromUpdatePoint => pos,
-                    RerouteStrategy::FromSource => 0,
-                };
-                self.batch_limits.insert(id, new_limit);
-            }
-        }
-        self.visiting = visiting;
-    }
-
-    /// Decides whether (and where) segment `id` reroutes for a group of new edges out
-    /// of `u`, performs the repair, and returns the reroute position.
-    fn maybe_reroute_group(
-        &mut self,
-        id: SegmentId,
-        u: NodeId,
-        prior_degree: usize,
-        targets: &[NodeId],
-        limit: usize,
-        stats: &mut UpdateStats,
-    ) -> Option<usize> {
-        let k = targets.len();
-        let path_len = self.walks.segment_len(id);
-        if path_len == 0 {
-            return None;
-        }
-        let last_index = path_len - 1;
-
-        // Decide where (if anywhere) the segment must be rerouted.
-        let mut reroute_at: Option<(usize, NodeId)> = None;
-        for pos in self.walks.positions_of(id, u) {
-            if pos >= limit {
-                // Everything from `limit` on was regenerated on the post-batch graph
-                // and already samples the new edges; positions only increase, so stop.
-                break;
-            }
-            if pos < last_index {
-                // At an interior visit the surfer took one of the `prior_degree + k`
-                // now-existing edges uniformly; it lands on a new one with probability
-                // k/(d₀+k) (the reservoir composition of the k per-edge 1/(d₀+i)
-                // coins), each new edge being equally likely.
-                if self.rng.gen_bool(k as f64 / (prior_degree + k) as f64) {
-                    let target = walker::pick_new_target(&mut self.rng, targets);
-                    reroute_at = Some((pos, target));
-                    break;
-                }
-            } else if prior_degree == 0 {
-                // The segment ended at u because u was dangling; now that u has
-                // outgoing edges the surfer would have continued with probability
-                // 1 − ε, choosing uniformly among the new edges.
-                if self.rng.gen_bool(1.0 - self.config.epsilon) {
-                    let target = walker::pick_new_target(&mut self.rng, targets);
-                    reroute_at = Some((pos, target));
-                    break;
-                }
-            }
-            // A final visit to a non-dangling u ended with an ε-reset, which the new
-            // edges do not affect.
-        }
-
-        let (pos, target) = reroute_at?;
-        match self.config.reroute {
-            RerouteStrategy::FromUpdatePoint => {
-                self.scratch.clear();
-                self.scratch
-                    .extend_from_slice(&self.walks.segment_path(id)[..=pos]);
-                let mut steps = 0u64;
-                if self.scratch.len() < self.config.max_segment_length {
-                    self.scratch.push(target);
-                    steps += 1;
-                    steps += walker::extend_pagerank_walk(
-                        self.store.graph(),
-                        &mut self.scratch,
-                        self.config.epsilon,
-                        self.config.max_segment_length,
-                        &mut self.rng,
-                    );
-                }
-                self.walks.set_segment(id, &self.scratch);
-                stats.record_segment(steps);
-            }
-            RerouteStrategy::FromSource => {
-                let source = self.walks.source_of(id);
-                let steps = walker::pagerank_segment_into(
-                    self.store.graph(),
-                    source,
-                    self.config.epsilon,
-                    self.config.max_segment_length,
-                    &mut self.rng,
-                    &mut self.scratch,
-                );
-                self.walks.set_segment(id, &self.scratch);
-                stats.record_segment(steps);
-            }
-        }
-        Some(pos)
-    }
-
     fn maybe_reroute_for_deletion(
         &mut self,
         id: SegmentId,
@@ -531,6 +547,108 @@ impl IncrementalPageRank {
             }
         }
     }
+}
+
+/// Decides whether (and where) segment `id` reroutes for a group of `targets.len()`
+/// new edges out of `u` (on top of `prior_degree` pre-batch ones), drawing from the
+/// repair's own split RNG stream.  On a hit, generates the full replacement path into
+/// `scratch` against the post-batch graph and returns `(reroute position, walk steps)`.
+///
+/// Reads only the segment's pre-batch path.  Under
+/// [`RerouteStrategy::FromUpdatePoint`] this is sound because a reroute by another
+/// group only changes the path *after* its own reroute position, and reconciliation
+/// keeps the smallest position — coins flipped on stale suffix positions can only
+/// produce candidates that lose, never a wrong winner.  Under
+/// [`RerouteStrategy::FromSource`] the winning group differs from the old sequential
+/// first-group-wins rule, but any winner regenerates the whole segment as a fresh
+/// from-source walk on the post-batch graph, and the segment regenerates iff any
+/// group's coin hits under both rules — so the choice of winner only selects which RNG
+/// stream draws the (identically distributed) replacement.
+///
+/// A candidate that later loses reconciliation wastes its generated walk (rare:
+/// several pivots of one batch must hit the same segment); only applied repairs are
+/// charged to [`UpdateStats`]/[`WorkCounter`], so `walk_steps` counts the work the
+/// store actually absorbed.
+#[allow(clippy::too_many_arguments)]
+fn pagerank_candidate<W: WalkIndex>(
+    graph: &DynamicGraph,
+    walks: &W,
+    config: &MonteCarloConfig,
+    batch_index: u64,
+    u: NodeId,
+    prior_degree: usize,
+    targets: &[NodeId],
+    id: SegmentId,
+    scratch: &mut Vec<NodeId>,
+) -> Option<(usize, u64)> {
+    let path = walks.segment_path(id);
+    if path.is_empty() {
+        return None;
+    }
+    let k = targets.len();
+    let last_index = path.len() - 1;
+    let mut rng =
+        SmallRng::seed_from_u64(batch::repair_seed(config.seed, batch_index, u, id, false));
+
+    // Decide where (if anywhere) the segment must be rerouted.
+    let mut reroute_at: Option<(usize, NodeId)> = None;
+    for (pos, &visit) in path.iter().enumerate() {
+        if visit != u {
+            continue;
+        }
+        if pos < last_index {
+            // At an interior visit the surfer took one of the `prior_degree + k`
+            // now-existing edges uniformly; it lands on a new one with probability
+            // k/(d₀+k) (the reservoir composition of the k per-edge 1/(d₀+i) coins),
+            // each new edge being equally likely.
+            if rng.gen_bool(k as f64 / (prior_degree + k) as f64) {
+                let target = walker::pick_new_target(&mut rng, targets);
+                reroute_at = Some((pos, target));
+                break;
+            }
+        } else if prior_degree == 0 {
+            // The segment ended at u because u was dangling; now that u has outgoing
+            // edges the surfer would have continued with probability 1 − ε, choosing
+            // uniformly among the new edges.
+            if rng.gen_bool(1.0 - config.epsilon) {
+                let target = walker::pick_new_target(&mut rng, targets);
+                reroute_at = Some((pos, target));
+                break;
+            }
+        }
+        // A final visit to a non-dangling u ended with an ε-reset, which the new
+        // edges do not affect.
+    }
+
+    let (pos, target) = reroute_at?;
+    let steps = match config.reroute {
+        RerouteStrategy::FromUpdatePoint => {
+            scratch.clear();
+            scratch.extend_from_slice(&path[..=pos]);
+            let mut steps = 0u64;
+            if scratch.len() < config.max_segment_length {
+                scratch.push(target);
+                steps += 1;
+                steps += walker::extend_pagerank_walk(
+                    graph,
+                    scratch,
+                    config.epsilon,
+                    config.max_segment_length,
+                    &mut rng,
+                );
+            }
+            steps
+        }
+        RerouteStrategy::FromSource => walker::pagerank_segment_into(
+            graph,
+            walks.source_of(id),
+            config.epsilon,
+            config.max_segment_length,
+            &mut rng,
+            scratch,
+        ),
+    };
+    Some((pos, steps))
 }
 
 #[cfg(test)]
@@ -743,7 +861,7 @@ mod tests {
     #[test]
     fn batched_and_sequential_single_edges_agree() {
         // apply_arrivals over singleton slices is behaviourally identical to add_edge
-        // (same RNG draws, same reroutes) — the batch path is a strict generalization.
+        // (same RNG streams, same reroutes) — add_edge *is* a batch of one.
         let g = directed_cycle(12);
         let mut a = IncrementalPageRank::from_graph(&g, config(6, 41));
         let mut b = IncrementalPageRank::from_graph(&g, config(6, 41));
@@ -756,6 +874,80 @@ mod tests {
             assert_eq!(sa, sb, "edge {i}: stats must match");
         }
         assert_eq!(a.scores(), b.scores());
+    }
+
+    #[test]
+    fn sharded_engine_is_bit_identical_to_single_shard() {
+        // The full differential harness lives in tests/differential_shard.rs; this is
+        // the in-crate smoke version of the same contract.
+        let pa = PreferentialAttachmentConfig::new(80, 3, 59);
+        let edges = preferential_attachment_edges(&pa);
+        let mut flat = IncrementalPageRank::new_empty(80, config(4, 61));
+        let mut sharded = IncrementalPageRank::from_graph_sharded(
+            DynamicGraph::with_nodes(80),
+            config(4, 61),
+            4,
+            4,
+        );
+        for chunk in edges.chunks(37) {
+            let sa = flat.apply_arrivals(chunk);
+            let sb = sharded.apply_arrivals(chunk);
+            assert_eq!(sa, sb, "batch stats must match");
+        }
+        assert_eq!(flat.scores(), sharded.scores());
+        assert_eq!(
+            flat.walk_store().total_visits(),
+            sharded.walk_store().total_visits()
+        );
+        assert_eq!(
+            WalkIndex::visit_counts(flat.walk_store()),
+            sharded.walk_store().visit_counts()
+        );
+        sharded.validate_segments().unwrap();
+    }
+
+    #[test]
+    fn thread_count_never_changes_results() {
+        let pa = PreferentialAttachmentConfig::new(60, 3, 67);
+        let edges = preferential_attachment_edges(&pa);
+        let mut one = IncrementalPageRank::from_graph_sharded(
+            DynamicGraph::with_nodes(60),
+            config(3, 71),
+            3,
+            1,
+        );
+        let mut many = IncrementalPageRank::from_graph_sharded(
+            DynamicGraph::with_nodes(60),
+            config(3, 71),
+            3,
+            4,
+        );
+        for chunk in edges.chunks(25) {
+            one.apply_arrivals(chunk);
+            many.apply_arrivals(chunk);
+            // Retargeting the thread budget mid-stream must not matter either.
+            many.set_threads(if many.threads() == 4 { 2 } else { 4 });
+        }
+        assert_eq!(one.scores(), many.scores());
+        assert_eq!(
+            one.walk_store().visit_counts(),
+            many.walk_store().visit_counts()
+        );
+    }
+
+    #[test]
+    fn sharded_engine_reshards_the_social_store_to_match() {
+        let engine =
+            IncrementalPageRank::from_graph_sharded(directed_cycle(9), config(2, 73), 3, 2);
+        assert_eq!(engine.social_store().shard_count(), 3);
+        assert_eq!(engine.walk_store().shard_count(), 3);
+        for node in 0..9u32 {
+            assert_eq!(
+                engine.social_store().shard_of(NodeId(node)),
+                engine.walk_store().shard_of(NodeId(node))
+            );
+        }
+        engine.validate_segments().unwrap();
     }
 
     #[test]

@@ -21,7 +21,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-mod batch;
+pub mod batch;
 pub mod bounds;
 pub mod config;
 pub mod estimator;
@@ -30,6 +30,7 @@ pub mod personalized;
 pub mod salsa;
 pub mod walker;
 
+pub use batch::BatchProfile;
 pub use config::{MonteCarloConfig, RerouteStrategy};
 pub use estimator::PageRankEstimates;
 pub use incremental::{IncrementalPageRank, UpdateStats};

@@ -14,24 +14,32 @@
 //! is within a factor 16 of the PageRank bound; the closed form this engine
 //! instantiates is [`crate::bounds::salsa_total_update_work`].
 //!
-//! Like the PageRank engine, all store reads go through the [`ppr_store::WalkIndex`] API, repairs
-//! reuse one scratch buffer (zero steady-state allocations), and
-//! [`IncrementalSalsa::apply_arrivals`] batches a stream of arrivals by grouping the
-//! forward coin flips per source and the backward coin flips per target.
+//! Like the PageRank engine, the SALSA engine is generic over the PageRank Store layout
+//! (any [`ppr_store::WalkIndexMut`]; flat [`WalkStore`] by default, sharded via
+//! [`IncrementalSalsa::from_graph_sharded`]), and
+//! [`IncrementalSalsa::apply_arrivals`] batches a stream of arrivals through the same
+//! deterministic candidate → reconcile → apply pipeline (see [`crate::batch`]): forward
+//! coin flips group per source, backward coin flips per target, every
+//! `(batch, pivot, segment, direction)` repair draws from its own split RNG stream, and
+//! conflicting claims resolve to the smallest reroute position — so results are
+//! bit-identical at any shard count and thread count.
 //!
 //! Personalized SALSA scores are obtained with a direct alternating walk with resets to
 //! the seed; the paper's fetch-stitching analysis (Theorem 8) is developed for PageRank
 //! and the same store layout would apply, but the reproduction keeps the SALSA
 //! personalization simple because no experiment in the paper measures its fetch count.
 
-use crate::batch;
+use crate::batch::{self, BatchProfile, CandidateSet};
 use crate::config::{MonteCarloConfig, RerouteStrategy};
 use crate::walker;
 use ppr_graph::{DynamicGraph, Edge, GraphView, NodeId};
-use ppr_store::{SegmentId, SocialStore, WalkStore, WorkCounter};
+use ppr_store::{
+    SegmentId, SegmentRewrites, ShardedWalkStore, SocialStore, WalkIndex, WalkIndexMut, WalkStore,
+    WorkCounter,
+};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
 use crate::incremental::UpdateStats;
 
@@ -44,30 +52,86 @@ pub struct SalsaEstimates {
     pub authorities: Vec<f64>,
 }
 
-/// Monte Carlo SALSA with incrementally maintained alternating walk segments.
+/// One pivot's share of a SALSA batch: `forward` groups key on edge sources (hub steps
+/// out of the pivot changed), backward groups on edge targets (authority steps).
 #[derive(Debug)]
-pub struct IncrementalSalsa {
+struct SalsaGroup {
+    pivot: NodeId,
+    prior_degree: usize,
+    targets: Vec<NodeId>,
+    forward: bool,
+}
+
+/// Monte Carlo SALSA with incrementally maintained alternating walk segments, generic
+/// over the PageRank Store layout (`W`).
+#[derive(Debug)]
+pub struct IncrementalSalsa<W: WalkIndexMut = WalkStore> {
     store: SocialStore,
-    walks: WalkStore,
+    walks: W,
     config: MonteCarloConfig,
     rng: SmallRng,
     work: WorkCounter,
-    /// Reusable path buffer for segment repairs (keeps reroutes allocation-free).
+    /// Worker threads for the batched reroute pipeline (results never depend on this).
+    threads: usize,
+    /// Index of the next arrival batch, mixed into every repair-stream seed.
+    batch_index: u64,
+    /// Reusable path buffer for segment repairs (keeps deletions allocation-free).
     scratch: Vec<NodeId>,
     /// Reusable buffer for the ids of the segments visiting the updated node.
     visiting: Vec<SegmentId>,
-    /// Per-batch reroute frontier, as in the PageRank engine.
-    batch_limits: HashMap<SegmentId, usize>,
+    /// Reusable phase-1 outputs, one per route shard.
+    candidate_sets: Vec<CandidateSet>,
+    /// Reusable per-shard phase-1 timing buffer.
+    phase1_times: Vec<std::time::Duration>,
+    /// Reusable reconciled rewrite plan.
+    rewrites: SegmentRewrites,
+    /// Accumulated wall-time breakdown of the arrival batches (observability only).
+    profile: BatchProfile,
 }
 
 impl IncrementalSalsa {
     /// Builds the engine over a graph or an existing Social Store, storing `2R` segments
-    /// per node.  Pass the graph by value to avoid copying it; `&DynamicGraph` is also
-    /// accepted (and cloned) for callers that keep theirs.
+    /// per node in a single-shard [`WalkStore`].  Pass the graph by value to avoid
+    /// copying it; `&DynamicGraph` is also accepted (and cloned) for callers that keep
+    /// theirs.
     pub fn from_graph(graph: impl Into<SocialStore>, config: MonteCarloConfig) -> Self {
         let store = graph.into();
+        let walks = WalkStore::new(store.node_count(), 2 * config.r);
+        Self::with_store(store, walks, config, 1)
+    }
+
+    /// Builds the engine over an empty graph with `node_count` isolated nodes.
+    pub fn new_empty(node_count: usize, config: MonteCarloConfig) -> Self {
+        Self::from_graph(DynamicGraph::with_nodes(node_count), config)
+    }
+}
+
+impl IncrementalSalsa<ShardedWalkStore> {
+    /// Builds the engine over a [`ShardedWalkStore`] split `shards` ways, repairing
+    /// arrival batches with up to `threads` worker threads.  Results are bit-identical
+    /// to the single-shard engine's for every `(shards, threads)` combination.
+    pub fn from_graph_sharded(
+        graph: impl Into<SocialStore>,
+        config: MonteCarloConfig,
+        shards: usize,
+        threads: usize,
+    ) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        assert!(threads >= 1, "need at least one worker thread");
+        let store = graph.into();
+        let store = if store.shard_count() == shards {
+            store
+        } else {
+            SocialStore::from_graph(store.into_graph(), shards)
+        };
+        let walks = ShardedWalkStore::new(store.node_count(), 2 * config.r, shards);
+        Self::with_store(store, walks, config, threads)
+    }
+}
+
+impl<W: WalkIndexMut + Sync> IncrementalSalsa<W> {
+    fn with_store(store: SocialStore, walks: W, config: MonteCarloConfig, threads: usize) -> Self {
         let node_count = store.node_count();
-        let walks = WalkStore::new(node_count, 2 * config.r);
         let rng = SmallRng::seed_from_u64(config.seed.wrapping_add(0x5a15a));
         let mut engine = IncrementalSalsa {
             store,
@@ -75,9 +139,14 @@ impl IncrementalSalsa {
             config,
             rng,
             work: WorkCounter::new(),
+            threads,
+            batch_index: 0,
             scratch: Vec::new(),
             visiting: Vec::new(),
-            batch_limits: HashMap::new(),
+            candidate_sets: Vec::new(),
+            phase1_times: Vec::new(),
+            rewrites: SegmentRewrites::new(),
+            profile: BatchProfile::default(),
         };
         for node in 0..node_count {
             engine.generate_segments_for(NodeId::from_index(node));
@@ -85,9 +154,15 @@ impl IncrementalSalsa {
         engine
     }
 
-    /// Builds the engine over an empty graph with `node_count` isolated nodes.
-    pub fn new_empty(node_count: usize, config: MonteCarloConfig) -> Self {
-        Self::from_graph(DynamicGraph::with_nodes(node_count), config)
+    /// Accumulated wall-time breakdown of every arrival batch since construction (see
+    /// [`BatchProfile`]).
+    pub fn batch_profile(&self) -> &BatchProfile {
+        &self.profile
+    }
+
+    /// Resets the accumulated batch profile.
+    pub fn reset_batch_profile(&mut self) {
+        self.profile = BatchProfile::default();
     }
 
     /// The engine's configuration.
@@ -101,8 +176,19 @@ impl IncrementalSalsa {
     }
 
     /// The store holding the `2R` SALSA segments per node.
-    pub fn walk_store(&self) -> &WalkStore {
+    pub fn walk_store(&self) -> &W {
         &self.walks
+    }
+
+    /// Number of worker threads the batched reroute pipeline may use.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Sets the worker-thread budget (results are bit-identical for every value).
+    pub fn set_threads(&mut self, threads: usize) {
+        assert!(threads >= 1, "need at least one worker thread");
+        self.threads = threads;
     }
 
     /// Cumulative update work since construction.
@@ -254,44 +340,19 @@ impl IncrementalSalsa {
     }
 
     /// Processes the arrival of `edge`, repairing affected forward and backward steps.
+    ///
+    /// A single arrival is exactly a batch of one: this delegates to
+    /// [`Self::apply_arrivals`], so the two paths are on identical RNG streams.
     pub fn add_edge(&mut self, edge: Edge) -> UpdateStats {
-        let needed = edge.source.index().max(edge.target.index()) + 1;
-        self.ensure_nodes(needed);
-        let prior_out = self.store.out_degree(edge.source);
-        let prior_in = self.store.in_degree(edge.target);
-        self.store.add_edge(edge);
-
-        let mut stats = UpdateStats::default();
-        self.batch_limits.clear();
-        // Forward steps out of u (hub visits to u).
-        self.process_salsa_group(
-            edge.source,
-            prior_out,
-            std::slice::from_ref(&edge.target),
-            true,
-            &mut stats,
-        );
-        // Backward steps out of v (authority visits to v).
-        self.process_salsa_group(
-            edge.target,
-            prior_in,
-            std::slice::from_ref(&edge.source),
-            false,
-            &mut stats,
-        );
-
-        self.work.edges_processed += 1;
-        self.work.segments_updated += stats.segments_updated;
-        self.work.walk_steps += stats.walk_steps;
-        if !stats.touched_walk_store {
-            self.work.arrivals_filtered += 1;
-        }
-        stats
+        self.apply_arrivals(std::slice::from_ref(&edge))
     }
 
     /// Processes a whole batch of edge arrivals, grouping forward coin flips per source
-    /// node and backward coin flips per target node, exactly as
-    /// [`crate::IncrementalPageRank::apply_arrivals`] does for the PageRank walks.
+    /// node and backward coin flips per target node, through the same deterministic
+    /// candidate → reconcile → apply pipeline as
+    /// [`crate::IncrementalPageRank::apply_arrivals`].  A forward and a backward group
+    /// can claim the same segment; as always, the smallest reroute position wins (the
+    /// two directions disturb positions of opposite parity, so no tie is possible).
     pub fn apply_arrivals(&mut self, edges: &[Edge]) -> UpdateStats {
         let mut stats = UpdateStats::default();
         let Some(needed) = edges
@@ -301,6 +362,7 @@ impl IncrementalSalsa {
         else {
             return stats;
         };
+        let batch_started = std::time::Instant::now();
         self.ensure_nodes(needed);
 
         // Forward groups key on the source (out-degree coins), backward groups on the
@@ -318,38 +380,110 @@ impl IncrementalSalsa {
             |e| (e.target, e.source),
             |s, n| s.in_degree(n),
         );
+        let groups: Vec<SalsaGroup> = forward
+            .into_iter()
+            .map(|(pivot, prior_degree, targets)| SalsaGroup {
+                pivot,
+                prior_degree,
+                targets,
+                forward: true,
+            })
+            .chain(
+                backward
+                    .into_iter()
+                    .map(|(pivot, prior_degree, targets)| SalsaGroup {
+                        pivot,
+                        prior_degree,
+                        targets,
+                        forward: false,
+                    }),
+            )
+            .collect();
         for &edge in edges {
             self.store.add_edge(edge);
         }
+        let batch_index = self.batch_index;
+        self.batch_index += 1;
+        let threads = self.threads;
 
-        self.batch_limits.clear();
-        let mut touched_forward: HashSet<NodeId> = HashSet::new();
-        let mut touched_backward: HashSet<NodeId> = HashSet::new();
-        for (u, prior_out, targets) in forward {
-            let before = stats.segments_updated;
-            self.process_salsa_group(u, prior_out, &targets, true, &mut stats);
-            if stats.segments_updated > before {
-                touched_forward.insert(u);
-            }
-        }
-        for (v, prior_in, sources) in backward {
-            let before = stats.segments_updated;
-            self.process_salsa_group(v, prior_in, &sources, false, &mut stats);
-            if stats.segments_updated > before {
-                touched_backward.insert(v);
-            }
+        // Phase 1: candidates, partitioned by the shard owning each segment.
+        let mut sets = std::mem::take(&mut self.candidate_sets);
+        let mut phase1_times = std::mem::take(&mut self.phase1_times);
+        {
+            let graph = self.store.graph();
+            let walks = &self.walks;
+            let config = &self.config;
+            let groups = &groups;
+            let shards = walks.route_shards();
+            let r2 = walks.r();
+            batch::fan_out_candidates(walks, threads, &mut sets, &mut phase1_times, |sid, set| {
+                let mut scratch = std::mem::take(&mut set.scratch);
+                for (gi, group) in groups.iter().enumerate() {
+                    for (id, _) in walks.segments_visiting(group.pivot) {
+                        if shards > 1 && (id.index() / r2) % shards != sid {
+                            continue;
+                        }
+                        if let Some((pos, steps)) = salsa_candidate(
+                            graph,
+                            walks,
+                            config,
+                            batch_index,
+                            group,
+                            id,
+                            &mut scratch,
+                        ) {
+                            set.push(id, pos, gi, steps, &scratch);
+                        }
+                    }
+                }
+                set.scratch = scratch;
+            });
         }
 
-        self.work.edges_processed += edges.len() as u64;
-        self.work.segments_updated += stats.segments_updated;
-        self.work.walk_steps += stats.walk_steps;
+        // Phase 2: reconcile (smallest reroute position wins) into a plan.
+        let winners = batch::reconcile_candidates(&sets);
+        let mut rewrites = std::mem::take(&mut self.rewrites);
+        rewrites.clear();
+        let mut touched = vec![false; groups.len()];
+        for &(si, ci) in &winners {
+            let cand = &sets[si].candidates[ci];
+            rewrites.push(cand.seg, sets[si].path(cand));
+            stats.record_segment(cand.steps);
+            touched[cand.group as usize] = true;
+        }
+
+        // Phase 3: the store applies the plan.
+        self.walks.apply_rewrites(&rewrites, threads);
+        self.profile.record(
+            batch_started.elapsed(),
+            &phase1_times,
+            self.walks.last_apply_shard_times(),
+        );
+        self.candidate_sets = sets;
+        self.phase1_times = phase1_times;
+        self.rewrites = rewrites;
+
         // As in the per-edge path, an arrival counts as filtered when neither of its
         // endpoints' groups disturbed any segment.
+        let mut touched_forward: HashSet<NodeId> = HashSet::new();
+        let mut touched_backward: HashSet<NodeId> = HashSet::new();
+        for (gi, group) in groups.iter().enumerate() {
+            if touched[gi] {
+                if group.forward {
+                    touched_forward.insert(group.pivot);
+                } else {
+                    touched_backward.insert(group.pivot);
+                }
+            }
+        }
         for &edge in edges {
             if !touched_forward.contains(&edge.source) && !touched_backward.contains(&edge.target) {
                 self.work.arrivals_filtered += 1;
             }
         }
+        self.work.edges_processed += edges.len() as u64;
+        self.work.segments_updated += stats.segments_updated;
+        self.work.walk_steps += stats.walk_steps;
         stats
     }
 
@@ -452,99 +586,6 @@ impl IncrementalSalsa {
         }
     }
 
-    /// Repairs the segments visiting `pivot` after it gained `targets.len()` new edges
-    /// in one direction: out-edges when `forward` (the pivot's hub steps changed),
-    /// in-edges otherwise (its authority steps changed).  `prior_degree` is the pivot's
-    /// relevant degree before the group was inserted.
-    fn process_salsa_group(
-        &mut self,
-        pivot: NodeId,
-        prior_degree: usize,
-        targets: &[NodeId],
-        forward: bool,
-        stats: &mut UpdateStats,
-    ) {
-        debug_assert!(!targets.is_empty());
-        let mut visiting = std::mem::take(&mut self.visiting);
-        self.walks.collect_visiting(pivot, &mut visiting);
-        for &id in &visiting {
-            let limit = self.batch_limits.get(&id).copied().unwrap_or(usize::MAX);
-            if limit == 0 {
-                continue;
-            }
-            if let Some(pos) =
-                self.maybe_reroute_group(id, pivot, prior_degree, targets, forward, limit, stats)
-            {
-                let new_limit = match self.config.reroute {
-                    RerouteStrategy::FromUpdatePoint => pos,
-                    RerouteStrategy::FromSource => 0,
-                };
-                self.batch_limits.insert(id, new_limit);
-            }
-        }
-        self.visiting = visiting;
-    }
-
-    /// Decides whether (and where) segment `id` reroutes for a group of new edges at
-    /// `pivot`, performs the repair, and returns the reroute position.
-    #[allow(clippy::too_many_arguments)]
-    fn maybe_reroute_group(
-        &mut self,
-        id: SegmentId,
-        pivot: NodeId,
-        prior_degree: usize,
-        targets: &[NodeId],
-        forward: bool,
-        limit: usize,
-        stats: &mut UpdateStats,
-    ) -> Option<usize> {
-        let k = targets.len();
-        let path_len = self.walks.segment_len(id);
-        if path_len == 0 {
-            return None;
-        }
-        let hub_parity = self.hub_parity(id);
-        let affected_parity = if forward { hub_parity } else { 1 - hub_parity };
-        let last_index = path_len - 1;
-
-        let mut reroute_at: Option<(usize, NodeId)> = None;
-        for pos in self.walks.positions_of(id, pivot) {
-            if pos >= limit {
-                break;
-            }
-            if pos % 2 != affected_parity {
-                continue;
-            }
-            if pos < last_index {
-                // The step leaving this visit now has `prior_degree + k` choices; it
-                // lands on a new edge with probability k/(d₀+k), uniformly among them.
-                if self.rng.gen_bool(k as f64 / (prior_degree + k) as f64) {
-                    let target = walker::pick_new_target(&mut self.rng, targets);
-                    reroute_at = Some((pos, target));
-                    break;
-                }
-            } else if prior_degree == 0 {
-                // The segment previously stopped here because the pivot had no edge in
-                // the required direction.  Forward steps are preceded by a reset coin
-                // (continue with probability 1 − ε); backward steps are unconditional.
-                let continue_probability = if forward {
-                    1.0 - self.config.epsilon
-                } else {
-                    1.0
-                };
-                if self.rng.gen_bool(continue_probability) {
-                    let target = walker::pick_new_target(&mut self.rng, targets);
-                    reroute_at = Some((pos, target));
-                    break;
-                }
-            }
-        }
-
-        let (pos, target) = reroute_at?;
-        self.rebuild_suffix(id, pos, Some(target), forward, stats);
-        Some(pos)
-    }
-
     fn reroute_deleted_traversal(
         &mut self,
         id: SegmentId,
@@ -566,18 +607,15 @@ impl IncrementalSalsa {
         let Some(pos) = pos else {
             return;
         };
-        self.rebuild_suffix(id, pos, None, forward, stats);
+        self.rebuild_deleted_suffix(id, pos, forward, stats);
     }
 
-    /// Rebuilds the suffix of segment `id` after position `pos`.  If `forced_next` is
-    /// set, that node is taken as the next visit (an arrival reroute); otherwise the
-    /// next step is re-sampled (a deletion repair).  `forward` is the direction of the
-    /// step leaving position `pos`.
-    fn rebuild_suffix(
+    /// Rebuilds the suffix of segment `id` after position `pos`, whose outgoing step
+    /// (direction `forward`) traversed a now-deleted edge and must be re-sampled.
+    fn rebuild_deleted_suffix(
         &mut self,
         id: SegmentId,
         pos: usize,
-        forced_next: Option<NodeId>,
         forward: bool,
         stats: &mut UpdateStats,
     ) {
@@ -604,37 +642,29 @@ impl IncrementalSalsa {
         let mut steps = 0u64;
         let mut direction_forward = forward;
 
-        if let Some(next) = forced_next {
+        // Re-sample the step that used to traverse the deleted edge; the reset coin
+        // for a forward step was already spent when the segment was first built.
+        let current = *self.scratch.last().expect("prefix is non-empty");
+        let next = if direction_forward {
+            self.store
+                .graph()
+                .random_out_neighbor(current, &mut self.rng)
+        } else {
+            self.store
+                .graph()
+                .random_in_neighbor(current, &mut self.rng)
+        };
+        if let Some(next) = next {
             if self.scratch.len() < self.config.max_segment_length {
                 self.scratch.push(next);
                 steps += 1;
                 direction_forward = !direction_forward;
             }
         } else {
-            // Re-sample the step that used to traverse the deleted edge; the reset coin
-            // for a forward step was already spent when the segment was first built.
-            let current = *self.scratch.last().expect("prefix is non-empty");
-            let next = if direction_forward {
-                self.store
-                    .graph()
-                    .random_out_neighbor(current, &mut self.rng)
-            } else {
-                self.store
-                    .graph()
-                    .random_in_neighbor(current, &mut self.rng)
-            };
-            if let Some(next) = next {
-                if self.scratch.len() < self.config.max_segment_length {
-                    self.scratch.push(next);
-                    steps += 1;
-                    direction_forward = !direction_forward;
-                }
-            } else {
-                // The pivot lost its last edge in that direction: the segment now ends here.
-                self.walks.set_segment(id, &self.scratch);
-                stats.record_segment(steps);
-                return;
-            }
+            // The pivot lost its last edge in that direction: the segment now ends here.
+            self.walks.set_segment(id, &self.scratch);
+            stats.record_segment(steps);
+            return;
         }
 
         // Continue the alternating walk until a reset / missing edge / the length cap.
@@ -650,6 +680,106 @@ impl IncrementalSalsa {
         self.walks.set_segment(id, &self.scratch);
         stats.record_segment(steps);
     }
+}
+
+/// Decides whether (and where) segment `id` reroutes for one SALSA arrival group,
+/// drawing from the repair's own split RNG stream, and on a hit generates the full
+/// replacement path into `scratch` against the post-batch graph.  See
+/// [`crate::incremental`]'s `pagerank_candidate` for why reading only the pre-batch
+/// path is sound.
+fn salsa_candidate<W: WalkIndex>(
+    graph: &DynamicGraph,
+    walks: &W,
+    config: &MonteCarloConfig,
+    batch_index: u64,
+    group: &SalsaGroup,
+    id: SegmentId,
+    scratch: &mut Vec<NodeId>,
+) -> Option<(usize, u64)> {
+    let path = walks.segment_path(id);
+    if path.is_empty() {
+        return None;
+    }
+    let k = group.targets.len();
+    let r2 = walks.r();
+    let hub_parity = if id.slot(r2) < r2 / 2 { 0 } else { 1 };
+    let affected_parity = if group.forward {
+        hub_parity
+    } else {
+        1 - hub_parity
+    };
+    let last_index = path.len() - 1;
+    let mut rng = SmallRng::seed_from_u64(batch::repair_seed(
+        config.seed,
+        batch_index,
+        group.pivot,
+        id,
+        !group.forward,
+    ));
+
+    let mut reroute_at: Option<(usize, NodeId)> = None;
+    for (pos, &visit) in path.iter().enumerate() {
+        if visit != group.pivot || pos % 2 != affected_parity {
+            continue;
+        }
+        if pos < last_index {
+            // The step leaving this visit now has `prior_degree + k` choices; it lands
+            // on a new edge with probability k/(d₀+k), uniformly among them.
+            if rng.gen_bool(k as f64 / (group.prior_degree + k) as f64) {
+                let target = walker::pick_new_target(&mut rng, &group.targets);
+                reroute_at = Some((pos, target));
+                break;
+            }
+        } else if group.prior_degree == 0 {
+            // The segment previously stopped here because the pivot had no edge in
+            // the required direction.  Forward steps are preceded by a reset coin
+            // (continue with probability 1 − ε); backward steps are unconditional.
+            let continue_probability = if group.forward {
+                1.0 - config.epsilon
+            } else {
+                1.0
+            };
+            if rng.gen_bool(continue_probability) {
+                let target = walker::pick_new_target(&mut rng, &group.targets);
+                reroute_at = Some((pos, target));
+                break;
+            }
+        }
+    }
+
+    let (pos, target) = reroute_at?;
+    let steps = match config.reroute {
+        RerouteStrategy::FromUpdatePoint => {
+            scratch.clear();
+            scratch.extend_from_slice(&path[..=pos]);
+            let mut steps = 0u64;
+            let mut direction_forward = group.forward;
+            if scratch.len() < config.max_segment_length {
+                scratch.push(target);
+                steps += 1;
+                direction_forward = !direction_forward;
+            }
+            steps += walker::extend_salsa_walk(
+                graph,
+                scratch,
+                direction_forward,
+                config.epsilon,
+                config.max_segment_length,
+                &mut rng,
+            );
+            steps
+        }
+        RerouteStrategy::FromSource => walker::salsa_segment_into(
+            graph,
+            id.source(r2),
+            id.slot(r2) < r2 / 2,
+            config.epsilon,
+            config.max_segment_length,
+            &mut rng,
+            scratch,
+        ),
+    };
+    Some((pos, steps))
 }
 
 fn normalize(counts: &[u64]) -> Vec<f64> {
@@ -770,6 +900,46 @@ mod tests {
         );
         // Empty batches are a no-op.
         assert_eq!(engine.apply_arrivals(&[]), UpdateStats::default());
+    }
+
+    #[test]
+    fn batched_and_sequential_single_edges_agree() {
+        // add_edge is a batch of one: identical RNG streams, identical reroutes.
+        let g = directed_cycle(10);
+        let mut a = IncrementalSalsa::from_graph(&g, config(4, 22));
+        let mut b = IncrementalSalsa::from_graph(&g, config(4, 22));
+        for edge in [Edge::new(0, 5), Edge::new(3, 7), Edge::new(7, 0)] {
+            let sa = a.add_edge(edge);
+            let sb = b.apply_arrivals(std::slice::from_ref(&edge));
+            assert_eq!(sa, sb);
+        }
+        let ea = a.estimates();
+        let eb = b.estimates();
+        assert_eq!(ea.hubs, eb.hubs);
+        assert_eq!(ea.authorities, eb.authorities);
+    }
+
+    #[test]
+    fn sharded_salsa_is_bit_identical_to_single_shard() {
+        let pa = PreferentialAttachmentConfig::new(60, 3, 24);
+        let edges = preferential_attachment_edges(&pa);
+        let mut flat = IncrementalSalsa::new_empty(60, config(3, 26));
+        let mut sharded =
+            IncrementalSalsa::from_graph_sharded(DynamicGraph::with_nodes(60), config(3, 26), 4, 4);
+        for chunk in edges.chunks(31) {
+            let sa = flat.apply_arrivals(chunk);
+            let sb = sharded.apply_arrivals(chunk);
+            assert_eq!(sa, sb, "batch stats must match");
+        }
+        let ea = flat.estimates();
+        let eb = sharded.estimates();
+        assert_eq!(ea.hubs, eb.hubs);
+        assert_eq!(ea.authorities, eb.authorities);
+        assert_eq!(
+            WalkIndex::visit_counts(flat.walk_store()),
+            sharded.walk_store().visit_counts()
+        );
+        sharded.validate_segments().unwrap();
     }
 
     #[test]

@@ -3,9 +3,16 @@
 //! [`WalkIndex`] is the read surface of the PageRank Store: segment paths, per-node
 //! visit postings, and the exact `W(v)` / total-visit counters.  The Monte Carlo
 //! engines, the personalized walker of Algorithm 1, and the global estimator are all
-//! written against this trait, so the storage layout ([`crate::arena`] +
-//! [`crate::postings`] today) can evolve — sharded stores, mmap-backed arenas — without
+//! written against this trait, so the storage layout can evolve — the flat-arena
+//! [`WalkStore`], the sharded [`crate::ShardedWalkStore`], mmap-backed arenas — without
 //! touching a single engine.
+//!
+//! [`WalkIndexMut`] is the matching write surface: growing the node set, rewriting or
+//! clearing one segment, and applying a whole [`SegmentRewrites`] plan at once.  The
+//! plan-based entry point is what makes parallel maintenance possible: the engines
+//! compute every repair against the immutable pre-batch store, then hand the finished
+//! plan to the store, which is free to apply it with one thread or many — the result is
+//! identical either way.
 
 use crate::segment::SegmentId;
 use crate::walks::WalkStore;
@@ -42,17 +49,183 @@ pub trait WalkIndex {
         self.segments_visiting(node).count()
     }
 
+    /// Number of visits in segment `id`.
+    fn segment_len(&self, id: SegmentId) -> usize {
+        self.segment_path(id).len()
+    }
+
+    /// `true` when segment `id` has not been generated yet.
+    fn segment_is_empty(&self, id: SegmentId) -> bool {
+        self.segment_len(id) == 0
+    }
+
+    /// The first visit of segment `id` (its source), if generated.
+    fn segment_source(&self, id: SegmentId) -> Option<NodeId> {
+        self.segment_path(id).first().copied()
+    }
+
+    /// The last visit of segment `id` (where the reset happened), if generated.
+    fn segment_last(&self, id: SegmentId) -> Option<NodeId> {
+        self.segment_path(id).last().copied()
+    }
+
+    /// Positions (indices into the path) at which segment `id` visits `node`, in
+    /// increasing order, without allocating.
+    fn positions_of(&self, id: SegmentId, node: NodeId) -> impl Iterator<Item = usize> + '_ {
+        self.segment_path(id)
+            .iter()
+            .enumerate()
+            .filter_map(move |(i, &v)| (v == node).then_some(i))
+    }
+
+    /// The first position at which segment `id` traverses the directed edge
+    /// `from -> to`, if any.
+    fn first_traversal(&self, id: SegmentId, from: NodeId, to: NodeId) -> Option<usize> {
+        self.segment_path(id)
+            .windows(2)
+            .position(|w| w[0] == from && w[1] == to)
+    }
+
+    /// Whether segment `id` traverses the directed edge `from -> to` at any step.
+    fn uses_edge(&self, id: SegmentId, from: NodeId, to: NodeId) -> bool {
+        self.first_traversal(id, from, to).is_some()
+    }
+
     /// Total walk-segment visits to `node` (the paper's `W(v)` / the estimator's `X_v`).
     fn visit_count(&self, node: NodeId) -> u64;
 
-    /// The full visit-count vector, indexed by node.
-    fn visit_counts(&self) -> &[u64];
+    /// The full visit-count vector, indexed by node (materialized: a sharded store
+    /// keeps the counters striped per shard).
+    fn visit_counts(&self) -> Vec<u64>;
 
     /// Sum of all visit counts (total stored walk length).
     fn total_visits(&self) -> u64;
 
     /// The Section 2.2 pre-filter probability `1 - (1 - 1/d)^{W(v)}`.
-    fn update_probability(&self, node: NodeId, out_degree: usize) -> f64;
+    fn update_probability(&self, node: NodeId, out_degree: usize) -> f64 {
+        if out_degree == 0 {
+            return 0.0;
+        }
+        let w = self.visit_count(node);
+        1.0 - (1.0 - 1.0 / out_degree as f64).powi(i32::try_from(w.min(i32::MAX as u64)).unwrap())
+    }
+
+    /// Number of shards repair work against this store can be routed over (`1` for the
+    /// single-shard [`WalkStore`]).  Engines use this as the partition width of their
+    /// parallel reroute fan-out; the answer never affects results, only scheduling.
+    fn route_shards(&self) -> usize {
+        1
+    }
+}
+
+/// A batch of segment rewrites, stored flat: each entry replaces one segment's whole
+/// path.  Built by the engines' batched reroute path and consumed by
+/// [`WalkIndexMut::apply_rewrites`]; the flat layout (one id vector, one bounds vector,
+/// one step buffer) keeps plan construction allocation-free in steady state.
+#[derive(Debug, Clone)]
+pub struct SegmentRewrites {
+    ids: Vec<SegmentId>,
+    /// `bounds[k]..bounds[k + 1]` is entry `k`'s slice of `steps`.
+    bounds: Vec<usize>,
+    steps: Vec<NodeId>,
+}
+
+impl Default for SegmentRewrites {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SegmentRewrites {
+    /// Creates an empty plan.
+    pub fn new() -> Self {
+        SegmentRewrites {
+            ids: Vec::new(),
+            bounds: vec![0],
+            steps: Vec::new(),
+        }
+    }
+
+    /// Empties the plan, keeping its buffers for reuse.
+    pub fn clear(&mut self) {
+        self.ids.clear();
+        self.bounds.truncate(1);
+        self.steps.clear();
+    }
+
+    /// Appends one rewrite: segment `id`'s path becomes `path`.
+    pub fn push(&mut self, id: SegmentId, path: &[NodeId]) {
+        self.ids.push(id);
+        self.steps.extend_from_slice(path);
+        self.bounds.push(self.steps.len());
+    }
+
+    /// Number of rewrites in the plan.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// `true` when the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The `k`-th rewrite as `(segment, new path)`.
+    pub fn get(&self, k: usize) -> (SegmentId, &[NodeId]) {
+        (self.ids[k], &self.steps[self.bounds[k]..self.bounds[k + 1]])
+    }
+
+    /// Iterates the rewrites in plan order.
+    pub fn iter(&self) -> impl Iterator<Item = (SegmentId, &[NodeId])> + '_ {
+        (0..self.len()).map(move |k| self.get(k))
+    }
+}
+
+/// Write access to a PageRank Store.
+///
+/// The contract every implementation shares: after any sequence of calls, the visit
+/// postings, the `W(v)` counters, and `total_visits` describe exactly the union of the
+/// currently stored segment paths ([`WalkIndexMut::check_consistency`] verifies this
+/// from scratch).  [`WalkIndexMut::apply_rewrites`] must be observationally equivalent
+/// to calling [`WalkIndexMut::set_segment`] for each plan entry in order, for every
+/// `threads` value — that equivalence is what lets a sharded store parallelize the
+/// apply without the engines caring.
+pub trait WalkIndexMut: WalkIndex {
+    /// Grows the store to address at least `n` nodes (new nodes start with empty
+    /// segments).
+    fn ensure_nodes(&mut self, n: usize);
+
+    /// Replaces the path of segment `id`, keeping every index consistent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new path is non-empty and does not start at the segment's source
+    /// node, or if it visits a node outside the store.
+    fn set_segment(&mut self, id: SegmentId, path: &[NodeId]);
+
+    /// Clears the segment with the given id (used before regenerating it from scratch).
+    fn clear_segment(&mut self, id: SegmentId);
+
+    /// Recomputes the visit index from scratch and compares it against the maintained
+    /// counters and postings.
+    fn check_consistency(&self) -> Result<(), String>;
+
+    /// Applies a whole rewrite plan, optionally with up to `threads` worker threads.
+    /// Must produce exactly the state sequential [`WalkIndexMut::set_segment`] calls
+    /// would; the default implementation is that sequential loop.
+    fn apply_rewrites(&mut self, rewrites: &SegmentRewrites, threads: usize) {
+        let _ = threads;
+        for (id, path) in rewrites.iter() {
+            self.set_segment(id, path);
+        }
+    }
+
+    /// Wall time each shard spent on the most recent [`Self::apply_rewrites`] call, if
+    /// the store partitions that work per shard (empty for single-shard layouts).
+    /// Observability only — never affects results.
+    fn last_apply_shard_times(&self) -> &[std::time::Duration] {
+        &[]
+    }
 }
 
 impl WalkIndex for WalkStore {
@@ -85,13 +258,17 @@ impl WalkIndex for WalkStore {
     }
 
     #[inline]
+    fn segment_len(&self, id: SegmentId) -> usize {
+        WalkStore::segment_len(self, id)
+    }
+
+    #[inline]
     fn visit_count(&self, node: NodeId) -> u64 {
         WalkStore::visit_count(self, node)
     }
 
-    #[inline]
-    fn visit_counts(&self) -> &[u64] {
-        WalkStore::visit_counts(self)
+    fn visit_counts(&self) -> Vec<u64> {
+        WalkStore::visit_counts(self).to_vec()
     }
 
     #[inline]
@@ -101,6 +278,24 @@ impl WalkIndex for WalkStore {
 
     fn update_probability(&self, node: NodeId, out_degree: usize) -> f64 {
         WalkStore::update_probability(self, node, out_degree)
+    }
+}
+
+impl WalkIndexMut for WalkStore {
+    fn ensure_nodes(&mut self, n: usize) {
+        WalkStore::ensure_nodes(self, n);
+    }
+
+    fn set_segment(&mut self, id: SegmentId, path: &[NodeId]) {
+        WalkStore::set_segment(self, id, path);
+    }
+
+    fn clear_segment(&mut self, id: SegmentId) {
+        WalkStore::clear_segment(self, id);
+    }
+
+    fn check_consistency(&self) -> Result<(), String> {
+        WalkStore::check_consistency(self)
     }
 }
 
@@ -139,10 +334,79 @@ mod tests {
         assert_eq!(buf, vec![id]);
         assert_eq!(WalkIndex::distinct_visitors(&store, NodeId(2)), 1);
         assert_eq!(WalkIndex::visit_count(&store, NodeId(2)), 2);
-        assert_eq!(WalkIndex::visit_counts(&store), &[0, 1, 2, 0]);
+        assert_eq!(WalkIndex::visit_counts(&store), vec![0, 1, 2, 0]);
         assert_eq!(WalkIndex::total_visits(&store), 3);
         let p = WalkIndex::update_probability(&store, NodeId(2), 2);
         assert!((p - 0.75).abs() < 1e-12);
         assert_eq!(WalkIndex::update_probability(&store, NodeId(2), 0), 0.0);
+        assert_eq!(WalkIndex::route_shards(&store), 1);
+    }
+
+    #[test]
+    fn default_path_helpers_read_through_segment_path() {
+        let mut store = WalkStore::new(4, 1);
+        let id = SegmentId::new(NodeId(0), 0, 1);
+        store.set_segment(id, &[NodeId(0), NodeId(1), NodeId(2), NodeId(1)]);
+        assert_eq!(WalkIndex::segment_len(&store, id), 4);
+        assert!(!WalkIndex::segment_is_empty(&store, id));
+        assert_eq!(WalkIndex::segment_source(&store, id), Some(NodeId(0)));
+        assert_eq!(WalkIndex::segment_last(&store, id), Some(NodeId(1)));
+        assert_eq!(
+            WalkIndex::positions_of(&store, id, NodeId(1)).collect::<Vec<_>>(),
+            [1, 3]
+        );
+        assert_eq!(
+            WalkIndex::first_traversal(&store, id, NodeId(2), NodeId(1)),
+            Some(2)
+        );
+        assert!(WalkIndex::uses_edge(&store, id, NodeId(1), NodeId(2)));
+        assert!(!WalkIndex::uses_edge(&store, id, NodeId(2), NodeId(0)));
+    }
+
+    #[test]
+    fn rewrite_plan_roundtrips_and_reuses_buffers() {
+        let mut plan = SegmentRewrites::new();
+        assert!(plan.is_empty());
+        plan.push(SegmentId(3), &[NodeId(1), NodeId(2)]);
+        plan.push(SegmentId(0), &[]);
+        plan.push(SegmentId(7), &[NodeId(4)]);
+        assert_eq!(plan.len(), 3);
+        let collected: Vec<(SegmentId, Vec<NodeId>)> =
+            plan.iter().map(|(id, path)| (id, path.to_vec())).collect();
+        assert_eq!(
+            collected,
+            vec![
+                (SegmentId(3), vec![NodeId(1), NodeId(2)]),
+                (SegmentId(0), vec![]),
+                (SegmentId(7), vec![NodeId(4)]),
+            ]
+        );
+        plan.clear();
+        assert!(plan.is_empty());
+        plan.push(SegmentId(1), &[NodeId(0)]);
+        assert_eq!(plan.get(0), (SegmentId(1), &[NodeId(0)][..]));
+    }
+
+    #[test]
+    fn default_apply_rewrites_equals_sequential_set_segment() {
+        let mut plan = SegmentRewrites::new();
+        plan.push(SegmentId::new(NodeId(0), 0, 1), &[NodeId(0), NodeId(1)]);
+        plan.push(SegmentId::new(NodeId(2), 0, 1), &[NodeId(2), NodeId(1)]);
+        // The same segment twice: later entries win, exactly as sequential calls would.
+        plan.push(SegmentId::new(NodeId(0), 0, 1), &[NodeId(0), NodeId(2)]);
+
+        let mut via_plan = WalkStore::new(3, 1);
+        via_plan.apply_rewrites(&plan, 8);
+        let mut via_calls = WalkStore::new(3, 1);
+        for (id, path) in plan.iter() {
+            WalkIndexMut::set_segment(&mut via_calls, id, path);
+        }
+        assert_eq!(via_plan.visit_counts(), via_calls.visit_counts());
+        assert_eq!(via_plan.total_visits(), via_calls.total_visits());
+        assert_eq!(
+            WalkIndex::segment_path(&via_plan, SegmentId::new(NodeId(0), 0, 1)),
+            &[NodeId(0), NodeId(2)]
+        );
+        assert!(via_plan.check_consistency().is_ok());
     }
 }

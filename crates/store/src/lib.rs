@@ -15,8 +15,12 @@
 //!   CSR-style visit [`postings`] (sorted `(SegmentId, count)` runs with a lazily
 //!   merged delta overlay).
 //!
-//! Engines consume the PageRank Store exclusively through the [`index::WalkIndex`]
-//! API layer, so the memory layout can keep evolving without touching them.
+//! Engines consume the PageRank Store exclusively through the [`index::WalkIndex`] /
+//! [`index::WalkIndexMut`] API layer, so the memory layout can keep evolving without
+//! touching them.  Two layouts ship today: the single-shard [`walks::WalkStore`] and
+//! the [`sharded::ShardedWalkStore`], which splits the arena and the postings into `S`
+//! shards keyed by `node_id % S` (the same [`routing`] rule as the Social Store) and
+//! applies whole rewrite plans with one worker thread per shard.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -25,14 +29,17 @@ pub mod arena;
 pub mod index;
 pub mod metrics;
 pub mod postings;
+pub mod routing;
 pub mod segment;
+pub mod sharded;
 pub mod social;
 pub mod walks;
 
 pub use arena::ArenaStats;
-pub use index::WalkIndex;
-pub use metrics::{StoreMetrics, WorkCounter};
+pub use index::{SegmentRewrites, WalkIndex, WalkIndexMut};
+pub use metrics::{ShardLoad, StoreMetrics, WorkCounter};
 pub use postings::VisitPostings;
 pub use segment::SegmentId;
+pub use sharded::ShardedWalkStore;
 pub use social::SocialStore;
 pub use walks::WalkStore;

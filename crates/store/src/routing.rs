@@ -1,0 +1,77 @@
+//! Shard placement shared by every sharded store.
+//!
+//! Both the Social Store (the distributed graph) and the sharded PageRank Store
+//! ([`crate::ShardedWalkStore`]) place a node by the same rule, so an arrival group for
+//! source `u` is routed to the shard that owns both `u`'s adjacency *and* `u`'s visit
+//! postings.  Keeping the rule in one place is load-bearing: if the two stores ever
+//! disagreed on a node's shard, the parallel reroute path would scan one shard's
+//! postings while writing another shard's arena.
+
+use ppr_graph::NodeId;
+
+/// The shard a node lives on: simple modulo placement over `shard_count` shards.
+///
+/// # Panics
+///
+/// Panics if `shard_count` is zero.
+#[inline]
+pub fn shard_of(node: NodeId, shard_count: usize) -> usize {
+    assert!(shard_count >= 1, "need at least one shard");
+    node.index() % shard_count
+}
+
+/// The index of `node` within its shard's dense local arrays: the `i`-th node placed on
+/// a shard gets local index `i`.
+#[inline]
+pub fn local_index(node: NodeId, shard_count: usize) -> usize {
+    debug_assert!(shard_count >= 1);
+    node.index() / shard_count
+}
+
+/// Number of nodes out of a store of `node_count` nodes that land on shard `shard`.
+#[inline]
+pub fn shard_len(node_count: usize, shard_count: usize, shard: usize) -> usize {
+    debug_assert!(shard < shard_count);
+    (node_count + shard_count - 1 - shard) / shard_count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modulo_placement_round_trips_through_local_indices() {
+        for shard_count in 1..6usize {
+            let mut seen = vec![0usize; shard_count];
+            for g in 0..40u32 {
+                let node = NodeId(g);
+                let shard = shard_of(node, shard_count);
+                let local = local_index(node, shard_count);
+                assert_eq!(shard, g as usize % shard_count);
+                assert_eq!(local, seen[shard], "local indices are dense per shard");
+                seen[shard] += 1;
+            }
+            for (shard, &count) in seen.iter().enumerate() {
+                assert_eq!(shard_len(40, shard_count, shard), count);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_len_covers_every_node_exactly_once() {
+        for node_count in [0usize, 1, 5, 17, 64] {
+            for shard_count in 1..8usize {
+                let total: usize = (0..shard_count)
+                    .map(|s| shard_len(node_count, shard_count, s))
+                    .sum();
+                assert_eq!(total, node_count);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = shard_of(NodeId(0), 0);
+    }
+}

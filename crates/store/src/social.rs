@@ -69,9 +69,11 @@ impl SocialStore {
         self.graph.edge_count()
     }
 
-    /// The shard a node lives on (simple modulo placement).
+    /// The shard a node lives on — the shared [`crate::routing::shard_of`] modulo rule,
+    /// so the Social Store and a [`crate::ShardedWalkStore`] with the same shard count
+    /// always agree on a node's placement.
     pub fn shard_of(&self, node: NodeId) -> usize {
-        node.index() % self.shard_count
+        crate::routing::shard_of(node, self.shard_count)
     }
 
     /// Number of shards.
@@ -265,6 +267,29 @@ mod tests {
     #[should_panic(expected = "need at least one shard")]
     fn zero_shards_rejected() {
         let _ = SocialStore::new(1, 0);
+    }
+
+    #[test]
+    fn shard_placement_never_disagrees_with_the_sharded_walk_store() {
+        // Regression: `shard_of` used to be an inline `node % shard_count` here and a
+        // separate computation in the PageRank Store; both now route through
+        // `routing::shard_of`, and this test pins the agreement for good.
+        for shard_count in 1..9usize {
+            let social = SocialStore::new(64, shard_count);
+            let walks = crate::ShardedWalkStore::new(64, 2, shard_count);
+            for node in 0..64u32 {
+                let node = NodeId(node);
+                assert_eq!(
+                    social.shard_of(node),
+                    walks.shard_of(node),
+                    "stores disagree on node {node} with {shard_count} shards"
+                );
+                assert_eq!(
+                    social.shard_of(node),
+                    crate::routing::shard_of(node, shard_count)
+                );
+            }
+        }
     }
 
     #[test]

@@ -69,7 +69,8 @@ pub mod prelude {
     pub use ppr_graph::generators::preferential_attachment;
     pub use ppr_graph::view::GraphView;
     pub use ppr_graph::{Edge, NodeId};
-    pub use ppr_store::index::WalkIndex;
+    pub use ppr_store::index::{WalkIndex, WalkIndexMut};
+    pub use ppr_store::sharded::ShardedWalkStore;
     pub use ppr_store::social::SocialStore;
     pub use ppr_store::walks::WalkStore;
 }

@@ -96,6 +96,117 @@ fn deletions_keep_estimates_consistent() {
     );
 }
 
+/// Deletion-then-recount invariant: after every deletion, the store's postings and
+/// counters equal a from-scratch recount of the stored paths, no segment traverses a
+/// fully deleted edge, and this holds equally on the flat and the sharded layouts.
+/// (`remove_edge` had unit tests but no end-to-end/property coverage; this also seeds
+/// the ROADMAP's "batched deletions" item with a correctness oracle.)
+#[test]
+fn deletions_keep_stores_exactly_consistent_on_both_layouts() {
+    let nodes = 120;
+    let edges = preferential_attachment_edges(&PreferentialAttachmentConfig::new(nodes, 5, 47));
+    let config = MonteCarloConfig::new(0.2, 6).with_seed(49);
+    let mut flat = IncrementalPageRank::new_empty(nodes, config);
+    let mut sharded =
+        IncrementalPageRank::from_graph_sharded(DynamicGraph::with_nodes(nodes), config, 4, 4);
+    flat.apply_arrivals(&edges);
+    sharded.apply_arrivals(&edges);
+
+    let victims: Vec<Edge> = edges.iter().copied().step_by(4).take(120).collect();
+    for (i, &edge) in victims.iter().enumerate() {
+        let a = flat.remove_edge(edge);
+        let b = sharded.remove_edge(edge);
+        assert_eq!(a, b, "deletion {i} stats diverge between layouts");
+        if i % 20 == 0 {
+            // Recount from scratch: every maintained index must match exactly.
+            flat.walk_store().check_consistency().unwrap();
+            WalkIndexMut::check_consistency(sharded.walk_store()).unwrap();
+            flat.validate_segments().unwrap();
+            sharded.validate_segments().unwrap();
+        }
+        // A fully deleted edge may no longer be traversed by any stored segment.
+        if !flat.graph().has_edge(edge) {
+            for node in flat.graph().nodes() {
+                for id in flat.walk_store().segment_ids_of(node) {
+                    assert!(
+                        !flat.walk_store().uses_edge(id, edge.source, edge.target),
+                        "segment {id:?} still traverses deleted edge {edge}"
+                    );
+                }
+            }
+        }
+    }
+    assert_eq!(flat.scores(), sharded.scores());
+    assert_eq!(
+        WalkIndex::visit_counts(flat.walk_store()),
+        sharded.walk_store().visit_counts()
+    );
+}
+
+/// Sequential vs batch-replay deletion oracle: deleting a source's edges one at a time
+/// from a fully built engine must leave the walk store in a state equivalent to
+/// rebuilding from the smaller edge set — same validity, exact index consistency, and
+/// estimates that still track power iteration on the post-deletion graph.  When
+/// deletions are batched per source (ROADMAP), this test is the baseline the batched
+/// path must reproduce.
+#[test]
+fn sequential_deletions_match_a_batch_replay_of_the_surviving_stream() {
+    let nodes = 200;
+    let edges = preferential_attachment_edges(&PreferentialAttachmentConfig::new(nodes, 5, 51));
+    let config = MonteCarloConfig::new(0.2, 10).with_seed(53);
+
+    // Engine A: build everything, then delete every edge of a hot source one by one.
+    let victim_source = edges[0].source;
+    let mut engine = IncrementalPageRank::new_empty(nodes, config);
+    engine.apply_arrivals(&edges);
+    let victims: Vec<Edge> = edges
+        .iter()
+        .copied()
+        .filter(|e| e.source == victim_source)
+        .collect();
+    assert!(
+        victims.len() > 1,
+        "the victim source must lose several edges"
+    );
+    for &edge in &victims {
+        engine.remove_edge(edge).expect("victim edges exist");
+    }
+    engine.validate_segments().unwrap();
+    engine.walk_store().check_consistency().unwrap();
+
+    // Engine B: replay only the surviving edges in batches.
+    let survivors: Vec<Edge> = edges
+        .iter()
+        .copied()
+        .filter(|e| e.source != victim_source)
+        .collect();
+    let mut replay = IncrementalPageRank::new_empty(nodes, config);
+    for chunk in survivors.chunks(64) {
+        replay.apply_arrivals(chunk);
+    }
+    replay.validate_segments().unwrap();
+
+    // Both graphs now agree, and both estimate the same stationary distribution.
+    assert_eq!(engine.graph().edge_count(), replay.graph().edge_count());
+    let exact = power_iteration(engine.graph(), &PowerIterationConfig::with_epsilon(0.2));
+    let tvd_deleted = engine.estimates().total_variation_distance(&exact.scores);
+    let tvd_replayed = replay.estimates().total_variation_distance(&exact.scores);
+    assert!(
+        tvd_deleted < 0.12,
+        "deletion-maintained estimates drifted, TVD = {tvd_deleted:.4}"
+    );
+    assert!(
+        tvd_deleted < tvd_replayed * 2.0 + 0.02,
+        "deletions (TVD {tvd_deleted:.4}) should match a from-scratch replay \
+         (TVD {tvd_replayed:.4})"
+    );
+    // The deleted source is dangling now: none of its segments may leave it.
+    assert_eq!(engine.graph().out_degree(victim_source), 0);
+    for id in engine.walk_store().segment_ids_of(victim_source) {
+        assert_eq!(engine.walk_store().segment_len(id), 1);
+    }
+}
+
 /// Monte Carlo SALSA authorities agree with the exact SALSA iteration, end to end.
 #[test]
 fn monte_carlo_salsa_matches_exact_salsa() {
