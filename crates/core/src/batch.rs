@@ -68,6 +68,24 @@ pub(crate) fn group_arrivals(
     groups
 }
 
+/// Groups a batch of *successfully removed* edges per source node in
+/// first-occurrence order.  Unlike arrivals, no pre-batch degree capture is needed:
+/// deletion rerouting is deterministic — a segment reroutes iff it traverses an edge
+/// that no longer exists after the batch — so a group only carries the pivot and its
+/// removed targets.
+pub(crate) fn group_deletions(edges: &[Edge]) -> Vec<(NodeId, Vec<NodeId>)> {
+    let mut groups: Vec<(NodeId, Vec<NodeId>)> = Vec::new();
+    let mut index: HashMap<NodeId, usize> = HashMap::new();
+    for &edge in edges {
+        let slot = *index.entry(edge.source).or_insert_with(|| {
+            groups.push((edge.source, Vec::new()));
+            groups.len() - 1
+        });
+        groups[slot].1.push(edge.target);
+    }
+    groups
+}
+
 /// Derives the RNG seed of one `(batch, pivot, segment)` repair stream.
 ///
 /// The split is deliberately finer than one stream per shard: seeding per repair
@@ -209,12 +227,21 @@ pub(crate) fn fan_out_candidates<W, F>(
 /// they never influence results.
 #[derive(Debug, Clone, Default)]
 pub struct BatchProfile {
-    /// Total wall time spent inside `apply_arrivals`.
+    /// Total wall time spent inside `apply_arrivals` (and `apply_deletions`).
     pub total: Duration,
     /// Per-shard wall time of candidate generation (phase 1).
     pub phase1_shard_times: Vec<Duration>,
     /// Per-shard wall time of plan application (phase 3).
     pub apply_shard_times: Vec<Duration>,
+    /// Arena compaction passes triggered by the profiled batches.  Compactions run
+    /// inline on the apply path, so they are the latency-tail component the ROADMAP's
+    /// "compaction policy tuning" item asks to measure.
+    pub compactions: u64,
+    /// Wall time spent inside those compaction passes (contained in
+    /// [`BatchProfile::total`]; the pause the slowest batch actually felt).
+    pub compaction_time: Duration,
+    /// Live walk steps the compaction passes copied (4 bytes each).
+    pub compaction_steps_moved: u64,
 }
 
 impl BatchProfile {
@@ -231,6 +258,19 @@ impl BatchProfile {
         self.total += total;
         Self::add_shard_times(&mut self.phase1_shard_times, phase1);
         Self::add_shard_times(&mut self.apply_shard_times, apply);
+    }
+
+    /// Charges the arena-compaction delta of one batch (stats captured before and
+    /// after the batch) to the profile.
+    pub(crate) fn record_compactions(
+        &mut self,
+        before: &ppr_store::ArenaStats,
+        after: &ppr_store::ArenaStats,
+    ) {
+        self.compactions += after.compactions - before.compactions;
+        self.compaction_time +=
+            Duration::from_nanos(after.compaction_nanos - before.compaction_nanos);
+        self.compaction_steps_moved += after.compaction_steps_moved - before.compaction_steps_moved;
     }
 
     /// The accumulated wall time with each parallel phase charged its slowest shard:
@@ -393,6 +433,47 @@ mod tests {
                 assert_eq!(set.candidates[0].seg, SegmentId(sid as u32));
             }
         }
+    }
+
+    #[test]
+    fn deletion_groups_preserve_first_occurrence_order_and_multiplicity() {
+        let batch = [
+            Edge::new(5, 1),
+            Edge::new(0, 3),
+            Edge::new(5, 1), // parallel deletion
+            Edge::new(5, 2),
+        ];
+        let groups = group_deletions(&batch);
+        assert_eq!(
+            groups,
+            vec![
+                (NodeId(5), vec![NodeId(1), NodeId(1), NodeId(2)]),
+                (NodeId(0), vec![NodeId(3)]),
+            ]
+        );
+        assert!(group_deletions(&[]).is_empty());
+    }
+
+    #[test]
+    fn compaction_deltas_accumulate_into_the_profile() {
+        let before = ppr_store::ArenaStats {
+            compactions: 1,
+            compaction_nanos: 500,
+            compaction_steps_moved: 10,
+            ..Default::default()
+        };
+        let after = ppr_store::ArenaStats {
+            compactions: 3,
+            compaction_nanos: 2_500,
+            compaction_steps_moved: 250,
+            ..Default::default()
+        };
+        let mut profile = BatchProfile::default();
+        profile.record_compactions(&before, &after);
+        profile.record_compactions(&after, &after); // no-op delta
+        assert_eq!(profile.compactions, 2);
+        assert_eq!(profile.compaction_time, Duration::from_nanos(2_000));
+        assert_eq!(profile.compaction_steps_moved, 240);
     }
 
     #[test]

@@ -1,0 +1,778 @@
+//! Durable engines: `create_durable` / `open` / `checkpoint` on both Monte Carlo
+//! engines, built on `ppr-persist`.
+//!
+//! # The recovery contract
+//!
+//! A durable engine owns a [`StoreDir`]: generation-numbered snapshots plus a
+//! write-ahead log of every batch applied since the snapshot.  Three facts make the
+//! combination a *bit-exact* recovery mechanism rather than a best-effort one:
+//!
+//! 1. **Batches are the only inputs.**  After construction, engine state evolves
+//!    only through `apply_arrivals` / `apply_deletions` (and per-edge wrappers,
+//!    which *are* singleton batches).  Each call appends its edge batch to the WAL
+//!    before touching any state.
+//! 2. **The pipeline is deterministic.**  Every repair draws from a split RNG
+//!    stream seeded by `(engine seed, batch index, pivot, segment)`, and the
+//!    engine's own sequential RNG state is part of the snapshot metadata — so
+//!    replaying the logged batches over a snapshot reproduces scores, postings, and
+//!    paths byte for byte, at any shard or thread count.
+//! 3. **Snapshots are atomic, logs truncate cleanly.**  Snapshots are immutable
+//!    generation files published by renaming `CURRENT`; a crash mid-checkpoint
+//!    leaves the previous generation authoritative.  A crash mid-append leaves a
+//!    torn WAL tail that recovery truncates at the last CRC-valid record.
+//!
+//! Recovery therefore is: read `CURRENT` → load that generation's snapshot (falling
+//! back to the previous generation if the file is corrupt) → replay the WAL tail
+//! through the ordinary batch pipeline → truncate the torn tail, if any → attach the
+//! writer and continue.  The restart-equivalence differential test
+//! (`tests/durability.rs`) holds the whole stack to "crash anywhere, recover,
+//! resume ≡ never crashed".
+//!
+//! # Durability semantics
+//!
+//! With the default options every batch is `fdatasync`ed before `apply_*` returns:
+//! an acknowledged batch survives power loss, and at most the one batch that was
+//! mid-write can be lost (and is then *cleanly absent*, never half-applied).  A WAL
+//! append failure panics — an engine that can no longer log cannot honour the
+//! durability it promised, and limping on in memory would silently break it.
+//!
+//! A store directory assumes a **single writer process**: nothing prevents a second
+//! process from opening the same directory, and two live writers would interleave
+//! WAL frames.  Cross-process exclusion (a lock file) is an explicit follow-up; the
+//! contract today matches the rest of the workspace, where one engine owns its
+//! stores.
+
+use crate::config::{MonteCarloConfig, RerouteStrategy};
+use crate::incremental::IncrementalPageRank;
+use crate::salsa::IncrementalSalsa;
+use ppr_graph::{Edge, GraphView};
+use ppr_persist::dir::StoreDir;
+use ppr_persist::graph::{decode_graph, encode_graph};
+use ppr_persist::io::{corrupt, format_err, ByteReader, ByteWriter};
+use ppr_persist::layout::PersistentWalkStore;
+use ppr_persist::snapshot::{
+    SnapshotFile, SnapshotWriter, SECTION_GRAPH, SECTION_META, SECTION_WALKS,
+};
+use ppr_persist::wal::{self, WalRecord, WalWriter};
+use ppr_persist::{DiskWalkStore, PagedWalks, WalOp};
+use ppr_store::{ShardedWalkStore, SocialStore, WalkIndexMut, WalkStore, WorkCounter};
+use rand::rngs::SmallRng;
+use std::path::Path;
+
+pub use ppr_persist::{PersistError, PersistResult};
+
+/// A PageRank engine whose walk store is the file-backed
+/// [`ppr_persist::DiskWalkStore`] — checkpoints write back only dirty pages.
+pub type DurablePageRank = IncrementalPageRank<DiskWalkStore>;
+
+const ENGINE_PAGERANK: u8 = 1;
+const ENGINE_SALSA: u8 = 2;
+
+/// Runtime durability options (not persisted; chosen per process).
+#[derive(Debug, Clone, Copy)]
+pub struct DurabilityOptions {
+    /// `fdatasync` the WAL on every batch (the durability contract).  Disable only
+    /// for bulk loads where a crash may cheaply restart the load.
+    pub fsync_wal: bool,
+}
+
+impl Default for DurabilityOptions {
+    fn default() -> Self {
+        DurabilityOptions { fsync_wal: true }
+    }
+}
+
+/// The durability state attached to a running engine: its store directory, active
+/// generation, and open WAL writer.
+#[derive(Debug)]
+pub struct DurableLog {
+    dir: StoreDir,
+    gen: u64,
+    /// Newest generation (besides `gen`) whose snapshot is known good — the one this
+    /// process last loaded or wrote.  Pruning never deletes generations at or above
+    /// it, so after a fallback recovery the known-good base survives checkpoints and
+    /// the known-corrupt snapshot is never left as the only fallback.
+    last_good: u64,
+    writer: WalWriter,
+    options: DurabilityOptions,
+}
+
+impl DurableLog {
+    /// Appends one batch record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the append fails: the engine promised durability for every
+    /// acknowledged batch and can no longer deliver it.
+    pub(crate) fn append(&mut self, seq: u64, op: WalOp, edges: &[Edge]) {
+        self.writer
+            .append(seq, op, edges)
+            .expect("WAL append failed; cannot continue without breaking durability");
+    }
+
+    /// The active generation number.
+    pub fn generation(&self) -> u64 {
+        self.gen
+    }
+
+    /// The store directory root.
+    pub fn root(&self) -> &Path {
+        self.dir.root()
+    }
+}
+
+/// Engine metadata persisted in the snapshot's META section.
+#[derive(Debug, Clone, Copy)]
+struct EngineMeta {
+    kind: u8,
+    config: MonteCarloConfig,
+    threads: usize,
+    batch_index: u64,
+    wal_seq: u64,
+    rng: [u64; 4],
+    initialization_steps: u64,
+    work: WorkCounter,
+}
+
+fn encode_meta(m: &EngineMeta) -> Vec<u8> {
+    let mut w = ByteWriter::with_capacity(96);
+    w.put_u8(m.kind);
+    w.put_f64(m.config.epsilon);
+    w.put_u64(m.config.r as u64);
+    w.put_u64(m.config.seed);
+    w.put_u8(match m.config.reroute {
+        RerouteStrategy::FromUpdatePoint => 0,
+        RerouteStrategy::FromSource => 1,
+    });
+    w.put_u64(m.config.max_segment_length as u64);
+    w.put_u64(m.threads as u64);
+    w.put_u64(m.batch_index);
+    w.put_u64(m.wal_seq);
+    for word in m.rng {
+        w.put_u64(word);
+    }
+    w.put_u64(m.initialization_steps);
+    w.put_u64(m.work.segments_updated);
+    w.put_u64(m.work.walk_steps);
+    w.put_u64(m.work.edges_processed);
+    w.put_u64(m.work.arrivals_filtered);
+    w.into_bytes()
+}
+
+fn decode_meta(payload: &[u8]) -> PersistResult<EngineMeta> {
+    let mut r = ByteReader::new(payload);
+    let kind = r.get_u8()?;
+    let epsilon = r.get_f64()?;
+    let segments = r.get_len()?;
+    let seed = r.get_u64()?;
+    let reroute = match r.get_u8()? {
+        0 => RerouteStrategy::FromUpdatePoint,
+        1 => RerouteStrategy::FromSource,
+        other => return Err(corrupt(format!("unknown reroute strategy {other}"))),
+    };
+    let max_segment_length = r.get_len()?;
+    if !(epsilon > 0.0 && epsilon < 1.0) || segments == 0 || max_segment_length == 0 {
+        return Err(corrupt("engine config out of range"));
+    }
+    let config = MonteCarloConfig::new(epsilon, segments)
+        .with_seed(seed)
+        .with_reroute(reroute)
+        .with_max_segment_length(max_segment_length);
+    let threads = r.get_len()?.max(1);
+    let batch_index = r.get_u64()?;
+    let wal_seq = r.get_u64()?;
+    let rng = [r.get_u64()?, r.get_u64()?, r.get_u64()?, r.get_u64()?];
+    if rng.iter().all(|&w| w == 0) {
+        return Err(corrupt("all-zero RNG state"));
+    }
+    let initialization_steps = r.get_u64()?;
+    let work = WorkCounter {
+        segments_updated: r.get_u64()?,
+        walk_steps: r.get_u64()?,
+        edges_processed: r.get_u64()?,
+        arrivals_filtered: r.get_u64()?,
+    };
+    r.expect_end("engine metadata")?;
+    Ok(EngineMeta {
+        kind,
+        config,
+        threads,
+        batch_index,
+        wal_seq,
+        rng,
+        initialization_steps,
+        work,
+    })
+}
+
+/// Writes one complete generation snapshot and invokes the store's post-publish hook.
+fn write_generation<W: PersistentWalkStore>(
+    dir: &StoreDir,
+    gen: u64,
+    meta: &EngineMeta,
+    social: &SocialStore,
+    walks: &mut W,
+) -> PersistResult<()> {
+    let mut snap = SnapshotWriter::new();
+    snap.add_section(SECTION_META, encode_meta(meta));
+    snap.add_section(
+        SECTION_GRAPH,
+        encode_graph(social.graph(), social.shard_count() as u32),
+    );
+    snap.add_section(SECTION_WALKS, walks.encode_walks()?);
+    let path = dir.snapshot_path(gen);
+    snap.write_to(&path)?;
+    walks.after_checkpoint(&path)?;
+    Ok(())
+}
+
+/// Everything recovered from a store directory, before engine assembly.
+struct Recovered<W> {
+    meta: EngineMeta,
+    social: SocialStore,
+    walks: W,
+    replay: Vec<WalRecord>,
+    writer: WalWriter,
+    dir: StoreDir,
+    current_gen: u64,
+    /// Generation of the snapshot actually loaded (differs from `current_gen` after
+    /// a fallback recovery) — the known-good base pruning must preserve.
+    snap_gen: u64,
+}
+
+fn try_load_generation<W: PersistentWalkStore>(
+    dir: &StoreDir,
+    gen: u64,
+) -> PersistResult<(EngineMeta, SocialStore, W)> {
+    let path = dir.snapshot_path(gen);
+    let mut snap = SnapshotFile::open(&path)?;
+    let meta = decode_meta(&snap.read_section(SECTION_META)?)?;
+    let (graph, shard_count) = decode_graph(&snap.read_section(SECTION_GRAPH)?)?;
+    drop(snap);
+    let walks = W::decode_walks(PagedWalks::open(&path)?)?;
+    if walks.node_count() != graph.node_count() {
+        return Err(corrupt(format!(
+            "walk store addresses {} nodes but the graph has {}",
+            walks.node_count(),
+            graph.node_count()
+        )));
+    }
+    let social = SocialStore::from_graph(graph, shard_count as usize);
+    Ok((meta, social, walks))
+}
+
+/// Loads the latest valid generation of `dir` and collects the WAL records to
+/// replay.  If the current snapshot is corrupt, falls back to older generations
+/// (scanning down while their snapshot files exist — after a fallback recovery the
+/// directory legitimately holds more than two) and replays every log from the
+/// loaded snapshot forward; sequence numbers dedupe against the older snapshot.
+fn load_store<W: PersistentWalkStore>(dir: StoreDir) -> PersistResult<Recovered<W>> {
+    let current_gen = dir.current_gen()?;
+    // Bit rot can land in format-sensitive bytes (a version field corrupts into a
+    // Format error just as easily as a payload byte corrupts into a Corrupt one),
+    // so *every* load failure falls back to older generations.  A genuine caller
+    // error — opening a sharded store with the flat engine — fails identically at
+    // every generation, so the scan ends by returning the primary error anyway.
+    let (snap_gen, (meta, social, walks)) = match try_load_generation::<W>(&dir, current_gen) {
+        Ok(parts) => (current_gen, parts),
+        Err(primary) => {
+            let mut recovered = None;
+            for gen in (0..current_gen).rev() {
+                if !dir.snapshot_path(gen).exists() {
+                    break;
+                }
+                if let Ok(parts) = try_load_generation::<W>(&dir, gen) {
+                    recovered = Some((gen, parts));
+                    break;
+                }
+            }
+            match recovered {
+                Some(parts) => parts,
+                None => return Err(primary),
+            }
+        }
+    };
+
+    let mut replay = Vec::new();
+    // Logs of generations between the loaded snapshot and the current one were
+    // sealed by later checkpoints, and a log is always complete when sealed (a
+    // crash mid-append is truncated by the recovery that precedes the sealing
+    // checkpoint).  A torn tail here is therefore post-seal corruption of records
+    // the newer (corrupt) snapshot had absorbed — a hard error, never silent loss
+    // of acknowledged batches.
+    for gen in snap_gen..current_gen {
+        let scan = wal::read_records(&dir.wal_path(gen))?;
+        if scan.torn_tail {
+            return Err(corrupt(format!(
+                "sealed WAL of generation {gen} is corrupt past record {}",
+                scan.records.len()
+            )));
+        }
+        replay.extend(scan.records);
+    }
+    let (scan, writer) = WalWriter::open_truncating(&dir.wal_path(current_gen))?;
+    replay.extend(scan.records);
+    Ok(Recovered {
+        meta,
+        social,
+        walks,
+        replay,
+        writer,
+        dir,
+        current_gen,
+        snap_gen,
+    })
+}
+
+/// Replays recovered WAL records through `apply`, enforcing sequence contiguity.
+/// Records the snapshot already absorbed (seq < `start_seq`) are skipped.
+fn replay_records(
+    start_seq: u64,
+    records: &[WalRecord],
+    mut apply: impl FnMut(WalOp, &[Edge]),
+) -> PersistResult<u64> {
+    let mut next = start_seq;
+    for record in records {
+        if record.seq < start_seq {
+            continue;
+        }
+        if record.seq != next {
+            return Err(corrupt(format!(
+                "WAL sequence gap: expected record {next}, found {}",
+                record.seq
+            )));
+        }
+        apply(record.op, &record.edges);
+        next += 1;
+    }
+    Ok(next)
+}
+
+/// Shared checkpoint driver: writes generation `gen + 1`, rotates the WAL, publishes
+/// `CURRENT`, prunes old generations.  On failure the previous `DurableLog` is
+/// returned unchanged so the engine stays durable on the old generation.
+fn run_checkpoint<W: PersistentWalkStore>(
+    log: DurableLog,
+    meta: &EngineMeta,
+    social: &SocialStore,
+    walks: &mut W,
+) -> (DurableLog, PersistResult<u64>) {
+    let new_gen = log.gen + 1;
+    let attempt = (|| {
+        write_generation(&log.dir, new_gen, meta, social, walks)?;
+        // A wal-<new_gen> can only pre-exist if an earlier checkpoint attempt died
+        // between creating it and publishing CURRENT — it was never part of a
+        // published generation (nothing is ever appended before the publish), so
+        // clearing it is what makes checkpointing retryable after such a crash.
+        let wal_path = log.dir.wal_path(new_gen);
+        if wal_path.exists() {
+            std::fs::remove_file(&wal_path)?;
+        }
+        let writer = WalWriter::create(&wal_path)?;
+        log.dir.publish_gen(new_gen)?;
+        Ok(writer)
+    })();
+    match attempt {
+        Ok(mut writer) => {
+            writer.set_fsync(log.options.fsync_wal);
+            // Keep everything from the last known-good snapshot up: normally that is
+            // the generation just superseded, but after a fallback recovery it is
+            // the older base — the known-corrupt snapshot in between must never
+            // become the only fallback.
+            log.dir.prune_generations_below(log.last_good.min(log.gen));
+            (
+                DurableLog {
+                    dir: log.dir,
+                    gen: new_gen,
+                    // The snapshot just written (and fsynced) is the new known-good
+                    // base; the next checkpoint may prune everything below it.
+                    last_good: new_gen,
+                    writer,
+                    options: log.options,
+                },
+                Ok(new_gen),
+            )
+        }
+        Err(e) => (log, Err(e)),
+    }
+}
+
+/// Attaches a fresh store directory to a just-built engine: generation 0 snapshot,
+/// empty WAL, `CURRENT` published.
+fn attach_fresh<W: PersistentWalkStore>(
+    root: impl Into<std::path::PathBuf>,
+    options: DurabilityOptions,
+    meta: &EngineMeta,
+    social: &SocialStore,
+    walks: &mut W,
+) -> PersistResult<DurableLog> {
+    let dir = StoreDir::init(root)?;
+    write_generation(&dir, 0, meta, social, walks)?;
+    // StoreDir::init guarantees no CURRENT exists, so a leftover wal-0 is debris
+    // from a create attempt that died before publishing — clear it so creation is
+    // retryable.
+    let wal_path = dir.wal_path(0);
+    if wal_path.exists() {
+        std::fs::remove_file(&wal_path)?;
+    }
+    let mut writer = WalWriter::create(&wal_path)?;
+    writer.set_fsync(options.fsync_wal);
+    dir.publish_gen(0)?;
+    Ok(DurableLog {
+        dir,
+        gen: 0,
+        last_good: 0,
+        writer,
+        options,
+    })
+}
+
+// ---------------------------------------------------------------------------------
+// IncrementalPageRank
+// ---------------------------------------------------------------------------------
+
+impl<W: WalkIndexMut + PersistentWalkStore + Sync> IncrementalPageRank<W> {
+    fn engine_meta(&self) -> EngineMeta {
+        EngineMeta {
+            kind: ENGINE_PAGERANK,
+            config: self.config,
+            threads: self.threads,
+            batch_index: self.batch_index,
+            wal_seq: self.wal_seq,
+            rng: self.rng.state(),
+            initialization_steps: self.initialization_steps,
+            work: self.work,
+        }
+    }
+
+    /// Opens a durable PageRank engine from `root`, performing full crash recovery:
+    /// latest valid snapshot, WAL-tail replay, torn-tail truncation.  The recovered
+    /// engine is bit-identical to the one that crashed (up to the at-most-one
+    /// unsynced batch).
+    pub fn open(root: impl AsRef<Path>) -> PersistResult<Self> {
+        Self::open_with(root, DurabilityOptions::default())
+    }
+
+    /// [`Self::open`] with explicit durability options.
+    pub fn open_with(root: impl AsRef<Path>, options: DurabilityOptions) -> PersistResult<Self> {
+        let recovered = load_store::<W>(StoreDir::open(root.as_ref().to_path_buf())?)?;
+        if recovered.meta.kind != ENGINE_PAGERANK {
+            return Err(format_err(
+                "store directory holds a SALSA engine, not PageRank".to_string(),
+            ));
+        }
+        let meta = recovered.meta;
+        let mut engine = IncrementalPageRank {
+            store: recovered.social,
+            walks: recovered.walks,
+            config: meta.config,
+            rng: SmallRng::from_state(meta.rng),
+            work: meta.work,
+            initialization_steps: meta.initialization_steps,
+            threads: meta.threads,
+            batch_index: meta.batch_index,
+            scratch: Vec::new(),
+            candidate_sets: Vec::new(),
+            phase1_times: Vec::new(),
+            rewrites: ppr_store::SegmentRewrites::new(),
+            profile: crate::batch::BatchProfile::default(),
+            durability: None,
+            wal_seq: meta.wal_seq,
+        };
+        let next_seq = replay_records(meta.wal_seq, &recovered.replay, |op, edges| match op {
+            WalOp::Arrivals => {
+                engine.apply_arrivals(edges);
+            }
+            WalOp::Deletions => {
+                engine.apply_deletions(edges);
+            }
+        })?;
+        engine.wal_seq = next_seq;
+        let mut writer = recovered.writer;
+        writer.set_fsync(options.fsync_wal);
+        engine.durability = Some(DurableLog {
+            dir: recovered.dir,
+            gen: recovered.current_gen,
+            last_good: recovered.snap_gen,
+            writer,
+            options,
+        });
+        Ok(engine)
+    }
+
+    /// Writes a new snapshot generation, rotates the WAL, and publishes it as
+    /// `CURRENT`.  Returns the new generation number.  Fails (leaving the engine
+    /// durable on its previous generation) if the engine was not opened or created
+    /// durable.
+    pub fn checkpoint(&mut self) -> PersistResult<u64> {
+        let Some(log) = self.durability.take() else {
+            return Err(format_err(
+                "engine has no durable store attached; build it with create_durable or open"
+                    .to_string(),
+            ));
+        };
+        let meta = self.engine_meta();
+        let (log, result) = run_checkpoint(log, &meta, &self.store, &mut self.walks);
+        self.durability = Some(log);
+        result
+    }
+
+    /// `true` when the engine logs to a durable store directory.
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// The attached durability state, if any.
+    pub fn durable_log(&self) -> Option<&DurableLog> {
+        self.durability.as_ref()
+    }
+
+    fn make_durable(
+        mut self,
+        root: impl Into<std::path::PathBuf>,
+        options: DurabilityOptions,
+    ) -> PersistResult<Self> {
+        let meta = self.engine_meta();
+        let log = attach_fresh(root, options, &meta, &self.store, &mut self.walks)?;
+        self.durability = Some(log);
+        Ok(self)
+    }
+}
+
+impl IncrementalPageRank<WalkStore> {
+    /// Builds a flat-store engine over `graph` and initialises a durable store
+    /// directory at `root` (generation-0 snapshot plus an empty WAL).
+    pub fn create_durable(
+        root: impl AsRef<Path>,
+        graph: impl Into<SocialStore>,
+        config: MonteCarloConfig,
+    ) -> PersistResult<Self> {
+        Self::from_graph(graph, config)
+            .make_durable(root.as_ref().to_path_buf(), DurabilityOptions::default())
+    }
+}
+
+impl IncrementalPageRank<ShardedWalkStore> {
+    /// Builds a sharded engine over `graph` and initialises a durable store
+    /// directory at `root`.  The shard count is recorded in the snapshot; `open`
+    /// restores it.
+    pub fn create_durable_sharded(
+        root: impl AsRef<Path>,
+        graph: impl Into<SocialStore>,
+        config: MonteCarloConfig,
+        shards: usize,
+        threads: usize,
+    ) -> PersistResult<Self> {
+        Self::from_graph_sharded(graph, config, shards, threads)
+            .make_durable(root.as_ref().to_path_buf(), DurabilityOptions::default())
+    }
+}
+
+impl DurablePageRank {
+    /// Builds an engine over the file-backed [`DiskWalkStore`] and initialises a
+    /// durable store directory at `root`.  Subsequent [`Self::checkpoint`] calls
+    /// write back only the heap pages the batches since the last checkpoint dirtied.
+    pub fn create_durable_disk(
+        root: impl AsRef<Path>,
+        graph: impl Into<SocialStore>,
+        config: MonteCarloConfig,
+    ) -> PersistResult<Self> {
+        let store = graph.into();
+        let walks = DiskWalkStore::new(store.node_count(), config.r);
+        Self::with_store(store, walks, config, 1)
+            .make_durable(root.as_ref().to_path_buf(), DurabilityOptions::default())
+    }
+}
+
+// ---------------------------------------------------------------------------------
+// IncrementalSalsa
+// ---------------------------------------------------------------------------------
+
+impl<W: WalkIndexMut + PersistentWalkStore + Sync> IncrementalSalsa<W> {
+    fn engine_meta(&self) -> EngineMeta {
+        EngineMeta {
+            kind: ENGINE_SALSA,
+            config: self.config,
+            threads: self.threads,
+            batch_index: self.batch_index,
+            wal_seq: self.wal_seq,
+            rng: self.rng.state(),
+            initialization_steps: 0,
+            work: self.work,
+        }
+    }
+
+    /// Opens a durable SALSA engine from `root` with full crash recovery (see
+    /// [`IncrementalPageRank::open`]; the mechanism is identical).  SALSA deletions
+    /// replay through the sequential per-edge path, whose RNG state the snapshot
+    /// carries, so recovery is bit-exact for it as well.
+    pub fn open(root: impl AsRef<Path>) -> PersistResult<Self> {
+        Self::open_with(root, DurabilityOptions::default())
+    }
+
+    /// [`Self::open`] with explicit durability options.
+    pub fn open_with(root: impl AsRef<Path>, options: DurabilityOptions) -> PersistResult<Self> {
+        let recovered = load_store::<W>(StoreDir::open(root.as_ref().to_path_buf())?)?;
+        if recovered.meta.kind != ENGINE_SALSA {
+            return Err(format_err(
+                "store directory holds a PageRank engine, not SALSA".to_string(),
+            ));
+        }
+        let meta = recovered.meta;
+        let mut engine = IncrementalSalsa {
+            store: recovered.social,
+            walks: recovered.walks,
+            config: meta.config,
+            rng: SmallRng::from_state(meta.rng),
+            work: meta.work,
+            threads: meta.threads,
+            batch_index: meta.batch_index,
+            scratch: Vec::new(),
+            visiting: Vec::new(),
+            candidate_sets: Vec::new(),
+            phase1_times: Vec::new(),
+            rewrites: ppr_store::SegmentRewrites::new(),
+            profile: crate::batch::BatchProfile::default(),
+            durability: None,
+            wal_seq: meta.wal_seq,
+        };
+        let next_seq = replay_records(meta.wal_seq, &recovered.replay, |op, edges| match op {
+            WalOp::Arrivals => {
+                engine.apply_arrivals(edges);
+            }
+            WalOp::Deletions => {
+                for &edge in edges {
+                    engine.remove_edge(edge);
+                }
+            }
+        })?;
+        engine.wal_seq = next_seq;
+        let mut writer = recovered.writer;
+        writer.set_fsync(options.fsync_wal);
+        engine.durability = Some(DurableLog {
+            dir: recovered.dir,
+            gen: recovered.current_gen,
+            last_good: recovered.snap_gen,
+            writer,
+            options,
+        });
+        Ok(engine)
+    }
+
+    /// Writes a new snapshot generation and rotates the WAL (see
+    /// [`IncrementalPageRank::checkpoint`]).
+    pub fn checkpoint(&mut self) -> PersistResult<u64> {
+        let Some(log) = self.durability.take() else {
+            return Err(format_err(
+                "engine has no durable store attached; build it with create_durable or open"
+                    .to_string(),
+            ));
+        };
+        let meta = self.engine_meta();
+        let (log, result) = run_checkpoint(log, &meta, &self.store, &mut self.walks);
+        self.durability = Some(log);
+        result
+    }
+
+    /// `true` when the engine logs to a durable store directory.
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    fn make_durable(
+        mut self,
+        root: impl Into<std::path::PathBuf>,
+        options: DurabilityOptions,
+    ) -> PersistResult<Self> {
+        let meta = self.engine_meta();
+        let log = attach_fresh(root, options, &meta, &self.store, &mut self.walks)?;
+        self.durability = Some(log);
+        Ok(self)
+    }
+}
+
+impl IncrementalSalsa<WalkStore> {
+    /// Builds a flat-store SALSA engine over `graph` and initialises a durable store
+    /// directory at `root`.
+    pub fn create_durable(
+        root: impl AsRef<Path>,
+        graph: impl Into<SocialStore>,
+        config: MonteCarloConfig,
+    ) -> PersistResult<Self> {
+        Self::from_graph(graph, config)
+            .make_durable(root.as_ref().to_path_buf(), DurabilityOptions::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meta_round_trips_exactly() {
+        let meta = EngineMeta {
+            kind: ENGINE_PAGERANK,
+            config: MonteCarloConfig::new(0.25, 7)
+                .with_seed(99)
+                .with_reroute(RerouteStrategy::FromSource)
+                .with_max_segment_length(321),
+            threads: 4,
+            batch_index: 17,
+            wal_seq: 23,
+            rng: [1, 2, 3, 4],
+            initialization_steps: 555,
+            work: WorkCounter {
+                segments_updated: 1,
+                walk_steps: 2,
+                edges_processed: 3,
+                arrivals_filtered: 4,
+            },
+        };
+        let decoded = decode_meta(&encode_meta(&meta)).unwrap();
+        assert_eq!(decoded.kind, meta.kind);
+        assert_eq!(decoded.config, meta.config);
+        assert_eq!(decoded.threads, meta.threads);
+        assert_eq!(decoded.batch_index, meta.batch_index);
+        assert_eq!(decoded.wal_seq, meta.wal_seq);
+        assert_eq!(decoded.rng, meta.rng);
+        assert_eq!(decoded.initialization_steps, meta.initialization_steps);
+        assert_eq!(decoded.work, meta.work);
+    }
+
+    #[test]
+    fn meta_decoding_rejects_nonsense() {
+        let meta = EngineMeta {
+            kind: ENGINE_SALSA,
+            config: MonteCarloConfig::new(0.2, 3),
+            threads: 1,
+            batch_index: 0,
+            wal_seq: 0,
+            rng: [9, 0, 0, 0],
+            initialization_steps: 0,
+            work: WorkCounter::default(),
+        };
+        let clean = encode_meta(&meta);
+        assert!(decode_meta(&clean[..clean.len() - 1]).is_err(), "truncated");
+        let mut bad = clean.clone();
+        bad[1..9].fill(0xFF); // epsilon = NaN-ish bits
+        assert!(decode_meta(&bad).is_err());
+        let mut bad = clean;
+        bad[25] = 9; // reroute discriminant
+        assert!(decode_meta(&bad).is_err());
+    }
+
+    #[test]
+    fn replay_enforces_contiguity() {
+        let rec = |seq| WalRecord {
+            seq,
+            op: WalOp::Arrivals,
+            edges: vec![],
+        };
+        let mut applied = 0;
+        let next =
+            replay_records(2, &[rec(0), rec(1), rec(2), rec(3)], |_, _| applied += 1).unwrap();
+        assert_eq!((applied, next), (2, 4));
+        assert!(replay_records(0, &[rec(0), rec(2)], |_, _| {}).is_err());
+        assert_eq!(replay_records(5, &[], |_, _| {}).unwrap(), 5);
+    }
+}

@@ -79,31 +79,37 @@ impl UpdateStats {
 
 /// Monte Carlo PageRank with incrementally maintained walk segments, generic over the
 /// PageRank Store layout (`W`).
+///
+/// Fields are `pub(crate)` so the durability layer ([`crate::durable`]) can snapshot
+/// and reassemble engines without widening the public API.
 #[derive(Debug)]
 pub struct IncrementalPageRank<W: WalkIndexMut = WalkStore> {
-    store: SocialStore,
-    walks: W,
-    config: MonteCarloConfig,
-    rng: SmallRng,
-    work: WorkCounter,
-    initialization_steps: u64,
+    pub(crate) store: SocialStore,
+    pub(crate) walks: W,
+    pub(crate) config: MonteCarloConfig,
+    pub(crate) rng: SmallRng,
+    pub(crate) work: WorkCounter,
+    pub(crate) initialization_steps: u64,
     /// Worker threads used for the batched reroute pipeline (always 1 for a
     /// single-shard store; results never depend on this).
-    threads: usize,
-    /// Index of the next arrival batch, mixed into every repair-stream seed.
-    batch_index: u64,
-    /// Reusable path buffer for segment repairs (keeps deletions allocation-free).
-    scratch: Vec<NodeId>,
-    /// Reusable buffer for the ids of the segments visiting the updated node.
-    visiting: Vec<SegmentId>,
+    pub(crate) threads: usize,
+    /// Index of the next batch (arrivals or deletions), mixed into every
+    /// repair-stream seed.
+    pub(crate) batch_index: u64,
+    /// Reusable path buffer for segment repairs.
+    pub(crate) scratch: Vec<NodeId>,
     /// Reusable phase-1 outputs, one per route shard.
-    candidate_sets: Vec<CandidateSet>,
+    pub(crate) candidate_sets: Vec<CandidateSet>,
     /// Reusable per-shard phase-1 timing buffer.
-    phase1_times: Vec<std::time::Duration>,
+    pub(crate) phase1_times: Vec<std::time::Duration>,
     /// Reusable reconciled rewrite plan.
-    rewrites: SegmentRewrites,
-    /// Accumulated wall-time breakdown of the arrival batches (observability only).
-    profile: BatchProfile,
+    pub(crate) rewrites: SegmentRewrites,
+    /// Accumulated wall-time breakdown of the update batches (observability only).
+    pub(crate) profile: BatchProfile,
+    /// Attached write-ahead log; `None` for purely in-memory engines.
+    pub(crate) durability: Option<crate::durable::DurableLog>,
+    /// Sequence number of the next WAL record (count of batches ever logged).
+    pub(crate) wal_seq: u64,
 }
 
 impl IncrementalPageRank {
@@ -157,7 +163,12 @@ impl IncrementalPageRank<ShardedWalkStore> {
 }
 
 impl<W: WalkIndexMut + Sync> IncrementalPageRank<W> {
-    fn with_store(store: SocialStore, walks: W, config: MonteCarloConfig, threads: usize) -> Self {
+    pub(crate) fn with_store(
+        store: SocialStore,
+        walks: W,
+        config: MonteCarloConfig,
+        threads: usize,
+    ) -> Self {
         let node_count = store.node_count();
         let rng = SmallRng::seed_from_u64(config.seed);
         let mut engine = IncrementalPageRank {
@@ -170,16 +181,27 @@ impl<W: WalkIndexMut + Sync> IncrementalPageRank<W> {
             threads,
             batch_index: 0,
             scratch: Vec::new(),
-            visiting: Vec::new(),
             candidate_sets: Vec::new(),
             phase1_times: Vec::new(),
             rewrites: SegmentRewrites::new(),
             profile: BatchProfile::default(),
+            durability: None,
+            wal_seq: 0,
         };
         for node in 0..node_count {
             engine.generate_segments_for(NodeId::from_index(node));
         }
         engine
+    }
+
+    /// Appends one batch to the attached write-ahead log (no-op for in-memory
+    /// engines).  Called **before** the batch mutates any state, so an acknowledged
+    /// batch is always recoverable.
+    pub(crate) fn log_wal(&mut self, op: ppr_persist::WalOp, edges: &[Edge]) {
+        if let Some(log) = self.durability.as_mut() {
+            log.append(self.wal_seq, op, edges);
+            self.wal_seq += 1;
+        }
     }
 
     /// Accumulated wall-time breakdown of every arrival batch since construction (or
@@ -324,7 +346,9 @@ impl<W: WalkIndexMut + Sync> IncrementalPageRank<W> {
         else {
             return stats;
         };
+        self.log_wal(ppr_persist::WalOp::Arrivals, edges);
         let batch_started = std::time::Instant::now();
+        let arena_before = self.walks.arena_stats();
         self.ensure_nodes(needed);
 
         // Group targets per source in first-arrival order, capturing each source's
@@ -399,6 +423,8 @@ impl<W: WalkIndexMut + Sync> IncrementalPageRank<W> {
             &phase1_times,
             self.walks.last_apply_shard_times(),
         );
+        self.profile
+            .record_compactions(&arena_before, &self.walks.arena_stats());
         self.candidate_sets = sets;
         self.phase1_times = phase1_times;
         self.rewrites = rewrites;
@@ -416,33 +442,154 @@ impl<W: WalkIndexMut + Sync> IncrementalPageRank<W> {
 
     /// Processes the deletion of `edge`, repairing every segment that traversed it.
     /// Returns `None` if the edge was not present.
+    ///
+    /// A single deletion is exactly a batch of one: this delegates to
+    /// [`Self::apply_deletions`], so the two paths are on identical RNG streams.
     pub fn remove_edge(&mut self, edge: Edge) -> Option<UpdateStats> {
-        if !self.store.remove_edge(edge) {
+        if !self.store.graph().has_edge(edge) {
             return None;
         }
-        let u = edge.source;
-        let v = edge.target;
-        let mut stats = UpdateStats::default();
+        Some(self.apply_deletions(std::slice::from_ref(&edge)))
+    }
 
-        // If a parallel copy of the edge survives, every traversal of u -> v is still a
-        // legal step of the walk and the uniform-neighbour distribution at u is already
-        // reflected by the reroute performed when that copy arrived, so nothing to do.
-        if !self.store.graph().has_edge(edge) {
-            let mut visiting = std::mem::take(&mut self.visiting);
-            self.walks.collect_visiting(u, &mut visiting);
-            for &id in &visiting {
-                self.maybe_reroute_for_deletion(id, u, v, &mut stats);
+    /// Processes a whole batch of edge deletions, grouping the repair work per source
+    /// node exactly as [`Self::apply_arrivals`] groups arrivals.
+    ///
+    /// All present edges are removed from the Social Store first; then, for every
+    /// source `u` that lost edges, the segments visiting `u` are enumerated **once**
+    /// and each segment's *earliest* traversal of a fully deleted edge (one with no
+    /// surviving parallel copy) is repaired: under the default prefix-preserving
+    /// strategy the still-valid prefix is kept and the suffix regenerates on the
+    /// post-deletion graph.  Absent edges are skipped.
+    ///
+    /// Repairs run through the same deterministic candidate → reconcile → apply
+    /// pipeline as arrivals, with one split RNG stream per `(batch, source, segment)`
+    /// repair; when several sources claim one segment, the smallest reroute position
+    /// wins — which is the segment's globally earliest invalidated traversal, so the
+    /// kept prefix never traverses a deleted edge.  Results are **bit-identical at
+    /// any shard and thread count**, which is what makes deletion batches WAL
+    /// records just like arrival batches (one record kind each).
+    pub fn apply_deletions(&mut self, edges: &[Edge]) -> UpdateStats {
+        let mut stats = UpdateStats::default();
+        if edges.is_empty() {
+            return stats;
+        }
+        self.log_wal(ppr_persist::WalOp::Deletions, edges);
+        let batch_started = std::time::Instant::now();
+        let arena_before = self.walks.arena_stats();
+
+        // Remove every present edge from the Social Store up front, so candidate
+        // generation sees the post-batch graph (as it does for arrivals).
+        let mut removed: Vec<Edge> = Vec::with_capacity(edges.len());
+        for &edge in edges {
+            if self.store.remove_edge(edge) {
+                removed.push(edge);
             }
-            self.visiting = visiting;
+        }
+        self.work.edges_processed += removed.len() as u64;
+        if removed.is_empty() {
+            return stats;
         }
 
-        self.work.edges_processed += 1;
+        // Group per source; a group reroutes only over targets with no surviving
+        // parallel copy — while a copy exists, every traversal remains a legal step
+        // whose distribution the arrival-time reroutes already account for.
+        let groups: Vec<(NodeId, Vec<NodeId>)> = batch::group_deletions(&removed)
+            .into_iter()
+            .map(|(u, targets)| {
+                let mut gone: Vec<NodeId> = targets
+                    .into_iter()
+                    .filter(|&t| {
+                        !self.store.graph().has_edge(Edge {
+                            source: u,
+                            target: t,
+                        })
+                    })
+                    .collect();
+                gone.sort_unstable();
+                gone.dedup();
+                (u, gone)
+            })
+            .collect();
+        let batch_index = self.batch_index;
+        self.batch_index += 1;
+        let threads = self.threads;
+
+        // Phase 1: per group, find each visiting segment's earliest invalidated
+        // traversal and draw its replacement suffix from the repair's own stream.
+        let mut sets = std::mem::take(&mut self.candidate_sets);
+        let mut phase1_times = std::mem::take(&mut self.phase1_times);
+        {
+            let graph = self.store.graph();
+            let walks = &self.walks;
+            let config = &self.config;
+            let groups = &groups;
+            let shards = walks.route_shards();
+            let r = walks.r();
+            batch::fan_out_candidates(walks, threads, &mut sets, &mut phase1_times, |sid, set| {
+                let mut scratch = std::mem::take(&mut set.scratch);
+                for (gi, (u, gone)) in groups.iter().enumerate() {
+                    if gone.is_empty() {
+                        continue;
+                    }
+                    for (id, _) in walks.segments_visiting(*u) {
+                        if shards > 1 && (id.index() / r) % shards != sid {
+                            continue;
+                        }
+                        if let Some((pos, steps)) = deletion_candidate(
+                            graph,
+                            walks,
+                            config,
+                            batch_index,
+                            *u,
+                            gone,
+                            id,
+                            &mut scratch,
+                        ) {
+                            set.push(id, pos, gi, steps, &scratch);
+                        }
+                    }
+                }
+                set.scratch = scratch;
+            });
+        }
+
+        // Phase 2: reconcile.  The winner's position is the minimum over per-group
+        // first hits, i.e. the segment's globally earliest invalidated traversal, so
+        // its kept prefix is valid on the post-deletion graph.
+        let winners = batch::reconcile_candidates(&sets);
+        let mut rewrites = std::mem::take(&mut self.rewrites);
+        rewrites.clear();
+        let mut touched = vec![false; groups.len()];
+        for &(si, ci) in &winners {
+            let cand = &sets[si].candidates[ci];
+            rewrites.push(cand.seg, sets[si].path(cand));
+            stats.record_segment(cand.steps);
+            touched[cand.group as usize] = true;
+        }
+
+        // Phase 3: the store applies the plan.
+        self.walks.apply_rewrites(&rewrites, threads);
+        self.profile.record(
+            batch_started.elapsed(),
+            &phase1_times,
+            self.walks.last_apply_shard_times(),
+        );
+        self.profile
+            .record_compactions(&arena_before, &self.walks.arena_stats());
+        self.candidate_sets = sets;
+        self.phase1_times = phase1_times;
+        self.rewrites = rewrites;
+
+        for (gi, (u, _)) in groups.iter().enumerate() {
+            if !touched[gi] {
+                self.work.arrivals_filtered +=
+                    removed.iter().filter(|e| e.source == *u).count() as u64;
+            }
+        }
         self.work.segments_updated += stats.segments_updated;
         self.work.walk_steps += stats.walk_steps;
-        if !stats.touched_walk_store {
-            self.work.arrivals_filtered += 1;
-        }
-        Some(stats)
+        stats
     }
 
     /// Verifies that every stored segment is a valid walk in the *current* graph: it
@@ -505,48 +652,57 @@ impl<W: WalkIndexMut + Sync> IncrementalPageRank<W> {
             self.walks.set_segment(id, &self.scratch);
         }
     }
+}
 
-    fn maybe_reroute_for_deletion(
-        &mut self,
-        id: SegmentId,
-        u: NodeId,
-        v: NodeId,
-        stats: &mut UpdateStats,
-    ) {
-        let Some(pos) = self.walks.first_traversal(id, u, v) else {
-            return;
-        };
-
-        match self.config.reroute {
-            RerouteStrategy::FromUpdatePoint => {
-                self.scratch.clear();
-                self.scratch
-                    .extend_from_slice(&self.walks.segment_path(id)[..=pos]);
-                let steps = walker::extend_pagerank_walk(
-                    self.store.graph(),
-                    &mut self.scratch,
-                    self.config.epsilon,
-                    self.config.max_segment_length,
-                    &mut self.rng,
-                );
-                self.walks.set_segment(id, &self.scratch);
-                stats.record_segment(steps);
-            }
-            RerouteStrategy::FromSource => {
-                let source = self.walks.source_of(id);
-                let steps = walker::pagerank_segment_into(
-                    self.store.graph(),
-                    source,
-                    self.config.epsilon,
-                    self.config.max_segment_length,
-                    &mut self.rng,
-                    &mut self.scratch,
-                );
-                self.walks.set_segment(id, &self.scratch);
-                stats.record_segment(steps);
-            }
+/// Decides whether (and where) segment `id` must be repaired for the deletion group
+/// of source `u`, whose fully deleted targets are `gone` (sorted).  Unlike arrivals,
+/// detection is deterministic: the segment repairs iff it traverses `u -> t` for some
+/// `t ∈ gone`, at its earliest such position.  On a hit, generates the replacement
+/// path into `scratch` against the post-deletion graph, drawing from the repair's own
+/// split RNG stream, and returns `(reroute position, walk steps)`.
+///
+/// Reads only the segment's pre-batch path; when several groups claim one segment,
+/// reconciliation keeps the smallest position — the globally earliest invalidated
+/// traversal — whose kept prefix therefore contains no deleted edge.
+#[allow(clippy::too_many_arguments)]
+fn deletion_candidate<W: WalkIndex>(
+    graph: &DynamicGraph,
+    walks: &W,
+    config: &MonteCarloConfig,
+    batch_index: u64,
+    u: NodeId,
+    gone: &[NodeId],
+    id: SegmentId,
+    scratch: &mut Vec<NodeId>,
+) -> Option<(usize, u64)> {
+    let path = walks.segment_path(id);
+    let pos = path
+        .windows(2)
+        .position(|w| w[0] == u && gone.binary_search(&w[1]).is_ok())?;
+    let mut rng =
+        SmallRng::seed_from_u64(batch::repair_seed(config.seed, batch_index, u, id, false));
+    let steps = match config.reroute {
+        RerouteStrategy::FromUpdatePoint => {
+            scratch.clear();
+            scratch.extend_from_slice(&path[..=pos]);
+            walker::extend_pagerank_walk(
+                graph,
+                scratch,
+                config.epsilon,
+                config.max_segment_length,
+                &mut rng,
+            )
         }
-    }
+        RerouteStrategy::FromSource => walker::pagerank_segment_into(
+            graph,
+            walks.source_of(id),
+            config.epsilon,
+            config.max_segment_length,
+            &mut rng,
+            scratch,
+        ),
+    };
+    Some((pos, steps))
 }
 
 /// Decides whether (and where) segment `id` reroutes for a group of `targets.len()`

@@ -24,6 +24,7 @@
 pub mod batch;
 pub mod bounds;
 pub mod config;
+pub mod durable;
 pub mod estimator;
 pub mod incremental;
 pub mod personalized;
@@ -32,6 +33,7 @@ pub mod walker;
 
 pub use batch::BatchProfile;
 pub use config::{MonteCarloConfig, RerouteStrategy};
+pub use durable::{DurabilityOptions, DurablePageRank, PersistError, PersistResult};
 pub use estimator::PageRankEstimates;
 pub use incremental::{IncrementalPageRank, UpdateStats};
 pub use personalized::{PersonalizedWalkResult, PersonalizedWalker};

@@ -66,27 +66,31 @@ struct SalsaGroup {
 /// over the PageRank Store layout (`W`).
 #[derive(Debug)]
 pub struct IncrementalSalsa<W: WalkIndexMut = WalkStore> {
-    store: SocialStore,
-    walks: W,
-    config: MonteCarloConfig,
-    rng: SmallRng,
-    work: WorkCounter,
+    pub(crate) store: SocialStore,
+    pub(crate) walks: W,
+    pub(crate) config: MonteCarloConfig,
+    pub(crate) rng: SmallRng,
+    pub(crate) work: WorkCounter,
     /// Worker threads for the batched reroute pipeline (results never depend on this).
-    threads: usize,
+    pub(crate) threads: usize,
     /// Index of the next arrival batch, mixed into every repair-stream seed.
-    batch_index: u64,
+    pub(crate) batch_index: u64,
     /// Reusable path buffer for segment repairs (keeps deletions allocation-free).
-    scratch: Vec<NodeId>,
+    pub(crate) scratch: Vec<NodeId>,
     /// Reusable buffer for the ids of the segments visiting the updated node.
-    visiting: Vec<SegmentId>,
+    pub(crate) visiting: Vec<SegmentId>,
     /// Reusable phase-1 outputs, one per route shard.
-    candidate_sets: Vec<CandidateSet>,
+    pub(crate) candidate_sets: Vec<CandidateSet>,
     /// Reusable per-shard phase-1 timing buffer.
-    phase1_times: Vec<std::time::Duration>,
+    pub(crate) phase1_times: Vec<std::time::Duration>,
     /// Reusable reconciled rewrite plan.
-    rewrites: SegmentRewrites,
+    pub(crate) rewrites: SegmentRewrites,
     /// Accumulated wall-time breakdown of the arrival batches (observability only).
-    profile: BatchProfile,
+    pub(crate) profile: BatchProfile,
+    /// Attached write-ahead log; `None` for purely in-memory engines.
+    pub(crate) durability: Option<crate::durable::DurableLog>,
+    /// Sequence number of the next WAL record (count of batches ever logged).
+    pub(crate) wal_seq: u64,
 }
 
 impl IncrementalSalsa {
@@ -130,7 +134,12 @@ impl IncrementalSalsa<ShardedWalkStore> {
 }
 
 impl<W: WalkIndexMut + Sync> IncrementalSalsa<W> {
-    fn with_store(store: SocialStore, walks: W, config: MonteCarloConfig, threads: usize) -> Self {
+    pub(crate) fn with_store(
+        store: SocialStore,
+        walks: W,
+        config: MonteCarloConfig,
+        threads: usize,
+    ) -> Self {
         let node_count = store.node_count();
         let rng = SmallRng::seed_from_u64(config.seed.wrapping_add(0x5a15a));
         let mut engine = IncrementalSalsa {
@@ -147,11 +156,22 @@ impl<W: WalkIndexMut + Sync> IncrementalSalsa<W> {
             phase1_times: Vec::new(),
             rewrites: SegmentRewrites::new(),
             profile: BatchProfile::default(),
+            durability: None,
+            wal_seq: 0,
         };
         for node in 0..node_count {
             engine.generate_segments_for(NodeId::from_index(node));
         }
         engine
+    }
+
+    /// Appends one batch to the attached write-ahead log (no-op for in-memory
+    /// engines), before the batch mutates any state.
+    pub(crate) fn log_wal(&mut self, op: ppr_persist::WalOp, edges: &[Edge]) {
+        if let Some(log) = self.durability.as_mut() {
+            log.append(self.wal_seq, op, edges);
+            self.wal_seq += 1;
+        }
     }
 
     /// Accumulated wall-time breakdown of every arrival batch since construction (see
@@ -362,7 +382,9 @@ impl<W: WalkIndexMut + Sync> IncrementalSalsa<W> {
         else {
             return stats;
         };
+        self.log_wal(ppr_persist::WalOp::Arrivals, edges);
         let batch_started = std::time::Instant::now();
+        let arena_before = self.walks.arena_stats();
         self.ensure_nodes(needed);
 
         // Forward groups key on the source (out-degree coins), backward groups on the
@@ -459,6 +481,8 @@ impl<W: WalkIndexMut + Sync> IncrementalSalsa<W> {
             &phase1_times,
             self.walks.last_apply_shard_times(),
         );
+        self.profile
+            .record_compactions(&arena_before, &self.walks.arena_stats());
         self.candidate_sets = sets;
         self.phase1_times = phase1_times;
         self.rewrites = rewrites;
@@ -489,9 +513,12 @@ impl<W: WalkIndexMut + Sync> IncrementalSalsa<W> {
 
     /// Processes the deletion of `edge`.  Returns `None` if the edge was not present.
     pub fn remove_edge(&mut self, edge: Edge) -> Option<UpdateStats> {
-        if !self.store.remove_edge(edge) {
+        if !self.store.graph().has_edge(edge) {
             return None;
         }
+        self.log_wal(ppr_persist::WalOp::Deletions, std::slice::from_ref(&edge));
+        let removed = self.store.remove_edge(edge);
+        debug_assert!(removed, "has_edge implies remove_edge succeeds");
         let u = edge.source;
         let v = edge.target;
         let mut stats = UpdateStats::default();

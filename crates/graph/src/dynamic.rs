@@ -53,6 +53,68 @@ impl DynamicGraph {
         graph
     }
 
+    /// Rebuilds a graph from raw adjacency lists, preserving the **exact entry order**
+    /// of both directions.
+    ///
+    /// Adjacency order is observable state: `remove_edge` uses `swap_remove`, and
+    /// random-neighbour sampling picks by position, so two graphs with the same edge
+    /// multiset but different list orders diverge under the same RNG stream.  A
+    /// checkpoint/restore cycle therefore has to round-trip the lists verbatim — this
+    /// is the decode half of that surface ([`crate::view::GraphView::out_neighbors`] /
+    /// [`crate::view::GraphView::in_neighbors`] are the encode half).
+    ///
+    /// Returns an error if the two directions disagree: every `u -> v` entry in the
+    /// out-lists must appear exactly as often as the matching `v`-side in-list entry,
+    /// and no entry may reference a node outside `0..out_adj.len()`.
+    pub fn from_adjacency(
+        out_adj: Vec<Vec<NodeId>>,
+        in_adj: Vec<Vec<NodeId>>,
+    ) -> Result<Self, String> {
+        if out_adj.len() != in_adj.len() {
+            return Err(format!(
+                "adjacency lists disagree on the node count: {} out vs {} in",
+                out_adj.len(),
+                in_adj.len()
+            ));
+        }
+        let n = out_adj.len();
+        let mut forward: Vec<(u32, u32)> = Vec::new();
+        for (u, targets) in out_adj.iter().enumerate() {
+            for &v in targets {
+                if v.index() >= n {
+                    return Err(format!(
+                        "out-edge {u} -> {v} references a node outside 0..{n}"
+                    ));
+                }
+                forward.push((u as u32, v.0));
+            }
+        }
+        let mut backward: Vec<(u32, u32)> = Vec::new();
+        for (v, sources) in in_adj.iter().enumerate() {
+            for &u in sources {
+                if u.index() >= n {
+                    return Err(format!(
+                        "in-edge {u} -> {v} references a node outside 0..{n}"
+                    ));
+                }
+                backward.push((u.0, v as u32));
+            }
+        }
+        forward.sort_unstable();
+        backward.sort_unstable();
+        if forward != backward {
+            return Err(
+                "out- and in-adjacency lists describe different edge multisets".to_string(),
+            );
+        }
+        let edge_count = forward.len();
+        Ok(DynamicGraph {
+            out_adj,
+            in_adj,
+            edge_count,
+        })
+    }
+
     /// Adds a new isolated node and returns its id.
     pub fn add_node(&mut self) -> NodeId {
         let id = NodeId::from_index(self.out_adj.len());
@@ -347,6 +409,48 @@ mod tests {
         g.add_edge(Edge::new(1, 2));
         assert_eq!(g.out_degrees(), vec![2, 1, 0]);
         assert_eq!(g.in_degrees(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn from_adjacency_round_trips_exact_list_order() {
+        let mut g = DynamicGraph::with_nodes(4);
+        for edge in [
+            Edge::new(0, 2),
+            Edge::new(0, 1),
+            Edge::new(2, 0),
+            Edge::new(0, 1), // parallel edge
+            Edge::new(3, 3), // self loop
+        ] {
+            g.add_edge(edge);
+        }
+        // Deletion reorders via swap_remove; the round trip must preserve that order.
+        g.remove_edge(Edge::new(0, 2));
+        let out: Vec<Vec<NodeId>> = g.nodes().map(|u| g.out_neighbors(u).to_vec()).collect();
+        let inn: Vec<Vec<NodeId>> = g.nodes().map(|u| g.in_neighbors(u).to_vec()).collect();
+        let rebuilt = DynamicGraph::from_adjacency(out.clone(), inn.clone()).unwrap();
+        assert_eq!(rebuilt.edge_count(), g.edge_count());
+        for u in g.nodes() {
+            assert_eq!(rebuilt.out_neighbors(u), g.out_neighbors(u));
+            assert_eq!(rebuilt.in_neighbors(u), g.in_neighbors(u));
+        }
+        assert!(rebuilt.check_consistency().is_ok());
+    }
+
+    #[test]
+    fn from_adjacency_rejects_mismatched_directions() {
+        let out = vec![vec![NodeId(1)], vec![]];
+        let inn = vec![vec![], vec![]];
+        assert!(DynamicGraph::from_adjacency(out, inn)
+            .unwrap_err()
+            .contains("different edge multisets"));
+        let out = vec![vec![NodeId(7)], vec![]];
+        let inn = vec![vec![], vec![NodeId(0)]];
+        assert!(DynamicGraph::from_adjacency(out, inn)
+            .unwrap_err()
+            .contains("outside"));
+        assert!(DynamicGraph::from_adjacency(vec![vec![]], vec![])
+            .unwrap_err()
+            .contains("node count"));
     }
 
     #[test]

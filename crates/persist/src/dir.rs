@@ -1,0 +1,172 @@
+//! The on-disk store directory: generations, the `CURRENT` pointer, and pruning.
+//!
+//! A durable engine owns one directory:
+//!
+//! ```text
+//! <root>/CURRENT          the active generation number, published atomically
+//! <root>/snap-<gen>.ppr   immutable snapshot of generation <gen>
+//! <root>/wal-<gen>.log    the edge batches applied since snapshot <gen>
+//! ```
+//!
+//! A checkpoint writes `snap-<gen+1>.ppr`, starts a fresh `wal-<gen+1>.log`, and only
+//! then flips `CURRENT` — so every observable state of the directory is recoverable.
+//! The previous generation is kept until the *next* checkpoint: if the current
+//! snapshot is found corrupt (bit rot), recovery falls back to generation `gen - 1`
+//! and replays **both** logs, using the record sequence numbers to skip what the
+//! older snapshot already contains.
+
+use crate::io::{corrupt, PersistResult};
+use std::fs::File;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Handle to a durable store directory.
+#[derive(Debug, Clone)]
+pub struct StoreDir {
+    root: PathBuf,
+}
+
+impl StoreDir {
+    /// Initialises a fresh store directory (creating it if needed).  Fails if the
+    /// directory is already initialised — an existing store must be `open`ed, never
+    /// silently re-created.
+    pub fn init(root: impl Into<PathBuf>) -> PersistResult<Self> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        let dir = StoreDir { root };
+        if dir.current_path().exists() {
+            return Err(corrupt(format!(
+                "{} is already an initialised store directory",
+                dir.root.display()
+            )));
+        }
+        Ok(dir)
+    }
+
+    /// Opens an existing store directory.
+    pub fn open(root: impl Into<PathBuf>) -> PersistResult<Self> {
+        let root = root.into();
+        let dir = StoreDir { root };
+        if !dir.current_path().exists() {
+            return Err(corrupt(format!(
+                "{} is not a store directory (no CURRENT file)",
+                dir.root.display()
+            )));
+        }
+        Ok(dir)
+    }
+
+    /// The directory's root path.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn current_path(&self) -> PathBuf {
+        self.root.join("CURRENT")
+    }
+
+    /// Path of generation `gen`'s snapshot file.
+    pub fn snapshot_path(&self, gen: u64) -> PathBuf {
+        self.root.join(format!("snap-{gen:06}.ppr"))
+    }
+
+    /// Path of generation `gen`'s WAL file.
+    pub fn wal_path(&self, gen: u64) -> PathBuf {
+        self.root.join(format!("wal-{gen:06}.log"))
+    }
+
+    /// Reads the active generation from `CURRENT`.
+    pub fn current_gen(&self) -> PersistResult<u64> {
+        let text = std::fs::read_to_string(self.current_path())?;
+        text.trim()
+            .parse()
+            .map_err(|_| corrupt(format!("CURRENT holds {text:?}, not a generation number")))
+    }
+
+    /// Atomically publishes `gen` as the active generation (temp sibling + rename +
+    /// directory fsync), the commit point of a checkpoint.
+    pub fn publish_gen(&self, gen: u64) -> PersistResult<()> {
+        let tmp = self.root.join("CURRENT.tmp");
+        {
+            let mut file = File::create(&tmp)?;
+            writeln!(file, "{gen}")?;
+            file.sync_all()?;
+        }
+        std::fs::rename(&tmp, self.current_path())?;
+        if let Ok(dir) = File::open(&self.root) {
+            let _ = dir.sync_all();
+        }
+        Ok(())
+    }
+
+    /// Removes snapshot and WAL files of every generation below `keep_from`
+    /// (best-effort: pruning failures never fail a checkpoint).
+    pub fn prune_generations_below(&self, keep_from: u64) {
+        let Ok(entries) = std::fs::read_dir(&self.root) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let gen = name
+                .strip_prefix("snap-")
+                .and_then(|s| s.strip_suffix(".ppr"))
+                .or_else(|| {
+                    name.strip_prefix("wal-")
+                        .and_then(|s| s.strip_suffix(".log"))
+                })
+                .and_then(|g| g.parse::<u64>().ok());
+            if let Some(gen) = gen {
+                if gen < keep_from {
+                    let _ = std::fs::remove_file(entry.path());
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tempdir::TempDir;
+
+    #[test]
+    fn init_open_publish_cycle() {
+        let tmp = TempDir::new("storedir");
+        let root = tmp.path().join("store");
+        let dir = StoreDir::init(&root).unwrap();
+        assert!(StoreDir::open(&root).is_err(), "no CURRENT yet");
+        dir.publish_gen(0).unwrap();
+        assert_eq!(dir.current_gen().unwrap(), 0);
+        dir.publish_gen(7).unwrap();
+        assert_eq!(StoreDir::open(&root).unwrap().current_gen().unwrap(), 7);
+        assert!(StoreDir::init(&root).is_err(), "re-init must fail");
+    }
+
+    #[test]
+    fn prune_keeps_recent_generations() {
+        let tmp = TempDir::new("storedir-prune");
+        let dir = StoreDir::init(tmp.path().join("s")).unwrap();
+        for gen in 0..4u64 {
+            std::fs::write(dir.snapshot_path(gen), b"s").unwrap();
+            std::fs::write(dir.wal_path(gen), b"w").unwrap();
+        }
+        dir.prune_generations_below(2);
+        for gen in 0..2u64 {
+            assert!(!dir.snapshot_path(gen).exists());
+            assert!(!dir.wal_path(gen).exists());
+        }
+        for gen in 2..4u64 {
+            assert!(dir.snapshot_path(gen).exists());
+            assert!(dir.wal_path(gen).exists());
+        }
+    }
+
+    #[test]
+    fn garbage_current_is_corrupt() {
+        let tmp = TempDir::new("storedir-garbage");
+        let dir = StoreDir::init(tmp.path().join("s")).unwrap();
+        std::fs::write(tmp.path().join("s/CURRENT"), "not-a-number\n").unwrap();
+        assert!(dir.current_gen().is_err());
+    }
+}

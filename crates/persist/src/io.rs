@@ -1,0 +1,230 @@
+//! Byte-level codec helpers and the error type shared by every persistent format.
+//!
+//! All on-disk integers are **little-endian** and written through [`ByteWriter`] /
+//! read back through [`ByteReader`], so the format is defined in exactly one place per
+//! record type and a short read or out-of-range length is always a typed
+//! [`PersistError::Corrupt`] instead of a panic.
+
+use std::fmt;
+
+/// Errors surfaced by the durability layer.
+#[derive(Debug)]
+pub enum PersistError {
+    /// An operating-system I/O failure (open, read, write, fsync, rename).
+    Io(std::io::Error),
+    /// Stored bytes failed validation: a checksum mismatch, a short read, an
+    /// impossible length.  Data signalled as corrupt is never partially applied.
+    Corrupt(String),
+    /// The bytes are intact but describe something this build cannot load: an unknown
+    /// format version, a store-layout mismatch, an invalid configuration value.
+    Format(String),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "I/O error: {e}"),
+            PersistError::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
+            PersistError::Format(msg) => write!(f, "unsupported format: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+/// Result alias for the durability layer.
+pub type PersistResult<T> = Result<T, PersistError>;
+
+/// Shorthand for building a [`PersistError::Corrupt`].
+pub fn corrupt(msg: impl Into<String>) -> PersistError {
+    PersistError::Corrupt(msg.into())
+}
+
+/// Shorthand for building a [`PersistError::Format`].
+pub fn format_err(msg: impl Into<String>) -> PersistError {
+    PersistError::Format(msg.into())
+}
+
+/// An append-only little-endian encoder over a growable byte buffer.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        ByteWriter::default()
+    }
+
+    /// Creates a writer with `capacity` bytes pre-reserved.
+    pub fn with_capacity(capacity: usize) -> Self {
+        ByteWriter {
+            buf: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u32`, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its IEEE-754 bit pattern (exact round trip).
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Appends raw bytes.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the writer and returns the encoded buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// A little-endian decoder over a byte slice; every read is bounds-checked.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Wraps a byte slice for decoding.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Fails with [`PersistError::Corrupt`] unless every byte has been consumed.
+    pub fn expect_end(&self, what: &str) -> PersistResult<()> {
+        if self.remaining() != 0 {
+            return Err(corrupt(format!(
+                "{what}: {} trailing bytes after the last field",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Reads `len` raw bytes.
+    pub fn get_bytes(&mut self, len: usize) -> PersistResult<&'a [u8]> {
+        if self.remaining() < len {
+            return Err(corrupt(format!(
+                "short read: wanted {len} bytes, {} remain",
+                self.remaining()
+            )));
+        }
+        let out = &self.buf[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> PersistResult<u8> {
+        Ok(self.get_bytes(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self) -> PersistResult<u32> {
+        Ok(u32::from_le_bytes(self.get_bytes(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self) -> PersistResult<u64> {
+        Ok(u64::from_le_bytes(self.get_bytes(8)?.try_into().unwrap()))
+    }
+
+    /// Reads an `f64` written by [`ByteWriter::put_f64`].
+    pub fn get_f64(&mut self) -> PersistResult<f64> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Reads a `u64` and converts it to `usize`, rejecting values that do not fit.
+    pub fn get_len(&mut self) -> PersistResult<usize> {
+        let v = self.get_u64()?;
+        usize::try_from(v).map_err(|_| corrupt(format!("length {v} exceeds the address space")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_every_scalar() {
+        let mut w = ByteWriter::new();
+        w.put_u8(7);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 1);
+        w.put_f64(0.2);
+        w.put_bytes(b"tail");
+        let bytes = w.into_bytes();
+
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.get_f64().unwrap(), 0.2);
+        assert_eq!(r.get_bytes(4).unwrap(), b"tail");
+        assert!(r.expect_end("test").is_ok());
+    }
+
+    #[test]
+    fn short_reads_are_corrupt_not_panics() {
+        let mut r = ByteReader::new(&[1, 2, 3]);
+        assert!(matches!(r.get_u32(), Err(PersistError::Corrupt(_))));
+        // The failed read consumed nothing; smaller reads still succeed.
+        assert_eq!(r.get_u8().unwrap(), 1);
+        assert_eq!(r.remaining(), 2);
+        assert!(r.expect_end("test").is_err());
+    }
+
+    #[test]
+    fn error_display_mentions_the_kind() {
+        assert!(corrupt("bad crc").to_string().contains("corrupt"));
+        assert!(format_err("v9").to_string().contains("unsupported"));
+        let io: PersistError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(io.to_string().contains("I/O"));
+    }
+}

@@ -1,0 +1,49 @@
+//! Durable storage for the `fast-ppr` workspace (`ppr-persist`).
+//!
+//! The paper's premise is that Monte Carlo walk segments are *stored state*: they are
+//! generated once at `nR/ε` cost and then maintained incrementally as edges arrive.
+//! That premise is only real if the state survives the process — otherwise every
+//! restart repays the full initialization cost that incremental maintenance exists
+//! to avoid.  This crate is the durability layer that closes that gap:
+//!
+//! * [`snapshot`] — a versioned, sectioned, checksummed **snapshot container**,
+//!   written atomically per generation (temp file + rename), holding the engine
+//!   metadata, the Social Store's graph ([`graph`]), and the PageRank Store's walk
+//!   data in a paged layout aligned to arena segments ([`layout`]);
+//! * [`wal`] — an append-only, CRC-framed **write-ahead log** of the exact
+//!   `&[Edge]` batches the engines consume, fsynced per batch, with torn-tail
+//!   truncation on recovery.  Because the repair pipeline is deterministic, replaying
+//!   the log over its snapshot reproduces the engine **bit-identically**;
+//! * [`disk`] — [`disk::DiskWalkStore`], a file-backed `WalkIndex`/`WalkIndexMut`
+//!   implementation whose checkpoints re-encode only dirty heap pages and stream
+//!   clean pages out of the previous generation through a page cache ([`pager`]);
+//! * [`dir`] — the generation-numbered store directory with its atomically published
+//!   `CURRENT` pointer and previous-generation fallback.
+//!
+//! The engine-facing `open`/`checkpoint` APIs live in `ppr-core::durable`, built on
+//! the [`layout::PersistentWalkStore`] trait this crate implements for the flat,
+//! sharded, and disk-backed store layouts.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod crc;
+pub mod dir;
+pub mod disk;
+pub mod graph;
+pub mod io;
+pub mod layout;
+pub mod pager;
+pub mod snapshot;
+pub mod tempdir;
+pub mod wal;
+
+pub use crc::crc32;
+pub use dir::StoreDir;
+pub use disk::{DiskStoreStats, DiskWalkStore};
+pub use io::{PersistError, PersistResult};
+pub use layout::{PagedWalks, PersistentWalkStore};
+pub use pager::PagerStats;
+pub use snapshot::{SnapshotFile, SnapshotWriter};
+pub use tempdir::TempDir;
+pub use wal::{WalOp, WalRecord, WalWriter};

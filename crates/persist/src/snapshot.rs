@@ -1,0 +1,279 @@
+//! The snapshot container: a versioned, sectioned, checksummed file written
+//! atomically per generation.
+//!
+//! A snapshot is the durable image of one engine at one instant — engine metadata,
+//! the Social Store's graph, and the PageRank Store's walk data live in separate
+//! **sections** so each can evolve (and be validated) independently:
+//!
+//! ```text
+//! file    := magic "PPRSNAP1" | version u32 | section_count u32 | section*
+//! section := tag u32 | payload_len u64 | payload_crc u32 | payload
+//! ```
+//!
+//! Snapshots are **immutable**: [`SnapshotWriter::write_to`] assembles the whole file
+//! in a temp sibling, fsyncs it, and renames it into place (then fsyncs the
+//! directory), so a crash mid-checkpoint can never produce a torn snapshot — the
+//! previous generation simply remains current.  Any flipped byte is caught either by
+//! a section checksum or by the walks section's own page-level checksums
+//! ([`crate::layout`]); a snapshot that fails validation is treated as absent and
+//! recovery falls back to the previous generation.
+
+use crate::crc::crc32;
+use crate::io::{corrupt, format_err, PersistResult};
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"PPRSNAP1";
+const VERSION: u32 = 1;
+
+/// Section tag: engine metadata (config, RNG state, counters).
+pub const SECTION_META: u32 = 1;
+/// Section tag: the Social Store's graph (both adjacency directions, exact order).
+pub const SECTION_GRAPH: u32 = 2;
+/// Section tag: the PageRank Store's walk data (paged heap + postings).
+pub const SECTION_WALKS: u32 = 3;
+
+/// Assembles and atomically writes one snapshot file.
+#[derive(Debug, Default)]
+pub struct SnapshotWriter {
+    sections: Vec<(u32, Vec<u8>)>,
+}
+
+impl SnapshotWriter {
+    /// Starts an empty snapshot.
+    pub fn new() -> Self {
+        SnapshotWriter::default()
+    }
+
+    /// Appends one section.  Sections are written in insertion order; tags must be
+    /// unique within a file.
+    pub fn add_section(&mut self, tag: u32, payload: Vec<u8>) {
+        debug_assert!(
+            self.sections.iter().all(|&(t, _)| t != tag),
+            "duplicate section tag {tag}"
+        );
+        self.sections.push((tag, payload));
+    }
+
+    /// Writes the snapshot to `path` atomically: temp sibling, fsync, rename, fsync
+    /// of the parent directory.  Returns the total bytes written.
+    pub fn write_to(self, path: &Path) -> PersistResult<u64> {
+        let tmp = path.with_extension("tmp");
+        let mut total = 0u64;
+        {
+            let mut file = File::create(&tmp)?;
+            let mut header = Vec::with_capacity(16);
+            header.extend_from_slice(MAGIC);
+            header.extend_from_slice(&VERSION.to_le_bytes());
+            header.extend_from_slice(&(self.sections.len() as u32).to_le_bytes());
+            file.write_all(&header)?;
+            total += header.len() as u64;
+            for (tag, payload) in &self.sections {
+                let mut head = Vec::with_capacity(16);
+                head.extend_from_slice(&tag.to_le_bytes());
+                head.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+                head.extend_from_slice(&crc32(payload).to_le_bytes());
+                file.write_all(&head)?;
+                file.write_all(payload)?;
+                total += head.len() as u64 + payload.len() as u64;
+            }
+            file.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        if let Some(parent) = path.parent() {
+            // Make the rename itself durable.  Directory fsync is best-effort on
+            // platforms where directories cannot be opened for sync.
+            if let Ok(dir) = File::open(parent) {
+                let _ = dir.sync_all();
+            }
+        }
+        Ok(total)
+    }
+}
+
+/// One section's location within an open snapshot file.
+#[derive(Debug, Clone, Copy)]
+pub struct SectionInfo {
+    /// The section's tag.
+    pub tag: u32,
+    /// Byte offset of the payload within the file.
+    pub offset: u64,
+    /// Payload length in bytes.
+    pub len: u64,
+    /// CRC-32 of the payload.
+    pub crc: u32,
+}
+
+/// An open snapshot file: header validated, section table scanned, payloads read on
+/// demand.
+#[derive(Debug)]
+pub struct SnapshotFile {
+    file: File,
+    sections: Vec<SectionInfo>,
+}
+
+impl SnapshotFile {
+    /// Opens `path`, validating the header and scanning the section table (payload
+    /// bytes are not read yet).
+    pub fn open(path: &Path) -> PersistResult<Self> {
+        let mut file = File::open(path)?;
+        let file_len = file.metadata()?.len();
+        let mut header = [0u8; 16];
+        file.read_exact(&mut header)
+            .map_err(|_| corrupt("snapshot shorter than its header"))?;
+        if &header[..8] != MAGIC {
+            return Err(corrupt("bad snapshot magic"));
+        }
+        let version = u32::from_le_bytes(header[8..12].try_into().unwrap());
+        if version != VERSION {
+            return Err(format_err(format!(
+                "snapshot version {version}, expected {VERSION}"
+            )));
+        }
+        let count = u32::from_le_bytes(header[12..16].try_into().unwrap());
+        let mut sections = Vec::with_capacity(count as usize);
+        let mut pos = 16u64;
+        for _ in 0..count {
+            // All section-table arithmetic is checked: a corrupt length near
+            // u64::MAX must fail as Corrupt, never wrap past the bounds checks.
+            if pos.checked_add(16).is_none_or(|end| end > file_len) {
+                return Err(corrupt("snapshot section table truncated"));
+            }
+            file.seek(SeekFrom::Start(pos))?;
+            let mut head = [0u8; 16];
+            file.read_exact(&mut head)?;
+            let tag = u32::from_le_bytes(head[0..4].try_into().unwrap());
+            let len = u64::from_le_bytes(head[4..12].try_into().unwrap());
+            let crc = u32::from_le_bytes(head[12..16].try_into().unwrap());
+            let offset = pos + 16;
+            if offset.checked_add(len).is_none_or(|end| end > file_len) {
+                return Err(corrupt(format!(
+                    "section {tag} claims {len} bytes past the end of the file"
+                )));
+            }
+            sections.push(SectionInfo {
+                tag,
+                offset,
+                len,
+                crc,
+            });
+            pos = offset + len;
+        }
+        if pos != file_len {
+            return Err(corrupt(format!(
+                "{} trailing bytes after the last section",
+                file_len - pos
+            )));
+        }
+        Ok(SnapshotFile { file, sections })
+    }
+
+    /// Locations of every section, in file order.
+    pub fn sections(&self) -> &[SectionInfo] {
+        &self.sections
+    }
+
+    /// The location of the section tagged `tag`.
+    pub fn section(&self, tag: u32) -> PersistResult<SectionInfo> {
+        self.sections
+            .iter()
+            .copied()
+            .find(|s| s.tag == tag)
+            .ok_or_else(|| corrupt(format!("snapshot has no section with tag {tag}")))
+    }
+
+    /// Reads and checksum-validates the payload of the section tagged `tag`.
+    pub fn read_section(&mut self, tag: u32) -> PersistResult<Vec<u8>> {
+        let info = self.section(tag)?;
+        let len = usize::try_from(info.len)
+            .map_err(|_| corrupt(format!("section {tag} too large for this platform")))?;
+        let mut payload = vec![0u8; len];
+        self.file.seek(SeekFrom::Start(info.offset))?;
+        self.file.read_exact(&mut payload)?;
+        if crc32(&payload) != info.crc {
+            return Err(corrupt(format!("checksum mismatch in section {tag}")));
+        }
+        Ok(payload)
+    }
+
+    /// Takes the underlying file handle (for paged section access); consumes the
+    /// snapshot handle.
+    pub fn into_file(self) -> File {
+        self.file
+    }
+
+    /// Reads every section and verifies every payload checksum — the full-file
+    /// validation used when deciding whether a generation is loadable at all.
+    pub fn verify_all(path: &Path) -> PersistResult<()> {
+        let mut snap = SnapshotFile::open(path)?;
+        let tags: Vec<u32> = snap.sections.iter().map(|s| s.tag).collect();
+        for tag in tags {
+            snap.read_section(tag)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tempdir::TempDir;
+
+    fn write_sample(path: &Path) {
+        let mut w = SnapshotWriter::new();
+        w.add_section(SECTION_META, b"meta-bytes".to_vec());
+        w.add_section(SECTION_GRAPH, vec![7u8; 1000]);
+        w.add_section(SECTION_WALKS, b"".to_vec());
+        w.write_to(path).unwrap();
+    }
+
+    #[test]
+    fn sections_round_trip() {
+        let dir = TempDir::new("snap-roundtrip");
+        let path = dir.path().join("snap-000000.ppr");
+        write_sample(&path);
+        assert!(!path.with_extension("tmp").exists(), "tmp must be renamed");
+
+        let mut snap = SnapshotFile::open(&path).unwrap();
+        assert_eq!(snap.sections().len(), 3);
+        assert_eq!(snap.read_section(SECTION_META).unwrap(), b"meta-bytes");
+        assert_eq!(snap.read_section(SECTION_GRAPH).unwrap(), vec![7u8; 1000]);
+        assert!(snap.read_section(SECTION_WALKS).unwrap().is_empty());
+        assert!(snap.read_section(99).is_err());
+        SnapshotFile::verify_all(&path).unwrap();
+    }
+
+    #[test]
+    fn every_flipped_byte_is_rejected_by_verify_all() {
+        let dir = TempDir::new("snap-flip");
+        let path = dir.path().join("snap.ppr");
+        write_sample(&path);
+        let clean = std::fs::read(&path).unwrap();
+        // Flipping a byte at a sample of positions across header, section table, and
+        // payloads must always fail validation (never silently load).
+        for pos in (0..clean.len()).step_by(13).chain([clean.len() - 1]) {
+            let mut bad = clean.clone();
+            bad[pos] ^= 0x40;
+            std::fs::write(&path, &bad).unwrap();
+            assert!(
+                SnapshotFile::verify_all(&path).is_err(),
+                "flip at byte {pos} went undetected"
+            );
+        }
+        std::fs::write(&path, &clean).unwrap();
+        SnapshotFile::verify_all(&path).unwrap();
+    }
+
+    #[test]
+    fn truncated_files_are_rejected() {
+        let dir = TempDir::new("snap-trunc");
+        let path = dir.path().join("snap.ppr");
+        write_sample(&path);
+        let clean = std::fs::read(&path).unwrap();
+        for keep in [0usize, 5, 16, clean.len() - 1] {
+            std::fs::write(&path, &clean[..keep]).unwrap();
+            assert!(SnapshotFile::open(&path).is_err(), "kept {keep} bytes");
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! A minimal scoped temporary directory (the workspace builds hermetically, so the
+//! usual `tempfile` crate is not available).
+//!
+//! Used by this crate's tests, the workspace's durability test suites, and the
+//! `recover-smoke` crash harness.  Directories are created under the OS temp root
+//! with a process-unique suffix and removed on drop; set `PPR_KEEP_TMP=1` to keep
+//! them around for post-mortem inspection.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A directory under the OS temp root, deleted when dropped.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Creates a fresh, empty directory whose name starts with `prefix`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the directory cannot be created — temp-dir availability is an
+    /// environment precondition for the callers (tests and smoke binaries), not a
+    /// recoverable condition.
+    pub fn new(prefix: &str) -> Self {
+        let unique = format!(
+            "fast-ppr-{prefix}-{}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        );
+        let path = std::env::temp_dir().join(unique);
+        std::fs::create_dir_all(&path).expect("failed to create temp dir");
+        TempDir { path }
+    }
+
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        if std::env::var_os("PPR_KEEP_TMP").is_none() {
+            let _ = std::fs::remove_dir_all(&self.path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_and_removes() {
+        let kept;
+        {
+            let dir = TempDir::new("unit");
+            kept = dir.path().to_path_buf();
+            assert!(kept.is_dir());
+            std::fs::write(kept.join("f"), b"x").unwrap();
+        }
+        assert!(!kept.exists(), "dropped TempDir must remove its tree");
+    }
+
+    #[test]
+    fn two_dirs_never_collide() {
+        let a = TempDir::new("unit");
+        let b = TempDir::new("unit");
+        assert_ne!(a.path(), b.path());
+    }
+}

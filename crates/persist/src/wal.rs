@@ -1,0 +1,367 @@
+//! The edge-event write-ahead log: an append-only file of CRC-framed arrival and
+//! deletion batches.
+//!
+//! Every record carries exactly the `&[Edge]` batch an engine's `apply_arrivals` /
+//! `apply_deletions` call consumes, plus a monotone sequence number.  Because the
+//! repair pipeline is deterministic (split RNG streams per `(batch, pivot, segment)`),
+//! replaying the records of a log over the snapshot they follow reproduces the
+//! engine's state **bit-identically** — the WAL never needs to store any effect of a
+//! batch, only the batch itself.
+//!
+//! # Framing and durability
+//!
+//! ```text
+//! file   := header record*
+//! header := magic "PPRWAL01" | version u32 | crc u32 (over magic+version)
+//! record := body_len u32 | body_crc u32 | body
+//! body   := seq u64 | kind u8 (1 = arrivals, 2 = deletions) | count u32 | (u32, u32)*count
+//! ```
+//!
+//! Appends write the full frame and then (by default) `fdatasync` before returning,
+//! so a batch acknowledged by the engine survives power loss — this is the
+//! fsync-on-batch contract; [`WalWriter::set_fsync`] can relax it for bulk loads.
+//!
+//! A crash mid-append leaves a **torn tail**: a partial frame, or a frame whose CRC
+//! does not match.  [`read_records`] stops at the first invalid frame and reports the
+//! byte offset of the last valid one, and [`WalWriter::open_truncating`] truncates the
+//! file there before appending again — recovery keeps every fully synced batch and
+//! cleanly drops the one that was mid-write, which is exactly the at-most-one-batch
+//! loss window the fsync contract promises.
+
+use crate::crc::crc32;
+use crate::io::{corrupt, format_err, ByteReader, ByteWriter, PersistResult};
+use ppr_graph::{Edge, NodeId};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"PPRWAL01";
+const VERSION: u32 = 1;
+const HEADER_LEN: u64 = 8 + 4 + 4;
+
+/// The kind of edge batch a WAL record replays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalOp {
+    /// A batch for `apply_arrivals`.
+    Arrivals,
+    /// A batch for `apply_deletions` (or a per-edge `remove_edge` replay).
+    Deletions,
+}
+
+impl WalOp {
+    fn to_byte(self) -> u8 {
+        match self {
+            WalOp::Arrivals => 1,
+            WalOp::Deletions => 2,
+        }
+    }
+
+    fn from_byte(b: u8) -> PersistResult<Self> {
+        match b {
+            1 => Ok(WalOp::Arrivals),
+            2 => Ok(WalOp::Deletions),
+            other => Err(corrupt(format!("unknown WAL record kind {other}"))),
+        }
+    }
+}
+
+/// One durable edge batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalRecord {
+    /// Monotone sequence number of the record within the engine's whole history
+    /// (snapshots store the next expected value, so replay knows where to resume).
+    pub seq: u64,
+    /// Whether the batch is arrivals or deletions.
+    pub op: WalOp,
+    /// The edges of the batch, in the exact order the engine received them.
+    pub edges: Vec<Edge>,
+}
+
+/// Encodes one record body from a borrowed batch.
+fn encode_body(seq: u64, op: WalOp, edges: &[Edge]) -> Vec<u8> {
+    let mut w = ByteWriter::with_capacity(13 + edges.len() * 8);
+    w.put_u64(seq);
+    w.put_u8(op.to_byte());
+    w.put_u32(edges.len() as u32);
+    for edge in edges {
+        w.put_u32(edge.source.0);
+        w.put_u32(edge.target.0);
+    }
+    w.into_bytes()
+}
+
+impl WalRecord {
+    fn decode(body: &[u8]) -> PersistResult<Self> {
+        let mut r = ByteReader::new(body);
+        let seq = r.get_u64()?;
+        let op = WalOp::from_byte(r.get_u8()?)?;
+        let count = r.get_u32()? as usize;
+        if r.remaining() != count * 8 {
+            return Err(corrupt(format!(
+                "WAL record body holds {} bytes for {count} edges",
+                r.remaining()
+            )));
+        }
+        let mut edges = Vec::with_capacity(count);
+        for _ in 0..count {
+            let source = NodeId(r.get_u32()?);
+            let target = NodeId(r.get_u32()?);
+            edges.push(Edge { source, target });
+        }
+        Ok(WalRecord { seq, op, edges })
+    }
+}
+
+/// Result of scanning a WAL file.
+#[derive(Debug)]
+pub struct WalScan {
+    /// Every record with a valid frame, in file order.
+    pub records: Vec<WalRecord>,
+    /// Byte offset just past the last valid frame (the truncation point).
+    pub valid_len: u64,
+    /// `true` when bytes past `valid_len` existed but did not form a valid frame — a
+    /// torn tail from a crash mid-append.
+    pub torn_tail: bool,
+}
+
+/// Reads and validates every record of a WAL file.
+///
+/// Frames after the first invalid one are **not** inspected: a torn frame means the
+/// writer died there, so nothing after it can be trusted (and the writer never starts
+/// frame `k + 1` before frame `k` is fully written).
+pub fn read_records(path: &Path) -> PersistResult<WalScan> {
+    let mut file = File::open(path)?;
+    let mut bytes = Vec::new();
+    file.read_to_end(&mut bytes)?;
+    if bytes.len() < HEADER_LEN as usize {
+        return Err(corrupt("WAL file shorter than its header"));
+    }
+    if &bytes[..8] != MAGIC {
+        return Err(corrupt("bad WAL magic"));
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version != VERSION {
+        return Err(format_err(format!(
+            "WAL version {version}, expected {VERSION}"
+        )));
+    }
+    let header_crc = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
+    if header_crc != crc32(&bytes[..12]) {
+        return Err(corrupt("WAL header checksum mismatch"));
+    }
+
+    let mut records = Vec::new();
+    let mut pos = HEADER_LEN as usize;
+    let mut torn_tail = false;
+    while pos < bytes.len() {
+        let Some(frame) = bytes.get(pos..pos + 8) else {
+            torn_tail = true;
+            break;
+        };
+        let body_len = u32::from_le_bytes(frame[..4].try_into().unwrap()) as usize;
+        let body_crc = u32::from_le_bytes(frame[4..8].try_into().unwrap());
+        let Some(body) = bytes.get(pos + 8..pos + 8 + body_len) else {
+            torn_tail = true;
+            break;
+        };
+        if crc32(body) != body_crc {
+            torn_tail = true;
+            break;
+        }
+        // A frame that checksums but does not parse is corruption, not tearing: the
+        // writer only syncs well-formed bodies.
+        records.push(WalRecord::decode(body)?);
+        pos += 8 + body_len;
+    }
+    Ok(WalScan {
+        records,
+        valid_len: pos.min(bytes.len()) as u64,
+        torn_tail,
+    })
+}
+
+/// Appends CRC-framed records to a WAL file, fsyncing each batch by default.
+#[derive(Debug)]
+pub struct WalWriter {
+    file: File,
+    fsync: bool,
+    appended: u64,
+}
+
+impl WalWriter {
+    /// Creates a fresh WAL file (failing if one already exists) and syncs its header.
+    pub fn create(path: &Path) -> PersistResult<Self> {
+        let mut file = OpenOptions::new().write(true).create_new(true).open(path)?;
+        let mut header = Vec::with_capacity(HEADER_LEN as usize);
+        header.extend_from_slice(MAGIC);
+        header.extend_from_slice(&VERSION.to_le_bytes());
+        let crc = crc32(&header);
+        header.extend_from_slice(&crc.to_le_bytes());
+        file.write_all(&header)?;
+        file.sync_all()?;
+        Ok(WalWriter {
+            file,
+            fsync: true,
+            appended: 0,
+        })
+    }
+
+    /// Re-opens an existing WAL for appending: validates every frame, truncates the
+    /// torn tail (if any) so a crashed half-frame can never shadow a future append,
+    /// and positions the writer at the end.  Returns the surviving records alongside
+    /// the writer.
+    pub fn open_truncating(path: &Path) -> PersistResult<(WalScan, Self)> {
+        let scan = read_records(path)?;
+        let file = OpenOptions::new().write(true).open(path)?;
+        if scan.torn_tail {
+            file.set_len(scan.valid_len)?;
+            file.sync_all()?;
+        }
+        let mut file = file;
+        file.seek(SeekFrom::Start(scan.valid_len))?;
+        Ok((
+            scan,
+            WalWriter {
+                file,
+                fsync: true,
+                appended: 0,
+            },
+        ))
+    }
+
+    /// Controls whether each append fsyncs before returning (defaults to `true`).
+    /// With fsync off, durability of recent batches depends on the OS page cache —
+    /// only recovery *correctness* is preserved (the tail truncates cleanly either
+    /// way), not the at-most-one-batch loss bound.
+    pub fn set_fsync(&mut self, fsync: bool) {
+        self.fsync = fsync;
+    }
+
+    /// Appends one record and (by default) fsyncs it.  Encodes straight from the
+    /// borrowed batch — no clone of the edges on the per-batch hot path.
+    pub fn append(&mut self, seq: u64, op: WalOp, edges: &[Edge]) -> PersistResult<()> {
+        let body = encode_body(seq, op, edges);
+        let mut frame = Vec::with_capacity(8 + body.len());
+        frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&body).to_le_bytes());
+        frame.extend_from_slice(&body);
+        self.file.write_all(&frame)?;
+        if self.fsync {
+            self.file.sync_data()?;
+        }
+        self.appended += 1;
+        Ok(())
+    }
+
+    /// Number of records appended through this writer.
+    pub fn appended(&self) -> u64 {
+        self.appended
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tempdir::TempDir;
+
+    fn edges(pairs: &[(u32, u32)]) -> Vec<Edge> {
+        pairs.iter().map(|&(s, t)| Edge::new(s, t)).collect()
+    }
+
+    #[test]
+    fn append_and_read_round_trip() {
+        let dir = TempDir::new("wal-roundtrip");
+        let path = dir.path().join("wal.log");
+        let mut writer = WalWriter::create(&path).unwrap();
+        writer
+            .append(0, WalOp::Arrivals, &edges(&[(0, 1), (2, 3)]))
+            .unwrap();
+        writer
+            .append(1, WalOp::Deletions, &edges(&[(0, 1)]))
+            .unwrap();
+        writer.append(2, WalOp::Arrivals, &[]).unwrap();
+
+        let scan = read_records(&path).unwrap();
+        assert!(!scan.torn_tail);
+        assert_eq!(scan.records.len(), 3);
+        assert_eq!(scan.records[0].op, WalOp::Arrivals);
+        assert_eq!(scan.records[0].edges, edges(&[(0, 1), (2, 3)]));
+        assert_eq!(scan.records[1].op, WalOp::Deletions);
+        assert_eq!(scan.records[2].seq, 2);
+        assert!(scan.records[2].edges.is_empty());
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_appends_resume() {
+        let dir = TempDir::new("wal-torn");
+        let path = dir.path().join("wal.log");
+        let mut writer = WalWriter::create(&path).unwrap();
+        writer
+            .append(0, WalOp::Arrivals, &edges(&[(1, 2)]))
+            .unwrap();
+        writer
+            .append(1, WalOp::Arrivals, &edges(&[(3, 4)]))
+            .unwrap();
+        drop(writer);
+        // Simulate a crash mid-append: half a frame of garbage at the tail.
+        let intact = std::fs::metadata(&path).unwrap().len();
+        let mut file = OpenOptions::new().append(true).open(&path).unwrap();
+        file.write_all(&[0x55; 7]).unwrap();
+        drop(file);
+
+        let (scan, mut writer) = WalWriter::open_truncating(&path).unwrap();
+        assert!(scan.torn_tail);
+        assert_eq!(scan.valid_len, intact);
+        assert_eq!(scan.records.len(), 2);
+        writer
+            .append(2, WalOp::Deletions, &edges(&[(1, 2)]))
+            .unwrap();
+        drop(writer);
+
+        let rescan = read_records(&path).unwrap();
+        assert!(!rescan.torn_tail);
+        assert_eq!(rescan.records.len(), 3);
+        assert_eq!(rescan.records[2].seq, 2);
+    }
+
+    #[test]
+    fn corrupted_record_body_stops_the_scan() {
+        let dir = TempDir::new("wal-corrupt");
+        let path = dir.path().join("wal.log");
+        let mut writer = WalWriter::create(&path).unwrap();
+        writer
+            .append(0, WalOp::Arrivals, &edges(&[(1, 2)]))
+            .unwrap();
+        writer
+            .append(1, WalOp::Arrivals, &edges(&[(3, 4)]))
+            .unwrap();
+        drop(writer);
+        // Flip one byte inside the second record's body.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let off = bytes.len() - 3;
+        bytes[off] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let scan = read_records(&path).unwrap();
+        assert!(scan.torn_tail, "a mid-body flip must invalidate the frame");
+        assert_eq!(scan.records.len(), 1);
+    }
+
+    #[test]
+    fn bad_header_is_rejected_outright() {
+        let dir = TempDir::new("wal-header");
+        let path = dir.path().join("wal.log");
+        std::fs::write(&path, b"NOTAWAL!\x01\x00\x00\x00zzzz").unwrap();
+        assert!(read_records(&path).is_err());
+        std::fs::write(&path, b"short").unwrap();
+        assert!(read_records(&path).is_err());
+    }
+
+    #[test]
+    fn create_refuses_to_clobber() {
+        let dir = TempDir::new("wal-clobber");
+        let path = dir.path().join("wal.log");
+        let _writer = WalWriter::create(&path).unwrap();
+        assert!(WalWriter::create(&path).is_err());
+    }
+}

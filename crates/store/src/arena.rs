@@ -44,12 +44,34 @@ pub struct ArenaStats {
     pub relocations: u64,
     /// Number of whole-arena compaction passes performed.
     pub compactions: u64,
+    /// Total wall time spent inside compaction passes, in nanoseconds.  Compactions
+    /// run inline on the write path, so this is pure pause time as seen by callers —
+    /// the number the ROADMAP's "compaction policy tuning" item needs.
+    pub compaction_nanos: u64,
+    /// Total live steps copied by compaction passes (the work a pass actually moves;
+    /// 4 bytes per step).
+    pub compaction_steps_moved: u64,
     /// Total live steps currently stored.
     pub live_steps: usize,
     /// Steps of garbage capacity left behind by relocations (reclaimed on compaction).
     pub dead_steps: usize,
     /// Total length of the shared step buffer (live + reserved + dead).
     pub buffer_len: usize,
+}
+
+impl ArenaStats {
+    /// Adds another arena's counters into this one (used by sharded stores to report
+    /// one aggregate over their per-shard arenas).
+    pub fn merge(&mut self, other: &ArenaStats) {
+        self.in_place_writes += other.in_place_writes;
+        self.relocations += other.relocations;
+        self.compactions += other.compactions;
+        self.compaction_nanos += other.compaction_nanos;
+        self.compaction_steps_moved += other.compaction_steps_moved;
+        self.live_steps += other.live_steps;
+        self.dead_steps += other.dead_steps;
+        self.buffer_len += other.buffer_len;
+    }
 }
 
 /// A flat arena of walk steps with per-segment slots.
@@ -62,6 +84,8 @@ pub struct StepArena {
     in_place_writes: u64,
     relocations: u64,
     compactions: u64,
+    compaction_nanos: u64,
+    compaction_steps_moved: u64,
 }
 
 impl StepArena {
@@ -144,6 +168,8 @@ impl StepArena {
             in_place_writes: self.in_place_writes,
             relocations: self.relocations,
             compactions: self.compactions,
+            compaction_nanos: self.compaction_nanos,
+            compaction_steps_moved: self.compaction_steps_moved,
             live_steps: self.live,
             dead_steps: self.dead,
             buffer_len: self.steps.len(),
@@ -164,6 +190,7 @@ impl StepArena {
         if self.dead <= self.live.max(MIN_SLOT_CAP * self.slots.len() / 2) {
             return;
         }
+        let started = std::time::Instant::now();
         let reserved: usize = self
             .slots
             .iter()
@@ -181,6 +208,8 @@ impl StepArena {
         self.steps = packed;
         self.dead = 0;
         self.compactions += 1;
+        self.compaction_steps_moved += self.live as u64;
+        self.compaction_nanos += started.elapsed().as_nanos() as u64;
     }
 }
 
@@ -257,6 +286,14 @@ mod tests {
         assert!(
             stats.compactions > 0,
             "garbage should have forced compaction"
+        );
+        assert!(
+            stats.compaction_steps_moved >= stats.compactions * 8,
+            "each pass moves at least the live steps of the 8 slots: {stats:?}"
+        );
+        assert!(
+            stats.compaction_nanos > 0,
+            "compaction pause time must be recorded: {stats:?}"
         );
         assert!(
             stats.dead_steps <= stats.live_steps.max(MIN_SLOT_CAP * 8 / 2),

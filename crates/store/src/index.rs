@@ -116,6 +116,11 @@ pub trait WalkIndex {
     fn route_shards(&self) -> usize {
         1
     }
+
+    /// Allocation- and compaction-behaviour counters of the backing step arena(s),
+    /// aggregated over shards for sharded layouts.  Observability only — engines use
+    /// the deltas to charge compaction pauses to the batch that triggered them.
+    fn arena_stats(&self) -> crate::arena::ArenaStats;
 }
 
 /// A batch of segment rewrites, stored flat: each entry replaces one segment's whole
@@ -278,6 +283,10 @@ impl WalkIndex for WalkStore {
 
     fn update_probability(&self, node: NodeId, out_degree: usize) -> f64 {
         WalkStore::update_probability(self, node, out_degree)
+    }
+
+    fn arena_stats(&self) -> crate::arena::ArenaStats {
+        WalkStore::arena_stats(self)
     }
 }
 

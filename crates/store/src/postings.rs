@@ -41,6 +41,27 @@ impl VisitPostings {
         VisitPostings::default()
     }
 
+    /// Builds postings directly from a finished sorted run (the decode half of a
+    /// snapshot round trip: the encode half is [`VisitPostings::iter`], which yields
+    /// exactly this run).  The run becomes the base; the delta overlay starts empty.
+    ///
+    /// Returns an error unless the run is strictly increasing by segment id with all
+    /// counts positive — the invariant every merged run maintains.
+    pub fn from_sorted_run(run: Vec<(SegmentId, u32)>) -> Result<Self, String> {
+        for (i, &(id, count)) in run.iter().enumerate() {
+            if count == 0 {
+                return Err(format!("posting {id:?} has a zero count"));
+            }
+            if i > 0 && run[i - 1].0 >= id {
+                return Err(format!("postings run not strictly increasing at {id:?}"));
+            }
+        }
+        Ok(VisitPostings {
+            base: run,
+            delta: Vec::new(),
+        })
+    }
+
     /// Records `change` visits of segment `id` (negative to remove visits).
     ///
     /// The update lands in the delta overlay; the overlay is folded into the base run
@@ -293,6 +314,23 @@ mod tests {
         assert_eq!(p.count_of(seg(2)), 2);
         let total: u64 = collected.iter().map(|&(_, c)| c as u64).sum();
         assert_eq!(total, p.total());
+    }
+
+    #[test]
+    fn from_sorted_run_round_trips_iter() {
+        let mut p = VisitPostings::new();
+        p.record(seg(4), 2);
+        p.record(seg(1), 1);
+        p.record(seg(9), 7);
+        let run: Vec<_> = p.iter().collect();
+        let rebuilt = VisitPostings::from_sorted_run(run.clone()).unwrap();
+        assert_eq!(rebuilt.iter().collect::<Vec<_>>(), run);
+        assert_eq!(rebuilt.total(), p.total());
+        assert_eq!(rebuilt.pending_delta(), 0);
+
+        assert!(VisitPostings::from_sorted_run(vec![(seg(1), 0)]).is_err());
+        assert!(VisitPostings::from_sorted_run(vec![(seg(2), 1), (seg(2), 1)]).is_err());
+        assert!(VisitPostings::from_sorted_run(vec![(seg(3), 1), (seg(1), 1)]).is_err());
     }
 
     #[test]

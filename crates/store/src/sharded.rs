@@ -194,13 +194,7 @@ impl ShardedWalkStore {
     pub fn arena_stats(&self) -> ArenaStats {
         let mut total = ArenaStats::default();
         for shard in &self.shards {
-            let stats = shard.arena.stats();
-            total.in_place_writes += stats.in_place_writes;
-            total.relocations += stats.relocations;
-            total.compactions += stats.compactions;
-            total.live_steps += stats.live_steps;
-            total.dead_steps += stats.dead_steps;
-            total.buffer_len += stats.buffer_len;
+            total.merge(&shard.arena.stats());
         }
         total
     }
@@ -367,6 +361,10 @@ impl WalkIndex for ShardedWalkStore {
 
     fn route_shards(&self) -> usize {
         self.shard_count
+    }
+
+    fn arena_stats(&self) -> ArenaStats {
+        ShardedWalkStore::arena_stats(self)
     }
 }
 

@@ -51,6 +51,81 @@ impl WalkStore {
         }
     }
 
+    /// Bulk-load constructor for decode paths: installs every segment path and a
+    /// **pre-computed** postings index in one pass, instead of replaying per-step
+    /// `record` calls through the delta overlay (which costs an order of magnitude
+    /// more on cold open).  The supplied index is fully cross-checked against the
+    /// paths — one global sort of `(node, segment)` visit keys, compared run by run
+    /// against the postings — so a divergent index is rejected, never installed.
+    pub fn bulk_load<'a>(
+        node_count: usize,
+        r: usize,
+        segments: impl Iterator<Item = (SegmentId, &'a [NodeId])>,
+        postings: Vec<VisitPostings>,
+    ) -> Result<Self, String> {
+        if r == 0 {
+            return Err("need at least one walk segment per node".to_string());
+        }
+        if postings.len() != node_count {
+            return Err(format!(
+                "got postings for {} nodes, expected {node_count}",
+                postings.len()
+            ));
+        }
+        let mut arena = StepArena::new(node_count * r);
+        let mut visit_counts = vec![0u64; node_count];
+        let mut keys: Vec<u64> = Vec::new();
+        for (id, path) in segments {
+            if id.index() >= node_count * r {
+                return Err(format!("segment {id:?} outside the store"));
+            }
+            if let Some(&first) = path.first() {
+                if first != id.source(r) {
+                    return Err(format!("segment {id:?} does not start at its source"));
+                }
+            }
+            for &v in path {
+                if v.index() >= node_count {
+                    return Err(format!("segment {id:?} visits node {v} outside the store"));
+                }
+                visit_counts[v.index()] += 1;
+                keys.push(((v.0 as u64) << 32) | id.0 as u64);
+            }
+            arena.write(id.index(), path);
+        }
+        keys.sort_unstable();
+        let mut i = 0usize;
+        for (v, node_postings) in postings.iter().enumerate() {
+            let mut expect = node_postings.iter();
+            while i < keys.len() && (keys[i] >> 32) as usize == v {
+                let seg = keys[i] as u32;
+                let mut count = 0u32;
+                while i < keys.len() && (keys[i] >> 32) as usize == v && keys[i] as u32 == seg {
+                    count += 1;
+                    i += 1;
+                }
+                if expect.next() != Some((SegmentId(seg), count)) {
+                    return Err(format!(
+                        "postings of node {v} disagree with the stored paths at segment {seg}"
+                    ));
+                }
+            }
+            if expect.next().is_some() {
+                return Err(format!(
+                    "postings of node {v} index visits no path contains"
+                ));
+            }
+        }
+        let total_visits = keys.len() as u64;
+        Ok(WalkStore {
+            r,
+            arena,
+            postings,
+            visit_counts,
+            total_visits,
+        })
+    }
+
     /// Number of segments stored per node.
     #[inline]
     pub fn r(&self) -> usize {
@@ -456,5 +531,73 @@ mod tests {
     #[should_panic(expected = "at least one walk segment")]
     fn zero_r_rejected() {
         let _ = WalkStore::new(3, 0);
+    }
+
+    #[test]
+    fn bulk_load_reproduces_an_incrementally_built_store() {
+        let mut reference = WalkStore::new(5, 2);
+        reference.set_segment(SegmentId::new(NodeId(0), 0, 2), &path(&[0, 1, 2, 1]));
+        reference.set_segment(SegmentId::new(NodeId(3), 1, 2), &path(&[3, 3]));
+        reference.set_segment(SegmentId::new(NodeId(4), 0, 2), &path(&[4, 0]));
+
+        let segments: Vec<(SegmentId, Vec<NodeId>)> = (0..10u32)
+            .map(|s| (SegmentId(s), reference.segment_path(SegmentId(s)).to_vec()))
+            .filter(|(_, p)| !p.is_empty())
+            .collect();
+        let postings: Vec<crate::VisitPostings> = (0..5)
+            .map(|v| {
+                crate::VisitPostings::from_sorted_run(
+                    reference.segments_visiting(NodeId(v)).collect(),
+                )
+                .unwrap()
+            })
+            .collect();
+        let loaded = WalkStore::bulk_load(
+            5,
+            2,
+            segments.iter().map(|(id, p)| (*id, p.as_slice())),
+            postings,
+        )
+        .unwrap();
+        assert_eq!(loaded.visit_counts(), reference.visit_counts());
+        assert_eq!(loaded.total_visits(), reference.total_visits());
+        for s in 0..10u32 {
+            assert_eq!(
+                loaded.segment_path(SegmentId(s)),
+                reference.segment_path(SegmentId(s))
+            );
+        }
+        assert!(loaded.check_consistency().is_ok());
+    }
+
+    #[test]
+    fn bulk_load_rejects_an_index_that_disagrees_with_the_paths() {
+        let segments = [(SegmentId(0), path(&[0, 1]))];
+        // Postings claim a visit to node 2 that no path contains.
+        let postings: Vec<crate::VisitPostings> = vec![
+            crate::VisitPostings::from_sorted_run(vec![(SegmentId(0), 1)]).unwrap(),
+            crate::VisitPostings::from_sorted_run(vec![(SegmentId(0), 1)]).unwrap(),
+            crate::VisitPostings::from_sorted_run(vec![(SegmentId(0), 1)]).unwrap(),
+        ];
+        let result = WalkStore::bulk_load(
+            3,
+            1,
+            segments.iter().map(|(id, p)| (*id, p.as_slice())),
+            postings,
+        );
+        assert!(result.unwrap_err().contains("no path contains"));
+        // Wrong count is also rejected.
+        let postings: Vec<crate::VisitPostings> = vec![
+            crate::VisitPostings::from_sorted_run(vec![(SegmentId(0), 2)]).unwrap(),
+            crate::VisitPostings::from_sorted_run(vec![(SegmentId(0), 1)]).unwrap(),
+            crate::VisitPostings::new(),
+        ];
+        let result = WalkStore::bulk_load(
+            3,
+            1,
+            segments.iter().map(|(id, p)| (*id, p.as_slice())),
+            postings,
+        );
+        assert!(result.unwrap_err().contains("disagree"));
     }
 }

@@ -11,6 +11,9 @@
 //!   Store holding cached walk segments, both with explicit fetch/work accounting.  The
 //!   PageRank Store is backed by a flat step arena plus CSR-style visit postings, and
 //!   every engine consumes it through the `WalkIndex` API layer.
+//! * [`persist`] ([`ppr_persist`]) — durability: checksummed generation snapshots, an
+//!   edge-event write-ahead log, and the file-backed `DiskWalkStore`; the engines'
+//!   `create_durable` / `open` / `checkpoint` APIs live in `ppr_core::durable`.
 //! * [`core`] ([`ppr_core`]) — the paper's contribution: Monte Carlo PageRank/SALSA with
 //!   incremental walk-segment maintenance and personalized top-k retrieval by walk
 //!   stitching (Algorithm 1).
@@ -52,6 +55,7 @@ pub use ppr_analysis as analysis;
 pub use ppr_baselines as baselines;
 pub use ppr_core as core;
 pub use ppr_graph as graph;
+pub use ppr_persist as persist;
 pub use ppr_store as store;
 
 /// Commonly used items, re-exported for convenience.
@@ -62,6 +66,7 @@ pub mod prelude {
     pub use ppr_baselines::power_iteration::{personalized_power_iteration, power_iteration};
     pub use ppr_baselines::salsa_exact::salsa_exact;
     pub use ppr_core::config::MonteCarloConfig;
+    pub use ppr_core::durable::{DurabilityOptions, DurablePageRank};
     pub use ppr_core::incremental::IncrementalPageRank;
     pub use ppr_core::personalized::PersonalizedWalker;
     pub use ppr_core::salsa::IncrementalSalsa;

@@ -1,0 +1,534 @@
+//! Restart-equivalence differential harness: crash anywhere, recover, resume —
+//! and the result is byte-identical to an engine that never crashed.
+//!
+//! This extends the PR 3 differential harness (`tests/differential_shard.rs`) into
+//! the durability dimension.  The oracle: for a seeded stream of mixed
+//! arrival/deletion batches,
+//!
+//! ```text
+//! (full in-memory run)
+//!   ≡ (run k batches, checkpoint, run to c, CRASH discarding all memory,
+//!      recover from snapshot + WAL, resume c..N)
+//! ```
+//!
+//! with **byte-identical** scores, visit counts, postings, stored paths, and work
+//! counters — at the flat, sharded, and disk-backed store layouts, for checkpoint
+//! positions k ∈ {0, mid, N}, honouring the `PPR_TEST_THREADS` CI matrix.  The
+//! corruption half: a flipped byte in the current snapshot falls back to the
+//! previous generation (replaying both WALs), and a torn WAL tail recovers cleanly
+//! to the last fully synced batch.
+
+use fast_ppr::prelude::*;
+use ppr_core::durable::DurablePageRank;
+use ppr_graph::generators::{preferential_attachment_edges, PreferentialAttachmentConfig};
+use ppr_graph::stream::random_permutation;
+use ppr_graph::Edge;
+use ppr_persist::layout::PersistentWalkStore;
+use ppr_persist::TempDir;
+
+const NODES: usize = 120;
+
+/// Worker-thread counts to exercise: `PPR_TEST_THREADS` pins one (the CI matrix).
+fn thread_counts() -> Vec<usize> {
+    match std::env::var("PPR_TEST_THREADS") {
+        Ok(v) => vec![v
+            .trim()
+            .parse()
+            .expect("PPR_TEST_THREADS must be an integer")],
+        Err(_) => vec![1, 4],
+    }
+}
+
+/// One durable operation: an arrival batch or a deletion batch.
+#[derive(Debug, Clone)]
+enum Op {
+    Arrive(Vec<Edge>),
+    Delete(Vec<Edge>),
+}
+
+/// A seeded stream of mixed-size arrival batches with interleaved deletion batches
+/// (every third op deletes a slice of the edges already delivered).
+fn schedule(seed: u64) -> Vec<Op> {
+    let pa = PreferentialAttachmentConfig::new(NODES, 4, seed);
+    let edges = random_permutation(&preferential_attachment_edges(&pa), seed ^ 0xfeed);
+    let mut ops = Vec::new();
+    let mut start = 0usize;
+    for &len in [5usize, 33, 1, 64, 9, 17].iter().cycle() {
+        if start >= edges.len() {
+            break;
+        }
+        let end = (start + len).min(edges.len());
+        ops.push(Op::Arrive(edges[start..end].to_vec()));
+        if ops.len() % 3 == 0 {
+            let victims: Vec<Edge> = edges[..end].iter().copied().step_by(7).take(8).collect();
+            ops.push(Op::Delete(victims));
+        }
+        start = end;
+    }
+    ops
+}
+
+fn apply_op<W: WalkIndexMut + Sync>(engine: &mut IncrementalPageRank<W>, op: &Op) {
+    match op {
+        Op::Arrive(batch) => {
+            engine.apply_arrivals(batch);
+        }
+        Op::Delete(batch) => {
+            engine.apply_deletions(batch);
+        }
+    }
+}
+
+/// Asserts two PageRank Stores hold byte-identical contents.
+fn assert_stores_identical<A: WalkIndex, B: WalkIndex>(a: &A, b: &B, context: &str) {
+    assert_eq!(a.node_count(), b.node_count(), "{context}: node counts");
+    assert_eq!(a.r(), b.r(), "{context}: segments per node");
+    assert_eq!(
+        a.total_visits(),
+        b.total_visits(),
+        "{context}: total_visits"
+    );
+    assert_eq!(
+        a.visit_counts(),
+        b.visit_counts(),
+        "{context}: visit counts"
+    );
+    for g in 0..a.node_count() {
+        let node = NodeId::from_index(g);
+        let pa: Vec<_> = a.segments_visiting(node).collect();
+        let pb: Vec<_> = b.segments_visiting(node).collect();
+        assert_eq!(pa, pb, "{context}: postings of node {g}");
+        for id in a.segment_ids_of(node) {
+            assert_eq!(
+                a.segment_path(id),
+                b.segment_path(id),
+                "{context}: path of segment {id:?}"
+            );
+        }
+    }
+}
+
+/// The crash/recover/resume half of one equivalence case, generic over the store
+/// layout: the durable engine has already applied `ops[..k]` and checkpointed; this
+/// applies `ops[k..c]` (into the WAL), crashes, reopens, resumes `ops[c..]`, and
+/// hands the recovered engine back.
+fn crash_recover_resume<W>(
+    mut engine: IncrementalPageRank<W>,
+    root: &std::path::Path,
+    ops: &[Op],
+    k: usize,
+    context: &str,
+) -> IncrementalPageRank<W>
+where
+    W: WalkIndexMut + PersistentWalkStore + Sync,
+{
+    let gen = engine
+        .checkpoint()
+        .unwrap_or_else(|e| panic!("{context}: checkpoint failed: {e}"));
+    assert!(engine.is_durable());
+    let crash_at = k + (ops.len() - k) / 2;
+    for op in &ops[k..crash_at] {
+        apply_op(&mut engine, op);
+    }
+    drop(engine); // the crash: every in-memory structure is gone
+
+    let mut recovered = IncrementalPageRank::<W>::open(root)
+        .unwrap_or_else(|e| panic!("{context}: recovery from generation {gen} failed: {e}"));
+    for op in &ops[crash_at..] {
+        apply_op(&mut recovered, op);
+    }
+    recovered
+}
+
+#[test]
+fn restart_equivalence_flat_layout() {
+    let ops = schedule(601);
+    let config = MonteCarloConfig::new(0.2, 4).with_seed(603);
+    let mut reference = IncrementalPageRank::new_empty(NODES, config);
+    for op in &ops {
+        apply_op(&mut reference, op);
+    }
+    reference.validate_segments().unwrap();
+
+    for k in [0, ops.len() / 2, ops.len()] {
+        let tmp = TempDir::new("flat-restart");
+        let root = tmp.path().join("store");
+        let mut engine =
+            IncrementalPageRank::create_durable(&root, DynamicGraph::with_nodes(NODES), config)
+                .expect("create_durable");
+        for op in &ops[..k] {
+            apply_op(&mut engine, op);
+        }
+        let context = format!("flat, checkpoint at {k}/{}", ops.len());
+        let recovered = crash_recover_resume(engine, &root, &ops, k, &context);
+        assert_eq!(recovered.scores(), reference.scores(), "{context}: scores");
+        assert_eq!(
+            recovered.work(),
+            reference.work(),
+            "{context}: work counters"
+        );
+        assert_stores_identical(recovered.walk_store(), reference.walk_store(), &context);
+        recovered.validate_segments().unwrap();
+    }
+}
+
+#[test]
+fn restart_equivalence_sharded_layout() {
+    let ops = schedule(607);
+    let config = MonteCarloConfig::new(0.2, 3).with_seed(611);
+    // The cross-layout reference is the plain FLAT in-memory engine: recovery must
+    // preserve PR 3's bit-identity across layouts, not just within one.
+    let mut reference = IncrementalPageRank::new_empty(NODES, config);
+    for op in &ops {
+        apply_op(&mut reference, op);
+    }
+
+    for threads in thread_counts() {
+        for k in [0, ops.len() / 2, ops.len()] {
+            let tmp = TempDir::new("sharded-restart");
+            let root = tmp.path().join("store");
+            let mut engine = IncrementalPageRank::create_durable_sharded(
+                &root,
+                DynamicGraph::with_nodes(NODES),
+                config,
+                4,
+                threads,
+            )
+            .expect("create_durable_sharded");
+            for op in &ops[..k] {
+                apply_op(&mut engine, op);
+            }
+            let context = format!(
+                "sharded, {threads} threads, checkpoint at {k}/{}",
+                ops.len()
+            );
+            let recovered = crash_recover_resume(engine, &root, &ops, k, &context);
+            assert_eq!(recovered.threads(), threads, "{context}: threads restored");
+            assert_eq!(recovered.walk_store().shard_count(), 4, "{context}: shards");
+            assert_eq!(recovered.scores(), reference.scores(), "{context}: scores");
+            assert_eq!(recovered.work(), reference.work(), "{context}: work");
+            assert_stores_identical(recovered.walk_store(), reference.walk_store(), &context);
+            recovered.validate_segments().unwrap();
+        }
+    }
+}
+
+#[test]
+fn restart_equivalence_disk_layout_with_page_reuse() {
+    let ops = schedule(613);
+    let config = MonteCarloConfig::new(0.2, 3).with_seed(617);
+    let mut reference = IncrementalPageRank::new_empty(NODES, config);
+    for op in &ops {
+        apply_op(&mut reference, op);
+    }
+
+    for k in [0, ops.len() / 2, ops.len()] {
+        let tmp = TempDir::new("disk-restart");
+        let root = tmp.path().join("store");
+        let mut engine =
+            DurablePageRank::create_durable_disk(&root, DynamicGraph::with_nodes(NODES), config)
+                .expect("create_durable_disk");
+        for op in &ops[..k] {
+            apply_op(&mut engine, op);
+        }
+        let context = format!("disk, checkpoint at {k}/{}", ops.len());
+        let recovered = crash_recover_resume(engine, &root, &ops, k, &context);
+        assert_eq!(recovered.scores(), reference.scores(), "{context}: scores");
+        assert_stores_identical(recovered.walk_store(), reference.walk_store(), &context);
+        recovered.validate_segments().unwrap();
+        // The recovered store cold-opened through the page cache.
+        assert!(
+            recovered.walk_store().pager_stats().loads > 0,
+            "{context}: cold open must fault pages in"
+        );
+    }
+
+    // Incremental write-back: on a store big enough that one batch touches only a
+    // small fraction of the heap pages, a follow-up checkpoint re-renders the dirty
+    // minority and streams the clean majority out of the previous generation.
+    let big = 1_500usize;
+    let pa = PreferentialAttachmentConfig::new(big, 5, 619);
+    let edges = preferential_attachment_edges(&pa);
+    let tmp = TempDir::new("disk-reuse");
+    let root = tmp.path().join("store");
+    let mut engine =
+        DurablePageRank::create_durable_disk(&root, DynamicGraph::with_nodes(big), config).unwrap();
+    engine.apply_arrivals(&edges);
+    engine.checkpoint().unwrap();
+    let baseline = engine.walk_store().stats();
+    engine.apply_arrivals(&[Edge::new(40, 1_200)]);
+    engine.checkpoint().unwrap();
+    let after = engine.walk_store().stats();
+    let reused = after.pages_reused - baseline.pages_reused;
+    let rewritten = after.pages_rewritten - baseline.pages_rewritten;
+    assert!(
+        reused > 0,
+        "a small update must reuse clean pages: {baseline:?} -> {after:?}"
+    );
+    assert!(
+        rewritten < reused / 2,
+        "rewritten pages must be the small minority after a one-edge update: \
+         {rewritten} rewritten vs {reused} reused"
+    );
+}
+
+#[test]
+fn corrupt_current_snapshot_falls_back_to_the_previous_generation() {
+    let ops = schedule(619);
+    let config = MonteCarloConfig::new(0.2, 3).with_seed(621);
+    let third = ops.len() / 3;
+    let mut reference = IncrementalPageRank::new_empty(NODES, config);
+    for op in &ops {
+        apply_op(&mut reference, op);
+    }
+
+    let tmp = TempDir::new("fallback");
+    let root = tmp.path().join("store");
+    let mut engine =
+        IncrementalPageRank::create_durable(&root, DynamicGraph::with_nodes(NODES), config)
+            .unwrap();
+    for op in &ops[..third] {
+        apply_op(&mut engine, op);
+    }
+    let gen1 = engine.checkpoint().unwrap();
+    for op in &ops[third..2 * third] {
+        apply_op(&mut engine, op);
+    }
+    let gen2 = engine.checkpoint().unwrap();
+    assert_eq!((gen1, gen2), (1, 2));
+    for op in &ops[2 * third..] {
+        apply_op(&mut engine, op);
+    }
+    drop(engine);
+
+    // Bit rot in the CURRENT snapshot: flip one byte in the middle of snap-2.
+    let snap2 = root.join("snap-000002.ppr");
+    let mut bytes = std::fs::read(&snap2).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x20;
+    std::fs::write(&snap2, &bytes).unwrap();
+
+    // Recovery falls back to generation 1 and replays BOTH logs; the result is
+    // still byte-identical to the never-crashed reference.
+    let mut recovered = IncrementalPageRank::<WalkStore>::open(&root).expect("fallback recovery");
+    assert_eq!(recovered.scores(), reference.scores());
+    assert_stores_identical(recovered.walk_store(), reference.walk_store(), "fallback");
+
+    // A checkpoint after a fallback recovery must keep the known-good base (gen 1)
+    // instead of leaving the corrupt gen 2 as the only fallback: corrupt the new
+    // snapshot too, and recovery must still succeed by scanning down past it.
+    assert_eq!(recovered.checkpoint().unwrap(), 3);
+    drop(recovered);
+    assert!(
+        root.join("snap-000001.ppr").exists(),
+        "the known-good base must survive the post-fallback checkpoint"
+    );
+    let snap3 = root.join("snap-000003.ppr");
+    let mut bytes = std::fs::read(&snap3).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x20;
+    std::fs::write(&snap3, &bytes).unwrap();
+    let recovered = IncrementalPageRank::<WalkStore>::open(&root).expect("double-fault recovery");
+    assert_eq!(recovered.scores(), reference.scores());
+    assert_stores_identical(
+        recovered.walk_store(),
+        reference.walk_store(),
+        "double fault",
+    );
+
+    // With no older generation to fall back to, corruption is a hard error.
+    let tmp2 = TempDir::new("no-fallback");
+    let root2 = tmp2.path().join("store");
+    let engine =
+        IncrementalPageRank::create_durable(&root2, DynamicGraph::with_nodes(8), config).unwrap();
+    drop(engine);
+    let snap0 = root2.join("snap-000000.ppr");
+    let mut bytes = std::fs::read(&snap0).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x20;
+    std::fs::write(&snap0, &bytes).unwrap();
+    assert!(IncrementalPageRank::<WalkStore>::open(&root2).is_err());
+}
+
+#[test]
+fn torn_wal_tail_recovers_to_the_last_full_record() {
+    let ops = schedule(631);
+    let config = MonteCarloConfig::new(0.2, 3).with_seed(633);
+    let half = ops.len() / 2;
+
+    let tmp = TempDir::new("torn-tail");
+    let root = tmp.path().join("store");
+    let mut engine =
+        IncrementalPageRank::create_durable(&root, DynamicGraph::with_nodes(NODES), config)
+            .unwrap();
+    for op in &ops[..half] {
+        apply_op(&mut engine, op);
+    }
+    drop(engine);
+
+    // Simulate a crash mid-append: garbage half-frame at the WAL tail.
+    let wal = root.join("wal-000000.log");
+    let intact_len = std::fs::metadata(&wal).unwrap().len();
+    let mut bytes = std::fs::read(&wal).unwrap();
+    bytes.extend_from_slice(&[0xAB; 11]);
+    std::fs::write(&wal, &bytes).unwrap();
+
+    // Recovery truncates the torn tail and lands exactly on the synced prefix.
+    let mut reference = IncrementalPageRank::new_empty(NODES, config);
+    for op in &ops[..half] {
+        apply_op(&mut reference, op);
+    }
+    let mut recovered = IncrementalPageRank::<WalkStore>::open(&root).expect("torn-tail recovery");
+    assert_eq!(std::fs::metadata(&wal).unwrap().len(), intact_len);
+    assert_eq!(recovered.scores(), reference.scores());
+    assert_stores_identical(recovered.walk_store(), reference.walk_store(), "torn tail");
+
+    // And the truncated log accepts new appends: keep going, crash again, recover.
+    for op in &ops[half..] {
+        apply_op(&mut recovered, op);
+        apply_op(&mut reference, op);
+    }
+    drop(recovered);
+    let reopened = IncrementalPageRank::<WalkStore>::open(&root).unwrap();
+    assert_eq!(reopened.scores(), reference.scores());
+    assert_stores_identical(reopened.walk_store(), reference.walk_store(), "resumed log");
+}
+
+#[test]
+fn salsa_engine_survives_crash_recovery() {
+    let pa = PreferentialAttachmentConfig::new(80, 4, 641);
+    let edges = random_permutation(&preferential_attachment_edges(&pa), 643);
+    let config = MonteCarloConfig::new(0.2, 3).with_seed(647);
+    let half = edges.len() / 2;
+
+    let mut reference = IncrementalSalsa::new_empty(80, config);
+    for chunk in edges.chunks(40) {
+        reference.apply_arrivals(chunk);
+    }
+    let victims: Vec<Edge> = edges.iter().copied().step_by(9).take(20).collect();
+    for &edge in &victims {
+        reference.remove_edge(edge);
+    }
+
+    let tmp = TempDir::new("salsa-restart");
+    let root = tmp.path().join("store");
+    let mut engine =
+        IncrementalSalsa::create_durable(&root, DynamicGraph::with_nodes(80), config).unwrap();
+    let chunks: Vec<&[Edge]> = edges.chunks(40).collect();
+    let checkpoint_after = chunks.len() * half / edges.len();
+    for chunk in &chunks[..checkpoint_after] {
+        engine.apply_arrivals(chunk);
+    }
+    engine.checkpoint().unwrap();
+    for chunk in &chunks[checkpoint_after..] {
+        engine.apply_arrivals(chunk);
+    }
+    // Crash mid-deletion-stream: SALSA deletions consume the engine's sequential
+    // RNG, whose state travels in the snapshot — replay must resume it exactly.
+    for &edge in &victims[..victims.len() / 2] {
+        engine.remove_edge(edge);
+    }
+    drop(engine);
+
+    let mut recovered = IncrementalSalsa::<WalkStore>::open(&root).expect("salsa recovery");
+    for &edge in &victims[victims.len() / 2..] {
+        recovered.remove_edge(edge);
+    }
+    assert_stores_identical(recovered.walk_store(), reference.walk_store(), "salsa");
+    let ea = recovered.estimates();
+    let eb = reference.estimates();
+    assert_eq!(ea.hubs, eb.hubs, "hub scores diverge after recovery");
+    assert_eq!(ea.authorities, eb.authorities, "authority scores diverge");
+    recovered.validate_segments().unwrap();
+}
+
+#[test]
+fn store_directories_reject_misuse() {
+    let tmp = TempDir::new("misuse");
+    let root = tmp.path().join("store");
+    let config = MonteCarloConfig::new(0.2, 2).with_seed(653);
+    let engine =
+        IncrementalPageRank::create_durable(&root, DynamicGraph::with_nodes(10), config).unwrap();
+    drop(engine);
+
+    // Re-creating over an existing store must fail, not clobber.
+    assert!(
+        IncrementalPageRank::create_durable(&root, DynamicGraph::with_nodes(10), config).is_err()
+    );
+    // Opening with the wrong engine kind must fail.
+    assert!(IncrementalSalsa::<WalkStore>::open(&root).is_err());
+    // A sharded snapshot cannot be opened by the flat engine (the reverse — reading
+    // a flat snapshot as a 1-shard ShardedWalkStore — is legitimate interop).
+    let sharded_root = tmp.path().join("sharded");
+    drop(
+        IncrementalPageRank::create_durable_sharded(
+            &sharded_root,
+            DynamicGraph::with_nodes(10),
+            config,
+            3,
+            1,
+        )
+        .unwrap(),
+    );
+    assert!(matches!(
+        IncrementalPageRank::<WalkStore>::open(&sharded_root),
+        Err(ppr_core::PersistError::Format(_))
+    ));
+    // Opening a directory that is not a store must fail.
+    assert!(IncrementalPageRank::<WalkStore>::open(tmp.path().join("nope")).is_err());
+    // An in-memory engine cannot checkpoint.
+    let mut plain = IncrementalPageRank::new_empty(4, config);
+    assert!(plain.checkpoint().is_err());
+
+    // The happy path still works after all the failed attempts.
+    let reopened = IncrementalPageRank::<WalkStore>::open(&root).unwrap();
+    assert_eq!(reopened.node_count(), 10);
+    reopened.validate_segments().unwrap();
+}
+
+#[test]
+fn checkpoint_retries_after_a_crash_between_wal_create_and_publish() {
+    // A checkpoint that died after creating wal-<gen+1> but before flipping CURRENT
+    // leaves an orphan log; the next checkpoint must clear it and succeed instead of
+    // failing with AlreadyExists forever.
+    let tmp = TempDir::new("stale-wal");
+    let root = tmp.path().join("store");
+    let config = MonteCarloConfig::new(0.2, 2).with_seed(661);
+    let mut engine =
+        IncrementalPageRank::create_durable(&root, DynamicGraph::with_nodes(20), config).unwrap();
+    engine.apply_arrivals(&[Edge::new(0, 1)]);
+    drop(engine);
+
+    // Simulate the half-finished attempt: snap-1 and wal-1 exist, CURRENT still 0.
+    std::fs::copy(root.join("snap-000000.ppr"), root.join("snap-000001.ppr")).unwrap();
+    std::fs::copy(root.join("wal-000000.log"), root.join("wal-000001.log")).unwrap();
+
+    let mut recovered = IncrementalPageRank::<WalkStore>::open(&root).unwrap();
+    recovered.apply_arrivals(&[Edge::new(1, 2)]);
+    assert_eq!(recovered.checkpoint().unwrap(), 1, "retry must succeed");
+    drop(recovered);
+    let reopened = IncrementalPageRank::<WalkStore>::open(&root).unwrap();
+    assert_eq!(reopened.graph().edge_count(), 2);
+    reopened.validate_segments().unwrap();
+}
+
+#[test]
+fn checkpoint_generations_rotate_and_prune() {
+    let tmp = TempDir::new("rotation");
+    let root = tmp.path().join("store");
+    let config = MonteCarloConfig::new(0.2, 2).with_seed(659);
+    let mut engine =
+        IncrementalPageRank::create_durable(&root, DynamicGraph::with_nodes(20), config).unwrap();
+    for gen in 1..=4u64 {
+        engine.apply_arrivals(&[Edge::new(gen as u32, gen as u32 + 1)]);
+        assert_eq!(engine.checkpoint().unwrap(), gen);
+    }
+    // CURRENT names generation 4; generation 3 is kept as fallback, older pruned.
+    assert!(root.join("snap-000004.ppr").exists());
+    assert!(root.join("wal-000004.log").exists());
+    assert!(root.join("snap-000003.ppr").exists());
+    assert!(!root.join("snap-000002.ppr").exists());
+    assert!(!root.join("wal-000001.log").exists());
+    let reopened = IncrementalPageRank::<WalkStore>::open(&root).unwrap();
+    assert_eq!(reopened.scores(), engine.scores());
+}

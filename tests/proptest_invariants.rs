@@ -9,6 +9,9 @@
 
 use fast_ppr::prelude::*;
 use ppr_graph::{CsrGraph, Edge};
+use ppr_persist::layout::{PagedWalks, PersistentWalkStore};
+use ppr_persist::snapshot::{SnapshotFile, SnapshotWriter, SECTION_WALKS};
+use ppr_persist::TempDir;
 use ppr_store::SegmentId;
 use proptest::prelude::*;
 
@@ -442,5 +445,198 @@ proptest! {
         let fit = fit_power_law(&values, 1..n + 1).expect("enough points");
         prop_assert!((fit.exponent - alpha).abs() < 1e-6);
         prop_assert!(fit.r_squared > 0.999);
+    }
+}
+
+/// Drives an engine over an arbitrary interleaved arrival/deletion history (the same
+/// operation model as the invariant properties above) and returns it for snapshot
+/// round-trip checks.
+fn engine_after_history<W: WalkIndexMut + Sync>(
+    mut engine: IncrementalPageRank<W>,
+    ops: &[SnapOp],
+    batch: usize,
+) -> IncrementalPageRank<W> {
+    let mut pending: Vec<Edge> = Vec::new();
+    for op in ops {
+        match op {
+            SnapOp::Add(edge) => {
+                pending.push(*edge);
+                if pending.len() == batch {
+                    engine.apply_arrivals(&pending);
+                    pending.clear();
+                }
+            }
+            SnapOp::Remove(edges) => {
+                engine.apply_arrivals(&pending);
+                pending.clear();
+                engine.apply_deletions(edges);
+            }
+        }
+    }
+    engine.apply_arrivals(&pending);
+    engine
+}
+
+/// Operation model for the snapshot round-trip properties: single arrivals batched by
+/// the driver, plus whole deletion batches (exercising `apply_deletions` directly).
+#[derive(Debug, Clone)]
+enum SnapOp {
+    Add(Edge),
+    Remove(Vec<Edge>),
+}
+
+fn arb_snap_op(n: u32) -> impl Strategy<Value = SnapOp> {
+    prop_oneof![
+        4 => arb_edge(n).prop_map(SnapOp::Add),
+        1 => proptest::collection::vec(arb_edge(n), 1..6).prop_map(SnapOp::Remove),
+    ]
+}
+
+/// Writes one store's walks payload into a snapshot file and decodes it back.
+fn roundtrip_walks<W: PersistentWalkStore>(store: &mut W, tag: &str) -> W {
+    let dir = TempDir::new(tag);
+    let path = dir.path().join("snap.ppr");
+    let mut writer = SnapshotWriter::new();
+    writer.add_section(SECTION_WALKS, store.encode_walks().expect("encode"));
+    writer.write_to(&path).expect("write snapshot");
+    W::decode_walks(PagedWalks::open(&path).expect("open walks")).expect("decode")
+}
+
+/// Byte-identical store comparison over the `WalkIndex` surface.
+fn assert_same_store<A: WalkIndex, B: WalkIndex>(a: &A, b: &B) {
+    assert_eq!(a.node_count(), b.node_count());
+    assert_eq!(a.r(), b.r());
+    assert_eq!(a.total_visits(), b.total_visits());
+    assert_eq!(a.visit_counts(), b.visit_counts());
+    for g in 0..a.node_count() {
+        let node = NodeId::from_index(g);
+        let pa: Vec<_> = a.segments_visiting(node).collect();
+        let pb: Vec<_> = b.segments_visiting(node).collect();
+        assert_eq!(pa, pb, "postings of node {g}");
+        for id in a.segment_ids_of(node) {
+            assert_eq!(a.segment_path(id), b.segment_path(id), "path of {id:?}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Snapshot round trip: encode→decode over an arbitrary interleaved
+    /// arrival/deletion history reproduces the flat `WalkStore` exactly — stored
+    /// paths, postings (checked again against a from-scratch recount), and
+    /// `total_visits`.
+    #[test]
+    fn snapshot_roundtrip_reproduces_flat_store(
+        ops in proptest::collection::vec(arb_snap_op(14), 1..60),
+        r in 1usize..4,
+        seed in 0u64..1_000,
+        batch in 1usize..8,
+    ) {
+        let engine = engine_after_history(
+            IncrementalPageRank::new_empty(14, MonteCarloConfig::new(0.25, r).with_seed(seed)),
+            &ops,
+            batch,
+        );
+        let mut original = engine.walk_store().clone();
+        let decoded = roundtrip_walks(&mut original, "prop-flat");
+        assert_same_store(&decoded, engine.walk_store());
+        assert_store_matches_recount(&decoded, 14);
+    }
+
+    /// The same round trip at the sharded layout: the decoded store recounts exactly
+    /// per shard and matches the original byte for byte.
+    #[test]
+    fn snapshot_roundtrip_reproduces_sharded_store(
+        ops in proptest::collection::vec(arb_snap_op(14), 1..60),
+        r in 1usize..4,
+        seed in 0u64..1_000,
+        shards in 2usize..6,
+        batch in 1usize..8,
+    ) {
+        let engine = engine_after_history(
+            IncrementalPageRank::from_graph_sharded(
+                DynamicGraph::with_nodes(14),
+                MonteCarloConfig::new(0.25, r).with_seed(seed),
+                shards,
+                proptest_threads(),
+            ),
+            &ops,
+            batch,
+        );
+        let mut original = engine.walk_store().clone();
+        let decoded = roundtrip_walks(&mut original, "prop-sharded");
+        prop_assert_eq!(decoded.shard_count(), shards);
+        assert_same_store(&decoded, engine.walk_store());
+        assert_sharded_store_matches_recount(&decoded, 14);
+    }
+
+    /// Corruption detection: flipping any single byte of a snapshot makes both the
+    /// full-file validation and the paged decode fail — never a silent wrong load.
+    #[test]
+    fn snapshot_byte_flips_are_always_detected(
+        ops in proptest::collection::vec(arb_snap_op(10), 1..25),
+        seed in 0u64..500,
+        position in 0.0f64..1.0,
+        bit in 0u32..8,
+    ) {
+        let engine = engine_after_history(
+            IncrementalPageRank::new_empty(10, MonteCarloConfig::new(0.25, 2).with_seed(seed)),
+            &ops,
+            3,
+        );
+        let dir = TempDir::new("prop-corrupt");
+        let path = dir.path().join("snap.ppr");
+        let mut writer = SnapshotWriter::new();
+        writer.add_section(SECTION_WALKS, engine.walk_store().clone().encode_walks().unwrap());
+        writer.write_to(&path).unwrap();
+
+        let mut bytes = std::fs::read(&path).unwrap();
+        let flip_at = ((bytes.len() - 1) as f64 * position) as usize;
+        bytes[flip_at] ^= 1 << bit;
+        std::fs::write(&path, &bytes).unwrap();
+
+        prop_assert!(
+            SnapshotFile::verify_all(&path).is_err(),
+            "flip at byte {} bit {} survived full validation", flip_at, bit
+        );
+        let paged = PagedWalks::open(&path).and_then(WalkStore::decode_walks);
+        prop_assert!(
+            paged.is_err(),
+            "flip at byte {} bit {} survived the paged decode", flip_at, bit
+        );
+    }
+
+    /// Torn-tail recovery: truncating a WAL at any byte yields a clean prefix of its
+    /// records (never an error, never a half-applied record).
+    #[test]
+    fn wal_truncation_always_recovers_a_record_prefix(
+        batches in proptest::collection::vec(proptest::collection::vec(arb_edge(30), 0..10), 1..12),
+        cut in 0.0f64..1.0,
+    ) {
+        use ppr_persist::wal::{read_records, WalOp, WalWriter};
+        let dir = TempDir::new("prop-wal");
+        let path = dir.path().join("wal.log");
+        let mut writer = WalWriter::create(&path).unwrap();
+        for (seq, batch) in batches.iter().enumerate() {
+            let op = if seq % 2 == 0 { WalOp::Arrivals } else { WalOp::Deletions };
+            writer.append(seq as u64, op, batch).unwrap();
+        }
+        drop(writer);
+        let full = read_records(&path).unwrap();
+        prop_assert_eq!(full.records.len(), batches.len());
+
+        let bytes = std::fs::read(&path).unwrap();
+        let keep = 16 + (((bytes.len() - 16) as f64) * cut) as usize; // never cut the header
+        std::fs::write(&path, &bytes[..keep]).unwrap();
+        let scan = read_records(&path).unwrap();
+        prop_assert!(scan.records.len() <= full.records.len());
+        for (a, b) in scan.records.iter().zip(&full.records) {
+            prop_assert_eq!(a, b, "recovered record diverges from the original");
+        }
+        prop_assert!(scan.valid_len <= keep as u64);
+        // A cut exactly on a frame boundary is a clean shorter log; anything else
+        // must be flagged as a torn tail (valid data ends before the file does).
+        prop_assert_eq!(scan.torn_tail, scan.valid_len < keep as u64);
     }
 }

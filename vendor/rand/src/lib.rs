@@ -107,6 +107,32 @@ pub mod rngs {
     }
 
     impl SmallRng {
+        /// Returns the generator's full internal state.
+        ///
+        /// Together with [`SmallRng::from_state`] this lets a checkpointing system
+        /// persist an RNG mid-stream and resume it bit-identically after a restart.
+        /// (The real `rand` crate exposes the same capability through its serde
+        /// feature; this vendored stub keeps the surface minimal and explicit.)
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a state previously returned by
+        /// [`SmallRng::state`].  The restored generator produces exactly the stream
+        /// the original would have produced from that point on.
+        ///
+        /// # Panics
+        ///
+        /// Panics on the all-zero state, which is not reachable from any seed and
+        /// would make xoshiro256++ emit zeros forever.
+        pub fn from_state(state: [u64; 4]) -> Self {
+            assert!(
+                state.iter().any(|&w| w != 0),
+                "the all-zero state is not a valid xoshiro256++ state"
+            );
+            SmallRng { s: state }
+        }
+
         fn from_splitmix(mut state: u64) -> Self {
             let mut next = || {
                 state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -243,6 +269,28 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_the_exact_stream() {
+        let mut original = SmallRng::seed_from_u64(77);
+        for _ in 0..13 {
+            original.gen_range(0..1_000u32);
+        }
+        let saved = original.state();
+        let mut resumed = SmallRng::from_state(saved);
+        for _ in 0..100 {
+            assert_eq!(
+                original.gen_range(0..1_000_000u64),
+                resumed.gen_range(0..1_000_000u64)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "all-zero state")]
+    fn all_zero_state_rejected() {
+        let _ = SmallRng::from_state([0; 4]);
     }
 
     #[test]
