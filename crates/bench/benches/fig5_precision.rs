@@ -19,6 +19,7 @@ fn bench_fig5(c: &mut Criterion) {
         r: 5,
         epsilon: 0.2,
         seed: 1,
+        threads: 1,
     };
     c.bench_function("fig5_precision", |b| {
         b.iter(|| black_box(fig5::run(black_box(&params))))

@@ -1,0 +1,271 @@
+//! Criterion benches for snapshot-isolated query serving (`ppr-serve`).
+//!
+//! Three questions, three report blocks (printed like `sharded_reroute`'s
+//! critical-path report, so the numbers land in CI logs even though CI only
+//! compiles benches):
+//!
+//! * **Write-path overhead** — the writer must keep the PR 2 `incremental_update`
+//!   baseline: replaying the same arrival suffix through `QueryEngine::commit`
+//!   (engine apply + copy-on-write mirror + generation publish) vs through the bare
+//!   engine.
+//! * **QPS scaling** — a fixed personalized-query batch served through reader pools
+//!   of 1/2/4/8 threads, with p50/p99 per-query latency.  Queries are lock-free
+//!   against pinned generations, so QPS should scale with cores.
+//! * **QPS under a live writer** — the same batches while a writer thread commits
+//!   arrival/deletion batches continuously; reports reader QPS, tail latency while
+//!   generations publish, and the writer's sustained throughput with readers
+//!   attached.
+//!
+//! Run with `cargo bench --bench query_serving`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ppr_core::{IncrementalPageRank, MonteCarloConfig};
+use ppr_graph::generators::{preferential_attachment_edges, PreferentialAttachmentConfig};
+use ppr_graph::stream::split_at_fraction;
+use ppr_graph::{DynamicGraph, Edge, NodeId};
+use ppr_serve::{Query, QueryEngine, ReaderPool, ServeHandle};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::channel;
+use std::time::{Duration, Instant};
+
+const NODES: usize = 4_000;
+const OUT_DEGREE: usize = 8;
+const R: usize = 8;
+const QUERIES: usize = 256;
+const WALK_LENGTH: usize = 2_000;
+const READER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn config() -> MonteCarloConfig {
+    MonteCarloConfig::new(0.2, R).with_seed(13)
+}
+
+fn stream() -> (Vec<Edge>, Vec<Edge>) {
+    let edges =
+        preferential_attachment_edges(&PreferentialAttachmentConfig::new(NODES, OUT_DEGREE, 11));
+    split_at_fraction(&edges, 0.9)
+}
+
+fn serving_engine(prefix: &[Edge]) -> QueryEngine<IncrementalPageRank> {
+    let engine = IncrementalPageRank::from_graph(DynamicGraph::from_edges(prefix, NODES), config());
+    QueryEngine::new(engine, 4242)
+}
+
+fn query_batch() -> Vec<(u64, Query)> {
+    (0..QUERIES as u64)
+        .map(|qid| {
+            (
+                qid,
+                Query::PersonalizedTopK {
+                    seed: NodeId((qid * 31 % NODES as u64) as u32),
+                    k: 10,
+                    walk_length: WALK_LENGTH,
+                    fetch_budget: None,
+                },
+            )
+        })
+        .collect()
+}
+
+/// Serves `jobs` through `pool`, returning the wall time and each query's latency.
+fn timed_serve(
+    pool: &ReaderPool,
+    handle: &ServeHandle,
+    jobs: &[(u64, Query)],
+) -> (Duration, Vec<Duration>) {
+    let (tx, rx) = channel::<Duration>();
+    let started = Instant::now();
+    for (qid, query) in jobs {
+        let handle = handle.clone();
+        let tx = tx.clone();
+        let query = query.clone();
+        let qid = *qid;
+        pool.execute(move || {
+            let t0 = Instant::now();
+            black_box(handle.serve(qid, &query));
+            let _ = tx.send(t0.elapsed());
+        });
+    }
+    drop(tx);
+    let latencies: Vec<Duration> = rx.iter().collect();
+    (started.elapsed(), latencies)
+}
+
+fn percentile(latencies: &mut [Duration], p: f64) -> Duration {
+    latencies.sort_unstable();
+    let idx = ((latencies.len() - 1) as f64 * p).round() as usize;
+    latencies[idx]
+}
+
+/// Write-path overhead: bare engine vs serving commit path over the same suffix,
+/// replayed per edge (the PR 2 `incremental_update` regime: one commit = one
+/// generation) and in 256-edge batches (the serving regime).
+fn report_write_overhead(_c: &mut Criterion) {
+    let (prefix, suffix) = stream();
+    println!(
+        "report query_serving_write_path (suffix of {} edges)",
+        suffix.len()
+    );
+
+    for (label, batch) in [("per_edge", 1usize), ("batch_256", 256)] {
+        let mut best_bare = f64::INFINITY;
+        let mut best_commit = f64::INFINITY;
+        for _ in 0..3 {
+            let mut engine =
+                IncrementalPageRank::from_graph(DynamicGraph::from_edges(&prefix, NODES), config());
+            let t0 = Instant::now();
+            for chunk in suffix.chunks(batch) {
+                engine.apply_arrivals(chunk);
+            }
+            best_bare = best_bare.min(t0.elapsed().as_secs_f64());
+
+            let mut serving = serving_engine(&prefix);
+            let t0 = Instant::now();
+            for chunk in suffix.chunks(batch) {
+                serving.commit_arrivals(chunk);
+            }
+            best_commit = best_commit.min(t0.elapsed().as_secs_f64());
+        }
+        let bare = suffix.len() as f64 / best_bare;
+        let commit = suffix.len() as f64 / best_commit;
+        println!(
+            "report   {label}: bare {bare:>9.0} edges/s, serving commit {commit:>9.0} \
+             edges/s ({:+.1}%)",
+            (commit / bare - 1.0) * 100.0
+        );
+    }
+}
+
+/// QPS scaling without a writer: 1/2/4/8 reader threads over a fixed generation.
+fn report_qps_scaling(_c: &mut Criterion) {
+    let (prefix, _) = stream();
+    let serving = serving_engine(&prefix);
+    let handle = serving.handle();
+    let jobs = query_batch();
+    println!(
+        "report query_serving_qps ({QUERIES} personalized queries, {WALK_LENGTH} visits each)"
+    );
+    let mut baseline: Option<f64> = None;
+    for &readers in &READER_COUNTS {
+        let pool = ReaderPool::new(readers);
+        // One warm-up pass (fills the generation's fetch cache), then best-of-3.
+        let _ = timed_serve(&pool, &handle, &jobs);
+        let mut best_wall = f64::INFINITY;
+        let mut latencies = Vec::new();
+        for _ in 0..3 {
+            let (wall, lats) = timed_serve(&pool, &handle, &jobs);
+            if wall.as_secs_f64() < best_wall {
+                best_wall = wall.as_secs_f64();
+                latencies = lats;
+            }
+        }
+        let qps = QUERIES as f64 / best_wall;
+        let speedup = qps / *baseline.get_or_insert(qps);
+        let p50 = percentile(&mut latencies, 0.50);
+        let p99 = percentile(&mut latencies, 0.99);
+        // Readers never share a lock past the pin, so per-query service time is the
+        // scaling unit: flat p50 across widths ⇒ linear QPS in cores.  The modelled
+        // figure is what an N-core box reaches; the wall figure is what *this*
+        // machine's cores allow (CI containers often have one).
+        let modeled = readers as f64 / p50.as_secs_f64();
+        println!(
+            "report   readers/{readers}: {qps:>7.0} qps wall ({speedup:.2}x vs 1 reader), \
+             p50 {p50:?}, p99 {p99:?}, lock-free model {modeled:>7.0} qps"
+        );
+    }
+}
+
+/// QPS and tail latency while a writer commits continuously, plus the writer's
+/// sustained throughput with readers attached.
+fn report_qps_with_writer(_c: &mut Criterion) {
+    let (prefix, suffix) = stream();
+    let jobs = query_batch();
+    println!(
+        "report query_serving_qps_with_writer (writer loops {}-edge arrival+deletion \
+         batches)",
+        256
+    );
+    for &readers in &READER_COUNTS {
+        let mut serving = serving_engine(&prefix);
+        let handle = serving.handle();
+        let stop = AtomicBool::new(false);
+        let committed = AtomicU64::new(0);
+        let (qps, p50, p99, writer_rate) = std::thread::scope(|scope| {
+            let writer = scope.spawn(|| {
+                let t0 = Instant::now();
+                // Arrive + delete the same chunk: the store stays near its steady
+                // state, so the loop can run as long as the readers need.
+                'outer: loop {
+                    for chunk in suffix.chunks(256) {
+                        if stop.load(Ordering::Acquire) {
+                            break 'outer;
+                        }
+                        serving.commit_arrivals(chunk);
+                        serving.commit_deletions(chunk);
+                        committed.fetch_add(2 * chunk.len() as u64, Ordering::Relaxed);
+                    }
+                }
+                t0.elapsed()
+            });
+            let pool = ReaderPool::new(readers);
+            let _ = timed_serve(&pool, &handle, &jobs); // warm-up
+            let (wall, mut latencies) = timed_serve(&pool, &handle, &jobs);
+            stop.store(true, Ordering::Release);
+            let writer_time = writer.join().expect("writer thread");
+            (
+                QUERIES as f64 / wall.as_secs_f64(),
+                percentile(&mut latencies, 0.50),
+                percentile(&mut latencies, 0.99),
+                committed.load(Ordering::Relaxed) as f64 / writer_time.as_secs_f64(),
+            )
+        });
+        println!(
+            "report   readers/{readers}: {qps:>7.0} qps, p50 {p50:?}, p99 {p99:?}, \
+             writer {writer_rate:>8.0} edges/s"
+        );
+    }
+}
+
+/// Criterion wall-clock groups: one pinned query, one commit+publish.
+fn bench_query_and_commit(c: &mut Criterion) {
+    let (prefix, suffix) = stream();
+    let serving = serving_engine(&prefix);
+    let handle = serving.handle();
+    let mut group = c.benchmark_group("query_serving");
+    group.sample_size(10);
+    group.bench_function("personalized_query_pinned", |b| {
+        let view = handle.pin();
+        let mut qid = 0u64;
+        b.iter(|| {
+            qid += 1;
+            black_box(view.answer(
+                4242,
+                qid,
+                &Query::PersonalizedTopK {
+                    seed: NodeId((qid * 31 % NODES as u64) as u32),
+                    k: 10,
+                    walk_length: WALK_LENGTH,
+                    fetch_budget: None,
+                },
+            ))
+        })
+    });
+    group.bench_function("commit_and_publish_256", |b| {
+        let mut serving = serving_engine(&prefix);
+        let chunk = &suffix[..256.min(suffix.len())];
+        b.iter(|| {
+            serving.commit_arrivals(black_box(chunk));
+            black_box(serving.commit_deletions(black_box(chunk)))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    query_serving,
+    bench_query_and_commit,
+    report_write_overhead,
+    report_qps_scaling,
+    report_qps_with_writer
+);
+criterion_main!(query_serving);

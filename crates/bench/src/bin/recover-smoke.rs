@@ -18,7 +18,7 @@ use ppr_graph::stream::random_permutation;
 use ppr_graph::{DynamicGraph, Edge, GraphView, NodeId};
 use ppr_persist::wal::read_records;
 use ppr_persist::{TempDir, WalOp};
-use ppr_store::{WalkIndex, WalkStore};
+use ppr_store::{WalkIndexView, WalkStore};
 use std::io::Write as _;
 use std::process::Command;
 use std::time::{Duration, Instant};
@@ -154,8 +154,8 @@ fn run_parent() {
     let (a, b) = (recovered.walk_store(), oracle.walk_store());
     assert_eq!(a.total_visits(), b.total_visits(), "total_visits diverge");
     assert_eq!(
-        WalkIndex::visit_counts(a),
-        WalkIndex::visit_counts(b),
+        WalkIndexView::visit_counts(a),
+        WalkIndexView::visit_counts(b),
         "visit counts diverge"
     );
     for g in 0..NODES {

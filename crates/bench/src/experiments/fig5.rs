@@ -5,6 +5,7 @@
 //! 11-point interpolated average precision curve averaged over 100 users, with direct
 //! friends excluded from both rankings.
 
+use crate::parallel::{default_threads, par_map_indexed};
 use crate::workloads::{personalization_seeds, power_law_workload};
 use ppr_analysis::precision::{average_curves, eleven_point_interpolated_precision};
 use ppr_core::{IncrementalPageRank, MonteCarloConfig, PersonalizedWalker};
@@ -38,6 +39,11 @@ pub struct Fig5Params {
     pub epsilon: f64,
     /// RNG seed.
     pub seed: u64,
+    /// Reader threads the per-user query loop fans out over.  Every user's walks
+    /// draw from their own `(seed, query_id)` split stream, so the result is
+    /// bit-identical at every thread count (asserted by the tests under the
+    /// `PPR_TEST_THREADS` matrix, which also sets the default).
+    pub threads: usize,
 }
 
 impl Default for Fig5Params {
@@ -55,6 +61,7 @@ impl Default for Fig5Params {
             r: 10,
             epsilon: 0.2,
             seed: 42,
+            threads: default_threads(),
         }
     }
 }
@@ -83,43 +90,41 @@ pub fn run(params: &Fig5Params) -> Fig5Result {
         params.seed ^ 0xf15e,
     );
 
-    let mut curves = Vec::with_capacity(seeds.len());
-    for (i, &user) in seeds.iter().enumerate() {
+    // One read-only walker shared by every reader thread; each user's two walks
+    // draw from their own (seed, query_id) streams — the experiment is a batch of
+    // concurrent queries, served exactly like `ppr-serve` would serve them.
+    let walker = PersonalizedWalker::new(
+        engine.social_store(),
+        engine.walk_store(),
+        params.epsilon,
+        0,
+    );
+    let per_user: Vec<Option<[f64; 11]>> = par_map_indexed(seeds.len(), params.threads, |i| {
+        let user = seeds[i];
         let exclude: HashSet<_> = std::iter::once(user)
             .chain(workload.graph.out_neighbors(user).iter().copied())
             .collect();
 
-        let mut long_walker = PersonalizedWalker::new(
-            engine.social_store(),
-            engine.walk_store(),
-            params.epsilon,
-            params.seed ^ (i as u64 * 2 + 1),
-        );
-        let truth = long_walker.walk(user, params.long_walk);
+        let truth = walker.walk_query(user, params.long_walk, params.seed, i as u64 * 2 + 1);
         let true_top: HashSet<usize> = truth
             .top_k(params.true_k, &exclude)
             .into_iter()
             .map(|(node, _)| node.index())
             .collect();
         if true_top.is_empty() {
-            continue;
+            return None;
         }
 
-        let mut short_walker = PersonalizedWalker::new(
-            engine.social_store(),
-            engine.walk_store(),
-            params.epsilon,
-            params.seed ^ (i as u64 * 2 + 2) ^ 0xdead_beef,
-        );
-        let retrieved: Vec<usize> = short_walker
-            .walk(user, params.short_walk)
+        let retrieved: Vec<usize> = walker
+            .walk_query(user, params.short_walk, params.seed, i as u64 * 2 + 2)
             .top_k(params.retrieved_k, &exclude)
             .into_iter()
             .map(|(node, _)| node.index())
             .collect();
 
-        curves.push(eleven_point_interpolated_precision(&retrieved, &true_top));
-    }
+        Some(eleven_point_interpolated_precision(&retrieved, &true_top))
+    });
+    let curves: Vec<[f64; 11]> = per_user.into_iter().flatten().collect();
 
     Fig5Result {
         curve: average_curves(&curves),
@@ -156,6 +161,7 @@ mod tests {
             r: 5,
             epsilon: 0.2,
             seed: 3,
+            threads: crate::parallel::default_threads(),
         }
     }
 
@@ -175,5 +181,22 @@ mod tests {
         // Average over the curve is meaningfully better than chance.
         let avg: f64 = result.curve.iter().sum::<f64>() / 11.0;
         assert!(avg > 0.3, "average interpolated precision {avg} too low");
+    }
+
+    #[test]
+    fn reader_thread_count_never_changes_the_curve() {
+        // The per-user walks are (seed, query_id)-keyed queries, so the experiment
+        // is bit-identical at every fan-out width — the satellite contract the
+        // PPR_TEST_THREADS CI matrix pins.
+        let mut params = small_params();
+        params.threads = 1;
+        let single = run(&params);
+        params.threads = 4;
+        let wide = run(&params);
+        assert_eq!(
+            single.curve, wide.curve,
+            "curves diverge across thread counts"
+        );
+        assert_eq!(single.users_evaluated, wide.users_evaluated);
     }
 }

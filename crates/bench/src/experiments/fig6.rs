@@ -6,6 +6,7 @@
 //! harness evaluates the Theorem 8 bound `1 + (2(1−α)/nR)^{1/α−1}·s^{1/α}` using each
 //! user's own fitted power-law exponent, exactly as the paper draws its thick lines.
 
+use crate::parallel::{default_threads, par_map_indexed};
 use crate::workloads::{personalization_seeds, power_law_workload};
 use ppr_analysis::powerlaw::fit_power_law;
 use ppr_core::bounds::expected_fetches;
@@ -33,6 +34,11 @@ pub struct Fig6Params {
     pub epsilon: f64,
     /// RNG seed.
     pub seed: u64,
+    /// Reader threads the per-user query loops fan out over.  Every walk draws
+    /// from its own `(seed, query_id)` split stream, so results are bit-identical
+    /// at every thread count (asserted under the `PPR_TEST_THREADS` matrix, which
+    /// also sets the default).
+    pub threads: usize,
 }
 
 impl Default for Fig6Params {
@@ -47,6 +53,7 @@ impl Default for Fig6Params {
             walk_lengths: vec![100, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000],
             epsilon: 0.2,
             seed: 42,
+            threads: default_threads(),
         }
     }
 }
@@ -90,11 +97,9 @@ pub fn run(params: &Fig6Params) -> Fig6Result {
         &workload.graph,
         MonteCarloConfig::new(params.epsilon, 10).with_seed(params.seed ^ 0xa1fa),
     );
-    let alphas: Vec<f64> = seeds
-        .iter()
-        .enumerate()
-        .map(|(i, &user)| estimate_alpha(&exponent_engine, user, params, i as u64))
-        .collect();
+    let alphas: Vec<f64> = par_map_indexed(seeds.len(), params.threads, |i| {
+        estimate_alpha(&exponent_engine, seeds[i], params, i as u64)
+    });
 
     let mut curves = Vec::with_capacity(params.r_values.len());
     for &r in &params.r_values {
@@ -102,21 +107,27 @@ pub fn run(params: &Fig6Params) -> Fig6Result {
             &workload.graph,
             MonteCarloConfig::new(params.epsilon, r).with_seed(params.seed ^ (r as u64)),
         );
+        // One read-only walker serves every (length, user) query cell; queries are
+        // (seed, query_id)-keyed, and the per-user results are folded in index
+        // order, so the fan-out width never changes a row.
+        let walker = PersonalizedWalker::new(
+            engine.social_store(),
+            engine.walk_store(),
+            params.epsilon,
+            0,
+        );
         let mut rows = Vec::with_capacity(params.walk_lengths.len());
         for &length in &params.walk_lengths {
-            let mut observed_total = 0.0f64;
-            let mut bound_total = 0.0f64;
-            for (i, &user) in seeds.iter().enumerate() {
-                let mut walker = PersonalizedWalker::new(
-                    engine.social_store(),
-                    engine.walk_store(),
-                    params.epsilon,
-                    params.seed ^ (length as u64) ^ ((i as u64) << 20) ^ ((r as u64) << 40),
-                );
-                let result = walker.walk(user, length);
-                observed_total += result.fetches as f64;
-                bound_total += expected_fetches(length as f64, params.nodes, r, alphas[i]);
-            }
+            let per_user: Vec<(f64, f64)> = par_map_indexed(seeds.len(), params.threads, |i| {
+                let query_id = (length as u64) ^ ((i as u64) << 20) ^ ((r as u64) << 40);
+                let result = walker.walk_query(seeds[i], length, params.seed, query_id);
+                (
+                    result.fetches as f64,
+                    expected_fetches(length as f64, params.nodes, r, alphas[i]),
+                )
+            });
+            let observed_total: f64 = per_user.iter().map(|&(o, _)| o).sum();
+            let bound_total: f64 = per_user.iter().map(|&(_, b)| b).sum();
             rows.push((
                 length,
                 observed_total / seeds.len() as f64,
@@ -139,13 +150,13 @@ fn estimate_alpha(
     salt: u64,
 ) -> f64 {
     let friends = engine.graph().out_degree(user).max(1);
-    let mut walker = PersonalizedWalker::new(
+    let walker = PersonalizedWalker::new(
         engine.social_store(),
         engine.walk_store(),
         params.epsilon,
-        params.seed ^ 0xa1fa ^ salt,
+        0,
     );
-    let result = walker.walk(user, 30_000);
+    let result = walker.walk_query(user, 30_000, params.seed ^ 0xa1fa, salt);
     let scores = result.frequencies();
     let window = (2 * friends).max(2)..(20 * friends).max(2 * friends + 10);
     fit_power_law(&scores, window)
@@ -184,6 +195,7 @@ mod tests {
             walk_lengths: vec![500, 2_000, 8_000],
             epsilon: 0.2,
             seed: 11,
+            threads: crate::parallel::default_threads(),
         }
     }
 
@@ -204,6 +216,20 @@ mod tests {
                     "stitching must beat one fetch per step ({observed} fetches for {length} steps)"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn reader_thread_count_never_changes_the_rows() {
+        let mut params = small_params();
+        params.walk_lengths = vec![500, 2_000];
+        params.threads = 1;
+        let single = run(&params);
+        params.threads = 4;
+        let wide = run(&params);
+        for (a, b) in single.curves.iter().zip(&wide.curves) {
+            assert_eq!(a.r, b.r);
+            assert_eq!(a.rows, b.rows, "fetch rows diverge across thread counts");
         }
     }
 

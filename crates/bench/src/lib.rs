@@ -22,8 +22,10 @@
 #![warn(rust_2018_idioms)]
 
 pub mod experiments;
+pub mod parallel;
 pub mod workloads;
 
+pub use parallel::{default_threads, par_map_indexed};
 pub use workloads::{
     add_celebrity_core, mixed_attachment, personalization_seeds, power_law_workload,
     synthesize_future_follows, twitter_like, Workload,

@@ -1,0 +1,65 @@
+//! Deterministic fan-out for read-only experiment loops.
+//!
+//! The experiments' query loops (one stitched walk per user, one fetch curve per
+//! `(R, length, user)` cell) are embarrassingly parallel *and* — since PR 5 moved
+//! every query onto `(query_seed, query_id)` split RNG streams — bit-deterministic
+//! per item.  [`par_map_indexed`] fans such a loop out over scoped threads and
+//! returns the results **in index order**, so downstream folds (f64 sums, curve
+//! averaging) run in a fixed order and the experiment output is byte-identical at
+//! every thread count — which `experiments::fig5`/`fig6` assert under the
+//! `PPR_TEST_THREADS` matrix.
+
+/// Maps `f` over `0..n` with up to `threads` scoped worker threads, collecting the
+/// results in index order.  `f` must be pure per index (all our query paths are);
+/// the thread count can then never change the output, only the wall time.
+pub fn par_map_indexed<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    assert!(threads >= 1, "need at least one worker thread");
+    if threads == 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let workers = threads.min(n);
+    let chunk = n.div_ceil(workers);
+    let mut out: Vec<Option<T>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    let f = &f;
+    std::thread::scope(|scope| {
+        for (w, slots) in out.chunks_mut(chunk).enumerate() {
+            scope.spawn(move || {
+                for (off, slot) in slots.iter_mut().enumerate() {
+                    *slot = Some(f(w * chunk + off));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|v| v.expect("every index was computed"))
+        .collect()
+}
+
+/// The experiment harness's reader-thread default: `PPR_TEST_THREADS` when set (the
+/// CI matrix), otherwise 1.
+pub fn default_threads() -> usize {
+    std::env::var("PPR_TEST_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|&t| t >= 1)
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_index_order_at_any_width() {
+        let expect: Vec<usize> = (0..37).map(|i| i * i).collect();
+        for threads in [1usize, 2, 4, 16] {
+            assert_eq!(par_map_indexed(37, threads, |i| i * i), expect);
+        }
+        assert!(par_map_indexed(0, 4, |i| i).is_empty());
+    }
+}

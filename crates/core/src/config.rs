@@ -34,6 +34,13 @@ pub struct MonteCarloConfig {
     /// Hard cap on the length of a single stored segment, guarding against the
     /// (probability-zero under ε > 0, but worth bounding) pathological long walk.
     pub max_segment_length: usize,
+    /// Arena compaction trigger: relocation garbage above this ratio of the live
+    /// walk data compacts the PageRank Store's step arena(s).  `1.0` is the classic
+    /// half-dead rule; a tighter ratio trades more frequent compaction pauses for a
+    /// smaller resident buffer (the `ArenaStats` / `BatchProfile` compaction
+    /// counters measure both sides).  Purely a space/latency knob — results never
+    /// depend on it.
+    pub compaction_threshold: f64,
 }
 
 impl MonteCarloConfig {
@@ -54,6 +61,7 @@ impl MonteCarloConfig {
             seed: 0,
             reroute: RerouteStrategy::default(),
             max_segment_length: Self::default_max_segment_length(epsilon),
+            compaction_threshold: ppr_store::arena::DEFAULT_COMPACT_RATIO,
         }
     }
 
@@ -81,6 +89,21 @@ impl MonteCarloConfig {
             "segments must be allowed at least one node"
         );
         self.max_segment_length = max_segment_length;
+        self
+    }
+
+    /// Sets the arena compaction trigger ratio (garbage-to-live; see
+    /// [`MonteCarloConfig::compaction_threshold`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `ratio` is finite and positive.
+    pub fn with_compaction_threshold(mut self, ratio: f64) -> Self {
+        assert!(
+            ratio.is_finite() && ratio > 0.0,
+            "compaction threshold must be a positive ratio, got {ratio}"
+        );
+        self.compaction_threshold = ratio;
         self
     }
 
@@ -118,12 +141,14 @@ mod tests {
         let config = MonteCarloConfig::new(0.25, 7)
             .with_seed(99)
             .with_reroute(RerouteStrategy::FromSource)
-            .with_max_segment_length(500);
+            .with_max_segment_length(500)
+            .with_compaction_threshold(0.25);
         assert_eq!(config.epsilon, 0.25);
         assert_eq!(config.r, 7);
         assert_eq!(config.seed, 99);
         assert_eq!(config.reroute, RerouteStrategy::FromSource);
         assert_eq!(config.max_segment_length, 500);
+        assert_eq!(config.compaction_threshold, 0.25);
     }
 
     #[test]
@@ -174,5 +199,11 @@ mod tests {
     #[should_panic(expected = "at least one node")]
     fn rejects_zero_cap() {
         let _ = MonteCarloConfig::new(0.2, 1).with_max_segment_length(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive ratio")]
+    fn rejects_non_positive_compaction_threshold() {
+        let _ = MonteCarloConfig::new(0.2, 1).with_compaction_threshold(0.0);
     }
 }

@@ -36,11 +36,12 @@
 //! append failure panics — an engine that can no longer log cannot honour the
 //! durability it promised, and limping on in memory would silently break it.
 //!
-//! A store directory assumes a **single writer process**: nothing prevents a second
-//! process from opening the same directory, and two live writers would interleave
-//! WAL frames.  Cross-process exclusion (a lock file) is an explicit follow-up; the
-//! contract today matches the rest of the workspace, where one engine owns its
-//! stores.
+//! A store directory admits a **single writer process**, and the contract is
+//! enforced: `create_durable*` and `open` acquire the directory's `LOCK` file
+//! ([`ppr_persist::StoreLock`]) and hold it for the engine's lifetime, so a second
+//! writer fails fast with [`ppr_persist::PersistError::Locked`] naming the holder.
+//! A lock left behind by a crashed process (the PID no longer runs) is stolen
+//! automatically, so crash recovery never needs manual cleanup.
 
 use crate::config::{MonteCarloConfig, RerouteStrategy};
 use crate::incremental::IncrementalPageRank;
@@ -50,6 +51,7 @@ use ppr_persist::dir::StoreDir;
 use ppr_persist::graph::{decode_graph, encode_graph};
 use ppr_persist::io::{corrupt, format_err, ByteReader, ByteWriter};
 use ppr_persist::layout::PersistentWalkStore;
+use ppr_persist::lock::StoreLock;
 use ppr_persist::snapshot::{
     SnapshotFile, SnapshotWriter, SECTION_GRAPH, SECTION_META, SECTION_WALKS,
 };
@@ -87,6 +89,9 @@ impl Default for DurabilityOptions {
 #[derive(Debug)]
 pub struct DurableLog {
     dir: StoreDir,
+    /// The held cross-process lock on the store directory; released when the engine
+    /// (and with it this log) is dropped.
+    lock: StoreLock,
     gen: u64,
     /// Newest generation (besides `gen`) whose snapshot is known good — the one this
     /// process last loaded or wrote.  Pruning never deletes generations at or above
@@ -145,6 +150,7 @@ fn encode_meta(m: &EngineMeta) -> Vec<u8> {
         RerouteStrategy::FromSource => 1,
     });
     w.put_u64(m.config.max_segment_length as u64);
+    w.put_f64(m.config.compaction_threshold);
     w.put_u64(m.threads as u64);
     w.put_u64(m.batch_index);
     w.put_u64(m.wal_seq);
@@ -159,7 +165,10 @@ fn encode_meta(m: &EngineMeta) -> Vec<u8> {
     w.into_bytes()
 }
 
-fn decode_meta(payload: &[u8]) -> PersistResult<EngineMeta> {
+/// Decodes the META section written by container version `version`: version 1
+/// (PR 4) predates the `compaction_threshold` field, which then defaults to the
+/// half-dead rule every version-1 store was built with.
+fn decode_meta(payload: &[u8], version: u32) -> PersistResult<EngineMeta> {
     let mut r = ByteReader::new(payload);
     let kind = r.get_u8()?;
     let epsilon = r.get_f64()?;
@@ -171,13 +180,23 @@ fn decode_meta(payload: &[u8]) -> PersistResult<EngineMeta> {
         other => return Err(corrupt(format!("unknown reroute strategy {other}"))),
     };
     let max_segment_length = r.get_len()?;
-    if !(epsilon > 0.0 && epsilon < 1.0) || segments == 0 || max_segment_length == 0 {
+    let compaction_threshold = if version >= 2 {
+        r.get_f64()?
+    } else {
+        ppr_store::arena::DEFAULT_COMPACT_RATIO
+    };
+    if !(epsilon > 0.0 && epsilon < 1.0)
+        || segments == 0
+        || max_segment_length == 0
+        || !(compaction_threshold.is_finite() && compaction_threshold > 0.0)
+    {
         return Err(corrupt("engine config out of range"));
     }
     let config = MonteCarloConfig::new(epsilon, segments)
         .with_seed(seed)
         .with_reroute(reroute)
-        .with_max_segment_length(max_segment_length);
+        .with_max_segment_length(max_segment_length)
+        .with_compaction_threshold(compaction_threshold);
     let threads = r.get_len()?.max(1);
     let batch_index = r.get_u64()?;
     let wal_seq = r.get_u64()?;
@@ -229,6 +248,7 @@ fn write_generation<W: PersistentWalkStore>(
 /// Everything recovered from a store directory, before engine assembly.
 struct Recovered<W> {
     meta: EngineMeta,
+    lock: StoreLock,
     social: SocialStore,
     walks: W,
     replay: Vec<WalRecord>,
@@ -246,7 +266,7 @@ fn try_load_generation<W: PersistentWalkStore>(
 ) -> PersistResult<(EngineMeta, SocialStore, W)> {
     let path = dir.snapshot_path(gen);
     let mut snap = SnapshotFile::open(&path)?;
-    let meta = decode_meta(&snap.read_section(SECTION_META)?)?;
+    let meta = decode_meta(&snap.read_section(SECTION_META)?, snap.version())?;
     let (graph, shard_count) = decode_graph(&snap.read_section(SECTION_GRAPH)?)?;
     drop(snap);
     let walks = W::decode_walks(PagedWalks::open(&path)?)?;
@@ -267,6 +287,7 @@ fn try_load_generation<W: PersistentWalkStore>(
 /// directory legitimately holds more than two) and replays every log from the
 /// loaded snapshot forward; sequence numbers dedupe against the older snapshot.
 fn load_store<W: PersistentWalkStore>(dir: StoreDir) -> PersistResult<Recovered<W>> {
+    let lock = StoreLock::acquire(dir.root())?;
     let current_gen = dir.current_gen()?;
     // Bit rot can land in format-sensitive bytes (a version field corrupts into a
     // Format error just as easily as a payload byte corrupts into a Corrupt one),
@@ -314,6 +335,7 @@ fn load_store<W: PersistentWalkStore>(dir: StoreDir) -> PersistResult<Recovered<
     replay.extend(scan.records);
     Ok(Recovered {
         meta,
+        lock,
         social,
         walks,
         replay,
@@ -383,6 +405,7 @@ fn run_checkpoint<W: PersistentWalkStore>(
             (
                 DurableLog {
                     dir: log.dir,
+                    lock: log.lock,
                     gen: new_gen,
                     // The snapshot just written (and fsynced) is the new known-good
                     // base; the next checkpoint may prune everything below it.
@@ -407,6 +430,7 @@ fn attach_fresh<W: PersistentWalkStore>(
     walks: &mut W,
 ) -> PersistResult<DurableLog> {
     let dir = StoreDir::init(root)?;
+    let lock = StoreLock::acquire(dir.root())?;
     write_generation(&dir, 0, meta, social, walks)?;
     // StoreDir::init guarantees no CURRENT exists, so a leftover wal-0 is debris
     // from a create attempt that died before publishing — clear it so creation is
@@ -420,6 +444,7 @@ fn attach_fresh<W: PersistentWalkStore>(
     dir.publish_gen(0)?;
     Ok(DurableLog {
         dir,
+        lock,
         gen: 0,
         last_good: 0,
         writer,
@@ -492,6 +517,7 @@ impl<W: WalkIndexMut + PersistentWalkStore + Sync> IncrementalPageRank<W> {
         writer.set_fsync(options.fsync_wal);
         engine.durability = Some(DurableLog {
             dir: recovered.dir,
+            lock: recovered.lock,
             gen: recovered.current_gen,
             last_good: recovered.snap_gen,
             writer,
@@ -651,6 +677,7 @@ impl<W: WalkIndexMut + PersistentWalkStore + Sync> IncrementalSalsa<W> {
         writer.set_fsync(options.fsync_wal);
         engine.durability = Some(DurableLog {
             dir: recovered.dir,
+            lock: recovered.lock,
             gen: recovered.current_gen,
             last_good: recovered.snap_gen,
             writer,
@@ -728,7 +755,7 @@ mod tests {
                 arrivals_filtered: 4,
             },
         };
-        let decoded = decode_meta(&encode_meta(&meta)).unwrap();
+        let decoded = decode_meta(&encode_meta(&meta), ppr_persist::snapshot::VERSION).unwrap();
         assert_eq!(decoded.kind, meta.kind);
         assert_eq!(decoded.config, meta.config);
         assert_eq!(decoded.threads, meta.threads);
@@ -752,13 +779,52 @@ mod tests {
             work: WorkCounter::default(),
         };
         let clean = encode_meta(&meta);
-        assert!(decode_meta(&clean[..clean.len() - 1]).is_err(), "truncated");
+        let v = ppr_persist::snapshot::VERSION;
+        assert!(
+            decode_meta(&clean[..clean.len() - 1], v).is_err(),
+            "truncated"
+        );
         let mut bad = clean.clone();
         bad[1..9].fill(0xFF); // epsilon = NaN-ish bits
-        assert!(decode_meta(&bad).is_err());
+        assert!(decode_meta(&bad, v).is_err());
         let mut bad = clean;
         bad[25] = 9; // reroute discriminant
-        assert!(decode_meta(&bad).is_err());
+        assert!(decode_meta(&bad, v).is_err());
+    }
+
+    #[test]
+    fn version_1_meta_decodes_with_the_default_compaction_threshold() {
+        // A PR 4 store's META is the current layout minus the compaction_threshold
+        // f64 at bytes 33..41; decoding it as version 1 must succeed and fall back
+        // to the half-dead default, so old directories stay openable.
+        let meta = EngineMeta {
+            kind: ENGINE_PAGERANK,
+            config: MonteCarloConfig::new(0.25, 7)
+                .with_seed(99)
+                .with_max_segment_length(321),
+            threads: 4,
+            batch_index: 17,
+            wal_seq: 23,
+            rng: [1, 2, 3, 4],
+            initialization_steps: 555,
+            work: WorkCounter::default(),
+        };
+        let current = encode_meta(&meta);
+        let mut v1 = current.clone();
+        // Layout: kind u8 | epsilon f64 | r u64 | seed u64 | reroute u8 |
+        // max_segment_length u64 | compaction_threshold f64 | ...
+        v1.drain(34..42); // strip the appended threshold field
+        let decoded = decode_meta(&v1, 1).unwrap();
+        assert_eq!(decoded.config.epsilon, meta.config.epsilon);
+        assert_eq!(decoded.config.max_segment_length, 321);
+        assert_eq!(decoded.threads, 4);
+        assert_eq!(decoded.rng, meta.rng);
+        assert_eq!(
+            decoded.config.compaction_threshold,
+            ppr_store::arena::DEFAULT_COMPACT_RATIO
+        );
+        // The same bytes read as version 2 are rejected, not misread.
+        assert!(decode_meta(&v1, 2).is_err());
     }
 
     #[test]

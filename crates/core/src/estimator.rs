@@ -21,9 +21,9 @@
 //! (Proposition 5).
 
 use ppr_graph::NodeId;
-use ppr_store::WalkIndex;
+use ppr_store::WalkIndexView;
 
-/// PageRank estimates derived from any [`WalkIndex`] store.
+/// PageRank estimates derived from any [`WalkIndexView`] store or snapshot.
 #[derive(Debug, Clone)]
 pub struct PageRankEstimates {
     raw: Vec<f64>,
@@ -32,9 +32,9 @@ pub struct PageRankEstimates {
 
 impl PageRankEstimates {
     /// Builds estimates from the visit counts of `store`, using the paper's
-    /// normalisation constant `nR/ε`.  Reads go through the [`WalkIndex`] API, so any
-    /// store layout implementing it works.
-    pub fn from_store<W: WalkIndex>(store: &W, epsilon: f64) -> Self {
+    /// normalisation constant `nR/ε`.  Reads go through the read-only [`WalkIndexView`]
+    /// API, so any store layout — or a frozen generation snapshot — works.
+    pub fn from_store<W: WalkIndexView>(store: &W, epsilon: f64) -> Self {
         assert!(
             epsilon > 0.0 && epsilon < 1.0,
             "epsilon must be in (0, 1), got {epsilon}"

@@ -170,6 +170,8 @@ impl<W: WalkIndexMut + Sync> IncrementalPageRank<W> {
         threads: usize,
     ) -> Self {
         let node_count = store.node_count();
+        let mut walks = walks;
+        walks.set_compaction_threshold(config.compaction_threshold);
         let rng = SmallRng::seed_from_u64(config.seed);
         let mut engine = IncrementalPageRank {
             store,
@@ -237,6 +239,15 @@ impl<W: WalkIndexMut + Sync> IncrementalPageRank<W> {
         &self.walks
     }
 
+    /// The reconciled rewrite plan of the most recent mutation (arrival batch,
+    /// deletion batch, or single-edge wrapper): exactly the segment rewrites the
+    /// store absorbed, in plan order.  The serving layer replays this plan into its
+    /// copy-on-write generation mirror after each commit; empty when the mutation
+    /// touched no segment.
+    pub fn last_rewrites(&self) -> &SegmentRewrites {
+        &self.rewrites
+    }
+
     /// Number of worker threads the batched reroute pipeline may use.
     pub fn threads(&self) -> usize {
         self.threads
@@ -295,19 +306,23 @@ impl<W: WalkIndexMut + Sync> IncrementalPageRank<W> {
     /// Runs the personalized walk of Algorithm 1 from `seed` for `walk_length` visits
     /// and returns the top-`k` nodes by visit count, excluding `seed` itself and its
     /// direct friends (as the paper's recommender does).
+    ///
+    /// The walk draws from the `(query_seed, query_id)` split stream of
+    /// [`crate::query`] with the engine seed as the query seed and the seed node as
+    /// the query id, so the answer is a pure function of the store state — identical
+    /// on any thread, at any interleaving with other queries.
     pub fn personalized_top_k(
         &self,
         seed: NodeId,
         k: usize,
         walk_length: usize,
     ) -> Vec<(NodeId, f64)> {
-        let mut walker = PersonalizedWalker::new(
-            &self.store,
-            &self.walks,
-            self.config.epsilon,
-            self.config.seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(seed.0 as u64 + 1)),
-        );
-        walker.top_k(seed, k, walk_length, true)
+        let walker = PersonalizedWalker::new(&self.store, &self.walks, self.config.epsilon, 0);
+        let result = walker.walk_query(seed, walk_length, self.config.seed, seed.0 as u64);
+        let mut exclude: std::collections::HashSet<NodeId> = std::collections::HashSet::new();
+        exclude.insert(seed);
+        exclude.extend(self.store.graph().out_neighbors(seed).iter().copied());
+        result.top_k(k, &exclude)
     }
 
     /// Processes the arrival of `edge`, repairing every affected walk segment.
@@ -338,6 +353,7 @@ impl<W: WalkIndexMut + Sync> IncrementalPageRank<W> {
     ///
     /// Returns the aggregate statistics over the whole batch.
     pub fn apply_arrivals(&mut self, edges: &[Edge]) -> UpdateStats {
+        self.rewrites.clear();
         let mut stats = UpdateStats::default();
         let Some(needed) = edges
             .iter()
@@ -470,6 +486,7 @@ impl<W: WalkIndexMut + Sync> IncrementalPageRank<W> {
     /// any shard and thread count**, which is what makes deletion batches WAL
     /// records just like arrival batches (one record kind each).
     pub fn apply_deletions(&mut self, edges: &[Edge]) -> UpdateStats {
+        self.rewrites.clear();
         let mut stats = UpdateStats::default();
         if edges.is_empty() {
             return stats;
@@ -815,6 +832,7 @@ mod tests {
         directed_cycle, example1_gadget, preferential_attachment_edges,
         PreferentialAttachmentConfig,
     };
+    use ppr_store::WalkIndexView;
 
     fn config(r: usize, seed: u64) -> MonteCarloConfig {
         MonteCarloConfig::new(0.2, r).with_seed(seed)
@@ -1056,7 +1074,7 @@ mod tests {
             sharded.walk_store().total_visits()
         );
         assert_eq!(
-            WalkIndex::visit_counts(flat.walk_store()),
+            WalkIndexView::visit_counts(flat.walk_store()),
             sharded.walk_store().visit_counts()
         );
         sharded.validate_segments().unwrap();
@@ -1134,6 +1152,48 @@ mod tests {
              {relocations} relocations vs {writes} in-place writes"
         );
         engine.validate_segments().unwrap();
+    }
+
+    #[test]
+    fn compaction_threshold_knob_reaches_the_store_arenas() {
+        // First use of the PR 4 ArenaStats instrumentation as a *control* signal:
+        // the MonteCarloConfig knob must thread through to the arena's half-dead
+        // rule.  Long segments (small ε) overflow their power-of-two slots under
+        // churn, so relocations pile up garbage; the tighter engine must compact
+        // more often and hold strictly less dead arena space for the same stream.
+        let pa = PreferentialAttachmentConfig::new(120, 4, 83);
+        let edges = preferential_attachment_edges(&pa);
+        let run = |threshold: f64| {
+            let config = MonteCarloConfig::new(0.05, 2)
+                .with_seed(89)
+                .with_compaction_threshold(threshold);
+            let mut engine = IncrementalPageRank::new_empty(120, config);
+            engine.apply_arrivals(&edges);
+            let churn: Vec<Edge> = edges.iter().copied().step_by(2).collect();
+            for _ in 0..6 {
+                engine.apply_arrivals(&churn);
+            }
+            engine.validate_segments().unwrap();
+            engine.walk_store().arena_stats()
+        };
+        let default = run(1.0);
+        let tight = run(0.2);
+        assert!(
+            default.relocations > 0,
+            "the churn must actually relocate segments: {default:?}"
+        );
+        assert!(
+            tight.compactions > default.compactions,
+            "tighter threshold must compact more: {tight:?} vs {default:?}"
+        );
+        assert!(
+            tight.dead_steps < default.dead_steps,
+            "tighter threshold must waste fewer live bytes: {} vs {}",
+            tight.dead_steps,
+            default.dead_steps
+        );
+        // The batch profile charges those extra passes to the batches that ran them.
+        assert!(tight.compaction_nanos >= default.compaction_nanos);
     }
 
     #[test]

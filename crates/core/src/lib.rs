@@ -28,6 +28,7 @@ pub mod durable;
 pub mod estimator;
 pub mod incremental;
 pub mod personalized;
+pub mod query;
 pub mod salsa;
 pub mod walker;
 
@@ -37,4 +38,5 @@ pub use durable::{DurabilityOptions, DurablePageRank, PersistError, PersistResul
 pub use estimator::PageRankEstimates;
 pub use incremental::{IncrementalPageRank, UpdateStats};
 pub use personalized::{PersonalizedWalkResult, PersonalizedWalker};
+pub use query::{query_rng, query_stream_seed};
 pub use salsa::{IncrementalSalsa, SalsaEstimates};

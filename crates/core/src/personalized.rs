@@ -18,9 +18,22 @@
 //! [`crate::bounds::expected_fetches`] (Theorem 8) and [`crate::bounds::top_k_fetches`]
 //! (Corollary 9), with the walk length set by [`crate::bounds::walk_length_for_top_k`]
 //! (Equation 4).
+//!
+//! # The read path is shared, not exclusive
+//!
+//! The walker reads its two stores purely through `&self` APIs — [`WalkIndexView`]
+//! for the cached segments, [`AdjacencyFetch`] for the graph — so the same query code
+//! serves from a live engine *or* from an epoch-pinned generation snapshot
+//! ([`ppr_store::FrozenWalks`] / [`ppr_store::FrozenGraph`]), which is how
+//! `ppr-serve` answers queries concurrently with a live write stream.  Determinism
+//! follows the split-stream rule of [`crate::query`]: [`PersonalizedWalker::walk_query`]
+//! takes `&self` and draws from the `(query_seed, query_id)` stream, so a result is a
+//! pure function of `(store generation, query_seed, query_id)` — bit-identical on any
+//! thread, at any interleaving with writers or other readers.
 
+use crate::query::query_rng;
 use ppr_graph::{GraphView, NodeId};
-use ppr_store::{SocialStore, WalkIndex, WalkStore};
+use ppr_store::{AdjacencyFetch, SocialStore, WalkIndexView, WalkStore};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{HashMap, HashSet};
@@ -41,6 +54,10 @@ pub struct PersonalizedWalkResult {
     pub random_steps: u64,
     /// Number of ε-resets (and dangling-node resets) back to the seed.
     pub resets: u64,
+    /// `true` when the walk stopped early because its Corollary 9 fetch budget ran
+    /// out (see [`PersonalizedWalker::with_fetch_budget`]); the recorded visits are
+    /// the prefix the budget paid for.
+    pub budget_exhausted: bool,
 }
 
 impl PersonalizedWalkResult {
@@ -92,20 +109,25 @@ struct FetchedNode {
 
 /// The stitched personalized walker of Algorithm 1.
 ///
-/// The walker consumes the PageRank Store purely through the [`WalkIndex`] API, so it
-/// runs unchanged over any store layout that implements it (the arena-backed
-/// [`WalkStore`] being the default).
+/// The walker consumes the PageRank Store purely through the [`WalkIndexView`] API
+/// and the graph purely through [`AdjacencyFetch`], so it runs unchanged over any
+/// live store layout *or* over an epoch-pinned generation snapshot — the arena-backed
+/// [`WalkStore`] + [`SocialStore`] pair being the default.
 #[derive(Debug)]
-pub struct PersonalizedWalker<'a, W: WalkIndex = WalkStore> {
-    store: &'a SocialStore,
+pub struct PersonalizedWalker<'a, W: WalkIndexView = WalkStore, S: AdjacencyFetch = SocialStore> {
+    store: &'a S,
     walks: &'a W,
     epsilon: f64,
+    /// Corollary 9 budget: the walk ends early once this many fetches were spent.
+    fetch_budget: Option<u64>,
+    /// Stream for the stateful [`Self::walk`] path; [`Self::walk_query`] derives its
+    /// own per-query stream instead.
     rng: SmallRng,
 }
 
-impl<'a, W: WalkIndex> PersonalizedWalker<'a, W> {
+impl<'a, W: WalkIndexView, S: AdjacencyFetch> PersonalizedWalker<'a, W, S> {
     /// Creates a walker over the given stores with reset probability `epsilon`.
-    pub fn new(store: &'a SocialStore, walks: &'a W, epsilon: f64, seed: u64) -> Self {
+    pub fn new(store: &'a S, walks: &'a W, epsilon: f64, seed: u64) -> Self {
         assert!(
             epsilon > 0.0 && epsilon < 1.0,
             "epsilon must be in (0, 1), got {epsilon}"
@@ -119,12 +141,46 @@ impl<'a, W: WalkIndex> PersonalizedWalker<'a, W> {
             store,
             walks,
             epsilon,
+            fetch_budget: None,
             rng: SmallRng::seed_from_u64(seed),
         }
     }
 
-    /// Runs Algorithm 1 from `seed` until at least `length` visits are recorded.
+    /// Caps the number of fetches a walk may spend (Corollary 9 budget enforcement):
+    /// the walk stops — with [`PersonalizedWalkResult::budget_exhausted`] set — at
+    /// the first fetch that would exceed the cap.  The budget is part of the query,
+    /// so a budgeted walk replays bit-identically.
+    pub fn with_fetch_budget(mut self, budget: u64) -> Self {
+        self.fetch_budget = Some(budget);
+        self
+    }
+
+    /// Runs Algorithm 1 from `seed` until at least `length` visits are recorded,
+    /// drawing from this walker's own sequential stream (advanced by every call).
+    /// Prefer [`Self::walk_query`] for served queries: it is `&self` and keyed.
     pub fn walk(&mut self, seed: NodeId, length: usize) -> PersonalizedWalkResult {
+        let mut rng = std::mem::replace(&mut self.rng, SmallRng::seed_from_u64(0));
+        let result = self.run(seed, length, &mut rng);
+        self.rng = rng;
+        result
+    }
+
+    /// Runs Algorithm 1 from `seed` on the `(query_seed, query_id)` split stream of
+    /// [`crate::query::query_rng`].  Takes `&self`: the walker has no mutable state
+    /// on this path, so one walker (or one pinned generation) can serve many queries
+    /// from many threads, each bit-identical to its single-threaded replay.
+    pub fn walk_query(
+        &self,
+        seed: NodeId,
+        length: usize,
+        query_seed: u64,
+        query_id: u64,
+    ) -> PersonalizedWalkResult {
+        let mut rng = query_rng(query_seed, query_id);
+        self.run(seed, length, &mut rng)
+    }
+
+    fn run(&self, seed: NodeId, length: usize, rng: &mut SmallRng) -> PersonalizedWalkResult {
         assert!(
             seed.index() < self.store.node_count(),
             "seed node {seed} outside the store"
@@ -140,6 +196,7 @@ impl<'a, W: WalkIndex> PersonalizedWalker<'a, W> {
             segments_used: 0,
             random_steps: 0,
             resets: 0,
+            budget_exhausted: false,
         };
         let mut memory: HashMap<NodeId, FetchedNode> = HashMap::new();
         let visit = |node: NodeId, result: &mut PersonalizedWalkResult| {
@@ -151,7 +208,7 @@ impl<'a, W: WalkIndex> PersonalizedWalker<'a, W> {
         visit(seed, &mut result);
 
         while (result.total_visits as usize) < length {
-            if self.rng.gen_bool(self.epsilon) {
+            if rng.gen_bool(self.epsilon) {
                 result.resets += 1;
                 current = seed;
                 visit(seed, &mut result);
@@ -180,8 +237,7 @@ impl<'a, W: WalkIndex> PersonalizedWalker<'a, W> {
                         current = seed;
                         visit(seed, &mut result);
                     } else {
-                        let next =
-                            state.out_neighbors[self.rng.gen_range(0..state.out_neighbors.len())];
+                        let next = state.out_neighbors[rng.gen_range(0..state.out_neighbors.len())];
                         result.random_steps += 1;
                         current = next;
                         visit(next, &mut result);
@@ -189,11 +245,19 @@ impl<'a, W: WalkIndex> PersonalizedWalker<'a, W> {
                 }
                 None => {
                     // Fetch the node; the walk does not advance this round (Algorithm 1).
-                    let fetched = self.store.fetch(current);
+                    if self
+                        .fetch_budget
+                        .is_some_and(|budget| result.fetches >= budget)
+                    {
+                        result.budget_exhausted = true;
+                        break;
+                    }
+                    let mut out_neighbors = Vec::new();
+                    self.store.fetch_out(current, &mut out_neighbors);
                     memory.insert(
                         current,
                         FetchedNode {
-                            out_neighbors: fetched.out_neighbors.to_vec(),
+                            out_neighbors,
                             next_unused_segment: 0,
                         },
                     );
@@ -204,7 +268,9 @@ impl<'a, W: WalkIndex> PersonalizedWalker<'a, W> {
 
         result
     }
+}
 
+impl<'a, W: WalkIndexView> PersonalizedWalker<'a, W, SocialStore> {
     /// Convenience wrapper: runs [`Self::walk`] and returns the top-`k` nodes, excluding
     /// the seed itself and (if `exclude_friends`) its direct friends, exactly as the
     /// paper's recommender evaluation does.
@@ -232,6 +298,7 @@ mod tests {
     use crate::incremental::IncrementalPageRank;
     use ppr_graph::generators::{directed_cycle, preferential_attachment};
     use ppr_graph::{DynamicGraph, Edge};
+    use ppr_store::{FrozenGraph, FrozenWalks};
 
     fn engine(graph: &DynamicGraph, r: usize, seed: u64) -> IncrementalPageRank {
         IncrementalPageRank::from_graph(graph, MonteCarloConfig::new(0.2, r).with_seed(seed))
@@ -246,6 +313,7 @@ mod tests {
         assert!(result.total_visits >= 500);
         assert_eq!(result.visits.iter().sum::<u64>(), result.total_visits);
         assert!(result.visits[0] > 0, "the seed is always visited");
+        assert!(!result.budget_exhausted);
     }
 
     #[test]
@@ -362,6 +430,7 @@ mod tests {
             segments_used: 0,
             random_steps: 0,
             resets: 0,
+            budget_exhausted: false,
         };
         let exclude: HashSet<NodeId> = [NodeId(0)].into_iter().collect();
         let top = result.top_k(2, &exclude);
@@ -369,6 +438,65 @@ mod tests {
         assert_eq!(top[0].0, NodeId(2));
         assert_eq!(top[1].0, NodeId(1));
         assert!((top[0].1 - 7.0 / 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn walk_query_is_a_pure_function_of_seed_and_id() {
+        let g = preferential_attachment(200, 4, 21);
+        let eng = engine(&g, 4, 23);
+        let walker = PersonalizedWalker::new(eng.social_store(), eng.walk_store(), 0.2, 0);
+        let a = walker.walk_query(NodeId(3), 2_000, 99, 7);
+        let b = walker.walk_query(NodeId(3), 2_000, 99, 7);
+        assert_eq!(a.visits, b.visits, "same stream, same walk");
+        assert_eq!(a.fetches, b.fetches);
+        let c = walker.walk_query(NodeId(3), 2_000, 99, 8);
+        assert_ne!(
+            a.visits, c.visits,
+            "different query ids draw different walks"
+        );
+    }
+
+    #[test]
+    fn walk_query_matches_across_live_store_and_frozen_view() {
+        // The serving contract in miniature: the same (query_seed, query_id) against
+        // the live stores and against a frozen generation gives identical results.
+        let g = preferential_attachment(150, 4, 31);
+        let eng = engine(&g, 3, 37);
+        let live = PersonalizedWalker::new(eng.social_store(), eng.walk_store(), 0.2, 0);
+        let frozen_walks = FrozenWalks::from_index(eng.walk_store(), 0);
+        let frozen_graph = FrozenGraph::from_graph(eng.graph());
+        let pinned = PersonalizedWalker::new(&frozen_graph, &frozen_walks, 0.2, 0);
+        for qid in 0..4u64 {
+            let a = live.walk_query(NodeId(5), 1_500, 41, qid);
+            let b = pinned.walk_query(NodeId(5), 1_500, 41, qid);
+            assert_eq!(a.visits, b.visits, "query {qid} diverges across views");
+            assert_eq!(a.fetches, b.fetches);
+            assert_eq!(a.segments_used, b.segments_used);
+        }
+    }
+
+    #[test]
+    fn fetch_budget_stops_the_walk_deterministically() {
+        let g = preferential_attachment(300, 4, 41);
+        let eng = engine(&g, 2, 43);
+        let unbounded = PersonalizedWalker::new(eng.social_store(), eng.walk_store(), 0.2, 0);
+        let full = unbounded.walk_query(NodeId(1), 5_000, 5, 0);
+        assert!(full.fetches > 4, "need a walk that actually fetches");
+
+        let budget = full.fetches / 2;
+        let bounded = PersonalizedWalker::new(eng.social_store(), eng.walk_store(), 0.2, 0)
+            .with_fetch_budget(budget);
+        let cut = bounded.walk_query(NodeId(1), 5_000, 5, 0);
+        assert!(cut.budget_exhausted, "the cap must trip");
+        assert_eq!(cut.fetches, budget, "spends exactly the budget");
+        assert!(cut.total_visits < full.total_visits);
+        // Replaying the budgeted query is bit-identical too.
+        let again = bounded.walk_query(NodeId(1), 5_000, 5, 0);
+        assert_eq!(cut.visits, again.visits);
+        // A generous budget never trips.
+        let roomy = PersonalizedWalker::new(eng.social_store(), eng.walk_store(), 0.2, 0)
+            .with_fetch_budget(full.fetches);
+        assert!(!roomy.walk_query(NodeId(1), 5_000, 5, 0).budget_exhausted);
     }
 
     #[test]

@@ -34,14 +34,124 @@ use crate::config::{MonteCarloConfig, RerouteStrategy};
 use crate::walker;
 use ppr_graph::{DynamicGraph, Edge, GraphView, NodeId};
 use ppr_store::{
-    SegmentId, SegmentRewrites, ShardedWalkStore, SocialStore, WalkIndex, WalkIndexMut, WalkStore,
-    WorkCounter,
+    SegmentId, SegmentRewrites, ShardedWalkStore, SocialStore, WalkIndex, WalkIndexMut,
+    WalkIndexView, WalkStore, WorkCounter,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
 
 use crate::incremental::UpdateStats;
+
+/// Derives hub/authority estimates from any [`WalkIndexView`] holding `2R` SALSA
+/// segments per node (slots `0..R` forward-start, `R..2R` backward-start — the
+/// [`IncrementalSalsa`] layout).  Pure reads: this is the query the serving layer
+/// answers from an epoch-pinned generation snapshot, and
+/// [`IncrementalSalsa::estimates`] is exactly this function over the live store.
+pub fn salsa_estimates_from<V: WalkIndexView>(walks: &V) -> SalsaEstimates {
+    let n = walks.node_count();
+    let r2 = walks.r();
+    let mut hub_visits = vec![0u64; n];
+    let mut auth_visits = vec![0u64; n];
+    for node in 0..n {
+        let node = NodeId::from_index(node);
+        for id in walks.segment_ids_of(node) {
+            let hub_parity = usize::from(id.slot(r2) >= r2 / 2);
+            for (pos, &visited) in walks.segment_path(id).iter().enumerate() {
+                if pos % 2 == hub_parity {
+                    hub_visits[visited.index()] += 1;
+                } else {
+                    auth_visits[visited.index()] += 1;
+                }
+            }
+        }
+    }
+    SalsaEstimates {
+        hubs: normalize(&hub_visits),
+        authorities: normalize(&auth_visits),
+    }
+}
+
+/// Personalized SALSA authority scores on any [`GraphView`]: a direct alternating
+/// walk of `walk_length` visits with ε-resets to `seed` before forward steps,
+/// drawing from the supplied stream.  [`IncrementalSalsa::personalized_authorities`]
+/// is this function over the live graph with the engine's seed derivation; the
+/// serving layer runs it against a pinned [`ppr_store::FrozenGraph`] with a
+/// `(query_seed, query_id)` stream.
+pub fn personalized_authorities_on<G: GraphView + ?Sized>(
+    graph: &G,
+    seed: NodeId,
+    walk_length: usize,
+    epsilon: f64,
+    rng: &mut SmallRng,
+) -> Vec<f64> {
+    assert!(
+        seed.index() < graph.node_count(),
+        "seed node {seed} outside the graph"
+    );
+    let n = graph.node_count();
+    let mut auth_visits = vec![0u64; n];
+    let mut total_auth = 0u64;
+
+    let mut current = seed;
+    let mut forward = true;
+    let mut visits = 0usize;
+    while visits < walk_length {
+        visits += 1;
+        if forward {
+            if rng.gen_bool(epsilon) {
+                current = seed;
+                forward = true;
+                continue;
+            }
+            let out = graph.out_neighbors(current);
+            if out.is_empty() {
+                current = seed;
+                forward = true;
+            } else {
+                let next = out[rng.gen_range(0..out.len())];
+                auth_visits[next.index()] += 1;
+                total_auth += 1;
+                current = next;
+                forward = false;
+            }
+        } else {
+            let incoming = graph.in_neighbors(current);
+            if incoming.is_empty() {
+                current = seed;
+            } else {
+                current = incoming[rng.gen_range(0..incoming.len())];
+            }
+            forward = true;
+        }
+    }
+
+    if total_auth == 0 {
+        return vec![0.0; n];
+    }
+    auth_visits
+        .iter()
+        .map(|&v| v as f64 / total_auth as f64)
+        .collect()
+}
+
+/// Top-`k` of a personalized score vector, skipping `exclude` (the seed and its
+/// friends), ties broken by node id — the paper's recommender post-processing,
+/// shared by the engine and the serving layer.
+pub fn top_k_scores(scores: &[f64], exclude: &HashSet<usize>, k: usize) -> Vec<(NodeId, f64)> {
+    let mut candidates: Vec<(usize, f64)> = scores
+        .iter()
+        .enumerate()
+        .filter(|&(i, &s)| s > 0.0 && !exclude.contains(&i))
+        .map(|(i, &s)| (i, s))
+        .collect();
+    candidates.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    candidates.truncate(k);
+    candidates
+        .into_iter()
+        .map(|(i, s)| (NodeId::from_index(i), s))
+        .collect()
+}
 
 /// Hub and authority estimates derived from the stored SALSA segments.
 #[derive(Debug, Clone)]
@@ -141,6 +251,8 @@ impl<W: WalkIndexMut + Sync> IncrementalSalsa<W> {
         threads: usize,
     ) -> Self {
         let node_count = store.node_count();
+        let mut walks = walks;
+        walks.set_compaction_threshold(config.compaction_threshold);
         let rng = SmallRng::seed_from_u64(config.seed.wrapping_add(0x5a15a));
         let mut engine = IncrementalSalsa {
             store,
@@ -200,6 +312,15 @@ impl<W: WalkIndexMut + Sync> IncrementalSalsa<W> {
         &self.walks
     }
 
+    /// The reconciled rewrite plan of the most recent mutation (arrival batch,
+    /// deletion batch, or single-edge wrapper): exactly the segment rewrites the
+    /// store absorbed, in plan order.  The serving layer replays this plan into its
+    /// copy-on-write generation mirror after each commit; empty when the mutation
+    /// touched no segment.
+    pub fn last_rewrites(&self) -> &SegmentRewrites {
+        &self.rewrites
+    }
+
     /// Number of worker threads the batched reroute pipeline may use.
     pub fn threads(&self) -> usize {
         self.threads
@@ -241,90 +362,26 @@ impl<W: WalkIndexMut + Sync> IncrementalSalsa<W> {
         }
     }
 
-    /// Current hub/authority estimates from the stored segments.
+    /// Current hub/authority estimates from the stored segments — `&self`, via the
+    /// shared [`salsa_estimates_from`] query over the store's [`WalkIndexView`].
     pub fn estimates(&self) -> SalsaEstimates {
-        let n = self.node_count();
-        let mut hub_visits = vec![0u64; n];
-        let mut auth_visits = vec![0u64; n];
-        for node in self.store.graph().nodes() {
-            for id in self.walks.segment_ids_of(node) {
-                let hub_parity = self.hub_parity(id);
-                for (pos, &visited) in self.walks.segment_path(id).iter().enumerate() {
-                    if pos % 2 == hub_parity {
-                        hub_visits[visited.index()] += 1;
-                    } else {
-                        auth_visits[visited.index()] += 1;
-                    }
-                }
-            }
-        }
-        SalsaEstimates {
-            hubs: normalize(&hub_visits),
-            authorities: normalize(&auth_visits),
-        }
+        salsa_estimates_from(&self.walks)
     }
 
     /// Authority scores personalized on `seed`, estimated with a direct alternating walk
     /// of `walk_length` visits that resets to the seed before forward steps with
     /// probability ε.
     pub fn personalized_authorities(&self, seed: NodeId, walk_length: usize) -> Vec<f64> {
-        assert!(
-            seed.index() < self.node_count(),
-            "seed node {seed} outside the graph"
-        );
         let mut rng = SmallRng::seed_from_u64(
             self.config.seed ^ 0xa55a_0000u64 ^ (seed.0 as u64).wrapping_mul(0x9e37_79b9),
         );
-        let graph = self.store.graph();
-        let epsilon = self.config.epsilon;
-        let n = self.node_count();
-        let mut auth_visits = vec![0u64; n];
-        let mut total_auth = 0u64;
-
-        let mut current = seed;
-        let mut forward = true;
-        let mut visits = 0usize;
-        while visits < walk_length {
-            visits += 1;
-            if forward {
-                if rng.gen_bool(epsilon) {
-                    current = seed;
-                    forward = true;
-                    continue;
-                }
-                match graph.random_out_neighbor(current, &mut rng) {
-                    Some(next) => {
-                        auth_visits[next.index()] += 1;
-                        total_auth += 1;
-                        current = next;
-                        forward = false;
-                    }
-                    None => {
-                        current = seed;
-                        forward = true;
-                    }
-                }
-            } else {
-                match graph.random_in_neighbor(current, &mut rng) {
-                    Some(next) => {
-                        current = next;
-                        forward = true;
-                    }
-                    None => {
-                        current = seed;
-                        forward = true;
-                    }
-                }
-            }
-        }
-
-        if total_auth == 0 {
-            return vec![0.0; n];
-        }
-        auth_visits
-            .iter()
-            .map(|&v| v as f64 / total_auth as f64)
-            .collect()
+        personalized_authorities_on(
+            self.store.graph(),
+            seed,
+            walk_length,
+            self.config.epsilon,
+            &mut rng,
+        )
     }
 
     /// Top-`k` friend recommendations for `seed` by personalized authority score,
@@ -345,18 +402,7 @@ impl<W: WalkIndexMut + Sync> IncrementalSalsa<W> {
                 .iter()
                 .map(|n| n.index()),
         );
-        let mut candidates: Vec<(usize, f64)> = scores
-            .iter()
-            .enumerate()
-            .filter(|&(i, &s)| s > 0.0 && !exclude.contains(&i))
-            .map(|(i, &s)| (i, s))
-            .collect();
-        candidates.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
-        candidates.truncate(k);
-        candidates
-            .into_iter()
-            .map(|(i, s)| (NodeId::from_index(i), s))
-            .collect()
+        top_k_scores(&scores, &exclude, k)
     }
 
     /// Processes the arrival of `edge`, repairing affected forward and backward steps.
@@ -374,6 +420,7 @@ impl<W: WalkIndexMut + Sync> IncrementalSalsa<W> {
     /// can claim the same segment; as always, the smallest reroute position wins (the
     /// two directions disturb positions of opposite parity, so no tie is possible).
     pub fn apply_arrivals(&mut self, edges: &[Edge]) -> UpdateStats {
+        self.rewrites.clear();
         let mut stats = UpdateStats::default();
         let Some(needed) = edges
             .iter()
@@ -513,6 +560,7 @@ impl<W: WalkIndexMut + Sync> IncrementalSalsa<W> {
 
     /// Processes the deletion of `edge`.  Returns `None` if the edge was not present.
     pub fn remove_edge(&mut self, edge: Edge) -> Option<UpdateStats> {
+        self.rewrites.clear();
         if !self.store.graph().has_edge(edge) {
             return None;
         }
@@ -659,6 +707,7 @@ impl<W: WalkIndexMut + Sync> IncrementalSalsa<W> {
                 &mut self.scratch,
             );
             self.walks.set_segment(id, &self.scratch);
+            self.rewrites.push(id, &self.scratch);
             stats.record_segment(steps);
             return;
         }
@@ -690,6 +739,7 @@ impl<W: WalkIndexMut + Sync> IncrementalSalsa<W> {
         } else {
             // The pivot lost its last edge in that direction: the segment now ends here.
             self.walks.set_segment(id, &self.scratch);
+            self.rewrites.push(id, &self.scratch);
             stats.record_segment(steps);
             return;
         }
@@ -705,6 +755,7 @@ impl<W: WalkIndexMut + Sync> IncrementalSalsa<W> {
         );
 
         self.walks.set_segment(id, &self.scratch);
+        self.rewrites.push(id, &self.scratch);
         stats.record_segment(steps);
     }
 }
@@ -963,7 +1014,7 @@ mod tests {
         assert_eq!(ea.hubs, eb.hubs);
         assert_eq!(ea.authorities, eb.authorities);
         assert_eq!(
-            WalkIndex::visit_counts(flat.walk_store()),
+            WalkIndexView::visit_counts(flat.walk_store()),
             sharded.walk_store().visit_counts()
         );
         sharded.validate_segments().unwrap();

@@ -119,6 +119,13 @@ impl DiskWalkStore {
             .unwrap_or_default()
     }
 
+    /// Freezes an epoch-pinned, copy-on-write snapshot view of the resident image
+    /// (see [`ppr_store::FrozenWalks`]) — the disk store serves queries exactly like
+    /// the in-memory layouts.
+    pub fn snapshot_view(&self, epoch: u64) -> ppr_store::FrozenWalks {
+        ppr_store::FrozenWalks::from_index(&self.resident, epoch)
+    }
+
     /// Current heap geometry as `(heap_len_steps, live_steps, garbage_steps)`.
     pub fn heap_geometry(&self) -> (u64, u64, u64) {
         (self.heap_len, self.live, self.dead)
@@ -291,7 +298,7 @@ impl DiskWalkStore {
     }
 }
 
-impl WalkIndex for DiskWalkStore {
+impl ppr_store::WalkIndexView for DiskWalkStore {
     #[inline]
     fn r(&self) -> usize {
         self.resident.r()
@@ -316,10 +323,6 @@ impl WalkIndex for DiskWalkStore {
         self.resident.segment_ids_of(node)
     }
 
-    fn segments_visiting(&self, node: NodeId) -> impl Iterator<Item = (SegmentId, u32)> + '_ {
-        self.resident.segments_visiting(node)
-    }
-
     #[inline]
     fn visit_count(&self, node: NodeId) -> u64 {
         self.resident.visit_count(node)
@@ -332,6 +335,12 @@ impl WalkIndex for DiskWalkStore {
     #[inline]
     fn total_visits(&self) -> u64 {
         self.resident.total_visits()
+    }
+}
+
+impl WalkIndex for DiskWalkStore {
+    fn segments_visiting(&self, node: NodeId) -> impl Iterator<Item = (SegmentId, u32)> + '_ {
+        self.resident.segments_visiting(node)
     }
 
     fn arena_stats(&self) -> ArenaStats {
@@ -361,6 +370,13 @@ impl WalkIndexMut for DiskWalkStore {
     fn check_consistency(&self) -> Result<(), String> {
         self.resident.check_consistency()?;
         self.check_file_layout()
+    }
+
+    /// The knob tunes the resident image's in-memory arena; the on-disk heap keeps
+    /// its own half-dead file-compaction rule (a separate cost model: file
+    /// compaction rewrites every page).
+    fn set_compaction_threshold(&mut self, ratio: f64) {
+        self.resident.set_compaction_threshold(ratio);
     }
 }
 
@@ -457,6 +473,21 @@ mod tests {
     use super::*;
     use crate::snapshot::{SnapshotWriter, SECTION_WALKS};
     use crate::tempdir::TempDir;
+    use ppr_store::WalkIndexView;
+
+    #[test]
+    fn snapshot_view_freezes_the_resident_image() {
+        let mut store = DiskWalkStore::new(6, 2);
+        store.set_segment(SegmentId::new(NodeId(2), 1, 2), &path_of(&[2, 5, 0]));
+        let view = store.snapshot_view(7);
+        assert_eq!(view.epoch(), 7);
+        assert_eq!(view.node_count(), 6);
+        assert_eq!(view.total_visits(), store.total_visits());
+        assert_eq!(
+            view.segment_path(SegmentId::new(NodeId(2), 1, 2)),
+            store.segment_path(SegmentId::new(NodeId(2), 1, 2))
+        );
+    }
 
     fn path_of(nodes: &[u32]) -> Vec<NodeId> {
         nodes.iter().map(|&n| NodeId(n)).collect()
@@ -486,11 +517,11 @@ mod tests {
             disk.set_segment(id, &path_of(p));
             flat.set_segment(id, &path_of(p));
         }
-        assert_eq!(disk.visit_counts(), WalkIndex::visit_counts(&flat));
-        assert_eq!(WalkIndex::total_visits(&disk), flat.total_visits());
+        assert_eq!(disk.visit_counts(), WalkIndexView::visit_counts(&flat));
+        assert_eq!(WalkIndexView::total_visits(&disk), flat.total_visits());
         for slot in 0..12u32 {
             assert_eq!(
-                WalkIndex::segment_path(&disk, SegmentId(slot)),
+                WalkIndexView::segment_path(&disk, SegmentId(slot)),
                 flat.segment_path(SegmentId(slot))
             );
         }
@@ -513,8 +544,8 @@ mod tests {
         assert_eq!(reopened.heap_geometry(), store.heap_geometry());
         for slot in 0..5u32 {
             assert_eq!(
-                WalkIndex::segment_path(&reopened, SegmentId(slot)),
-                WalkIndex::segment_path(&store, SegmentId(slot))
+                WalkIndexView::segment_path(&reopened, SegmentId(slot)),
+                WalkIndexView::segment_path(&store, SegmentId(slot))
             );
         }
         assert!(WalkIndexMut::check_consistency(&reopened).is_ok());
@@ -555,7 +586,7 @@ mod tests {
         let reopened = DiskWalkStore::decode_walks(PagedWalks::open(&snap1).unwrap()).unwrap();
         assert_eq!(reopened.visit_counts(), store.visit_counts());
         assert_eq!(
-            WalkIndex::segment_path(&reopened, SegmentId(7)),
+            WalkIndexView::segment_path(&reopened, SegmentId(7)),
             path_of(&[7, 8]).as_slice()
         );
         assert!(WalkIndexMut::check_consistency(&reopened).is_ok());
@@ -591,10 +622,10 @@ mod tests {
     fn ensure_nodes_grows_the_directory() {
         let mut store = DiskWalkStore::new(2, 2);
         store.ensure_nodes(5);
-        assert_eq!(WalkIndex::node_count(&store), 5);
+        assert_eq!(WalkIndexView::node_count(&store), 5);
         let id = SegmentId::new(NodeId(4), 1, 2);
         store.set_segment(id, &path_of(&[4, 0]));
-        assert_eq!(WalkIndex::visit_count(&store, NodeId(4)), 1);
+        assert_eq!(WalkIndexView::visit_count(&store, NodeId(4)), 1);
         assert!(WalkIndexMut::check_consistency(&store).is_ok());
     }
 }

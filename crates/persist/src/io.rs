@@ -18,6 +18,9 @@ pub enum PersistError {
     /// The bytes are intact but describe something this build cannot load: an unknown
     /// format version, a store-layout mismatch, an invalid configuration value.
     Format(String),
+    /// Another live writer process holds the store directory's lock file.  The store
+    /// is healthy — retry once the other writer exits (see [`crate::lock`]).
+    Locked(String),
 }
 
 impl fmt::Display for PersistError {
@@ -26,6 +29,7 @@ impl fmt::Display for PersistError {
             PersistError::Io(e) => write!(f, "I/O error: {e}"),
             PersistError::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
             PersistError::Format(msg) => write!(f, "unsupported format: {msg}"),
+            PersistError::Locked(msg) => write!(f, "store locked: {msg}"),
         }
     }
 }

@@ -580,6 +580,7 @@ mod tests {
     use super::*;
     use crate::snapshot::SnapshotWriter;
     use crate::tempdir::TempDir;
+    use ppr_store::WalkIndexView;
 
     fn sample_store() -> WalkStore {
         let mut store = WalkStore::new(6, 2);

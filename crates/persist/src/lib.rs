@@ -18,7 +18,9 @@
 //!   implementation whose checkpoints re-encode only dirty heap pages and stream
 //!   clean pages out of the previous generation through a page cache ([`pager`]);
 //! * [`dir`] — the generation-numbered store directory with its atomically published
-//!   `CURRENT` pointer and previous-generation fallback.
+//!   `CURRENT` pointer and previous-generation fallback;
+//! * [`lock`] — the `LOCK` file enforcing the single-writer-per-directory contract
+//!   across processes, with stale-lock stealing after a crash.
 //!
 //! The engine-facing `open`/`checkpoint` APIs live in `ppr-core::durable`, built on
 //! the [`layout::PersistentWalkStore`] trait this crate implements for the flat,
@@ -33,6 +35,7 @@ pub mod disk;
 pub mod graph;
 pub mod io;
 pub mod layout;
+pub mod lock;
 pub mod pager;
 pub mod snapshot;
 pub mod tempdir;
@@ -43,6 +46,7 @@ pub use dir::StoreDir;
 pub use disk::{DiskStoreStats, DiskWalkStore};
 pub use io::{PersistError, PersistResult};
 pub use layout::{PagedWalks, PersistentWalkStore};
+pub use lock::StoreLock;
 pub use pager::PagerStats;
 pub use snapshot::{SnapshotFile, SnapshotWriter};
 pub use tempdir::TempDir;

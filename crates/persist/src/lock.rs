@@ -1,0 +1,142 @@
+//! Cross-process exclusion for store directories: the `LOCK` file.
+//!
+//! A store directory assumes a single writer; two live writers would interleave WAL
+//! frames and clobber each other's checkpoints.  [`StoreLock`] makes that assumption
+//! enforced instead of documented: every durable engine acquires the lock when it
+//! creates or opens a directory and holds it until drop, and a second writer fails
+//! fast with [`PersistError::Locked`] naming the holder.
+//!
+//! The lock is a `LOCK` file created with `O_EXCL`, holding the owner's PID.  Crashed
+//! owners must not wedge the store forever (the crash-kill smoke test SIGKILLs a
+//! writer and immediately recovers), so an existing lock whose PID no longer names a
+//! live process — checked via `/proc/<pid>` — is *stale* and silently stolen.  The
+//! steal re-runs the `O_EXCL` create, so two processes racing for a stale lock still
+//! end with exactly one owner.  On systems without `/proc`, liveness is unknowable
+//! and an existing lock is conservatively treated as held.
+
+use crate::io::{PersistError, PersistResult};
+use std::fs::OpenOptions;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Name of the lock file inside a store directory.
+pub const LOCK_FILE: &str = "LOCK";
+
+/// An acquired store-directory lock; released (best-effort) on drop.
+#[derive(Debug)]
+pub struct StoreLock {
+    path: PathBuf,
+}
+
+/// Whether `pid` names a live process, as far as this platform can tell.
+/// `None` when liveness cannot be determined (no `/proc`).
+fn pid_alive(pid: u32) -> Option<bool> {
+    if Path::new("/proc").is_dir() {
+        Some(Path::new(&format!("/proc/{pid}")).exists())
+    } else {
+        None
+    }
+}
+
+impl StoreLock {
+    /// Acquires the lock for the store directory `root` (which must exist),
+    /// stealing a stale lock left behind by a crashed process.
+    ///
+    /// Fails with [`PersistError::Locked`] when another live process holds it.
+    pub fn acquire(root: &Path) -> PersistResult<StoreLock> {
+        let path = root.join(LOCK_FILE);
+        // Two attempts: the second runs only after a stale lock was removed, so a
+        // racing thief that re-creates the file first wins and we report it held.
+        for stole in [false, true] {
+            match OpenOptions::new().write(true).create_new(true).open(&path) {
+                Ok(mut file) => {
+                    writeln!(file, "{}", std::process::id())?;
+                    file.sync_all()?;
+                    return Ok(StoreLock { path });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    let holder = std::fs::read_to_string(&path)
+                        .ok()
+                        .and_then(|s| s.trim().parse::<u32>().ok());
+                    let held = format!(
+                        "{} is held by {} — another writer owns this store; if no \
+                         writer is running, delete the file to recover",
+                        path.display(),
+                        holder.map_or("an unknown process".to_string(), |pid| format!("pid {pid}")),
+                    );
+                    match holder.and_then(pid_alive) {
+                        // A readable PID that provably no longer runs: stale, steal.
+                        Some(false) if !stole => {
+                            let _ = std::fs::remove_file(&path);
+                        }
+                        _ => return Err(PersistError::Locked(held)),
+                    }
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        unreachable!("second acquire attempt either succeeds or returns Locked");
+    }
+
+    /// The lock file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for StoreLock {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tempdir::TempDir;
+
+    #[test]
+    fn second_acquire_fails_while_held_and_succeeds_after_release() {
+        let tmp = TempDir::new("lock");
+        let lock = StoreLock::acquire(tmp.path()).expect("first acquire");
+        assert!(lock.path().exists());
+        match StoreLock::acquire(tmp.path()) {
+            Err(PersistError::Locked(msg)) => {
+                assert!(
+                    msg.contains(&format!("pid {}", std::process::id())),
+                    "the error names the live holder: {msg}"
+                );
+            }
+            other => panic!("expected Locked, got {other:?}"),
+        }
+        drop(lock);
+        assert!(!tmp.path().join(LOCK_FILE).exists(), "drop releases");
+        let again = StoreLock::acquire(tmp.path()).expect("re-acquire after release");
+        drop(again);
+    }
+
+    #[test]
+    fn stale_lock_of_a_dead_process_is_stolen() {
+        if pid_alive(1).is_none() {
+            return; // no /proc: liveness unknowable, nothing to test here
+        }
+        let tmp = TempDir::new("lock-stale");
+        // A PID far above any default pid_max: provably not running.
+        std::fs::write(tmp.path().join(LOCK_FILE), "4194304999\n").unwrap();
+        let lock = StoreLock::acquire(tmp.path()).expect("steal the stale lock");
+        let content = std::fs::read_to_string(lock.path()).unwrap();
+        assert_eq!(content.trim(), std::process::id().to_string());
+    }
+
+    #[test]
+    fn unreadable_lock_is_reported_held() {
+        let tmp = TempDir::new("lock-garbage");
+        std::fs::write(tmp.path().join(LOCK_FILE), "not-a-pid\n").unwrap();
+        match StoreLock::acquire(tmp.path()) {
+            Err(PersistError::Locked(msg)) => {
+                assert!(msg.contains("unknown process"), "{msg}");
+            }
+            other => panic!("expected Locked, got {other:?}"),
+        }
+    }
+}

@@ -25,7 +25,14 @@ use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
 const MAGIC: &[u8; 8] = b"PPRSNAP1";
-const VERSION: u32 = 1;
+/// Oldest container version this build can still read.
+/// History: 1 = PR 4 layout; 2 = PR 5 (`compaction_threshold` f64 added to META).
+pub const MIN_VERSION: u32 = 1;
+/// Container format version written by this build.  Bump whenever any section's
+/// byte layout changes (readers branch on [`SnapshotFile::version`]); versions
+/// outside `MIN_VERSION..=VERSION` fail with a clean `Format` error instead of
+/// being misdiagnosed as bit rot by the decoders.
+pub const VERSION: u32 = 2;
 
 /// Section tag: engine metadata (config, RNG state, counters).
 pub const SECTION_META: u32 = 1;
@@ -110,6 +117,7 @@ pub struct SectionInfo {
 #[derive(Debug)]
 pub struct SnapshotFile {
     file: File,
+    version: u32,
     sections: Vec<SectionInfo>,
 }
 
@@ -126,9 +134,9 @@ impl SnapshotFile {
             return Err(corrupt("bad snapshot magic"));
         }
         let version = u32::from_le_bytes(header[8..12].try_into().unwrap());
-        if version != VERSION {
+        if !(MIN_VERSION..=VERSION).contains(&version) {
             return Err(format_err(format!(
-                "snapshot version {version}, expected {VERSION}"
+                "snapshot version {version}, this build reads {MIN_VERSION}..={VERSION}"
             )));
         }
         let count = u32::from_le_bytes(header[12..16].try_into().unwrap());
@@ -166,7 +174,17 @@ impl SnapshotFile {
                 file_len - pos
             )));
         }
-        Ok(SnapshotFile { file, sections })
+        Ok(SnapshotFile {
+            file,
+            version,
+            sections,
+        })
+    }
+
+    /// The container version the file was written with (decoders of versioned
+    /// sections branch on it).
+    pub fn version(&self) -> u32 {
+        self.version
     }
 
     /// Locations of every section, in file order.

@@ -1,0 +1,87 @@
+//! The shared fetched-adjacency cache of one generation.
+//!
+//! In the paper's cost model a personalized query pays one *fetch* per distinct node
+//! it explores, and Figure 6 shows the fetch sets of different queries overlap
+//! heavily (hubs are fetched by almost everyone).  Within one generation the fetched
+//! adjacency is immutable, so queries pinned to the same generation can share it:
+//! the first fetch of a node materialises its out-adjacency as an `Arc<[NodeId]>`,
+//! every later fetch — from any reader thread — clones the `Arc`.
+//!
+//! Invalidation is by construction rather than by bookkeeping: the cache lives
+//! *inside* its [`crate::Generation`], so publishing the next generation starts an
+//! empty cache and the old one dies with the last query still pinned to it.  A
+//! reader can therefore never observe adjacency from a different generation than the
+//! walk data it reads — the failure mode a shared cross-generation cache would have.
+//!
+//! The cache only affects where the bytes come from, never their values, so cached
+//! and uncached serving are bit-identical; hit/miss counters are observability only.
+
+use ppr_graph::NodeId;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Cumulative hit/miss counters of a [`FetchCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FetchCacheStats {
+    /// Fetches answered from the shared cache.
+    pub hits: u64,
+    /// Fetches that materialised the adjacency (first fetch of a node this
+    /// generation).
+    pub misses: u64,
+}
+
+/// A per-generation memo of materialised out-adjacency, shared by every query
+/// pinned to that generation.
+#[derive(Debug, Default)]
+pub struct FetchCache {
+    map: RwLock<HashMap<NodeId, Arc<[NodeId]>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl FetchCache {
+    /// An empty cache (one per generation).
+    pub fn new() -> Self {
+        FetchCache::default()
+    }
+
+    /// Returns `node`'s cached adjacency, materialising it through `fill` on first
+    /// use.  Hits take only the read lock, so readers hitting the cache never
+    /// serialise; `fill` runs outside any lock (within one generation every fill of
+    /// a node produces the identical immutable value, so a racing fill is wasted
+    /// work, never a wrong answer — the first insert wins and all callers share it).
+    pub fn get_or_fill(&self, node: NodeId, fill: impl FnOnce() -> Arc<[NodeId]>) -> Arc<[NodeId]> {
+        if let Some(adj) = self.map.read().expect("fetch cache poisoned").get(&node) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(adj);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let adj = fill();
+        let mut map = self.map.write().expect("fetch cache poisoned");
+        Arc::clone(map.entry(node).or_insert(adj))
+    }
+
+    /// Snapshot of the hit/miss counters.
+    pub fn stats(&self) -> FetchCacheStats {
+        FetchCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_fetch_fills_later_fetches_hit() {
+        let cache = FetchCache::new();
+        let adj: Arc<[NodeId]> = Arc::from(vec![NodeId(1), NodeId(2)].as_slice());
+        let a = cache.get_or_fill(NodeId(0), || Arc::clone(&adj));
+        let b = cache.get_or_fill(NodeId(0), || panic!("must not refill"));
+        assert_eq!(a, b);
+        assert_eq!(cache.stats(), FetchCacheStats { hits: 1, misses: 1 });
+    }
+}

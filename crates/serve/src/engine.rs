@@ -1,0 +1,281 @@
+//! The single-writer/many-readers [`QueryEngine`].
+//!
+//! The writer side owns the real incremental engine plus one mutable copy-on-write
+//! *mirror* of its state (a [`FrozenWalks`] + [`FrozenGraph`] pair).  Each commit
+//!
+//! 1. applies the batch to the engine exactly as before (same pipeline, same RNG
+//!    streams, same WAL hooks when the engine is durable);
+//! 2. advances the mirror from the engine's own reconciled rewrite plan
+//!    ([`ppr_core::IncrementalPageRank::last_rewrites`]) and the batch's endpoint
+//!    set — cost proportional to what the batch touched, never to the store size;
+//! 3. publishes a clone of the mirror as the next [`Generation`] behind the shared
+//!    handle.
+//!
+//! Readers pin the current generation through a [`ServeHandle`] (one brief mutex
+//! lock to clone an `Arc`, then zero synchronisation for the whole query).  A reader
+//! holding generation `g` keeps exactly the chunks `g` references alive; the writer's
+//! next `Arc::make_mut` copies only chunks still shared — snapshot isolation by
+//! structural sharing, the redb/Manifold generation discipline applied to the
+//! PageRank Store.
+
+use crate::generation::{EngineKind, Generation, PinnedView, Query, Served};
+use crate::FetchCache;
+use ppr_core::{IncrementalPageRank, IncrementalSalsa, UpdateStats};
+use ppr_graph::{DynamicGraph, Edge, NodeId};
+use ppr_store::{FrozenGraph, FrozenWalks, SegmentRewrites, WalkIndexMut, WalkIndexView};
+use std::sync::{Arc, Mutex};
+
+/// One write operation against the serving engine.
+#[derive(Debug, Clone, Copy)]
+pub enum WriteOp<'a> {
+    /// An edge-arrival batch (`apply_arrivals`).
+    Arrivals(&'a [Edge]),
+    /// An edge-deletion batch (`apply_deletions` / per-edge `remove_edge`).
+    Deletions(&'a [Edge]),
+}
+
+/// The engine surface [`QueryEngine`] serves: apply a write op while keeping a
+/// frozen mirror bit-identical to the live store.  Implemented by both Monte Carlo
+/// engines over every store layout.
+pub trait ServeEngine {
+    /// Which engine family this is (decides segment interpretation in queries).
+    fn kind(&self) -> EngineKind;
+
+    /// The walk reset probability queries must use.
+    fn epsilon(&self) -> f64;
+
+    /// The live graph (refreshed into the graph mirror after each commit).
+    fn live_graph(&self) -> &DynamicGraph;
+
+    /// Full freeze of the live walk store (done once, at serving start).
+    fn freeze_walks(&self, epoch: u64) -> FrozenWalks;
+
+    /// Applies `op` to the live engine and replays exactly its effect into
+    /// `mirror`: the reconciled rewrite plan(s) plus the segments of any nodes the
+    /// batch created.  After this returns, `mirror` is bit-identical to the live
+    /// walk store.
+    fn apply_and_mirror(&mut self, op: WriteOp<'_>, mirror: &mut FrozenWalks) -> UpdateStats;
+}
+
+/// Copies the segments of nodes the batch created out of the live store.
+fn sync_growth<W: WalkIndexView>(store: &W, mirror: &mut FrozenWalks) {
+    let before = mirror.node_count();
+    let after = store.node_count();
+    if after > before {
+        mirror.sync_segments_from(store, before, after);
+    }
+}
+
+/// Replays one applied plan into the mirror (growth first: the plan may rewrite
+/// segments of nodes that did not exist at the previous generation).
+fn mirror_plan<W: WalkIndexView>(store: &W, plan: &SegmentRewrites, mirror: &mut FrozenWalks) {
+    sync_growth(store, mirror);
+    mirror.apply_rewrites(plan);
+}
+
+impl<W: WalkIndexMut + Sync> ServeEngine for IncrementalPageRank<W> {
+    fn kind(&self) -> EngineKind {
+        EngineKind::PageRank
+    }
+
+    fn epsilon(&self) -> f64 {
+        self.config().epsilon
+    }
+
+    fn live_graph(&self) -> &DynamicGraph {
+        self.graph()
+    }
+
+    fn freeze_walks(&self, epoch: u64) -> FrozenWalks {
+        FrozenWalks::from_index(self.walk_store(), epoch)
+    }
+
+    fn apply_and_mirror(&mut self, op: WriteOp<'_>, mirror: &mut FrozenWalks) -> UpdateStats {
+        let stats = match op {
+            WriteOp::Arrivals(edges) => self.apply_arrivals(edges),
+            WriteOp::Deletions(edges) => self.apply_deletions(edges),
+        };
+        mirror_plan(self.walk_store(), self.last_rewrites(), mirror);
+        stats
+    }
+}
+
+impl<W: WalkIndexMut + Sync> ServeEngine for IncrementalSalsa<W> {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Salsa
+    }
+
+    fn epsilon(&self) -> f64 {
+        self.config().epsilon
+    }
+
+    fn live_graph(&self) -> &DynamicGraph {
+        self.graph()
+    }
+
+    fn freeze_walks(&self, epoch: u64) -> FrozenWalks {
+        FrozenWalks::from_index(self.walk_store(), epoch)
+    }
+
+    fn apply_and_mirror(&mut self, op: WriteOp<'_>, mirror: &mut FrozenWalks) -> UpdateStats {
+        match op {
+            WriteOp::Arrivals(edges) => {
+                let stats = self.apply_arrivals(edges);
+                mirror_plan(self.walk_store(), self.last_rewrites(), mirror);
+                stats
+            }
+            WriteOp::Deletions(edges) => {
+                // SALSA deletions run per edge through the sequential path; each
+                // records its own plan, so the mirror advances edge by edge.
+                let mut stats = UpdateStats::default();
+                for &edge in edges {
+                    if let Some(s) = self.remove_edge(edge) {
+                        stats.segments_updated += s.segments_updated;
+                        stats.walk_steps += s.walk_steps;
+                        stats.touched_walk_store |= s.touched_walk_store;
+                    }
+                    mirror_plan(self.walk_store(), self.last_rewrites(), mirror);
+                }
+                stats
+            }
+        }
+    }
+}
+
+/// The shared generation slot readers pin from.  Cloning the handle is cheap; it is
+/// the address a serving session hands to its reader threads.
+#[derive(Debug, Clone)]
+pub struct ServeHandle {
+    published: Arc<Mutex<Arc<Generation>>>,
+    query_seed: u64,
+}
+
+impl ServeHandle {
+    /// Pins the current generation: one brief lock to clone the `Arc`, then the
+    /// whole query runs lock-free against immutable data.
+    pub fn pin(&self) -> PinnedView {
+        PinnedView(Arc::clone(
+            &self.published.lock().expect("generation slot poisoned"),
+        ))
+    }
+
+    /// The session's query seed (queries draw from `(query_seed, query_id)`).
+    pub fn query_seed(&self) -> u64 {
+        self.query_seed
+    }
+
+    /// Pins the current generation and answers one query on the
+    /// `(session query_seed, query_id)` stream.
+    pub fn serve(&self, query_id: u64, query: &Query) -> Served {
+        self.pin().answer(self.query_seed, query_id, query)
+    }
+}
+
+/// Snapshot-isolated serving over one incremental engine: a single writer commits
+/// batches, any number of readers answer queries from epoch-pinned generations.
+#[derive(Debug)]
+pub struct QueryEngine<E: ServeEngine> {
+    engine: E,
+    epoch: u64,
+    mirror_walks: FrozenWalks,
+    mirror_graph: FrozenGraph,
+    published: Arc<Mutex<Arc<Generation>>>,
+    query_seed: u64,
+    /// Scratch for the per-commit endpoint set.
+    touched: Vec<NodeId>,
+}
+
+impl<E: ServeEngine> QueryEngine<E> {
+    /// Wraps `engine` for serving: freezes generation 0 and publishes it.
+    /// `query_seed` keys every query stream of this serving session.
+    pub fn new(engine: E, query_seed: u64) -> Self {
+        let mirror_walks = engine.freeze_walks(0);
+        let mirror_graph = FrozenGraph::from_graph(engine.live_graph());
+        let generation = Arc::new(Generation {
+            epoch: 0,
+            kind: engine.kind(),
+            epsilon: engine.epsilon(),
+            walks: mirror_walks.clone(),
+            graph: mirror_graph.clone(),
+            cache: FetchCache::new(),
+        });
+        QueryEngine {
+            engine,
+            epoch: 0,
+            mirror_walks,
+            mirror_graph,
+            published: Arc::new(Mutex::new(generation)),
+            query_seed,
+            touched: Vec::new(),
+        }
+    }
+
+    /// The reader-facing handle (clone one per reader thread).
+    pub fn handle(&self) -> ServeHandle {
+        ServeHandle {
+            published: Arc::clone(&self.published),
+            query_seed: self.query_seed,
+        }
+    }
+
+    /// Pins the writer's current generation (readers use [`ServeHandle::pin`]).
+    pub fn pin(&self) -> PinnedView {
+        self.handle().pin()
+    }
+
+    /// The current committed epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The wrapped engine (read access; all writes go through the commit path).
+    pub fn engine(&self) -> &E {
+        &self.engine
+    }
+
+    /// Commits an arrival batch: applies it to the engine, advances the mirrors,
+    /// publishes the next generation.
+    pub fn commit_arrivals(&mut self, edges: &[Edge]) -> UpdateStats {
+        self.commit(WriteOp::Arrivals(edges), edges)
+    }
+
+    /// Commits a deletion batch (see [`Self::commit_arrivals`]).
+    pub fn commit_deletions(&mut self, edges: &[Edge]) -> UpdateStats {
+        self.commit(WriteOp::Deletions(edges), edges)
+    }
+
+    fn commit(&mut self, op: WriteOp<'_>, edges: &[Edge]) -> UpdateStats {
+        let stats = self.engine.apply_and_mirror(op, &mut self.mirror_walks);
+
+        // An edge changes exactly its source's out-list and its target's in-list;
+        // refresh those directions of the distinct endpoints from the post-batch
+        // graph.
+        self.touched.clear();
+        self.touched.extend(edges.iter().map(|e| e.source));
+        self.touched.sort_unstable();
+        self.touched.dedup();
+        let sources = std::mem::take(&mut self.touched);
+        let mut targets: Vec<NodeId> = edges.iter().map(|e| e.target).collect();
+        targets.sort_unstable();
+        targets.dedup();
+        self.mirror_graph.refresh_endpoints(
+            self.engine.live_graph(),
+            sources.iter().copied(),
+            targets.iter().copied(),
+        );
+        self.touched = sources;
+
+        self.epoch += 1;
+        self.mirror_walks.set_epoch(self.epoch);
+        let generation = Arc::new(Generation {
+            epoch: self.epoch,
+            kind: self.engine.kind(),
+            epsilon: self.engine.epsilon(),
+            walks: self.mirror_walks.clone(),
+            graph: self.mirror_graph.clone(),
+            cache: FetchCache::new(),
+        });
+        *self.published.lock().expect("generation slot poisoned") = generation;
+        stats
+    }
+}

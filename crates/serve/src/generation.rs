@@ -1,0 +1,283 @@
+//! Generations and pinned views: the read side of the serving layer.
+//!
+//! A [`Generation`] is one committed state of the serving engine: an epoch number, a
+//! frozen PageRank Store view, a frozen Social-Store adjacency view, and that
+//! generation's shared [`FetchCache`].  Everything reachable from a generation is
+//! immutable, so a reader *pins* one by cloning an `Arc` and then runs whole queries
+//! without acquiring any lock: no step of a walk, no score lookup, no top-k sort
+//! synchronises with the writer or with other readers.
+//!
+//! Every query answer is a pure function of `(generation, query_seed, query_id)` —
+//! the RNG stream comes from [`ppr_core::query::query_rng`], the data from the
+//! pinned generation — so a result served concurrently with a write stream is
+//! bit-identical to the same query replayed against the same generation on a single
+//! thread.  `tests/concurrent_serving.rs` holds the layer to exactly that contract.
+
+use crate::cache::FetchCache;
+use ppr_core::query::query_rng;
+use ppr_core::salsa::{personalized_authorities_on, salsa_estimates_from, top_k_scores};
+use ppr_core::PersonalizedWalker;
+use ppr_graph::{GraphView, NodeId};
+use ppr_store::{AdjacencyFetch, FrozenGraph, FrozenWalks, WalkIndexView};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Which engine family a generation snapshots — decides how its walk segments are
+/// interpreted (plain PageRank segments vs `2R` alternating SALSA segments).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// `R` PageRank walk segments per node: personalized top-k and global rank.
+    PageRank,
+    /// `2R` alternating SALSA segments per node: hub/authority queries.
+    Salsa,
+}
+
+/// One committed, immutable state of the serving engine.
+#[derive(Debug)]
+pub struct Generation {
+    pub(crate) epoch: u64,
+    pub(crate) kind: EngineKind,
+    pub(crate) epsilon: f64,
+    pub(crate) walks: FrozenWalks,
+    pub(crate) graph: FrozenGraph,
+    pub(crate) cache: FetchCache,
+}
+
+/// A reader's pinned generation: cheap to clone, lock-free to query.
+#[derive(Debug, Clone)]
+pub struct PinnedView(pub(crate) Arc<Generation>);
+
+/// One query against a pinned generation.  All variants are answered from the
+/// generation alone; results carry the epoch they were served from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Query {
+    /// Personalized PageRank top-`k` by the stitched walker of Algorithm 1,
+    /// excluding the seed and its direct friends, with an optional Corollary 9
+    /// fetch budget (PageRank generations only).
+    PersonalizedTopK {
+        /// The personalization seed node.
+        seed: NodeId,
+        /// How many recommendations to return.
+        k: usize,
+        /// Walk length in visits (Equation 4 sets it from the target `k`).
+        walk_length: usize,
+        /// Optional cap on Social-Store fetches (Corollary 9 budget).
+        fetch_budget: Option<u64>,
+    },
+    /// Global PageRank top-`k` by normalised visit counts (the Theorem 1
+    /// estimator; PageRank generations only — SALSA rank is
+    /// [`Query::HubAuthorityTopK`]).
+    GlobalTopK {
+        /// How many nodes to return.
+        k: usize,
+    },
+    /// Personalized SALSA authorities for `seed`, excluding the seed and its
+    /// friends (SALSA generations only).
+    SalsaAuthorities {
+        /// The personalization seed node.
+        seed: NodeId,
+        /// How many recommendations to return.
+        k: usize,
+        /// Walk length in visits of the direct alternating walk.
+        walk_length: usize,
+    },
+    /// Global SALSA top hubs and authorities (SALSA generations only).
+    HubAuthorityTopK {
+        /// How many nodes per list.
+        k: usize,
+    },
+}
+
+/// The ranked payload of an answer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Answer {
+    /// A single ranked `(node, score)` list.
+    Ranked(Vec<(NodeId, f64)>),
+    /// Two ranked lists: SALSA hubs and authorities.
+    HubsAuthorities {
+        /// Top hubs by normalised hub score.
+        hubs: Vec<(NodeId, f64)>,
+        /// Top authorities by normalised authority score.
+        authorities: Vec<(NodeId, f64)>,
+    },
+}
+
+/// One served query: the answer plus its serving metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Served {
+    /// The query id whose stream the answer was drawn from.
+    pub query_id: u64,
+    /// The generation the query was pinned to.
+    pub epoch: u64,
+    /// Social-Store fetches the query spent (0 for non-walking queries).
+    pub fetches: u64,
+    /// Whether a fetch budget cut the walk short.
+    pub budget_exhausted: bool,
+    /// The ranked result.
+    pub answer: Answer,
+}
+
+/// [`AdjacencyFetch`] over a pinned generation: fetches go through the
+/// generation's shared cache, so hot hubs are materialised once per generation
+/// instead of once per query.
+struct CachedFetch<'a> {
+    graph: &'a FrozenGraph,
+    cache: &'a FetchCache,
+}
+
+impl AdjacencyFetch for CachedFetch<'_> {
+    fn node_count(&self) -> usize {
+        GraphView::node_count(self.graph)
+    }
+
+    fn fetch_out(&self, node: NodeId, out: &mut Vec<NodeId>) {
+        let adj = self
+            .cache
+            .get_or_fill(node, || self.graph.shared_out_neighbors(node));
+        out.clear();
+        out.extend_from_slice(&adj);
+    }
+}
+
+impl PinnedView {
+    /// The pinned generation number.
+    pub fn epoch(&self) -> u64 {
+        self.0.epoch
+    }
+
+    /// The engine family this generation snapshots.
+    pub fn kind(&self) -> EngineKind {
+        self.0.kind
+    }
+
+    /// The frozen PageRank Store view.
+    pub fn walks(&self) -> &FrozenWalks {
+        &self.0.walks
+    }
+
+    /// The frozen Social-Store adjacency view.
+    pub fn graph(&self) -> &FrozenGraph {
+        &self.0.graph
+    }
+
+    /// This generation's shared fetched-adjacency cache statistics.
+    pub fn cache_stats(&self) -> crate::cache::FetchCacheStats {
+        self.0.cache.stats()
+    }
+
+    /// The seed node's exclusion set for recommender queries: itself plus its
+    /// direct friends at this generation.
+    fn friends_exclude(&self, seed: NodeId) -> HashSet<NodeId> {
+        let mut exclude: HashSet<NodeId> = HashSet::new();
+        exclude.insert(seed);
+        exclude.extend(self.0.graph.out_neighbors(seed).iter().copied());
+        exclude
+    }
+
+    /// Answers one query on the `(query_seed, query_id)` stream.  Pure in the
+    /// pinned generation: any thread, any interleaving, same bits.
+    pub fn answer(&self, query_seed: u64, query_id: u64, query: &Query) -> Served {
+        let generation = &*self.0;
+        match *query {
+            Query::PersonalizedTopK {
+                seed,
+                k,
+                walk_length,
+                fetch_budget,
+            } => {
+                assert_eq!(
+                    generation.kind,
+                    EngineKind::PageRank,
+                    "personalized PageRank queries need a PageRank generation \
+                     (SALSA generations store 2R alternating segments)"
+                );
+                let store = CachedFetch {
+                    graph: &generation.graph,
+                    cache: &generation.cache,
+                };
+                let mut walker =
+                    PersonalizedWalker::new(&store, &generation.walks, generation.epsilon, 0);
+                if let Some(budget) = fetch_budget {
+                    walker = walker.with_fetch_budget(budget);
+                }
+                let result = walker.walk_query(seed, walk_length, query_seed, query_id);
+                let exclude = self.friends_exclude(seed);
+                Served {
+                    query_id,
+                    epoch: generation.epoch,
+                    fetches: result.fetches,
+                    budget_exhausted: result.budget_exhausted,
+                    answer: Answer::Ranked(result.top_k(k, &exclude)),
+                }
+            }
+            Query::GlobalTopK { k } => {
+                assert_eq!(
+                    generation.kind,
+                    EngineKind::PageRank,
+                    "global-rank queries need a PageRank generation (for SALSA, \
+                     hub/authority rank is HubAuthorityTopK)"
+                );
+                let counts = generation.walks.visit_counts();
+                let total = generation.walks.total_visits().max(1) as f64;
+                let scores: Vec<f64> = counts.iter().map(|&c| c as f64 / total).collect();
+                Served {
+                    query_id,
+                    epoch: generation.epoch,
+                    fetches: 0,
+                    budget_exhausted: false,
+                    answer: Answer::Ranked(top_k_scores(&scores, &HashSet::new(), k)),
+                }
+            }
+            Query::SalsaAuthorities {
+                seed,
+                k,
+                walk_length,
+            } => {
+                assert_eq!(
+                    generation.kind,
+                    EngineKind::Salsa,
+                    "SALSA queries need a SALSA generation"
+                );
+                let mut rng = query_rng(query_seed, query_id);
+                let scores = personalized_authorities_on(
+                    &generation.graph,
+                    seed,
+                    walk_length,
+                    generation.epsilon,
+                    &mut rng,
+                );
+                let exclude: HashSet<usize> = self
+                    .friends_exclude(seed)
+                    .into_iter()
+                    .map(|n| n.index())
+                    .collect();
+                Served {
+                    query_id,
+                    epoch: generation.epoch,
+                    fetches: 0,
+                    budget_exhausted: false,
+                    answer: Answer::Ranked(top_k_scores(&scores, &exclude, k)),
+                }
+            }
+            Query::HubAuthorityTopK { k } => {
+                assert_eq!(
+                    generation.kind,
+                    EngineKind::Salsa,
+                    "SALSA queries need a SALSA generation"
+                );
+                let estimates = salsa_estimates_from(&generation.walks);
+                let none = HashSet::new();
+                Served {
+                    query_id,
+                    epoch: generation.epoch,
+                    fetches: 0,
+                    budget_exhausted: false,
+                    answer: Answer::HubsAuthorities {
+                        hubs: top_k_scores(&estimates.hubs, &none, k),
+                        authorities: top_k_scores(&estimates.authorities, &none, k),
+                    },
+                }
+            }
+        }
+    }
+}

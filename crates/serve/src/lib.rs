@@ -1,0 +1,293 @@
+//! `ppr-serve`: snapshot-isolated concurrent query serving for fast-ppr.
+//!
+//! The whole point of the paper's PageRank Store (Theorem 8 / Corollary 9) is cheap
+//! *query serving* — stitched personalized walks answered from cached segments with
+//! a handful of fetches.  This crate turns the workspace's engines into an actual
+//! serving system shaped like modern storage engines: **writers commit generations,
+//! readers pin a generation and proceed lock-free.**
+//!
+//! * [`QueryEngine`] owns one incremental engine (PageRank or SALSA, any store
+//!   layout, in-memory or durable) behind a single-writer/many-readers generation
+//!   handle.  Each committed batch publishes the next [`Generation`]: an immutable,
+//!   epoch-stamped `FrozenWalks` + `FrozenGraph` pair advanced by copy-on-write from
+//!   the engine's own reconciled rewrite plan — commit cost tracks what the batch
+//!   touched, not the store size.
+//! * [`ServeHandle`] / [`PinnedView`] are the reader side: pinning is one `Arc`
+//!   clone, and from then on a query never takes a lock — not per step, not per
+//!   score.  A reader overlapping a write batch simply keeps serving from its
+//!   pinned generation; there are no torn reads by construction.
+//! * Queries — personalized top-k (with Corollary 9 fetch budgets and a shared
+//!   per-generation [`FetchCache`]), global rank, SALSA hub/authority — draw from
+//!   `(query_seed, query_id)` split RNG streams, so every answer is a pure function
+//!   of `(generation, query_seed, query_id)`: bit-identical at any reader-thread
+//!   count and any read/write interleaving.  `tests/concurrent_serving.rs` is the
+//!   differential harness holding the crate to that contract.
+//! * [`ReaderPool`] is a small fixed thread pool for fanning query batches out; the
+//!   `query_serving` bench pins QPS scaling at 1/2/4/8 readers with and without a
+//!   concurrent writer.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cache;
+pub mod engine;
+pub mod generation;
+pub mod pool;
+
+pub use cache::{FetchCache, FetchCacheStats};
+pub use engine::{QueryEngine, ServeEngine, ServeHandle, WriteOp};
+pub use generation::{Answer, EngineKind, Generation, PinnedView, Query, Served};
+pub use pool::ReaderPool;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppr_core::{IncrementalPageRank, IncrementalSalsa, MonteCarloConfig};
+    use ppr_graph::generators::{preferential_attachment_edges, PreferentialAttachmentConfig};
+    use ppr_graph::{DynamicGraph, Edge, GraphView, NodeId};
+    use ppr_store::{FrozenWalks, WalkIndexView};
+
+    fn edges(n: usize, seed: u64) -> Vec<Edge> {
+        preferential_attachment_edges(&PreferentialAttachmentConfig::new(n, 4, seed))
+    }
+
+    fn assert_walks_equal<W: WalkIndexView>(mirror: &FrozenWalks, store: &W, context: &str) {
+        assert_eq!(mirror.node_count(), store.node_count(), "{context}: nodes");
+        assert_eq!(
+            mirror.total_visits(),
+            store.total_visits(),
+            "{context}: total visits"
+        );
+        assert_eq!(
+            mirror.visit_counts(),
+            store.visit_counts(),
+            "{context}: counts"
+        );
+        for g in 0..store.node_count() {
+            for id in store.segment_ids_of(NodeId::from_index(g)) {
+                assert_eq!(
+                    mirror.segment_path(id),
+                    store.segment_path(id),
+                    "{context}: segment {id:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn published_generations_track_the_live_engine_exactly() {
+        let stream = edges(120, 901);
+        let config = MonteCarloConfig::new(0.2, 3).with_seed(903);
+        let engine = IncrementalPageRank::new_empty(120, config);
+        let mut serving = QueryEngine::new(engine, 1);
+        for (i, chunk) in stream.chunks(50).enumerate() {
+            serving.commit_arrivals(chunk);
+            if i % 2 == 0 {
+                let victims: Vec<Edge> = chunk.iter().copied().step_by(9).collect();
+                serving.commit_deletions(&victims);
+            }
+            let view = serving.pin();
+            assert_eq!(view.epoch(), serving.epoch());
+            assert_walks_equal(
+                view.walks(),
+                serving.engine().walk_store(),
+                &format!("epoch {}", view.epoch()),
+            );
+            // The graph mirror matches the live adjacency, order included.
+            for node in serving.engine().graph().nodes() {
+                assert_eq!(
+                    view.graph().out_neighbors(node),
+                    serving.engine().graph().out_neighbors(node),
+                    "out-adjacency of {node}"
+                );
+                assert_eq!(
+                    view.graph().in_neighbors(node),
+                    serving.engine().graph().in_neighbors(node),
+                    "in-adjacency of {node}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_engines_serve_through_the_same_mirror_path() {
+        let stream = edges(90, 907);
+        let config = MonteCarloConfig::new(0.2, 3).with_seed(909);
+        let engine =
+            IncrementalPageRank::from_graph_sharded(DynamicGraph::with_nodes(90), config, 4, 2);
+        let mut serving = QueryEngine::new(engine, 2);
+        for chunk in stream.chunks(64) {
+            serving.commit_arrivals(chunk);
+        }
+        assert_walks_equal(
+            serving.pin().walks(),
+            serving.engine().walk_store(),
+            "sharded final",
+        );
+    }
+
+    #[test]
+    fn salsa_generations_mirror_arrivals_and_per_edge_deletions() {
+        let stream = edges(80, 911);
+        let config = MonteCarloConfig::new(0.2, 3).with_seed(913);
+        let engine = IncrementalSalsa::new_empty(80, config);
+        let mut serving = QueryEngine::new(engine, 3);
+        for chunk in stream.chunks(40) {
+            serving.commit_arrivals(chunk);
+        }
+        let victims: Vec<Edge> = stream.iter().copied().step_by(7).take(12).collect();
+        serving.commit_deletions(&victims);
+        assert_walks_equal(
+            serving.pin().walks(),
+            serving.engine().walk_store(),
+            "salsa final",
+        );
+
+        // Hub/authority answers equal the engine's own estimates.
+        let view = serving.pin();
+        let served = view.answer(3, 0, &Query::HubAuthorityTopK { k: 5 });
+        let estimates = serving.engine().estimates();
+        match served.answer {
+            Answer::HubsAuthorities { hubs, authorities } => {
+                let top_auth = ppr_core::salsa::top_k_scores(
+                    &estimates.authorities,
+                    &std::collections::HashSet::new(),
+                    5,
+                );
+                assert_eq!(authorities, top_auth);
+                assert_eq!(hubs.len(), 5);
+            }
+            other => panic!("expected hub/authority lists, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn served_personalized_top_k_matches_the_engine_query() {
+        // The serving path (frozen views + shared fetch cache) answers the engine's
+        // own personalized query bit-identically: same (query_seed = engine seed,
+        // query_id = seed node) stream, same generation.
+        let stream = edges(150, 917);
+        let config = MonteCarloConfig::new(0.2, 4).with_seed(919);
+        let mut engine = IncrementalPageRank::new_empty(150, config);
+        engine.apply_arrivals(&stream);
+        let expected = engine.personalized_top_k(NodeId(7), 5, 2_000);
+        let serving = QueryEngine::new(engine, config.seed);
+        let served = serving.handle().serve(
+            7,
+            &Query::PersonalizedTopK {
+                seed: NodeId(7),
+                k: 5,
+                walk_length: 2_000,
+                fetch_budget: None,
+            },
+        );
+        assert_eq!(served.answer, Answer::Ranked(expected));
+        assert!(served.fetches > 0);
+        assert!(!served.budget_exhausted);
+    }
+
+    #[test]
+    fn global_rank_orders_by_normalised_visit_counts() {
+        let stream = edges(60, 921);
+        let config = MonteCarloConfig::new(0.2, 3).with_seed(923);
+        let mut engine = IncrementalPageRank::new_empty(60, config);
+        engine.apply_arrivals(&stream);
+        let scores = engine.scores();
+        let serving = QueryEngine::new(engine, 5);
+        let served = serving.handle().serve(0, &Query::GlobalTopK { k: 3 });
+        let Answer::Ranked(top) = served.answer else {
+            panic!("expected a ranked list");
+        };
+        assert_eq!(top.len(), 3);
+        for pair in top.windows(2) {
+            assert!(pair[0].1 >= pair[1].1);
+        }
+        for &(node, score) in &top {
+            assert!((score - scores[node.index()]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pinned_readers_survive_later_commits_and_cache_is_per_generation() {
+        let stream = edges(100, 927);
+        let config = MonteCarloConfig::new(0.2, 3).with_seed(929);
+        let engine = IncrementalPageRank::new_empty(100, config);
+        let mut serving = QueryEngine::new(engine, 7);
+        serving.commit_arrivals(&stream[..300.min(stream.len())]);
+        let pinned = serving.pin();
+        let query = Query::PersonalizedTopK {
+            seed: NodeId(2),
+            k: 4,
+            walk_length: 1_500,
+            fetch_budget: None,
+        };
+        let before = pinned.answer(7, 11, &query);
+        // Keep writing: the pinned generation must not change under the reader.
+        for chunk in stream[300.min(stream.len())..].chunks(64) {
+            serving.commit_arrivals(chunk);
+        }
+        let after = pinned.answer(7, 11, &query);
+        assert_eq!(before, after, "a pinned generation is immutable");
+        assert!(
+            pinned.cache_stats().hits > 0,
+            "the second identical walk hits the generation cache"
+        );
+        // The current generation differs (the graph moved on).
+        assert!(serving.pin().epoch() > pinned.epoch());
+    }
+
+    #[test]
+    #[should_panic(expected = "need a PageRank generation")]
+    fn personalized_queries_reject_salsa_generations() {
+        let engine = IncrementalSalsa::new_empty(10, MonteCarloConfig::new(0.2, 2).with_seed(1));
+        let serving = QueryEngine::new(engine, 0);
+        let _ = serving.handle().serve(
+            0,
+            &Query::PersonalizedTopK {
+                seed: NodeId(0),
+                k: 3,
+                walk_length: 100,
+                fetch_budget: None,
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "need a SALSA generation")]
+    fn salsa_queries_reject_pagerank_generations() {
+        let engine = IncrementalPageRank::new_empty(10, MonteCarloConfig::new(0.2, 2).with_seed(1));
+        let serving = QueryEngine::new(engine, 0);
+        let _ = serving.handle().serve(0, &Query::HubAuthorityTopK { k: 3 });
+    }
+
+    #[test]
+    fn reader_pool_serves_batches_in_submission_order() {
+        let stream = edges(80, 931);
+        let config = MonteCarloConfig::new(0.2, 3).with_seed(933);
+        let mut engine = IncrementalPageRank::new_empty(80, config);
+        engine.apply_arrivals(&stream);
+        let serving = QueryEngine::new(engine, 9);
+        let jobs: Vec<(u64, Query)> = (0..24u64)
+            .map(|qid| {
+                (
+                    qid,
+                    Query::PersonalizedTopK {
+                        seed: NodeId((qid % 13) as u32),
+                        k: 3,
+                        walk_length: 600,
+                        fetch_budget: Some(200),
+                    },
+                )
+            })
+            .collect();
+        let pool = ReaderPool::new(4);
+        let served = pool.serve_all(&serving.handle(), &jobs);
+        assert_eq!(served.len(), jobs.len());
+        for (slot, s) in served.iter().enumerate() {
+            assert_eq!(s.query_id, jobs[slot].0, "answers come back in order");
+            // Single-threaded replay against the same generation is identical.
+            let replay = serving.pin().answer(9, s.query_id, &jobs[slot].1);
+            assert_eq!(*s, replay);
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! A small fixed-size reader pool for serving queries.
+//!
+//! Workers pull boxed jobs off a shared channel; [`ReaderPool::serve_all`] fans a
+//! query batch out over the pool and returns the answers in submission order.
+//! Because every answer is a pure function of `(pinned generation, query_seed,
+//! query_id)`, the pool's scheduling — which worker runs which query, in which
+//! order, overlapping which commits — can never change a result, only its latency.
+
+use crate::engine::ServeHandle;
+use crate::generation::{Query, Served};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed pool of reader threads answering queries from a [`ServeHandle`].
+#[derive(Debug)]
+pub struct ReaderPool {
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ReaderPool {
+    /// Spawns `threads` reader workers.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads >= 1, "need at least one reader thread");
+        let (tx, rx) = channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..threads)
+            .map(|i| {
+                let rx: Arc<Mutex<Receiver<Job>>> = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("ppr-reader-{i}"))
+                    .spawn(move || loop {
+                        let job = rx.lock().expect("reader queue poisoned").recv();
+                        match job {
+                            Ok(job) => job(),
+                            Err(_) => break, // pool dropped: drain and exit
+                        }
+                    })
+                    .expect("spawn reader thread")
+            })
+            .collect();
+        ReaderPool {
+            tx: Some(tx),
+            workers,
+        }
+    }
+
+    /// Number of reader threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submits one job to the pool.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        self.tx
+            .as_ref()
+            .expect("pool is shutting down")
+            .send(Box::new(job))
+            .expect("reader pool workers gone");
+    }
+
+    /// Serves `queries` — `(query_id, query)` pairs — across the pool, each query
+    /// pinning the handle's current generation when a worker picks it up.  Returns
+    /// the answers in submission order.
+    pub fn serve_all(&self, handle: &ServeHandle, queries: &[(u64, Query)]) -> Vec<Served> {
+        let (done_tx, done_rx) = channel::<(usize, Served)>();
+        for (slot, (query_id, query)) in queries.iter().enumerate() {
+            let handle = handle.clone();
+            let done = done_tx.clone();
+            let query = query.clone();
+            let query_id = *query_id;
+            self.execute(move || {
+                let served = handle.serve(query_id, &query);
+                let _ = done.send((slot, served));
+            });
+        }
+        drop(done_tx);
+        let mut out: Vec<Option<Served>> = vec![None; queries.len()];
+        for (slot, served) in done_rx {
+            out[slot] = Some(served);
+        }
+        out.into_iter()
+            .map(|s| s.expect("every submitted query reports back"))
+            .collect()
+    }
+}
+
+impl Drop for ReaderPool {
+    fn drop(&mut self) {
+        drop(self.tx.take()); // close the queue; workers drain and exit
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}

@@ -1,11 +1,21 @@
 //! The store-API layer every engine consumes.
 //!
-//! [`WalkIndex`] is the read surface of the PageRank Store: segment paths, per-node
-//! visit postings, and the exact `W(v)` / total-visit counters.  The Monte Carlo
-//! engines, the personalized walker of Algorithm 1, and the global estimator are all
-//! written against this trait, so the storage layout can evolve — the flat-arena
-//! [`WalkStore`], the sharded [`crate::ShardedWalkStore`], mmap-backed arenas — without
-//! touching a single engine.
+//! [`WalkIndexView`] is the pure *query* surface of the PageRank Store: segment paths
+//! and the exact `W(v)` / total-visit counters — everything a read-only consumer (the
+//! personalized walker of Algorithm 1, the global estimator, the SALSA hub/authority
+//! derivation, the serving layer's pinned snapshots) needs, and nothing more.  Because
+//! every method takes `&self` and no method exposes maintenance machinery, a
+//! `WalkIndexView` can be a live store *or* a frozen generation snapshot
+//! ([`crate::view::FrozenWalks`]): queries written against it run unchanged over
+//! either, which is what lets the serving layer answer queries concurrently with
+//! writes.
+//!
+//! [`WalkIndex`] extends the view with the *maintenance* read surface — the visit
+//! postings that find the segments an arriving edge can disturb, the shard-routing
+//! width, and the arena counters.  The Monte Carlo engines' update paths are written
+//! against this trait, so the storage layout can evolve — the flat-arena
+//! [`WalkStore`], the sharded [`crate::ShardedWalkStore`], file-backed stores —
+//! without touching a single engine.
 //!
 //! [`WalkIndexMut`] is the matching write surface: growing the node set, rewriting or
 //! clearing one segment, and applying a whole [`SegmentRewrites`] plan at once.  The
@@ -18,8 +28,10 @@ use crate::segment::SegmentId;
 use crate::walks::WalkStore;
 use ppr_graph::NodeId;
 
-/// Read access to a PageRank Store: `R` walk segments per node plus the visit index.
-pub trait WalkIndex {
+/// The read-only query surface of a PageRank Store: `R` walk segments per node plus
+/// the exact visit counters.  Implemented both by the live stores (through
+/// [`WalkIndex`]) and by frozen generation snapshots ([`crate::view::FrozenWalks`]).
+pub trait WalkIndexView {
     /// Number of segments stored per node.
     fn r(&self) -> usize;
 
@@ -34,20 +46,6 @@ pub trait WalkIndex {
 
     /// Ids of the `R` segments whose source is `node`.
     fn segment_ids_of(&self, node: NodeId) -> impl Iterator<Item = SegmentId> + '_;
-
-    /// The segments visiting `node` with their multiplicities, in segment-id order.
-    fn segments_visiting(&self, node: NodeId) -> impl Iterator<Item = (SegmentId, u32)> + '_;
-
-    /// Collects the ids of the segments visiting `node` into `out` (cleared first).
-    fn collect_visiting(&self, node: NodeId, out: &mut Vec<SegmentId>) {
-        out.clear();
-        out.extend(self.segments_visiting(node).map(|(id, _)| id));
-    }
-
-    /// Number of distinct segments visiting `node`.
-    fn distinct_visitors(&self, node: NodeId) -> usize {
-        self.segments_visiting(node).count()
-    }
 
     /// Number of visits in segment `id`.
     fn segment_len(&self, id: SegmentId) -> usize {
@@ -108,6 +106,25 @@ pub trait WalkIndex {
         }
         let w = self.visit_count(node);
         1.0 - (1.0 - 1.0 / out_degree as f64).powi(i32::try_from(w.min(i32::MAX as u64)).unwrap())
+    }
+}
+
+/// Maintenance-side read access to a PageRank Store: the full query surface of
+/// [`WalkIndexView`] plus the visit postings (which segments an update must inspect),
+/// shard routing, and arena observability.
+pub trait WalkIndex: WalkIndexView {
+    /// The segments visiting `node` with their multiplicities, in segment-id order.
+    fn segments_visiting(&self, node: NodeId) -> impl Iterator<Item = (SegmentId, u32)> + '_;
+
+    /// Collects the ids of the segments visiting `node` into `out` (cleared first).
+    fn collect_visiting(&self, node: NodeId, out: &mut Vec<SegmentId>) {
+        out.clear();
+        out.extend(self.segments_visiting(node).map(|(id, _)| id));
+    }
+
+    /// Number of distinct segments visiting `node`.
+    fn distinct_visitors(&self, node: NodeId) -> usize {
+        self.segments_visiting(node).count()
     }
 
     /// Number of shards repair work against this store can be routed over (`1` for the
@@ -231,9 +248,18 @@ pub trait WalkIndexMut: WalkIndex {
     fn last_apply_shard_times(&self) -> &[std::time::Duration] {
         &[]
     }
+
+    /// Sets the backing arena's compaction trigger: relocation garbage above `ratio`
+    /// times the live data compacts the arena (see
+    /// [`crate::arena::StepArena::set_compaction_threshold`]).  Purely a
+    /// space/latency trade — results never depend on it.  Default: no-op, for stores
+    /// without a tunable arena.
+    fn set_compaction_threshold(&mut self, ratio: f64) {
+        let _ = ratio;
+    }
 }
 
-impl WalkIndex for WalkStore {
+impl WalkIndexView for WalkStore {
     #[inline]
     fn r(&self) -> usize {
         WalkStore::r(self)
@@ -258,10 +284,6 @@ impl WalkIndex for WalkStore {
         WalkStore::segment_ids_of(self, node)
     }
 
-    fn segments_visiting(&self, node: NodeId) -> impl Iterator<Item = (SegmentId, u32)> + '_ {
-        WalkStore::segments_visiting(self, node)
-    }
-
     #[inline]
     fn segment_len(&self, id: SegmentId) -> usize {
         WalkStore::segment_len(self, id)
@@ -283,6 +305,12 @@ impl WalkIndex for WalkStore {
 
     fn update_probability(&self, node: NodeId, out_degree: usize) -> f64 {
         WalkStore::update_probability(self, node, out_degree)
+    }
+}
+
+impl WalkIndex for WalkStore {
+    fn segments_visiting(&self, node: NodeId) -> impl Iterator<Item = (SegmentId, u32)> + '_ {
+        WalkStore::segments_visiting(self, node)
     }
 
     fn arena_stats(&self) -> crate::arena::ArenaStats {
@@ -306,6 +334,10 @@ impl WalkIndexMut for WalkStore {
     fn check_consistency(&self) -> Result<(), String> {
         WalkStore::check_consistency(self)
     }
+
+    fn set_compaction_threshold(&mut self, ratio: f64) {
+        WalkStore::set_compaction_threshold(self, ratio);
+    }
 }
 
 #[cfg(test)]
@@ -326,14 +358,14 @@ mod tests {
         store.set_segment(id, &[NodeId(1), NodeId(2), NodeId(2)]);
 
         assert_eq!(total_via_trait(&store), 3);
-        assert_eq!(WalkIndex::r(&store), 2);
-        assert_eq!(WalkIndex::node_count(&store), 4);
+        assert_eq!(WalkIndexView::r(&store), 2);
+        assert_eq!(WalkIndexView::node_count(&store), 4);
         assert_eq!(
-            WalkIndex::segment_path(&store, id),
+            WalkIndexView::segment_path(&store, id),
             &[NodeId(1), NodeId(2), NodeId(2)]
         );
-        assert_eq!(WalkIndex::source_of(&store, id), NodeId(1));
-        assert_eq!(WalkIndex::segment_ids_of(&store, NodeId(1)).count(), 2);
+        assert_eq!(WalkIndexView::source_of(&store, id), NodeId(1));
+        assert_eq!(WalkIndexView::segment_ids_of(&store, NodeId(1)).count(), 2);
         assert_eq!(
             WalkIndex::segments_visiting(&store, NodeId(2)).collect::<Vec<_>>(),
             vec![(id, 2)]
@@ -342,12 +374,12 @@ mod tests {
         WalkIndex::collect_visiting(&store, NodeId(2), &mut buf);
         assert_eq!(buf, vec![id]);
         assert_eq!(WalkIndex::distinct_visitors(&store, NodeId(2)), 1);
-        assert_eq!(WalkIndex::visit_count(&store, NodeId(2)), 2);
-        assert_eq!(WalkIndex::visit_counts(&store), vec![0, 1, 2, 0]);
-        assert_eq!(WalkIndex::total_visits(&store), 3);
-        let p = WalkIndex::update_probability(&store, NodeId(2), 2);
+        assert_eq!(WalkIndexView::visit_count(&store, NodeId(2)), 2);
+        assert_eq!(WalkIndexView::visit_counts(&store), vec![0, 1, 2, 0]);
+        assert_eq!(WalkIndexView::total_visits(&store), 3);
+        let p = WalkIndexView::update_probability(&store, NodeId(2), 2);
         assert!((p - 0.75).abs() < 1e-12);
-        assert_eq!(WalkIndex::update_probability(&store, NodeId(2), 0), 0.0);
+        assert_eq!(WalkIndexView::update_probability(&store, NodeId(2), 0), 0.0);
         assert_eq!(WalkIndex::route_shards(&store), 1);
     }
 
@@ -356,20 +388,20 @@ mod tests {
         let mut store = WalkStore::new(4, 1);
         let id = SegmentId::new(NodeId(0), 0, 1);
         store.set_segment(id, &[NodeId(0), NodeId(1), NodeId(2), NodeId(1)]);
-        assert_eq!(WalkIndex::segment_len(&store, id), 4);
-        assert!(!WalkIndex::segment_is_empty(&store, id));
-        assert_eq!(WalkIndex::segment_source(&store, id), Some(NodeId(0)));
-        assert_eq!(WalkIndex::segment_last(&store, id), Some(NodeId(1)));
+        assert_eq!(WalkIndexView::segment_len(&store, id), 4);
+        assert!(!WalkIndexView::segment_is_empty(&store, id));
+        assert_eq!(WalkIndexView::segment_source(&store, id), Some(NodeId(0)));
+        assert_eq!(WalkIndexView::segment_last(&store, id), Some(NodeId(1)));
         assert_eq!(
-            WalkIndex::positions_of(&store, id, NodeId(1)).collect::<Vec<_>>(),
+            WalkIndexView::positions_of(&store, id, NodeId(1)).collect::<Vec<_>>(),
             [1, 3]
         );
         assert_eq!(
-            WalkIndex::first_traversal(&store, id, NodeId(2), NodeId(1)),
+            WalkIndexView::first_traversal(&store, id, NodeId(2), NodeId(1)),
             Some(2)
         );
-        assert!(WalkIndex::uses_edge(&store, id, NodeId(1), NodeId(2)));
-        assert!(!WalkIndex::uses_edge(&store, id, NodeId(2), NodeId(0)));
+        assert!(WalkIndexView::uses_edge(&store, id, NodeId(1), NodeId(2)));
+        assert!(!WalkIndexView::uses_edge(&store, id, NodeId(2), NodeId(0)));
     }
 
     #[test]
@@ -413,7 +445,7 @@ mod tests {
         assert_eq!(via_plan.visit_counts(), via_calls.visit_counts());
         assert_eq!(via_plan.total_visits(), via_calls.total_visits());
         assert_eq!(
-            WalkIndex::segment_path(&via_plan, SegmentId::new(NodeId(0), 0, 1)),
+            WalkIndexView::segment_path(&via_plan, SegmentId::new(NodeId(0), 0, 1)),
             &[NodeId(0), NodeId(2)]
         );
         assert!(via_plan.check_consistency().is_ok());

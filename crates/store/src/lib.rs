@@ -15,12 +15,17 @@
 //!   CSR-style visit [`postings`] (sorted `(SegmentId, count)` runs with a lazily
 //!   merged delta overlay).
 //!
-//! Engines consume the PageRank Store exclusively through the [`index::WalkIndex`] /
-//! [`index::WalkIndexMut`] API layer, so the memory layout can keep evolving without
-//! touching them.  Two layouts ship today: the single-shard [`walks::WalkStore`] and
-//! the [`sharded::ShardedWalkStore`], which splits the arena and the postings into `S`
+//! Engines consume the PageRank Store exclusively through the API layer in
+//! [`index`]: read-only queries through [`index::WalkIndexView`], maintenance reads
+//! through [`index::WalkIndex`], writes through [`index::WalkIndexMut`] — so the
+//! memory layout can keep evolving without touching them.  Two live layouts ship
+//! here: the single-shard [`walks::WalkStore`] and the
+//! [`sharded::ShardedWalkStore`], which splits the arena and the postings into `S`
 //! shards keyed by `node_id % S` (the same [`routing`] rule as the Social Store) and
-//! applies whole rewrite plans with one worker thread per shard.
+//! applies whole rewrite plans with one worker thread per shard.  The [`view`]
+//! module adds the serving side: [`view::FrozenWalks`] / [`view::FrozenGraph`] are
+//! epoch-pinned, chunked copy-on-write snapshots of the two stores that readers on
+//! other threads query lock-free while a writer keeps mutating the live layout.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -33,13 +38,15 @@ pub mod routing;
 pub mod segment;
 pub mod sharded;
 pub mod social;
+pub mod view;
 pub mod walks;
 
 pub use arena::ArenaStats;
-pub use index::{SegmentRewrites, WalkIndex, WalkIndexMut};
+pub use index::{SegmentRewrites, WalkIndex, WalkIndexMut, WalkIndexView};
 pub use metrics::{ShardLoad, StoreMetrics, WorkCounter};
 pub use postings::VisitPostings;
 pub use segment::SegmentId;
 pub use sharded::ShardedWalkStore;
 pub use social::SocialStore;
+pub use view::{AdjacencyFetch, FrozenGraph, FrozenWalks};
 pub use walks::WalkStore;

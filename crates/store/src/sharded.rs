@@ -24,7 +24,7 @@
 //! work evenly.
 
 use crate::arena::{ArenaStats, StepArena};
-use crate::index::{SegmentRewrites, WalkIndex, WalkIndexMut};
+use crate::index::{SegmentRewrites, WalkIndex, WalkIndexMut, WalkIndexView};
 use crate::metrics::ShardLoad;
 use crate::postings::VisitPostings;
 use crate::routing;
@@ -185,7 +185,7 @@ impl ShardedWalkStore {
     }
 
     /// Per-shard totals of stored visits (each shard counts the visits to the nodes it
-    /// owns; the sum over shards is [`WalkIndex::total_visits`]).
+    /// owns; the sum over shards is [`WalkIndexView::total_visits`]).
     pub fn shard_visit_totals(&self) -> Vec<u64> {
         self.shards.iter().map(|s| s.total_visits).collect()
     }
@@ -197,6 +197,20 @@ impl ShardedWalkStore {
             total.merge(&shard.arena.stats());
         }
         total
+    }
+
+    /// Sets every shard arena's compaction trigger ratio (see
+    /// [`crate::arena::StepArena::set_compaction_threshold`]).
+    pub fn set_compaction_threshold(&mut self, ratio: f64) {
+        for shard in &mut self.shards {
+            shard.arena.set_compaction_threshold(ratio);
+        }
+    }
+
+    /// Freezes an epoch-pinned, copy-on-write snapshot view of the store (see
+    /// [`crate::view::FrozenWalks`]).
+    pub fn snapshot_view(&self, epoch: u64) -> crate::view::FrozenWalks {
+        crate::view::FrozenWalks::from_index(self, epoch)
     }
 
     fn assert_valid_path(&self, id: SegmentId, path: &[NodeId]) {
@@ -311,7 +325,7 @@ impl ShardedWalkStore {
     }
 }
 
-impl WalkIndex for ShardedWalkStore {
+impl crate::index::WalkIndexView for ShardedWalkStore {
     #[inline]
     fn r(&self) -> usize {
         self.r
@@ -339,11 +353,6 @@ impl WalkIndex for ShardedWalkStore {
         (0..r).map(move |slot| SegmentId::new(node, slot, r))
     }
 
-    fn segments_visiting(&self, node: NodeId) -> impl Iterator<Item = (SegmentId, u32)> + '_ {
-        self.shards[self.shard_of(node)].postings[routing::local_index(node, self.shard_count)]
-            .iter()
-    }
-
     #[inline]
     fn visit_count(&self, node: NodeId) -> u64 {
         self.shards[self.shard_of(node)].visit_counts[routing::local_index(node, self.shard_count)]
@@ -357,6 +366,13 @@ impl WalkIndex for ShardedWalkStore {
 
     fn total_visits(&self) -> u64 {
         self.shards.iter().map(|s| s.total_visits).sum()
+    }
+}
+
+impl WalkIndex for ShardedWalkStore {
+    fn segments_visiting(&self, node: NodeId) -> impl Iterator<Item = (SegmentId, u32)> + '_ {
+        self.shards[self.shard_of(node)].postings[routing::local_index(node, self.shard_count)]
+            .iter()
     }
 
     fn route_shards(&self) -> usize {
@@ -409,6 +425,10 @@ impl WalkIndexMut for ShardedWalkStore {
 
     fn last_apply_shard_times(&self) -> &[Duration] {
         &self.last_apply_times
+    }
+
+    fn set_compaction_threshold(&mut self, ratio: f64) {
+        ShardedWalkStore::set_compaction_threshold(self, ratio);
     }
 
     /// Applies the plan with up to `threads` worker threads, one pass per shard:
@@ -507,11 +527,14 @@ mod tests {
 
     /// Asserts a sharded store and a single-shard store hold identical contents.
     fn assert_matches_walk_store(sharded: &ShardedWalkStore, flat: &WalkStore) {
-        assert_eq!(WalkIndex::node_count(sharded), WalkIndex::node_count(flat));
-        assert_eq!(WalkIndex::r(sharded), WalkIndex::r(flat));
-        assert_eq!(WalkIndex::total_visits(sharded), flat.total_visits());
-        assert_eq!(WalkIndex::visit_counts(sharded), flat.visit_counts());
-        for g in 0..WalkIndex::node_count(sharded) {
+        assert_eq!(
+            WalkIndexView::node_count(sharded),
+            WalkIndexView::node_count(flat)
+        );
+        assert_eq!(WalkIndexView::r(sharded), WalkIndexView::r(flat));
+        assert_eq!(WalkIndexView::total_visits(sharded), flat.total_visits());
+        assert_eq!(WalkIndexView::visit_counts(sharded), flat.visit_counts());
+        for g in 0..WalkIndexView::node_count(sharded) {
             let node = NodeId::from_index(g);
             assert_eq!(sharded.visit_count(node), flat.visit_count(node));
             let a: Vec<_> = sharded.segments_visiting(node).collect();
@@ -628,12 +651,12 @@ mod tests {
     fn ensure_nodes_grows_each_shard() {
         let mut store = ShardedWalkStore::new(3, 2, 2);
         store.ensure_nodes(9);
-        assert_eq!(WalkIndex::node_count(&store), 9);
+        assert_eq!(WalkIndexView::node_count(&store), 9);
         let id = SegmentId::new(NodeId(8), 1, 2);
         store.set_segment(id, &path(&[8, 1]));
         assert_eq!(store.visit_count(NodeId(8)), 1);
         store.ensure_nodes(2); // shrinking is a no-op
-        assert_eq!(WalkIndex::node_count(&store), 9);
+        assert_eq!(WalkIndexView::node_count(&store), 9);
         assert!(store.check_consistency().is_ok());
     }
 

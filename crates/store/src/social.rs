@@ -168,6 +168,20 @@ impl SocialStore {
     }
 }
 
+/// The walker-facing fetch surface: one fetch copies the node's out-adjacency and is
+/// charged to the store metrics, exactly like [`SocialStore::fetch`].
+impl crate::view::AdjacencyFetch for SocialStore {
+    fn node_count(&self) -> usize {
+        SocialStore::node_count(self)
+    }
+
+    fn fetch_out(&self, node: NodeId, out: &mut Vec<NodeId>) {
+        let fetched = self.fetch(node);
+        out.clear();
+        out.extend_from_slice(fetched.out_neighbors);
+    }
+}
+
 /// Wraps a graph in a single-shard store without copying it.  This is the conversion
 /// the engines' `from_graph` constructors use, so building an engine over a large graph
 /// never doubles peak memory.

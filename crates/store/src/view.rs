@@ -1,0 +1,596 @@
+//! Epoch-pinned snapshot views: the read-side half of snapshot-isolated serving.
+//!
+//! The live stores mutate in place — an in-place arena rewrite is exactly what makes
+//! maintenance fast — so a reader on another thread can never safely look at them
+//! while a batch applies.  This module provides the immutable counterpart:
+//!
+//! * [`FrozenWalks`] — a frozen PageRank Store generation implementing the full
+//!   [`WalkIndexView`] query surface.  Storage is **chunked copy-on-write**: segment
+//!   paths live in fixed-size chunks behind `Arc`s, so cloning a generation is one
+//!   spine copy (a few hundred pointers), and advancing it by a batch
+//!   ([`FrozenWalks::apply_rewrites`]) clones only the chunks the batch touched while
+//!   every untouched chunk stays shared with the published generations readers still
+//!   pin.
+//! * [`FrozenGraph`] — the matching frozen Social-Store adjacency (out- and
+//!   in-neighbours, chunked the same way), implementing [`ppr_graph::GraphView`], so
+//!   walks and SALSA queries run against it unchanged.
+//! * [`AdjacencyFetch`] — the data-access model of the paper's personalized walker
+//!   (Algorithm 1): one *fetch* returns a node's full out-adjacency.  Implemented by
+//!   the live [`crate::SocialStore`] (with fetch accounting) and by [`FrozenGraph`],
+//!   so the walker serves from a live store or from a pinned generation with the same
+//!   code — and, crucially, the same RNG stream, which is what makes a concurrently
+//!   served query bit-identical to its single-threaded replay.
+//!
+//! The writer keeps one mutable [`FrozenWalks`]/[`FrozenGraph`] *mirror*, advances it
+//! after every batch from the engine's own reconciled rewrite plan, and publishes a
+//! clone as the next generation (see `ppr-serve`).  Readers pin a generation by
+//! cloning one `Arc` and then proceed without any further synchronisation: every
+//! chunk they can reach is immutable.
+
+use crate::index::WalkIndexView;
+use crate::segment::SegmentId;
+use crate::SegmentRewrites;
+use ppr_graph::{GraphView, NodeId};
+use std::sync::Arc;
+
+/// Segments per copy-on-write walk chunk.  Small enough that a batch rewriting a few
+/// hundred segments copies a few hundred small chunks (and the per-rewrite splice
+/// shifts little), large enough that the spine (one `Arc` per chunk) stays tiny
+/// relative to the data.
+pub const SEGMENTS_PER_CHUNK: usize = 32;
+
+/// Nodes per copy-on-write visit-count chunk.
+pub const COUNTS_PER_CHUNK: usize = 512;
+
+/// Nodes per copy-on-write adjacency chunk.
+pub const NODES_PER_GRAPH_CHUNK: usize = 64;
+
+/// One chunk of segment paths: `SEGMENTS_PER_CHUNK` consecutive segment ids, stored
+/// as a flat step buffer with per-segment bounds (a miniature CSR).
+#[derive(Debug, Clone, Default)]
+struct WalkChunk {
+    /// `bounds[k]..bounds[k + 1]` is local segment `k`'s slice of `steps`.
+    bounds: Vec<u32>,
+    steps: Vec<NodeId>,
+}
+
+impl WalkChunk {
+    fn new() -> Self {
+        WalkChunk {
+            bounds: vec![0; SEGMENTS_PER_CHUNK + 1],
+            steps: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn path(&self, local: usize) -> &[NodeId] {
+        &self.steps[self.bounds[local] as usize..self.bounds[local + 1] as usize]
+    }
+
+    /// Replaces local segment `local`'s path.  Same-length rewrites (common under
+    /// steady-state rerouting) copy in place; others splice and shift the chunk's
+    /// successors — O(chunk), and a chunk is only a few dozen steps.
+    fn set(&mut self, local: usize, path: &[NodeId]) {
+        let start = self.bounds[local] as usize;
+        let end = self.bounds[local + 1] as usize;
+        if path.len() == end - start {
+            self.steps[start..end].copy_from_slice(path);
+            return;
+        }
+        let delta = path.len() as i64 - (end - start) as i64;
+        self.steps.splice(start..end, path.iter().copied());
+        for b in &mut self.bounds[local + 1..] {
+            *b = (*b as i64 + delta) as u32;
+        }
+    }
+}
+
+/// A frozen PageRank Store generation: immutable segment paths and visit counters
+/// behind chunked `Arc`s, implementing the [`WalkIndexView`] query surface.
+///
+/// Cloning is cheap (spine-only); advancing by a batch copies only touched chunks.
+#[derive(Debug, Clone)]
+pub struct FrozenWalks {
+    r: usize,
+    node_count: usize,
+    total_visits: u64,
+    epoch: u64,
+    chunks: Vec<Arc<WalkChunk>>,
+    counts: Vec<Arc<Vec<u64>>>,
+}
+
+impl FrozenWalks {
+    /// Freezes a full copy of `store` as epoch `epoch`.  O(store) — done once; later
+    /// generations advance incrementally through [`FrozenWalks::apply_rewrites`].
+    pub fn from_index<W: WalkIndexView + ?Sized>(store: &W, epoch: u64) -> Self {
+        let r = store.r();
+        let node_count = store.node_count();
+        let mut frozen = FrozenWalks::empty(r, node_count, epoch);
+        for node in 0..node_count {
+            let node = NodeId::from_index(node);
+            for id in store.segment_ids_of(node) {
+                frozen.set_segment(id, store.segment_path(id));
+            }
+        }
+        debug_assert_eq!(frozen.total_visits, store.total_visits());
+        frozen
+    }
+
+    /// An all-empty store of `node_count` nodes with `r` segment slots per node.
+    pub fn empty(r: usize, node_count: usize, epoch: u64) -> Self {
+        assert!(r >= 1, "need at least one walk segment per node");
+        let mut frozen = FrozenWalks {
+            r,
+            node_count: 0,
+            total_visits: 0,
+            epoch,
+            chunks: Vec::new(),
+            counts: Vec::new(),
+        };
+        frozen.ensure_nodes(node_count);
+        frozen
+    }
+
+    /// The generation number this view is pinned to.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Stamps the view with a new generation number (the writer does this right
+    /// before publishing the advanced mirror).
+    pub fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+    }
+
+    /// Grows the view to address at least `n` nodes (new nodes start with empty
+    /// segments; mirror the engine with [`FrozenWalks::sync_segments_from`]).
+    pub fn ensure_nodes(&mut self, n: usize) {
+        if n <= self.node_count {
+            return;
+        }
+        self.node_count = n;
+        let chunks = (n * self.r).div_ceil(SEGMENTS_PER_CHUNK);
+        self.chunks
+            .resize_with(chunks, || Arc::new(WalkChunk::new()));
+        let counts = n.div_ceil(COUNTS_PER_CHUNK);
+        self.counts
+            .resize_with(counts, || Arc::new(vec![0; COUNTS_PER_CHUNK]));
+    }
+
+    /// Replaces one segment's path, keeping the visit counters exact.  Copy-on-write:
+    /// the touched chunks are cloned only if a published generation still shares them.
+    pub fn set_segment(&mut self, id: SegmentId, path: &[NodeId]) {
+        let slot = id.index();
+        assert!(
+            slot < self.node_count * self.r,
+            "segment {id:?} outside the view"
+        );
+        let chunk = slot / SEGMENTS_PER_CHUNK;
+        let local = slot % SEGMENTS_PER_CHUNK;
+        let old_len = {
+            let chunk = Arc::make_mut(&mut self.chunks[chunk]);
+            let old_len = chunk.path(local).len();
+            // Old visits out, new visits in; both paths address nodes inside the view.
+            for k in 0..old_len {
+                let v = chunk.path(local)[k];
+                let counts = Arc::make_mut(&mut self.counts[v.index() / COUNTS_PER_CHUNK]);
+                counts[v.index() % COUNTS_PER_CHUNK] -= 1;
+            }
+            chunk.set(local, path);
+            old_len
+        };
+        for &v in path {
+            assert!(v.index() < self.node_count, "visit outside the view");
+            let counts = Arc::make_mut(&mut self.counts[v.index() / COUNTS_PER_CHUNK]);
+            counts[v.index() % COUNTS_PER_CHUNK] += 1;
+        }
+        self.total_visits = self.total_visits - old_len as u64 + path.len() as u64;
+    }
+
+    /// Advances the view by one reconciled rewrite plan — exactly the plan the engine
+    /// applied to the live store, in plan order.
+    pub fn apply_rewrites(&mut self, rewrites: &SegmentRewrites) {
+        for (id, path) in rewrites.iter() {
+            self.set_segment(id, path);
+        }
+    }
+
+    /// Copies the segments of nodes `from..to` out of a live store — the node-growth
+    /// companion of [`FrozenWalks::apply_rewrites`]: segments generated for brand-new
+    /// nodes never appear in a rewrite plan.
+    pub fn sync_segments_from<W: WalkIndexView + ?Sized>(
+        &mut self,
+        store: &W,
+        from: usize,
+        to: usize,
+    ) {
+        self.ensure_nodes(to);
+        for node in from..to {
+            let node = NodeId::from_index(node);
+            for id in store.segment_ids_of(node) {
+                self.set_segment(id, store.segment_path(id));
+            }
+        }
+    }
+}
+
+impl WalkIndexView for FrozenWalks {
+    #[inline]
+    fn r(&self) -> usize {
+        self.r
+    }
+
+    #[inline]
+    fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    #[inline]
+    fn segment_path(&self, id: SegmentId) -> &[NodeId] {
+        let slot = id.index();
+        self.chunks[slot / SEGMENTS_PER_CHUNK].path(slot % SEGMENTS_PER_CHUNK)
+    }
+
+    #[inline]
+    fn source_of(&self, id: SegmentId) -> NodeId {
+        id.source(self.r)
+    }
+
+    fn segment_ids_of(&self, node: NodeId) -> impl Iterator<Item = SegmentId> + '_ {
+        let r = self.r;
+        (0..r).map(move |slot| SegmentId::new(node, slot, r))
+    }
+
+    #[inline]
+    fn visit_count(&self, node: NodeId) -> u64 {
+        self.counts[node.index() / COUNTS_PER_CHUNK][node.index() % COUNTS_PER_CHUNK]
+    }
+
+    fn visit_counts(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.node_count);
+        for chunk in &self.counts {
+            let take = (self.node_count - out.len()).min(COUNTS_PER_CHUNK);
+            out.extend_from_slice(&chunk[..take]);
+        }
+        out
+    }
+
+    #[inline]
+    fn total_visits(&self) -> u64 {
+        self.total_visits
+    }
+}
+
+/// One chunk of frozen adjacency: the out- and in-neighbour lists of
+/// `NODES_PER_GRAPH_CHUNK` consecutive nodes, each list its own `Arc` slice.
+/// Cloning a chunk bumps refcounts only; refreshing one node reallocates just that
+/// node's lists — so a batch's mirror cost is proportional to the degrees of its
+/// endpoints, not to chunk payloads.
+#[derive(Debug, Clone)]
+struct GraphChunk {
+    out: Vec<Arc<[NodeId]>>,
+    incoming: Vec<Arc<[NodeId]>>,
+}
+
+impl GraphChunk {
+    fn new(empty: &Arc<[NodeId]>) -> Self {
+        GraphChunk {
+            out: vec![Arc::clone(empty); NODES_PER_GRAPH_CHUNK],
+            incoming: vec![Arc::clone(empty); NODES_PER_GRAPH_CHUNK],
+        }
+    }
+}
+
+/// A frozen Social-Store adjacency generation: the exact out- and in-neighbour lists
+/// (order included — sampling picks by position) behind chunked `Arc`s.
+///
+/// Cloning is cheap; [`FrozenGraph::refresh_nodes`] advances it by one batch, copying
+/// only the chunks holding endpoints the batch touched.
+#[derive(Debug, Clone)]
+pub struct FrozenGraph {
+    node_count: usize,
+    edge_count: usize,
+    chunks: Vec<Arc<GraphChunk>>,
+    /// The shared empty list isolated nodes point at.
+    empty: Arc<[NodeId]>,
+}
+
+impl FrozenGraph {
+    /// Freezes a full copy of `graph`.  O(graph) — done once per serving session.
+    pub fn from_graph<G: GraphView + ?Sized>(graph: &G) -> Self {
+        let mut frozen = FrozenGraph {
+            node_count: 0,
+            edge_count: 0,
+            chunks: Vec::new(),
+            empty: Arc::from(&[][..]),
+        };
+        frozen.ensure_nodes(graph.node_count());
+        frozen.refresh_nodes(graph, graph.nodes());
+        frozen
+    }
+
+    /// Grows the view to address at least `n` nodes (new nodes start isolated).
+    pub fn ensure_nodes(&mut self, n: usize) {
+        if n <= self.node_count {
+            return;
+        }
+        self.node_count = n;
+        let chunks = n.div_ceil(NODES_PER_GRAPH_CHUNK);
+        let empty = Arc::clone(&self.empty);
+        self.chunks
+            .resize_with(chunks, || Arc::new(GraphChunk::new(&empty)));
+    }
+
+    /// Re-copies the adjacency lists of `nodes` out of `graph` (which must already
+    /// reflect the batch), keeping `edge_count` in sync with the source graph.  The
+    /// writer calls this with the distinct endpoints of each committed batch.
+    pub fn refresh_nodes<G: GraphView + ?Sized>(
+        &mut self,
+        graph: &G,
+        nodes: impl IntoIterator<Item = NodeId>,
+    ) {
+        self.ensure_nodes(graph.node_count());
+        for node in nodes {
+            self.refresh_out(graph, node);
+            self.refresh_in(graph, node);
+        }
+        self.edge_count = graph.edge_count();
+    }
+
+    /// Direction-split refresh for edge batches: an edge only changes its source's
+    /// out-list and its target's in-list, so the writer refreshes exactly those —
+    /// half the work of refreshing both directions of every endpoint.  Both node
+    /// sets must come from the post-batch `graph`.
+    pub fn refresh_endpoints<G: GraphView + ?Sized>(
+        &mut self,
+        graph: &G,
+        sources: impl IntoIterator<Item = NodeId>,
+        targets: impl IntoIterator<Item = NodeId>,
+    ) {
+        self.ensure_nodes(graph.node_count());
+        for node in sources {
+            self.refresh_out(graph, node);
+        }
+        for node in targets {
+            self.refresh_in(graph, node);
+        }
+        self.edge_count = graph.edge_count();
+    }
+
+    fn refresh_out<G: GraphView + ?Sized>(&mut self, graph: &G, node: NodeId) {
+        let chunk = Arc::make_mut(&mut self.chunks[node.index() / NODES_PER_GRAPH_CHUNK]);
+        let out = graph.out_neighbors(node);
+        chunk.out[node.index() % NODES_PER_GRAPH_CHUNK] = if out.is_empty() {
+            Arc::clone(&self.empty)
+        } else {
+            Arc::from(out)
+        };
+    }
+
+    fn refresh_in<G: GraphView + ?Sized>(&mut self, graph: &G, node: NodeId) {
+        let chunk = Arc::make_mut(&mut self.chunks[node.index() / NODES_PER_GRAPH_CHUNK]);
+        let incoming = graph.in_neighbors(node);
+        chunk.incoming[node.index() % NODES_PER_GRAPH_CHUNK] = if incoming.is_empty() {
+            Arc::clone(&self.empty)
+        } else {
+            Arc::from(incoming)
+        };
+    }
+
+    /// The node's out-adjacency as a shared slice (what a fetch materialises).
+    pub fn shared_out_neighbors(&self, node: NodeId) -> Arc<[NodeId]> {
+        Arc::clone(
+            &self.chunks[node.index() / NODES_PER_GRAPH_CHUNK].out
+                [node.index() % NODES_PER_GRAPH_CHUNK],
+        )
+    }
+}
+
+impl GraphView for FrozenGraph {
+    #[inline]
+    fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    #[inline]
+    fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    #[inline]
+    fn out_neighbors(&self, node: NodeId) -> &[NodeId] {
+        &self.chunks[node.index() / NODES_PER_GRAPH_CHUNK].out[node.index() % NODES_PER_GRAPH_CHUNK]
+    }
+
+    #[inline]
+    fn in_neighbors(&self, node: NodeId) -> &[NodeId] {
+        &self.chunks[node.index() / NODES_PER_GRAPH_CHUNK].incoming
+            [node.index() % NODES_PER_GRAPH_CHUNK]
+    }
+}
+
+/// The paper's data-access model for personalized queries: one *fetch* brings a
+/// node's full out-adjacency into the walker's memory.  The walker is generic over
+/// this trait, so the same query runs against the live [`crate::SocialStore`] (with
+/// its fetch metrics), a pinned [`FrozenGraph`] generation, or a caching wrapper.
+pub trait AdjacencyFetch {
+    /// Number of nodes the store addresses.
+    fn node_count(&self) -> usize;
+
+    /// One fetch: copies `node`'s out-adjacency into `out` (cleared first).
+    fn fetch_out(&self, node: NodeId, out: &mut Vec<NodeId>);
+}
+
+impl AdjacencyFetch for FrozenGraph {
+    fn node_count(&self) -> usize {
+        GraphView::node_count(self)
+    }
+
+    fn fetch_out(&self, node: NodeId, out: &mut Vec<NodeId>) {
+        out.clear();
+        out.extend_from_slice(self.out_neighbors(node));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::walks::WalkStore;
+    use ppr_graph::{DynamicGraph, Edge};
+
+    fn path(nodes: &[u32]) -> Vec<NodeId> {
+        nodes.iter().map(|&n| NodeId(n)).collect()
+    }
+
+    fn assert_views_equal<W: WalkIndexView>(frozen: &FrozenWalks, store: &W, context: &str) {
+        assert_eq!(frozen.node_count(), store.node_count(), "{context}: nodes");
+        assert_eq!(frozen.r(), store.r(), "{context}: r");
+        assert_eq!(
+            frozen.total_visits(),
+            store.total_visits(),
+            "{context}: total_visits"
+        );
+        assert_eq!(
+            frozen.visit_counts(),
+            store.visit_counts(),
+            "{context}: visit counts"
+        );
+        for g in 0..store.node_count() {
+            let node = NodeId::from_index(g);
+            assert_eq!(frozen.visit_count(node), store.visit_count(node));
+            for id in store.segment_ids_of(node) {
+                assert_eq!(
+                    frozen.segment_path(id),
+                    store.segment_path(id),
+                    "{context}: segment {id:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn freeze_reproduces_the_store_exactly() {
+        let mut store = WalkStore::new(150, 3);
+        for n in 0..150u32 {
+            let id = SegmentId::new(NodeId(n), (n as usize) % 3, 3);
+            store.set_segment(id, &path(&[n, (n + 7) % 150, (n + 1) % 150]));
+        }
+        let frozen = FrozenWalks::from_index(&store, 9);
+        assert_eq!(frozen.epoch(), 9);
+        assert_views_equal(&frozen, &store, "full freeze");
+    }
+
+    #[test]
+    fn apply_rewrites_advances_the_view_like_the_store() {
+        let mut store = WalkStore::new(200, 2);
+        let mut frozen = FrozenWalks::from_index(&store, 0);
+        for round in 0..5u32 {
+            let mut plan = SegmentRewrites::new();
+            for k in 0..40u32 {
+                let node = (round * 37 + k * 11) % 200;
+                let id = SegmentId::new(NodeId(node), (k as usize) % 2, 2);
+                let p = path(&[node, (node + round + 1) % 200, (node + 2 * k) % 200]);
+                plan.push(id, &p);
+            }
+            for (id, p) in plan.iter() {
+                store.set_segment(id, p);
+            }
+            frozen.apply_rewrites(&plan);
+            frozen.set_epoch(round as u64 + 1);
+            assert_views_equal(&frozen, &store, &format!("round {round}"));
+        }
+    }
+
+    #[test]
+    fn cow_keeps_pinned_clones_unchanged() {
+        let mut store = WalkStore::new(64, 1);
+        let id = SegmentId::new(NodeId(5), 0, 1);
+        store.set_segment(id, &path(&[5, 6, 7]));
+        let mut mirror = FrozenWalks::from_index(&store, 0);
+        let pinned = mirror.clone(); // a published generation readers still hold
+
+        let mut plan = SegmentRewrites::new();
+        plan.push(id, &path(&[5, 8]));
+        mirror.apply_rewrites(&plan);
+        mirror.set_epoch(1);
+
+        assert_eq!(pinned.segment_path(id), path(&[5, 6, 7]).as_slice());
+        assert_eq!(pinned.visit_count(NodeId(7)), 1);
+        assert_eq!(pinned.total_visits(), 3);
+        assert_eq!(mirror.segment_path(id), path(&[5, 8]).as_slice());
+        assert_eq!(mirror.visit_count(NodeId(7)), 0);
+        assert_eq!(mirror.total_visits(), 2);
+        assert_eq!(pinned.epoch(), 0);
+        assert_eq!(mirror.epoch(), 1);
+    }
+
+    #[test]
+    fn node_growth_syncs_new_segments() {
+        let mut store = WalkStore::new(4, 2);
+        store.set_segment(SegmentId::new(NodeId(1), 0, 2), &path(&[1, 2]));
+        let mut frozen = FrozenWalks::from_index(&store, 0);
+        store.ensure_nodes(70); // crosses a chunk boundary
+        store.set_segment(SegmentId::new(NodeId(69), 1, 2), &path(&[69, 1]));
+        frozen.sync_segments_from(&store, 4, 70);
+        assert_views_equal(&frozen, &store, "after growth");
+    }
+
+    #[test]
+    fn frozen_graph_mirrors_adjacency_and_cow_isolates_pins() {
+        let mut graph = DynamicGraph::with_nodes(130);
+        for i in 0..129u32 {
+            graph.add_edge(Edge::new(i, i + 1));
+        }
+        let mut frozen = FrozenGraph::from_graph(&graph);
+        assert_eq!(GraphView::node_count(&frozen), 130);
+        assert_eq!(frozen.edge_count(), 129);
+        assert_eq!(frozen.out_neighbors(NodeId(3)), &[NodeId(4)]);
+        assert_eq!(frozen.in_neighbors(NodeId(4)), &[NodeId(3)]);
+
+        let pinned = frozen.clone();
+        graph.add_edge(Edge::new(3, 100));
+        graph.remove_edge(Edge::new(64, 65));
+        frozen.refresh_nodes(&graph, [NodeId(3), NodeId(100), NodeId(64), NodeId(65)]);
+        assert_eq!(frozen.out_neighbors(NodeId(3)), &[NodeId(4), NodeId(100)]);
+        assert_eq!(frozen.out_neighbors(NodeId(64)), &[] as &[NodeId]);
+        assert_eq!(frozen.edge_count(), 129);
+        // The pinned clone still sees the pre-batch lists.
+        assert_eq!(pinned.out_neighbors(NodeId(3)), &[NodeId(4)]);
+        assert_eq!(pinned.out_neighbors(NodeId(64)), &[NodeId(65)]);
+
+        let mut buf = Vec::new();
+        frozen.fetch_out(NodeId(3), &mut buf);
+        assert_eq!(buf, path(&[4, 100]));
+    }
+
+    #[test]
+    fn store_snapshot_view_wrappers_freeze_identically() {
+        // The per-layout convenience wrappers are the discoverable entry point the
+        // serving docs name; they must be exactly FrozenWalks::from_index.
+        let mut flat = WalkStore::new(9, 2);
+        flat.set_segment(SegmentId::new(NodeId(1), 0, 2), &path(&[1, 4, 7]));
+        let view = flat.snapshot_view(3);
+        assert_eq!(view.epoch(), 3);
+        assert_views_equal(&view, &flat, "flat snapshot_view");
+
+        let mut sharded = crate::ShardedWalkStore::new(9, 2, 3);
+        crate::WalkIndexMut::set_segment(
+            &mut sharded,
+            SegmentId::new(NodeId(1), 0, 2),
+            &path(&[1, 4, 7]),
+        );
+        let view = sharded.snapshot_view(4);
+        assert_eq!(view.epoch(), 4);
+        assert_views_equal(&view, &sharded, "sharded snapshot_view");
+    }
+
+    #[test]
+    fn frozen_graph_growth_starts_isolated() {
+        let graph = DynamicGraph::with_nodes(2);
+        let mut frozen = FrozenGraph::from_graph(&graph);
+        frozen.ensure_nodes(100);
+        assert_eq!(GraphView::node_count(&frozen), 100);
+        assert!(frozen.out_neighbors(NodeId(99)).is_empty());
+    }
+}

@@ -18,22 +18,31 @@ fn main() {
         .find(|&u| (20..=30).contains(&graph.out_degree(u)))
         .expect("generator gives every node 25 friends");
 
+    // One shared read-only walker; every walk is a (query_seed, query_id)-keyed
+    // query, so re-running this example — or serving the same queries from many
+    // threads through ppr-serve — reproduces these rows bit for bit.
+    let walker = PersonalizedWalker::new(engine.social_store(), engine.walk_store(), epsilon, 0);
+    let query_seed = 42u64;
     println!("walk_length   fetches   fetches/step");
-    for &length in &[500usize, 2_000, 8_000, 32_000] {
+    for (query_id, &length) in [500usize, 2_000, 8_000, 32_000].iter().enumerate() {
         engine.social_store().reset_metrics();
-        let mut walker = PersonalizedWalker::new(
-            engine.social_store(),
-            engine.walk_store(),
-            epsilon,
-            length as u64,
-        );
-        let result = walker.walk(seed, length);
+        let result = walker.walk_query(seed, length, query_seed, query_id as u64);
         println!(
             "{length:11}   {:7}   {:.3}",
             result.fetches,
             result.fetches as f64 / result.total_visits as f64
         );
     }
+
+    // Corollary 9 as an enforced budget: cap the fetches and the walk stops there.
+    let budgeted = PersonalizedWalker::new(engine.social_store(), engine.walk_store(), epsilon, 0)
+        .with_fetch_budget(10);
+    let result = budgeted.walk_query(seed, 32_000, query_seed, 99);
+    println!(
+        "\nwith a 10-fetch budget: {} visits recorded, {} fetches spent, budget \
+         exhausted: {}",
+        result.total_visits, result.fetches, result.budget_exhausted
+    );
 
     println!("\nRemark 2 closed forms (alpha = 0.75, c = 5, R = 10, k = 100, n = 1e8):");
     let s_k = bounds::walk_length_for_top_k(100, 5.0, 0.75, 100_000_000);

@@ -17,6 +17,10 @@
 //! * [`core`] ([`ppr_core`]) — the paper's contribution: Monte Carlo PageRank/SALSA with
 //!   incremental walk-segment maintenance and personalized top-k retrieval by walk
 //!   stitching (Algorithm 1).
+//! * [`serve`] ([`ppr_serve`]) — snapshot-isolated concurrent query serving: a
+//!   single-writer/many-readers `QueryEngine` publishing epoch-pinned generation views,
+//!   so personalized top-k, global-rank, and SALSA queries run lock-free on reader
+//!   threads while write batches commit.
 //! * [`baselines`] ([`ppr_baselines`]) — power iteration, exact SALSA, HITS, COSINE and
 //!   naive incremental recomputation baselines.
 //! * [`analysis`] ([`ppr_analysis`]) — power-law fitting, CDFs, and ranking metrics used
@@ -56,6 +60,7 @@ pub use ppr_baselines as baselines;
 pub use ppr_core as core;
 pub use ppr_graph as graph;
 pub use ppr_persist as persist;
+pub use ppr_serve as serve;
 pub use ppr_store as store;
 
 /// Commonly used items, re-exported for convenience.
@@ -74,8 +79,10 @@ pub mod prelude {
     pub use ppr_graph::generators::preferential_attachment;
     pub use ppr_graph::view::GraphView;
     pub use ppr_graph::{Edge, NodeId};
-    pub use ppr_store::index::{WalkIndex, WalkIndexMut};
+    pub use ppr_serve::{QueryEngine, ReaderPool, ServeHandle};
+    pub use ppr_store::index::{WalkIndex, WalkIndexMut, WalkIndexView};
     pub use ppr_store::sharded::ShardedWalkStore;
     pub use ppr_store::social::SocialStore;
+    pub use ppr_store::view::{FrozenGraph, FrozenWalks};
     pub use ppr_store::walks::WalkStore;
 }

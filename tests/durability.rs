@@ -529,6 +529,38 @@ fn checkpoint_generations_rotate_and_prune() {
     assert!(root.join("snap-000003.ppr").exists());
     assert!(!root.join("snap-000002.ppr").exists());
     assert!(!root.join("wal-000001.log").exists());
+    let expected = engine.scores();
+    drop(engine); // release the store lock before reopening
     let reopened = IncrementalPageRank::<WalkStore>::open(&root).unwrap();
-    assert_eq!(reopened.scores(), engine.scores());
+    assert_eq!(reopened.scores(), expected);
+}
+
+#[test]
+fn store_lock_rejects_a_second_live_writer_and_releases_on_drop() {
+    let tmp = TempDir::new("lock-engine");
+    let root = tmp.path().join("store");
+    let config = MonteCarloConfig::new(0.2, 2).with_seed(667);
+    let engine =
+        IncrementalPageRank::create_durable(&root, DynamicGraph::with_nodes(10), config).unwrap();
+    // A second writer in this (live) process must fail fast with a clear error.
+    match IncrementalPageRank::<WalkStore>::open(&root) {
+        Err(ppr_core::PersistError::Locked(msg)) => {
+            assert!(
+                msg.contains(&format!("pid {}", std::process::id())),
+                "lock error names the holder: {msg}"
+            );
+        }
+        other => panic!("expected Locked, got {other:?}"),
+    }
+    drop(engine);
+    // After release the same directory opens normally...
+    let reopened = IncrementalPageRank::<WalkStore>::open(&root).unwrap();
+    drop(reopened);
+    // ...and a stale lock from a crashed (dead) process is stolen, not fatal.
+    if std::path::Path::new("/proc").is_dir() {
+        std::fs::write(root.join("LOCK"), "4194304999\n").unwrap();
+        let recovered = IncrementalPageRank::<WalkStore>::open(&root)
+            .expect("stale lock of a dead process must be stolen");
+        assert!(recovered.is_durable());
+    }
 }

@@ -138,7 +138,7 @@ fn deletions_keep_stores_exactly_consistent_on_both_layouts() {
     }
     assert_eq!(flat.scores(), sharded.scores());
     assert_eq!(
-        WalkIndex::visit_counts(flat.walk_store()),
+        WalkIndexView::visit_counts(flat.walk_store()),
         sharded.walk_store().visit_counts()
     );
 }

@@ -12,7 +12,7 @@ use ppr_graph::{CsrGraph, Edge};
 use ppr_persist::layout::{PagedWalks, PersistentWalkStore};
 use ppr_persist::snapshot::{SnapshotFile, SnapshotWriter, SECTION_WALKS};
 use ppr_persist::TempDir;
-use ppr_store::SegmentId;
+use ppr_store::{SegmentId, WalkIndexView};
 use proptest::prelude::*;
 
 /// Worker-thread count for sharded-engine properties: honours the CI matrix variable.
@@ -325,7 +325,7 @@ proptest! {
         assert_sharded_store_matches_recount(engine.walk_store(), 14);
         prop_assert_eq!(flat.scores(), engine.scores());
         prop_assert_eq!(
-            WalkIndex::visit_counts(flat.walk_store()),
+            WalkIndexView::visit_counts(flat.walk_store()),
             engine.walk_store().visit_counts()
         );
     }
