@@ -179,10 +179,75 @@ fn bench_cold_open_vs_rebuild(c: &mut Criterion) {
     group.finish();
 }
 
+/// Per-scenario durability regimes: each corpus workload's exact write schedule
+/// (`Trace::write_batches`) applied to a durable flat store with a checkpoint
+/// mid-stream, reporting ingest rate, on-disk snapshot footprint, and the recovery
+/// cost (snapshot load + WAL-tail replay) that workload leaves behind.  The spam
+/// wave is the interesting one: its mass-unfollow deletions land *after* the
+/// checkpoint, so recovery replays the reversal path, not just arrivals.
+fn report_scenario_durability(_c: &mut Criterion) {
+    for scenario in [
+        ppr_scenario::corpus::flash_crowd().scaled(2),
+        ppr_scenario::corpus::spam_wave().scaled(2),
+    ] {
+        let trace = ppr_scenario::Trace::compile(&scenario);
+        let batches = trace.write_batches();
+        let checkpoint_after = (batches.len() / 2).max(1);
+        let tmp = TempDir::new(&format!("bench-scenario-{}", scenario.name));
+        let root = tmp.path().join("s");
+        let mut engine = IncrementalPageRank::create_durable(
+            &root,
+            DynamicGraph::with_nodes(scenario.nodes),
+            scenario.engine_config(),
+        )
+        .unwrap();
+        let mut total = 0usize;
+        let mut replayed = 0usize;
+        let mut generation = 0u64;
+        let t0 = std::time::Instant::now();
+        for (i, (op, batch)) in batches.iter().enumerate() {
+            match op {
+                ppr_persist::WalOp::Arrivals => {
+                    engine.apply_arrivals(batch);
+                }
+                ppr_persist::WalOp::Deletions => {
+                    engine.apply_deletions(batch);
+                }
+            }
+            total += batch.len();
+            if i + 1 > checkpoint_after {
+                replayed += batch.len();
+            }
+            if i + 1 == checkpoint_after {
+                generation = engine.checkpoint().unwrap();
+            }
+        }
+        let ingest = t0.elapsed();
+        drop(engine);
+
+        let snap_kib = snapshot_bytes(&root, generation) / 1024;
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let t0 = std::time::Instant::now();
+            black_box(IncrementalPageRank::<ppr_store::WalkStore>::open(&root).unwrap());
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        println!(
+            "report persistence_scenario {}: {} batches / {total} edges ingested in \
+             {ingest:.2?}, snapshot {snap_kib} KiB at batch {checkpoint_after}, recovery \
+             (snapshot + {replayed} WAL edges) {:.2?}",
+            scenario.name,
+            batches.len(),
+            std::time::Duration::from_secs_f64(best),
+        );
+    }
+}
+
 criterion_group!(
     benches,
     bench_snapshot_write,
     bench_wal,
-    bench_cold_open_vs_rebuild
+    bench_cold_open_vs_rebuild,
+    report_scenario_durability
 );
 criterion_main!(benches);

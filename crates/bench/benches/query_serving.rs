@@ -91,6 +91,36 @@ fn timed_serve(
     (started.elapsed(), latencies)
 }
 
+/// Like [`timed_serve`], but also counts how many answers came back with
+/// `budget_exhausted` — the partial-result rate under Corollary 9 fetch budgets.
+fn timed_serve_counting(
+    pool: &ReaderPool,
+    handle: &ServeHandle,
+    jobs: &[(u64, Query)],
+) -> (Duration, Vec<Duration>, usize) {
+    let (tx, rx) = channel::<(Duration, bool)>();
+    let started = Instant::now();
+    for (qid, query) in jobs {
+        let handle = handle.clone();
+        let tx = tx.clone();
+        let query = query.clone();
+        let qid = *qid;
+        pool.execute(move || {
+            let t0 = Instant::now();
+            let served = black_box(handle.serve(qid, &query));
+            let _ = tx.send((t0.elapsed(), served.budget_exhausted));
+        });
+    }
+    drop(tx);
+    let mut latencies = Vec::new();
+    let mut exhausted = 0usize;
+    for (lat, hit_budget) in rx.iter() {
+        latencies.push(lat);
+        exhausted += usize::from(hit_budget);
+    }
+    (started.elapsed(), latencies, exhausted)
+}
+
 fn percentile(latencies: &mut [Duration], p: f64) -> Duration {
     latencies.sort_unstable();
     let idx = ((latencies.len() - 1) as f64 * p).round() as usize;
@@ -226,6 +256,73 @@ fn report_qps_with_writer(_c: &mut Criterion) {
     }
 }
 
+/// Per-scenario serving regimes: corpus workloads (scaled up) replayed through the
+/// serving commit path, with every query burst served through a reader pool exactly
+/// where the trace schedules it.  Unlike the synthetic batches above, these mix
+/// writes and reads the way the workload shapes do — the flash crowd hammers one
+/// hub under a fetch budget (so the budget-exhausted fraction is part of the
+/// regime), the spam wave interleaves bursts with their mass-unfollow cleanup.
+fn report_scenario_regimes(_c: &mut Criterion) {
+    for scenario in [
+        ppr_scenario::corpus::flash_crowd().scaled(4),
+        ppr_scenario::corpus::spam_wave().scaled(4),
+    ] {
+        let trace = ppr_scenario::Trace::compile(&scenario);
+        println!(
+            "report query_serving_scenario {} ({} events, {} queries)",
+            scenario.name,
+            trace.events.len(),
+            trace.query_count()
+        );
+        for readers in [1usize, 4] {
+            let pool = ReaderPool::new(readers);
+            let mut serving = QueryEngine::new(
+                IncrementalPageRank::new_empty(scenario.nodes, scenario.engine_config()),
+                scenario.seed,
+            );
+            let mut write_wall = Duration::ZERO;
+            let mut edges = 0usize;
+            let mut query_wall = Duration::ZERO;
+            let mut latencies: Vec<Duration> = Vec::new();
+            let mut exhausted = 0usize;
+            for event in &trace.events {
+                match &event.event {
+                    ppr_scenario::Event::Arrivals(batch) => {
+                        let t0 = Instant::now();
+                        serving.commit_arrivals(batch);
+                        write_wall += t0.elapsed();
+                        edges += batch.len();
+                    }
+                    ppr_scenario::Event::Deletions(batch) => {
+                        let t0 = Instant::now();
+                        serving.commit_deletions(batch);
+                        write_wall += t0.elapsed();
+                        edges += batch.len();
+                    }
+                    ppr_scenario::Event::Queries(jobs) => {
+                        let handle = serving.handle();
+                        let (wall, lats, hit) = timed_serve_counting(&pool, &handle, jobs);
+                        query_wall += wall;
+                        latencies.extend(lats);
+                        exhausted += hit;
+                    }
+                    ppr_scenario::Event::Checkpoint => {}
+                }
+            }
+            let served = latencies.len();
+            let qps = served as f64 / query_wall.as_secs_f64();
+            let p50 = percentile(&mut latencies, 0.50);
+            let p99 = percentile(&mut latencies, 0.99);
+            println!(
+                "report   {} readers/{readers}: writes {:>8.0} edges/s, {qps:>7.0} qps, \
+                 p50 {p50:?}, p99 {p99:?}, budget_exhausted {exhausted}/{served}",
+                scenario.name,
+                edges as f64 / write_wall.as_secs_f64(),
+            );
+        }
+    }
+}
+
 /// Criterion wall-clock groups: one pinned query, one commit+publish.
 fn bench_query_and_commit(c: &mut Criterion) {
     let (prefix, suffix) = stream();
@@ -266,6 +363,7 @@ criterion_group!(
     bench_query_and_commit,
     report_write_overhead,
     report_qps_scaling,
-    report_qps_with_writer
+    report_qps_with_writer,
+    report_scenario_regimes
 );
 criterion_main!(query_serving);

@@ -1,16 +1,23 @@
 //! Crash-kill recovery smoke test: write, SIGKILL mid-WAL, reopen, verify.
 //!
-//! The binary runs itself twice.  The **parent** (no args) spawns a **child**
-//! (`--child`) that builds a durable engine, checkpoints once, and then applies
-//! WAL-logged batches forever.  The parent waits for the checkpoint to publish,
-//! lets some batches land, and kills the child with SIGKILL — no destructors, no
-//! flushes, exactly the crash the WAL is for.  It then scars the log tail with
-//! garbage bytes (a torn half-frame), recovers, and asserts the recovered engine is
+//! The binary runs itself twice.  The **parent** spawns a **child** (`--child`)
+//! that builds a durable engine, checkpoints once, and then applies WAL-logged
+//! batches forever.  The parent waits for the checkpoint to publish, lets some
+//! batches land, and kills the child with SIGKILL — no destructors, no flushes,
+//! exactly the crash the WAL is for.  It then scars the log tail with garbage
+//! bytes (a torn half-frame), recovers, and asserts the recovered engine is
 //! **byte-identical** to an in-memory oracle that applied exactly the surviving
 //! batches — scores, visit counts, postings, paths, and work counters.
 //!
-//! Run with `cargo run --release --bin recover-smoke`; exits non-zero on any
-//! divergence.  CI runs this after the test suites.
+//! By default the batch schedule is a synthetic preferential-attachment stream
+//! with interleaved deletions.  Pass `--scenario <name>` to crash-test a member
+//! of the `ppr-scenario` corpus instead: the write schedule becomes that
+//! scenario's compiled trace (`Trace::write_batches`), so the kill lands inside
+//! a flash crowd's growth, a spam wave's mass-unfollow reversal, etc.
+//!
+//! Run with `cargo run --release --bin recover-smoke [-- --scenario <name>]`;
+//! exits non-zero on any divergence.  CI runs this after the test suites, once
+//! per corpus scenario it pins.
 
 use ppr_core::{IncrementalPageRank, MonteCarloConfig};
 use ppr_graph::generators::{preferential_attachment_edges, PreferentialAttachmentConfig};
@@ -23,17 +30,23 @@ use std::io::Write as _;
 use std::process::Command;
 use std::time::{Duration, Instant};
 
-const NODES: usize = 400;
-const CHECKPOINT_AFTER: usize = 20;
 const DIR_ENV: &str = "PPR_SMOKE_DIR";
 
-fn config() -> MonteCarloConfig {
-    MonteCarloConfig::new(0.2, 4).with_seed(4242)
+/// A crash-test workload: the deterministic batch schedule both processes compute
+/// identically, plus the engine shape it runs against.
+struct Workload {
+    name: String,
+    nodes: usize,
+    config: MonteCarloConfig,
+    /// Batches applied before the child publishes its one checkpoint.
+    checkpoint_after: usize,
+    ops: Vec<(WalOp, Vec<Edge>)>,
 }
 
-/// The deterministic batch schedule both processes compute identically: arrival
-/// batches with every fifth batch a deletion batch of earlier edges.
-fn schedule() -> Vec<(WalOp, Vec<Edge>)> {
+/// The default synthetic schedule: arrival batches with every fifth batch a
+/// deletion batch of earlier edges.
+fn builtin_workload() -> Workload {
+    const NODES: usize = 400;
     let pa = PreferentialAttachmentConfig::new(NODES, 5, 77);
     let edges = random_permutation(&preferential_attachment_edges(&pa), 79);
     let mut ops = Vec::new();
@@ -47,7 +60,39 @@ fn schedule() -> Vec<(WalOp, Vec<Edge>)> {
         }
         start = end;
     }
-    ops
+    Workload {
+        name: "builtin".into(),
+        nodes: NODES,
+        config: MonteCarloConfig::new(0.2, 4).with_seed(4242),
+        checkpoint_after: 20,
+        ops,
+    }
+}
+
+/// Resolves `--scenario <name>` against the corpus, falling back to the builtin
+/// schedule when no scenario was requested.
+fn workload(scenario: Option<&str>) -> Workload {
+    let Some(name) = scenario else {
+        return builtin_workload();
+    };
+    let Some(scenario) = ppr_scenario::corpus::by_name(name) else {
+        eprintln!("[recover-smoke] unknown scenario {name:?}; the corpus is:");
+        for member in ppr_scenario::corpus::corpus() {
+            eprintln!("[recover-smoke]   {}", member.name);
+        }
+        std::process::exit(2);
+    };
+    let trace = ppr_scenario::Trace::compile(&scenario);
+    let ops = trace.write_batches();
+    Workload {
+        name: scenario.name.clone(),
+        nodes: scenario.nodes,
+        config: scenario.engine_config(),
+        // One checkpoint a third of the way in: most of the schedule (including
+        // any mass-unfollow reversal) replays from the WAL after the crash.
+        checkpoint_after: (ops.len() / 3).max(1),
+        ops,
+    }
 }
 
 fn apply(engine: &mut IncrementalPageRank, op: &(WalOp, Vec<Edge>)) {
@@ -62,17 +107,19 @@ fn apply(engine: &mut IncrementalPageRank, op: &(WalOp, Vec<Edge>)) {
 }
 
 /// Child: build, checkpoint, then log batches until killed.
-fn run_child() -> ! {
+fn run_child(work: &Workload) -> ! {
     let root = std::env::var(DIR_ENV).expect("child needs the store dir");
-    let ops = schedule();
-    let mut engine =
-        IncrementalPageRank::create_durable(&root, DynamicGraph::with_nodes(NODES), config())
-            .expect("create_durable");
-    for op in &ops[..CHECKPOINT_AFTER] {
+    let mut engine = IncrementalPageRank::create_durable(
+        &root,
+        DynamicGraph::with_nodes(work.nodes),
+        work.config,
+    )
+    .expect("create_durable");
+    for op in &work.ops[..work.checkpoint_after] {
         apply(&mut engine, op);
     }
     engine.checkpoint().expect("checkpoint");
-    for op in &ops[CHECKPOINT_AFTER..] {
+    for op in &work.ops[work.checkpoint_after..] {
         apply(&mut engine, op);
     }
     // Ran out of schedule before the parent killed us; park so the kill still lands
@@ -82,15 +129,16 @@ fn run_child() -> ! {
     }
 }
 
-fn run_parent() {
+fn run_parent(work: &Workload, scenario: Option<&str>) {
     let tmp = TempDir::new("recover-smoke");
     let root = tmp.path().join("store");
     let exe = std::env::current_exe().expect("own path");
-    let mut child = Command::new(exe)
-        .arg("--child")
-        .env(DIR_ENV, &root)
-        .spawn()
-        .expect("spawn child");
+    let mut cmd = Command::new(exe);
+    cmd.arg("--child");
+    if let Some(name) = scenario {
+        cmd.args(["--scenario", name]);
+    }
+    let mut child = cmd.env(DIR_ENV, &root).spawn().expect("spawn child");
 
     // Wait for the child to publish generation 1 and then — so the kill is
     // guaranteed to land mid-stream rather than mid-startup on a slow runner —
@@ -123,9 +171,9 @@ fn run_parent() {
     let scan = read_records(&wal_path).expect("scan crashed WAL");
     let survivors = scan.records.len();
     println!(
-        "[recover-smoke] child killed; {survivors} batches in the WAL \
+        "[recover-smoke] workload {}: child killed; {survivors} batches in the WAL \
          (torn tail: {})",
-        scan.torn_tail
+        work.name, scan.torn_tail
     );
     assert!(
         survivors > 0,
@@ -143,9 +191,8 @@ fn run_parent() {
 
     // Recover, and hold the result to the in-memory oracle.
     let recovered = IncrementalPageRank::<WalkStore>::open(&root).expect("recovery");
-    let ops = schedule();
-    let mut oracle = IncrementalPageRank::new_empty(NODES, config());
-    for op in &ops[..CHECKPOINT_AFTER + survivors] {
+    let mut oracle = IncrementalPageRank::new_empty(work.nodes, work.config);
+    for op in &work.ops[..work.checkpoint_after + survivors] {
         apply(&mut oracle, op);
     }
 
@@ -158,7 +205,7 @@ fn run_parent() {
         WalkIndexView::visit_counts(b),
         "visit counts diverge"
     );
-    for g in 0..NODES {
+    for g in 0..work.nodes {
         let node = NodeId::from_index(g);
         let pa: Vec<_> = a.segments_visiting(node).collect();
         let pb: Vec<_> = b.segments_visiting(node).collect();
@@ -176,16 +223,27 @@ fn run_parent() {
         .expect("recovered segments valid");
 
     println!(
-        "[recover-smoke] PASS: recovered bit-identically to the oracle at \
+        "[recover-smoke] PASS ({}): recovered bit-identically to the oracle at \
          {} batches ({} edges in the graph)",
-        CHECKPOINT_AFTER + survivors,
+        work.name,
+        work.checkpoint_after + survivors,
         recovered.graph().edge_count()
     );
 }
 
 fn main() {
-    if std::env::args().any(|a| a == "--child") {
-        run_child();
+    let args: Vec<String> = std::env::args().collect();
+    let scenario = args.iter().position(|a| a == "--scenario").map(|i| {
+        args.get(i + 1)
+            .unwrap_or_else(|| {
+                eprintln!("[recover-smoke] --scenario needs a corpus name");
+                std::process::exit(2);
+            })
+            .as_str()
+    });
+    let work = workload(scenario);
+    if args.iter().any(|a| a == "--child") {
+        run_child(&work);
     }
-    run_parent();
+    run_parent(&work, scenario);
 }

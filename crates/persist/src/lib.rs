@@ -20,7 +20,10 @@
 //! * [`dir`] — the generation-numbered store directory with its atomically published
 //!   `CURRENT` pointer and previous-generation fallback;
 //! * [`lock`] — the `LOCK` file enforcing the single-writer-per-directory contract
-//!   across processes, with stale-lock stealing after a crash.
+//!   across processes, with stale-lock stealing after a crash;
+//! * [`shim`] — an injectable I/O shim on the WAL/snapshot write paths, the seam
+//!   the scenario chaos harness uses to inject slow-disk stalls (timing faults
+//!   that must never change a bit of what is written).
 //!
 //! The engine-facing `open`/`checkpoint` APIs live in `ppr-core::durable`, built on
 //! the [`layout::PersistentWalkStore`] trait this crate implements for the flat,
@@ -37,6 +40,7 @@ pub mod io;
 pub mod layout;
 pub mod lock;
 pub mod pager;
+pub mod shim;
 pub mod snapshot;
 pub mod tempdir;
 pub mod wal;
@@ -48,6 +52,7 @@ pub use io::{PersistError, PersistResult};
 pub use layout::{PagedWalks, PersistentWalkStore};
 pub use lock::StoreLock;
 pub use pager::PagerStats;
+pub use shim::{IoOp, IoShim, ShimGuard, SlowDisk};
 pub use snapshot::{SnapshotFile, SnapshotWriter};
 pub use tempdir::TempDir;
 pub use wal::{WalOp, WalRecord, WalWriter};

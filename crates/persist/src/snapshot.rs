@@ -66,6 +66,8 @@ impl SnapshotWriter {
     /// Writes the snapshot to `path` atomically: temp sibling, fsync, rename, fsync
     /// of the parent directory.  Returns the total bytes written.
     pub fn write_to(self, path: &Path) -> PersistResult<u64> {
+        let payload: usize = self.sections.iter().map(|(_, p)| p.len()).sum();
+        crate::shim::notify(crate::shim::IoOp::SnapshotWrite, payload);
         let tmp = path.with_extension("tmp");
         let mut total = 0u64;
         {

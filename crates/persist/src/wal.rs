@@ -245,8 +245,10 @@ impl WalWriter {
         frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
         frame.extend_from_slice(&crc32(&body).to_le_bytes());
         frame.extend_from_slice(&body);
+        crate::shim::notify(crate::shim::IoOp::WalAppend, frame.len());
         self.file.write_all(&frame)?;
         if self.fsync {
+            crate::shim::notify(crate::shim::IoOp::WalSync, 0);
             self.file.sync_data()?;
         }
         self.appended += 1;

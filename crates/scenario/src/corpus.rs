@@ -1,0 +1,242 @@
+//! The named scenario corpus: the workload shapes every chaos harness runs.
+//!
+//! Each corpus scenario is small enough to replay in a test but structured enough
+//! to exercise a distinct stress pattern, and every one contains at least one
+//! [`PhaseKind::Checkpoint`] so [`crate::chaos::ChaosPlan::for_trace`] can schedule
+//! a torn-snapshot fault with a fallback generation to recover into.  The corpus is
+//! the shared vocabulary across the stack: `tests/scenario_corpus.rs` replays it
+//! through every layout under fault injection, the `recover-smoke` bin takes any
+//! member by `--scenario <name>`, and the benches stretch members with
+//! [`Scenario::scaled`] to build throughput regimes.
+
+use crate::dsl::{Phase, PhaseKind, Scenario};
+
+/// A flash crowd: a seeded graph, then bursts of personalized queries hammering
+/// one hub under a Corollary 9 fetch budget (exercising `budget_exhausted`).
+pub fn flash_crowd() -> Scenario {
+    Scenario {
+        name: "flash_crowd".into(),
+        seed: 0xF1A5,
+        nodes: 96,
+        epsilon: 0.2,
+        r: 3,
+        phases: vec![
+            // Dense enough growth (avg out-degree ~1.5 into a skewed core) that a
+            // walk from the hub can actually reach more nodes than the budget pays
+            // to fetch — otherwise `budget_exhausted` would never trigger.
+            Phase::new(PhaseKind::Grow { batch: 16 }, 9),
+            Phase::new(PhaseKind::Checkpoint, 1),
+            Phase::new(
+                PhaseKind::FlashCrowd {
+                    queries_per_step: 6,
+                    k: 5,
+                    walk_length: 800,
+                    fetch_budget: Some(20),
+                },
+                6,
+            ),
+            Phase::new(PhaseKind::Checkpoint, 1),
+        ],
+    }
+}
+
+/// A celebrity joins mid-stream: organic growth, then a follower cascade onto one
+/// account, then tidal queries over the reshaped graph.
+pub fn celebrity_join() -> Scenario {
+    Scenario {
+        name: "celebrity_join".into(),
+        seed: 0xCE1E,
+        nodes: 96,
+        epsilon: 0.2,
+        r: 3,
+        phases: vec![
+            Phase::new(PhaseKind::Grow { batch: 8 }, 6),
+            Phase::new(PhaseKind::Checkpoint, 1),
+            Phase::new(PhaseKind::CelebrityJoin { fans_per_step: 6 }, 6),
+            Phase::new(
+                PhaseKind::QueryTides {
+                    day_queries: 4,
+                    night_queries: 1,
+                    k: 5,
+                    walk_length: 600,
+                },
+                4,
+            ),
+            Phase::new(PhaseKind::Checkpoint, 1),
+        ],
+    }
+}
+
+/// A spam wave followed by its exact mass-unfollow cleanup, then queries probing
+/// that the graph (and the walk store) really reverted.
+pub fn spam_wave() -> Scenario {
+    Scenario {
+        name: "spam_wave".into(),
+        seed: 0x59A3,
+        nodes: 120,
+        epsilon: 0.2,
+        r: 3,
+        phases: vec![
+            Phase::new(PhaseKind::Grow { batch: 8 }, 6),
+            Phase::new(PhaseKind::Checkpoint, 1),
+            Phase::new(
+                PhaseKind::SpamWave {
+                    spammers: 3,
+                    fanout: 4,
+                },
+                5,
+            ),
+            Phase::new(PhaseKind::Checkpoint, 1),
+            Phase::new(PhaseKind::MassUnfollow { of_phase: 2 }, 3),
+            Phase::new(
+                PhaseKind::QueryTides {
+                    day_queries: 3,
+                    night_queries: 1,
+                    k: 4,
+                    walk_length: 500,
+                },
+                4,
+            ),
+        ],
+    }
+}
+
+/// Day/night query tides over a slowly growing graph.
+pub fn query_tides() -> Scenario {
+    Scenario {
+        name: "query_tides".into(),
+        seed: 0x71DE,
+        nodes: 160,
+        epsilon: 0.2,
+        r: 2,
+        phases: vec![
+            Phase::new(PhaseKind::Grow { batch: 10 }, 5),
+            Phase::new(PhaseKind::Checkpoint, 1),
+            Phase::new(
+                PhaseKind::QueryTides {
+                    day_queries: 6,
+                    night_queries: 2,
+                    k: 5,
+                    walk_length: 700,
+                },
+                10,
+            ),
+            Phase::new(PhaseKind::Checkpoint, 1),
+        ],
+    }
+}
+
+/// A bit of everything: growth, a celebrity, a spam wave and its cleanup, a budgeted
+/// flash crowd, tides — the default scenario of the `recover-smoke` bin.
+pub fn steady_mix() -> Scenario {
+    Scenario {
+        name: "steady_mix".into(),
+        seed: 0x51EA,
+        nodes: 112,
+        epsilon: 0.2,
+        r: 3,
+        phases: vec![
+            Phase::new(PhaseKind::Grow { batch: 8 }, 6),
+            Phase::new(PhaseKind::Checkpoint, 1),
+            Phase::new(PhaseKind::CelebrityJoin { fans_per_step: 4 }, 3),
+            Phase::new(
+                PhaseKind::SpamWave {
+                    spammers: 2,
+                    fanout: 3,
+                },
+                3,
+            ),
+            Phase::new(PhaseKind::MassUnfollow { of_phase: 3 }, 2),
+            Phase::new(
+                PhaseKind::FlashCrowd {
+                    queries_per_step: 3,
+                    k: 4,
+                    walk_length: 500,
+                    fetch_budget: Some(30),
+                },
+                3,
+            ),
+            Phase::new(PhaseKind::Checkpoint, 1),
+            Phase::new(
+                PhaseKind::QueryTides {
+                    day_queries: 3,
+                    night_queries: 1,
+                    k: 4,
+                    walk_length: 500,
+                },
+                4,
+            ),
+        ],
+    }
+}
+
+/// Every corpus scenario, in canonical order.
+pub fn corpus() -> Vec<Scenario> {
+    vec![
+        flash_crowd(),
+        celebrity_join(),
+        spam_wave(),
+        query_tides(),
+        steady_mix(),
+    ]
+}
+
+/// Looks a corpus scenario up by name (`--scenario <name>` on the smoke bins).
+pub fn by_name(name: &str) -> Option<Scenario> {
+    corpus().into_iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Trace;
+
+    #[test]
+    fn corpus_names_are_unique_and_resolvable() {
+        let all = corpus();
+        for scenario in &all {
+            let found = by_name(&scenario.name).expect("every member resolves by name");
+            assert_eq!(&found, scenario);
+        }
+        let mut names: Vec<&str> = all.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), all.len(), "names must be unique");
+        assert!(by_name("no-such-scenario").is_none());
+    }
+
+    #[test]
+    fn every_member_compiles_to_a_substantial_trace() {
+        for scenario in corpus() {
+            let trace = Trace::compile(&scenario);
+            assert!(
+                trace.write_batches().len() >= 12,
+                "{}: recover-smoke needs enough batches to split around a checkpoint",
+                scenario.name
+            );
+            assert!(
+                !trace.checkpoint_indices().is_empty(),
+                "{}: chaos plans need a checkpoint",
+                scenario.name
+            );
+        }
+    }
+
+    #[test]
+    fn flash_crowd_carries_a_fetch_budget() {
+        let trace = Trace::compile(&flash_crowd());
+        let budgeted = trace.events.iter().any(|e| match &e.event {
+            crate::trace::Event::Queries(qs) => qs.iter().any(|(_, q)| {
+                matches!(
+                    q,
+                    ppr_serve::Query::PersonalizedTopK {
+                        fetch_budget: Some(_),
+                        ..
+                    }
+                )
+            }),
+            _ => false,
+        });
+        assert!(budgeted, "flash crowd must exercise budget_exhausted");
+    }
+}

@@ -1,0 +1,346 @@
+//! The scenario DSL: named, seeded workload descriptions built from phases.
+//!
+//! A [`Scenario`] is a pure description — a name, a seed, a node-universe size, an
+//! engine configuration, and an ordered list of [`Phase`]s.  Nothing here touches an
+//! engine; [`crate::trace::Trace::compile`] expands a scenario into its event trace.
+//! The load-bearing property is **purity**: every edge batch and every query of a
+//! scenario is a pure function of `(scenario seed, phase index, step index)`, through
+//! the same splitmix64 split-stream discipline the write path uses for
+//! `(batch, pivot, segment)` repairs and the read path for `(query_seed, query_id)`
+//! streams.  Compiling the same scenario twice — on any machine, in any process —
+//! yields byte-identical traces, which is what lets the chaos harness compare a
+//! fault-injected replay against a clean reference run.
+//!
+//! Phase kinds model the workload shapes a social-graph serving stack actually
+//! meets: steady growth, a flash crowd hammering one hub with personalized queries,
+//! a celebrity join pulling a follower cascade, a spam wave followed (via
+//! [`PhaseKind::MassUnfollow`]) by the exact reverse of its edges, and day/night
+//! query tides.  [`PhaseKind::Checkpoint`] marks durability points so chaos plans
+//! can aim faults at the WAL-rotation window.
+
+use ppr_graph::Edge;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One phase kind: what each step of the phase emits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PhaseKind {
+    /// Organic growth: each step arrives one batch of `batch` preferential-style
+    /// edges (skew toward low node ids, the resident "old guard").
+    Grow {
+        /// Edges per step.
+        batch: usize,
+    },
+    /// A flash crowd: every step sends `queries_per_step` personalized top-`k`
+    /// queries seeded at one phase-chosen hub (plus a trickle of arrivals from
+    /// onlookers following the hub), optionally under a Corollary 9 fetch budget.
+    FlashCrowd {
+        /// Personalized queries per step.
+        queries_per_step: usize,
+        /// Result-list length.
+        k: usize,
+        /// Total walk length `R/ε`-style budget per query.
+        walk_length: usize,
+        /// Optional fetch budget; `Some` exercises `budget_exhausted` semantics.
+        fetch_budget: Option<u64>,
+    },
+    /// A celebrity joins: every step, `fans_per_step` distinct fans follow the
+    /// phase-chosen celebrity, and the celebrity follows a couple back.
+    CelebrityJoin {
+        /// New followers per step.
+        fans_per_step: usize,
+    },
+    /// A spam wave: `spammers` phase-chosen accounts each follow `fanout` skewed
+    /// targets per step.
+    SpamWave {
+        /// Number of spamming accounts.
+        spammers: usize,
+        /// Follows per spammer per step.
+        fanout: usize,
+    },
+    /// Mass unfollow: replays the edges of phase `of_phase` (which must precede this
+    /// phase) as deletions, in reverse step order — the cleanup after a spam wave.
+    MassUnfollow {
+        /// Index of the earlier phase whose edges are deleted.
+        of_phase: usize,
+    },
+    /// Query tides: even steps are daytime (`day_queries` personalized queries),
+    /// odd steps are night (`night_queries`), with a trickle of arrivals throughout.
+    QueryTides {
+        /// Queries per daytime step.
+        day_queries: usize,
+        /// Queries per nighttime step.
+        night_queries: usize,
+        /// Result-list length.
+        k: usize,
+        /// Total walk length per query.
+        walk_length: usize,
+    },
+    /// A durability checkpoint point (snapshot + WAL rotation on durable engines;
+    /// a no-op on in-memory ones).
+    Checkpoint,
+}
+
+/// One phase: a kind plus how many steps it runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Phase {
+    /// What each step emits.
+    pub kind: PhaseKind,
+    /// Number of steps (ignored for [`PhaseKind::Checkpoint`], which is one event).
+    pub steps: usize,
+}
+
+impl Phase {
+    /// Builds a phase.
+    pub fn new(kind: PhaseKind, steps: usize) -> Self {
+        Phase { kind, steps }
+    }
+}
+
+/// A named, seeded workload description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Corpus name (`--scenario <name>` on the smoke bins).
+    pub name: String,
+    /// Master seed; every event derives from `(seed, phase, step)`.
+    pub seed: u64,
+    /// Node-universe size (node ids are drawn in `0..nodes`).
+    pub nodes: usize,
+    /// Walk reset probability for the engine under test.
+    pub epsilon: f64,
+    /// Walk segments per node (the paper's `R`).
+    pub r: usize,
+    /// The ordered phases.
+    pub phases: Vec<Phase>,
+}
+
+impl Scenario {
+    /// The engine configuration the scenario prescribes (epsilon, `R`, and the
+    /// scenario seed as the engine seed).
+    pub fn engine_config(&self) -> ppr_core::MonteCarloConfig {
+        ppr_core::MonteCarloConfig::new(self.epsilon, self.r).with_seed(self.seed)
+    }
+
+    /// A copy with every phase's step count multiplied by `factor` (benches use
+    /// this to stretch a corpus scenario without changing its shape).
+    pub fn scaled(&self, factor: usize) -> Scenario {
+        let mut scaled = self.clone();
+        for phase in &mut scaled.phases {
+            if !matches!(phase.kind, PhaseKind::Checkpoint) {
+                phase.steps *= factor;
+            }
+        }
+        scaled.name = format!("{}-x{}", self.name, factor);
+        scaled
+    }
+}
+
+/// Splitmix64 finalizer shared by every scenario stream derivation.
+fn mix(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Derives the seed of one `(phase, step)` event stream — the scenario analogue of
+/// the write path's `repair_seed` and the read path's `query_stream_seed`.
+pub fn step_seed(scenario_seed: u64, phase: usize, step: usize) -> u64 {
+    mix(scenario_seed
+        ^ (phase as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (step as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+        ^ 0x5CEA_7A10_5CEA_7A10)
+}
+
+/// The RNG of one `(phase, step)` event.
+pub fn step_rng(scenario_seed: u64, phase: usize, step: usize) -> SmallRng {
+    SmallRng::seed_from_u64(step_seed(scenario_seed, phase, step))
+}
+
+/// Derives a phase-level parameter stream (hub choice, celebrity id, spammer ids) —
+/// a reserved salt keeps it disjoint from every step stream.
+pub fn phase_rng(scenario_seed: u64, phase: usize) -> SmallRng {
+    SmallRng::seed_from_u64(mix(scenario_seed
+        ^ (phase as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ 0xA11C_E5ED_0F1A_5E00))
+}
+
+/// Draws one node with quadratic skew toward low ids (the resident high-degree
+/// "old guard" of a preferential-attachment graph).
+pub fn skewed_node(rng: &mut SmallRng, nodes: usize) -> u32 {
+    let u = rng.gen_range(0.0..1.0f64);
+    ((u * u * nodes as f64) as usize).min(nodes - 1) as u32
+}
+
+/// The edge batch one `(phase, step)` of `scenario` arrives (empty for pure-query
+/// and checkpoint phases).  Pure: depends only on the scenario description, so
+/// [`PhaseKind::MassUnfollow`] can regenerate an earlier phase's batches to delete
+/// them, and a crashed replay can be compared against a clean one.
+pub fn write_edges(scenario: &Scenario, phase_idx: usize, step: usize) -> Vec<Edge> {
+    let phase = &scenario.phases[phase_idx];
+    let n = scenario.nodes;
+    let mut rng = step_rng(scenario.seed, phase_idx, step);
+    match phase.kind {
+        PhaseKind::Grow { batch } => (0..batch)
+            .map(|_| {
+                let source = rng.gen_range(0..n) as u32;
+                let mut target = skewed_node(&mut rng, n);
+                if target == source {
+                    target = (target + 1) % n as u32;
+                }
+                Edge::new(source, target)
+            })
+            .collect(),
+        PhaseKind::FlashCrowd { .. } => {
+            // Onlooker trickle: a couple of accounts follow the hub they are all
+            // querying about, and the hub follows one back into the skewed core —
+            // so the hub's out-neighborhood (what its personalized walks explore)
+            // keeps growing under the crowd.
+            let hub = phase_param(scenario, phase_idx, 0) % n as u32;
+            let mut edges: Vec<Edge> = (0..2)
+                .map(|_| {
+                    let mut source = rng.gen_range(0..n) as u32;
+                    if source == hub {
+                        source = (source + 1) % n as u32;
+                    }
+                    Edge::new(source, hub)
+                })
+                .collect();
+            let mut back = skewed_node(&mut rng, n);
+            if back == hub {
+                back = (back + 1) % n as u32;
+            }
+            edges.push(Edge::new(hub, back));
+            edges
+        }
+        PhaseKind::CelebrityJoin { fans_per_step } => {
+            let celebrity = phase_param(scenario, phase_idx, 0) % n as u32;
+            let mut edges = Vec::with_capacity(fans_per_step + 2);
+            for _ in 0..fans_per_step {
+                let mut fan = rng.gen_range(0..n) as u32;
+                if fan == celebrity {
+                    fan = (fan + 1) % n as u32;
+                }
+                edges.push(Edge::new(fan, celebrity));
+            }
+            // The celebrity follows a couple of accounts back.
+            for _ in 0..2 {
+                let mut back = skewed_node(&mut rng, n);
+                if back == celebrity {
+                    back = (back + 1) % n as u32;
+                }
+                edges.push(Edge::new(celebrity, back));
+            }
+            edges
+        }
+        PhaseKind::SpamWave { spammers, fanout } => {
+            let mut edges = Vec::with_capacity(spammers * fanout);
+            for s in 0..spammers {
+                let spammer = phase_param(scenario, phase_idx, s as u64) % n as u32;
+                for _ in 0..fanout {
+                    let mut victim = skewed_node(&mut rng, n);
+                    if victim == spammer {
+                        victim = (victim + 1) % n as u32;
+                    }
+                    edges.push(Edge::new(spammer, victim));
+                }
+            }
+            edges
+        }
+        PhaseKind::MassUnfollow { .. } | PhaseKind::QueryTides { .. } => {
+            // MassUnfollow emits deletions (computed in the trace compiler from the
+            // target phase); QueryTides arrives a one-edge trickle per step.
+            if matches!(phase.kind, PhaseKind::QueryTides { .. }) {
+                let source = rng.gen_range(0..n) as u32;
+                let mut target = skewed_node(&mut rng, n);
+                if target == source {
+                    target = (target + 1) % n as u32;
+                }
+                vec![Edge::new(source, target)]
+            } else {
+                Vec::new()
+            }
+        }
+        PhaseKind::Checkpoint => Vec::new(),
+    }
+}
+
+/// The `slot`-th phase-level parameter of `(scenario, phase)` — hub and celebrity
+/// choices, spammer identities.  Pure in `(seed, phase, slot)`.
+pub fn phase_param(scenario: &Scenario, phase_idx: usize, slot: u64) -> u32 {
+    let mut rng = phase_rng(scenario.seed, phase_idx);
+    let mut value = 0u32;
+    for _ in 0..=slot {
+        value = rng.gen_range(0..u32::MAX as u64) as u32;
+    }
+    value
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Scenario {
+        Scenario {
+            name: "sample".into(),
+            seed: 41,
+            nodes: 64,
+            epsilon: 0.2,
+            r: 3,
+            phases: vec![
+                Phase::new(PhaseKind::Grow { batch: 8 }, 4),
+                Phase::new(
+                    PhaseKind::SpamWave {
+                        spammers: 2,
+                        fanout: 3,
+                    },
+                    3,
+                ),
+                Phase::new(PhaseKind::MassUnfollow { of_phase: 1 }, 3),
+            ],
+        }
+    }
+
+    #[test]
+    fn write_edges_is_pure_and_streams_are_distinct() {
+        let s = sample();
+        assert_eq!(write_edges(&s, 0, 2), write_edges(&s, 0, 2));
+        assert_ne!(write_edges(&s, 0, 2), write_edges(&s, 0, 3));
+        assert_ne!(write_edges(&s, 0, 2), write_edges(&s, 1, 2));
+        let other = Scenario { seed: 42, ..s };
+        assert_ne!(write_edges(&other, 0, 2), write_edges(&sample(), 0, 2));
+    }
+
+    #[test]
+    fn phase_params_are_pure_and_slot_dependent() {
+        let s = sample();
+        assert_eq!(phase_param(&s, 1, 0), phase_param(&s, 1, 0));
+        assert_ne!(phase_param(&s, 1, 0), phase_param(&s, 1, 1));
+        assert_ne!(phase_param(&s, 1, 0), phase_param(&s, 2, 0));
+    }
+
+    #[test]
+    fn edges_stay_in_the_node_universe_and_avoid_self_loops() {
+        let s = sample();
+        for phase in 0..s.phases.len() {
+            for step in 0..4 {
+                for edge in write_edges(&s, phase, step) {
+                    assert!(edge.source.index() < s.nodes);
+                    assert!(edge.target.index() < s.nodes);
+                    assert_ne!(edge.source, edge.target);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scaled_multiplies_steps_but_not_checkpoints() {
+        let mut s = sample();
+        s.phases.push(Phase::new(PhaseKind::Checkpoint, 1));
+        let big = s.scaled(3);
+        assert_eq!(big.phases[0].steps, 12);
+        assert_eq!(big.phases[3].steps, 1);
+        assert_eq!(big.name, "sample-x3");
+    }
+}

@@ -1,0 +1,203 @@
+//! Replaying a compiled [`Trace`] through a serving engine.
+//!
+//! [`ScenarioRunner`] is the single replay path every harness shares: it wraps the
+//! engine in a [`QueryEngine`], commits the trace's write events through the
+//! serving commit path (so the published generations track the live store exactly),
+//! fans query batches out over a [`ReaderPool`], and invokes [`ReplayHooks`] at
+//! checkpoint events and chaos fault points.  Because the hooks take the whole
+//! serving session by value and hand one back, a hook can *tear the session down
+//! entirely* — drop the engine mid-WAL, corrupt a snapshot on disk, reopen from the
+//! store directory — and the runner just keeps replaying into whatever came back.
+//! That is what makes "SIGKILL anywhere, recover, resume ≡ never crashed" a
+//! replayable property instead of a bespoke test.
+
+use crate::chaos::{ChaosPlan, Fault};
+use crate::trace::{Event, Trace};
+use ppr_serve::{Answer, QueryEngine, ReaderPool, ServeEngine, Served};
+
+/// One served answer, in trace order, stripped to its replay-stable fields.
+///
+/// `epoch` is deliberately absent: a crash-and-reopen hook rebuilds the serving
+/// session, resetting its epoch counter, so epochs differ between a faulted and a
+/// clean replay even though every answer's *content* is bit-identical.  The
+/// differential oracles compare exactly the fields that must survive faults.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioAnswer {
+    /// The query's trace-assigned id.
+    pub query_id: u64,
+    /// Social Store fetches the walk made.
+    pub fetches: u64,
+    /// Whether the Corollary 9 fetch budget cut the walk short.
+    pub budget_exhausted: bool,
+    /// The answer itself.
+    pub answer: Answer,
+}
+
+impl From<Served> for ScenarioAnswer {
+    fn from(s: Served) -> Self {
+        ScenarioAnswer {
+            query_id: s.query_id,
+            fetches: s.fetches,
+            budget_exhausted: s.budget_exhausted,
+            answer: s.answer,
+        }
+    }
+}
+
+/// Aggregate statistics of one replay.
+#[derive(Debug, Clone, Default)]
+pub struct RunOutcome {
+    /// Every served answer, in trace order.
+    pub answers: Vec<ScenarioAnswer>,
+    /// Total edges arrived.
+    pub arrivals: usize,
+    /// Total edges deleted.
+    pub deletions: usize,
+    /// Checkpoint events replayed.
+    pub checkpoints: usize,
+    /// Faults injected.
+    pub faults: usize,
+    /// How many answers had their fetch budget exhausted.
+    pub budget_exhausted: usize,
+}
+
+/// Hooks a replay invokes at checkpoint events and chaos fault points.  Both take
+/// the serving session by value and return the session to continue with — possibly
+/// a brand-new one reopened from durable storage.
+pub trait ReplayHooks<E: ServeEngine> {
+    /// Called at every [`Event::Checkpoint`].  The default is a no-op (in-memory
+    /// engines have nothing to checkpoint).
+    fn on_checkpoint(&mut self, serving: QueryEngine<E>) -> QueryEngine<E> {
+        serving
+    }
+
+    /// Called after the event at a fault point designated by the [`ChaosPlan`].
+    /// The default ignores the fault.
+    fn on_fault(&mut self, fault: &Fault, serving: QueryEngine<E>) -> QueryEngine<E> {
+        let _ = fault;
+        serving
+    }
+}
+
+/// The no-op hooks: checkpoints and faults leave the session untouched.
+#[derive(Debug, Default)]
+pub struct NoHooks;
+
+impl<E: ServeEngine> ReplayHooks<E> for NoHooks {}
+
+/// Replays traces through serving sessions.
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioRunner {
+    /// Seed of the serving session's query streams.
+    pub query_seed: u64,
+    /// Reader threads serving each query batch.
+    pub readers: usize,
+}
+
+impl ScenarioRunner {
+    /// A runner serving with `readers` reader threads; query streams are keyed by
+    /// the scenario's own seed at replay time.
+    pub fn new(readers: usize) -> Self {
+        ScenarioRunner {
+            query_seed: 0,
+            readers,
+        }
+    }
+
+    /// Overrides the query-stream seed (defaults to the scenario seed).
+    pub fn with_query_seed(mut self, query_seed: u64) -> Self {
+        self.query_seed = query_seed;
+        self
+    }
+
+    /// Replays `trace` through `engine` with no chaos and no checkpoint action.
+    pub fn replay<E: ServeEngine>(&self, trace: &Trace, engine: E) -> (E, RunOutcome) {
+        self.replay_with(trace, engine, &ChaosPlan::none(), &mut NoHooks)
+    }
+
+    /// Replays `trace` through `engine`, invoking `hooks` at checkpoint events and
+    /// at the fault points `plan` designates.  Returns the final engine (whatever
+    /// engine the last hook left serving) and the run's outcome.
+    pub fn replay_with<E: ServeEngine, H: ReplayHooks<E>>(
+        &self,
+        trace: &Trace,
+        engine: E,
+        plan: &ChaosPlan,
+        hooks: &mut H,
+    ) -> (E, RunOutcome) {
+        let query_seed = if self.query_seed != 0 {
+            self.query_seed
+        } else {
+            trace.scenario.seed
+        };
+        let mut serving = QueryEngine::new(engine, query_seed);
+        let pool = ReaderPool::new(self.readers.max(1));
+        let mut outcome = RunOutcome::default();
+        for (index, event) in trace.events.iter().enumerate() {
+            match &event.event {
+                Event::Arrivals(edges) => {
+                    if !edges.is_empty() {
+                        serving.commit_arrivals(edges);
+                        outcome.arrivals += edges.len();
+                    }
+                }
+                Event::Deletions(edges) => {
+                    if !edges.is_empty() {
+                        serving.commit_deletions(edges);
+                        outcome.deletions += edges.len();
+                    }
+                }
+                Event::Queries(jobs) => {
+                    if !jobs.is_empty() {
+                        // Re-acquire the handle each batch: a crash hook may have
+                        // replaced the whole serving session since the last one.
+                        let handle = serving.handle();
+                        for served in pool.serve_all(&handle, jobs) {
+                            if served.budget_exhausted {
+                                outcome.budget_exhausted += 1;
+                            }
+                            outcome.answers.push(served.into());
+                        }
+                    }
+                }
+                Event::Checkpoint => {
+                    serving = hooks.on_checkpoint(serving);
+                    outcome.checkpoints += 1;
+                }
+            }
+            for fault in plan.faults_after(index) {
+                serving = hooks.on_fault(fault, serving);
+                outcome.faults += 1;
+            }
+        }
+        (serving.into_engine(), outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus;
+    use crate::trace::Trace;
+    use ppr_core::IncrementalPageRank;
+    use ppr_store::{StoreDigest, WalkStore};
+
+    #[test]
+    fn replay_is_reader_count_invariant_and_pure() {
+        let scenario = corpus::steady_mix();
+        let trace = Trace::compile(&scenario);
+        let make = || {
+            IncrementalPageRank::<WalkStore>::new_empty(scenario.nodes, scenario.engine_config())
+        };
+        let (e1, o1) = ScenarioRunner::new(1).replay(&trace, make());
+        let (e4, o4) = ScenarioRunner::new(4).replay(&trace, make());
+        assert_eq!(o1.answers, o4.answers, "answers are pool-width invariant");
+        assert_eq!(
+            StoreDigest::of(e1.walk_store()),
+            StoreDigest::of(e4.walk_store()),
+        );
+        assert_eq!(e1.scores(), e4.scores());
+        assert!(o1.arrivals > 0);
+        assert_eq!(o1.answers.len(), trace.query_count());
+    }
+}

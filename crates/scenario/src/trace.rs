@@ -1,0 +1,338 @@
+//! Compiling a [`Scenario`] into its deterministic event trace.
+//!
+//! A [`Trace`] is the fully expanded workload: an ordered list of [`TraceEvent`]s,
+//! each an edge-arrival batch, a deletion batch, a query batch, or a checkpoint
+//! marker.  Compilation is pure — the same scenario always produces the
+//! byte-identical trace — so a trace index is a stable coordinate: chaos plans name
+//! fault points by event index, and a fault-injected replay is compared against a
+//! clean replay of the *same* trace.
+//!
+//! Query ids are assigned sequentially across the whole trace, so every query keeps
+//! its identity (and therefore its `(query_seed, query_id)` RNG stream) no matter
+//! how the serving session is restarted around it.
+
+use crate::dsl::{phase_param, skewed_node, step_rng, write_edges, PhaseKind, Scenario};
+use ppr_graph::{Edge, NodeId};
+use ppr_persist::WalOp;
+use ppr_serve::Query;
+use rand::Rng;
+
+/// One compiled event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// An edge-arrival batch (one `apply_arrivals`/`commit_arrivals` call).
+    Arrivals(Vec<Edge>),
+    /// An edge-deletion batch.
+    Deletions(Vec<Edge>),
+    /// A query batch: `(query_id, query)` pairs served against the then-current
+    /// generation.
+    Queries(Vec<(u64, Query)>),
+    /// A durability checkpoint on durable engines; a no-op in memory.
+    Checkpoint,
+}
+
+/// One event with its source coordinates in the scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Phase index within the scenario.
+    pub phase: usize,
+    /// Step index within the phase.
+    pub step: usize,
+    /// The event itself.
+    pub event: Event,
+}
+
+/// A fully compiled scenario: the workload as an ordered event list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    /// The scenario this trace was compiled from.
+    pub scenario: Scenario,
+    /// The ordered events.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Compiles `scenario` into its event trace.  Pure: equal scenarios compile to
+    /// equal traces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`PhaseKind::MassUnfollow`] names a phase at or after itself —
+    /// deletions can only target edges that have already arrived.
+    pub fn compile(scenario: &Scenario) -> Trace {
+        let mut events = Vec::new();
+        let mut next_query_id = 0u64;
+        for (phase_idx, phase) in scenario.phases.iter().enumerate() {
+            match phase.kind {
+                PhaseKind::Checkpoint => events.push(TraceEvent {
+                    phase: phase_idx,
+                    step: 0,
+                    event: Event::Checkpoint,
+                }),
+                PhaseKind::MassUnfollow { of_phase } => {
+                    assert!(
+                        of_phase < phase_idx,
+                        "MassUnfollow in phase {phase_idx} targets phase {of_phase}, \
+                         which has not happened yet"
+                    );
+                    // Unwind the target phase's batches newest-first, chunked over
+                    // this phase's steps.
+                    let target_steps = scenario.phases[of_phase].steps;
+                    let mut unwound: Vec<Vec<Edge>> = (0..target_steps)
+                        .rev()
+                        .map(|step| write_edges(scenario, of_phase, step))
+                        .collect();
+                    let chunks = phase.steps.max(1);
+                    for step in 0..chunks {
+                        let take = unwound.len().div_ceil(chunks - step);
+                        let batch: Vec<Edge> = unwound.drain(..take).flatten().collect();
+                        events.push(TraceEvent {
+                            phase: phase_idx,
+                            step,
+                            event: Event::Deletions(batch),
+                        });
+                    }
+                }
+                PhaseKind::FlashCrowd {
+                    queries_per_step,
+                    k,
+                    walk_length,
+                    fetch_budget,
+                } => {
+                    let hub = NodeId(phase_param(scenario, phase_idx, 0) % scenario.nodes as u32);
+                    for step in 0..phase.steps {
+                        events.push(TraceEvent {
+                            phase: phase_idx,
+                            step,
+                            event: Event::Arrivals(write_edges(scenario, phase_idx, step)),
+                        });
+                        let queries = (0..queries_per_step)
+                            .map(|_| {
+                                let id = next_query_id;
+                                next_query_id += 1;
+                                (
+                                    id,
+                                    Query::PersonalizedTopK {
+                                        seed: hub,
+                                        k,
+                                        walk_length,
+                                        fetch_budget,
+                                    },
+                                )
+                            })
+                            .collect();
+                        events.push(TraceEvent {
+                            phase: phase_idx,
+                            step,
+                            event: Event::Queries(queries),
+                        });
+                    }
+                }
+                PhaseKind::QueryTides {
+                    day_queries,
+                    night_queries,
+                    k,
+                    walk_length,
+                } => {
+                    for step in 0..phase.steps {
+                        events.push(TraceEvent {
+                            phase: phase_idx,
+                            step,
+                            event: Event::Arrivals(write_edges(scenario, phase_idx, step)),
+                        });
+                        let count = if step % 2 == 0 {
+                            day_queries
+                        } else {
+                            night_queries
+                        };
+                        // Tidal queries mix personalized (skewed seeds) and global
+                        // rank probes, drawn from the step's own stream.
+                        let mut rng = step_rng(scenario.seed, phase_idx, step);
+                        let queries = (0..count)
+                            .map(|_| {
+                                let id = next_query_id;
+                                next_query_id += 1;
+                                let query = if rng.gen_bool(0.8) {
+                                    Query::PersonalizedTopK {
+                                        seed: NodeId(skewed_node(&mut rng, scenario.nodes)),
+                                        k,
+                                        walk_length,
+                                        fetch_budget: None,
+                                    }
+                                } else {
+                                    Query::GlobalTopK { k }
+                                };
+                                (id, query)
+                            })
+                            .collect();
+                        events.push(TraceEvent {
+                            phase: phase_idx,
+                            step,
+                            event: Event::Queries(queries),
+                        });
+                    }
+                }
+                PhaseKind::Grow { .. }
+                | PhaseKind::CelebrityJoin { .. }
+                | PhaseKind::SpamWave { .. } => {
+                    for step in 0..phase.steps {
+                        events.push(TraceEvent {
+                            phase: phase_idx,
+                            step,
+                            event: Event::Arrivals(write_edges(scenario, phase_idx, step)),
+                        });
+                    }
+                }
+            }
+        }
+        Trace {
+            scenario: scenario.clone(),
+            events,
+        }
+    }
+
+    /// The trace's write events as `(op, batch)` pairs — the stream shape the
+    /// recover-smoke harness and the persistence bench feed to bare engines.
+    /// Empty batches are skipped (they would be WAL records with no effect).
+    pub fn write_batches(&self) -> Vec<(WalOp, Vec<Edge>)> {
+        self.events
+            .iter()
+            .filter_map(|e| match &e.event {
+                Event::Arrivals(edges) if !edges.is_empty() => {
+                    Some((WalOp::Arrivals, edges.clone()))
+                }
+                Event::Deletions(edges) if !edges.is_empty() => {
+                    Some((WalOp::Deletions, edges.clone()))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Total number of queries in the trace.
+    pub fn query_count(&self) -> usize {
+        self.events
+            .iter()
+            .map(|e| match &e.event {
+                Event::Queries(qs) => qs.len(),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Indices of the checkpoint events.
+    pub fn checkpoint_indices(&self) -> Vec<usize> {
+        self.events
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| matches!(e.event, Event::Checkpoint).then_some(i))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::Phase;
+
+    fn scenario() -> Scenario {
+        Scenario {
+            name: "trace-test".into(),
+            seed: 71,
+            nodes: 48,
+            epsilon: 0.2,
+            r: 2,
+            phases: vec![
+                Phase::new(PhaseKind::Grow { batch: 6 }, 3),
+                Phase::new(PhaseKind::Checkpoint, 1),
+                Phase::new(
+                    PhaseKind::SpamWave {
+                        spammers: 2,
+                        fanout: 2,
+                    },
+                    4,
+                ),
+                Phase::new(PhaseKind::MassUnfollow { of_phase: 2 }, 2),
+                Phase::new(
+                    PhaseKind::FlashCrowd {
+                        queries_per_step: 3,
+                        k: 4,
+                        walk_length: 400,
+                        fetch_budget: Some(100),
+                    },
+                    2,
+                ),
+            ],
+        }
+    }
+
+    #[test]
+    fn compilation_is_pure() {
+        let s = scenario();
+        assert_eq!(Trace::compile(&s), Trace::compile(&s));
+    }
+
+    #[test]
+    fn mass_unfollow_deletes_exactly_the_target_phases_edges_newest_first() {
+        let s = scenario();
+        let trace = Trace::compile(&s);
+        let arrived: Vec<Edge> = (0..4).flat_map(|step| write_edges(&s, 2, step)).collect();
+        let deleted: Vec<Edge> = trace
+            .events
+            .iter()
+            .filter(|e| e.phase == 3)
+            .flat_map(|e| match &e.event {
+                Event::Deletions(edges) => edges.clone(),
+                other => panic!("unfollow phase emitted {other:?}"),
+            })
+            .collect();
+        let unwound: Vec<Edge> = (0..4)
+            .rev()
+            .flat_map(|step| write_edges(&s, 2, step))
+            .collect();
+        assert_eq!(deleted, unwound);
+        assert_eq!(deleted.len(), arrived.len());
+    }
+
+    #[test]
+    fn query_ids_are_sequential_across_the_trace() {
+        let trace = Trace::compile(&scenario());
+        let ids: Vec<u64> = trace
+            .events
+            .iter()
+            .flat_map(|e| match &e.event {
+                Event::Queries(qs) => qs.iter().map(|(id, _)| *id).collect(),
+                _ => Vec::new(),
+            })
+            .collect();
+        assert!(!ids.is_empty());
+        assert_eq!(ids, (0..ids.len() as u64).collect::<Vec<_>>());
+        assert_eq!(trace.query_count(), ids.len());
+    }
+
+    #[test]
+    fn write_batches_covers_all_write_events_and_skips_empties() {
+        let trace = Trace::compile(&scenario());
+        let batches = trace.write_batches();
+        assert!(!batches.is_empty());
+        assert!(batches.iter().all(|(_, edges)| !edges.is_empty()));
+        let trace_edges: usize = trace
+            .events
+            .iter()
+            .map(|e| match &e.event {
+                Event::Arrivals(v) | Event::Deletions(v) => v.len(),
+                _ => 0,
+            })
+            .sum();
+        let batch_edges: usize = batches.iter().map(|(_, v)| v.len()).sum();
+        assert_eq!(trace_edges, batch_edges);
+    }
+
+    #[test]
+    fn checkpoint_indices_point_at_checkpoint_events() {
+        let trace = Trace::compile(&scenario());
+        let idx = trace.checkpoint_indices();
+        assert_eq!(idx.len(), 1);
+        assert!(matches!(trace.events[idx[0]].event, Event::Checkpoint));
+    }
+}

@@ -233,6 +233,23 @@ impl<E: ServeEngine> QueryEngine<E> {
         &self.engine
     }
 
+    /// Mutable access to the wrapped engine for maintenance that leaves its
+    /// *logical* state untouched — durable checkpoints, WAL rotation, compaction
+    /// tuning.  Applying edge batches here instead of through
+    /// [`Self::commit_arrivals`] / [`Self::commit_deletions`] would desync the
+    /// published mirror from the live store.
+    pub fn engine_mut(&mut self) -> &mut E {
+        &mut self.engine
+    }
+
+    /// Unwraps the serving layer and returns the engine — e.g. to drop it
+    /// (simulating a crash for the chaos harness) and reopen from its durable
+    /// store.  Readers holding the old handle keep the last published generation;
+    /// a new serving session starts from [`QueryEngine::new`].
+    pub fn into_engine(self) -> E {
+        self.engine
+    }
+
     /// Commits an arrival batch: applies it to the engine, advances the mirrors,
     /// publishes the next generation.
     pub fn commit_arrivals(&mut self, edges: &[Edge]) -> UpdateStats {

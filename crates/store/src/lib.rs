@@ -31,6 +31,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod arena;
+pub mod digest;
 pub mod index;
 pub mod metrics;
 pub mod postings;
@@ -42,6 +43,7 @@ pub mod view;
 pub mod walks;
 
 pub use arena::ArenaStats;
+pub use digest::StoreDigest;
 pub use index::{SegmentRewrites, WalkIndex, WalkIndexMut, WalkIndexView};
 pub use metrics::{ShardLoad, StoreMetrics, WorkCounter};
 pub use postings::VisitPostings;

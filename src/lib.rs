@@ -21,6 +21,10 @@
 //!   single-writer/many-readers `QueryEngine` publishing epoch-pinned generation views,
 //!   so personalized top-k, global-rank, and SALSA queries run lock-free on reader
 //!   threads while write batches commit.
+//! * [`scenario`] ([`ppr_scenario`]) — a deterministic workload simulator and chaos
+//!   harness: seeded scenario DSL (flash crowds, celebrity joins, spam waves, query
+//!   tides) compiled to event traces and replayed through any engine/store layout
+//!   with fault injection (torn WAL, torn snapshot pages, slow-disk stalls).
 //! * [`baselines`] ([`ppr_baselines`]) — power iteration, exact SALSA, HITS, COSINE and
 //!   naive incremental recomputation baselines.
 //! * [`analysis`] ([`ppr_analysis`]) — power-law fitting, CDFs, and ranking metrics used
@@ -60,6 +64,7 @@ pub use ppr_baselines as baselines;
 pub use ppr_core as core;
 pub use ppr_graph as graph;
 pub use ppr_persist as persist;
+pub use ppr_scenario as scenario;
 pub use ppr_serve as serve;
 pub use ppr_store as store;
 
@@ -79,6 +84,7 @@ pub mod prelude {
     pub use ppr_graph::generators::preferential_attachment;
     pub use ppr_graph::view::GraphView;
     pub use ppr_graph::{Edge, NodeId};
+    pub use ppr_scenario::{ChaosPlan, Scenario, ScenarioRunner, Trace};
     pub use ppr_serve::{QueryEngine, ReaderPool, ServeHandle};
     pub use ppr_store::index::{WalkIndex, WalkIndexMut, WalkIndexView};
     pub use ppr_store::sharded::ShardedWalkStore;

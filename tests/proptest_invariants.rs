@@ -12,7 +12,8 @@ use ppr_graph::{CsrGraph, Edge};
 use ppr_persist::layout::{PagedWalks, PersistentWalkStore};
 use ppr_persist::snapshot::{SnapshotFile, SnapshotWriter, SECTION_WALKS};
 use ppr_persist::TempDir;
-use ppr_store::{SegmentId, WalkIndexView};
+use ppr_scenario::{ChaosPlan, DurableChaos, Phase, PhaseKind, ScenarioRunner};
+use ppr_store::{SegmentId, StoreDigest, WalkIndexView};
 use proptest::prelude::*;
 
 /// Worker-thread count for sharded-engine properties: honours the CI matrix variable.
@@ -638,5 +639,131 @@ proptest! {
         // A cut exactly on a frame boundary is a clean shorter log; anything else
         // must be flagged as a torn tail (valid data ends before the file does).
         prop_assert_eq!(scan.torn_tail, scan.valid_len < keep as u64);
+    }
+}
+
+/// An arbitrary scenario phase kind, kept small enough to replay dozens of drawn
+/// scenarios per property run.
+fn arb_phase_kind() -> impl Strategy<Value = PhaseKind> {
+    prop_oneof![
+        3 => (2usize..8).prop_map(|batch| PhaseKind::Grow { batch }),
+        2 => (1usize..4, 0u64..3).prop_map(|(queries_per_step, b)| PhaseKind::FlashCrowd {
+            queries_per_step,
+            k: 3,
+            walk_length: 300,
+            fetch_budget: if b == 0 { None } else { Some(b * 8) },
+        }),
+        2 => (2usize..6).prop_map(|fans_per_step| PhaseKind::CelebrityJoin { fans_per_step }),
+        2 => (1usize..3, 2usize..4).prop_map(|(spammers, fanout)| PhaseKind::SpamWave {
+            spammers,
+            fanout,
+        }),
+        2 => (1usize..4, 1usize..3).prop_map(|(day_queries, night_queries)| {
+            PhaseKind::QueryTides {
+                day_queries,
+                night_queries,
+                k: 3,
+                walk_length: 300,
+            }
+        }),
+        1 => Just(PhaseKind::Checkpoint),
+    ]
+}
+
+/// A whole arbitrary scenario: drawn phases with a checkpoint spliced in (so chaos
+/// plans always have a fallback generation to aim at) and, whenever a spam wave was
+/// drawn, a mass-unfollow of the *last* spam wave appended — exercising the
+/// deletion-replay path against arbitrarily interleaved history.
+fn arb_scenario() -> impl Strategy<Value = ppr_scenario::Scenario> {
+    (
+        proptest::collection::vec((arb_phase_kind(), 1usize..4), 1..6),
+        0u64..1_000,
+        12usize..32,
+    )
+        .prop_map(|(drawn, seed, nodes)| {
+            let mut phases: Vec<Phase> = vec![Phase::new(PhaseKind::Grow { batch: 6 }, 2)];
+            phases.extend(
+                drawn
+                    .into_iter()
+                    .map(|(kind, steps)| Phase::new(kind, steps)),
+            );
+            phases.insert(1, Phase::new(PhaseKind::Checkpoint, 1));
+            if let Some(wave) = phases
+                .iter()
+                .rposition(|p| matches!(p.kind, PhaseKind::SpamWave { .. }))
+            {
+                phases.push(Phase::new(PhaseKind::MassUnfollow { of_phase: wave }, 2));
+            }
+            ppr_scenario::Scenario {
+                name: "arbitrary".into(),
+                seed,
+                nodes,
+                epsilon: 0.25,
+                r: 2,
+                phases,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The scenario engine's differential contract holds for *arbitrary* scenarios,
+    /// not just the curated corpus: compilation is pure, the flat and sharded
+    /// layouts replay to bit-identical answers and stores, and a durable replay
+    /// with a crash-and-recover injected at an arbitrary trace point still matches
+    /// the clean in-memory run exactly.
+    #[test]
+    fn arbitrary_scenarios_uphold_every_differential_oracle(
+        scenario in arb_scenario(),
+        crash_position in 0.0f64..1.0,
+    ) {
+        let trace = Trace::compile(&scenario);
+        prop_assert_eq!(&trace, &Trace::compile(&scenario), "compilation must be pure");
+        let config = scenario.engine_config();
+        let n = scenario.nodes;
+
+        // Clean in-memory flat reference.
+        let (flat, clean) = ScenarioRunner::new(1).replay(
+            &trace,
+            IncrementalPageRank::<WalkStore>::new_empty(n, config),
+        );
+        let ref_digest = StoreDigest::of(flat.walk_store());
+
+        // Sharded in-memory replay: answers and stores bit-identical.
+        let (sharded, sharded_out) = ScenarioRunner::new(proptest_threads()).replay(
+            &trace,
+            IncrementalPageRank::from_graph_sharded(
+                DynamicGraph::with_nodes(n),
+                config,
+                3,
+                proptest_threads(),
+            ),
+        );
+        prop_assert_eq!(&sharded_out.answers, &clean.answers, "sharded answers diverge");
+        assert_same_store(flat.walk_store(), sharded.walk_store());
+
+        // Durable flat replay with a crash at an arbitrary event index.
+        let crash_at = ((trace.events.len() - 1) as f64 * crash_position) as usize;
+        let plan = ChaosPlan::crash_at(crash_at);
+        let dir = TempDir::new("prop-scenario");
+        let root = dir.path().join("store");
+        let engine = IncrementalPageRank::<WalkStore>::create_durable(
+            &root,
+            DynamicGraph::with_nodes(n),
+            config,
+        )
+        .expect("create durable");
+        let mut chaos = DurableChaos::new(&root);
+        let (durable, durable_out) =
+            ScenarioRunner::new(proptest_threads()).replay_with(&trace, engine, &plan, &mut chaos);
+        prop_assert_eq!(chaos.crashes(), 1, "the crash must fire");
+        prop_assert_eq!(&durable_out.answers, &clean.answers, "post-crash answers diverge");
+        prop_assert_eq!(
+            StoreDigest::of(durable.walk_store()),
+            ref_digest,
+            "post-crash store diverges"
+        );
+        prop_assert_eq!(durable.scores(), flat.scores(), "post-crash scores diverge");
     }
 }
