@@ -15,9 +15,15 @@
 //! scenario's compiled trace (`Trace::write_batches`), so the kill lands inside
 //! a flash crowd's growth, a spam wave's mass-unfollow reversal, etc.
 //!
-//! Run with `cargo run --release --bin recover-smoke [-- --scenario <name>]`;
-//! exits non-zero on any divergence.  CI runs this after the test suites, once
-//! per corpus scenario it pins.
+//! Pass `--pipelined` to commit through the serving layer's pipelined,
+//! group-committing `QueryEngine` instead of the bare engine: the SIGKILL then
+//! lands with commits in flight on the commit thread and WAL appends covered
+//! only by coalesced syncs — and recovery must still land on the exact prefix of
+//! batches whose records survive in the log.
+//!
+//! Run with `cargo run --release --bin recover-smoke [-- --scenario <name>]
+//! [--pipelined]`; exits non-zero on any divergence.  CI runs this after the
+//! test suites, once per corpus scenario it pins, plus a pipelined pass.
 
 use ppr_core::{IncrementalPageRank, MonteCarloConfig};
 use ppr_graph::generators::{preferential_attachment_edges, PreferentialAttachmentConfig};
@@ -106,8 +112,19 @@ fn apply(engine: &mut IncrementalPageRank, op: &(WalOp, Vec<Edge>)) {
     }
 }
 
+fn commit(serving: &mut ppr_serve::QueryEngine<IncrementalPageRank>, op: &(WalOp, Vec<Edge>)) {
+    match op.0 {
+        WalOp::Arrivals => {
+            serving.commit_arrivals(&op.1);
+        }
+        WalOp::Deletions => {
+            serving.commit_deletions(&op.1);
+        }
+    }
+}
+
 /// Child: build, checkpoint, then log batches until killed.
-fn run_child(work: &Workload) -> ! {
+fn run_child(work: &Workload, pipelined: bool) -> ! {
     let root = std::env::var(DIR_ENV).expect("child needs the store dir");
     let mut engine = IncrementalPageRank::create_durable(
         &root,
@@ -115,6 +132,22 @@ fn run_child(work: &Workload) -> ! {
         work.config,
     )
     .expect("create_durable");
+    if pipelined {
+        // Commit through the pipelined, group-committing serving path: the SIGKILL
+        // lands with commits possibly in flight on the commit thread and WAL
+        // appends covered only by coalesced syncs.
+        let mut serving = ppr_serve::QueryEngine::new(engine, 1).with_pipeline(4);
+        for op in &work.ops[..work.checkpoint_after] {
+            commit(&mut serving, op);
+        }
+        serving.engine_mut().checkpoint().expect("checkpoint");
+        for op in &work.ops[work.checkpoint_after..] {
+            commit(&mut serving, op);
+        }
+        loop {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
     for op in &work.ops[..work.checkpoint_after] {
         apply(&mut engine, op);
     }
@@ -129,12 +162,15 @@ fn run_child(work: &Workload) -> ! {
     }
 }
 
-fn run_parent(work: &Workload, scenario: Option<&str>) {
+fn run_parent(work: &Workload, scenario: Option<&str>, pipelined: bool) {
     let tmp = TempDir::new("recover-smoke");
     let root = tmp.path().join("store");
     let exe = std::env::current_exe().expect("own path");
     let mut cmd = Command::new(exe);
     cmd.arg("--child");
+    if pipelined {
+        cmd.arg("--pipelined");
+    }
     if let Some(name) = scenario {
         cmd.args(["--scenario", name]);
     }
@@ -171,9 +207,15 @@ fn run_parent(work: &Workload, scenario: Option<&str>) {
     let scan = read_records(&wal_path).expect("scan crashed WAL");
     let survivors = scan.records.len();
     println!(
-        "[recover-smoke] workload {}: child killed; {survivors} batches in the WAL \
+        "[recover-smoke] workload {}{}: child killed; {survivors} batches in the WAL \
          (torn tail: {})",
-        work.name, scan.torn_tail
+        work.name,
+        if pipelined {
+            " (pipelined, group-commit)"
+        } else {
+            ""
+        },
+        scan.torn_tail
     );
     assert!(
         survivors > 0,
@@ -241,9 +283,10 @@ fn main() {
             })
             .as_str()
     });
+    let pipelined = args.iter().any(|a| a == "--pipelined");
     let work = workload(scenario);
     if args.iter().any(|a| a == "--child") {
-        run_child(&work);
+        run_child(&work, pipelined);
     }
-    run_parent(&work, scenario);
+    run_parent(&work, scenario, pipelined);
 }

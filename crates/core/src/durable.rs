@@ -55,7 +55,7 @@ use ppr_persist::lock::StoreLock;
 use ppr_persist::snapshot::{
     SnapshotFile, SnapshotWriter, SECTION_GRAPH, SECTION_META, SECTION_WALKS,
 };
-use ppr_persist::wal::{self, WalRecord, WalWriter};
+use ppr_persist::wal::{self, GroupCommit, WalRecord, WalWriter};
 use ppr_persist::{DiskWalkStore, PagedWalks, WalOp};
 use ppr_store::{ShardedWalkStore, SocialStore, WalkIndexMut, WalkStore, WorkCounter};
 use rand::rngs::SmallRng;
@@ -100,6 +100,9 @@ pub struct DurableLog {
     last_good: u64,
     writer: WalWriter,
     options: DurabilityOptions,
+    /// The active WAL group-commit handle, if the serving layer switched the log
+    /// into pipelined durability.  Carried (and rebound) across WAL rotations.
+    group: Option<GroupCommit>,
 }
 
 impl DurableLog {
@@ -113,6 +116,35 @@ impl DurableLog {
         self.writer
             .append(seq, op, edges)
             .expect("WAL append failed; cannot continue without breaking durability");
+    }
+
+    /// Switches the WAL into group-commit mode and returns the handle driving its
+    /// coalesced syncs (see [`ppr_persist::GroupCommit`]).  Returns `None` when the
+    /// log was opened with `fsync_wal: false` — there are no syncs to coalesce, and
+    /// appends stay exactly as cheap as they already were.  Idempotent: a second
+    /// call returns a clone of the active handle.
+    pub fn begin_group_commit(&mut self) -> Option<GroupCommit> {
+        if !self.options.fsync_wal {
+            return None;
+        }
+        if let Some(group) = &self.group {
+            return Some(group.clone());
+        }
+        let group = self
+            .writer
+            .begin_group_commit()
+            .expect("duplicating the WAL handle for group commit failed");
+        self.group = Some(group.clone());
+        Some(group)
+    }
+
+    /// Leaves group-commit mode: one final coalesced sync covers every outstanding
+    /// append, then appends go back to fsyncing individually.
+    pub fn end_group_commit(&mut self) {
+        self.group = None;
+        self.writer
+            .end_group_commit()
+            .expect("final group-commit sync failed; cannot break durability silently");
     }
 
     /// The active generation number.
@@ -397,6 +429,14 @@ fn run_checkpoint<W: PersistentWalkStore>(
     match attempt {
         Ok(mut writer) => {
             writer.set_fsync(log.options.fsync_wal);
+            // An active group-commit handle survives rotation: rebind it onto the
+            // fresh WAL so the committer thread's syncs land on the right file, and
+            // the superseded appends are credited durable (the snapshot holds them).
+            if let Some(group) = &log.group {
+                writer
+                    .adopt_group(group)
+                    .expect("rebinding group commit to the rotated WAL failed");
+            }
             // Keep everything from the last known-good snapshot up: normally that is
             // the generation just superseded, but after a fallback recovery it is
             // the older base — the known-corrupt snapshot in between must never
@@ -412,6 +452,7 @@ fn run_checkpoint<W: PersistentWalkStore>(
                     last_good: new_gen,
                     writer,
                     options: log.options,
+                    group: log.group,
                 },
                 Ok(new_gen),
             )
@@ -449,6 +490,7 @@ fn attach_fresh<W: PersistentWalkStore>(
         last_good: 0,
         writer,
         options,
+        group: None,
     })
 }
 
@@ -522,6 +564,7 @@ impl<W: WalkIndexMut + PersistentWalkStore + Sync> IncrementalPageRank<W> {
             last_good: recovered.snap_gen,
             writer,
             options,
+            group: None,
         });
         Ok(engine)
     }
@@ -562,6 +605,23 @@ impl<W: WalkIndexMut + PersistentWalkStore + Sync> IncrementalPageRank<W> {
         let log = attach_fresh(root, options, &meta, &self.store, &mut self.walks)?;
         self.durability = Some(log);
         Ok(self)
+    }
+}
+
+impl<W: WalkIndexMut + Sync> IncrementalPageRank<W> {
+    /// Switches the attached WAL (if any, and if fsyncing) into group-commit mode;
+    /// see [`DurableLog::begin_group_commit`].
+    pub fn wal_group_commit(&mut self) -> Option<GroupCommit> {
+        self.durability
+            .as_mut()
+            .and_then(DurableLog::begin_group_commit)
+    }
+
+    /// Leaves WAL group-commit mode with one final covering sync.
+    pub fn wal_end_group_commit(&mut self) {
+        if let Some(log) = self.durability.as_mut() {
+            log.end_group_commit();
+        }
     }
 }
 
@@ -682,6 +742,7 @@ impl<W: WalkIndexMut + PersistentWalkStore + Sync> IncrementalSalsa<W> {
             last_good: recovered.snap_gen,
             writer,
             options,
+            group: None,
         });
         Ok(engine)
     }
@@ -715,6 +776,23 @@ impl<W: WalkIndexMut + PersistentWalkStore + Sync> IncrementalSalsa<W> {
         let log = attach_fresh(root, options, &meta, &self.store, &mut self.walks)?;
         self.durability = Some(log);
         Ok(self)
+    }
+}
+
+impl<W: WalkIndexMut + Sync> IncrementalSalsa<W> {
+    /// Switches the attached WAL (if any, and if fsyncing) into group-commit mode;
+    /// see [`DurableLog::begin_group_commit`].
+    pub fn wal_group_commit(&mut self) -> Option<GroupCommit> {
+        self.durability
+            .as_mut()
+            .and_then(DurableLog::begin_group_commit)
+    }
+
+    /// Leaves WAL group-commit mode with one final covering sync.
+    pub fn wal_end_group_commit(&mut self) {
+        if let Some(log) = self.durability.as_mut() {
+            log.end_group_commit();
+        }
     }
 }
 

@@ -38,5 +38,6 @@ pub use durable::{DurabilityOptions, DurablePageRank, PersistError, PersistResul
 pub use estimator::PageRankEstimates;
 pub use incremental::{IncrementalPageRank, UpdateStats};
 pub use personalized::{PersonalizedWalkResult, PersonalizedWalker};
+pub use ppr_persist::GroupCommit;
 pub use query::{query_rng, query_stream_seed};
 pub use salsa::{IncrementalSalsa, SalsaEstimates};

@@ -55,4 +55,4 @@ pub use pager::PagerStats;
 pub use shim::{IoOp, IoShim, ShimGuard, SlowDisk};
 pub use snapshot::{SnapshotFile, SnapshotWriter};
 pub use tempdir::TempDir;
-pub use wal::{WalOp, WalRecord, WalWriter};
+pub use wal::{GroupCommit, WalOp, WalRecord, WalWriter};

@@ -34,6 +34,8 @@ use ppr_graph::{Edge, NodeId};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 const MAGIC: &[u8; 8] = b"PPRWAL01";
 const VERSION: u32 = 1;
@@ -180,12 +182,109 @@ pub fn read_records(path: &Path) -> PersistResult<WalScan> {
     })
 }
 
+/// The state a [`GroupCommit`] handle shares with the [`WalWriter`] it was begun on:
+/// a duplicated file handle (so a committer thread can `fdatasync` while the writer
+/// keeps appending), the cumulative append count, and the durability watermark.
+#[derive(Debug)]
+struct GroupShared {
+    /// A `try_clone`d handle onto the live WAL file.  `fdatasync` on a duplicate
+    /// descriptor flushes the same kernel file object the writer appends through, so
+    /// one sync covers every append that completed before it.  Rebound under the lock
+    /// when a checkpoint rotates the log.
+    file: Mutex<File>,
+    /// Records appended through the owning writer since group commit began
+    /// (monotone; carried across WAL rotations).
+    appended: AtomicU64,
+    /// Watermark: every append numbered `<= durable` has been covered by a sync.
+    durable: AtomicU64,
+    /// `fdatasync` calls actually issued.
+    fsyncs: AtomicU64,
+    /// Appends covered by those syncs (`synced - fsyncs × 1` is the coalescing win).
+    synced: AtomicU64,
+}
+
+/// A group-commit handle onto a live WAL: appends through the owning [`WalWriter`]
+/// stop fsyncing individually, and callers instead ask [`GroupCommit::sync_upto`] to
+/// make a given append watermark durable — one `fdatasync` covers **every** append
+/// that landed before it, so pipelined commits coalesce their syncs for free.
+///
+/// Durability semantics: a crash can lose only appends past the highest watermark a
+/// `sync_upto` call has returned for, and recovery truncates the torn tail to the
+/// last fully-framed record exactly as before — the loss window widens from
+/// at-most-one batch to at-most-the-unsynced window, which is the contract the
+/// pipelined serving layer advertises.
+#[derive(Debug, Clone)]
+pub struct GroupCommit {
+    shared: Arc<GroupShared>,
+}
+
+impl GroupCommit {
+    /// Records appended through the owning writer since group commit began.
+    pub fn appended(&self) -> u64 {
+        self.shared.appended.load(Ordering::Acquire)
+    }
+
+    /// The durability watermark: appends numbered `<= durable()` survive a crash.
+    pub fn durable(&self) -> u64 {
+        self.shared.durable.load(Ordering::Acquire)
+    }
+
+    /// `fdatasync` calls issued through this group (coalescing makes this smaller
+    /// than the number of `sync_upto` requests).
+    pub fn fsyncs(&self) -> u64 {
+        self.shared.fsyncs.load(Ordering::Relaxed)
+    }
+
+    /// Appends covered by the issued syncs.
+    pub fn synced(&self) -> u64 {
+        self.shared.synced.load(Ordering::Relaxed)
+    }
+
+    /// Makes every append numbered `<= target` durable.  Returns without touching
+    /// the disk when an earlier sync already covered `target`; otherwise issues one
+    /// `fdatasync` that covers everything appended so far (conservatively watermarked
+    /// at the append count loaded *before* the sync — appends racing the sync are
+    /// not credited, the next sync re-covers them).
+    pub fn sync_upto(&self, target: u64) -> PersistResult<()> {
+        if self.durable() >= target {
+            return Ok(());
+        }
+        let file = self.shared.file.lock().expect("group-commit file poisoned");
+        // Re-check under the lock: the sync we queued behind may have covered us.
+        if self.durable() >= target {
+            return Ok(());
+        }
+        let mark = self.shared.appended.load(Ordering::Acquire);
+        crate::shim::notify(crate::shim::IoOp::WalSync, 0);
+        file.sync_data()?;
+        self.shared.fsyncs.fetch_add(1, Ordering::Relaxed);
+        let prev = self.shared.durable.fetch_max(mark, Ordering::AcqRel);
+        self.shared
+            .synced
+            .fetch_add(mark.saturating_sub(prev), Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Rebinds the group onto `file` (a fresh WAL after rotation) and credits every
+    /// prior append as durable — the checkpoint that rotated the log made them
+    /// obsolete.  Called with the writer quiesced (no in-flight appends).
+    fn rebind(&self, file: File) {
+        let mut slot = self.shared.file.lock().expect("group-commit file poisoned");
+        let mark = self.shared.appended.load(Ordering::Acquire);
+        self.shared.durable.fetch_max(mark, Ordering::AcqRel);
+        *slot = file;
+    }
+}
+
 /// Appends CRC-framed records to a WAL file, fsyncing each batch by default.
 #[derive(Debug)]
 pub struct WalWriter {
     file: File,
     fsync: bool,
     appended: u64,
+    /// When set, appends skip their individual fsync and bump the group's append
+    /// counter instead; durability is driven through [`GroupCommit::sync_upto`].
+    group: Option<Arc<GroupShared>>,
 }
 
 impl WalWriter {
@@ -203,6 +302,7 @@ impl WalWriter {
             file,
             fsync: true,
             appended: 0,
+            group: None,
         })
     }
 
@@ -225,6 +325,7 @@ impl WalWriter {
                 file,
                 fsync: true,
                 appended: 0,
+                group: None,
             },
         ))
     }
@@ -247,7 +348,11 @@ impl WalWriter {
         frame.extend_from_slice(&body);
         crate::shim::notify(crate::shim::IoOp::WalAppend, frame.len());
         self.file.write_all(&frame)?;
-        if self.fsync {
+        if let Some(group) = &self.group {
+            // Group commit: publish the append for a later coalesced sync instead of
+            // paying an fsync here.
+            group.appended.fetch_add(1, Ordering::AcqRel);
+        } else if self.fsync {
             crate::shim::notify(crate::shim::IoOp::WalSync, 0);
             self.file.sync_data()?;
         }
@@ -258,6 +363,44 @@ impl WalWriter {
     /// Number of records appended through this writer.
     pub fn appended(&self) -> u64 {
         self.appended
+    }
+
+    /// Switches the writer into group-commit mode: appends stop fsyncing
+    /// individually, and the returned (cloneable) [`GroupCommit`] handle drives
+    /// durability through [`GroupCommit::sync_upto`] — typically from a pipelined
+    /// committer thread, while this writer keeps appending.
+    pub fn begin_group_commit(&mut self) -> PersistResult<GroupCommit> {
+        let shared = Arc::new(GroupShared {
+            file: Mutex::new(self.file.try_clone()?),
+            appended: AtomicU64::new(0),
+            durable: AtomicU64::new(0),
+            fsyncs: AtomicU64::new(0),
+            synced: AtomicU64::new(0),
+        });
+        self.group = Some(Arc::clone(&shared));
+        Ok(GroupCommit { shared })
+    }
+
+    /// Rebinds an existing group-commit handle onto this (freshly rotated) writer:
+    /// appends continue the group's cumulative numbering, and every pre-rotation
+    /// append is credited as durable (the checkpoint superseded them).
+    pub fn adopt_group(&mut self, group: &GroupCommit) -> PersistResult<()> {
+        group.rebind(self.file.try_clone()?);
+        self.group = Some(Arc::clone(&group.shared));
+        Ok(())
+    }
+
+    /// Leaves group-commit mode: issues one final sync covering every outstanding
+    /// append (when per-append fsync is configured), then restores the writer's
+    /// individual-fsync behaviour.
+    pub fn end_group_commit(&mut self) -> PersistResult<()> {
+        if let Some(group) = self.group.take() {
+            let outstanding = group.appended.load(Ordering::Acquire);
+            if self.fsync && group.durable.load(Ordering::Acquire) < outstanding {
+                GroupCommit { shared: group }.sync_upto(outstanding)?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -357,6 +500,95 @@ mod tests {
         assert!(read_records(&path).is_err());
         std::fs::write(&path, b"short").unwrap();
         assert!(read_records(&path).is_err());
+    }
+
+    #[test]
+    fn group_commit_coalesces_syncs_under_one_watermark() {
+        let dir = TempDir::new("wal-group");
+        let path = dir.path().join("wal.log");
+        let mut writer = WalWriter::create(&path).unwrap();
+        let group = writer.begin_group_commit().unwrap();
+
+        for seq in 0..5 {
+            writer
+                .append(
+                    seq,
+                    WalOp::Arrivals,
+                    &edges(&[(seq as u32, seq as u32 + 1)]),
+                )
+                .unwrap();
+        }
+        assert_eq!(group.appended(), 5);
+        assert_eq!(group.durable(), 0, "nothing synced yet");
+        assert_eq!(group.fsyncs(), 0);
+
+        // One sync covers all five appends…
+        group.sync_upto(5).unwrap();
+        assert_eq!(group.fsyncs(), 1);
+        assert_eq!(group.durable(), 5);
+        assert_eq!(group.synced(), 5);
+        // …and watermarks at or below it are free.
+        group.sync_upto(3).unwrap();
+        group.sync_upto(5).unwrap();
+        assert_eq!(group.fsyncs(), 1, "covered watermarks re-sync nothing");
+
+        // A sync requested mid-window covers the appends racing ahead of it too.
+        writer.append(5, WalOp::Arrivals, &[]).unwrap();
+        writer.append(6, WalOp::Deletions, &[]).unwrap();
+        group.sync_upto(6).unwrap();
+        assert_eq!(group.fsyncs(), 2);
+        assert_eq!(group.durable(), 7, "the sync credited the append beyond it");
+
+        writer.end_group_commit().unwrap();
+        let scan = read_records(&path).unwrap();
+        assert_eq!(scan.records.len(), 7);
+        assert!(!scan.torn_tail);
+    }
+
+    #[test]
+    fn group_rebind_carries_the_watermark_across_rotation() {
+        let dir = TempDir::new("wal-group-rotate");
+        let old_path = dir.path().join("wal-1.log");
+        let new_path = dir.path().join("wal-2.log");
+        let mut writer = WalWriter::create(&old_path).unwrap();
+        let group = writer.begin_group_commit().unwrap();
+        writer
+            .append(0, WalOp::Arrivals, &edges(&[(1, 2)]))
+            .unwrap();
+        assert_eq!(group.durable(), 0);
+
+        // Rotation: a fresh writer adopts the group; the superseded appends are
+        // credited durable and new appends keep the cumulative numbering.
+        let mut rotated = WalWriter::create(&new_path).unwrap();
+        rotated.adopt_group(&group).unwrap();
+        assert_eq!(group.durable(), 1, "pre-rotation appends credited");
+        rotated
+            .append(1, WalOp::Arrivals, &edges(&[(3, 4)]))
+            .unwrap();
+        assert_eq!(group.appended(), 2);
+        group.sync_upto(2).unwrap();
+        assert_eq!(group.durable(), 2);
+        assert_eq!(read_records(&new_path).unwrap().records.len(), 1);
+    }
+
+    #[test]
+    fn ending_group_commit_restores_per_append_fsync() {
+        let dir = TempDir::new("wal-group-end");
+        let path = dir.path().join("wal.log");
+        let mut writer = WalWriter::create(&path).unwrap();
+        let group = writer.begin_group_commit().unwrap();
+        writer
+            .append(0, WalOp::Arrivals, &edges(&[(1, 2)]))
+            .unwrap();
+        writer.end_group_commit().unwrap();
+        assert_eq!(group.durable(), 1, "the final sync covered the tail");
+        // Appends after the group ends are individually fsynced again and no longer
+        // counted against the group.
+        writer
+            .append(1, WalOp::Arrivals, &edges(&[(3, 4)]))
+            .unwrap();
+        assert_eq!(group.appended(), 1);
+        assert_eq!(read_records(&path).unwrap().records.len(), 2);
     }
 
     #[test]

@@ -92,6 +92,8 @@ pub struct ScenarioRunner {
     pub query_seed: u64,
     /// Reader threads serving each query batch.
     pub readers: usize,
+    /// Commit-pipeline in-flight window (0 = inline commits).
+    pub pipeline: usize,
 }
 
 impl ScenarioRunner {
@@ -101,12 +103,22 @@ impl ScenarioRunner {
         ScenarioRunner {
             query_seed: 0,
             readers,
+            pipeline: 0,
         }
     }
 
     /// Overrides the query-stream seed (defaults to the scenario seed).
     pub fn with_query_seed(mut self, query_seed: u64) -> Self {
         self.query_seed = query_seed;
+        self
+    }
+
+    /// Runs commits through a pipelined committer with the given in-flight
+    /// `window` (0 keeps the inline default).  The runner flushes the pipeline
+    /// before every query batch, so answers stay bit-identical to an inline
+    /// replay — which is exactly the property the differential harnesses check.
+    pub fn with_pipeline(mut self, window: usize) -> Self {
+        self.pipeline = window;
         self
     }
 
@@ -131,6 +143,9 @@ impl ScenarioRunner {
             trace.scenario.seed
         };
         let mut serving = QueryEngine::new(engine, query_seed);
+        if self.pipeline > 0 {
+            serving = serving.with_pipeline(self.pipeline);
+        }
         let pool = ReaderPool::new(self.readers.max(1));
         let mut outcome = RunOutcome::default();
         for (index, event) in trace.events.iter().enumerate() {
@@ -149,6 +164,10 @@ impl ScenarioRunner {
                 }
                 Event::Queries(jobs) => {
                     if !jobs.is_empty() {
+                        // Queries must see every commit issued so far (pipelined
+                        // commits may still be in flight) — this is what keeps a
+                        // pipelined replay's answers bit-identical to inline.
+                        serving.flush_commits();
                         // Re-acquire the handle each batch: a crash hook may have
                         // replaced the whole serving session since the last one.
                         let handle = serving.handle();

@@ -4,7 +4,7 @@
 //! it explores, and Figure 6 shows the fetch sets of different queries overlap
 //! heavily (hubs are fetched by almost everyone).  Within one generation the fetched
 //! adjacency is immutable, so queries pinned to the same generation can share it:
-//! the first fetch of a node materialises its out-adjacency as an `Arc<[NodeId]>`,
+//! the first fetch of a node materialises its out-adjacency as an `Arc<Vec<NodeId>>`,
 //! every later fetch — from any reader thread — clones the `Arc`.
 //!
 //! Invalidation is by construction rather than by bookkeeping: the cache lives
@@ -35,7 +35,7 @@ pub struct FetchCacheStats {
 /// pinned to that generation.
 #[derive(Debug, Default)]
 pub struct FetchCache {
-    map: RwLock<HashMap<NodeId, Arc<[NodeId]>>>,
+    map: RwLock<HashMap<NodeId, Arc<Vec<NodeId>>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -51,7 +51,11 @@ impl FetchCache {
     /// serialise; `fill` runs outside any lock (within one generation every fill of
     /// a node produces the identical immutable value, so a racing fill is wasted
     /// work, never a wrong answer — the first insert wins and all callers share it).
-    pub fn get_or_fill(&self, node: NodeId, fill: impl FnOnce() -> Arc<[NodeId]>) -> Arc<[NodeId]> {
+    pub fn get_or_fill(
+        &self,
+        node: NodeId,
+        fill: impl FnOnce() -> Arc<Vec<NodeId>>,
+    ) -> Arc<Vec<NodeId>> {
         if let Some(adj) = self.map.read().expect("fetch cache poisoned").get(&node) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(adj);
@@ -78,7 +82,7 @@ mod tests {
     #[test]
     fn first_fetch_fills_later_fetches_hit() {
         let cache = FetchCache::new();
-        let adj: Arc<[NodeId]> = Arc::from(vec![NodeId(1), NodeId(2)].as_slice());
+        let adj = Arc::new(vec![NodeId(1), NodeId(2)]);
         let a = cache.get_or_fill(NodeId(0), || Arc::clone(&adj));
         let b = cache.get_or_fill(NodeId(0), || panic!("must not refill"));
         assert_eq!(a, b);

@@ -35,7 +35,9 @@ pub mod generation;
 pub mod pool;
 
 pub use cache::{FetchCache, FetchCacheStats};
-pub use engine::{QueryEngine, ServeEngine, ServeHandle, WriteOp};
+pub use engine::{
+    CommitStats, MirrorOp, OpsRecorder, QueryEngine, ServeEngine, ServeHandle, WriteOp,
+};
 pub use generation::{Answer, EngineKind, Generation, PinnedView, Query, Served};
 pub use pool::ReaderPool;
 
@@ -258,6 +260,90 @@ mod tests {
         let engine = IncrementalPageRank::new_empty(10, MonteCarloConfig::new(0.2, 2).with_seed(1));
         let serving = QueryEngine::new(engine, 0);
         let _ = serving.handle().serve(0, &Query::HubAuthorityTopK { k: 3 });
+    }
+
+    #[test]
+    fn pipelined_commits_publish_the_same_generations_as_inline() {
+        // Same stream, same seeds: a window-3 pipeline must publish, after a flush,
+        // exactly the generation the inline committer publishes — epoch, walks,
+        // graph, the lot.
+        let stream = edges(110, 941);
+        let config = MonteCarloConfig::new(0.2, 3).with_seed(943);
+        let mut inline = QueryEngine::new(IncrementalPageRank::new_empty(110, config), 11);
+        let mut piped =
+            QueryEngine::new(IncrementalPageRank::new_empty(110, config), 11).with_pipeline(3);
+        for (i, chunk) in stream.chunks(30).enumerate() {
+            inline.commit_arrivals(chunk);
+            piped.commit_arrivals(chunk);
+            if i % 3 == 1 {
+                let victims: Vec<Edge> = chunk.iter().copied().step_by(7).collect();
+                inline.commit_deletions(&victims);
+                piped.commit_deletions(&victims);
+            }
+        }
+        piped.flush_commits();
+        let a = inline.pin();
+        let b = piped.pin();
+        assert_eq!(a.epoch(), b.epoch(), "same number of commits published");
+        assert_walks_equal(b.walks(), inline.engine().walk_store(), "piped final");
+        for node in inline.engine().graph().nodes() {
+            assert_eq!(
+                b.graph().out_neighbors(node),
+                a.graph().out_neighbors(node),
+                "out-adjacency of {node}"
+            );
+            assert_eq!(
+                b.graph().in_neighbors(node),
+                a.graph().in_neighbors(node),
+                "in-adjacency of {node}"
+            );
+        }
+        let stats = piped.commit_stats();
+        assert_eq!(stats.pipelined_commits, stats.commits);
+        assert!(stats.commits > 0);
+        assert_eq!(piped.pipeline_window(), 3);
+        assert_eq!(inline.pipeline_window(), 0);
+        // Tearing the serving layer down returns the engine intact.
+        let engine = piped.into_engine();
+        assert_walks_equal(a.walks(), engine.walk_store(), "returned engine");
+    }
+
+    #[test]
+    fn a_one_edge_commit_copies_o1_leaf_chunks() {
+        // The two-level spine regression guard: on a store hundreds of chunks wide,
+        // publishing a 1-edge batch re-copies only the chunks the batch touched
+        // (plus the spine blocks above them), never a constant fraction of the
+        // store.
+        let stream = edges(4_096, 947);
+        let config = MonteCarloConfig::new(0.2, 3).with_seed(949);
+        let mut engine = IncrementalPageRank::new_empty(4_096, config);
+        engine.apply_arrivals(&stream);
+        let total_chunks = engine.walk_store().node_count() * config.r / 32;
+        assert!(total_chunks >= 256, "store too small to prove anything");
+
+        let mut serving = QueryEngine::new(engine, 13);
+        let one = [Edge::new(4_000, 17)];
+        let update = serving.commit_arrivals(&one);
+        let stats = serving.commit_stats();
+        let leaf_copies = stats.walk_chunks_copied + stats.count_chunks_copied;
+        // Each rewritten segment lives in one walk chunk and credits visit counts
+        // along one path; the copy bill must track the rewrite count, not the store.
+        assert!(
+            leaf_copies <= 4 * update.segments_updated + 8,
+            "a 1-edge batch copied {leaf_copies} leaf chunks for \
+             {} rewritten segments (store has {total_chunks} walk chunks)",
+            update.segments_updated
+        );
+        assert!(
+            (leaf_copies as usize) < total_chunks / 4,
+            "copy bill {leaf_copies} is not O(touched) against {total_chunks} chunks"
+        );
+        assert!(
+            stats.spine_blocks_copied <= leaf_copies + stats.graph_chunks_copied + 6,
+            "spine overhead {} exceeds one block per touched chunk family",
+            stats.spine_blocks_copied
+        );
+        assert!(stats.graph_chunks_copied <= 2, "one edge touches two nodes");
     }
 
     #[test]

@@ -144,12 +144,30 @@ pub trait WalkIndex: WalkIndexView {
 /// path.  Built by the engines' batched reroute path and consumed by
 /// [`WalkIndexMut::apply_rewrites`]; the flat layout (one id vector, one bounds vector,
 /// one step buffer) keeps plan construction allocation-free in steady state.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct SegmentRewrites {
     ids: Vec<SegmentId>,
     /// `bounds[k]..bounds[k + 1]` is entry `k`'s slice of `steps`.
     bounds: Vec<usize>,
     steps: Vec<NodeId>,
+}
+
+impl Clone for SegmentRewrites {
+    fn clone(&self) -> Self {
+        SegmentRewrites {
+            ids: self.ids.clone(),
+            bounds: self.bounds.clone(),
+            steps: self.steps.clone(),
+        }
+    }
+
+    /// Buffer-reusing clone: recording a plan into a recycled one is
+    /// allocation-free once the target's buffers have grown to steady-state size.
+    fn clone_from(&mut self, source: &Self) {
+        self.ids.clone_from(&source.ids);
+        self.bounds.clone_from(&source.bounds);
+        self.steps.clone_from(&source.steps);
+    }
 }
 
 impl Default for SegmentRewrites {

@@ -50,5 +50,5 @@ pub use postings::VisitPostings;
 pub use segment::SegmentId;
 pub use sharded::ShardedWalkStore;
 pub use social::SocialStore;
-pub use view::{AdjacencyFetch, FrozenGraph, FrozenWalks};
+pub use view::{AdjacencyFetch, FrozenGraph, FrozenWalks, SpineCopyStats, TouchedChunks};
 pub use walks::WalkStore;

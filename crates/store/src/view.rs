@@ -5,12 +5,13 @@
 //! while a batch applies.  This module provides the immutable counterpart:
 //!
 //! * [`FrozenWalks`] — a frozen PageRank Store generation implementing the full
-//!   [`WalkIndexView`] query surface.  Storage is **chunked copy-on-write**: segment
-//!   paths live in fixed-size chunks behind `Arc`s, so cloning a generation is one
-//!   spine copy (a few hundred pointers), and advancing it by a batch
-//!   ([`FrozenWalks::apply_rewrites`]) clones only the chunks the batch touched while
-//!   every untouched chunk stays shared with the published generations readers still
-//!   pin.
+//!   [`WalkIndexView`] query surface.  Storage is **chunked copy-on-write** behind a
+//!   two-level spine (`Arc` root → `Arc` blocks of `B` chunk
+//!   pointers → `Arc` leaf chunks), so cloning a generation is O(1) — one root
+//!   refcount bump — and advancing it by a batch ([`FrozenWalks::apply_rewrites`])
+//!   re-copies only the leaf chunks the batch touched, the spine blocks pointing at
+//!   them, and the root: O(touched + √chunks) pointer traffic, while every untouched
+//!   chunk stays shared with the published generations readers still pin.
 //! * [`FrozenGraph`] — the matching frozen Social-Store adjacency (out- and
 //!   in-neighbours, chunked the same way), implementing [`ppr_graph::GraphView`], so
 //!   walks and SALSA queries run against it unchanged.
@@ -30,7 +31,7 @@
 use crate::index::WalkIndexView;
 use crate::segment::SegmentId;
 use crate::SegmentRewrites;
-use ppr_graph::{GraphView, NodeId};
+use ppr_graph::{Edge, GraphView, NodeId};
 use std::sync::Arc;
 
 /// Segments per copy-on-write walk chunk.  Small enough that a batch rewriting a few
@@ -39,19 +40,187 @@ use std::sync::Arc;
 /// relative to the data.
 pub const SEGMENTS_PER_CHUNK: usize = 32;
 
-/// Nodes per copy-on-write visit-count chunk.
-pub const COUNTS_PER_CHUNK: usize = 512;
+/// Nodes per copy-on-write visit-count chunk.  A chunk is a flat `u64` array, so its
+/// copy is one memcpy; 128 keeps that at 1 KiB while visit locality (hubs draw most
+/// rewritten steps) keeps the number of copied chunks per batch small.
+pub const COUNTS_PER_CHUNK: usize = 128;
 
-/// Nodes per copy-on-write adjacency chunk.
-pub const NODES_PER_GRAPH_CHUNK: usize = 64;
+/// Nodes per copy-on-write adjacency chunk.  Adjacency chunks are flat CSR arenas
+/// (see `AdjChunk`), so copying one is a memcpy of the member nodes' lists — small
+/// chunks keep the bill per touched endpoint down to a few hundred bytes.
+pub const NODES_PER_GRAPH_CHUNK: usize = 16;
+
+/// Leaf chunks per walk-spine block (see `Spine`); `B ≈ √C` for a few-thousand-node
+/// store's segment chunk count `C`.
+pub const WALK_BLOCK: usize = 32;
+
+/// Leaf chunks per visit-count-spine block.
+pub const COUNT_BLOCK: usize = 16;
+
+/// Leaf chunks per adjacency-spine block.
+pub const GRAPH_BLOCK: usize = 16;
+
+/// Copy-on-write work one `Spine` performed since its counters were last drained:
+/// how many leaf chunks and spine blocks `Arc::make_mut` actually re-copied because a
+/// published generation still shared them.  The serving layer aggregates these into
+/// its per-commit `CommitStats`; the regression contract is that a small batch copies
+/// O(batch) leaves and O(1) blocks, never O(store).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpineCopyStats {
+    /// Leaf chunks re-copied because a pinned generation still shared them.
+    pub chunks_copied: u64,
+    /// Spine blocks (pointer arrays of `B` chunk `Arc`s) re-copied.
+    pub blocks_copied: u64,
+}
+
+impl SpineCopyStats {
+    /// Component-wise sum.
+    pub fn merge(self, other: SpineCopyStats) -> SpineCopyStats {
+        SpineCopyStats {
+            chunks_copied: self.chunks_copied + other.chunks_copied,
+            blocks_copied: self.blocks_copied + other.blocks_copied,
+        }
+    }
+}
+
+/// The two-level copy-on-write chunk spine: an `Arc` root of `Arc` blocks of `Arc`
+/// leaf chunks.
+///
+/// Cloning a spine bumps exactly one refcount (the root).  Mutating leaf `i` after a
+/// clone re-copies, at most, the root pointer array, the one block holding `i`, and
+/// leaf `i` itself — everything else stays structurally shared with every pinned
+/// generation.  `Spine::get_mut` counts the copies it forces so the serving layer
+/// can prove commits stay O(touched).
+#[derive(Debug, Clone)]
+struct Spine<T, const B: usize> {
+    root: Arc<Vec<Arc<Vec<Arc<T>>>>>,
+    /// Total leaf chunks (the last block may be partial).
+    len: usize,
+    copies: SpineCopyStats,
+}
+
+impl<T: Clone, const B: usize> Spine<T, B> {
+    fn new() -> Self {
+        Spine {
+            root: Arc::new(Vec::new()),
+            len: 0,
+            copies: SpineCopyStats::default(),
+        }
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> &T {
+        &self.root[i / B][i % B]
+    }
+
+    /// Mutable access to leaf `i`, re-copying (and counting) only the root, block and
+    /// leaf still shared with a pinned generation.
+    fn get_mut(&mut self, i: usize) -> &mut T {
+        let (bi, li) = (i / B, i % B);
+        // Measure sharing top-down *before* any copy: re-copying the root bumps every
+        // block's refcount (and a block copy every leaf's), so a shared ancestor
+        // forces copies all the way down.
+        let root_shared = Arc::strong_count(&self.root) > 1;
+        let block_shared = root_shared || Arc::strong_count(&self.root[bi]) > 1;
+        let leaf_shared = block_shared || Arc::strong_count(&self.root[bi][li]) > 1;
+        self.copies.blocks_copied += block_shared as u64;
+        self.copies.chunks_copied += leaf_shared as u64;
+        let root = Arc::make_mut(&mut self.root);
+        let block = Arc::make_mut(&mut root[bi]);
+        Arc::make_mut(&mut block[li])
+    }
+
+    /// Grows the spine to at least `target` leaves, filling new slots with `make()`.
+    /// Growth is not counted as copy-on-write work: it is O(new leaves) by nature.
+    fn grow_with(&mut self, target: usize, mut make: impl FnMut() -> T) {
+        if target <= self.len {
+            return;
+        }
+        let root = Arc::make_mut(&mut self.root);
+        if let Some(last) = root.last_mut() {
+            if last.len() < B {
+                let want = (target - self.len).min(B - last.len());
+                let block = Arc::make_mut(last);
+                for _ in 0..want {
+                    block.push(Arc::new(make()));
+                }
+                self.len += want;
+            }
+        }
+        while self.len < target {
+            let want = (target - self.len).min(B);
+            let mut block = Vec::with_capacity(B);
+            for _ in 0..want {
+                block.push(Arc::new(make()));
+            }
+            root.push(Arc::new(block));
+            self.len += want;
+        }
+    }
+
+    fn iter(&self) -> impl Iterator<Item = &T> {
+        self.root
+            .iter()
+            .flat_map(|block| block.iter())
+            .map(|a| &**a)
+    }
+
+    /// Drains the copy counters accumulated since the last drain.
+    fn take_copies(&mut self) -> SpineCopyStats {
+        std::mem::take(&mut self.copies)
+    }
+
+    /// Makes leaf `i` content-equal to `other`'s leaf `i` with the cheapest move
+    /// available: nothing if the two spines already share the leaf, an in-place
+    /// `clone_from` (no allocation) if our leaf is unique, or — when an old pinned
+    /// generation still shares our leaf — adopting `other`'s leaf `Arc` outright.
+    /// This is the catch-up half of the committer's generation ping-pong: the
+    /// reclaimed back buffer replays a batch as O(touched) memcpys instead of
+    /// re-running the mutation logic.
+    fn sync_leaf_from(&mut self, other: &Self, i: usize) {
+        let (bi, li) = (i / B, i % B);
+        if Arc::ptr_eq(&self.root[bi][li], &other.root[bi][li]) {
+            return;
+        }
+        let root_shared = Arc::strong_count(&self.root) > 1;
+        let block_shared = root_shared || Arc::strong_count(&self.root[bi]) > 1;
+        self.copies.blocks_copied += block_shared as u64;
+        let root = Arc::make_mut(&mut self.root);
+        let block = Arc::make_mut(&mut root[bi]);
+        let leaf = &mut block[li];
+        if Arc::strong_count(leaf) == 1 {
+            self.copies.chunks_copied += 1;
+            Arc::make_mut(leaf).clone_from(&other.root[bi][li]);
+        } else {
+            *leaf = Arc::clone(&other.root[bi][li]);
+        }
+    }
+}
 
 /// One chunk of segment paths: `SEGMENTS_PER_CHUNK` consecutive segment ids, stored
 /// as a flat step buffer with per-segment bounds (a miniature CSR).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 struct WalkChunk {
     /// `bounds[k]..bounds[k + 1]` is local segment `k`'s slice of `steps`.
     bounds: Vec<u32>,
     steps: Vec<NodeId>,
+}
+
+impl Clone for WalkChunk {
+    fn clone(&self) -> Self {
+        WalkChunk {
+            bounds: self.bounds.clone(),
+            steps: self.steps.clone(),
+        }
+    }
+
+    /// Field-wise `clone_from` so the ping-pong catch-up path
+    /// (`Spine::sync_leaf_from`) re-fills an existing chunk's buffers instead of
+    /// reallocating them.
+    fn clone_from(&mut self, source: &Self) {
+        self.bounds.clone_from(&source.bounds);
+        self.steps.clone_from(&source.steps);
+    }
 }
 
 impl WalkChunk {
@@ -85,18 +254,42 @@ impl WalkChunk {
     }
 }
 
+/// What one batch changed in a [`FrozenWalks`] — recorded by the mutating
+/// `*_recording` methods, consumed by [`FrozenWalks::sync_touched_from`]: the walk
+/// chunks to re-copy (indices may repeat; deduped at sync time) and the batch's
+/// aggregated per-node visit-count deltas, replayed on the lagging twin instead of
+/// memcpying whole count chunks.  Reusable: the owner clears it once per batch.
+#[derive(Debug, Default, Clone)]
+pub struct TouchedChunks {
+    walk: Vec<u32>,
+    deltas: Vec<(u32, i32)>,
+    /// Scratch for collecting raw ±1 step deltas before aggregation.
+    scratch: Vec<(u32, i32)>,
+}
+
+impl TouchedChunks {
+    /// Empties the record for the next batch.
+    pub fn clear(&mut self) {
+        self.walk.clear();
+        self.deltas.clear();
+        self.scratch.clear();
+    }
+}
+
 /// A frozen PageRank Store generation: immutable segment paths and visit counters
-/// behind chunked `Arc`s, implementing the [`WalkIndexView`] query surface.
+/// behind a two-level chunked `Spine`, implementing the [`WalkIndexView`] query
+/// surface.
 ///
-/// Cloning is cheap (spine-only); advancing by a batch copies only touched chunks.
+/// Cloning is O(1) (two root `Arc` bumps); advancing by a batch copies only touched
+/// leaf chunks plus the spine blocks pointing at them.
 #[derive(Debug, Clone)]
 pub struct FrozenWalks {
     r: usize,
     node_count: usize,
     total_visits: u64,
     epoch: u64,
-    chunks: Vec<Arc<WalkChunk>>,
-    counts: Vec<Arc<Vec<u64>>>,
+    chunks: Spine<WalkChunk, WALK_BLOCK>,
+    counts: Spine<Vec<u64>, COUNT_BLOCK>,
 }
 
 impl FrozenWalks {
@@ -124,11 +317,18 @@ impl FrozenWalks {
             node_count: 0,
             total_visits: 0,
             epoch,
-            chunks: Vec::new(),
-            counts: Vec::new(),
+            chunks: Spine::new(),
+            counts: Spine::new(),
         };
         frozen.ensure_nodes(node_count);
         frozen
+    }
+
+    /// Drains the copy-on-write counters of both spines: `(segment-path spine,
+    /// visit-count spine)` copies forced since the last drain.  The serving layer's
+    /// commit path calls this once per published generation.
+    pub fn take_copy_stats(&mut self) -> (SpineCopyStats, SpineCopyStats) {
+        (self.chunks.take_copies(), self.counts.take_copies())
     }
 
     /// The generation number this view is pinned to.
@@ -151,11 +351,9 @@ impl FrozenWalks {
         }
         self.node_count = n;
         let chunks = (n * self.r).div_ceil(SEGMENTS_PER_CHUNK);
-        self.chunks
-            .resize_with(chunks, || Arc::new(WalkChunk::new()));
+        self.chunks.grow_with(chunks, WalkChunk::new);
         let counts = n.div_ceil(COUNTS_PER_CHUNK);
-        self.counts
-            .resize_with(counts, || Arc::new(vec![0; COUNTS_PER_CHUNK]));
+        self.counts.grow_with(counts, || vec![0; COUNTS_PER_CHUNK]);
     }
 
     /// Replaces one segment's path, keeping the visit counters exact.  Copy-on-write:
@@ -169,12 +367,12 @@ impl FrozenWalks {
         let chunk = slot / SEGMENTS_PER_CHUNK;
         let local = slot % SEGMENTS_PER_CHUNK;
         let old_len = {
-            let chunk = Arc::make_mut(&mut self.chunks[chunk]);
+            let chunk = self.chunks.get_mut(chunk);
             let old_len = chunk.path(local).len();
             // Old visits out, new visits in; both paths address nodes inside the view.
             for k in 0..old_len {
                 let v = chunk.path(local)[k];
-                let counts = Arc::make_mut(&mut self.counts[v.index() / COUNTS_PER_CHUNK]);
+                let counts = self.counts.get_mut(v.index() / COUNTS_PER_CHUNK);
                 counts[v.index() % COUNTS_PER_CHUNK] -= 1;
             }
             chunk.set(local, path);
@@ -182,7 +380,7 @@ impl FrozenWalks {
         };
         for &v in path {
             assert!(v.index() < self.node_count, "visit outside the view");
-            let counts = Arc::make_mut(&mut self.counts[v.index() / COUNTS_PER_CHUNK]);
+            let counts = self.counts.get_mut(v.index() / COUNTS_PER_CHUNK);
             counts[v.index() % COUNTS_PER_CHUNK] += 1;
         }
         self.total_visits = self.total_visits - old_len as u64 + path.len() as u64;
@@ -190,10 +388,137 @@ impl FrozenWalks {
 
     /// Advances the view by one reconciled rewrite plan — exactly the plan the engine
     /// applied to the live store, in plan order.
+    ///
+    /// Visit-count maintenance is batched: the per-step deltas of every rewrite in
+    /// the plan are buffered, grouped by count chunk, and applied with one
+    /// `Spine::get_mut` per touched chunk — instead of one per step, which under
+    /// per-edge commits is most of the mirror-advance cost.
     pub fn apply_rewrites(&mut self, rewrites: &SegmentRewrites) {
+        let mut touched = TouchedChunks::default();
+        self.apply_rewrites_recording(rewrites, &mut touched);
+    }
+
+    /// [`FrozenWalks::apply_rewrites`] that additionally records every touched leaf
+    /// chunk into `touched`, so a lagging twin of this view can catch up with
+    /// [`FrozenWalks::sync_touched_from`] instead of replaying the plan.
+    pub fn apply_rewrites_recording(
+        &mut self,
+        rewrites: &SegmentRewrites,
+        touched: &mut TouchedChunks,
+    ) {
+        let mut deltas = std::mem::take(&mut touched.scratch);
+        deltas.clear();
         for (id, path) in rewrites.iter() {
-            self.set_segment(id, path);
+            let slot = id.index();
+            assert!(
+                slot < self.node_count * self.r,
+                "segment {id:?} outside the view"
+            );
+            let chunk_index = slot / SEGMENTS_PER_CHUNK;
+            touched.walk.push(chunk_index as u32);
+            let chunk = self.chunks.get_mut(chunk_index);
+            let local = slot % SEGMENTS_PER_CHUNK;
+            let old = chunk.path(local);
+            let old_len = old.len();
+            for &v in old {
+                deltas.push((v.index() as u32, -1));
+            }
+            for &v in path {
+                assert!(v.index() < self.node_count, "visit outside the view");
+                deltas.push((v.index() as u32, 1));
+            }
+            chunk.set(local, path);
+            self.total_visits = self.total_visits - old_len as u64 + path.len() as u64;
         }
+        self.apply_count_deltas(&mut deltas, touched);
+        touched.scratch = deltas;
+    }
+
+    /// Applies buffered `(node, ±1)` visit deltas, grouped so each touched count
+    /// chunk is resolved (and, if shared, copied) exactly once.  Each node's nonzero
+    /// net delta is also recorded into `touched` for the catch-up replay.
+    fn apply_count_deltas(&mut self, deltas: &mut [(u32, i32)], touched: &mut TouchedChunks) {
+        deltas.sort_unstable_by_key(|&(node, _)| node);
+        let mut i = 0;
+        while i < deltas.len() {
+            let chunk_index = deltas[i].0 as usize / COUNTS_PER_CHUNK;
+            let chunk = self.counts.get_mut(chunk_index);
+            while i < deltas.len() && deltas[i].0 as usize / COUNTS_PER_CHUNK == chunk_index {
+                let (node, mut net) = deltas[i];
+                i += 1;
+                while i < deltas.len() && deltas[i].0 == node {
+                    net += deltas[i].1;
+                    i += 1;
+                }
+                if net != 0 {
+                    touched.deltas.push((node, net));
+                    let count = &mut chunk[node as usize % COUNTS_PER_CHUNK];
+                    *count = (*count as i64 + net as i64) as u64;
+                }
+            }
+        }
+    }
+
+    /// [`FrozenWalks::set_segment`] that records the walk chunk it touches and its
+    /// visit-count deltas (the growth companion of
+    /// [`FrozenWalks::apply_rewrites_recording`]).
+    pub fn set_segment_recording(
+        &mut self,
+        id: SegmentId,
+        path: &[NodeId],
+        touched: &mut TouchedChunks,
+    ) {
+        let slot = id.index();
+        assert!(
+            slot < self.node_count * self.r,
+            "segment {id:?} outside the view"
+        );
+        let chunk_index = slot / SEGMENTS_PER_CHUNK;
+        touched.walk.push(chunk_index as u32);
+        let mut deltas = std::mem::take(&mut touched.scratch);
+        deltas.clear();
+        let old_len = {
+            let chunk = self.chunks.get_mut(chunk_index);
+            let local = slot % SEGMENTS_PER_CHUNK;
+            let old = chunk.path(local);
+            for &v in old {
+                deltas.push((v.index() as u32, -1));
+            }
+            let old_len = old.len();
+            chunk.set(local, path);
+            old_len
+        };
+        for &v in path {
+            assert!(v.index() < self.node_count, "visit outside the view");
+            deltas.push((v.index() as u32, 1));
+        }
+        self.total_visits = self.total_visits - old_len as u64 + path.len() as u64;
+        self.apply_count_deltas(&mut deltas, touched);
+        touched.scratch = deltas;
+    }
+
+    /// Catches this view up to `front` — its twin advanced by exactly one batch whose
+    /// changes are in `touched` — without re-running the batch's mutation logic: an
+    /// O(touched) pass re-copying the touched walk chunks (allocation-free when this
+    /// view's chunks are unique) and replaying the batch's aggregated visit-count
+    /// deltas in place.  This is the committer's generation ping-pong catch-up half;
+    /// both views must descend from the same lineage (this one exactly one batch
+    /// behind) so untouched chunks are already structurally shared.
+    pub fn sync_touched_from(&mut self, front: &FrozenWalks, touched: &mut TouchedChunks) {
+        debug_assert_eq!(self.r, front.r, "ping-pong twins must agree on r");
+        self.ensure_nodes(front.node_count);
+        touched.walk.sort_unstable();
+        touched.walk.dedup();
+        for &i in &touched.walk {
+            self.chunks.sync_leaf_from(&front.chunks, i as usize);
+        }
+        for &(node, net) in &touched.deltas {
+            let chunk = self.counts.get_mut(node as usize / COUNTS_PER_CHUNK);
+            let count = &mut chunk[node as usize % COUNTS_PER_CHUNK];
+            *count = (*count as i64 + net as i64) as u64;
+        }
+        self.total_visits = front.total_visits;
+        self.epoch = front.epoch;
     }
 
     /// Copies the segments of nodes `from..to` out of a live store — the node-growth
@@ -229,7 +554,9 @@ impl WalkIndexView for FrozenWalks {
     #[inline]
     fn segment_path(&self, id: SegmentId) -> &[NodeId] {
         let slot = id.index();
-        self.chunks[slot / SEGMENTS_PER_CHUNK].path(slot % SEGMENTS_PER_CHUNK)
+        self.chunks
+            .get(slot / SEGMENTS_PER_CHUNK)
+            .path(slot % SEGMENTS_PER_CHUNK)
     }
 
     #[inline]
@@ -244,12 +571,12 @@ impl WalkIndexView for FrozenWalks {
 
     #[inline]
     fn visit_count(&self, node: NodeId) -> u64 {
-        self.counts[node.index() / COUNTS_PER_CHUNK][node.index() % COUNTS_PER_CHUNK]
+        self.counts.get(node.index() / COUNTS_PER_CHUNK)[node.index() % COUNTS_PER_CHUNK]
     }
 
     fn visit_counts(&self) -> Vec<u64> {
         let mut out = Vec::with_capacity(self.node_count);
-        for chunk in &self.counts {
+        for chunk in self.counts.iter() {
             let take = (self.node_count - out.len()).min(COUNTS_PER_CHUNK);
             out.extend_from_slice(&chunk[..take]);
         }
@@ -262,28 +589,35 @@ impl WalkIndexView for FrozenWalks {
     }
 }
 
-/// One chunk of frozen adjacency: the out- and in-neighbour lists of
-/// `NODES_PER_GRAPH_CHUNK` consecutive nodes, each list its own `Arc` slice.
-/// Cloning a chunk bumps refcounts only; refreshing one node reallocates just that
-/// node's lists — so a batch's mirror cost is proportional to the degrees of its
-/// endpoints, not to chunk payloads.
+/// One chunk of frozen adjacency: the neighbour lists (one direction) of
+/// [`NODES_PER_GRAPH_CHUNK`] consecutive nodes, each list its own `Arc`d vector.
+/// Copying a chunk bumps [`NODES_PER_GRAPH_CHUNK`] refcounts — never list payloads,
+/// so a chunk full of hub lists costs the same as a chunk of leaves.  Lists mutate
+/// through `Arc::make_mut`: once a buffer owns its list uniquely (one copy after a
+/// publish pinned it), appending an edge is an amortised O(1) push — never an
+/// O(degree) re-snapshot of a hub's list.
 #[derive(Debug, Clone)]
-struct GraphChunk {
-    out: Vec<Arc<[NodeId]>>,
-    incoming: Vec<Arc<[NodeId]>>,
+struct AdjChunk {
+    lists: Vec<Arc<Vec<NodeId>>>,
 }
 
-impl GraphChunk {
-    fn new(empty: &Arc<[NodeId]>) -> Self {
-        GraphChunk {
-            out: vec![Arc::clone(empty); NODES_PER_GRAPH_CHUNK],
-            incoming: vec![Arc::clone(empty); NODES_PER_GRAPH_CHUNK],
+impl AdjChunk {
+    fn new(empty: &Arc<Vec<NodeId>>) -> Self {
+        AdjChunk {
+            lists: vec![Arc::clone(empty); NODES_PER_GRAPH_CHUNK],
         }
+    }
+
+    #[inline]
+    fn list(&self, local: usize) -> &[NodeId] {
+        &self.lists[local]
     }
 }
 
 /// A frozen Social-Store adjacency generation: the exact out- and in-neighbour lists
-/// (order included — sampling picks by position) behind chunked `Arc`s.
+/// (order included — sampling picks by position) behind two chunked spines, one per
+/// direction — an edge commit touches its source's out-chunk and its target's
+/// in-chunk, never the other direction of either endpoint.
 ///
 /// Cloning is cheap; [`FrozenGraph::refresh_nodes`] advances it by one batch, copying
 /// only the chunks holding endpoints the batch touched.
@@ -291,20 +625,28 @@ impl GraphChunk {
 pub struct FrozenGraph {
     node_count: usize,
     edge_count: usize,
-    chunks: Vec<Arc<GraphChunk>>,
+    out: Spine<AdjChunk, GRAPH_BLOCK>,
+    incoming: Spine<AdjChunk, GRAPH_BLOCK>,
     /// The shared empty list isolated nodes point at.
-    empty: Arc<[NodeId]>,
+    empty: Arc<Vec<NodeId>>,
 }
 
 impl FrozenGraph {
-    /// Freezes a full copy of `graph`.  O(graph) — done once per serving session.
-    pub fn from_graph<G: GraphView + ?Sized>(graph: &G) -> Self {
-        let mut frozen = FrozenGraph {
+    /// An empty zero-node view — the cheap placeholder the committer swaps in while
+    /// its real buffers move into a published generation.
+    pub fn empty() -> Self {
+        FrozenGraph {
             node_count: 0,
             edge_count: 0,
-            chunks: Vec::new(),
-            empty: Arc::from(&[][..]),
-        };
+            out: Spine::new(),
+            incoming: Spine::new(),
+            empty: Arc::new(Vec::new()),
+        }
+    }
+
+    /// Freezes a full copy of `graph`.  O(graph) — done once per serving session.
+    pub fn from_graph<G: GraphView + ?Sized>(graph: &G) -> Self {
+        let mut frozen = FrozenGraph::empty();
         frozen.ensure_nodes(graph.node_count());
         frozen.refresh_nodes(graph, graph.nodes());
         frozen
@@ -318,8 +660,15 @@ impl FrozenGraph {
         self.node_count = n;
         let chunks = n.div_ceil(NODES_PER_GRAPH_CHUNK);
         let empty = Arc::clone(&self.empty);
-        self.chunks
-            .resize_with(chunks, || Arc::new(GraphChunk::new(&empty)));
+        self.out.grow_with(chunks, || AdjChunk::new(&empty));
+        let empty = Arc::clone(&self.empty);
+        self.incoming.grow_with(chunks, || AdjChunk::new(&empty));
+    }
+
+    /// Drains both adjacency spines' copy-on-write counters (see
+    /// [`FrozenWalks::take_copy_stats`]).
+    pub fn take_copy_stats(&mut self) -> SpineCopyStats {
+        self.out.take_copies().merge(self.incoming.take_copies())
     }
 
     /// Re-copies the adjacency lists of `nodes` out of `graph` (which must already
@@ -359,29 +708,102 @@ impl FrozenGraph {
     }
 
     fn refresh_out<G: GraphView + ?Sized>(&mut self, graph: &G, node: NodeId) {
-        let chunk = Arc::make_mut(&mut self.chunks[node.index() / NODES_PER_GRAPH_CHUNK]);
-        let out = graph.out_neighbors(node);
-        chunk.out[node.index() % NODES_PER_GRAPH_CHUNK] = if out.is_empty() {
-            Arc::clone(&self.empty)
-        } else {
-            Arc::from(out)
-        };
+        self.set_out_list(node, Arc::new(graph.out_neighbors(node).to_vec()));
     }
 
     fn refresh_in<G: GraphView + ?Sized>(&mut self, graph: &G, node: NodeId) {
-        let chunk = Arc::make_mut(&mut self.chunks[node.index() / NODES_PER_GRAPH_CHUNK]);
-        let incoming = graph.in_neighbors(node);
-        chunk.incoming[node.index() % NODES_PER_GRAPH_CHUNK] = if incoming.is_empty() {
-            Arc::clone(&self.empty)
-        } else {
-            Arc::from(incoming)
-        };
+        self.set_in_list(node, Arc::new(graph.in_neighbors(node).to_vec()));
     }
 
-    /// The node's out-adjacency as a shared slice (what a fetch materialises).
-    pub fn shared_out_neighbors(&self, node: NodeId) -> Arc<[NodeId]> {
+    /// Replaces one node's out-list with an already-materialised shared list in one
+    /// pointer swap.  Empty lists collapse onto the shared empty list.
+    pub fn set_out_list(&mut self, node: NodeId, list: Arc<Vec<NodeId>>) {
+        let list = if list.is_empty() {
+            Arc::clone(&self.empty)
+        } else {
+            list
+        };
+        let chunk = self.out.get_mut(node.index() / NODES_PER_GRAPH_CHUNK);
+        chunk.lists[node.index() % NODES_PER_GRAPH_CHUNK] = list;
+    }
+
+    /// The in-list counterpart of [`FrozenGraph::set_out_list`].
+    pub fn set_in_list(&mut self, node: NodeId, list: Arc<Vec<NodeId>>) {
+        let list = if list.is_empty() {
+            Arc::clone(&self.empty)
+        } else {
+            list
+        };
+        let chunk = self.incoming.get_mut(node.index() / NODES_PER_GRAPH_CHUNK);
+        chunk.lists[node.index() % NODES_PER_GRAPH_CHUNK] = list;
+    }
+
+    /// Replays one edge arrival — bit-exactly `DynamicGraph::add_edge`: the target
+    /// is appended to the source's out-list and the source to the target's in-list,
+    /// preserving list order (sampling picks by position).  Amortised O(1): the
+    /// committer's entry point, replacing the old post-batch endpoint re-snapshot
+    /// that cost O(degree) per touched hub.
+    pub fn add_edge(&mut self, edge: Edge) {
+        debug_assert!(
+            edge.source.index() < self.node_count && edge.target.index() < self.node_count,
+            "edge {edge} outside the view; ensure_nodes first"
+        );
+        let chunk = self
+            .out
+            .get_mut(edge.source.index() / NODES_PER_GRAPH_CHUNK);
+        Arc::make_mut(&mut chunk.lists[edge.source.index() % NODES_PER_GRAPH_CHUNK])
+            .push(edge.target);
+        let chunk = self
+            .incoming
+            .get_mut(edge.target.index() / NODES_PER_GRAPH_CHUNK);
+        Arc::make_mut(&mut chunk.lists[edge.target.index() % NODES_PER_GRAPH_CHUNK])
+            .push(edge.source);
+        self.edge_count += 1;
+    }
+
+    /// Replays one edge deletion — bit-exactly `DynamicGraph::remove_edge`
+    /// (first-occurrence `swap_remove` in both directions), returning whether the
+    /// edge was present.  Absent edges leave the view untouched.
+    pub fn remove_edge(&mut self, edge: Edge) -> bool {
+        if edge.source.index() >= self.node_count || edge.target.index() >= self.node_count {
+            return false;
+        }
+        let Some(pos) = self
+            .out_neighbors(edge.source)
+            .iter()
+            .position(|&t| t == edge.target)
+        else {
+            return false;
+        };
+        let chunk = self
+            .out
+            .get_mut(edge.source.index() / NODES_PER_GRAPH_CHUNK);
+        Arc::make_mut(&mut chunk.lists[edge.source.index() % NODES_PER_GRAPH_CHUNK])
+            .swap_remove(pos);
+        let pos = self
+            .in_neighbors(edge.target)
+            .iter()
+            .position(|&s| s == edge.source)
+            .expect("out/in adjacency lists out of sync");
+        let chunk = self
+            .incoming
+            .get_mut(edge.target.index() / NODES_PER_GRAPH_CHUNK);
+        Arc::make_mut(&mut chunk.lists[edge.target.index() % NODES_PER_GRAPH_CHUNK])
+            .swap_remove(pos);
+        self.edge_count -= 1;
+        true
+    }
+
+    /// Stamps the view's edge count (the committer sets it to the post-batch value
+    /// the writer recorded; the `refresh_*` paths read it off the live graph).
+    pub fn set_edge_count(&mut self, edges: usize) {
+        self.edge_count = edges;
+    }
+
+    /// The node's out-adjacency as a shared list (what a fetch materialises).
+    pub fn shared_out_neighbors(&self, node: NodeId) -> Arc<Vec<NodeId>> {
         Arc::clone(
-            &self.chunks[node.index() / NODES_PER_GRAPH_CHUNK].out
+            &self.out.get(node.index() / NODES_PER_GRAPH_CHUNK).lists
                 [node.index() % NODES_PER_GRAPH_CHUNK],
         )
     }
@@ -400,13 +822,16 @@ impl GraphView for FrozenGraph {
 
     #[inline]
     fn out_neighbors(&self, node: NodeId) -> &[NodeId] {
-        &self.chunks[node.index() / NODES_PER_GRAPH_CHUNK].out[node.index() % NODES_PER_GRAPH_CHUNK]
+        self.out
+            .get(node.index() / NODES_PER_GRAPH_CHUNK)
+            .list(node.index() % NODES_PER_GRAPH_CHUNK)
     }
 
     #[inline]
     fn in_neighbors(&self, node: NodeId) -> &[NodeId] {
-        &self.chunks[node.index() / NODES_PER_GRAPH_CHUNK].incoming
-            [node.index() % NODES_PER_GRAPH_CHUNK]
+        self.incoming
+            .get(node.index() / NODES_PER_GRAPH_CHUNK)
+            .list(node.index() % NODES_PER_GRAPH_CHUNK)
     }
 }
 
@@ -583,6 +1008,151 @@ mod tests {
         let view = sharded.snapshot_view(4);
         assert_eq!(view.epoch(), 4);
         assert_views_equal(&view, &sharded, "sharded snapshot_view");
+    }
+
+    #[test]
+    fn spine_clone_shares_everything_and_mutation_copies_one_path() {
+        // 300 leaves → 5 blocks of 64.  After a clone, touching one leaf must copy
+        // exactly that leaf, its block, and the root — nothing else.
+        let mut spine: Spine<u64, 64> = Spine::new();
+        spine.grow_with(300, || 0);
+        assert_eq!(spine.len, 300);
+        spine.take_copies();
+
+        let pinned = spine.clone();
+        *spine.get_mut(130) = 7;
+        let copies = spine.take_copies();
+        assert_eq!(copies.chunks_copied, 1, "one leaf copied");
+        assert_eq!(copies.blocks_copied, 1, "one block copied");
+        assert_eq!(*pinned.get(130), 0, "the pinned clone is unchanged");
+        assert_eq!(*spine.get(130), 7);
+
+        // A second touch in the same block copies nothing further…
+        *spine.get_mut(131) = 8;
+        let copies = spine.take_copies();
+        assert_eq!(
+            copies.chunks_copied, 1,
+            "leaf 131 still shared with the pin"
+        );
+        assert_eq!(copies.blocks_copied, 0, "block 2 is already unshared");
+        // …and re-touching an already-copied leaf is free.
+        *spine.get_mut(130) = 9;
+        assert_eq!(spine.take_copies(), SpineCopyStats::default());
+    }
+
+    #[test]
+    fn spine_growth_preserves_contents_across_partial_blocks() {
+        let mut spine: Spine<usize, 64> = Spine::new();
+        spine.grow_with(10, || 1);
+        for i in 0..10 {
+            *spine.get_mut(i) = i;
+        }
+        spine.grow_with(200, || 99);
+        assert_eq!(spine.len, 200);
+        for i in 0..10 {
+            assert_eq!(*spine.get(i), i, "pre-growth leaves survive");
+        }
+        assert_eq!(*spine.get(10), 99);
+        assert_eq!(*spine.get(199), 99);
+        assert_eq!(spine.iter().count(), 200);
+    }
+
+    #[test]
+    fn one_segment_rewrite_copies_o1_chunks_after_publish() {
+        // A store big enough for many blocks: 3000 nodes × 2 slots = 6000 segments =
+        // 188 walk chunks ≈ 3 blocks.  One rewrite after a publish (clone) must copy
+        // O(1) leaves, not O(store).
+        let mut store = WalkStore::new(3000, 2);
+        for n in 0..3000u32 {
+            let id = SegmentId::new(NodeId(n), 0, 2);
+            store.set_segment(id, &path(&[n, (n + 1) % 3000]));
+        }
+        let mut mirror = FrozenWalks::from_index(&store, 0);
+        mirror.take_copy_stats();
+        let _pinned = mirror.clone();
+
+        let mut plan = SegmentRewrites::new();
+        plan.push(SegmentId::new(NodeId(5), 0, 2), &path(&[5, 9]));
+        mirror.apply_rewrites(&plan);
+        let (walk, counts) = mirror.take_copy_stats();
+        assert_eq!(walk.chunks_copied, 1);
+        assert_eq!(walk.blocks_copied, 1);
+        assert!(counts.chunks_copied <= 2, "old + new visit count chunks");
+    }
+
+    #[test]
+    fn graph_setters_match_refresh_and_collapse_empty_lists() {
+        let mut graph = DynamicGraph::with_nodes(70);
+        graph.add_edge(Edge::new(1, 2));
+        let mut via_refresh = FrozenGraph::from_graph(&graph);
+        let mut via_setters = via_refresh.clone();
+
+        graph.add_edge(Edge::new(1, 69));
+        graph.remove_edge(Edge::new(1, 2));
+        via_refresh.refresh_endpoints(&graph, [NodeId(1)], [NodeId(2), NodeId(69)]);
+
+        via_setters.set_out_list(NodeId(1), Arc::new(graph.out_neighbors(NodeId(1)).to_vec()));
+        via_setters.set_in_list(NodeId(2), Arc::new(graph.in_neighbors(NodeId(2)).to_vec()));
+        via_setters.set_in_list(
+            NodeId(69),
+            Arc::new(graph.in_neighbors(NodeId(69)).to_vec()),
+        );
+        via_setters.set_edge_count(graph.edge_count());
+
+        for n in 0..70u32 {
+            assert_eq!(
+                via_setters.out_neighbors(NodeId(n)),
+                via_refresh.out_neighbors(NodeId(n))
+            );
+            assert_eq!(
+                via_setters.in_neighbors(NodeId(n)),
+                via_refresh.in_neighbors(NodeId(n))
+            );
+        }
+        assert_eq!(via_setters.edge_count(), via_refresh.edge_count());
+        // The emptied in-list collapsed onto the shared empty slice.
+        assert!(via_setters.in_neighbors(NodeId(2)).is_empty());
+    }
+
+    #[test]
+    fn edge_replay_matches_live_graph_order_bit_exactly() {
+        // The committer mirrors the live graph by replaying the same edge batch in
+        // the same order; sampling picks neighbours by list position, so the lists
+        // must match element-for-element — including swap_remove reordering and
+        // duplicate (multi-)edges.
+        let mut graph = DynamicGraph::with_nodes(8);
+        let mut mirror = FrozenGraph::from_graph(&graph);
+        let _pinned = mirror.clone(); // force COW on every replayed list
+
+        let batch = [
+            Edge::new(0, 1),
+            Edge::new(0, 2),
+            Edge::new(0, 3),
+            Edge::new(0, 2), // duplicate edge — both copies must survive
+            Edge::new(5, 0),
+            Edge::new(6, 0),
+        ];
+        for &e in &batch {
+            graph.add_edge(e);
+            mirror.add_edge(e);
+        }
+        // swap_remove moves the tail into slot 0 — order change must be replayed.
+        let deletions = [Edge::new(0, 1), Edge::new(4, 7), Edge::new(0, 2)];
+        for &e in &deletions {
+            assert_eq!(mirror.remove_edge(e), graph.remove_edge(e));
+        }
+
+        for n in 0..8u32 {
+            assert_eq!(
+                mirror.out_neighbors(NodeId(n)),
+                graph.out_neighbors(NodeId(n))
+            );
+            assert_eq!(
+                mirror.in_neighbors(NodeId(n)),
+                graph.in_neighbors(NodeId(n))
+            );
+        }
+        assert_eq!(mirror.edge_count(), graph.edge_count());
     }
 
     #[test]

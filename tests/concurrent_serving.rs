@@ -231,6 +231,125 @@ fn concurrent_queries_observe_exactly_one_committed_generation() {
     }
 }
 
+/// The pipeline window to test with: `PPR_PIPELINE_WINDOW` pins one (the CI
+/// matrix forces > 1); default 3 keeps a non-trivial number of commits in flight.
+fn pipeline_window() -> usize {
+    std::env::var("PPR_PIPELINE_WINDOW")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(3)
+        .max(2)
+}
+
+#[test]
+fn pipelined_publishes_are_exactly_batch_prefix_states() {
+    // With the commit pipeline holding a non-trivial in-flight window, readers may
+    // trail the live engine by up to `window` epochs — but every generation they
+    // can pin must still be *exactly* the state after some batch prefix, and every
+    // answer must replay bit-identically against its pinned generation.
+    let ops = schedule(731);
+    let config = MonteCarloConfig::new(0.2, 3).with_seed(733);
+    let window = pipeline_window();
+
+    for readers in thread_counts() {
+        let engine = IncrementalPageRank::new_empty(NODES, config);
+        let mut serving = QueryEngine::new(engine, QUERY_SEED).with_pipeline(window);
+        let handle = serving.handle();
+
+        let done = AtomicBool::new(false);
+        let next_query = AtomicU64::new(0);
+        let recorded: Mutex<Vec<(PinnedView, Served, Query)>> = Mutex::new(Vec::new());
+
+        let serving = std::thread::scope(|scope| {
+            let writer = scope.spawn(|| {
+                for op in &ops {
+                    match op {
+                        Op::Arrive(batch) => serving.commit_arrivals(batch),
+                        Op::Delete(batch) => serving.commit_deletions(batch),
+                    };
+                }
+                serving.flush_commits();
+                done.store(true, Ordering::Release);
+                serving
+            });
+            for _ in 0..readers {
+                scope.spawn(|| loop {
+                    let qid = next_query.fetch_add(1, Ordering::Relaxed);
+                    let query = query_for(qid);
+                    // Keep the pinned view with the answer: the replay oracle and
+                    // the prefix oracle both need the exact generation served from.
+                    let view = handle.pin();
+                    let served = view.answer(QUERY_SEED, qid, &query);
+                    recorded.lock().unwrap().push((view, served, query));
+                    if done.load(Ordering::Acquire) {
+                        break;
+                    }
+                });
+            }
+            writer.join().expect("pipelined writer")
+        });
+
+        // After the flush the published generation is the full schedule's state.
+        let final_view = serving.pin();
+        assert_eq!(
+            final_view.epoch(),
+            ops.len() as u64,
+            "flush drains the window"
+        );
+        let stats = serving.commit_stats();
+        assert_eq!(stats.pipelined_commits, ops.len() as u64);
+        assert_eq!(stats.commits, ops.len() as u64);
+
+        // Prong 1: every pinned generation (dense prefix replay, one reference
+        // engine walked forward) equals its batch-prefix state bit for bit.
+        let recorded = recorded.into_inner().unwrap();
+        assert!(
+            !recorded.is_empty(),
+            "readers must observe the pipelined run"
+        );
+        let mut by_epoch: Vec<&PinnedView> = recorded.iter().map(|(v, _, _)| v).collect();
+        by_epoch.push(&final_view);
+        by_epoch.sort_by_key(|v| v.epoch());
+        by_epoch.dedup_by_key(|v| v.epoch());
+        let mut reference = IncrementalPageRank::new_empty(NODES, config);
+        let mut next = by_epoch.iter().peekable();
+        for epoch in 0..=ops.len() {
+            if epoch > 0 {
+                match &ops[epoch - 1] {
+                    Op::Arrive(batch) => {
+                        reference.apply_arrivals(batch);
+                    }
+                    Op::Delete(batch) => {
+                        reference.apply_deletions(batch);
+                    }
+                }
+            }
+            if next.peek().is_some_and(|v| v.epoch() == epoch as u64) {
+                assert_generation_matches_reference(
+                    next.next().unwrap(),
+                    &reference,
+                    &format!("pipelined epoch {epoch} ({readers} readers, window {window})"),
+                );
+            }
+        }
+        assert!(
+            next.peek().is_none(),
+            "every pinned epoch was a batch prefix"
+        );
+
+        // Prong 2: concurrent answers replay bit-identically on one thread.
+        for (view, served, query) in &recorded {
+            assert_eq!(served.epoch, view.epoch());
+            let replay = view.answer(QUERY_SEED, served.query_id, query);
+            assert_eq!(
+                *served, replay,
+                "query {} served under the pipeline diverges from replay",
+                served.query_id
+            );
+        }
+    }
+}
+
 #[test]
 fn reader_pool_width_never_changes_answers() {
     // Fix one generation, serve the same query batch through pools of different
