@@ -243,11 +243,92 @@ fn report_scenario_durability(_c: &mut Criterion) {
     }
 }
 
+/// The demand-paging regime: cold-open latency, first-query latency, and
+/// steady-state residency of the disk engine as the store grows 8×, at several
+/// page-cache budgets.  Before demand paging, open cost tracked the walk heap
+/// (every page was faulted warm); now open maps slot metadata only, the first
+/// query pays a handful of page faults, and steady-state resident bytes are
+/// capped by the budget instead of the store size.
+fn report_cold_start_residency(_c: &mut Criterion) {
+    use ppr_persist::{set_thread_page_budget, PageBudget};
+    use ppr_store::{SegmentId, WalkIndexView};
+
+    for scale in [1usize, 2, 4, 8] {
+        let nodes = 1_000 * scale;
+        let edges = preferential_attachment_edges(&PreferentialAttachmentConfig::new(nodes, 6, 19));
+        let tmp = TempDir::new("bench-cold-start");
+        let root = tmp.path().join("s");
+        let mut engine = DurablePageRank::create_durable_disk(
+            &root,
+            DynamicGraph::from_edges(&edges, nodes),
+            config(),
+        )
+        .unwrap();
+        let generation = engine.checkpoint().unwrap();
+        drop(engine);
+        let snap_kib = snapshot_bytes(&root, generation) / 1024;
+
+        for (label, budget) in [
+            ("unbounded", PageBudget::unbounded()),
+            ("64pages", PageBudget::bounded(64)),
+            ("8pages", PageBudget::bounded(8)),
+        ] {
+            let previous = set_thread_page_budget(Some(budget));
+            let t0 = std::time::Instant::now();
+            let engine = DurablePageRank::open(&root).unwrap();
+            let open = t0.elapsed();
+
+            // First query: demand-fault one node's R segments in.
+            let probe = ppr_graph::NodeId((nodes / 2) as u32);
+            let t1 = std::time::Instant::now();
+            let mut steps = 0usize;
+            for slot in 0..R {
+                steps += WalkIndexView::segment_path(
+                    engine.walk_store(),
+                    SegmentId::new(probe, slot, R),
+                )
+                .len();
+            }
+            let first_query = t1.elapsed();
+            black_box(steps);
+
+            // Steady state: sweep a spread of 256 nodes, then report what stayed
+            // resident under the budget.
+            for i in 0..256usize {
+                let node = ppr_graph::NodeId((i * nodes / 256) as u32);
+                for slot in 0..R {
+                    black_box(
+                        WalkIndexView::segment_path(
+                            engine.walk_store(),
+                            SegmentId::new(node, slot, R),
+                        )
+                        .len(),
+                    );
+                }
+            }
+            let residency = engine.walk_store().residency();
+            let pager = engine.walk_store().pager_stats();
+            set_thread_page_budget(previous);
+            println!(
+                "report cold_start scale=x{scale} ({nodes} nodes, snapshot {snap_kib} KiB) \
+                 budget={label}: open {open:.2?}, first_query {first_query:.2?}, \
+                 steady resident {} pages / {} KiB ({} pinned), {} evictions, {} refaults",
+                residency.resident_pages,
+                residency.resident_page_bytes / 1024,
+                residency.pinned_pages,
+                pager.evictions,
+                pager.refaults,
+            );
+        }
+    }
+}
+
 criterion_group!(
     benches,
     bench_snapshot_write,
     bench_wal,
     bench_cold_open_vs_rebuild,
-    report_scenario_durability
+    report_scenario_durability,
+    report_cold_start_residency
 );
 criterion_main!(benches);

@@ -302,6 +302,9 @@ fn try_load_generation<W: PersistentWalkStore>(
     let (graph, shard_count) = decode_graph(&snap.read_section(SECTION_GRAPH)?)?;
     drop(snap);
     let walks = W::decode_walks(PagedWalks::open(&path)?)?;
+    // Surface deferred corruption (a demand-paged store leaves its heap unread)
+    // while generation fallback is still possible; see `verify_walks`.
+    walks.verify_walks()?;
     if walks.node_count() != graph.node_count() {
         return Err(corrupt(format!(
             "walk store addresses {} nodes but the graph has {}",

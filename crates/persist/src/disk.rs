@@ -1,28 +1,41 @@
-//! [`DiskWalkStore`]: a file-backed PageRank Store with page-granular write-back.
+//! [`DiskWalkStore`]: a file-backed PageRank Store with demand paging and
+//! page-granular write-back.
 //!
 //! The store implements the full `WalkIndex`/`WalkIndexMut` surface, so every engine
-//! adopts it without change.  Reads are served from a resident image (the cache warms
-//! fully at open through the snapshot's [`crate::pager::PageCache`]; demand paging
-//! via `mmap` is the documented follow-up — std-only file I/O is the constraint
-//! here).  What the disk layout buys today is the **checkpoint path**:
+//! adopts it without change.  A store opened from a snapshot is **demand-paged**:
+//! [`PersistentWalkStore::decode_walks`] installs only the slot directory and the
+//! visit-postings index (O(metadata), independent of heap size) and leaves every walk
+//! path on disk.  A path is faulted in on first touch — the read pulls its heap pages
+//! through the bounded [`crate::pager::PageCache`] (CRC-verified on every fault and
+//! re-fault), validates the path's shape (starts at its source, visits only known
+//! nodes), and caches the decoded steps until trimmed.  Open latency and the resident
+//! set are therefore governed by the configured [`PageBudget`], not the store size;
+//! the power-law visit skew of the underlying paper means a small pin set of
+//! hot-node pages absorbs most faults (see [`PageBudget::pin_top_nodes`]).
+//!
+//! Writes keep the incremental checkpoint machinery of the previous design:
 //!
 //! * every segment owns a capacity-reserved slot of the on-disk heap (the same
 //!   power-of-two rule as the in-memory arena), and the store tracks exactly which
 //!   heap *pages* its writes have touched since the last checkpoint;
 //! * [`PersistentWalkStore::encode_walks`] re-renders only the dirty pages and
 //!   streams every clean page **byte-for-byte out of the previous generation's
-//!   file** — in steady state (in-place rewrites dominating, as the arena stats
-//!   prove) a checkpoint's encoding cost is proportional to what changed, not to the
-//!   store size;
+//!   file** without admitting it to the cache — write-back never faults the whole
+//!   store resident;
 //! * a segment that outgrows its reservation relocates to the heap tail, leaving
 //!   garbage that a half-dead-rule **file compaction** repacks (counted, timed, and
 //!   reported like the in-memory compactions).
+//!
+//! Determinism contract: the cache budget bounds *cost*, never answers.  Any budget
+//! ≥ 1 page yields bit-identical query results, digests, and snapshots to the
+//! unbounded cache — `tests/demand_paging.rs` proves it property-style, and the CI
+//! matrix re-runs the durability oracles at `PPR_PAGE_BUDGET=2`.
 //!
 //! Crash safety is inherited from the snapshot container: generations are immutable
 //! and published atomically, so a crash mid-checkpoint leaves the previous
 //! generation untouched and the WAL replays over it.
 
-use crate::io::{corrupt, PersistResult};
+use crate::io::{corrupt, format_err, PersistResult};
 use crate::layout::{
     assemble_walks_payload, file_reservation, FileSlot, PagedWalks, PersistentWalkStore,
     WalksHeader, FILLER_WORD, WALKS_PAGE_SIZE,
@@ -30,11 +43,80 @@ use crate::layout::{
 use crate::pager::PagerStats;
 use ppr_graph::NodeId;
 use ppr_store::arena::ArenaStats;
-use ppr_store::{SegmentId, WalkIndex, WalkIndexMut, WalkStore};
+use ppr_store::{SegmentId, SegmentRewrites, WalkIndex, WalkIndexMut, WalkStore};
+use std::borrow::Cow;
+use std::cell::Cell;
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
+use std::sync::Mutex;
 
 const STEPS_PER_PAGE: u64 = (WALKS_PAGE_SIZE / 4) as u64;
+
+/// Residency policy of a demand-paged [`DiskWalkStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PageBudget {
+    /// Maximum heap pages resident in the page cache (`None` = unbounded).  The
+    /// decoded-path cache is trimmed to the same step-equivalent budget.
+    pub max_resident_pages: Option<usize>,
+    /// How many of the hottest nodes (by visit count) get their pages pinned
+    /// unevictable.  `None` pins as many as fit half the page budget; `Some(0)`
+    /// disables pinning.  Ignored when the budget is unbounded.
+    pub pin_top_nodes: Option<usize>,
+}
+
+thread_local! {
+    /// See [`set_thread_page_budget`].
+    static THREAD_PAGE_BUDGET: Cell<Option<PageBudget>> = const { Cell::new(None) };
+}
+
+/// Overrides [`PageBudget::from_env`] for the current thread, returning the previous
+/// override.  Tests use this instead of `std::env::set_var` so parallel tests with
+/// different budgets cannot race; engines open their stores on the calling thread,
+/// so the override reaches them.
+pub fn set_thread_page_budget(budget: Option<PageBudget>) -> Option<PageBudget> {
+    THREAD_PAGE_BUDGET.with(|cell| cell.replace(budget))
+}
+
+impl PageBudget {
+    /// No residency bound (the pre-demand-paging behavior).
+    pub fn unbounded() -> Self {
+        PageBudget::default()
+    }
+
+    /// At most `pages` heap pages resident (clamped to ≥ 1 by the cache).
+    pub fn bounded(pages: usize) -> Self {
+        PageBudget {
+            max_resident_pages: Some(pages),
+            pin_top_nodes: None,
+        }
+    }
+
+    /// Reads the budget for this open: the current thread's
+    /// [`set_thread_page_budget`] override if set, else the `PPR_PAGE_BUDGET`
+    /// (pages; 0 or unset = unbounded) and `PPR_PIN_NODES` environment variables.
+    pub fn from_env() -> Self {
+        if let Some(budget) = THREAD_PAGE_BUDGET.with(|cell| cell.get()) {
+            return budget;
+        }
+        let max_resident_pages = std::env::var("PPR_PAGE_BUDGET")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&pages| pages > 0);
+        let pin_top_nodes = std::env::var("PPR_PIN_NODES")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok());
+        PageBudget {
+            max_resident_pages,
+            pin_top_nodes,
+        }
+    }
+
+    fn budget_steps(&self) -> Option<u64> {
+        self.max_resident_pages
+            .map(|pages| pages.max(1) as u64 * STEPS_PER_PAGE)
+    }
+}
 
 /// Write-back and maintenance counters of a [`DiskWalkStore`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -53,8 +135,77 @@ pub struct DiskStoreStats {
     pub compaction_nanos: u64,
 }
 
-/// A file-backed PageRank Store: resident reads, dirty-page-tracked writes, and
-/// checkpoints that only re-encode what changed.
+/// Point-in-time residency of a demand-paged [`DiskWalkStore`] — the numbers the
+/// persistence bench reports per cache budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResidencyStats {
+    /// Heap pages resident in the page cache.
+    pub resident_pages: usize,
+    /// Bytes of heap pages resident in the page cache.
+    pub resident_page_bytes: u64,
+    /// Resident pages that are pinned unevictable.
+    pub pinned_pages: usize,
+    /// Steps held by demand-faulted decoded paths (not yet materialized into the
+    /// in-memory arena, trimmed against the budget).
+    pub cached_path_steps: u64,
+    /// Steps materialized into the in-memory arena by writes.
+    pub arena_steps: usize,
+}
+
+/// One demand-faultable slot: a lazily decoded path published through an atomic
+/// pointer, plus a CLOCK-style reference bit for trimming.
+///
+/// The pointer goes null → non-null only inside [`DiskWalkStore::fault_slot`] (under
+/// the store's page-cache mutex, with a Release store), and non-null → null only in
+/// `&mut self` methods — so a shared-reference reader that observes a non-null
+/// pointer can dereference it for the rest of its borrow of the store.
+#[derive(Debug)]
+struct FaultCell {
+    path: AtomicPtr<Vec<NodeId>>,
+    /// Touched-since-last-trim bit (second chance against trimming).
+    hot: AtomicBool,
+}
+
+impl FaultCell {
+    fn new() -> Self {
+        FaultCell {
+            path: AtomicPtr::new(std::ptr::null_mut()),
+            hot: AtomicBool::new(false),
+        }
+    }
+
+    /// Takes the cached path out of the cell (exclusive access).
+    fn take(&mut self) -> Option<Vec<NodeId>> {
+        let ptr = std::mem::replace(self.path.get_mut(), std::ptr::null_mut());
+        // SAFETY: non-null cell pointers are exclusively owned Box::into_raw results;
+        // we just detached this one, so reconstituting the box is sound.
+        (!ptr.is_null()).then(|| *unsafe { Box::from_raw(ptr) })
+    }
+}
+
+impl Drop for FaultCell {
+    fn drop(&mut self) {
+        self.take();
+    }
+}
+
+/// Demand-paging state of a store opened from a snapshot.
+#[derive(Debug)]
+struct FaultState {
+    /// One cell per slot; a null pointer means not yet decoded (or trimmed).
+    cells: Vec<FaultCell>,
+    /// The slot layout of the generation faults read from.  Frozen at open /
+    /// checkpoint, so live-directory relocations and compactions never redirect a
+    /// fault at a region the previous generation's file doesn't have.
+    prev_dir: Vec<FileSlot>,
+    /// Steps currently held by cached decoded paths.
+    resident_steps: AtomicU64,
+    /// Trim threshold for `resident_steps` (the page budget in step equivalents).
+    budget_steps: Option<u64>,
+}
+
+/// A file-backed PageRank Store: demand-paged reads under a bounded cache,
+/// dirty-page-tracked writes, and checkpoints that only re-encode what changed.
 #[derive(Debug)]
 pub struct DiskWalkStore {
     resident: WalkStore,
@@ -74,8 +225,19 @@ pub struct DiskWalkStore {
     /// Set when no previous generation can serve clean pages (fresh store, or a file
     /// compaction moved everything).
     all_dirty: bool,
-    /// The previous generation's walks section — the clean-page source.
-    prev: Option<PagedWalks>,
+    /// `in_arena[slot]`: the slot's path lives in the resident arena (written this
+    /// process, or empty).  `false` means the path is on disk, faultable through
+    /// `fault`.
+    in_arena: Vec<bool>,
+    /// Demand-paging state; `None` for stores built fresh in memory (everything is
+    /// in the arena then).
+    fault: Option<FaultState>,
+    /// Residency policy applied to the page cache and the decoded-path cache.
+    budget: PageBudget,
+    /// The previous generation's walks section — the fault source and clean-page
+    /// source.  Behind a mutex because faults happen under `&self` from concurrent
+    /// query threads.
+    prev: Option<Mutex<PagedWalks>>,
     /// Heap image of the most recent encode, kept until [`after_checkpoint`] seeds
     /// the next generation's page cache with it (so write-back never re-reads pages
     /// it just wrote).
@@ -99,6 +261,9 @@ impl DiskWalkStore {
             dead: 0,
             dirty: BTreeSet::new(),
             all_dirty: true,
+            in_arena: vec![true; node_count * r],
+            fault: None,
+            budget: PageBudget::from_env(),
             prev: None,
             pending_heap: None,
             stats: DiskStoreStats::default(),
@@ -115,15 +280,77 @@ impl DiskWalkStore {
     pub fn pager_stats(&self) -> PagerStats {
         self.prev
             .as_ref()
-            .map(|p| p.pager_stats())
+            .map(|p| p.lock().expect("page-cache mutex poisoned").pager_stats())
             .unwrap_or_default()
     }
 
-    /// Freezes an epoch-pinned, copy-on-write snapshot view of the resident image
-    /// (see [`ppr_store::FrozenWalks`]) — the disk store serves queries exactly like
-    /// the in-memory layouts.
+    /// Current residency of the page cache and the decoded-path cache.
+    pub fn residency(&self) -> ResidencyStats {
+        let (resident_pages, resident_page_bytes, pinned_pages) = self
+            .prev
+            .as_ref()
+            .map(|p| {
+                let prev = p.lock().expect("page-cache mutex poisoned");
+                (
+                    prev.resident_pages(),
+                    prev.resident_bytes(),
+                    prev.pinned_resident_pages(),
+                )
+            })
+            .unwrap_or((0, 0, 0));
+        ResidencyStats {
+            resident_pages,
+            resident_page_bytes,
+            pinned_pages,
+            cached_path_steps: self
+                .fault
+                .as_ref()
+                .map(|f| f.resident_steps.load(Ordering::Relaxed))
+                .unwrap_or(0),
+            arena_steps: self.resident.arena_stats().live_steps,
+        }
+    }
+
+    /// The residency policy in force.
+    pub fn page_budget(&self) -> PageBudget {
+        self.budget
+    }
+
+    /// Replaces the residency policy: re-applies the page-cache budget, recomputes
+    /// the hot-node pin set from the current visit counts, and trims the
+    /// decoded-path cache.
+    pub fn set_page_budget(&mut self, budget: PageBudget) -> PersistResult<()> {
+        self.budget = budget;
+        if let Some(fault) = &mut self.fault {
+            fault.budget_steps = budget.budget_steps();
+        }
+        if let Some(prev) = &self.prev {
+            // Pin against the layout faults actually read from (the previous
+            // generation's), not the live directory a relocation may have moved.
+            let pin_dir = self
+                .fault
+                .as_ref()
+                .map(|f| f.prev_dir.as_slice())
+                .unwrap_or(&self.dir);
+            let mut walks = prev.lock().expect("page-cache mutex poisoned");
+            apply_cache_policy(
+                self.budget,
+                self.resident.visit_counts(),
+                pin_dir,
+                self.resident.r(),
+                &mut walks,
+            )?;
+        }
+        self.trim_fault_cells();
+        Ok(())
+    }
+
+    /// Freezes an epoch-pinned, copy-on-write snapshot view (see
+    /// [`ppr_store::FrozenWalks`]) — the disk store serves queries exactly like the
+    /// in-memory layouts.  On a demand-paged store this faults every live segment
+    /// once (the frozen mirror is O(store) regardless).
     pub fn snapshot_view(&self, epoch: u64) -> ppr_store::FrozenWalks {
-        ppr_store::FrozenWalks::from_index(&self.resident, epoch)
+        ppr_store::FrozenWalks::from_index(self, epoch)
     }
 
     /// Current heap geometry as `(heap_len_steps, live_steps, garbage_steps)`.
@@ -191,7 +418,8 @@ impl DiskWalkStore {
 
     /// Half-dead rule on the file heap, mirroring the in-memory arena: when garbage
     /// capacity exceeds the live data, repack every slot tight.  All pages become
-    /// dirty — the cost the counters make visible.
+    /// dirty — the cost the counters make visible.  Faults are unaffected: they read
+    /// the previous generation's frozen layout, not the live directory.
     fn maybe_compact_file(&mut self) {
         if self.dead <= self.live.max(8 * self.dir.len() as u64) {
             return;
@@ -219,10 +447,163 @@ impl DiskWalkStore {
         self.stats.compaction_nanos += started.elapsed().as_nanos() as u64;
     }
 
-    /// Renders the bytes of heap page `page` from the resident image: every slot
-    /// region intersecting the page contributes its path bytes, everything else is
+    /// The path of `slot`, faulting it from disk if it is not in the arena.
+    fn path_of(&self, slot: u32) -> PersistResult<&[NodeId]> {
+        if self.in_arena[slot as usize] {
+            Ok(self.resident.segment_path(SegmentId(slot)))
+        } else {
+            self.fault_slot(slot as usize)
+        }
+    }
+
+    /// Demand-faults the path of an on-disk slot and caches the decoded steps.
+    /// Thread-safe under `&self`: concurrent faulters race through a double-checked
+    /// atomic cell, with the page-cache mutex serializing the actual decode.
+    fn fault_slot(&self, slot: usize) -> PersistResult<&[NodeId]> {
+        let fault = self
+            .fault
+            .as_ref()
+            .expect("slots outside the arena imply demand-paging state");
+        let cell = &fault.cells[slot];
+        let ptr = cell.path.load(Ordering::Acquire);
+        if !ptr.is_null() {
+            cell.hot.store(true, Ordering::Relaxed);
+            // SAFETY: a non-null pointer was published with Release by fault_slot
+            // under the mutex and is only ever cleared by `&mut self` methods, which
+            // cannot run while this shared borrow is live.  The pointee is never
+            // mutated after publication.
+            return Ok(unsafe { (*ptr).as_slice() });
+        }
+        let s = fault.prev_dir[slot];
+        if s.len == 0 {
+            return Ok(&[]);
+        }
+        let prev = self
+            .prev
+            .as_ref()
+            .expect("demand-paged store keeps its source generation open");
+        let mut walks = prev.lock().expect("page-cache mutex poisoned");
+        // Double check: another thread may have decoded the slot while we waited.
+        let ptr = cell.path.load(Ordering::Acquire);
+        if !ptr.is_null() {
+            drop(walks);
+            cell.hot.store(true, Ordering::Relaxed);
+            // SAFETY: as above.
+            return Ok(unsafe { (*ptr).as_slice() });
+        }
+        let mut path = Vec::with_capacity(s.len as usize);
+        walks.read_steps(s.offset, s.len, &mut path)?;
+        validate_faulted_path(&path, slot, self.resident.r(), self.resident.node_count())
+            .map_err(corrupt)?;
+        let raw = Box::into_raw(Box::new(path));
+        cell.path.store(raw, Ordering::Release);
+        drop(walks);
+        cell.hot.store(true, Ordering::Relaxed);
+        fault
+            .resident_steps
+            .fetch_add(s.len as u64, Ordering::Relaxed);
+        // SAFETY: `raw` came from Box::into_raw above; ownership now rests with the
+        // cell, which outlives this borrow.
+        Ok(unsafe { (*raw).as_slice() })
+    }
+
+    /// Faults segment `id` in (if it is on disk), surfacing any I/O or corruption
+    /// error instead of panicking — the probing entry point corruption tests use.
+    pub fn try_fault_segment(&self, id: SegmentId) -> PersistResult<()> {
+        if self.in_arena.get(id.index()).copied().unwrap_or(true) {
+            return Ok(());
+        }
+        self.fault_slot(id.index()).map(|_| ())
+    }
+
+    /// Drops every cached decoded path (they re-fault on next touch).  Pages already
+    /// resident in the page cache stay subject to its own budget.
+    pub fn release_path_cache(&mut self) {
+        let Some(fault) = &mut self.fault else {
+            return;
+        };
+        for cell in &mut fault.cells {
+            cell.take();
+        }
+        *fault.resident_steps.get_mut() = 0;
+    }
+
+    /// Moves an on-disk slot's path into the resident arena so the flat store's
+    /// write path (which reads the *old* path to unindex it) sees it.  No index
+    /// update: the postings already account for the stored path.
+    fn materialize_for_write(&mut self, slot: usize) {
+        if self.in_arena[slot] {
+            return;
+        }
+        let id = SegmentId(slot as u32);
+        let fault = self
+            .fault
+            .as_mut()
+            .expect("slots outside the arena imply demand-paging state");
+        if let Some(path) = fault.cells[slot].take() {
+            let steps = fault.resident_steps.get_mut();
+            *steps = steps.saturating_sub(path.len() as u64);
+            self.resident.install_indexed_path(id, &path);
+        } else {
+            let s = fault.prev_dir[slot];
+            if s.len > 0 {
+                let mut path = Vec::with_capacity(s.len as usize);
+                let prev = self
+                    .prev
+                    .as_ref()
+                    .expect("demand-paged store keeps its source generation open");
+                let mut walks = prev.lock().expect("page-cache mutex poisoned");
+                walks
+                    .read_steps(s.offset, s.len, &mut path)
+                    .unwrap_or_else(|e| {
+                        panic!("materializing segment {slot} for write failed: {e}")
+                    });
+                drop(walks);
+                validate_faulted_path(&path, slot, self.resident.r(), self.resident.node_count())
+                    .unwrap_or_else(|e| panic!("segment {slot} corrupt on disk: {e}"));
+                self.resident.install_indexed_path(id, &path);
+            }
+        }
+        self.in_arena[slot] = true;
+    }
+
+    /// Trims the decoded-path cache back under the step budget with a second-chance
+    /// sweep: hot cells are demoted on the first pass and dropped (if still over)
+    /// on the second.  Runs after batch application and checkpoints.
+    fn trim_fault_cells(&mut self) {
+        let Some(fault) = &mut self.fault else {
+            return;
+        };
+        let Some(limit) = fault.budget_steps else {
+            return;
+        };
+        let mut resident = *fault.resident_steps.get_mut();
+        for _pass in 0..2 {
+            if resident <= limit {
+                break;
+            }
+            for cell in &mut fault.cells {
+                if resident <= limit {
+                    break;
+                }
+                if cell.path.get_mut().is_null() {
+                    continue;
+                }
+                if *cell.hot.get_mut() {
+                    *cell.hot.get_mut() = false;
+                    continue;
+                }
+                let path = cell.take().expect("checked non-null");
+                resident = resident.saturating_sub(path.len() as u64);
+            }
+        }
+        *fault.resident_steps.get_mut() = resident;
+    }
+
+    /// Renders the bytes of heap page `page`: every slot region intersecting the
+    /// page contributes its path bytes (faulted in if needed), everything else is
     /// the filler word.
-    fn render_page(&self, page: u32, out: &mut [u8]) {
+    fn render_page(&self, page: u32, out: &mut [u8]) -> PersistResult<()> {
         debug_assert_eq!(out.len(), WALKS_PAGE_SIZE);
         out.fill(0xFF);
         debug_assert_eq!(FILLER_WORD, u32::MAX);
@@ -241,7 +622,7 @@ impl DiskWalkStore {
             if s.len == 0 || s.offset + (s.len as u64) <= start_step || s.offset >= end_step {
                 continue;
             }
-            let path = self.resident.segment_path(SegmentId(slot));
+            let path = self.path_of(slot)?;
             let from = s.offset.max(start_step);
             let to = (s.offset + s.len as u64).min(end_step);
             for step in from..to {
@@ -250,16 +631,27 @@ impl DiskWalkStore {
                 out[at..at + 4].copy_from_slice(&word.to_le_bytes());
             }
         }
+        Ok(())
+    }
+
+    /// Length of `slot` as the read surface sees it (arena for materialized slots,
+    /// directory for on-disk ones — no fault needed).
+    fn tracked_len(&self, slot: u32) -> usize {
+        if self.in_arena[slot as usize] {
+            self.resident.segment_len(SegmentId(slot))
+        } else {
+            self.dir[slot as usize].len as usize
+        }
     }
 
     fn check_file_layout(&self) -> Result<(), String> {
         let mut expected_live = 0u64;
         let mut reserved = 0u64;
         for (slot, s) in self.dir.iter().enumerate() {
-            let resident_len = self.resident.segment_len(SegmentId(slot as u32)) as u32;
-            if s.len != resident_len {
+            let tracked = self.tracked_len(slot as u32) as u32;
+            if s.len != tracked {
                 return Err(format!(
-                    "slot {slot} stores {} steps on disk but {resident_len} in memory",
+                    "slot {slot} stores {} steps on disk but {tracked} in memory",
                     s.len
                 ));
             }
@@ -296,6 +688,155 @@ impl DiskWalkStore {
         }
         Ok(())
     }
+
+    /// Full-store consistency for a demand-paged store: faults every segment and
+    /// recomputes counters and postings from the actual paths (the cross-check
+    /// [`WalkStore::bulk_load`] runs eagerly on the flat decode path, deferred here
+    /// to explicit verification).
+    fn check_demand_paths(&self) -> Result<(), String> {
+        let node_count = self.resident.node_count();
+        let mut counts = vec![0u64; node_count];
+        let mut keys: Vec<u64> = Vec::new();
+        for slot in 0..self.dir.len() {
+            let id = SegmentId(slot as u32);
+            let path = self.path_of(slot as u32).map_err(|e| e.to_string())?;
+            if path.len() != self.tracked_len(slot as u32) {
+                return Err(format!(
+                    "segment {slot} length disagrees with the directory"
+                ));
+            }
+            if let Some(&first) = path.first() {
+                if first != id.source(self.resident.r()) {
+                    return Err(format!("segment {slot} does not start at its source"));
+                }
+            }
+            for &v in path {
+                if v.index() >= node_count {
+                    return Err(format!("segment {slot} visits node {v} outside the store"));
+                }
+                counts[v.index()] += 1;
+                keys.push(((v.0 as u64) << 32) | slot as u64);
+            }
+        }
+        if counts != self.resident.visit_counts() {
+            return Err("visit counters out of sync with the stored segments".to_string());
+        }
+        if keys.len() as u64 != self.resident.total_visits() {
+            return Err(format!(
+                "total_visits {} disagrees with the stored segments ({})",
+                self.resident.total_visits(),
+                keys.len()
+            ));
+        }
+        keys.sort_unstable();
+        let mut i = 0usize;
+        for v in 0..node_count {
+            let mut expect = self.resident.segments_visiting(NodeId::from_index(v));
+            while i < keys.len() && (keys[i] >> 32) as usize == v {
+                let seg = keys[i] as u32;
+                let mut count = 0u32;
+                while i < keys.len() && (keys[i] >> 32) as usize == v && keys[i] as u32 == seg {
+                    count += 1;
+                    i += 1;
+                }
+                if expect.next() != Some((SegmentId(seg), count)) {
+                    return Err(format!(
+                        "postings of node {v} disagree with the stored paths at segment {seg}"
+                    ));
+                }
+            }
+            if expect.next().is_some() {
+                return Err(format!(
+                    "postings of node {v} index visits no path contains"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Structural validation of a path read off disk, mirroring what
+/// [`WalkStore::bulk_load`] checks per segment on the eager decode path.
+fn validate_faulted_path(
+    path: &[NodeId],
+    slot: usize,
+    r: usize,
+    node_count: usize,
+) -> Result<(), String> {
+    let id = SegmentId(slot as u32);
+    if let Some(&first) = path.first() {
+        if first != id.source(r) {
+            return Err(format!("segment {slot} does not start at its source"));
+        }
+    }
+    for &v in path {
+        if v.index() >= node_count {
+            return Err(format!("segment {slot} visits node {v} outside the store"));
+        }
+    }
+    Ok(())
+}
+
+/// Applies a [`PageBudget`] to an open generation: sets the page-cache budget and
+/// pins the pages holding the hottest nodes' segments (visit-count order — the
+/// paper's power-law skew makes a small pin set absorb most faults).  At most half
+/// the budget is spent on pins so demand faults always have unpinned frames to
+/// recycle.
+fn apply_cache_policy(
+    budget: PageBudget,
+    counts: &[u64],
+    dir: &[FileSlot],
+    r: usize,
+    walks: &mut PagedWalks,
+) -> PersistResult<()> {
+    walks.configure_cache(budget.max_resident_pages);
+    let pins = hot_pin_pages(budget, counts, dir, r, walks.header().page_count());
+    walks.pin_pages(&pins)
+}
+
+/// Deterministically derives the pin set: nodes ranked by (visit count desc, id
+/// asc), their segments' heap pages collected until the pin capacity — `min(budget/2,
+/// budget-1)`, further capped by `pin_top_nodes` — is filled.
+fn hot_pin_pages(
+    budget: PageBudget,
+    counts: &[u64],
+    dir: &[FileSlot],
+    r: usize,
+    page_count: u32,
+) -> Vec<u32> {
+    let Some(max_pages) = budget.max_resident_pages else {
+        return Vec::new();
+    };
+    let pin_cap = (max_pages / 2).min(max_pages.saturating_sub(1));
+    let top_k = budget.pin_top_nodes.unwrap_or(usize::MAX);
+    if pin_cap == 0 || page_count == 0 || top_k == 0 {
+        return Vec::new();
+    }
+    let mut ranked: Vec<(u64, usize)> = counts
+        .iter()
+        .enumerate()
+        .filter(|&(_, &c)| c > 0)
+        .map(|(node, &c)| (c, node))
+        .collect();
+    ranked.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    let mut pages = BTreeSet::new();
+    'nodes: for &(_, node) in ranked.iter().take(top_k) {
+        for slot in node * r..(node + 1) * r {
+            let Some(&s) = dir.get(slot) else { continue };
+            if s.len == 0 {
+                continue;
+            }
+            let first = (s.offset / STEPS_PER_PAGE) as u32;
+            let last = ((s.offset + s.len as u64 - 1) / STEPS_PER_PAGE) as u32;
+            for page in first..=last.min(page_count.saturating_sub(1)) {
+                if pages.len() >= pin_cap && !pages.contains(&page) {
+                    break 'nodes;
+                }
+                pages.insert(page);
+            }
+        }
+    }
+    pages.into_iter().collect()
 }
 
 impl ppr_store::WalkIndexView for DiskWalkStore {
@@ -309,9 +850,16 @@ impl ppr_store::WalkIndexView for DiskWalkStore {
         self.resident.node_count()
     }
 
+    /// Demand-faults the segment from disk on first touch.  Faults panic on I/O or
+    /// corruption errors (the trait's infallible read surface — same policy as WAL
+    /// append failures); [`DiskWalkStore::try_fault_segment`] surfaces the error.
     #[inline]
     fn segment_path(&self, id: SegmentId) -> &[NodeId] {
-        self.resident.segment_path(id)
+        if self.in_arena[id.index()] {
+            return self.resident.segment_path(id);
+        }
+        self.fault_slot(id.index())
+            .unwrap_or_else(|e| panic!("demand fault of segment {} failed: {e}", id.0))
     }
 
     #[inline]
@@ -324,12 +872,17 @@ impl ppr_store::WalkIndexView for DiskWalkStore {
     }
 
     #[inline]
+    fn segment_len(&self, id: SegmentId) -> usize {
+        self.tracked_len(id.0)
+    }
+
+    #[inline]
     fn visit_count(&self, node: NodeId) -> u64 {
         self.resident.visit_count(node)
     }
 
-    fn visit_counts(&self) -> Vec<u64> {
-        self.resident.visit_counts().to_vec()
+    fn visit_counts(&self) -> Cow<'_, [u64]> {
+        Cow::Borrowed(self.resident.visit_counts())
     }
 
     #[inline]
@@ -354,21 +907,40 @@ impl WalkIndexMut for DiskWalkStore {
         let slots = self.resident.node_count() * self.resident.r();
         if slots > self.dir.len() {
             self.dir.resize(slots, FileSlot::default());
+            self.in_arena.resize(slots, true);
+            if let Some(fault) = &mut self.fault {
+                fault.cells.resize_with(slots, FaultCell::new);
+                fault.prev_dir.resize(slots, FileSlot::default());
+            }
         }
     }
 
     fn set_segment(&mut self, id: SegmentId, path: &[NodeId]) {
+        self.materialize_for_write(id.index());
         self.resident.set_segment(id, path);
         self.update_file_slot(id.index(), path.len());
     }
 
     fn clear_segment(&mut self, id: SegmentId) {
+        self.materialize_for_write(id.index());
         self.resident.clear_segment(id);
         self.update_file_slot(id.index(), 0);
     }
 
+    fn apply_rewrites(&mut self, rewrites: &SegmentRewrites, _threads: usize) {
+        for (id, path) in rewrites.iter() {
+            self.set_segment(id, path);
+        }
+        // Batch boundary: shed cold decoded paths accumulated by the batch's reads.
+        self.trim_fault_cells();
+    }
+
     fn check_consistency(&self) -> Result<(), String> {
-        self.resident.check_consistency()?;
+        if self.fault.is_some() {
+            self.check_demand_paths()?;
+        } else {
+            self.resident.check_consistency()?;
+        }
         self.check_file_layout()
     }
 
@@ -381,26 +953,36 @@ impl WalkIndexMut for DiskWalkStore {
 }
 
 impl PersistentWalkStore for DiskWalkStore {
-    /// Page-granular write-back: dirty pages are rendered from the resident image,
-    /// clean pages are copied byte-for-byte out of the previous generation's file
-    /// through the page cache.
+    /// Page-granular write-back: dirty pages are rendered from the resident image
+    /// (faulting any untouched slots that share them), clean pages are streamed
+    /// byte-for-byte out of the previous generation's file **without** admitting
+    /// them to the cache — a checkpoint never faults the store resident.
     fn encode_walks(&mut self) -> PersistResult<Vec<u8>> {
         let page_count = self.page_count();
         let mut heap = vec![0xFFu8; page_count as usize * WALKS_PAGE_SIZE];
         let prev_pages = self
             .prev
             .as_ref()
-            .map(|p| p.header().page_count())
+            .map(|p| {
+                p.lock()
+                    .expect("page-cache mutex poisoned")
+                    .header()
+                    .page_count()
+            })
             .unwrap_or(0);
         for page in 0..page_count {
             let range = page as usize * WALKS_PAGE_SIZE..(page as usize + 1) * WALKS_PAGE_SIZE;
             let reusable = !self.all_dirty && !self.dirty.contains(&page) && page < prev_pages;
             if reusable {
-                let prev = self.prev.as_mut().expect("prev_pages > 0 implies a source");
-                heap[range].copy_from_slice(prev.read_page(page)?);
+                let prev = self.prev.as_ref().expect("prev_pages > 0 implies a source");
+                // Tight lock scope: render_page below may fault, which takes this
+                // same mutex.
+                prev.lock()
+                    .expect("page-cache mutex poisoned")
+                    .stream_page(page, &mut heap[range])?;
                 self.stats.pages_reused += 1;
             } else {
-                self.render_page(page, &mut heap[range]);
+                self.render_page(page, &mut heap[range])?;
                 self.stats.pages_rewritten += 1;
             }
         }
@@ -415,12 +997,32 @@ impl PersistentWalkStore for DiskWalkStore {
         let postings = crate::layout::encode_postings(&self.resident);
         let payload = assemble_walks_payload(&header, &self.dir, &postings, &heap);
         self.pending_heap = Some(heap);
+        // Rendering dirty pages may have faulted slot paths in; shed the cold ones.
+        self.trim_fault_cells();
         Ok(payload)
     }
 
+    /// Demand-paged open: installs the slot directory and the postings index only —
+    /// O(metadata), independent of the heap size at any budget.  Walk paths stay on
+    /// disk and fault in on first touch; the full path/index cross-check the flat
+    /// decode runs eagerly is deferred to per-fault validation plus
+    /// [`WalkIndexMut::check_consistency`].
     fn decode_walks(mut walks: PagedWalks) -> PersistResult<Self> {
         let header = *walks.header();
-        let resident = walks.decode_flat_store()?;
+        if header.shard_count != 1 {
+            return Err(format_err(format!(
+                "snapshot holds a {}-shard store; open it with the sharded engine",
+                header.shard_count
+            )));
+        }
+        let (postings, total) = walks.parse_postings()?;
+        let resident = WalkStore::from_postings_index(
+            header.node_count as usize,
+            header.r as usize,
+            postings,
+            total,
+        )
+        .map_err(corrupt)?;
 
         let dir = walks.dir().to_vec();
         let mut by_offset = BTreeMap::new();
@@ -437,6 +1039,22 @@ impl PersistentWalkStore for DiskWalkStore {
             .heap_len
             .checked_sub(reserved)
             .ok_or_else(|| corrupt("slot reservations exceed the heap"))?;
+
+        let budget = PageBudget::from_env();
+        apply_cache_policy(
+            budget,
+            resident.visit_counts(),
+            &dir,
+            header.r as usize,
+            &mut walks,
+        )?;
+        let fault = FaultState {
+            cells: (0..dir.len()).map(|_| FaultCell::new()).collect(),
+            prev_dir: dir.clone(),
+            resident_steps: AtomicU64::new(0),
+            budget_steps: budget.budget_steps(),
+        };
+        let in_arena: Vec<bool> = dir.iter().map(|s| s.len == 0).collect();
         let store = DiskWalkStore {
             resident,
             dir,
@@ -446,7 +1064,10 @@ impl PersistentWalkStore for DiskWalkStore {
             dead,
             dirty: BTreeSet::new(),
             all_dirty: false,
-            prev: Some(walks),
+            in_arena,
+            fault: Some(fault),
+            budget,
+            prev: Some(Mutex::new(walks)),
             pending_heap: None,
             stats: DiskStoreStats::default(),
         };
@@ -454,16 +1075,44 @@ impl PersistentWalkStore for DiskWalkStore {
         Ok(store)
     }
 
+    /// Streams every heap page against the CRC table without admitting anything —
+    /// one page of scratch, sequential I/O.  Called by the durable open so a rotted
+    /// or torn heap fails the load (and triggers generation fallback) instead of
+    /// panicking at some later demand fault.
+    fn verify_walks(&self) -> PersistResult<()> {
+        let Some(prev) = &self.prev else {
+            return Ok(());
+        };
+        let mut walks = prev.lock().expect("page-cache mutex poisoned");
+        let mut scratch = vec![0u8; WALKS_PAGE_SIZE];
+        for page in 0..walks.header().page_count() {
+            walks.stream_page(page, &mut scratch)?;
+        }
+        Ok(())
+    }
+
     fn after_checkpoint(&mut self, snap_path: &Path) -> PersistResult<()> {
         let mut next = PagedWalks::open(snap_path)?;
-        // Keep the pages we just wrote warm: the next write-back's clean pages then
-        // copy from memory instead of re-reading (and re-validating) the file.
+        apply_cache_policy(
+            self.budget,
+            self.resident.visit_counts(),
+            &self.dir,
+            self.resident.r(),
+            &mut next,
+        )?;
+        // Keep the pages we just wrote warm (within policy: pins always, the rest
+        // while the budget has room): the next write-back's clean pages then copy
+        // from memory instead of re-reading (and re-validating) the file.
         if let Some(heap) = self.pending_heap.take() {
-            next.preload_heap(&heap);
+            next.preload_heap(&heap)?;
         }
-        self.prev = Some(next);
+        if let Some(fault) = &mut self.fault {
+            fault.prev_dir.clone_from(&self.dir);
+        }
+        self.prev = Some(Mutex::new(next));
         self.dirty.clear();
         self.all_dirty = false;
+        self.trim_fault_cells();
         Ok(())
     }
 }
@@ -542,6 +1191,8 @@ mod tests {
         let reopened = DiskWalkStore::decode_walks(PagedWalks::open(&snap).unwrap()).unwrap();
         assert_eq!(reopened.visit_counts(), store.visit_counts());
         assert_eq!(reopened.heap_geometry(), store.heap_geometry());
+        // Open is metadata-only: nothing faulted yet.
+        assert_eq!(reopened.pager_stats().loads, 0);
         for slot in 0..5u32 {
             assert_eq!(
                 WalkIndexView::segment_path(&reopened, SegmentId(slot)),
@@ -549,14 +1200,14 @@ mod tests {
             );
         }
         assert!(WalkIndexMut::check_consistency(&reopened).is_ok());
-        // Cold open faulted every heap page in through the cache.
+        // The reads above demand-faulted the heap in through the cache.
         assert!(reopened.pager_stats().loads > 0);
     }
 
     #[test]
     fn second_checkpoint_reuses_clean_pages() {
         let tmp = TempDir::new("disk-reuse");
-        // 4096 slots with ~5 steps each spread over many pages.
+        // 2048 slots with ~3 steps each spread over many pages.
         let n = 2048usize;
         let mut store = DiskWalkStore::new(n, 1);
         for node in 0..n as u32 {
@@ -627,5 +1278,97 @@ mod tests {
         store.set_segment(id, &path_of(&[4, 0]));
         assert_eq!(WalkIndexView::visit_count(&store, NodeId(4)), 1);
         assert!(WalkIndexMut::check_consistency(&store).is_ok());
+    }
+
+    #[test]
+    fn bounded_reopen_matches_unbounded_and_stays_bounded() {
+        let tmp = TempDir::new("disk-bounded");
+        let snap = tmp.path().join("snap-0.ppr");
+        let n = 512usize;
+        let mut store = DiskWalkStore::new(n, 1);
+        for node in 0..n as u32 {
+            let id = SegmentId::new(NodeId(node), 0, 1);
+            // ~40 steps per slot: dozens of heap pages.
+            let mut p = vec![NodeId(node)];
+            p.extend((0..39).map(|k| NodeId((node + k) % n as u32)));
+            store.set_segment(id, &p);
+        }
+        checkpoint_to(&mut store, &snap);
+
+        let unbounded = DiskWalkStore::decode_walks(PagedWalks::open(&snap).unwrap()).unwrap();
+        let old = set_thread_page_budget(Some(PageBudget::bounded(2)));
+        let bounded = DiskWalkStore::decode_walks(PagedWalks::open(&snap).unwrap()).unwrap();
+        set_thread_page_budget(old);
+
+        for slot in (0..n as u32).rev() {
+            assert_eq!(
+                WalkIndexView::segment_path(&bounded, SegmentId(slot)),
+                WalkIndexView::segment_path(&unbounded, SegmentId(slot)),
+            );
+        }
+        let residency = bounded.residency();
+        assert!(
+            residency.resident_pages <= 2,
+            "budget of 2 pages respected, got {residency:?}"
+        );
+        assert!(bounded.pager_stats().evictions > 0, "tiny budget thrashed");
+        assert!(WalkIndexMut::check_consistency(&bounded).is_ok());
+    }
+
+    #[test]
+    fn writes_to_unfaulted_slots_preserve_the_index() {
+        let tmp = TempDir::new("disk-write-unfaulted");
+        let snap = tmp.path().join("snap-0.ppr");
+        let mut store = DiskWalkStore::new(8, 1);
+        for node in 0..8u32 {
+            let id = SegmentId::new(NodeId(node), 0, 1);
+            store.set_segment(id, &path_of(&[node, (node + 1) % 8, (node + 2) % 8]));
+        }
+        checkpoint_to(&mut store, &snap);
+        let mut reopened = DiskWalkStore::decode_walks(PagedWalks::open(&snap).unwrap()).unwrap();
+        // Overwrite a slot that was never read: the write path must unindex the old
+        // on-disk path (materializing it first), not corrupt the counters.
+        reopened.set_segment(SegmentId(3), &path_of(&[3, 3]));
+        reopened.clear_segment(SegmentId(5));
+        assert!(WalkIndexMut::check_consistency(&reopened).is_ok());
+        // And a follow-up checkpoint round-trips the mixed arena/disk state.
+        let snap1 = tmp.path().join("snap-1.ppr");
+        checkpoint_to(&mut reopened, &snap1);
+        let again = DiskWalkStore::decode_walks(PagedWalks::open(&snap1).unwrap()).unwrap();
+        assert_eq!(
+            WalkIndexView::segment_path(&again, SegmentId(3)),
+            path_of(&[3, 3]).as_slice()
+        );
+        assert!(WalkIndexView::segment_path(&again, SegmentId(5)).is_empty());
+        assert!(WalkIndexMut::check_consistency(&again).is_ok());
+    }
+
+    #[test]
+    fn concurrent_faults_decode_each_slot_once() {
+        let tmp = TempDir::new("disk-concurrent");
+        let snap = tmp.path().join("snap-0.ppr");
+        let n = 64usize;
+        let mut store = DiskWalkStore::new(n, 1);
+        for node in 0..n as u32 {
+            let id = SegmentId::new(NodeId(node), 0, 1);
+            store.set_segment(id, &path_of(&[node, (node + 1) % n as u32]));
+        }
+        checkpoint_to(&mut store, &snap);
+        let reopened = DiskWalkStore::decode_walks(PagedWalks::open(&snap).unwrap()).unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for slot in 0..n as u32 {
+                        let path = WalkIndexView::segment_path(&reopened, SegmentId(slot));
+                        assert_eq!(path[0], NodeId(slot));
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            reopened.residency().cached_path_steps,
+            2 * n as u64,
+            "each slot decoded exactly once despite racing readers"
+        );
     }
 }

@@ -366,16 +366,50 @@ impl PagedWalks {
         self.cache.stats()
     }
 
+    /// Sets the page cache's residency budget (`None` = unbounded), evicting down
+    /// immediately if needed.
+    pub fn configure_cache(&mut self, max_resident_pages: Option<usize>) {
+        self.cache.set_budget(max_resident_pages);
+    }
+
+    /// Replaces the page cache's pin set (pages that are never evicted).
+    pub fn pin_pages(&mut self, pages: &[u32]) -> PersistResult<()> {
+        self.cache.set_pinned_pages(pages)
+    }
+
+    /// Number of heap pages currently resident in the cache.
+    pub fn resident_pages(&self) -> usize {
+        self.cache.resident_pages()
+    }
+
+    /// Bytes of heap pages currently resident in the cache.
+    pub fn resident_bytes(&self) -> u64 {
+        self.cache.resident_bytes()
+    }
+
+    /// Number of resident pages that are pinned.
+    pub fn pinned_resident_pages(&self) -> usize {
+        self.cache.pinned_resident_pages()
+    }
+
+    /// Byte offset of heap page 0 within the snapshot file (test observability —
+    /// corruption tests flip bytes at exact heap positions).
+    pub fn heap_file_offset(&self) -> u64 {
+        self.cache.base_offset()
+    }
+
     /// Seeds the page cache from an in-memory heap image (the bytes a checkpoint
     /// just wrote), so follow-up write-backs copy clean pages from memory instead of
-    /// re-reading the file.
-    pub fn preload_heap(&mut self, heap: &[u8]) {
+    /// re-reading the file.  Admission follows the cache's policy: pinned pages
+    /// always enter, unpinned pages only while there is room under the budget.
+    pub fn preload_heap(&mut self, heap: &[u8]) -> PersistResult<()> {
         let page_size = self.header.page_size as usize;
         for (index, page) in heap.chunks(page_size).enumerate() {
             if page.len() == page_size {
-                self.cache.preload(index as u32, page);
+                self.cache.preload(index as u32, page)?;
             }
         }
+        Ok(())
     }
 
     /// Reads one validated heap page.
@@ -385,6 +419,17 @@ impl PagedWalks {
             .get(index as usize)
             .ok_or_else(|| corrupt(format!("heap page {index} out of range")))?;
         self.cache.read_page(index, crc)
+    }
+
+    /// Copies one validated heap page into `out` without admitting it to the cache
+    /// (cache hits are served from memory; misses stream from the file).  This is
+    /// the checkpoint write-back path for clean pages.
+    pub fn stream_page(&mut self, index: u32, out: &mut [u8]) -> PersistResult<()> {
+        let crc = *self
+            .page_crcs
+            .get(index as usize)
+            .ok_or_else(|| corrupt(format!("heap page {index} out of range")))?;
+        self.cache.read_page_into(index, crc, out)
     }
 
     /// Reads the `len` steps starting at heap offset `offset` (in steps) into `out`
@@ -425,6 +470,28 @@ impl PagedWalks {
         Ok(())
     }
 
+    /// Parses the serialized visit postings into per-node [`ppr_store::VisitPostings`] plus the
+    /// claimed total visit count.  This is the index half of the walks section —
+    /// demand-paged opens install it directly (paths stay on disk), the flat decode
+    /// pairs it with a full heap scan.
+    pub fn parse_postings(&self) -> PersistResult<(Vec<ppr_store::VisitPostings>, u64)> {
+        let mut reader = ByteReader::new(&self.postings_raw);
+        let mut postings = Vec::with_capacity(self.header.node_count as usize);
+        for _ in 0..self.header.node_count {
+            let count = reader.get_u32()? as usize;
+            let mut run = Vec::with_capacity(count);
+            for _ in 0..count {
+                let seg = SegmentId(reader.get_u32()?);
+                let visits = reader.get_u32()?;
+                run.push((seg, visits));
+            }
+            postings.push(ppr_store::VisitPostings::from_sorted_run(run).map_err(corrupt)?);
+        }
+        let total = reader.get_u64()?;
+        reader.expect_end("postings")?;
+        Ok((postings, total))
+    }
+
     /// Decodes the section into a flat [`WalkStore`] on the bulk-load fast path:
     /// paths stream out of the paged heap, the serialized postings become the index
     /// **directly** (no per-step replay through the delta overlay), and paths and
@@ -454,20 +521,7 @@ impl PagedWalks {
             bounds.push((SegmentId(slot), start, path.len()));
         }
         // The serialized postings become the index verbatim.
-        let mut reader = ByteReader::new(&self.postings_raw);
-        let mut postings = Vec::with_capacity(header.node_count as usize);
-        for _ in 0..header.node_count {
-            let count = reader.get_u32()? as usize;
-            let mut run = Vec::with_capacity(count);
-            for _ in 0..count {
-                let seg = SegmentId(reader.get_u32()?);
-                let visits = reader.get_u32()?;
-                run.push((seg, visits));
-            }
-            postings.push(ppr_store::VisitPostings::from_sorted_run(run).map_err(corrupt)?);
-        }
-        let total = reader.get_u64()?;
-        reader.expect_end("postings")?;
+        let (postings, total) = self.parse_postings()?;
 
         let store = WalkStore::bulk_load(
             header.node_count as usize,
@@ -544,6 +598,15 @@ pub trait PersistentWalkStore: WalkIndexMut + Sized {
     /// source here.
     fn after_checkpoint(&mut self, snap_path: &Path) -> PersistResult<()> {
         let _ = snap_path;
+        Ok(())
+    }
+
+    /// Verifies whatever payload bytes `decode_walks` deferred reading.  The durable
+    /// open path calls this so that a corrupt generation is detected *while fallback
+    /// to an older generation is still possible* — a demand-paged store streams its
+    /// unread heap pages against the CRC table here (bounded memory, no admission).
+    /// Stores whose decode already read everything have nothing left to check.
+    fn verify_walks(&self) -> PersistResult<()> {
         Ok(())
     }
 }

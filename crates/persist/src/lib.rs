@@ -47,7 +47,7 @@ pub mod wal;
 
 pub use crc::crc32;
 pub use dir::StoreDir;
-pub use disk::{DiskStoreStats, DiskWalkStore};
+pub use disk::{set_thread_page_budget, DiskStoreStats, DiskWalkStore, PageBudget, ResidencyStats};
 pub use io::{PersistError, PersistResult};
 pub use layout::{PagedWalks, PersistentWalkStore};
 pub use lock::StoreLock;

@@ -1,35 +1,58 @@
-//! A page-granular read cache over a [`File`] region.
+//! A bounded, evicting page cache over a [`File`] region.
 //!
 //! The snapshot's walk heap is laid out in fixed-size pages ([`crate::layout`]); this
-//! cache is how those pages are read back: cold-open faults pages in on first touch,
-//! repeated reads hit memory, and checkpoint write-back streams **clean** pages out of
-//! the cache (or the file) byte-for-byte instead of re-encoding them.  Hit/miss/byte
-//! counters make the cost observable in the persistence bench.
+//! cache is how those pages are read back.  Reads demand-fault pages on first touch
+//! and verify each faulted image against a caller-supplied CRC — on *every* (re-)fault,
+//! not just the first, so an evicted page that rots on disk is caught the moment it is
+//! needed again.  Residency is bounded: an optional `max_resident_pages` budget is
+//! enforced with CLOCK (second-chance) eviction over the unpinned resident set, and a
+//! caller-supplied pin set marks pages as unevictable (the disk store pins the pages of
+//! its hottest nodes, exploiting the power-law visit skew as the admission policy).
 //!
-//! Pages are validated against a caller-supplied CRC on first load, so a cached page
-//! is always a verified page.  The cache holds every loaded page until dropped —
-//! eviction (and the mmap fast path) is the documented follow-up; the resident set is
-//! bounded by the store size, which is the same bound the in-memory engine already
-//! pays.
+//! Frames live in a flat table indexed by page number (`Vec<Option<Frame>>`), so the
+//! hot read path is two direct slot accesses with zero hashing.  This deliberately
+//! replaces the earlier `HashMap` cache — besides the double-lookup it forced on hits,
+//! a map cannot hand back a borrow from a single probe on stable Rust once eviction
+//! needs `&mut` access mid-function (NLL problem case #3); the frame table can.
+//!
+//! Checkpoint write-back uses [`PageCache::read_page_into`], which serves cache hits
+//! from memory but streams misses file-to-file **without admission** — cloning a
+//! generation never faults the whole store resident.  Hit/miss/eviction/streamed
+//! counters make every regime observable in the persistence bench.
 
 use crate::crc::crc32;
 use crate::io::{corrupt, PersistResult};
-use std::collections::HashMap;
+use std::collections::VecDeque;
 use std::fs::File;
 use std::io::{Read, Seek, SeekFrom};
 
 /// Access counters of a [`PageCache`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PagerStats {
-    /// Pages faulted in from the file (first touch).
+    /// Pages faulted in from the file (first touch or re-fault after eviction).
     pub loads: u64,
     /// Page reads served from memory.
     pub hits: u64,
     /// Bytes read from the file.
     pub bytes_read: u64,
+    /// Resident pages evicted to stay under the budget.
+    pub evictions: u64,
+    /// Subset of `loads` that re-faulted a page evicted earlier.
+    pub refaults: u64,
+    /// Pages served to streaming readers straight from the file, bypassing admission
+    /// (checkpoint write-back of clean pages).
+    pub streamed: u64,
 }
 
-/// A read cache over a fixed-size-page region of a file.
+/// One resident page.
+#[derive(Debug)]
+struct Frame {
+    bytes: Box<[u8]>,
+    /// CLOCK reference bit: set on every access, cleared when the hand passes.
+    referenced: bool,
+}
+
+/// A bounded read cache over a fixed-size-page region of a file.
 #[derive(Debug)]
 pub struct PageCache {
     file: File,
@@ -37,20 +60,36 @@ pub struct PageCache {
     base: u64,
     page_size: usize,
     page_count: u32,
-    pages: HashMap<u32, Box<[u8]>>,
+    /// Frame table indexed by page number; `None` means not resident.
+    frames: Vec<Option<Frame>>,
+    /// Number of `Some` entries in `frames`.
+    resident: usize,
+    /// Residency budget in pages; `None` means unbounded.
+    budget: Option<usize>,
+    /// Unevictable pages (admitted past the budget if everything else is pinned).
+    pinned: Vec<bool>,
+    /// CLOCK ring: exactly the resident *unpinned* pages, each once.
+    clock: VecDeque<u32>,
+    /// Pages that have been resident at least once (distinguishes re-faults).
+    ever_resident: Vec<bool>,
     stats: PagerStats,
 }
 
 impl PageCache {
     /// Wraps `file` from byte offset `base`, exposing `page_count` pages of
-    /// `page_size` bytes each.
+    /// `page_size` bytes each.  The cache starts unbounded with no pins.
     pub fn new(file: File, base: u64, page_size: usize, page_count: u32) -> Self {
         PageCache {
             file,
             base,
             page_size,
             page_count,
-            pages: HashMap::new(),
+            frames: (0..page_count).map(|_| None).collect(),
+            resident: 0,
+            budget: None,
+            pinned: vec![false; page_count as usize],
+            clock: VecDeque::new(),
+            ever_resident: vec![false; page_count as usize],
             stats: PagerStats::default(),
         }
     }
@@ -65,46 +104,240 @@ impl PageCache {
         self.page_size
     }
 
+    /// Byte offset of page 0 within the backing file.
+    pub fn base_offset(&self) -> u64 {
+        self.base
+    }
+
     /// Access counters since construction.
     pub fn stats(&self) -> PagerStats {
         self.stats
     }
 
-    /// Seeds the cache with an already-validated page image (used after a checkpoint
-    /// to keep the just-written generation's pages warm instead of re-reading them
-    /// from disk on the next write-back).
-    pub fn preload(&mut self, index: u32, bytes: &[u8]) {
-        debug_assert_eq!(bytes.len(), self.page_size);
-        if index < self.page_count {
-            self.pages.insert(index, bytes.to_vec().into_boxed_slice());
+    /// Number of pages currently resident.
+    pub fn resident_pages(&self) -> usize {
+        self.resident
+    }
+
+    /// Bytes of page data currently resident.
+    pub fn resident_bytes(&self) -> u64 {
+        self.resident as u64 * self.page_size as u64
+    }
+
+    /// Number of resident pages that are pinned.
+    pub fn pinned_resident_pages(&self) -> usize {
+        self.frames
+            .iter()
+            .zip(&self.pinned)
+            .filter(|(f, &p)| f.is_some() && p)
+            .count()
+    }
+
+    /// Sets the residency budget (`None` = unbounded), evicting down if the current
+    /// resident set exceeds it.  A budget of 0 is clamped to 1 — a cache that can
+    /// hold nothing cannot serve reads.
+    pub fn set_budget(&mut self, budget: Option<usize>) {
+        self.budget = budget.map(|b| b.max(1));
+        if let Some(limit) = self.budget {
+            while self.resident > limit && self.evict_one() {}
         }
     }
 
-    /// Reads page `index`, faulting it in from the file on first touch and verifying
-    /// it against `expected_crc` before it enters the cache.
-    pub fn read_page(&mut self, index: u32, expected_crc: u32) -> PersistResult<&[u8]> {
+    /// Current residency budget (`None` = unbounded).
+    pub fn budget(&self) -> Option<usize> {
+        self.budget
+    }
+
+    /// Replaces the pin set.  Pinned pages are never evicted and are admitted even
+    /// at budget (evicting an unpinned page to make room).  Rebuilds the CLOCK ring
+    /// and evicts down if newly-unpinned pages push the set over budget.
+    pub fn set_pinned_pages(&mut self, pages: &[u32]) -> PersistResult<()> {
+        for &page in pages {
+            if page >= self.page_count {
+                return Err(corrupt(format!(
+                    "pinned page {page} out of range ({} pages)",
+                    self.page_count
+                )));
+            }
+        }
+        self.pinned.iter_mut().for_each(|p| *p = false);
+        for &page in pages {
+            self.pinned[page as usize] = true;
+        }
+        self.clock.clear();
+        for index in 0..self.page_count {
+            if self.frames[index as usize].is_some() && !self.pinned[index as usize] {
+                self.clock.push_back(index);
+            }
+        }
+        if let Some(limit) = self.budget {
+            while self.resident > limit && self.evict_one() {}
+        }
+        Ok(())
+    }
+
+    fn check_range(&self, index: u32) -> PersistResult<()> {
         if index >= self.page_count {
             return Err(corrupt(format!(
                 "page {index} out of range ({} pages)",
                 self.page_count
             )));
         }
-        if self.pages.contains_key(&index) {
+        Ok(())
+    }
+
+    /// Reads the page's bytes from the file into `out` (no CRC check, no counters
+    /// beyond `bytes_read`).
+    fn read_from_file(&mut self, index: u32, out: &mut [u8]) -> PersistResult<()> {
+        self.file.seek(SeekFrom::Start(
+            self.base + index as u64 * self.page_size as u64,
+        ))?;
+        self.file.read_exact(out)?;
+        self.stats.bytes_read += self.page_size as u64;
+        Ok(())
+    }
+
+    /// Evicts one unpinned resident page chosen by CLOCK second-chance: the hand
+    /// skips (and demotes) referenced pages once, then takes the first unreferenced
+    /// one.  Returns `false` when nothing is evictable (all resident pages pinned).
+    fn evict_one(&mut self) -> bool {
+        // Each ring entry is inspected at most twice (demote, then take), so the
+        // loop is bounded even when every page starts referenced.
+        for _ in 0..2 * self.clock.len() {
+            let Some(index) = self.clock.pop_front() else {
+                return false;
+            };
+            let frame = self.frames[index as usize]
+                .as_mut()
+                .expect("clock ring holds only resident pages");
+            if frame.referenced {
+                frame.referenced = false;
+                self.clock.push_back(index);
+                continue;
+            }
+            self.frames[index as usize] = None;
+            self.resident -= 1;
+            self.stats.evictions += 1;
+            return true;
+        }
+        !self.clock.is_empty() && {
+            // Unreachable in practice (two passes always find a victim), but keep
+            // the loop bound honest: take the hand's page unconditionally.
+            let index = self.clock.pop_front().expect("checked non-empty");
+            self.frames[index as usize] = None;
+            self.resident -= 1;
+            self.stats.evictions += 1;
+            true
+        }
+    }
+
+    /// Installs a verified page image, evicting to budget first.  If every resident
+    /// page is pinned the budget is exceeded rather than failing the read.
+    fn admit(&mut self, index: u32, bytes: Box<[u8]>) {
+        if let Some(limit) = self.budget {
+            while self.resident >= limit && self.evict_one() {}
+        }
+        let slot = &mut self.frames[index as usize];
+        debug_assert!(slot.is_none(), "admitting an already-resident page");
+        *slot = Some(Frame {
+            bytes,
+            referenced: true,
+        });
+        self.resident += 1;
+        self.ever_resident[index as usize] = true;
+        if !self.pinned[index as usize] {
+            self.clock.push_back(index);
+        }
+    }
+
+    /// Seeds the cache with an already-validated page image (used after a checkpoint
+    /// to keep just-written pages warm instead of re-reading them from disk).
+    ///
+    /// Out-of-range indices and wrong-length images are hard errors — a caller that
+    /// trips either has corrupted its geometry bookkeeping.  Admission is a policy
+    /// decision, not an error: pinned pages always enter (evicting unpinned ones if
+    /// needed); unpinned pages enter only while there is room under the budget —
+    /// warming the cache never evicts demand-faulted pages.
+    pub fn preload(&mut self, index: u32, bytes: &[u8]) -> PersistResult<()> {
+        self.check_range(index)?;
+        if bytes.len() != self.page_size {
+            return Err(corrupt(format!(
+                "preload of page {index} with {} bytes, page size is {}",
+                bytes.len(),
+                self.page_size
+            )));
+        }
+        if let Some(frame) = self.frames[index as usize].as_mut() {
+            frame.bytes.copy_from_slice(bytes);
+            return Ok(());
+        }
+        if !self.pinned[index as usize] {
+            if let Some(limit) = self.budget {
+                if self.resident >= limit {
+                    return Ok(());
+                }
+            }
+        }
+        self.admit(index, bytes.to_vec().into_boxed_slice());
+        Ok(())
+    }
+
+    /// Reads page `index`, demand-faulting it from the file on a miss and verifying
+    /// the image against `expected_crc` before it enters the cache.  Every fault is
+    /// verified — including re-faults of pages evicted earlier.
+    pub fn read_page(&mut self, index: u32, expected_crc: u32) -> PersistResult<&[u8]> {
+        self.check_range(index)?;
+        if self.frames[index as usize].is_some() {
             self.stats.hits += 1;
         } else {
             let mut buf = vec![0u8; self.page_size].into_boxed_slice();
-            self.file.seek(SeekFrom::Start(
-                self.base + index as u64 * self.page_size as u64,
-            ))?;
-            self.file.read_exact(&mut buf)?;
-            self.stats.loads += 1;
-            self.stats.bytes_read += self.page_size as u64;
+            self.read_from_file(index, &mut buf)?;
             if crc32(&buf) != expected_crc {
                 return Err(corrupt(format!("checksum mismatch on heap page {index}")));
             }
-            self.pages.insert(index, buf);
+            self.stats.loads += 1;
+            if self.ever_resident[index as usize] {
+                self.stats.refaults += 1;
+            }
+            self.admit(index, buf);
         }
-        Ok(&self.pages[&index])
+        let frame = self.frames[index as usize]
+            .as_mut()
+            .expect("page resident after fault");
+        frame.referenced = true;
+        Ok(&frame.bytes)
+    }
+
+    /// Copies page `index` into `out` without admitting it: cache hits are served
+    /// from memory, misses stream from the file (CRC-verified) and leave the
+    /// resident set untouched.  This is the checkpoint write-back path — cloning a
+    /// generation must not fault the whole store resident.
+    pub fn read_page_into(
+        &mut self,
+        index: u32,
+        expected_crc: u32,
+        out: &mut [u8],
+    ) -> PersistResult<()> {
+        self.check_range(index)?;
+        if out.len() != self.page_size {
+            return Err(corrupt(format!(
+                "streaming read of page {index} into {} bytes, page size is {}",
+                out.len(),
+                self.page_size
+            )));
+        }
+        if let Some(frame) = self.frames[index as usize].as_mut() {
+            frame.referenced = true;
+            self.stats.hits += 1;
+            out.copy_from_slice(&frame.bytes);
+            return Ok(());
+        }
+        self.read_from_file(index, out)?;
+        if crc32(out) != expected_crc {
+            return Err(corrupt(format!("checksum mismatch on heap page {index}")));
+        }
+        self.stats.streamed += 1;
+        Ok(())
     }
 }
 
@@ -141,7 +374,9 @@ mod tests {
             assert_eq!(stats.loads, 3);
             assert_eq!(stats.hits, round * 3);
             assert_eq!(stats.bytes_read, 24);
+            assert_eq!(stats.evictions, 0);
         }
+        assert_eq!(cache.resident_pages(), 3);
     }
 
     #[test]
@@ -151,5 +386,98 @@ mod tests {
         let mut cache = PageCache::new(file, 4, 8, 1);
         assert!(cache.read_page(0, crcs[0] ^ 1).is_err());
         assert!(cache.read_page(1, 0).is_err());
+    }
+
+    #[test]
+    fn budget_evicts_and_refaults_verify_crc() {
+        let pages = [[1u8; 8], [2u8; 8], [3u8; 8]];
+        let (_dir, file, crcs) = setup(&pages);
+        let mut cache = PageCache::new(file, 4, 8, 3);
+        cache.set_budget(Some(1));
+        for (i, page) in pages.iter().enumerate() {
+            assert_eq!(cache.read_page(i as u32, crcs[i]).unwrap(), page);
+        }
+        assert_eq!(cache.resident_pages(), 1);
+        assert_eq!(cache.stats().evictions, 2);
+        // Page 0 was evicted; reading it again is a verified re-fault.
+        assert_eq!(cache.read_page(0, crcs[0]).unwrap(), &pages[0]);
+        let stats = cache.stats();
+        assert_eq!(stats.loads, 4);
+        assert_eq!(stats.refaults, 1);
+        // A wrong CRC on a re-fault is caught, not served stale.
+        assert!(cache.read_page(1, crcs[1] ^ 1).is_err());
+    }
+
+    #[test]
+    fn clock_gives_referenced_pages_a_second_chance() {
+        let pages = [[1u8; 8], [2u8; 8], [3u8; 8], [4u8; 8]];
+        let (_dir, file, crcs) = setup(&pages);
+        let mut cache = PageCache::new(file, 4, 8, 4);
+        cache.set_budget(Some(3));
+        for i in 0..3 {
+            cache.read_page(i, crcs[i as usize]).unwrap();
+        }
+        // Admitting page 3 demotes everyone and evicts page 0; pages 1 and 2 are now
+        // resident with cleared reference bits.
+        cache.read_page(3, crcs[3]).unwrap();
+        assert_eq!(cache.stats().evictions, 1);
+        // Touch page 1: its reference bit protects it from the next pass, so
+        // re-admitting page 0 must skip page 1 and evict page 2 instead.
+        cache.read_page(1, crcs[1]).unwrap();
+        cache.read_page(0, crcs[0]).unwrap();
+        assert!(cache.frames[1].is_some(), "recently-used page survived");
+        assert!(cache.frames[2].is_none(), "cold page took the eviction");
+        assert_eq!(cache.stats().evictions, 2);
+    }
+
+    #[test]
+    fn pinned_pages_are_never_evicted() {
+        let pages = [[1u8; 8], [2u8; 8], [3u8; 8]];
+        let (_dir, file, crcs) = setup(&pages);
+        let mut cache = PageCache::new(file, 4, 8, 3);
+        cache.set_budget(Some(1));
+        cache.set_pinned_pages(&[0]).unwrap();
+        cache.read_page(0, crcs[0]).unwrap();
+        cache.read_page(1, crcs[1]).unwrap();
+        cache.read_page(2, crcs[2]).unwrap();
+        // The pinned page rides along past the budget; the unpinned ones thrash.
+        assert!(cache.frames[0].is_some(), "pinned page stays resident");
+        assert_eq!(cache.pinned_resident_pages(), 1);
+        assert!(cache.set_pinned_pages(&[3]).is_err(), "pin out of range");
+    }
+
+    #[test]
+    fn preload_misuse_is_a_hard_error_and_never_evicts() {
+        let pages = [[1u8; 8], [2u8; 8]];
+        let (_dir, file, crcs) = setup(&pages);
+        let mut cache = PageCache::new(file, 4, 8, 2);
+        assert!(cache.preload(2, &[0u8; 8]).is_err(), "out of range");
+        assert!(cache.preload(0, &[0u8; 4]).is_err(), "wrong length");
+        cache.set_budget(Some(1));
+        cache.read_page(0, crcs[0]).unwrap();
+        // At budget: an unpinned preload is declined rather than evicting a
+        // demand-faulted page.
+        cache.preload(1, &pages[1]).unwrap();
+        assert!(cache.frames[0].is_some());
+        assert!(cache.frames[1].is_none());
+        assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    fn streaming_reads_bypass_admission() {
+        let pages = [[1u8; 8], [2u8; 8]];
+        let (_dir, file, crcs) = setup(&pages);
+        let mut cache = PageCache::new(file, 4, 8, 2);
+        let mut out = [0u8; 8];
+        cache.read_page_into(0, crcs[0], &mut out).unwrap();
+        assert_eq!(out, pages[0]);
+        assert_eq!(cache.resident_pages(), 0, "streamed page not admitted");
+        assert_eq!(cache.stats().streamed, 1);
+        // A cached page serves the streaming read from memory.
+        cache.read_page(1, crcs[1]).unwrap();
+        cache.read_page_into(1, crcs[1], &mut out).unwrap();
+        assert_eq!(out, pages[1]);
+        assert_eq!(cache.stats().hits, 1);
+        assert!(cache.read_page_into(0, crcs[0] ^ 1, &mut out).is_err());
     }
 }

@@ -223,13 +223,30 @@ impl SnapshotFile {
         self.file
     }
 
-    /// Reads every section and verifies every payload checksum — the full-file
-    /// validation used when deciding whether a generation is loadable at all.
+    /// Verifies every section's payload checksum by streaming the file through a
+    /// fixed 64 KiB buffer — the full-file validation used when deciding whether a
+    /// generation is loadable at all.  Streaming matters now that stores are
+    /// larger than RAM by design: validation must never materialize a section the
+    /// page cache exists to avoid holding.
     pub fn verify_all(path: &Path) -> PersistResult<()> {
         let mut snap = SnapshotFile::open(path)?;
-        let tags: Vec<u32> = snap.sections.iter().map(|s| s.tag).collect();
-        for tag in tags {
-            snap.read_section(tag)?;
+        let mut buf = vec![0u8; 64 * 1024];
+        for info in snap.sections.clone() {
+            snap.file.seek(SeekFrom::Start(info.offset))?;
+            let mut hasher = crate::crc::Crc32::new();
+            let mut remaining = info.len;
+            while remaining > 0 {
+                let chunk = buf.len().min(remaining as usize);
+                snap.file.read_exact(&mut buf[..chunk])?;
+                hasher.update(&buf[..chunk]);
+                remaining -= chunk as u64;
+            }
+            if hasher.finish() != info.crc {
+                return Err(corrupt(format!(
+                    "checksum mismatch in section {}",
+                    info.tag
+                )));
+            }
         }
         Ok(())
     }

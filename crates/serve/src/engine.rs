@@ -44,8 +44,7 @@ use crate::FetchCache;
 use ppr_core::{GroupCommit, IncrementalPageRank, IncrementalSalsa, UpdateStats};
 use ppr_graph::{DynamicGraph, Edge, GraphView, NodeId};
 use ppr_store::{
-    FrozenGraph, FrozenWalks, SegmentId, SegmentRewrites, TouchedChunks, WalkIndexMut,
-    WalkIndexView,
+    FrozenGraph, FrozenWalks, SegmentRewrites, TouchedChunks, WalkIndexMut, WalkIndexView,
 };
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, SyncSender};
@@ -72,8 +71,9 @@ pub enum MirrorOp {
     Growth {
         /// Node count after the growth.
         to: usize,
-        /// The new nodes' non-empty segment paths, in `segment_ids_of` order.
-        segments: Vec<(SegmentId, Vec<NodeId>)>,
+        /// The new nodes' non-empty segment paths, in `segment_ids_of` order,
+        /// packed into a pooled plan buffer (same recycling as `Rewrites`).
+        segments: SegmentRewrites,
     },
     /// A reconciled rewrite plan, exactly as the engine applied it to the live
     /// store.
@@ -91,8 +91,20 @@ pub struct OpsRecorder {
 }
 
 impl OpsRecorder {
-    /// Appends a growth op.
-    fn push_growth(&mut self, to: usize, segments: Vec<(SegmentId, Vec<NodeId>)>) {
+    /// Appends a growth op, packing the new nodes' segments into a recycled plan
+    /// buffer — no per-segment path allocation in steady state.
+    fn push_growth<W: WalkIndexView + ?Sized>(&mut self, store: &W, from: usize, to: usize) {
+        let mut segments = self.spare_plans.pop().unwrap_or_default();
+        segments.clear();
+        for node in from..to {
+            let node = NodeId::from_index(node);
+            for id in store.segment_ids_of(node) {
+                let path = store.segment_path(id);
+                if !path.is_empty() {
+                    segments.push(id, path);
+                }
+            }
+        }
         self.ops.push(MirrorOp::Growth { to, segments });
     }
 
@@ -152,23 +164,13 @@ pub trait ServeEngine {
 }
 
 /// Records the segments of nodes the batch created (store node count was `from`
-/// before the batch applied).
+/// before the batch applied), through the recorder's pooled plan buffers.
 fn record_growth<W: WalkIndexView + ?Sized>(store: &W, from: usize, rec: &mut OpsRecorder) {
     let to = store.node_count();
     if to <= from {
         return;
     }
-    let mut segments = Vec::new();
-    for node in from..to {
-        let node = NodeId::from_index(node);
-        for id in store.segment_ids_of(node) {
-            let path = store.segment_path(id);
-            if !path.is_empty() {
-                segments.push((id, path.to_vec()));
-            }
-        }
-    }
-    rec.push_growth(to, segments);
+    rec.push_growth(store, from, to);
 }
 
 /// Records one applied plan (growth first: the plan may rewrite segments of nodes
@@ -415,9 +417,9 @@ impl Committer {
             match op {
                 MirrorOp::Growth { to, segments } => {
                     self.mirror_walks.ensure_nodes(*to);
-                    for (id, path) in segments {
+                    for (id, path) in segments.iter() {
                         self.mirror_walks
-                            .set_segment_recording(*id, path, &mut self.touched);
+                            .set_segment_recording(id, path, &mut self.touched);
                     }
                 }
                 MirrorOp::Rewrites(plan) => self
@@ -794,8 +796,10 @@ impl<E: ServeEngine> QueryEngine<E> {
             CommitMode::Inline(committer) => {
                 let mut shell = committer.run(task);
                 for op in shell.ops.drain(..) {
-                    if let MirrorOp::Rewrites(plan) = op {
-                        self.recorder.recycle_plan(plan);
+                    match op {
+                        MirrorOp::Rewrites(plan) | MirrorOp::Growth { segments: plan, .. } => {
+                            self.recorder.recycle_plan(plan)
+                        }
                     }
                 }
                 self.spare_task = Some(shell);

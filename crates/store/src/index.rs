@@ -27,6 +27,7 @@
 use crate::segment::SegmentId;
 use crate::walks::WalkStore;
 use ppr_graph::NodeId;
+use std::borrow::Cow;
 
 /// The read-only query surface of a PageRank Store: `R` walk segments per node plus
 /// the exact visit counters.  Implemented both by the live stores (through
@@ -92,9 +93,10 @@ pub trait WalkIndexView {
     /// Total walk-segment visits to `node` (the paper's `W(v)` / the estimator's `X_v`).
     fn visit_count(&self, node: NodeId) -> u64;
 
-    /// The full visit-count vector, indexed by node (materialized: a sharded store
-    /// keeps the counters striped per shard).
-    fn visit_counts(&self) -> Vec<u64>;
+    /// The full visit-count vector, indexed by node.  Stores that keep the counters
+    /// in one flat vector borrow (`Cow::Borrowed`); only stores that stripe them —
+    /// per shard, per generation chunk — materialize an owned vector.
+    fn visit_counts(&self) -> Cow<'_, [u64]>;
 
     /// Sum of all visit counts (total stored walk length).
     fn total_visits(&self) -> u64;
@@ -312,8 +314,8 @@ impl WalkIndexView for WalkStore {
         WalkStore::visit_count(self, node)
     }
 
-    fn visit_counts(&self) -> Vec<u64> {
-        WalkStore::visit_counts(self).to_vec()
+    fn visit_counts(&self) -> Cow<'_, [u64]> {
+        Cow::Borrowed(WalkStore::visit_counts(self))
     }
 
     #[inline]

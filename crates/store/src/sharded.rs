@@ -358,10 +358,12 @@ impl crate::index::WalkIndexView for ShardedWalkStore {
         self.shards[self.shard_of(node)].visit_counts[routing::local_index(node, self.shard_count)]
     }
 
-    fn visit_counts(&self) -> Vec<u64> {
-        (0..self.node_count)
-            .map(|g| self.shards[g % self.shard_count].visit_counts[g / self.shard_count])
-            .collect()
+    fn visit_counts(&self) -> std::borrow::Cow<'_, [u64]> {
+        std::borrow::Cow::Owned(
+            (0..self.node_count)
+                .map(|g| self.shards[g % self.shard_count].visit_counts[g / self.shard_count])
+                .collect(),
+        )
     }
 
     fn total_visits(&self) -> u64 {

@@ -574,13 +574,13 @@ impl WalkIndexView for FrozenWalks {
         self.counts.get(node.index() / COUNTS_PER_CHUNK)[node.index() % COUNTS_PER_CHUNK]
     }
 
-    fn visit_counts(&self) -> Vec<u64> {
+    fn visit_counts(&self) -> std::borrow::Cow<'_, [u64]> {
         let mut out = Vec::with_capacity(self.node_count);
         for chunk in self.counts.iter() {
             let take = (self.node_count - out.len()).min(COUNTS_PER_CHUNK);
             out.extend_from_slice(&chunk[..take]);
         }
-        out
+        std::borrow::Cow::Owned(out)
     }
 
     #[inline]

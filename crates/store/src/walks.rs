@@ -126,6 +126,67 @@ impl WalkStore {
         })
     }
 
+    /// Demand-paging constructor: installs a pre-parsed postings index and the visit
+    /// counters it implies over an **empty** step arena.  The paths themselves stay
+    /// on disk; the owner faults them in lazily and installs each one with
+    /// [`Self::install_indexed_path`].  The only cross-check possible without the
+    /// paths is the aggregate one — per-node totals summing to `total_visits`; path
+    /// shape is validated per segment at fault time instead.
+    pub fn from_postings_index(
+        node_count: usize,
+        r: usize,
+        postings: Vec<VisitPostings>,
+        total_visits: u64,
+    ) -> Result<Self, String> {
+        if r == 0 {
+            return Err("need at least one walk segment per node".to_string());
+        }
+        if postings.len() != node_count {
+            return Err(format!(
+                "got postings for {} nodes, expected {node_count}",
+                postings.len()
+            ));
+        }
+        let mut visit_counts = vec![0u64; node_count];
+        let mut sum = 0u64;
+        for (v, node_postings) in postings.iter().enumerate() {
+            let total = node_postings.total();
+            visit_counts[v] = total;
+            sum += total;
+        }
+        if sum != total_visits {
+            return Err(format!(
+                "postings sum to {sum} visits but the index claims {total_visits}"
+            ));
+        }
+        Ok(WalkStore {
+            r,
+            arena: StepArena::new(node_count * r),
+            postings,
+            visit_counts,
+            total_visits,
+        })
+    }
+
+    /// Installs `path` into segment `id`'s arena slot **without touching the visit
+    /// index** — the postings and counters must already account for exactly this
+    /// path.  This is the materialization half of demand paging: the index was
+    /// installed wholesale by [`Self::from_postings_index`], the paths arrive one at
+    /// a time as the disk store faults them.
+    pub fn install_indexed_path(&mut self, id: SegmentId, path: &[NodeId]) {
+        debug_assert_eq!(
+            self.arena.len_of(id.index()),
+            0,
+            "slot already materialized"
+        );
+        debug_assert!(
+            path.first()
+                .is_none_or(|&first| first == self.source_of(id)),
+            "segment {id:?} does not start at its source"
+        );
+        self.arena.write(id.index(), path);
+    }
+
     /// Number of segments stored per node.
     #[inline]
     pub fn r(&self) -> usize {

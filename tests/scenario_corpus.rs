@@ -200,6 +200,18 @@ fn steady_mix_survives_chaos_bit_identically() {
 }
 
 #[test]
+fn steady_mix_survives_chaos_under_tiny_page_budget() {
+    // The full chaos matrix again, but with every disk-backed store opened under a
+    // two-page cache: demand faults, CLOCK evictions, and CRC re-verification are
+    // all exercised on the recovery path, and none of it may change a bit.  The
+    // thread-local override reaches every open because engines (including
+    // recovery reopens) open their stores on the calling thread.
+    let previous = ppr_persist::set_thread_page_budget(Some(ppr_persist::PageBudget::bounded(2)));
+    corpus_scenario_survives_chaos(corpus::steady_mix());
+    ppr_persist::set_thread_page_budget(previous);
+}
+
+#[test]
 fn pipelined_commits_survive_chaos_bit_identically() {
     // The full composition with the commit pipeline on: a durable engine replays a
     // corpus trace through a pipelined, group-committing serving session while the
