@@ -15,6 +15,9 @@
 //!   arrival/deletion batches continuously; reports reader QPS, tail latency while
 //!   generations publish, and the writer's sustained throughput with readers
 //!   attached.
+//! * **Telemetry overhead** — the write path and query p50 with no registry, a
+//!   runtime-disabled registry, and a recording registry; both recording ratios
+//!   must stay within 1.03x of plain.
 //!
 //! Run with `cargo bench --bench query_serving`.
 
@@ -24,6 +27,7 @@ use ppr_graph::generators::{preferential_attachment_edges, PreferentialAttachmen
 use ppr_graph::stream::split_at_fraction;
 use ppr_graph::{DynamicGraph, Edge, NodeId};
 use ppr_serve::{Query, QueryEngine, ReaderPool, ServeHandle};
+use ppr_telemetry::Telemetry;
 use std::hint::black_box;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::channel;
@@ -348,6 +352,76 @@ fn report_scenario_regimes(_c: &mut Criterion) {
     }
 }
 
+/// Telemetry overhead: the identical write path and query batch served three
+/// ways — no registry attached, a registry attached but runtime-disabled, and a
+/// registry recording — with the direct ratios printed.  The acceptance gauge
+/// for the PR 9 observability layer is both recording ratios staying within
+/// 1.03x (≤3%) of the plain run: spans are pre-created histogram handles, so
+/// the hot path per commit stage / query is two clock reads plus four relaxed
+/// atomic adds.
+fn report_telemetry_overhead(_c: &mut Criterion) {
+    let (prefix, suffix) = stream();
+    let jobs = query_batch();
+    println!("report query_serving_telemetry_overhead (acceptance: recording <= 1.03x plain)");
+
+    // Write path: replay the suffix in 64-edge commits (one published
+    // generation each, so every commit crosses all four instrumented stages).
+    let mut best = [f64::INFINITY; 3];
+    for _ in 0..5 {
+        for (slot, tele) in [
+            (0usize, None),
+            (1, Some(Telemetry::disabled())),
+            (2, Some(Telemetry::new())),
+        ] {
+            let mut serving = serving_engine(&prefix);
+            if let Some(tele) = &tele {
+                serving = serving.with_telemetry(tele);
+            }
+            let t0 = Instant::now();
+            for chunk in suffix.chunks(64) {
+                serving.commit_arrivals(chunk);
+            }
+            best[slot] = best[slot].min(t0.elapsed().as_secs_f64());
+        }
+    }
+    println!(
+        "report   write_path: disabled {:.3}x, recording {:.3}x of plain \
+         ({:>8.0} edges/s plain)",
+        best[1] / best[0],
+        best[2] / best[0],
+        suffix.len() as f64 / best[0],
+    );
+
+    // Query path: the fixed personalized batch through one reader, p50 compared
+    // across the same three attachments (warm-up pass first, then best-of-3).
+    let pool = ReaderPool::new(1);
+    let mut p50s = [Duration::ZERO; 3];
+    for (slot, tele) in [
+        (0usize, None),
+        (1, Some(Telemetry::disabled())),
+        (2, Some(Telemetry::new())),
+    ] {
+        let mut serving = serving_engine(&prefix);
+        if let Some(tele) = &tele {
+            serving = serving.with_telemetry(tele);
+        }
+        let handle = serving.handle();
+        let _ = timed_serve(&pool, &handle, &jobs);
+        let mut best_p50 = Duration::MAX;
+        for _ in 0..3 {
+            let (_, mut lats) = timed_serve(&pool, &handle, &jobs);
+            best_p50 = best_p50.min(percentile(&mut lats, 0.50));
+        }
+        p50s[slot] = best_p50;
+    }
+    println!(
+        "report   query_p50: plain {:?}, disabled {:.3}x, recording {:.3}x",
+        p50s[0],
+        p50s[1].as_secs_f64() / p50s[0].as_secs_f64(),
+        p50s[2].as_secs_f64() / p50s[0].as_secs_f64(),
+    );
+}
+
 /// Criterion wall-clock groups: one pinned query, one commit+publish.
 fn bench_query_and_commit(c: &mut Criterion) {
     let (prefix, suffix) = stream();
@@ -389,6 +463,7 @@ criterion_group!(
     report_write_overhead,
     report_qps_scaling,
     report_qps_with_writer,
-    report_scenario_regimes
+    report_scenario_regimes,
+    report_telemetry_overhead
 );
 criterion_main!(query_serving);

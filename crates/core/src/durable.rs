@@ -152,6 +152,12 @@ impl DurableLog {
         self.gen
     }
 
+    /// Point-in-time WAL counters (appends, fsyncs, group-commit watermarks) of
+    /// the open writer; see [`ppr_persist::WalStats`].
+    pub fn wal_stats(&self) -> ppr_persist::WalStats {
+        self.writer.stats()
+    }
+
     /// The store directory root.
     pub fn root(&self) -> &Path {
         self.dir.root()

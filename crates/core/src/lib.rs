@@ -30,6 +30,7 @@ pub mod incremental;
 pub mod personalized;
 pub mod query;
 pub mod salsa;
+pub mod telem;
 pub mod walker;
 
 pub use batch::BatchProfile;

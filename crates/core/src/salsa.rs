@@ -307,6 +307,11 @@ impl<W: WalkIndexMut + Sync> IncrementalSalsa<W> {
         self.store.graph()
     }
 
+    /// The Social Store (adjacency + fetch accounting).
+    pub fn social_store(&self) -> &SocialStore {
+        &self.store
+    }
+
     /// The store holding the `2R` SALSA segments per node.
     pub fn walk_store(&self) -> &W {
         &self.walks

@@ -1,0 +1,116 @@
+//! Telemetry adapters for the incremental engines.
+//!
+//! [`MetricSource`] impls for this crate's stats structs, plus an
+//! `emit_telemetry` method on each engine that folds *every* layer the engine
+//! owns — Social Store access counts, cumulative update work, batch wall-time
+//! profile, the walk store's own counters (arena; plus pager / residency /
+//! on-disk compaction for [`ppr_persist::DiskWalkStore`]), and the attached
+//! WAL — into one snapshot builder.  This is what lets a single
+//! `TelemetrySnapshot` see the whole stack.
+
+use crate::batch::BatchProfile;
+use crate::incremental::{IncrementalPageRank, UpdateStats};
+use crate::salsa::IncrementalSalsa;
+use ppr_store::index::WalkIndexMut;
+use ppr_telemetry::{MetricSource, SnapshotBuilder};
+
+impl MetricSource for BatchProfile {
+    fn emit(&self, out: &mut SnapshotBuilder) {
+        out.counter("total_nanos", self.total.as_nanos() as u64);
+        out.counter("compactions", self.compactions);
+        out.counter("compaction_nanos", self.compaction_time.as_nanos() as u64);
+        out.counter("compaction_steps_moved", self.compaction_steps_moved);
+        out.gauge(
+            "critical_path_nanos",
+            self.critical_path().as_nanos() as f64,
+        );
+        out.gauge("shards", self.phase1_shard_times.len() as f64);
+    }
+}
+
+impl MetricSource for UpdateStats {
+    fn emit(&self, out: &mut SnapshotBuilder) {
+        out.counter("segments_updated", self.segments_updated);
+        out.counter("walk_steps", self.walk_steps);
+        out.gauge(
+            "touched_walk_store",
+            if self.touched_walk_store { 1.0 } else { 0.0 },
+        );
+    }
+}
+
+impl<W: WalkIndexMut> IncrementalPageRank<W> {
+    /// Emits every observability layer this engine owns into `out`: Social
+    /// Store access metrics (`store.*`), cumulative update work (`work.*`),
+    /// the batch wall-time profile (`batch.*`), the walk store's counters
+    /// (`arena.*` always; `disk.*` / `pager.*` / `residency.*` /
+    /// `shard_load.*` per layout), and WAL counters (`wal.*`) when a durable
+    /// log is attached.
+    pub fn emit_telemetry(&self, out: &mut SnapshotBuilder) {
+        out.source("store", &self.store.metrics());
+        out.source("work", &self.work);
+        out.source("batch", &self.profile);
+        self.walks.emit_telemetry(out);
+        if let Some(log) = &self.durability {
+            out.source("wal", &log.wal_stats());
+        }
+    }
+}
+
+impl<W: WalkIndexMut> IncrementalSalsa<W> {
+    /// Emits every observability layer this engine owns into `out`; see
+    /// [`IncrementalPageRank::emit_telemetry`] — the layout is identical.
+    pub fn emit_telemetry(&self, out: &mut SnapshotBuilder) {
+        out.source("store", &self.store.metrics());
+        out.source("work", &self.work);
+        out.source("batch", &self.profile);
+        self.walks.emit_telemetry(out);
+        if let Some(log) = &self.durability {
+            out.source("wal", &log.wal_stats());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MonteCarloConfig;
+    use ppr_graph::{DynamicGraph, Edge};
+    use ppr_telemetry::TelemetrySnapshot;
+
+    fn tiny_graph() -> DynamicGraph {
+        let mut graph = DynamicGraph::with_nodes(4);
+        for (src, dst) in [(0, 1), (1, 2), (2, 3), (3, 0)] {
+            graph.add_edge(Edge::new(src, dst));
+        }
+        graph
+    }
+
+    #[test]
+    fn engine_emits_store_work_batch_and_arena_layers() {
+        let config = MonteCarloConfig::new(0.2, 2).with_seed(7);
+        let mut engine = IncrementalPageRank::from_graph(tiny_graph(), config);
+        engine.apply_arrivals(&[Edge::new(0, 2)]);
+        let mut out = SnapshotBuilder::new();
+        out.scoped("engine", |out| engine.emit_telemetry(out));
+        let snap = TelemetrySnapshot::from_builder(0, out);
+        assert!(snap.counter("engine.store.fetches").is_some());
+        assert!(snap.counter("engine.work.walk_steps").is_some());
+        assert!(snap.counter("engine.batch.total_nanos").is_some());
+        assert!(snap.counter("engine.arena.in_place_writes").is_some());
+        // In-memory engine: no WAL layer.
+        assert_eq!(snap.counter("engine.wal.appended"), None);
+    }
+
+    #[test]
+    fn salsa_engine_emits_the_same_layout() {
+        let config = MonteCarloConfig::new(0.2, 2).with_seed(7);
+        let mut engine = IncrementalSalsa::from_graph(tiny_graph(), config);
+        engine.apply_arrivals(&[Edge::new(1, 3)]);
+        let mut out = SnapshotBuilder::new();
+        engine.emit_telemetry(&mut out);
+        let snap = TelemetrySnapshot::from_builder(0, out);
+        assert!(snap.counter("store.fetches").is_some());
+        assert!(snap.counter("arena.in_place_writes").is_some());
+    }
+}

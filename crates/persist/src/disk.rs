@@ -899,6 +899,13 @@ impl WalkIndex for DiskWalkStore {
     fn arena_stats(&self) -> ArenaStats {
         self.resident.arena_stats()
     }
+
+    fn emit_telemetry(&self, out: &mut ppr_telemetry::SnapshotBuilder) {
+        out.source("arena", &self.arena_stats());
+        out.source("disk", &self.stats());
+        out.source("pager", &self.pager_stats());
+        out.source("residency", &self.residency());
+    }
 }
 
 impl WalkIndexMut for DiskWalkStore {

@@ -42,6 +42,7 @@ pub mod lock;
 pub mod pager;
 pub mod shim;
 pub mod snapshot;
+pub mod telem;
 pub mod tempdir;
 pub mod wal;
 
@@ -55,4 +56,4 @@ pub use pager::PagerStats;
 pub use shim::{IoOp, IoShim, ShimGuard, SlowDisk};
 pub use snapshot::{SnapshotFile, SnapshotWriter};
 pub use tempdir::TempDir;
-pub use wal::{GroupCommit, WalOp, WalRecord, WalWriter};
+pub use wal::{GroupCommit, WalOp, WalRecord, WalStats, WalWriter};

@@ -282,9 +282,31 @@ pub struct WalWriter {
     file: File,
     fsync: bool,
     appended: u64,
+    /// Individual (non-group) `fdatasync` calls issued by the append path.
+    fsyncs: u64,
     /// When set, appends skip their individual fsync and bump the group's append
     /// counter instead; durability is driven through [`GroupCommit::sync_upto`].
     group: Option<Arc<GroupShared>>,
+}
+
+/// Point-in-time WAL observability counters, unifying the individual-fsync and
+/// group-commit modes into one view (see [`WalWriter::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WalStats {
+    /// Records appended through the writer (this incarnation; resets on rotation).
+    pub appended: u64,
+    /// Individual `fdatasync` calls issued by the append path (zero in group mode).
+    pub fsyncs: u64,
+    /// Whether the writer is currently in group-commit mode.
+    pub group_active: bool,
+    /// Group-mode appends published for coalesced syncs (monotone across rotations).
+    pub group_appended: u64,
+    /// The group durability watermark (appends numbered `<=` this survive a crash).
+    pub group_durable: u64,
+    /// Coalesced `fdatasync` calls issued through the group.
+    pub group_fsyncs: u64,
+    /// Appends covered by those coalesced syncs.
+    pub group_synced: u64,
 }
 
 impl WalWriter {
@@ -302,6 +324,7 @@ impl WalWriter {
             file,
             fsync: true,
             appended: 0,
+            fsyncs: 0,
             group: None,
         })
     }
@@ -325,6 +348,7 @@ impl WalWriter {
                 file,
                 fsync: true,
                 appended: 0,
+                fsyncs: 0,
                 group: None,
             },
         ))
@@ -355,6 +379,7 @@ impl WalWriter {
         } else if self.fsync {
             crate::shim::notify(crate::shim::IoOp::WalSync, 0);
             self.file.sync_data()?;
+            self.fsyncs += 1;
         }
         self.appended += 1;
         Ok(())
@@ -363,6 +388,25 @@ impl WalWriter {
     /// Number of records appended through this writer.
     pub fn appended(&self) -> u64 {
         self.appended
+    }
+
+    /// Point-in-time WAL counters covering both durability modes: the writer's
+    /// own append/fsync counts plus, in group-commit mode, the group's
+    /// append/watermark/coalesced-sync counters.
+    pub fn stats(&self) -> WalStats {
+        let mut stats = WalStats {
+            appended: self.appended,
+            fsyncs: self.fsyncs,
+            ..WalStats::default()
+        };
+        if let Some(group) = &self.group {
+            stats.group_active = true;
+            stats.group_appended = group.appended.load(Ordering::Acquire);
+            stats.group_durable = group.durable.load(Ordering::Acquire);
+            stats.group_fsyncs = group.fsyncs.load(Ordering::Relaxed);
+            stats.group_synced = group.synced.load(Ordering::Relaxed);
+        }
+        stats
     }
 
     /// Switches the writer into group-commit mode: appends stop fsyncing

@@ -40,5 +40,7 @@ pub mod trace;
 
 pub use chaos::{ChaosPlan, DurableChaos, Fault};
 pub use dsl::{Phase, PhaseKind, Scenario};
-pub use runner::{NoHooks, ReplayHooks, RunOutcome, ScenarioAnswer, ScenarioRunner};
+pub use runner::{
+    NoHooks, ReplayHooks, RunOutcome, ScenarioAnswer, ScenarioRunner, TelemetrySampler,
+};
 pub use trace::{Event, Trace, TraceEvent};

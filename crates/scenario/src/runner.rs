@@ -14,6 +14,8 @@
 use crate::chaos::{ChaosPlan, Fault};
 use crate::trace::{Event, Trace};
 use ppr_serve::{Answer, QueryEngine, ReaderPool, ServeEngine, Served};
+use ppr_telemetry::{JsonlAppender, Telemetry};
+use std::io::{self, Write};
 
 /// One served answer, in trace order, stripped to its replay-stable fields.
 ///
@@ -85,6 +87,31 @@ pub struct NoHooks;
 
 impl<E: ServeEngine> ReplayHooks<E> for NoHooks {}
 
+/// The telemetry side-channel of [`ScenarioRunner::replay_sampled`]: the
+/// registry the serving session records into, plus the JSONL sink receiving one
+/// labeled whole-stack snapshot per sampled point.
+#[derive(Debug)]
+pub struct TelemetrySampler<'a, W: Write> {
+    tele: &'a Telemetry,
+    out: &'a mut JsonlAppender<W>,
+}
+
+impl<'a, W: Write> TelemetrySampler<'a, W> {
+    /// A sampler recording through `tele` and appending to `out`.
+    pub fn new(tele: &'a Telemetry, out: &'a mut JsonlAppender<W>) -> Self {
+        TelemetrySampler { tele, out }
+    }
+
+    /// Appends one labeled snapshot of the serving session's whole stack.
+    fn sample<E: ServeEngine>(&mut self, serving: &QueryEngine<E>, label: &str) -> io::Result<()> {
+        let snap = serving
+            .telemetry_snapshot()
+            .expect("replay_sampled always attaches its registry")
+            .with_label(label);
+        self.out.append(&snap)
+    }
+}
+
 /// Replays traces through serving sessions.
 #[derive(Debug, Clone, Copy)]
 pub struct ScenarioRunner {
@@ -125,6 +152,73 @@ impl ScenarioRunner {
     /// Replays `trace` through `engine` with no chaos and no checkpoint action.
     pub fn replay<E: ServeEngine>(&self, trace: &Trace, engine: E) -> (E, RunOutcome) {
         self.replay_with(trace, engine, &ChaosPlan::none(), &mut NoHooks)
+    }
+
+    /// Replays `trace` with telemetry attached: the serving session's commit and
+    /// query lifecycles record into the sampler's registry, and one labeled
+    /// whole-stack snapshot line is appended to its JSONL sink at every phase
+    /// boundary plus a `"final"` sample after the last event.  Chaos- and
+    /// hook-free (a crash hook rebuilds the serving session, which would detach
+    /// the instruments mid-run); telemetry observes only, so answers and final
+    /// store state are bit-identical to [`ScenarioRunner::replay`].
+    pub fn replay_sampled<E: ServeEngine, W: Write>(
+        &self,
+        trace: &Trace,
+        engine: E,
+        sampler: &mut TelemetrySampler<'_, W>,
+    ) -> io::Result<(E, RunOutcome)> {
+        let query_seed = if self.query_seed != 0 {
+            self.query_seed
+        } else {
+            trace.scenario.seed
+        };
+        let mut serving = QueryEngine::new(engine, query_seed).with_telemetry(sampler.tele);
+        if self.pipeline > 0 {
+            serving = serving.with_pipeline(self.pipeline);
+        }
+        let pool = ReaderPool::new(self.readers.max(1));
+        let mut outcome = RunOutcome::default();
+        let mut current_phase = None;
+        for event in &trace.events {
+            if let Some(prev) = current_phase {
+                if prev != event.phase {
+                    // Snapshot a finished phase with its commit spans drained.
+                    serving.flush_commits();
+                    sampler.sample(&serving, &format!("phase{prev}"))?;
+                }
+            }
+            current_phase = Some(event.phase);
+            match &event.event {
+                Event::Arrivals(edges) => {
+                    if !edges.is_empty() {
+                        serving.commit_arrivals(edges);
+                        outcome.arrivals += edges.len();
+                    }
+                }
+                Event::Deletions(edges) => {
+                    if !edges.is_empty() {
+                        serving.commit_deletions(edges);
+                        outcome.deletions += edges.len();
+                    }
+                }
+                Event::Queries(jobs) => {
+                    if !jobs.is_empty() {
+                        serving.flush_commits();
+                        let handle = serving.handle();
+                        for served in pool.serve_all(&handle, jobs) {
+                            if served.budget_exhausted {
+                                outcome.budget_exhausted += 1;
+                            }
+                            outcome.answers.push(served.into());
+                        }
+                    }
+                }
+                Event::Checkpoint => outcome.checkpoints += 1,
+            }
+        }
+        serving.flush_commits();
+        sampler.sample(&serving, "final")?;
+        Ok((serving.into_engine(), outcome))
     }
 
     /// Replays `trace` through `engine`, invoking `hooks` at checkpoint events and
@@ -218,5 +312,40 @@ mod tests {
         assert_eq!(e1.scores(), e4.scores());
         assert!(o1.arrivals > 0);
         assert_eq!(o1.answers.len(), trace.query_count());
+    }
+
+    #[test]
+    fn sampled_replay_exports_valid_jsonl_and_matches_the_plain_replay() {
+        let scenario = corpus::steady_mix();
+        let trace = Trace::compile(&scenario);
+        let make = || {
+            IncrementalPageRank::<WalkStore>::new_empty(scenario.nodes, scenario.engine_config())
+        };
+        let (plain_engine, plain) = ScenarioRunner::new(2).replay(&trace, make());
+
+        let tele = ppr_telemetry::Telemetry::new();
+        let mut out = ppr_telemetry::JsonlAppender::new(Vec::new());
+        let mut sampler = TelemetrySampler::new(&tele, &mut out);
+        let (sampled_engine, sampled) = ScenarioRunner::new(2)
+            .replay_sampled(&trace, make(), &mut sampler)
+            .expect("in-memory sink never fails");
+
+        assert_eq!(plain.answers, sampled.answers, "telemetry observes only");
+        assert_eq!(
+            StoreDigest::of(plain_engine.walk_store()),
+            StoreDigest::of(sampled_engine.walk_store()),
+        );
+
+        let phases = trace.scenario.phases.len();
+        assert_eq!(out.lines(), phases as u64, "one line per phase + final");
+        let exported = out.into_inner().expect("flushing a Vec cannot fail");
+        let exported = String::from_utf8(exported).expect("JSONL is UTF-8");
+        for line in exported.lines() {
+            ppr_telemetry::json::validate(line)
+                .unwrap_or_else(|(at, what)| panic!("invalid JSONL at byte {at}: {what}"));
+        }
+        assert!(exported.contains("\"label\":\"final\""));
+        assert!(exported.contains("commit.commits"));
+        assert!(exported.contains("query.latency"));
     }
 }

@@ -31,11 +31,28 @@ pub struct FetchCacheStats {
     pub misses: u64,
 }
 
+impl FetchCacheStats {
+    /// Fraction of fetches answered from the shared cache — `0.0` for a cache
+    /// nothing has fetched through yet, never `NaN`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
 /// A per-generation memo of materialised out-adjacency, shared by every query
 /// pinned to that generation.
 #[derive(Debug, Default)]
 pub struct FetchCache {
     map: RwLock<HashMap<NodeId, Arc<Vec<NodeId>>>>,
+    // Monotone accumulators bumped by any reader thread and read racily by
+    // `stats()`: `Relaxed` is enough because no control flow ever depends on
+    // them and a snapshot only needs eventually-complete counts, not a
+    // cross-counter consistent cut.
     hits: AtomicU64,
     misses: AtomicU64,
 }

@@ -40,12 +40,14 @@
 //! counts exactly that work.
 
 use crate::generation::{EngineKind, Generation, PinnedView, Query, Served};
+use crate::telem::{CommitSpans, QuerySpans};
 use crate::FetchCache;
 use ppr_core::{GroupCommit, IncrementalPageRank, IncrementalSalsa, UpdateStats};
 use ppr_graph::{DynamicGraph, Edge, GraphView, NodeId};
 use ppr_store::{
     FrozenGraph, FrozenWalks, SegmentRewrites, TouchedChunks, WalkIndexMut, WalkIndexView,
 };
+use ppr_telemetry::{SnapshotBuilder, Telemetry, TelemetrySnapshot};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, SyncSender};
 use std::sync::{Arc, Condvar, Mutex};
@@ -161,6 +163,14 @@ pub trait ServeEngine {
 
     /// Leaves WAL group-commit mode with one final covering sync.
     fn end_group_commit(&mut self) {}
+
+    /// Emits the live engine's own telemetry layers (`store.*`, `work.*`,
+    /// `batch.*`, the walk store's counters, `wal.*` when durable) into `out` —
+    /// what lets [`QueryEngine::telemetry_snapshot`] fold the whole stack into
+    /// one snapshot.  The default emits nothing.
+    fn emit_metrics(&self, out: &mut SnapshotBuilder) {
+        let _ = out;
+    }
 }
 
 /// Records the segments of nodes the batch created (store node count was `from`
@@ -219,6 +229,10 @@ impl<W: WalkIndexMut + Sync> ServeEngine for IncrementalPageRank<W> {
     fn end_group_commit(&mut self) {
         self.wal_end_group_commit();
     }
+
+    fn emit_metrics(&self, out: &mut SnapshotBuilder) {
+        self.emit_telemetry(out);
+    }
 }
 
 impl<W: WalkIndexMut + Sync> ServeEngine for IncrementalSalsa<W> {
@@ -270,6 +284,10 @@ impl<W: WalkIndexMut + Sync> ServeEngine for IncrementalSalsa<W> {
 
     fn end_group_commit(&mut self) {
         self.wal_end_group_commit();
+    }
+
+    fn emit_metrics(&self, out: &mut SnapshotBuilder) {
+        self.emit_telemetry(out);
     }
 }
 
@@ -383,6 +401,10 @@ struct Committer {
     /// mirror moves into the published generation — keeps the publish swap
     /// allocation-free in steady state.
     spare: Option<(FrozenWalks, FrozenGraph)>,
+    /// Commit-stage histograms (`commit.mirror` / `commit.wal_sync` /
+    /// `commit.publish`), installed by [`QueryEngine::with_telemetry`] before
+    /// the committer moves onto its thread.  `None` keeps `run` span-free.
+    spans: Option<CommitSpans>,
 }
 
 impl Committer {
@@ -413,6 +435,7 @@ impl Committer {
     /// pipelined commit thread just drops it.
     fn run(&mut self, task: CommitTask) -> CommitTask {
         self.touched.clear();
+        let mirror_span = self.spans.as_ref().map(|s| s.tele.time(&s.mirror));
         for op in &task.ops {
             match op {
                 MirrorOp::Growth { to, segments } => {
@@ -430,6 +453,7 @@ impl Committer {
         self.mirror_graph.ensure_nodes(task.node_count);
         Committer::replay_edges(&mut self.mirror_graph, &task);
         self.mirror_walks.set_epoch(task.epoch);
+        drop(mirror_span);
 
         let (walk, counts) = self.mirror_walks.take_copy_stats();
         let graph = self.mirror_graph.take_copy_stats();
@@ -451,6 +475,7 @@ impl Committer {
         // Durability before visibility: one coalesced sync covers every WAL append
         // up to this batch before any reader can pin the generation holding it.
         if let (Some(group), Some(mark)) = (&self.group, task.wal_mark) {
+            let _wal_sync = self.spans.as_ref().map(|s| s.tele.time(&s.wal_sync));
             group
                 .sync_upto(mark)
                 .expect("group-commit WAL sync failed; cannot break durability silently");
@@ -465,6 +490,7 @@ impl Committer {
         // Publish by MOVING the advanced mirror into the generation — no clone, no
         // refcount sweep — then reclaim the superseded generation's buffers as the
         // next mirror ("generation ping-pong").
+        let publish_span = self.spans.as_ref().map(|s| s.tele.time(&s.publish));
         let (spare_walks, spare_graph) = self
             .spare
             .take()
@@ -507,6 +533,7 @@ impl Committer {
                 ));
             }
         }
+        drop(publish_span);
 
         let (lock, condvar) = &*self.committed;
         *lock.lock().expect("commit watermark poisoned") = task.epoch;
@@ -539,6 +566,9 @@ enum CommitMode {
 pub struct ServeHandle {
     published: Arc<Mutex<Arc<Generation>>>,
     query_seed: u64,
+    /// Query-lifecycle instruments shared by every handle clone of the session
+    /// (`None` until [`QueryEngine::with_telemetry`]).
+    spans: Option<Arc<QuerySpans>>,
 }
 
 impl ServeHandle {
@@ -556,9 +586,17 @@ impl ServeHandle {
     }
 
     /// Pins the current generation and answers one query on the
-    /// `(session query_seed, query_id)` stream.
+    /// `(session query_seed, query_id)` stream.  With telemetry attached the
+    /// call is traced (`query.latency` over `query.pin` → `query.walk` →
+    /// `query.topk`) — tracing never changes the answer's bits.
     pub fn serve(&self, query_id: u64, query: &Query) -> Served {
-        self.pin().answer(self.query_seed, query_id, query)
+        let spans = self.spans.as_deref();
+        let _latency = spans.map(|s| s.tele.time(&s.latency));
+        let view = {
+            let _pin = spans.map(|s| s.tele.time(&s.pin));
+            self.pin()
+        };
+        view.answer_instrumented(self.query_seed, query_id, query, spans)
     }
 }
 
@@ -586,6 +624,13 @@ pub struct QueryEngine<E: ServeEngine> {
     recorder: OpsRecorder,
     /// Shell of the last inline-committed task, recycled into the next one.
     spare_task: Option<CommitTask>,
+    /// The registry [`QueryEngine::telemetry_snapshot`] collects through
+    /// (`None` until [`QueryEngine::with_telemetry`]).
+    telemetry: Option<Telemetry>,
+    /// Writer-side commit-stage spans (`commit.apply` wraps the engine apply).
+    spans: Option<CommitSpans>,
+    /// Query-lifecycle instruments cloned into every [`ServeHandle`].
+    query_spans: Option<Arc<QuerySpans>>,
 }
 
 impl<E: ServeEngine> QueryEngine<E> {
@@ -616,6 +661,7 @@ impl<E: ServeEngine> QueryEngine<E> {
             group: None,
             touched: TouchedChunks::default(),
             spare: None,
+            spans: None,
         };
         QueryEngine {
             engine,
@@ -628,6 +674,35 @@ impl<E: ServeEngine> QueryEngine<E> {
             query_seed,
             recorder: OpsRecorder::default(),
             spare_task: None,
+            telemetry: None,
+            spans: None,
+            query_spans: None,
+        }
+    }
+
+    /// Attaches a telemetry registry to the serving session: commit stages
+    /// (`commit.apply` / `commit.mirror` / `commit.wal_sync` / `commit.publish`)
+    /// and the query lifecycle (`query.*`, on every [`ServeHandle`] created from
+    /// now on) record into `tele`'s histograms, and
+    /// [`QueryEngine::telemetry_snapshot`] collects through it.  A running
+    /// commit pipeline is bounced (drained and restarted with the same window)
+    /// so the commit thread picks the instruments up.  Telemetry observes only:
+    /// published generations and query answers stay bit-identical.
+    pub fn with_telemetry(mut self, tele: &Telemetry) -> Self {
+        let spans = CommitSpans::new(tele);
+        let window = self.pipeline_window();
+        let mut committer = self
+            .stop_pipeline()
+            .expect("commit mode always recoverable");
+        committer.spans = Some(spans.clone());
+        self.mode = CommitMode::Inline(Box::new(committer));
+        self.telemetry = Some(tele.clone());
+        self.spans = Some(spans);
+        self.query_spans = Some(Arc::new(QuerySpans::new(tele)));
+        if window > 0 {
+            self.with_pipeline(window)
+        } else {
+            self
         }
     }
 
@@ -706,7 +781,31 @@ impl<E: ServeEngine> QueryEngine<E> {
         ServeHandle {
             published: Arc::clone(&self.published),
             query_seed: self.query_seed,
+            spans: self.query_spans.clone(),
         }
+    }
+
+    /// One whole-stack observability snapshot through the attached registry:
+    /// the live engine's layers ([`ServeEngine::emit_metrics`]: `store.*`,
+    /// `work.*`, `batch.*`, the walk store's counters, `wal.*` when durable),
+    /// the commit path (`commit.*` counters plus the stage histograms), the
+    /// current generation's fetch cache (`cache.*`), serving gauges
+    /// (`serve.*`), and every query-lifecycle histogram readers recorded.
+    /// Returns `None` until [`QueryEngine::with_telemetry`] attaches a
+    /// registry.
+    pub fn telemetry_snapshot(&self) -> Option<TelemetrySnapshot> {
+        let tele = self.telemetry.as_ref()?;
+        let adapter = |out: &mut SnapshotBuilder| {
+            self.engine.emit_metrics(out);
+            out.source("commit", &self.commit_stats());
+            out.source("cache", &self.pin().cache_stats());
+            out.scoped("serve", |out| {
+                out.gauge("epoch", self.epoch as f64);
+                out.gauge("published_epoch", self.pin().epoch() as f64);
+                out.gauge("pipeline_window", self.pipeline_window() as f64);
+            });
+        };
+        Some(tele.collect_with(&[&adapter]))
     }
 
     /// Pins the writer's current generation (readers use [`ServeHandle::pin`]).
@@ -767,7 +866,10 @@ impl<E: ServeEngine> QueryEngine<E> {
             WriteOp::Arrivals(_) => GraphOp::Arrivals,
             WriteOp::Deletions(_) => GraphOp::Deletions,
         };
-        let stats = self.engine.apply_and_record(op, &mut self.recorder);
+        let stats = {
+            let _apply = self.spans.as_ref().map(|s| s.tele.time(&s.apply));
+            self.engine.apply_and_record(op, &mut self.recorder)
+        };
         // Every append this batch made (durable engines append before mutating) is
         // at or below the group's current watermark.
         let wal_mark = self.group.as_ref().map(|group| group.appended());

@@ -14,6 +14,7 @@
 //! thread.  `tests/concurrent_serving.rs` holds the layer to exactly that contract.
 
 use crate::cache::FetchCache;
+use crate::telem::QuerySpans;
 use ppr_core::query::query_rng;
 use ppr_core::salsa::{personalized_authorities_on, salsa_estimates_from, top_k_scores};
 use ppr_core::PersonalizedWalker;
@@ -177,8 +178,23 @@ impl PinnedView {
     /// Answers one query on the `(query_seed, query_id)` stream.  Pure in the
     /// pinned generation: any thread, any interleaving, same bits.
     pub fn answer(&self, query_seed: u64, query_id: u64, query: &Query) -> Served {
+        self.answer_instrumented(query_seed, query_id, query, None)
+    }
+
+    /// [`PinnedView::answer`] with optional query-lifecycle instruments: the
+    /// walk and top-k phases are timed (`query.walk` / `query.topk`), and the
+    /// served / fetch / budget-exhaustion counters recorded.  Instrumentation
+    /// only observes — the returned [`Served`] is bit-identical to the
+    /// uninstrumented call.
+    pub(crate) fn answer_instrumented(
+        &self,
+        query_seed: u64,
+        query_id: u64,
+        query: &Query,
+        spans: Option<&QuerySpans>,
+    ) -> Served {
         let generation = &*self.0;
-        match *query {
+        let served = match *query {
             Query::PersonalizedTopK {
                 seed,
                 k,
@@ -200,7 +216,11 @@ impl PinnedView {
                 if let Some(budget) = fetch_budget {
                     walker = walker.with_fetch_budget(budget);
                 }
-                let result = walker.walk_query(seed, walk_length, query_seed, query_id);
+                let result = {
+                    let _walk = spans.map(|s| s.tele.time(&s.walk));
+                    walker.walk_query(seed, walk_length, query_seed, query_id)
+                };
+                let _topk = spans.map(|s| s.tele.time(&s.topk));
                 let exclude = self.friends_exclude(seed);
                 Served {
                     query_id,
@@ -217,6 +237,7 @@ impl PinnedView {
                     "global-rank queries need a PageRank generation (for SALSA, \
                      hub/authority rank is HubAuthorityTopK)"
                 );
+                let _topk = spans.map(|s| s.tele.time(&s.topk));
                 let counts = generation.walks.visit_counts();
                 let total = generation.walks.total_visits().max(1) as f64;
                 let scores: Vec<f64> = counts.iter().map(|&c| c as f64 / total).collect();
@@ -239,13 +260,17 @@ impl PinnedView {
                     "SALSA queries need a SALSA generation"
                 );
                 let mut rng = query_rng(query_seed, query_id);
-                let scores = personalized_authorities_on(
-                    &generation.graph,
-                    seed,
-                    walk_length,
-                    generation.epsilon,
-                    &mut rng,
-                );
+                let scores = {
+                    let _walk = spans.map(|s| s.tele.time(&s.walk));
+                    personalized_authorities_on(
+                        &generation.graph,
+                        seed,
+                        walk_length,
+                        generation.epsilon,
+                        &mut rng,
+                    )
+                };
+                let _topk = spans.map(|s| s.tele.time(&s.topk));
                 let exclude: HashSet<usize> = self
                     .friends_exclude(seed)
                     .into_iter()
@@ -265,6 +290,7 @@ impl PinnedView {
                     EngineKind::Salsa,
                     "SALSA queries need a SALSA generation"
                 );
+                let _topk = spans.map(|s| s.tele.time(&s.topk));
                 let estimates = salsa_estimates_from(&generation.walks);
                 let none = HashSet::new();
                 Served {
@@ -278,6 +304,14 @@ impl PinnedView {
                     },
                 }
             }
+        };
+        if let Some(s) = spans {
+            s.fetches.record(served.fetches);
+            s.served.inc();
+            if served.budget_exhausted {
+                s.budget_exhausted.inc();
+            }
         }
+        served
     }
 }

@@ -33,6 +33,7 @@ pub mod cache;
 pub mod engine;
 pub mod generation;
 pub mod pool;
+pub mod telem;
 
 pub use cache::{FetchCache, FetchCacheStats};
 pub use engine::{
@@ -344,6 +345,85 @@ mod tests {
             stats.spine_blocks_copied
         );
         assert!(stats.graph_chunks_copied <= 2, "one edge touches two nodes");
+    }
+
+    // Span/counter contents only exist when recording is compiled in; the
+    // bit-identity half is re-proven feature-independently by the scenario
+    // corpus determinism test.
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn telemetry_traces_commit_and_query_lifecycles_without_changing_answers() {
+        let stream = edges(90, 951);
+        let config = MonteCarloConfig::new(0.2, 3).with_seed(953);
+        let query = Query::PersonalizedTopK {
+            seed: NodeId(4),
+            k: 4,
+            walk_length: 1_200,
+            fetch_budget: Some(64),
+        };
+
+        // Plain session: no telemetry attached.
+        let mut plain = QueryEngine::new(IncrementalPageRank::new_empty(90, config), 21);
+        for chunk in stream.chunks(30) {
+            plain.commit_arrivals(chunk);
+        }
+        let expected = plain.handle().serve(5, &query);
+        assert!(plain.telemetry_snapshot().is_none(), "nothing attached yet");
+
+        // Traced session: identical stream and seeds, telemetry attached.
+        let tele = ppr_telemetry::Telemetry::new();
+        let mut traced =
+            QueryEngine::new(IncrementalPageRank::new_empty(90, config), 21).with_telemetry(&tele);
+        for chunk in stream.chunks(30) {
+            traced.commit_arrivals(chunk);
+        }
+        let served = traced.handle().serve(5, &query);
+        assert_eq!(served, expected, "tracing never changes an answer's bits");
+
+        let snap = traced.telemetry_snapshot().expect("registry attached");
+        // Commit lifecycle: one apply/mirror/publish sample per commit.
+        let commits = snap.counter("commit.commits").expect("commit counters");
+        assert_eq!(commits, traced.epoch());
+        for stage in ["commit.apply", "commit.mirror", "commit.publish"] {
+            let hist = snap.histogram(stage).expect(stage);
+            assert_eq!(hist.count, commits, "{stage} samples one span per commit");
+        }
+        // In-memory engine: the WAL sync stage never runs.
+        assert_eq!(snap.histogram("commit.wal_sync").expect("present").count, 0);
+        // Query lifecycle: pin → walk → topk under one latency span, with
+        // fetch accounting.
+        assert_eq!(snap.counter("query.served"), Some(1));
+        for stage in ["query.pin", "query.walk", "query.topk", "query.latency"] {
+            assert_eq!(snap.histogram(stage).expect(stage).count, 1, "{stage}");
+        }
+        assert_eq!(
+            snap.histogram("query.fetches").expect("fetches").sum,
+            served.fetches
+        );
+        // One snapshot sees the engine layers and the serving layer together.
+        assert!(snap.counter("store.fetches").is_some());
+        assert!(snap.counter("arena.in_place_writes").is_some());
+        assert!(snap.counter("cache.misses").is_some());
+        assert_eq!(snap.gauge("serve.pipeline_window"), Some(0.0));
+
+        // Attaching telemetry to a pipelined session bounces the pipeline and
+        // traces the committer on its thread.
+        let tele2 = ppr_telemetry::Telemetry::new();
+        let mut piped = QueryEngine::new(IncrementalPageRank::new_empty(90, config), 21)
+            .with_pipeline(2)
+            .with_telemetry(&tele2);
+        for chunk in stream.chunks(30) {
+            piped.commit_arrivals(chunk);
+        }
+        piped.flush_commits();
+        assert_eq!(piped.handle().serve(5, &query), expected);
+        let snap = piped.telemetry_snapshot().expect("registry attached");
+        assert_eq!(
+            snap.histogram("commit.mirror").expect("mirror").count,
+            piped.epoch(),
+            "the commit thread records its stage spans"
+        );
+        assert_eq!(snap.gauge("serve.pipeline_window"), Some(2.0));
     }
 
     #[test]

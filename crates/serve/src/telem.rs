@@ -1,0 +1,144 @@
+//! Telemetry adapters and span bundles for the serving layer.
+//!
+//! [`MetricSource`] impls for [`CommitStats`] and [`FetchCacheStats`], plus
+//! two crate-private pre-created span bundles the hot paths use: `CommitSpans`
+//! times the commit lifecycle (`commit.apply` → `commit.mirror` →
+//! `commit.wal_sync` → `commit.publish`) and `QuerySpans` times the query lifecycle
+//! (`query.pin` → `query.walk` → `query.topk`, under an overall
+//! `query.latency`) and counts served queries, fetches, and budget
+//! exhaustions.  Both bundles hold [`Histogram`]/[`Counter`] handles created
+//! once at [`crate::QueryEngine::with_telemetry`] time, so recording on the
+//! hot path is handle-local — no registry lock, no allocation.
+
+use crate::cache::FetchCacheStats;
+use crate::engine::CommitStats;
+use ppr_telemetry::{Counter, Histogram, MetricSource, SnapshotBuilder, Telemetry};
+
+impl MetricSource for CommitStats {
+    fn emit(&self, out: &mut SnapshotBuilder) {
+        out.counter("commits", self.commits);
+        out.counter("pipelined_commits", self.pipelined_commits);
+        out.gauge("max_inflight", self.max_inflight as f64);
+        out.counter("walk_chunks_copied", self.walk_chunks_copied);
+        out.counter("count_chunks_copied", self.count_chunks_copied);
+        out.counter("graph_chunks_copied", self.graph_chunks_copied);
+        out.counter("spine_blocks_copied", self.spine_blocks_copied);
+        out.counter("wal_fsyncs", self.wal_fsyncs);
+        out.counter("wal_appends_synced", self.wal_appends_synced);
+        out.ratio(
+            "wal_appends_per_fsync",
+            self.wal_appends_synced,
+            self.wal_fsyncs,
+        );
+    }
+}
+
+impl MetricSource for FetchCacheStats {
+    fn emit(&self, out: &mut SnapshotBuilder) {
+        out.counter("hits", self.hits);
+        out.counter("misses", self.misses);
+        out.ratio("hit_rate", self.hits, self.hits + self.misses);
+    }
+}
+
+/// Pre-created histograms for the commit lifecycle stages.  One bundle lives on
+/// the writer (`commit.apply` wraps the engine apply) and a clone lives on the
+/// committer — inline or on the commit thread — timing the mirror advance, the
+/// coalesced WAL sync, and the generation publish/reclaim swap.
+#[derive(Debug, Clone)]
+pub(crate) struct CommitSpans {
+    pub(crate) tele: Telemetry,
+    /// `commit.apply`: applying the batch to the live engine + recording ops.
+    pub(crate) apply: Histogram,
+    /// `commit.mirror`: replaying recorded ops + edges onto the COW mirror.
+    pub(crate) mirror: Histogram,
+    /// `commit.wal_sync`: the coalesced group-commit `fdatasync` (durable only).
+    pub(crate) wal_sync: Histogram,
+    /// `commit.publish`: the generation swap plus ping-pong buffer reclaim.
+    pub(crate) publish: Histogram,
+}
+
+impl CommitSpans {
+    pub(crate) fn new(tele: &Telemetry) -> Self {
+        CommitSpans {
+            apply: tele.histogram("commit.apply"),
+            mirror: tele.histogram("commit.mirror"),
+            wal_sync: tele.histogram("commit.wal_sync"),
+            publish: tele.histogram("commit.publish"),
+            tele: tele.clone(),
+        }
+    }
+}
+
+/// Pre-created instruments for the query lifecycle, shared by every
+/// [`crate::ServeHandle`] clone of a session (readers on any thread record into
+/// the same sharded cells).
+#[derive(Debug)]
+pub(crate) struct QuerySpans {
+    pub(crate) tele: Telemetry,
+    /// `query.pin`: pinning the current generation (one lock + `Arc` clone).
+    pub(crate) pin: Histogram,
+    /// `query.walk`: the stitched/direct walk phase (walking queries only).
+    pub(crate) walk: Histogram,
+    /// `query.topk`: scoring, exclusion, and top-k selection.
+    pub(crate) topk: Histogram,
+    /// `query.latency`: the whole serve call, pin included.
+    pub(crate) latency: Histogram,
+    /// `query.fetches`: Social-Store fetches per query (Corollary 9 budget).
+    pub(crate) fetches: Histogram,
+    /// `query.served`: queries answered.
+    pub(crate) served: Counter,
+    /// `query.budget_exhausted`: walks cut short by their fetch budget.
+    pub(crate) budget_exhausted: Counter,
+}
+
+impl QuerySpans {
+    pub(crate) fn new(tele: &Telemetry) -> Self {
+        QuerySpans {
+            pin: tele.histogram("query.pin"),
+            walk: tele.histogram("query.walk"),
+            topk: tele.histogram("query.topk"),
+            latency: tele.histogram("query.latency"),
+            fetches: tele.histogram("query.fetches"),
+            served: tele.counter("query.served"),
+            budget_exhausted: tele.counter("query.budget_exhausted"),
+            tele: tele.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppr_telemetry::TelemetrySnapshot;
+
+    #[test]
+    fn commit_stats_emit_counters_and_coalescing_ratio() {
+        let stats = CommitStats {
+            commits: 4,
+            wal_fsyncs: 2,
+            wal_appends_synced: 8,
+            ..CommitStats::default()
+        };
+        let mut out = SnapshotBuilder::new();
+        out.source("commit", &stats);
+        let snap = TelemetrySnapshot::from_builder(0, out);
+        assert_eq!(snap.counter("commit.commits"), Some(4));
+        assert_eq!(snap.gauge("commit.wal_appends_per_fsync"), Some(4.0));
+    }
+
+    #[test]
+    fn fetch_cache_hit_rate_guards_the_empty_cache() {
+        let mut out = SnapshotBuilder::new();
+        out.source("cache", &FetchCacheStats::default());
+        let snap = TelemetrySnapshot::from_builder(0, out);
+        assert_eq!(snap.gauge("cache.hit_rate"), Some(0.0));
+
+        let stats = FetchCacheStats { hits: 3, misses: 1 };
+        assert!((stats.hit_rate() - 0.75).abs() < 1e-12);
+        let mut out = SnapshotBuilder::new();
+        out.source("cache", &stats);
+        let snap = TelemetrySnapshot::from_builder(0, out);
+        assert_eq!(snap.gauge("cache.hit_rate"), Some(0.75));
+    }
+}

@@ -140,6 +140,14 @@ pub trait WalkIndex: WalkIndexView {
     /// aggregated over shards for sharded layouts.  Observability only — engines use
     /// the deltas to charge compaction pauses to the batch that triggered them.
     fn arena_stats(&self) -> crate::arena::ArenaStats;
+
+    /// Emits this store's observability counters into a telemetry snapshot
+    /// builder.  The default covers what every layout has — the arena stats —
+    /// under the `arena` segment; layouts with more to say (shard loads,
+    /// pager residency, on-disk compaction) override and extend this.
+    fn emit_telemetry(&self, out: &mut ppr_telemetry::SnapshotBuilder) {
+        out.source("arena", &self.arena_stats());
+    }
 }
 
 /// A batch of segment rewrites, stored flat: each entry replaces one segment's whole

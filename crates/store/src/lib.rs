@@ -39,6 +39,7 @@ pub mod routing;
 pub mod segment;
 pub mod sharded;
 pub mod social;
+pub mod telem;
 pub mod view;
 pub mod walks;
 

@@ -25,35 +25,55 @@ pub struct StoreMetrics {
     pub edge_deletions: u64,
 }
 
-/// Thread-safe counter block backing [`StoreMetrics`].
-#[derive(Debug, Default)]
-pub(crate) struct AtomicStoreMetrics {
-    pub fetches: AtomicU64,
-    pub edges_returned: AtomicU64,
-    pub sampled_neighbor_queries: AtomicU64,
-    pub edge_insertions: AtomicU64,
-    pub edge_deletions: AtomicU64,
-}
-
-impl AtomicStoreMetrics {
-    pub(crate) fn snapshot(&self) -> StoreMetrics {
-        StoreMetrics {
-            fetches: self.fetches.load(Ordering::Relaxed),
-            edges_returned: self.edges_returned.load(Ordering::Relaxed),
-            sampled_neighbor_queries: self.sampled_neighbor_queries.load(Ordering::Relaxed),
-            edge_insertions: self.edge_insertions.load(Ordering::Relaxed),
-            edge_deletions: self.edge_deletions.load(Ordering::Relaxed),
+/// Generates the atomic counter block mirroring [`StoreMetrics`] from one field
+/// list, so snapshot / reset / snapshot-and-reset can never drift out of sync
+/// with the struct (the boilerplate they used to duplicate by hand).
+///
+/// Concurrency contract: every cell is an independent monotone accumulator
+/// written with `Relaxed` adds — there is no cross-field invariant, so readers
+/// may see a mid-batch mix of fields but never a torn or invented count.
+/// `snapshot_and_reset` uses per-field `swap`, which makes each *field's*
+/// reset atomic: an increment lands either in the returned snapshot or in the
+/// next window, never in both and never lost (a plain load-then-store reset
+/// could drop increments that race between the two).
+macro_rules! define_atomic_store_metrics {
+    ($($field:ident),+ $(,)?) => {
+        /// Thread-safe counter block backing [`StoreMetrics`].
+        #[derive(Debug, Default)]
+        pub(crate) struct AtomicStoreMetrics {
+            $(pub $field: AtomicU64,)+
         }
-    }
 
-    pub(crate) fn reset(&self) {
-        self.fetches.store(0, Ordering::Relaxed);
-        self.edges_returned.store(0, Ordering::Relaxed);
-        self.sampled_neighbor_queries.store(0, Ordering::Relaxed);
-        self.edge_insertions.store(0, Ordering::Relaxed);
-        self.edge_deletions.store(0, Ordering::Relaxed);
-    }
+        impl AtomicStoreMetrics {
+            pub(crate) fn snapshot(&self) -> StoreMetrics {
+                StoreMetrics {
+                    $($field: self.$field.load(Ordering::Relaxed),)+
+                }
+            }
+
+            pub(crate) fn reset(&self) {
+                $(self.$field.store(0, Ordering::Relaxed);)+
+            }
+
+            /// Atomically (per field) reads and zeroes the counters: the window
+            /// boundary of interval-based samplers.  No increment is observable
+            /// in both the returned snapshot and the post-reset counters.
+            pub(crate) fn snapshot_and_reset(&self) -> StoreMetrics {
+                StoreMetrics {
+                    $($field: self.$field.swap(0, Ordering::Relaxed),)+
+                }
+            }
+        }
+    };
 }
+
+define_atomic_store_metrics!(
+    fetches,
+    edges_returned,
+    sampled_neighbor_queries,
+    edge_insertions,
+    edge_deletions,
+);
 
 /// Per-shard write-load counters of a sharded PageRank Store
 /// ([`crate::ShardedWalkStore`]), mirroring the per-shard fetch counters the
@@ -139,6 +159,19 @@ mod tests {
         assert_eq!(snap.edge_insertions, 0);
         metrics.reset();
         assert_eq!(metrics.snapshot(), StoreMetrics::default());
+    }
+
+    #[test]
+    fn snapshot_and_reset_hands_over_every_count_exactly_once() {
+        let metrics = AtomicStoreMetrics::default();
+        metrics.fetches.fetch_add(7, Ordering::Relaxed);
+        metrics.edge_deletions.fetch_add(2, Ordering::Relaxed);
+        let window = metrics.snapshot_and_reset();
+        assert_eq!(window.fetches, 7);
+        assert_eq!(window.edge_deletions, 2);
+        assert_eq!(metrics.snapshot(), StoreMetrics::default());
+        metrics.fetches.fetch_add(1, Ordering::Relaxed);
+        assert_eq!(metrics.snapshot_and_reset().fetches, 1);
     }
 
     #[test]

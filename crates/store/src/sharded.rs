@@ -384,6 +384,16 @@ impl WalkIndex for ShardedWalkStore {
     fn arena_stats(&self) -> ArenaStats {
         ShardedWalkStore::arena_stats(self)
     }
+
+    fn emit_telemetry(&self, out: &mut ppr_telemetry::SnapshotBuilder) {
+        out.source("arena", &ShardedWalkStore::arena_stats(self));
+        out.gauge("shards", self.shard_count as f64);
+        let mut merged = ShardLoad::default();
+        for load in self.shard_loads() {
+            merged.merge(&load);
+        }
+        out.source("shard_load", &merged);
+    }
 }
 
 impl WalkIndexMut for ShardedWalkStore {

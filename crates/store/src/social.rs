@@ -146,6 +146,15 @@ impl SocialStore {
         self.metrics.snapshot()
     }
 
+    /// Atomically (per counter) snapshots and zeroes the access metrics: the
+    /// interval read used by telemetry samplers.  Unlike a `metrics()` +
+    /// `reset_metrics()` pair, no concurrent increment can land in both the
+    /// returned window and the next one.  Per-shard fetch counts are left
+    /// untouched (they remain cumulative).
+    pub fn metrics_and_reset(&self) -> StoreMetrics {
+        self.metrics.snapshot_and_reset()
+    }
+
     /// Resets all access metrics (including per-shard counts) to zero.
     pub fn reset_metrics(&self) {
         self.metrics.reset();

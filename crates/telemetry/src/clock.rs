@@ -1,0 +1,113 @@
+//! Injectable time sources for span timing.
+//!
+//! Spans measure durations through a [`Clock`] rather than calling
+//! [`std::time::Instant::now`] directly, for one reason: determinism.  The
+//! workspace's load-bearing invariant is that every replay is a pure function of
+//! its seeds, and tests that assert on *recorded telemetry* need the same
+//! property for time itself.  Production uses [`MonotonicClock`] (a monotonic
+//! nanosecond counter anchored at construction); tests use [`ManualClock`] and
+//! advance it by hand, making every span duration exactly reproducible.
+//!
+//! Telemetry never feeds back into engine behaviour, so the clock choice can
+//! never change a score, an answer, or a `StoreDigest` — only what the
+//! histograms say about latency.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A monotonic nanosecond source.
+pub trait Clock: Send + Sync + std::fmt::Debug {
+    /// Nanoseconds since an arbitrary (per-clock) origin.  Must be monotone
+    /// non-decreasing across calls from any thread.
+    fn now_nanos(&self) -> u64;
+}
+
+/// The production clock: [`Instant`]-based, origin at construction.
+#[derive(Debug)]
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock whose origin is "now".
+    pub fn new() -> Self {
+        MonotonicClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_nanos(&self) -> u64 {
+        // A u64 of nanoseconds lasts ~584 years from the origin; saturate rather
+        // than wrap if something feeds us an absurd instant.
+        u64::try_from(self.origin.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+/// A hand-advanced test clock: time moves only when the test says so.
+///
+/// Cloning shares the underlying counter, so the clone handed to a
+/// [`crate::Telemetry`] and the one kept by the test tick together.
+#[derive(Debug, Clone, Default)]
+pub struct ManualClock {
+    nanos: Arc<AtomicU64>,
+}
+
+impl ManualClock {
+    /// A clock frozen at zero.
+    pub fn new() -> Self {
+        ManualClock::default()
+    }
+
+    /// Advances the clock by `nanos` nanoseconds.
+    pub fn advance(&self, nanos: u64) {
+        self.nanos.fetch_add(nanos, Ordering::Release);
+    }
+
+    /// Jumps the clock forward to `nanos` (monotone: never moves it backwards).
+    pub fn set(&self, nanos: u64) {
+        self.nanos.fetch_max(nanos, Ordering::Release);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_nanos(&self) -> u64 {
+        self.nanos.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_clock_is_monotone() {
+        let clock = MonotonicClock::new();
+        let a = clock.now_nanos();
+        let b = clock.now_nanos();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn manual_clock_advances_only_by_hand() {
+        let clock = ManualClock::new();
+        assert_eq!(clock.now_nanos(), 0);
+        clock.advance(250);
+        assert_eq!(clock.now_nanos(), 250);
+        let shared = clock.clone();
+        shared.advance(50);
+        assert_eq!(clock.now_nanos(), 300);
+        clock.set(200); // monotone: no-op backwards
+        assert_eq!(clock.now_nanos(), 300);
+        clock.set(1_000);
+        assert_eq!(clock.now_nanos(), 1_000);
+    }
+}

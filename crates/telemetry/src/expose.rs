@@ -1,0 +1,240 @@
+//! Exposition endpoints: Prometheus text format and JSONL time series.
+//!
+//! Both renderers consume a finished [`TelemetrySnapshot`], so they are pure
+//! functions of collected data — rendering never touches live atomics.
+//!
+//! * [`render_prometheus`] produces the Prometheus text exposition format:
+//!   every metric name is prefixed `ppr_` with dots mapped to underscores,
+//!   histograms expand to cumulative `_bucket{le="…"}` lines plus `_sum`,
+//!   `_count`, and pre-computed `_p50`/`_p90`/`_p99`/`_p999`/`_max` gauges.
+//! * [`render_jsonl_line`] produces one self-contained JSON object per
+//!   snapshot — append them to a file and you have a time series; the
+//!   [`JsonlAppender`] does exactly that over any [`std::io::Write`].
+//!
+//! The JSON is hand-rendered (this workspace carries no serde); every line is
+//! checked well-formed by [`crate::json::validate`] in tests and CI.
+
+use crate::hist::{bucket_range, HistogramSnapshot};
+use crate::json::escape_into;
+use crate::snapshot::{MetricValue, TelemetrySnapshot};
+use std::fmt::Write as _;
+use std::io::{self, Write};
+
+/// Maps a dot-namespaced metric name onto a Prometheus-legal one:
+/// `query.latency` → `ppr_query_latency`.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    out.push_str("ppr_");
+    for ch in name.chars() {
+        if ch.is_ascii_alphanumeric() {
+            out.push(ch);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+fn prom_f64(value: f64) -> String {
+    let value = if value.is_finite() { value } else { 0.0 };
+    format!("{value:?}")
+}
+
+fn render_prom_histogram(out: &mut String, name: &str, hist: &HistogramSnapshot) {
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    let top = hist.buckets.iter().rposition(|&c| c != 0).unwrap_or(0);
+    let mut cumulative = 0u64;
+    for (index, &bucket) in hist.buckets.iter().enumerate().take(top + 1) {
+        cumulative += bucket;
+        let (_, high) = bucket_range(index);
+        let _ = writeln!(out, "{name}_bucket{{le=\"{high}\"}} {cumulative}");
+    }
+    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", hist.count);
+    let _ = writeln!(out, "{name}_sum {}", hist.sum);
+    let _ = writeln!(out, "{name}_count {}", hist.count);
+    for (suffix, value) in [
+        ("p50", hist.p50()),
+        ("p90", hist.p90()),
+        ("p99", hist.p99()),
+        ("p999", hist.p999()),
+        ("max", hist.max),
+    ] {
+        let _ = writeln!(out, "# TYPE {name}_{suffix} gauge");
+        let _ = writeln!(out, "{name}_{suffix} {value}");
+    }
+}
+
+/// Renders the snapshot in the Prometheus text exposition format.
+pub fn render_prometheus(snapshot: &TelemetrySnapshot) -> String {
+    let mut out = String::new();
+    for metric in &snapshot.metrics {
+        let name = prom_name(&metric.name);
+        match &metric.value {
+            MetricValue::Counter(v) => {
+                let _ = writeln!(out, "# TYPE {name} counter");
+                let _ = writeln!(out, "{name} {v}");
+            }
+            MetricValue::Gauge(v) => {
+                let _ = writeln!(out, "# TYPE {name} gauge");
+                let _ = writeln!(out, "{name} {}", prom_f64(*v));
+            }
+            MetricValue::Histogram(h) => render_prom_histogram(&mut out, &name, h),
+        }
+    }
+    out
+}
+
+fn json_histogram(out: &mut String, hist: &HistogramSnapshot) {
+    let _ = write!(
+        out,
+        "{{\"count\":{},\"sum\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{},\"buckets\":[",
+        hist.count,
+        hist.sum,
+        hist.max,
+        hist.p50(),
+        hist.p90(),
+        hist.p99(),
+        hist.p999(),
+    );
+    let mut first = true;
+    for (index, &count) in hist.buckets.iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "[{index},{count}]");
+    }
+    out.push_str("]}");
+}
+
+/// Renders the snapshot as one self-contained JSON object (no trailing
+/// newline).  Histogram buckets are sparse `[bucket_index, count]` pairs; see
+/// [`bucket_range`] for the index → value-range mapping.
+pub fn render_jsonl_line(snapshot: &TelemetrySnapshot) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{{\"at_nanos\":{},\"label\":\"", snapshot.at_nanos);
+    escape_into(&mut out, &snapshot.label);
+    out.push_str("\",\"metrics\":{");
+    let mut first = true;
+    for metric in &snapshot.metrics {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push('"');
+        escape_into(&mut out, &metric.name);
+        out.push_str("\":");
+        match &metric.value {
+            MetricValue::Counter(v) => {
+                let _ = write!(out, "{v}");
+            }
+            MetricValue::Gauge(v) => {
+                let v = if v.is_finite() { *v } else { 0.0 };
+                let _ = write!(out, "{v:?}");
+            }
+            MetricValue::Histogram(h) => json_histogram(&mut out, h),
+        }
+    }
+    out.push_str("}}");
+    out
+}
+
+/// Appends snapshots as JSONL lines to any writer — the sampler hook sink used
+/// by the scenario runner and the query engine's exporters.
+#[derive(Debug)]
+pub struct JsonlAppender<W: Write> {
+    writer: W,
+    lines: u64,
+}
+
+impl<W: Write> JsonlAppender<W> {
+    /// Wraps a writer.
+    pub fn new(writer: W) -> Self {
+        JsonlAppender { writer, lines: 0 }
+    }
+
+    /// Appends one snapshot as one JSON line.
+    pub fn append(&mut self, snapshot: &TelemetrySnapshot) -> io::Result<()> {
+        let line = render_jsonl_line(snapshot);
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.lines += 1;
+        Ok(())
+    }
+
+    /// Number of lines appended so far.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Flushes and returns the underlying writer.
+    pub fn into_inner(mut self) -> io::Result<W> {
+        self.writer.flush()?;
+        Ok(self.writer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::validate;
+    use crate::snapshot::SnapshotBuilder;
+    use crate::Histogram;
+
+    fn sample_snapshot() -> TelemetrySnapshot {
+        let hist = Histogram::standalone();
+        for v in [0u64, 1, 3, 900, 70_000] {
+            hist.record(v);
+        }
+        let mut out = SnapshotBuilder::new();
+        out.counter("query.served", 41);
+        out.gauge("cache.hit_rate", 0.75);
+        out.histogram("query.latency", hist.snapshot());
+        TelemetrySnapshot::from_builder(123, out).with_label("phase \"2\"")
+    }
+
+    #[test]
+    fn prometheus_output_has_buckets_quantiles_and_sanitized_names() {
+        let text = render_prometheus(&sample_snapshot());
+        assert!(text.contains("# TYPE ppr_query_served counter"));
+        assert!(text.contains("ppr_query_served 41"));
+        assert!(text.contains("ppr_cache_hit_rate 0.75"));
+        assert!(text.contains("# TYPE ppr_query_latency histogram"));
+        assert!(text.contains("ppr_query_latency_bucket{le=\"+Inf\"} "));
+        assert!(text.contains("ppr_query_latency_p50 "));
+        assert!(text.contains("ppr_query_latency_p99 "));
+        #[cfg(feature = "telemetry")]
+        {
+            assert!(text.contains("ppr_query_latency_count 5"));
+            assert!(text.contains("ppr_query_latency_bucket{le=\"0\"} 1"));
+        }
+    }
+
+    #[test]
+    fn jsonl_lines_are_valid_json_including_escaped_labels() {
+        let snap = sample_snapshot();
+        let line = render_jsonl_line(&snap);
+        validate(&line).unwrap_or_else(|(at, msg)| panic!("invalid JSON at {at}: {msg}\n{line}"));
+        assert!(line.contains("\"query.served\":41"));
+        assert!(line.contains("phase \\\"2\\\""));
+    }
+
+    #[test]
+    fn appender_counts_lines_and_flushes() {
+        let snap = sample_snapshot();
+        let mut appender = JsonlAppender::new(Vec::new());
+        appender.append(&snap).unwrap();
+        appender.append(&snap).unwrap();
+        assert_eq!(appender.lines(), 2);
+        let buf = appender.into_inner().unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<_> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            validate(line).expect("each JSONL line is standalone valid JSON");
+        }
+    }
+}

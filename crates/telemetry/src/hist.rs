@@ -1,0 +1,343 @@
+//! Fixed-bucket log₂-scale histograms.
+//!
+//! The registry's latency and size distributions all share one shape: 65 buckets,
+//! where bucket 0 holds the value `0` and bucket `b ∈ 1..=64` holds the values in
+//! `[2^(b-1), 2^b)`.  Log-scale buckets trade one property for everything else:
+//! any quantile read from bucket counts is exact *up to the bucket's own range* —
+//! the true nearest-rank percentile provably lies between the reported bucket's
+//! lower and upper bound, a relative error of at most 2× — while recording stays a
+//! single `leading_zeros` plus three relaxed atomic adds, with zero allocation and
+//! no locks.
+//!
+//! Concurrency: a histogram is split into [`SHARDS`] independent shard blocks.
+//! Each recording thread picks one shard (by a cheap thread-local id) and only
+//! ever touches that shard's atomics, so concurrent recorders on different
+//! threads do not contend on the same cache lines.  All ordering is
+//! `Relaxed`: every cell is an independent monotone accumulator — there is no
+//! cross-cell invariant a reader could tear, snapshots are statistical by
+//! nature, and exact totals settle once recorders quiesce (which every test
+//! and every sampler in this workspace guarantees before asserting).
+
+#[cfg(feature = "telemetry")]
+use std::sync::atomic::AtomicUsize;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of buckets: one for zero plus one per power of two up to `2^64`.
+pub const BUCKETS: usize = 65;
+
+/// Number of independent recording shards per histogram.
+pub const SHARDS: usize = 8;
+
+/// The bucket index of `value`: 0 for 0, else `floor(log2(value)) + 1`.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        (64 - value.leading_zeros()) as usize
+    }
+}
+
+/// The inclusive `[low, high]` value range of bucket `index`.
+pub fn bucket_range(index: usize) -> (u64, u64) {
+    assert!(index < BUCKETS, "bucket index {index} out of range");
+    if index == 0 {
+        (0, 0)
+    } else if index == 64 {
+        (1u64 << 63, u64::MAX)
+    } else {
+        (1u64 << (index - 1), (1u64 << index) - 1)
+    }
+}
+
+/// One thread-shard of a histogram: an independent bucket block.
+#[derive(Debug)]
+struct HistShard {
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl HistShard {
+    fn new() -> Self {
+        HistShard {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// The shared core behind a [`Histogram`] handle.
+#[derive(Debug)]
+pub(crate) struct HistCore {
+    shards: [HistShard; SHARDS],
+}
+
+impl HistCore {
+    pub(crate) fn new() -> Self {
+        HistCore {
+            shards: std::array::from_fn(|_| HistShard::new()),
+        }
+    }
+}
+
+/// The shard this thread records into.  Assigned once per thread from a global
+/// round-robin counter, so a fixed set of worker threads spreads evenly.
+#[cfg(feature = "telemetry")]
+#[inline]
+fn thread_shard() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SHARD: usize = NEXT.fetch_add(1, Ordering::Relaxed) % SHARDS;
+    }
+    SHARD.with(|s| *s)
+}
+
+/// A handle onto one named histogram in a registry.  Cheap to clone; recording is
+/// lock-free and allocation-free.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    pub(crate) enabled: Arc<AtomicBool>,
+    pub(crate) core: Arc<HistCore>,
+}
+
+impl Histogram {
+    /// A histogram detached from any registry (always enabled) — for tests and
+    /// standalone aggregation.
+    pub fn standalone() -> Self {
+        Histogram {
+            enabled: Arc::new(AtomicBool::new(true)),
+            core: Arc::new(HistCore::new()),
+        }
+    }
+
+    /// Records one sample.  No-op while the owning registry is disabled, and
+    /// compiled out entirely without the `telemetry` feature.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        #[cfg(feature = "telemetry")]
+        {
+            if !self.enabled.load(Ordering::Relaxed) {
+                return;
+            }
+            let shard = &self.core.shards[thread_shard()];
+            shard.count.fetch_add(1, Ordering::Relaxed);
+            shard.sum.fetch_add(value, Ordering::Relaxed);
+            shard.max.fetch_max(value, Ordering::Relaxed);
+            shard.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        }
+        #[cfg(not(feature = "telemetry"))]
+        let _ = (value, &self.enabled);
+    }
+
+    /// Whether a `record` call right now would actually store a sample.  Span
+    /// guards check this once at entry so a disabled registry never even reads
+    /// the clock.
+    #[inline]
+    pub(crate) fn is_armed(&self) -> bool {
+        #[cfg(feature = "telemetry")]
+        {
+            self.enabled.load(Ordering::Relaxed)
+        }
+        #[cfg(not(feature = "telemetry"))]
+        {
+            false
+        }
+    }
+
+    /// Merges every thread shard into one point-in-time snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut snap = HistogramSnapshot::default();
+        for shard in &self.core.shards {
+            snap.count += shard.count.load(Ordering::Relaxed);
+            snap.sum += shard.sum.load(Ordering::Relaxed);
+            snap.max = snap.max.max(shard.max.load(Ordering::Relaxed));
+            for (b, bucket) in shard.buckets.iter().enumerate() {
+                snap.buckets[b] += bucket.load(Ordering::Relaxed);
+            }
+        }
+        snap
+    }
+}
+
+/// An immutable merged view of a histogram: bucket counts plus count/sum/max.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all recorded values (wrapping add is acceptable at u64 scale).
+    pub sum: u64,
+    /// Largest recorded value.
+    pub max: u64,
+    /// Per-bucket sample counts (see [`bucket_range`]).
+    pub buckets: [u64; BUCKETS],
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            max: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// True if no sample was ever recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Adds another snapshot's samples into this one (cross-thread /
+    /// cross-process merge).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Mean of the recorded values; 0.0 on an empty histogram (never NaN).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `[low, high]` bounds of the bucket holding the nearest-rank
+    /// `q`-quantile (`q ∈ [0, 1]`).  The exact nearest-rank percentile of the
+    /// recorded samples is guaranteed to lie within the returned bounds; `(0, 0)`
+    /// on an empty histogram.
+    pub fn quantile_bounds(&self, q: f64) -> (u64, u64) {
+        if self.count == 0 {
+            return (0, 0);
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (index, &bucket) in self.buckets.iter().enumerate() {
+            cumulative += bucket;
+            if cumulative >= rank {
+                return bucket_range(index);
+            }
+        }
+        bucket_range(BUCKETS - 1)
+    }
+
+    /// The upper bound of the bucket holding the nearest-rank `q`-quantile — a
+    /// conservative (never underestimating) percentile read.
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.quantile_bounds(q).1
+    }
+
+    /// Median upper bound.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile upper bound.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile upper bound.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th-percentile upper bound.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_matches_ranges() {
+        for b in 0..BUCKETS {
+            let (low, high) = bucket_range(b);
+            assert_eq!(bucket_index(low), b, "low of bucket {b}");
+            assert_eq!(bucket_index(high), b, "high of bucket {b}");
+        }
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn quantiles_bracket_exact_percentiles() {
+        let hist = Histogram::standalone();
+        let mut samples: Vec<u64> = (1..=1000u64).map(|i| i * 7 % 997).collect();
+        for &s in &samples {
+            hist.record(s);
+        }
+        samples.sort_unstable();
+        let snap = hist.snapshot();
+        assert_eq!(snap.count, 1000);
+        for &q in &[0.5, 0.9, 0.99, 0.999] {
+            let rank = ((q * 1000f64).ceil() as usize).clamp(1, 1000);
+            let exact = samples[rank - 1];
+            let (low, high) = snap.quantile_bounds(q);
+            assert!(
+                low <= exact && exact <= high,
+                "q={q}: exact {exact} outside [{low}, {high}]"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes_not_nan() {
+        let snap = Histogram::standalone().snapshot();
+        assert!(snap.is_empty());
+        assert_eq!(snap.p50(), 0);
+        assert_eq!(snap.quantile_bounds(0.99), (0, 0));
+        assert_eq!(snap.mean(), 0.0);
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn merge_is_componentwise() {
+        let a = Histogram::standalone();
+        let b = Histogram::standalone();
+        a.record(3);
+        a.record(100);
+        b.record(5);
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.count, 3);
+        assert_eq!(merged.sum, 108);
+        assert_eq!(merged.max, 100);
+        assert_eq!(
+            merged.buckets[bucket_index(3)] + merged.buckets[bucket_index(5)],
+            2
+        );
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn disabled_histograms_record_nothing() {
+        let hist = Histogram::standalone();
+        hist.enabled.store(false, Ordering::Relaxed);
+        hist.record(42);
+        assert!(hist.snapshot().is_empty());
+        hist.enabled.store(true, Ordering::Relaxed);
+        hist.record(42);
+        assert_eq!(hist.snapshot().count, 1);
+    }
+}

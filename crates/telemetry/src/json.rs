@@ -1,0 +1,222 @@
+//! A minimal JSON validator.
+//!
+//! The JSONL exporter ([`crate::render_jsonl_line`]) hand-renders its output (the
+//! workspace deliberately carries no serde dependency), so tests and CI
+//! assertions need an independent check that every emitted line is
+//! well-formed JSON.  [`validate`] is a strict recursive-descent recogniser
+//! for RFC 8259 JSON — it accepts exactly one top-level value and rejects
+//! trailing garbage.  It does not build a value tree; it only answers
+//! "is this JSON?" plus an error offset for diagnostics.
+
+/// Validates that `input` is exactly one well-formed JSON value (surrounded by
+/// optional whitespace).  Returns `Err((byte_offset, message))` on the first
+/// violation.
+pub fn validate(input: &str) -> Result<(), (usize, &'static str)> {
+    let bytes = input.as_bytes();
+    let mut pos = skip_ws(bytes, 0);
+    pos = value(bytes, pos)?;
+    pos = skip_ws(bytes, pos);
+    if pos != bytes.len() {
+        return Err((pos, "trailing characters after JSON value"));
+    }
+    Ok(())
+}
+
+fn skip_ws(bytes: &[u8], mut pos: usize) -> usize {
+    while pos < bytes.len() && matches!(bytes[pos], b' ' | b'\t' | b'\n' | b'\r') {
+        pos += 1;
+    }
+    pos
+}
+
+fn value(bytes: &[u8], pos: usize) -> Result<usize, (usize, &'static str)> {
+    match bytes.get(pos) {
+        None => Err((pos, "unexpected end of input")),
+        Some(b'{') => object(bytes, pos),
+        Some(b'[') => array(bytes, pos),
+        Some(b'"') => string(bytes, pos),
+        Some(b't') => literal(bytes, pos, b"true"),
+        Some(b'f') => literal(bytes, pos, b"false"),
+        Some(b'n') => literal(bytes, pos, b"null"),
+        Some(b'-' | b'0'..=b'9') => number(bytes, pos),
+        Some(_) => Err((pos, "unexpected character at start of value")),
+    }
+}
+
+fn literal(bytes: &[u8], pos: usize, expect: &[u8]) -> Result<usize, (usize, &'static str)> {
+    if bytes[pos..].starts_with(expect) {
+        Ok(pos + expect.len())
+    } else {
+        Err((pos, "invalid literal"))
+    }
+}
+
+fn object(bytes: &[u8], mut pos: usize) -> Result<usize, (usize, &'static str)> {
+    pos = skip_ws(bytes, pos + 1);
+    if bytes.get(pos) == Some(&b'}') {
+        return Ok(pos + 1);
+    }
+    loop {
+        if bytes.get(pos) != Some(&b'"') {
+            return Err((pos, "expected string key in object"));
+        }
+        pos = string(bytes, pos)?;
+        pos = skip_ws(bytes, pos);
+        if bytes.get(pos) != Some(&b':') {
+            return Err((pos, "expected ':' after object key"));
+        }
+        pos = skip_ws(bytes, pos + 1);
+        pos = value(bytes, pos)?;
+        pos = skip_ws(bytes, pos);
+        match bytes.get(pos) {
+            Some(b',') => pos = skip_ws(bytes, pos + 1),
+            Some(b'}') => return Ok(pos + 1),
+            _ => return Err((pos, "expected ',' or '}' in object")),
+        }
+    }
+}
+
+fn array(bytes: &[u8], mut pos: usize) -> Result<usize, (usize, &'static str)> {
+    pos = skip_ws(bytes, pos + 1);
+    if bytes.get(pos) == Some(&b']') {
+        return Ok(pos + 1);
+    }
+    loop {
+        pos = value(bytes, pos)?;
+        pos = skip_ws(bytes, pos);
+        match bytes.get(pos) {
+            Some(b',') => pos = skip_ws(bytes, pos + 1),
+            Some(b']') => return Ok(pos + 1),
+            _ => return Err((pos, "expected ',' or ']' in array")),
+        }
+    }
+}
+
+fn string(bytes: &[u8], mut pos: usize) -> Result<usize, (usize, &'static str)> {
+    pos += 1; // opening quote
+    while let Some(&b) = bytes.get(pos) {
+        match b {
+            b'"' => return Ok(pos + 1),
+            b'\\' => match bytes.get(pos + 1) {
+                Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => pos += 2,
+                Some(b'u') => {
+                    let hex = bytes
+                        .get(pos + 2..pos + 6)
+                        .ok_or((pos, "truncated \\u escape"))?;
+                    if !hex.iter().all(u8::is_ascii_hexdigit) {
+                        return Err((pos, "invalid \\u escape"));
+                    }
+                    pos += 6;
+                }
+                _ => return Err((pos, "invalid escape sequence")),
+            },
+            0x00..=0x1f => return Err((pos, "unescaped control character in string")),
+            _ => pos += 1,
+        }
+    }
+    Err((pos, "unterminated string"))
+}
+
+fn number(bytes: &[u8], mut pos: usize) -> Result<usize, (usize, &'static str)> {
+    let start = pos;
+    if bytes.get(pos) == Some(&b'-') {
+        pos += 1;
+    }
+    match bytes.get(pos) {
+        Some(b'0') => pos += 1,
+        Some(b'1'..=b'9') => {
+            while matches!(bytes.get(pos), Some(b'0'..=b'9')) {
+                pos += 1;
+            }
+        }
+        _ => return Err((start, "invalid number")),
+    }
+    if bytes.get(pos) == Some(&b'.') {
+        pos += 1;
+        if !matches!(bytes.get(pos), Some(b'0'..=b'9')) {
+            return Err((pos, "expected digit after decimal point"));
+        }
+        while matches!(bytes.get(pos), Some(b'0'..=b'9')) {
+            pos += 1;
+        }
+    }
+    if matches!(bytes.get(pos), Some(b'e' | b'E')) {
+        pos += 1;
+        if matches!(bytes.get(pos), Some(b'+' | b'-')) {
+            pos += 1;
+        }
+        if !matches!(bytes.get(pos), Some(b'0'..=b'9')) {
+            return Err((pos, "expected digit in exponent"));
+        }
+        while matches!(bytes.get(pos), Some(b'0'..=b'9')) {
+            pos += 1;
+        }
+    }
+    Ok(pos)
+}
+
+/// Escapes `raw` as the contents of a JSON string (no surrounding quotes).
+pub fn escape_into(out: &mut String, raw: &str) {
+    for ch in raw.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_valid_json() {
+        for ok in [
+            "{}",
+            "[]",
+            "0",
+            "-1.5e3",
+            "true",
+            "null",
+            r#""hi\nthere""#,
+            r#"{"a": [1, 2.5, {"b": "é"}], "c": false}"#,
+            "  {\"x\": 1}  ",
+        ] {
+            assert!(validate(ok).is_ok(), "should accept: {ok}");
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_json() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\" 1}",
+            "nul",
+            "01",
+            "1.",
+            "\"unterminated",
+            "{} {}",
+            "NaN",
+            "\"bad\\escape\"",
+        ] {
+            assert!(validate(bad).is_err(), "should reject: {bad}");
+        }
+    }
+
+    #[test]
+    fn escape_round_trips_through_validate() {
+        let mut out = String::from("\"");
+        escape_into(&mut out, "line\nbreak \"quoted\" back\\slash \u{1} é");
+        out.push('"');
+        assert!(validate(&out).is_ok(), "escaped string invalid: {out}");
+    }
+}

@@ -1,0 +1,105 @@
+//! `ppr-telemetry`: the unified observability layer for the fast-ppr workspace.
+//!
+//! One [`Telemetry`] registry holds named [`Counter`]s, [`Gauge`]s, and
+//! log₂-bucket [`Histogram`]s; RAII [`Span`]/[`OwnedSpan`] guards time
+//! lifecycle stages (commit apply → mirror → WAL fsync → publish, query pin →
+//! walk → top-k) into those histograms over an injectable [`Clock`];
+//! [`TelemetrySnapshot`] collection folds registry instruments together with
+//! [`MetricSource`] adapters over every existing stats struct in the
+//! workspace; and [`render_prometheus`] / [`JsonlAppender`] expose the result.
+//!
+//! Design contract, in order of importance:
+//!
+//! 1. **Telemetry never changes behaviour.**  Nothing in this crate feeds back
+//!    into engine decisions; all differential digests stay bit-identical with
+//!    telemetry on, off, or compiled out.
+//! 2. **The hot path is cheap.**  Recording is one relaxed-load branch plus a
+//!    few relaxed atomic adds on a thread-local shard — no locks, no
+//!    allocation.  Disabling at runtime ([`Telemetry::set_enabled`]) leaves
+//!    one predictable branch; building without the `telemetry` cargo feature
+//!    (on by default) compiles record bodies out entirely while keeping the
+//!    full API, so instrumented call sites need no cfg of their own.
+//! 3. **Readings are honest.**  Quantiles come with bracketing bounds
+//!    ([`HistogramSnapshot::quantile_bounds`]), every ratio guards its zero
+//!    denominator, and non-finite gauges clamp to `0.0` — no exposition
+//!    format ever renders `NaN`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod clock;
+mod expose;
+mod hist;
+mod metrics;
+mod registry;
+mod snapshot;
+mod span;
+
+pub mod json;
+
+pub use clock::{Clock, ManualClock, MonotonicClock};
+pub use expose::{render_jsonl_line, render_prometheus, JsonlAppender};
+pub use hist::{bucket_index, bucket_range, Histogram, HistogramSnapshot, BUCKETS, SHARDS};
+pub use metrics::{Counter, Gauge};
+pub use registry::Telemetry;
+pub use snapshot::{Metric, MetricSource, MetricValue, SnapshotBuilder, TelemetrySnapshot};
+pub use span::{OwnedSpan, Span};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_collects_instruments_sources_and_extras_in_one_snapshot() {
+        let tele = Telemetry::new();
+        tele.counter("reg.count").add(2);
+        tele.gauge("reg.level").set(1.25);
+        tele.histogram("reg.lat").record(8);
+        tele.register_source(|out: &mut SnapshotBuilder| {
+            out.scoped("shared", |out| out.counter("events", 7));
+        });
+        let extra = |out: &mut SnapshotBuilder| {
+            out.scoped("engine", |out| out.ratio("hit_rate", 3, 4));
+        };
+        let snap = tele.collect_with(&[&extra]);
+        assert_eq!(snap.counter("shared.events"), Some(7));
+        assert_eq!(snap.gauge("engine.hit_rate"), Some(0.75));
+        #[cfg(feature = "telemetry")]
+        {
+            assert_eq!(snap.counter("reg.count"), Some(2));
+            assert_eq!(snap.gauge("reg.level"), Some(1.25));
+            assert_eq!(snap.histogram("reg.lat").unwrap().count, 1);
+        }
+        #[cfg(not(feature = "telemetry"))]
+        {
+            assert_eq!(snap.counter("reg.count"), Some(0));
+            assert!(snap.histogram("reg.lat").unwrap().is_empty());
+        }
+    }
+
+    #[test]
+    fn disabling_stops_recording_but_collection_still_works() {
+        let tele = Telemetry::new();
+        let counter = tele.counter("x");
+        counter.inc();
+        tele.set_enabled(false);
+        counter.inc();
+        let after_disable = tele.collect().counter("x").unwrap();
+        #[cfg(feature = "telemetry")]
+        assert_eq!(after_disable, 1);
+        #[cfg(not(feature = "telemetry"))]
+        assert_eq!(after_disable, 0);
+    }
+
+    #[test]
+    fn same_name_returns_the_same_underlying_cell() {
+        let tele = Telemetry::new();
+        tele.counter("dup").add(1);
+        tele.counter("dup").add(1);
+        let snap = tele.collect();
+        #[cfg(feature = "telemetry")]
+        assert_eq!(snap.counter("dup"), Some(2));
+        #[cfg(not(feature = "telemetry"))]
+        assert_eq!(snap.counter("dup"), Some(0));
+    }
+}

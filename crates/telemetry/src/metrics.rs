@@ -1,0 +1,116 @@
+//! Counter and gauge handles.
+//!
+//! Both are single-`AtomicU64` cells shared between the registry (which
+//! snapshots them) and any number of recording threads.  All accesses are
+//! `Relaxed`: each cell is independent — counters are monotone accumulators,
+//! gauges are last-write-wins samples — so there is no multi-cell invariant
+//! that a stronger ordering would protect.  Readers may observe a counter
+//! mid-burst; they can never observe a torn or invented value.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Clone)]
+pub struct Counter {
+    pub(crate) enabled: Arc<AtomicBool>,
+    pub(crate) cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// A counter detached from any registry (always enabled).
+    pub fn standalone() -> Self {
+        Counter {
+            enabled: Arc::new(AtomicBool::new(true)),
+            cell: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.  No-op while the registry is disabled; compiled out without the
+    /// `telemetry` feature.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        #[cfg(feature = "telemetry")]
+        if self.enabled.load(Ordering::Relaxed) {
+            self.cell.fetch_add(n, Ordering::Relaxed);
+        }
+        #[cfg(not(feature = "telemetry"))]
+        let _ = (n, &self.enabled);
+    }
+
+    /// The current total.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins sampled value.
+///
+/// Stored as `f64` bits in an `AtomicU64`; non-finite inputs are clamped to
+/// `0.0` so no exposition format ever has to render `NaN` or `inf`.
+#[derive(Debug, Clone)]
+pub struct Gauge {
+    pub(crate) enabled: Arc<AtomicBool>,
+    pub(crate) cell: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// A gauge detached from any registry (always enabled).
+    pub fn standalone() -> Self {
+        Gauge {
+            enabled: Arc::new(AtomicBool::new(true)),
+            cell: Arc::new(AtomicU64::new(0f64.to_bits())),
+        }
+    }
+
+    /// Sets the gauge.  Non-finite values record as `0.0`.
+    #[inline]
+    pub fn set(&self, value: f64) {
+        #[cfg(feature = "telemetry")]
+        if self.enabled.load(Ordering::Relaxed) {
+            let value = if value.is_finite() { value } else { 0.0 };
+            self.cell.store(value.to_bits(), Ordering::Relaxed);
+        }
+        #[cfg(not(feature = "telemetry"))]
+        let _ = (value, &self.enabled);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.cell.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let c = Counter::standalone();
+        c.inc();
+        c.add(4);
+        #[cfg(feature = "telemetry")]
+        assert_eq!(c.get(), 5);
+        #[cfg(not(feature = "telemetry"))]
+        assert_eq!(c.get(), 0);
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn gauges_clamp_non_finite_to_zero() {
+        let g = Gauge::standalone();
+        g.set(2.5);
+        assert_eq!(g.get(), 2.5);
+        g.set(f64::NAN);
+        assert_eq!(g.get(), 0.0);
+        g.set(f64::INFINITY);
+        assert_eq!(g.get(), 0.0);
+    }
+}

@@ -1,0 +1,245 @@
+//! The [`Telemetry`] registry: named instruments, an injectable clock, one
+//! runtime enable switch, and snapshot collection.
+//!
+//! A `Telemetry` is a cheaply clonable handle (one `Arc`); every serving
+//! session, scenario replay, or bench regime creates its own, so tests never
+//! share registry state.  Instrument *creation* takes a short mutex (name
+//! lookup); the returned [`Counter`]/[`Gauge`]/[`Histogram`] handles record
+//! lock-free forever after — hot paths create their handles once and keep them.
+//!
+//! The `enabled` flag is the runtime fast path: a single relaxed [`AtomicBool`]
+//! load guards every record call, so disabled telemetry costs one predictable
+//! branch.  Building the workspace without the `telemetry` feature removes even
+//! that.
+
+use crate::clock::{Clock, ManualClock, MonotonicClock};
+use crate::hist::{HistCore, Histogram};
+use crate::metrics::{Counter, Gauge};
+use crate::snapshot::{MetricSource, SnapshotBuilder, TelemetrySnapshot};
+use crate::span::OwnedSpan;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+type SourceFn = Box<dyn Fn(&mut SnapshotBuilder) + Send + Sync>;
+
+#[derive(Default)]
+struct State {
+    counters: BTreeMap<String, Arc<AtomicU64>>,
+    gauges: BTreeMap<String, Arc<AtomicU64>>,
+    histograms: BTreeMap<String, Arc<HistCore>>,
+    sources: Vec<SourceFn>,
+}
+
+struct Inner {
+    /// The runtime recording switch, `Arc`'d so every handle shares the one
+    /// cell `set_enabled` flips.
+    enabled: Arc<AtomicBool>,
+    clock: Box<dyn Clock>,
+    state: Mutex<State>,
+}
+
+impl std::fmt::Debug for Inner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.state.lock().expect("telemetry registry poisoned");
+        f.debug_struct("Telemetry")
+            .field("enabled", &self.enabled.load(Ordering::Relaxed))
+            .field("counters", &state.counters.len())
+            .field("gauges", &state.gauges.len())
+            .field("histograms", &state.histograms.len())
+            .field("sources", &state.sources.len())
+            .finish()
+    }
+}
+
+/// A metrics registry + clock, shared by handle.
+#[derive(Debug, Clone)]
+pub struct Telemetry {
+    inner: Arc<Inner>,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry::new()
+    }
+}
+
+impl Telemetry {
+    /// An enabled registry on the production [`MonotonicClock`].
+    pub fn new() -> Self {
+        Telemetry::with_clock(MonotonicClock::new())
+    }
+
+    /// An enabled registry on the given clock ([`ManualClock`] for deterministic
+    /// span tests).
+    pub fn with_clock(clock: impl Clock + 'static) -> Self {
+        Telemetry {
+            inner: Arc::new(Inner {
+                enabled: Arc::new(AtomicBool::new(true)),
+                clock: Box::new(clock),
+                state: Mutex::new(State::default()),
+            }),
+        }
+    }
+
+    /// A registry that starts disabled (instruments exist but record nothing
+    /// until [`Telemetry::set_enabled`] turns them on).
+    pub fn disabled() -> Self {
+        let tele = Telemetry::new();
+        tele.set_enabled(false);
+        tele
+    }
+
+    /// A registry on a fresh [`ManualClock`], returning both (test convenience).
+    pub fn manual() -> (Self, ManualClock) {
+        let clock = ManualClock::new();
+        (Telemetry::with_clock(clock.clone()), clock)
+    }
+
+    /// Flips the runtime recording switch.  Collection keeps working either
+    /// way; only recording is gated.
+    pub fn set_enabled(&self, on: bool) {
+        self.inner.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether recording is currently enabled.
+    pub fn is_enabled(&self) -> bool {
+        #[cfg(feature = "telemetry")]
+        {
+            self.inner.enabled.load(Ordering::Relaxed)
+        }
+        #[cfg(not(feature = "telemetry"))]
+        {
+            false
+        }
+    }
+
+    /// Now, on this registry's clock.
+    pub fn now_nanos(&self) -> u64 {
+        self.inner.clock.now_nanos()
+    }
+
+    /// The registry's clock (spans time through it).
+    pub fn clock(&self) -> &dyn Clock {
+        &*self.inner.clock
+    }
+
+    fn enabled_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.inner.enabled)
+    }
+
+    /// Gets or creates the named counter.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut state = self
+            .inner
+            .state
+            .lock()
+            .expect("telemetry registry poisoned");
+        let cell = state
+            .counters
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(AtomicU64::new(0)));
+        Counter {
+            enabled: self.enabled_flag(),
+            cell: Arc::clone(cell),
+        }
+    }
+
+    /// Gets or creates the named gauge.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut state = self
+            .inner
+            .state
+            .lock()
+            .expect("telemetry registry poisoned");
+        let cell = state
+            .gauges
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(AtomicU64::new(0f64.to_bits())));
+        Gauge {
+            enabled: self.enabled_flag(),
+            cell: Arc::clone(cell),
+        }
+    }
+
+    /// Gets or creates the named histogram.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut state = self
+            .inner
+            .state
+            .lock()
+            .expect("telemetry registry poisoned");
+        let core = state
+            .histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(HistCore::new()));
+        Histogram {
+            enabled: self.enabled_flag(),
+            core: Arc::clone(core),
+        }
+    }
+
+    /// Starts a span recording into the histogram named `name` on drop.  This
+    /// looks the histogram up by name (a short lock); hot paths should create
+    /// the [`Histogram`] once and use [`Telemetry::time`] instead.
+    pub fn span(&self, name: &str) -> OwnedSpan {
+        OwnedSpan::enter(self.histogram(name), self.clone())
+    }
+
+    /// Starts a span over a pre-created histogram handle — the allocation-free
+    /// hot path (`commit.*` and `query.*` spans use this).
+    pub fn time<'a>(&'a self, hist: &'a Histogram) -> crate::span::Span<'a> {
+        crate::span::Span::enter(hist, self.clock())
+    }
+
+    /// Registers a collection source: a closure over shared stat cells, polled
+    /// by every future [`Telemetry::collect`].
+    pub fn register_source(&self, source: impl Fn(&mut SnapshotBuilder) + Send + Sync + 'static) {
+        self.inner
+            .state
+            .lock()
+            .expect("telemetry registry poisoned")
+            .sources
+            .push(Box::new(source));
+    }
+
+    /// Collects one snapshot of every registry instrument plus every registered
+    /// source.
+    pub fn collect(&self) -> TelemetrySnapshot {
+        self.collect_with(&[])
+    }
+
+    /// Collects one snapshot including borrowed extra sources — how the serving
+    /// layer folds engine-owned stats (store, arena, pager, WAL, …) into the
+    /// same view as the registry's live instruments.
+    pub fn collect_with(&self, extra: &[&dyn MetricSource]) -> TelemetrySnapshot {
+        let mut out = SnapshotBuilder::new();
+        {
+            let state = self
+                .inner
+                .state
+                .lock()
+                .expect("telemetry registry poisoned");
+            for (name, cell) in &state.counters {
+                out.counter(name, cell.load(Ordering::Relaxed));
+            }
+            for (name, cell) in &state.gauges {
+                out.gauge(name, f64::from_bits(cell.load(Ordering::Relaxed)));
+            }
+            for (name, core) in &state.histograms {
+                let hist = Histogram {
+                    enabled: self.enabled_flag(),
+                    core: Arc::clone(core),
+                };
+                out.histogram(name, hist.snapshot());
+            }
+            for source in &state.sources {
+                source(&mut out);
+            }
+        }
+        for source in extra {
+            source.emit(&mut out);
+        }
+        TelemetrySnapshot::from_builder(self.now_nanos(), out)
+    }
+}

@@ -1,0 +1,261 @@
+//! Snapshot collection: one call that sees every layer.
+//!
+//! A [`TelemetrySnapshot`] is a sorted, point-in-time list of named metrics.
+//! [`TelemetrySnapshot::collect`] gathers three kinds of inputs into one view:
+//!
+//! 1. the registry's own live instruments (counters, gauges, histograms —
+//!    including every span's latency histogram);
+//! 2. sources registered on the registry (closures over shared stat cells);
+//! 3. borrowed [`MetricSource`]s passed at collect time — the adapters the
+//!    workspace's existing stats structs (`StoreMetrics`, `ArenaStats`,
+//!    `PagerStats`, `WalStats`, `CommitStats`, …) implement, polled off the
+//!    owning engine at the moment of collection.
+//!
+//! Sources write through a [`SnapshotBuilder`], which namespaces metric names
+//! (`"arena." + "relocations"`) and guards every ratio against zero
+//! denominators, so no exposition format ever renders `NaN`.
+
+use crate::hist::HistogramSnapshot;
+
+/// The value of one collected metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// A monotone event count.
+    Counter(u64),
+    /// A point-in-time sampled value.
+    Gauge(f64),
+    /// A full log₂-bucket distribution (boxed: the bucket array dwarfs the
+    /// other variants).
+    Histogram(Box<HistogramSnapshot>),
+}
+
+/// One named, collected metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    /// Dot-namespaced metric name (e.g. `"store.fetches"`, `"commit.publish"`).
+    pub name: String,
+    /// The collected value.
+    pub value: MetricValue,
+}
+
+/// Anything that can contribute metrics to a snapshot.
+///
+/// Implemented by the workspace's existing stats structs in their home crates;
+/// a snapshot polls them by value at collect time, so the hot paths that fill
+/// them stay exactly as they were.
+pub trait MetricSource {
+    /// Emits this source's metrics into the builder.
+    fn emit(&self, out: &mut SnapshotBuilder);
+}
+
+impl<F: Fn(&mut SnapshotBuilder)> MetricSource for F {
+    fn emit(&self, out: &mut SnapshotBuilder) {
+        self(out)
+    }
+}
+
+/// The sink sources emit into: accumulates namespaced metrics.
+#[derive(Debug, Default)]
+pub struct SnapshotBuilder {
+    prefix: String,
+    metrics: Vec<Metric>,
+}
+
+impl SnapshotBuilder {
+    /// An empty builder with no namespace prefix.
+    pub fn new() -> Self {
+        SnapshotBuilder::default()
+    }
+
+    fn qualified(&self, name: &str) -> String {
+        if self.prefix.is_empty() {
+            name.to_string()
+        } else {
+            format!("{}.{name}", self.prefix)
+        }
+    }
+
+    /// Runs `f` with `segment` appended to the namespace prefix: metrics emitted
+    /// inside are named `prefix.segment.name`.
+    pub fn scoped(&mut self, segment: &str, f: impl FnOnce(&mut SnapshotBuilder)) {
+        let saved = self.prefix.len();
+        if !self.prefix.is_empty() {
+            self.prefix.push('.');
+        }
+        self.prefix.push_str(segment);
+        f(self);
+        self.prefix.truncate(saved);
+    }
+
+    /// Emits a counter.
+    pub fn counter(&mut self, name: &str, value: u64) {
+        let name = self.qualified(name);
+        self.metrics.push(Metric {
+            name,
+            value: MetricValue::Counter(value),
+        });
+    }
+
+    /// Emits a gauge.  Non-finite values are recorded as `0.0`.
+    pub fn gauge(&mut self, name: &str, value: f64) {
+        let name = self.qualified(name);
+        let value = if value.is_finite() { value } else { 0.0 };
+        self.metrics.push(Metric {
+            name,
+            value: MetricValue::Gauge(value),
+        });
+    }
+
+    /// Emits `numerator / denominator` as a gauge, reporting `0.0` when the
+    /// denominator is zero — the zero-denominator guard every hit-rate and
+    /// overhead ratio in the workspace routes through.
+    pub fn ratio(&mut self, name: &str, numerator: u64, denominator: u64) {
+        let value = if denominator == 0 {
+            0.0
+        } else {
+            numerator as f64 / denominator as f64
+        };
+        self.gauge(name, value);
+    }
+
+    /// Emits a histogram snapshot.
+    pub fn histogram(&mut self, name: &str, snapshot: HistogramSnapshot) {
+        let name = self.qualified(name);
+        self.metrics.push(Metric {
+            name,
+            value: MetricValue::Histogram(Box::new(snapshot)),
+        });
+    }
+
+    /// Emits a whole sub-source under `segment`.
+    pub fn source(&mut self, segment: &str, source: &dyn MetricSource) {
+        self.scoped(segment, |out| source.emit(out));
+    }
+
+    pub(crate) fn into_metrics(self) -> Vec<Metric> {
+        self.metrics
+    }
+}
+
+/// A sorted, point-in-time collection of every metric in scope.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TelemetrySnapshot {
+    /// Collection time on the registry's clock, in nanoseconds.
+    pub at_nanos: u64,
+    /// Free-form label (scenario phase, bench regime); empty by default.
+    pub label: String,
+    /// The metrics, sorted by name, names unique (later emitters win).
+    pub metrics: Vec<Metric>,
+}
+
+impl TelemetrySnapshot {
+    /// Finalizes a builder into a snapshot: sorts by name and dedupes (the
+    /// later of two same-named emissions wins).  Registry users get this via
+    /// [`crate::Telemetry::collect`]; standalone sources can build snapshots
+    /// directly.
+    pub fn from_builder(at_nanos: u64, builder: SnapshotBuilder) -> Self {
+        let mut metrics = builder.into_metrics();
+        // Sort by name; a later duplicate (same name emitted twice) wins, so
+        // sources can refine registry defaults.
+        metrics.sort_by(|a, b| a.name.cmp(&b.name));
+        metrics.dedup_by(|later_dup, kept| {
+            if later_dup.name == kept.name {
+                kept.value = later_dup.value.clone();
+                true
+            } else {
+                false
+            }
+        });
+        TelemetrySnapshot {
+            at_nanos,
+            label: String::new(),
+            metrics,
+        }
+    }
+
+    /// Tags the snapshot with a label (scenario phase, regime name).
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// Looks a metric up by exact name.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.metrics
+            .binary_search_by(|m| m.name.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.metrics[i].value)
+    }
+
+    /// The metric's value as a counter total (`None` if absent or not a counter).
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(name)? {
+            MetricValue::Counter(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The metric's value as a gauge (`None` if absent or not a gauge).
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        match self.get(name)? {
+            MetricValue::Gauge(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The metric's histogram snapshot (`None` if absent or not a histogram).
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        match self.get(name)? {
+            MetricValue::Histogram(h) => Some(h.as_ref()),
+            _ => None,
+        }
+    }
+
+    /// Names of all collected metrics, in sorted order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.metrics.iter().map(|m| m.name.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_namespaces_and_sorts() {
+        let mut out = SnapshotBuilder::new();
+        out.scoped("store", |out| {
+            out.counter("fetches", 3);
+            out.scoped("inner", |out| out.gauge("depth", 1.5));
+        });
+        out.counter("alpha", 1);
+        let snap = TelemetrySnapshot::from_builder(7, out);
+        let names: Vec<_> = snap.names().collect();
+        assert_eq!(names, vec!["alpha", "store.fetches", "store.inner.depth"]);
+        assert_eq!(snap.counter("store.fetches"), Some(3));
+        assert_eq!(snap.gauge("store.inner.depth"), Some(1.5));
+        assert_eq!(snap.at_nanos, 7);
+    }
+
+    #[test]
+    fn ratio_guards_zero_denominator() {
+        let mut out = SnapshotBuilder::new();
+        out.ratio("hit_rate", 5, 0);
+        out.ratio("ok", 1, 2);
+        out.gauge("nan", f64::NAN);
+        let snap = TelemetrySnapshot::from_builder(0, out);
+        assert_eq!(snap.gauge("hit_rate"), Some(0.0));
+        assert_eq!(snap.gauge("ok"), Some(0.5));
+        assert_eq!(snap.gauge("nan"), Some(0.0));
+    }
+
+    #[test]
+    fn duplicate_names_keep_the_later_value() {
+        let mut out = SnapshotBuilder::new();
+        out.counter("x", 1);
+        out.counter("x", 2);
+        let snap = TelemetrySnapshot::from_builder(0, out);
+        assert_eq!(snap.metrics.len(), 1);
+        assert_eq!(snap.counter("x"), Some(2));
+    }
+}

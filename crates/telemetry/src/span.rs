@@ -1,0 +1,133 @@
+//! Lifecycle tracing spans: RAII guards that time a scope into a histogram.
+//!
+//! A span is just "record the elapsed clock nanoseconds into this histogram
+//! when the guard drops".  Two flavours exist:
+//!
+//! * [`Span`] borrows a pre-created [`Histogram`] handle and the registry's
+//!   clock — the hot-path form (no lookup, no allocation, no refcount churn).
+//!   Created via [`crate::Telemetry::time`].
+//! * [`OwnedSpan`] owns its handles and so can cross `await`-free thread
+//!   boundaries or be returned from helpers — the convenience form behind the
+//!   [`crate::span!`] macro and [`crate::Telemetry::span`].
+//!
+//! When the registry is disabled at span *start*, the guard never reads the
+//! clock at all — the fast path is one relaxed load and a branch.
+
+use crate::clock::Clock;
+use crate::hist::Histogram;
+use crate::registry::Telemetry;
+
+/// A borrowing span guard (see module docs).
+#[derive(Debug)]
+pub struct Span<'a> {
+    hist: &'a Histogram,
+    clock: &'a dyn Clock,
+    /// `Some(start)` while armed; `None` when telemetry was disabled at entry
+    /// or the span was cancelled.
+    start: Option<u64>,
+}
+
+impl<'a> Span<'a> {
+    pub(crate) fn enter(hist: &'a Histogram, clock: &'a dyn Clock) -> Self {
+        let start = hist.is_armed().then(|| clock.now_nanos());
+        Span { hist, clock, start }
+    }
+
+    /// Drops the span without recording.
+    pub fn cancel(mut self) {
+        self.start = None;
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            self.hist
+                .record(self.clock.now_nanos().saturating_sub(start));
+        }
+    }
+}
+
+/// An owning span guard (see module docs).
+#[derive(Debug)]
+pub struct OwnedSpan {
+    hist: Histogram,
+    tele: Telemetry,
+    start: Option<u64>,
+}
+
+impl OwnedSpan {
+    pub(crate) fn enter(hist: Histogram, tele: Telemetry) -> Self {
+        let start = hist.is_armed().then(|| tele.now_nanos());
+        OwnedSpan { hist, tele, start }
+    }
+
+    /// Drops the span without recording.
+    pub fn cancel(mut self) {
+        self.start = None;
+    }
+}
+
+impl Drop for OwnedSpan {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            self.hist
+                .record(self.tele.now_nanos().saturating_sub(start));
+        }
+    }
+}
+
+/// Opens a span guard over a registry: `let _span = span!(tele, "commit.publish");`
+/// records the scope's duration (in nanoseconds) into the histogram named
+/// `"commit.publish"` when the guard drops.
+#[macro_export]
+macro_rules! span {
+    ($tele:expr, $name:expr) => {
+        $tele.span($name)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Telemetry;
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn spans_record_manual_clock_durations_exactly() {
+        let (tele, clock) = Telemetry::manual();
+        {
+            let _span = span!(tele, "stage.alpha");
+            clock.advance(1_000);
+        }
+        let hist = tele.histogram("stage.alpha");
+        {
+            let _inner = tele.time(&hist);
+            clock.advance(500);
+        }
+        let snap = hist.snapshot();
+        assert_eq!(snap.count, 2);
+        assert_eq!(snap.sum, 1_500);
+        assert_eq!(snap.max, 1_000);
+    }
+
+    #[test]
+    fn disabled_spans_never_touch_the_clock_histogram() {
+        let (tele, clock) = Telemetry::manual();
+        tele.set_enabled(false);
+        {
+            let _span = tele.span("stage.idle");
+            clock.advance(999);
+        }
+        assert!(tele.histogram("stage.idle").snapshot().is_empty());
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn cancelled_spans_record_nothing() {
+        let (tele, clock) = Telemetry::manual();
+        let span = tele.span("stage.cancelled");
+        clock.advance(123);
+        span.cancel();
+        assert!(tele.histogram("stage.cancelled").snapshot().is_empty());
+    }
+}

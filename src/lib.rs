@@ -67,6 +67,7 @@ pub use ppr_persist as persist;
 pub use ppr_scenario as scenario;
 pub use ppr_serve as serve;
 pub use ppr_store as store;
+pub use ppr_telemetry as telemetry;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
@@ -91,4 +92,5 @@ pub mod prelude {
     pub use ppr_store::social::SocialStore;
     pub use ppr_store::view::{FrozenGraph, FrozenWalks};
     pub use ppr_store::walks::WalkStore;
+    pub use ppr_telemetry::{Telemetry, TelemetrySnapshot};
 }

@@ -359,6 +359,62 @@ fn flash_crowd_budget_exhaustion_has_partial_result_semantics() {
 }
 
 #[test]
+fn telemetry_sampling_never_changes_any_corpus_outcome() {
+    // The observability satellite's determinism oracle: every corpus scenario
+    // replayed with telemetry attached and per-phase JSONL sampling on must end
+    // bit-identical — answers, scores, store digest — to its uninstrumented
+    // replay, and the export must be non-empty, schema-valid JSONL carrying the
+    // commit-stage and query-latency distributions.
+    for scenario in corpus::corpus() {
+        let trace = Trace::compile(&scenario);
+        let config = scenario.engine_config();
+        let n = scenario.nodes;
+        let make = || IncrementalPageRank::<WalkStore>::new_empty(n, config);
+
+        let (plain_engine, plain) = ScenarioRunner::new(2).replay(&trace, make());
+        let tele = ppr_telemetry::Telemetry::new();
+        let mut out = ppr_telemetry::JsonlAppender::new(Vec::new());
+        let mut sampler = ppr_scenario::TelemetrySampler::new(&tele, &mut out);
+        let (sampled_engine, sampled) = ScenarioRunner::new(2)
+            .replay_sampled(&trace, make(), &mut sampler)
+            .expect("in-memory sink never fails");
+
+        let context = &scenario.name;
+        assert_eq!(plain.answers, sampled.answers, "{context}: answers");
+        assert_eq!(
+            StoreDigest::of(plain_engine.walk_store()),
+            StoreDigest::of(sampled_engine.walk_store()),
+            "{context}: store digest with telemetry on vs off"
+        );
+        assert_eq!(plain_engine.scores(), sampled_engine.scores(), "{context}");
+
+        // The JSONL export: non-empty, one valid object per line.
+        assert!(out.lines() > 0, "{context}: export must be non-empty");
+        let exported = out.into_inner().expect("flushing a Vec cannot fail");
+        let exported = String::from_utf8(exported).expect("JSONL is UTF-8");
+        for line in exported.lines() {
+            ppr_telemetry::json::validate(line).unwrap_or_else(|(at, what)| {
+                panic!("{context}: invalid JSONL at byte {at}: {what}")
+            });
+        }
+        assert!(exported.contains("commit.mirror"), "{context}");
+        assert!(exported.contains("query.latency"), "{context}");
+
+        // The same run's registry renders Prometheus text with the query
+        // percentiles and commit-stage timings the catalogue promises.
+        let prom = ppr_telemetry::render_prometheus(&tele.collect());
+        for needle in [
+            "ppr_query_latency_p50",
+            "ppr_query_latency_p99",
+            "ppr_commit_mirror_p99",
+            "ppr_commit_apply_count",
+        ] {
+            assert!(prom.contains(needle), "{context}: missing {needle}");
+        }
+    }
+}
+
+#[test]
 fn reader_pool_width_never_changes_a_scenario_outcome() {
     let scenario = corpus::query_tides();
     let trace = Trace::compile(&scenario);
