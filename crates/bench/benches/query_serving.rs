@@ -15,6 +15,9 @@
 //!   arrival/deletion batches continuously; reports reader QPS, tail latency while
 //!   generations publish, and the writer's sustained throughput with readers
 //!   attached.
+//! * **Batched execution** — a flash-crowd query mix served per query vs through
+//!   `QueryBatch`es of widths 1/8/64 with a fresh generation per group: QPS,
+//!   group latency percentiles, and fetches-per-query.
 //! * **Telemetry overhead** — the write path and query p50 with no registry, a
 //!   runtime-disabled registry, and a recording registry; both recording ratios
 //!   must stay within 1.03x of plain.
@@ -26,7 +29,7 @@ use ppr_core::{IncrementalPageRank, MonteCarloConfig};
 use ppr_graph::generators::{preferential_attachment_edges, PreferentialAttachmentConfig};
 use ppr_graph::stream::split_at_fraction;
 use ppr_graph::{DynamicGraph, Edge, NodeId};
-use ppr_serve::{Query, QueryEngine, ReaderPool, ServeHandle};
+use ppr_serve::{Query, QueryBatch, QueryEngine, ReaderPool, ServeHandle};
 use ppr_telemetry::Telemetry;
 use std::hint::black_box;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -352,6 +355,104 @@ fn report_scenario_regimes(_c: &mut Criterion) {
     }
 }
 
+/// Batched execution: the same flash-crowd query mix (256 queries over 8 hub
+/// seeds) served per query vs through [`QueryBatch`]es of widths 1/8/64, with a
+/// 1-edge commit between groups so every group starts on a *fresh* generation
+/// (empty fetch cache) — the regime where batching has real work to amortize.
+/// Reports QPS, p50/p99 per-group latency, and fetches-per-query (the served
+/// generation's `cache.misses`, i.e. distinct adjacency materializations).
+/// Acceptance gauges: width-8 batched strictly out-QPSes 8 sequential serves,
+/// and batched fetches-per-query at width 64 sit below width 1.
+fn report_batched_query(_c: &mut Criterion) {
+    let (prefix, suffix) = stream();
+    let jobs: Vec<(u64, Query)> = (0..QUERIES as u64)
+        .map(|qid| {
+            (
+                qid,
+                Query::PersonalizedTopK {
+                    // A flash crowd: every query walks from one of 8 hub seeds,
+                    // so fetch sets overlap heavily across the batch.
+                    seed: NodeId(((qid % 8) * 97 % NODES as u64) as u32),
+                    k: 10,
+                    walk_length: WALK_LENGTH,
+                    fetch_budget: None,
+                },
+            )
+        })
+        .collect();
+    let pool = ReaderPool::new(4);
+    println!(
+        "report query_serving_batched (flash crowd: {QUERIES} queries over 8 hub seeds, \
+         1-edge commit between groups)"
+    );
+    for width in [1usize, 8, 64] {
+        // (qps, p50, p99, fetches-per-query) per mode: per-query serves, the
+        // same-thread batch path, the batch fanned over the 4-reader pool.
+        let mut rows = [(0.0f64, Duration::ZERO, Duration::ZERO, 0.0f64); 3];
+        for (mode, row) in rows.iter_mut().enumerate() {
+            let mut best_wall = f64::INFINITY;
+            let mut group_lats: Vec<Duration> = Vec::new();
+            let mut best_misses = 0u64;
+            for _ in 0..3 {
+                let mut serving = serving_engine(&prefix);
+                let mut wall = Duration::ZERO;
+                let mut lats = Vec::new();
+                let mut misses = 0u64;
+                for (g, group) in jobs.chunks(width).enumerate() {
+                    // A fresh generation per group: its fetch cache starts empty,
+                    // exactly like serving against a continuously written store.
+                    serving.commit_arrivals(&suffix[g % suffix.len()..][..1]);
+                    let handle = serving.handle();
+                    let t0 = Instant::now();
+                    match mode {
+                        0 => {
+                            for (qid, query) in group {
+                                black_box(handle.serve(*qid, query));
+                            }
+                        }
+                        1 => {
+                            black_box(handle.serve_batch(&QueryBatch::of(group)));
+                        }
+                        _ => {
+                            black_box(pool.serve_batch(&handle, &QueryBatch::of(group)));
+                        }
+                    }
+                    let elapsed = t0.elapsed();
+                    wall += elapsed;
+                    lats.push(elapsed);
+                    misses += handle.pin().cache_stats().misses;
+                }
+                if wall.as_secs_f64() < best_wall {
+                    best_wall = wall.as_secs_f64();
+                    group_lats = lats;
+                    best_misses = misses;
+                }
+            }
+            *row = (
+                QUERIES as f64 / best_wall,
+                percentile(&mut group_lats, 0.50),
+                percentile(&mut group_lats, 0.99),
+                best_misses as f64 / QUERIES as f64,
+            );
+        }
+        let [(sq, sp50, sp99, sf), (bq, bp50, bp99, bf), (pq, pp50, pp99, pf)] = rows;
+        println!(
+            "report   width/{width}: sequential {sq:>7.0} qps (group p50 {sp50:?}, \
+             p99 {sp99:?}, {sf:.1} fetches/query)"
+        );
+        println!(
+            "report   width/{width}: batched    {bq:>7.0} qps (group p50 {bp50:?}, \
+             p99 {bp99:?}, {bf:.1} fetches/query), {:.2}x qps vs sequential",
+            bq / sq,
+        );
+        println!(
+            "report   width/{width}: pool/4     {pq:>7.0} qps (group p50 {pp50:?}, \
+             p99 {pp99:?}, {pf:.1} fetches/query), {:.2}x qps vs sequential",
+            pq / sq,
+        );
+    }
+}
+
 /// Telemetry overhead: the identical write path and query batch served three
 /// ways — no registry attached, a registry attached but runtime-disabled, and a
 /// registry recording — with the direct ratios printed.  The acceptance gauge
@@ -464,6 +565,7 @@ criterion_group!(
     report_qps_scaling,
     report_qps_with_writer,
     report_scenario_regimes,
+    report_batched_query,
     report_telemetry_overhead
 );
 criterion_main!(query_serving);

@@ -38,7 +38,7 @@ pub use config::{MonteCarloConfig, RerouteStrategy};
 pub use durable::{DurabilityOptions, DurablePageRank, PersistError, PersistResult};
 pub use estimator::PageRankEstimates;
 pub use incremental::{IncrementalPageRank, UpdateStats};
-pub use personalized::{PersonalizedWalkResult, PersonalizedWalker};
+pub use personalized::{PersonalizedWalkResult, PersonalizedWalker, TopKScratch, WalkScratch};
 pub use ppr_persist::GroupCommit;
 pub use query::{query_rng, query_stream_seed};
 pub use salsa::{IncrementalSalsa, SalsaEstimates};

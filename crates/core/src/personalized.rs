@@ -34,12 +34,13 @@
 use crate::query::query_rng;
 use ppr_graph::{GraphView, NodeId};
 use ppr_store::{AdjacencyFetch, SocialStore, WalkIndexView, WalkStore};
+use ppr_telemetry::Clock;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{HashMap, HashSet};
 
 /// Outcome of one stitched personalized walk.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct PersonalizedWalkResult {
     /// Visit counts per node (the empirical personalized distribution).
     pub visits: Vec<u64>,
@@ -58,6 +59,10 @@ pub struct PersonalizedWalkResult {
     /// out (see [`PersonalizedWalker::with_fetch_budget`]); the recorded visits are
     /// the prefix the budget paid for.
     pub budget_exhausted: bool,
+    /// `true` when the walk stopped early because its deadline budget expired (see
+    /// [`PersonalizedWalker::with_deadline_budget`]); like fetch exhaustion, the
+    /// recorded visits are the prefix the deadline paid for.
+    pub deadline_exhausted: bool,
 }
 
 impl PersonalizedWalkResult {
@@ -72,31 +77,116 @@ impl PersonalizedWalkResult {
 
     /// The full normalised personalized score vector.
     pub fn frequencies(&self) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.frequencies_into(&mut out);
+        out
+    }
+
+    /// [`Self::frequencies`] into a caller-owned buffer, so a loop computing score
+    /// vectors for many walks reuses one allocation instead of paying an `O(n)`
+    /// `Vec` per call.
+    pub fn frequencies_into(&self, out: &mut Vec<f64>) {
+        out.clear();
         if self.total_visits == 0 {
-            return vec![0.0; self.visits.len()];
+            out.resize(self.visits.len(), 0.0);
+            return;
         }
-        self.visits
-            .iter()
-            .map(|&v| v as f64 / self.total_visits as f64)
-            .collect()
+        out.extend(
+            self.visits
+                .iter()
+                .map(|&v| v as f64 / self.total_visits as f64),
+        );
     }
 
     /// The top-`k` nodes by visit count, skipping every node in `exclude`, as
     /// `(node, normalised frequency)` pairs in decreasing order.
     pub fn top_k(&self, k: usize, exclude: &HashSet<NodeId>) -> Vec<(NodeId, f64)> {
-        let mut candidates: Vec<(NodeId, u64)> = self
-            .visits
-            .iter()
-            .enumerate()
-            .filter(|&(i, &count)| count > 0 && !exclude.contains(&NodeId::from_index(i)))
-            .map(|(i, &count)| (NodeId::from_index(i), count))
-            .collect();
+        self.top_k_with(k, exclude, &mut TopKScratch::default())
+    }
+
+    /// [`Self::top_k`] with a caller-owned accumulator: the `O(touched nodes)`
+    /// candidate buffer lives in `scratch` and is reused across calls, so a batch
+    /// of queries allocates nothing here beyond the `k`-element answer itself.
+    /// Same candidates, same ordering, same ties — bit-identical to
+    /// [`Self::top_k`].
+    pub fn top_k_with(
+        &self,
+        k: usize,
+        exclude: &HashSet<NodeId>,
+        scratch: &mut TopKScratch,
+    ) -> Vec<(NodeId, f64)> {
+        let candidates = &mut scratch.candidates;
+        candidates.clear();
+        candidates.extend(
+            self.visits
+                .iter()
+                .enumerate()
+                .filter(|&(i, &count)| count > 0 && !exclude.contains(&NodeId::from_index(i)))
+                .map(|(i, &count)| (NodeId::from_index(i), count)),
+        );
         candidates.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         candidates.truncate(k);
         candidates
-            .into_iter()
-            .map(|(node, count)| (node, count as f64 / self.total_visits.max(1) as f64))
+            .iter()
+            .map(|&(node, count)| (node, count as f64 / self.total_visits.max(1) as f64))
             .collect()
+    }
+
+    /// Resets the result in place for reuse by another walk over `n` nodes,
+    /// keeping the visit buffer's allocation.
+    fn reset_for(&mut self, n: usize) {
+        self.visits.clear();
+        self.visits.resize(n, 0);
+        self.total_visits = 0;
+        self.fetches = 0;
+        self.segments_used = 0;
+        self.random_steps = 0;
+        self.resets = 0;
+        self.budget_exhausted = false;
+        self.deadline_exhausted = false;
+    }
+}
+
+/// Reusable accumulator for [`PersonalizedWalkResult::top_k_with`]: holds the
+/// `O(touched nodes)` candidate buffer so selection allocates nothing in steady
+/// state when one scratch serves a stream of queries.
+#[derive(Debug, Default)]
+pub struct TopKScratch {
+    candidates: Vec<(NodeId, u64)>,
+}
+
+/// Reusable per-walk working memory for [`PersonalizedWalker::walk_query_into`]:
+/// the fetched-node map plus a pool of recycled adjacency buffers.  One scratch
+/// serves any number of walks sequentially; reuse never changes a walk's bits
+/// (the map is drained before every walk, and adjacency buffers are refilled
+/// from scratch by each fetch).
+#[derive(Debug, Default)]
+pub struct WalkScratch {
+    memory: HashMap<NodeId, FetchedNode>,
+    /// Emptied adjacency buffers recycled from the previous walk's fetches; the
+    /// pool never exceeds the largest single-walk fetch set.
+    spare_adjacency: Vec<Vec<NodeId>>,
+}
+
+impl WalkScratch {
+    /// A fresh scratch (equivalent to `Default`).
+    pub fn new() -> Self {
+        WalkScratch::default()
+    }
+
+    /// Readies the scratch for the next walk: drains the fetched-node map and
+    /// recycles its adjacency buffers.
+    fn begin(&mut self) {
+        for (_, fetched) in self.memory.drain() {
+            let mut buf = fetched.out_neighbors;
+            buf.clear();
+            self.spare_adjacency.push(buf);
+        }
+    }
+
+    /// An empty adjacency buffer, recycled when one is pooled.
+    fn take_buffer(&mut self) -> Vec<NodeId> {
+        self.spare_adjacency.pop().unwrap_or_default()
     }
 }
 
@@ -120,6 +210,9 @@ pub struct PersonalizedWalker<'a, W: WalkIndexView = WalkStore, S: AdjacencyFetc
     epsilon: f64,
     /// Corollary 9 budget: the walk ends early once this many fetches were spent.
     fetch_budget: Option<u64>,
+    /// Deadline budget `(clock, nanos)`: each walk ends early once the clock has
+    /// advanced `nanos` past the walk's start.
+    deadline: Option<(&'a dyn Clock, u64)>,
     /// Stream for the stateful [`Self::walk`] path; [`Self::walk_query`] derives its
     /// own per-query stream instead.
     rng: SmallRng,
@@ -142,6 +235,7 @@ impl<'a, W: WalkIndexView, S: AdjacencyFetch> PersonalizedWalker<'a, W, S> {
             walks,
             epsilon,
             fetch_budget: None,
+            deadline: None,
             rng: SmallRng::seed_from_u64(seed),
         }
     }
@@ -152,6 +246,23 @@ impl<'a, W: WalkIndexView, S: AdjacencyFetch> PersonalizedWalker<'a, W, S> {
     /// so a budgeted walk replays bit-identically.
     pub fn with_fetch_budget(mut self, budget: u64) -> Self {
         self.fetch_budget = Some(budget);
+        self
+    }
+
+    /// Caps the wall-clock time a walk may spend: the Corollary 9 fetch budget
+    /// extended into a *time* budget.  Each walk reads `clock` once at its start
+    /// and stops — with [`PersonalizedWalkResult::deadline_exhausted`] set — at
+    /// the first fetch attempted at or after `start + budget_nanos`, returning the
+    /// visits recorded so far as a partial result.  The check sits on the fetch
+    /// arm because fetches are the walk's only unbounded-cost step (everything
+    /// else is in-memory); a walk that never fetches never expires.
+    ///
+    /// Determinism is per clock reading, not per wall: against an injectable
+    /// [`ppr_telemetry::ManualClock`] the walk replays bit-identically, while a
+    /// real monotonic clock makes the *cut point* timing-dependent by design —
+    /// which is why the differential harnesses drive this with a manual clock.
+    pub fn with_deadline_budget(mut self, clock: &'a dyn Clock, budget_nanos: u64) -> Self {
+        self.deadline = Some((clock, budget_nanos));
         self
     }
 
@@ -180,7 +291,38 @@ impl<'a, W: WalkIndexView, S: AdjacencyFetch> PersonalizedWalker<'a, W, S> {
         self.run(seed, length, &mut rng)
     }
 
+    /// [`Self::walk_query`] into caller-owned buffers: the walk's working memory
+    /// comes from `scratch` and the outcome lands in `result`, both reset before
+    /// use — so a batch of queries sharing one scratch allocates nothing per walk
+    /// in steady state.  Bit-identical to [`Self::walk_query`] on the same stream.
+    pub fn walk_query_into(
+        &self,
+        seed: NodeId,
+        length: usize,
+        query_seed: u64,
+        query_id: u64,
+        scratch: &mut WalkScratch,
+        result: &mut PersonalizedWalkResult,
+    ) {
+        let mut rng = query_rng(query_seed, query_id);
+        self.run_into(seed, length, &mut rng, scratch, result);
+    }
+
     fn run(&self, seed: NodeId, length: usize, rng: &mut SmallRng) -> PersonalizedWalkResult {
+        let mut scratch = WalkScratch::default();
+        let mut result = PersonalizedWalkResult::default();
+        self.run_into(seed, length, rng, &mut scratch, &mut result);
+        result
+    }
+
+    fn run_into(
+        &self,
+        seed: NodeId,
+        length: usize,
+        rng: &mut SmallRng,
+        scratch: &mut WalkScratch,
+        result: &mut PersonalizedWalkResult,
+    ) {
         assert!(
             seed.index() < self.store.node_count(),
             "seed node {seed} outside the store"
@@ -189,33 +331,30 @@ impl<'a, W: WalkIndexView, S: AdjacencyFetch> PersonalizedWalker<'a, W, S> {
 
         let n = self.store.node_count();
         let r = self.walks.r();
-        let mut result = PersonalizedWalkResult {
-            visits: vec![0; n],
-            total_visits: 0,
-            fetches: 0,
-            segments_used: 0,
-            random_steps: 0,
-            resets: 0,
-            budget_exhausted: false,
-        };
-        let mut memory: HashMap<NodeId, FetchedNode> = HashMap::new();
+        result.reset_for(n);
+        scratch.begin();
+        // The deadline clock is read once per walk: every fetch compares against
+        // this walk's own expiry, so each query in a batch gets the full budget.
+        let expiry = self
+            .deadline
+            .map(|(clock, budget)| (clock, clock.now_nanos().saturating_add(budget)));
         let visit = |node: NodeId, result: &mut PersonalizedWalkResult| {
             result.visits[node.index()] += 1;
             result.total_visits += 1;
         };
 
         let mut current = seed;
-        visit(seed, &mut result);
+        visit(seed, result);
 
         while (result.total_visits as usize) < length {
             if rng.gen_bool(self.epsilon) {
                 result.resets += 1;
                 current = seed;
-                visit(seed, &mut result);
+                visit(seed, result);
                 continue;
             }
 
-            match memory.get_mut(&current) {
+            match scratch.memory.get_mut(&current) {
                 Some(state) if state.next_unused_segment < r => {
                     // Consume one cached segment: append its continuation, then reset.
                     let slot = state.next_unused_segment;
@@ -223,11 +362,11 @@ impl<'a, W: WalkIndexView, S: AdjacencyFetch> PersonalizedWalker<'a, W, S> {
                     let id = ppr_store::SegmentId::new(current, slot, r);
                     result.segments_used += 1;
                     for &node in self.walks.segment_path(id).iter().skip(1) {
-                        visit(node, &mut result);
+                        visit(node, result);
                     }
                     result.resets += 1;
                     current = seed;
-                    visit(seed, &mut result);
+                    visit(seed, result);
                 }
                 Some(state) => {
                     // All cached segments consumed: take a single in-memory random step.
@@ -235,12 +374,12 @@ impl<'a, W: WalkIndexView, S: AdjacencyFetch> PersonalizedWalker<'a, W, S> {
                         // Dangling node: the surfer's session ends, i.e. reset.
                         result.resets += 1;
                         current = seed;
-                        visit(seed, &mut result);
+                        visit(seed, result);
                     } else {
                         let next = state.out_neighbors[rng.gen_range(0..state.out_neighbors.len())];
                         result.random_steps += 1;
                         current = next;
-                        visit(next, &mut result);
+                        visit(next, result);
                     }
                 }
                 None => {
@@ -252,9 +391,13 @@ impl<'a, W: WalkIndexView, S: AdjacencyFetch> PersonalizedWalker<'a, W, S> {
                         result.budget_exhausted = true;
                         break;
                     }
-                    let mut out_neighbors = Vec::new();
+                    if expiry.is_some_and(|(clock, at)| clock.now_nanos() >= at) {
+                        result.deadline_exhausted = true;
+                        break;
+                    }
+                    let mut out_neighbors = scratch.take_buffer();
                     self.store.fetch_out(current, &mut out_neighbors);
-                    memory.insert(
+                    scratch.memory.insert(
                         current,
                         FetchedNode {
                             out_neighbors,
@@ -265,8 +408,6 @@ impl<'a, W: WalkIndexView, S: AdjacencyFetch> PersonalizedWalker<'a, W, S> {
                 }
             }
         }
-
-        result
     }
 }
 
@@ -426,11 +567,7 @@ mod tests {
         let result = PersonalizedWalkResult {
             visits: vec![10, 5, 7, 0, 3],
             total_visits: 25,
-            fetches: 0,
-            segments_used: 0,
-            random_steps: 0,
-            resets: 0,
-            budget_exhausted: false,
+            ..PersonalizedWalkResult::default()
         };
         let exclude: HashSet<NodeId> = [NodeId(0)].into_iter().collect();
         let top = result.top_k(2, &exclude);
@@ -438,6 +575,14 @@ mod tests {
         assert_eq!(top[0].0, NodeId(2));
         assert_eq!(top[1].0, NodeId(1));
         assert!((top[0].1 - 7.0 / 25.0).abs() < 1e-12);
+        // The scratch-reusing variant is the same selection, and one scratch
+        // serves repeated calls.
+        let mut scratch = TopKScratch::default();
+        assert_eq!(result.top_k_with(2, &exclude, &mut scratch), top);
+        assert_eq!(result.top_k_with(2, &exclude, &mut scratch), top);
+        let mut buf = vec![99.0; 1];
+        result.frequencies_into(&mut buf);
+        assert_eq!(buf, result.frequencies());
     }
 
     #[test]
@@ -497,6 +642,71 @@ mod tests {
         let roomy = PersonalizedWalker::new(eng.social_store(), eng.walk_store(), 0.2, 0)
             .with_fetch_budget(full.fetches);
         assert!(!roomy.walk_query(NodeId(1), 5_000, 5, 0).budget_exhausted);
+    }
+
+    #[test]
+    fn walk_query_into_reuses_scratch_bit_identically() {
+        let g = preferential_attachment(250, 4, 51);
+        let eng = engine(&g, 3, 53);
+        let walker = PersonalizedWalker::new(eng.social_store(), eng.walk_store(), 0.2, 0);
+        let mut scratch = WalkScratch::new();
+        let mut pooled = PersonalizedWalkResult::default();
+        // Interleave different queries through the same scratch: every outcome
+        // must match the allocating path bit for bit.
+        for qid in 0..6u64 {
+            let seed = NodeId((qid % 5) as u32);
+            walker.walk_query_into(seed, 1_200, 77, qid, &mut scratch, &mut pooled);
+            let fresh = walker.walk_query(seed, 1_200, 77, qid);
+            assert_eq!(pooled.visits, fresh.visits, "query {qid} diverges");
+            assert_eq!(pooled.fetches, fresh.fetches);
+            assert_eq!(pooled.segments_used, fresh.segments_used);
+            assert_eq!(pooled.total_visits, fresh.total_visits);
+        }
+    }
+
+    #[test]
+    fn deadline_budget_is_deterministic_under_a_manual_clock() {
+        use ppr_telemetry::ManualClock;
+        let g = preferential_attachment(300, 4, 61);
+        let eng = engine(&g, 2, 63);
+
+        // A frozen clock with a nonzero budget never expires: bit-identical to
+        // the unbudgeted walk.
+        let clock = ManualClock::new();
+        let free = PersonalizedWalker::new(eng.social_store(), eng.walk_store(), 0.2, 0);
+        let full = free.walk_query(NodeId(1), 5_000, 5, 0);
+        let roomy = PersonalizedWalker::new(eng.social_store(), eng.walk_store(), 0.2, 0)
+            .with_deadline_budget(&clock, 1);
+        let timed = roomy.walk_query(NodeId(1), 5_000, 5, 0);
+        assert_eq!(timed.visits, full.visits);
+        assert!(!timed.deadline_exhausted);
+
+        // A zero budget expires at the first fetch: a deterministic partial
+        // result with the deadline flag set, stable under replay.
+        let strict = PersonalizedWalker::new(eng.social_store(), eng.walk_store(), 0.2, 0)
+            .with_deadline_budget(&clock, 0);
+        let cut = strict.walk_query(NodeId(1), 5_000, 5, 0);
+        assert!(
+            cut.deadline_exhausted,
+            "zero budget trips at the first fetch"
+        );
+        assert!(!cut.budget_exhausted, "the fetch budget was never involved");
+        assert_eq!(cut.fetches, 0);
+        assert!(cut.total_visits < full.total_visits);
+        let again = strict.walk_query(NodeId(1), 5_000, 5, 0);
+        assert_eq!(
+            cut.visits, again.visits,
+            "deadline cuts replay bit-identically"
+        );
+
+        // Advancing the clock between walks does not leak budget across walks:
+        // each walk reads its own start time.
+        clock.advance(1_000_000);
+        let after = roomy.walk_query(NodeId(1), 5_000, 5, 0);
+        assert_eq!(
+            after.visits, full.visits,
+            "budget is per walk, not per walker"
+        );
     }
 
     #[test]

@@ -13,7 +13,9 @@
 
 use crate::chaos::{ChaosPlan, Fault};
 use crate::trace::{Event, Trace};
-use ppr_serve::{Answer, QueryEngine, ReaderPool, ServeEngine, Served};
+use ppr_serve::{
+    Answer, Query, QueryBatch, QueryEngine, ReaderPool, ServeEngine, ServeHandle, Served,
+};
 use ppr_telemetry::{JsonlAppender, Telemetry};
 use std::io::{self, Write};
 
@@ -31,6 +33,8 @@ pub struct ScenarioAnswer {
     pub fetches: u64,
     /// Whether the Corollary 9 fetch budget cut the walk short.
     pub budget_exhausted: bool,
+    /// Whether a per-query deadline budget cut the walk short (batched serving).
+    pub deadline_exhausted: bool,
     /// The answer itself.
     pub answer: Answer,
 }
@@ -41,6 +45,7 @@ impl From<Served> for ScenarioAnswer {
             query_id: s.query_id,
             fetches: s.fetches,
             budget_exhausted: s.budget_exhausted,
+            deadline_exhausted: s.deadline_exhausted,
             answer: s.answer,
         }
     }
@@ -121,16 +126,27 @@ pub struct ScenarioRunner {
     pub readers: usize,
     /// Commit-pipeline in-flight window (0 = inline commits).
     pub pipeline: usize,
+    /// Batched-serving width: query tides are chunked into [`QueryBatch`]es of
+    /// this many queries and served via [`ReaderPool::serve_batch`] (0 = the
+    /// per-query [`ReaderPool::serve_all`] path).  Answers are bit-identical at
+    /// every width — that is the batched-execution invariant the corpus
+    /// harness checks.
+    pub batch_width: usize,
 }
 
 impl ScenarioRunner {
     /// A runner serving with `readers` reader threads; query streams are keyed by
-    /// the scenario's own seed at replay time.
+    /// the scenario's own seed at replay time.  The batch width defaults to the
+    /// `PPR_BATCH_WIDTH` environment variable (CI sweeps it), else 0.
     pub fn new(readers: usize) -> Self {
         ScenarioRunner {
             query_seed: 0,
             readers,
             pipeline: 0,
+            batch_width: std::env::var("PPR_BATCH_WIDTH")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0),
         }
     }
 
@@ -138,6 +154,32 @@ impl ScenarioRunner {
     pub fn with_query_seed(mut self, query_seed: u64) -> Self {
         self.query_seed = query_seed;
         self
+    }
+
+    /// Serves query tides in batches of `width` queries through the batched
+    /// execution path (0 restores per-query serving).
+    pub fn with_batch_width(mut self, width: usize) -> Self {
+        self.batch_width = width;
+        self
+    }
+
+    /// Serves one query tide: per query when `batch_width` is 0, else chunked
+    /// through the one-pin-per-batch path.  Either way, answers come back in
+    /// tide order.
+    fn serve_jobs(
+        &self,
+        pool: &ReaderPool,
+        handle: &ServeHandle,
+        jobs: &[(u64, Query)],
+    ) -> Vec<Served> {
+        if self.batch_width == 0 {
+            return pool.serve_all(handle, jobs);
+        }
+        let mut out = Vec::with_capacity(jobs.len());
+        for chunk in jobs.chunks(self.batch_width) {
+            out.extend(pool.serve_batch(handle, &QueryBatch::of(chunk)));
+        }
+        out
     }
 
     /// Runs commits through a pipelined committer with the given in-flight
@@ -205,7 +247,7 @@ impl ScenarioRunner {
                     if !jobs.is_empty() {
                         serving.flush_commits();
                         let handle = serving.handle();
-                        for served in pool.serve_all(&handle, jobs) {
+                        for served in self.serve_jobs(&pool, &handle, jobs) {
                             if served.budget_exhausted {
                                 outcome.budget_exhausted += 1;
                             }
@@ -265,7 +307,7 @@ impl ScenarioRunner {
                         // Re-acquire the handle each batch: a crash hook may have
                         // replaced the whole serving session since the last one.
                         let handle = serving.handle();
-                        for served in pool.serve_all(&handle, jobs) {
+                        for served in self.serve_jobs(&pool, &handle, jobs) {
                             if served.budget_exhausted {
                                 outcome.budget_exhausted += 1;
                             }

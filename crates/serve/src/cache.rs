@@ -17,6 +17,7 @@
 //! and uncached serving are bit-identical; hit/miss counters are observability only.
 
 use ppr_graph::NodeId;
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
@@ -68,19 +69,43 @@ impl FetchCache {
     /// serialise; `fill` runs outside any lock (within one generation every fill of
     /// a node produces the identical immutable value, so a racing fill is wasted
     /// work, never a wrong answer — the first insert wins and all callers share it).
+    ///
+    /// Single-probe discipline (the `PageCache::read_page` shape): each lock
+    /// acquisition does exactly one map probe, the hit counter is bumped after the
+    /// read guard is released, and the hit/miss decision is made at the probe that
+    /// returns the data.  On the miss path the one write-lock `entry` probe both
+    /// inserts and classifies: a racing fill that won between the two locks counts
+    /// as a hit, so `misses` is exactly the number of adjacency materialisations
+    /// this generation — the fetches-per-query denominator the batched-serving
+    /// bench reads off [`FetchCacheStats`].
     pub fn get_or_fill(
         &self,
         node: NodeId,
         fill: impl FnOnce() -> Arc<Vec<NodeId>>,
     ) -> Arc<Vec<NodeId>> {
-        if let Some(adj) = self.map.read().expect("fetch cache poisoned").get(&node) {
+        let cached = self
+            .map
+            .read()
+            .expect("fetch cache poisoned")
+            .get(&node)
+            .map(Arc::clone);
+        if let Some(adj) = cached {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(adj);
+            return adj;
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
         let adj = fill();
         let mut map = self.map.write().expect("fetch cache poisoned");
-        Arc::clone(map.entry(node).or_insert(adj))
+        let (adj, raced) = match map.entry(node) {
+            Entry::Occupied(racing_fill) => (Arc::clone(racing_fill.get()), true),
+            Entry::Vacant(slot) => (Arc::clone(slot.insert(adj)), false),
+        };
+        drop(map);
+        if raced {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        adj
     }
 
     /// Snapshot of the hit/miss counters.

@@ -39,6 +39,7 @@
 //! is O(1) clones plus O(touched + √chunks) first-mutation copies; [`CommitStats`]
 //! counts exactly that work.
 
+use crate::batch::{QueryBatch, ScratchPool};
 use crate::generation::{EngineKind, Generation, PinnedView, Query, Served};
 use crate::telem::{CommitSpans, QuerySpans};
 use crate::FetchCache;
@@ -569,6 +570,9 @@ pub struct ServeHandle {
     /// Query-lifecycle instruments shared by every handle clone of the session
     /// (`None` until [`QueryEngine::with_telemetry`]).
     spans: Option<Arc<QuerySpans>>,
+    /// The session's pool of batch execution contexts, shared by every handle
+    /// clone so batch serving reuses scratch across threads and batches.
+    scratch: Arc<ScratchPool>,
 }
 
 impl ServeHandle {
@@ -597,6 +601,55 @@ impl ServeHandle {
             self.pin()
         };
         view.answer_instrumented(self.query_seed, query_id, query, spans)
+    }
+
+    /// Serves a whole [`QueryBatch`] on the calling thread under **one**
+    /// generation pin: all queries run against a pooled batch context
+    /// ([`crate::StitchContext`]) layered over the pinned generation's fetch
+    /// cache, with any batch deadline applied per query.  Answers come back in
+    /// batch order and are bit-identical to calling [`ServeHandle::serve`] per
+    /// query (absent an expiring deadline) — see the
+    /// [batch module docs](crate::batch).  For a fanned-out batch use
+    /// [`crate::ReaderPool::serve_batch`].
+    pub fn serve_batch(&self, batch: &QueryBatch) -> Vec<Served> {
+        let spans = self.spans.as_deref();
+        if let Some(s) = spans {
+            s.batch_size.record(batch.len() as u64);
+        }
+        let view = {
+            let _pin = spans.map(|s| s.tele.time(&s.pin));
+            self.pin()
+        };
+        let mut ctx = self.scratch.take();
+        ctx.begin_batch();
+        let mut out = Vec::with_capacity(batch.len());
+        for (query_id, query) in &batch.jobs {
+            let _latency = spans.map(|s| s.tele.time(&s.latency));
+            out.push(view.answer_in_context(
+                self.query_seed,
+                *query_id,
+                query,
+                &mut ctx,
+                batch.deadline.as_ref(),
+                spans,
+            ));
+        }
+        if let Some(s) = spans {
+            s.batch_fetch_saved.add(ctx.saved());
+        }
+        self.scratch.put(ctx);
+        out
+    }
+
+    /// The session's query-lifecycle instruments (pool entry points record the
+    /// batch-level spans themselves).
+    pub(crate) fn query_spans(&self) -> Option<&Arc<QuerySpans>> {
+        self.spans.as_ref()
+    }
+
+    /// The session's shared batch-context pool.
+    pub(crate) fn scratch_pool(&self) -> &Arc<ScratchPool> {
+        &self.scratch
     }
 }
 
@@ -631,6 +684,10 @@ pub struct QueryEngine<E: ServeEngine> {
     spans: Option<CommitSpans>,
     /// Query-lifecycle instruments cloned into every [`ServeHandle`].
     query_spans: Option<Arc<QuerySpans>>,
+    /// Batch execution contexts pooled across the session (cloned into every
+    /// [`ServeHandle`] so batches reuse scratch regardless of which thread
+    /// serves them).
+    scratch: Arc<ScratchPool>,
 }
 
 impl<E: ServeEngine> QueryEngine<E> {
@@ -677,6 +734,7 @@ impl<E: ServeEngine> QueryEngine<E> {
             telemetry: None,
             spans: None,
             query_spans: None,
+            scratch: Arc::new(ScratchPool::default()),
         }
     }
 
@@ -782,6 +840,7 @@ impl<E: ServeEngine> QueryEngine<E> {
             published: Arc::clone(&self.published),
             query_seed: self.query_seed,
             spans: self.query_spans.clone(),
+            scratch: Arc::clone(&self.scratch),
         }
     }
 

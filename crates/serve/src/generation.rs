@@ -13,13 +13,15 @@
 //! bit-identical to the same query replayed against the same generation on a single
 //! thread.  `tests/concurrent_serving.rs` holds the layer to exactly that contract.
 
+use crate::batch::{DeadlineBudget, StitchContext, StitchFetch};
 use crate::cache::FetchCache;
 use crate::telem::QuerySpans;
 use ppr_core::query::query_rng;
 use ppr_core::salsa::{personalized_authorities_on, salsa_estimates_from, top_k_scores};
 use ppr_core::PersonalizedWalker;
 use ppr_graph::{GraphView, NodeId};
-use ppr_store::{AdjacencyFetch, FrozenGraph, FrozenWalks, WalkIndexView};
+use ppr_store::{FrozenGraph, FrozenWalks, WalkIndexView};
+use std::cell::{Cell, RefCell};
 use std::collections::HashSet;
 use std::sync::Arc;
 
@@ -114,30 +116,11 @@ pub struct Served {
     pub fetches: u64,
     /// Whether a fetch budget cut the walk short.
     pub budget_exhausted: bool,
+    /// Whether a deadline budget cut the walk short (batched serving's per-query
+    /// time budget; partial results carry the prefix the deadline paid for).
+    pub deadline_exhausted: bool,
     /// The ranked result.
     pub answer: Answer,
-}
-
-/// [`AdjacencyFetch`] over a pinned generation: fetches go through the
-/// generation's shared cache, so hot hubs are materialised once per generation
-/// instead of once per query.
-struct CachedFetch<'a> {
-    graph: &'a FrozenGraph,
-    cache: &'a FetchCache,
-}
-
-impl AdjacencyFetch for CachedFetch<'_> {
-    fn node_count(&self) -> usize {
-        GraphView::node_count(self.graph)
-    }
-
-    fn fetch_out(&self, node: NodeId, out: &mut Vec<NodeId>) {
-        let adj = self
-            .cache
-            .get_or_fill(node, || self.graph.shared_out_neighbors(node));
-        out.clear();
-        out.extend_from_slice(&adj);
-    }
 }
 
 impl PinnedView {
@@ -166,13 +149,12 @@ impl PinnedView {
         self.0.cache.stats()
     }
 
-    /// The seed node's exclusion set for recommender queries: itself plus its
-    /// direct friends at this generation.
-    fn friends_exclude(&self, seed: NodeId) -> HashSet<NodeId> {
-        let mut exclude: HashSet<NodeId> = HashSet::new();
+    /// Rebuilds the seed node's exclusion set for recommender queries — itself
+    /// plus its direct friends at this generation — into a reusable allocation.
+    fn friends_exclude_into(&self, seed: NodeId, exclude: &mut HashSet<NodeId>) {
+        exclude.clear();
         exclude.insert(seed);
         exclude.extend(self.0.graph.out_neighbors(seed).iter().copied());
-        exclude
     }
 
     /// Answers one query on the `(query_seed, query_id)` stream.  Pure in the
@@ -193,6 +175,30 @@ impl PinnedView {
         query: &Query,
         spans: Option<&QuerySpans>,
     ) -> Served {
+        // A throwaway context: empty maps and vectors cost nothing until the
+        // query fills them, exactly like the per-query buffers this path always
+        // allocated.  The batch entry points pass a pooled context instead.
+        let mut ctx = StitchContext::default();
+        self.answer_in_context(query_seed, query_id, query, &mut ctx, None, spans)
+    }
+
+    /// The shared execution core behind [`PinnedView::answer`] and the batched
+    /// entry points: answers one query *through* a [`StitchContext`] — the
+    /// batch-local fetch layer plus pooled per-query scratch — with an optional
+    /// per-query [`DeadlineBudget`].  Every buffer in `ctx` is reset before use
+    /// and the fetch layers only change where adjacency bytes come from, so the
+    /// answer is bit-identical to a context-free, deadline-free serve of the
+    /// same `(generation, query_seed, query_id)` — unless the deadline actually
+    /// expires, which (by construction) cannot happen with `deadline: None`.
+    pub(crate) fn answer_in_context(
+        &self,
+        query_seed: u64,
+        query_id: u64,
+        query: &Query,
+        ctx: &mut StitchContext,
+        deadline: Option<&DeadlineBudget>,
+        spans: Option<&QuerySpans>,
+    ) -> Served {
         let generation = &*self.0;
         let served = match *query {
             Query::PersonalizedTopK {
@@ -207,27 +213,42 @@ impl PinnedView {
                     "personalized PageRank queries need a PageRank generation \
                      (SALSA generations store 2R alternating segments)"
                 );
-                let store = CachedFetch {
+                let store = StitchFetch {
                     graph: &generation.graph,
                     cache: &generation.cache,
+                    local: RefCell::new(&mut ctx.local),
+                    saved: Cell::new(0),
                 };
                 let mut walker =
                     PersonalizedWalker::new(&store, &generation.walks, generation.epsilon, 0);
                 if let Some(budget) = fetch_budget {
                     walker = walker.with_fetch_budget(budget);
                 }
-                let result = {
+                if let Some(deadline) = deadline {
+                    walker = walker.with_deadline_budget(&*deadline.clock, deadline.budget_nanos);
+                }
+                {
                     let _walk = spans.map(|s| s.tele.time(&s.walk));
-                    walker.walk_query(seed, walk_length, query_seed, query_id)
-                };
+                    walker.walk_query_into(
+                        seed,
+                        walk_length,
+                        query_seed,
+                        query_id,
+                        &mut ctx.walk,
+                        &mut ctx.result,
+                    );
+                }
                 let _topk = spans.map(|s| s.tele.time(&s.topk));
-                let exclude = self.friends_exclude(seed);
+                self.friends_exclude_into(seed, &mut ctx.exclude);
+                let answer = Answer::Ranked(ctx.result.top_k_with(k, &ctx.exclude, &mut ctx.topk));
+                ctx.saved += store.saved.get();
                 Served {
                     query_id,
                     epoch: generation.epoch,
-                    fetches: result.fetches,
-                    budget_exhausted: result.budget_exhausted,
-                    answer: Answer::Ranked(result.top_k(k, &exclude)),
+                    fetches: ctx.result.fetches,
+                    budget_exhausted: ctx.result.budget_exhausted,
+                    deadline_exhausted: ctx.result.deadline_exhausted,
+                    answer,
                 }
             }
             Query::GlobalTopK { k } => {
@@ -240,13 +261,16 @@ impl PinnedView {
                 let _topk = spans.map(|s| s.tele.time(&s.topk));
                 let counts = generation.walks.visit_counts();
                 let total = generation.walks.total_visits().max(1) as f64;
-                let scores: Vec<f64> = counts.iter().map(|&c| c as f64 / total).collect();
+                ctx.scores.clear();
+                ctx.scores.extend(counts.iter().map(|&c| c as f64 / total));
+                ctx.exclude_indices.clear();
                 Served {
                     query_id,
                     epoch: generation.epoch,
                     fetches: 0,
                     budget_exhausted: false,
-                    answer: Answer::Ranked(top_k_scores(&scores, &HashSet::new(), k)),
+                    deadline_exhausted: false,
+                    answer: Answer::Ranked(top_k_scores(&ctx.scores, &ctx.exclude_indices, k)),
                 }
             }
             Query::SalsaAuthorities {
@@ -271,17 +295,17 @@ impl PinnedView {
                     )
                 };
                 let _topk = spans.map(|s| s.tele.time(&s.topk));
-                let exclude: HashSet<usize> = self
-                    .friends_exclude(seed)
-                    .into_iter()
-                    .map(|n| n.index())
-                    .collect();
+                self.friends_exclude_into(seed, &mut ctx.exclude);
+                ctx.exclude_indices.clear();
+                ctx.exclude_indices
+                    .extend(ctx.exclude.iter().map(|n| n.index()));
                 Served {
                     query_id,
                     epoch: generation.epoch,
                     fetches: 0,
                     budget_exhausted: false,
-                    answer: Answer::Ranked(top_k_scores(&scores, &exclude, k)),
+                    deadline_exhausted: false,
+                    answer: Answer::Ranked(top_k_scores(&scores, &ctx.exclude_indices, k)),
                 }
             }
             Query::HubAuthorityTopK { k } => {
@@ -292,15 +316,16 @@ impl PinnedView {
                 );
                 let _topk = spans.map(|s| s.tele.time(&s.topk));
                 let estimates = salsa_estimates_from(&generation.walks);
-                let none = HashSet::new();
+                ctx.exclude_indices.clear();
                 Served {
                     query_id,
                     epoch: generation.epoch,
                     fetches: 0,
                     budget_exhausted: false,
+                    deadline_exhausted: false,
                     answer: Answer::HubsAuthorities {
-                        hubs: top_k_scores(&estimates.hubs, &none, k),
-                        authorities: top_k_scores(&estimates.authorities, &none, k),
+                        hubs: top_k_scores(&estimates.hubs, &ctx.exclude_indices, k),
+                        authorities: top_k_scores(&estimates.authorities, &ctx.exclude_indices, k),
                     },
                 }
             }
@@ -310,6 +335,9 @@ impl PinnedView {
             s.served.inc();
             if served.budget_exhausted {
                 s.budget_exhausted.inc();
+            }
+            if served.deadline_exhausted {
+                s.deadline_exhausted.inc();
             }
         }
         served

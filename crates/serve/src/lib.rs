@@ -25,16 +25,22 @@
 //! * [`ReaderPool`] is a small fixed thread pool for fanning query batches out; the
 //!   `query_serving` bench pins QPS scaling at 1/2/4/8 readers with and without a
 //!   concurrent writer.
+//! * [`QueryBatch`] is the batched execution path: one generation pin per batch, a
+//!   batch-local [`StitchContext`] fetch layer over the generation's [`FetchCache`],
+//!   pooled per-query scratch, and per-query deadline budgets over an injectable
+//!   clock — amortized cost, bit-identical answers (see [`batch`]).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod batch;
 pub mod cache;
 pub mod engine;
 pub mod generation;
 pub mod pool;
 pub mod telem;
 
+pub use batch::{DeadlineBudget, QueryBatch, StitchContext};
 pub use cache::{FetchCache, FetchCacheStats};
 pub use engine::{
     CommitStats, MirrorOp, OpsRecorder, QueryEngine, ServeEngine, ServeHandle, WriteOp,
@@ -49,6 +55,7 @@ mod tests {
     use ppr_graph::generators::{preferential_attachment_edges, PreferentialAttachmentConfig};
     use ppr_graph::{DynamicGraph, Edge, GraphView, NodeId};
     use ppr_store::{FrozenWalks, WalkIndexView};
+    use std::sync::Arc;
 
     fn edges(n: usize, seed: u64) -> Vec<Edge> {
         preferential_attachment_edges(&PreferentialAttachmentConfig::new(n, 4, seed))
@@ -424,6 +431,145 @@ mod tests {
             "the commit thread records its stage spans"
         );
         assert_eq!(snap.gauge("serve.pipeline_window"), Some(2.0));
+    }
+
+    #[test]
+    fn batched_serving_is_bit_identical_to_sequential() {
+        // The tentpole invariant at the unit level: one pin + shared stitch
+        // state + pooled scratch never changes an answer.  (The integration
+        // harness re-proves this across store layouts and thread counts.)
+        let stream = edges(120, 961);
+        let config = MonteCarloConfig::new(0.2, 4).with_seed(963);
+        let mut engine = IncrementalPageRank::new_empty(120, config);
+        engine.apply_arrivals(&stream);
+        let serving = QueryEngine::new(engine, 17);
+        let handle = serving.handle();
+        let jobs: Vec<(u64, Query)> = (0..32u64)
+            .map(|qid| {
+                (
+                    qid,
+                    Query::PersonalizedTopK {
+                        // Duplicate seeds on purpose: the batch-local layer
+                        // must share fetches without perturbing any walk.
+                        seed: NodeId((qid % 7) as u32),
+                        k: 4,
+                        walk_length: 900,
+                        fetch_budget: Some(150),
+                    },
+                )
+            })
+            .collect();
+        let sequential: Vec<Served> = jobs.iter().map(|(qid, q)| handle.serve(*qid, q)).collect();
+        let batch = QueryBatch::of(&jobs);
+        // Same-thread batch path, twice: the second pass reuses pooled scratch.
+        for pass in 0..2 {
+            assert_eq!(handle.serve_batch(&batch), sequential, "pass {pass}");
+        }
+        // Fanned across a pool, at widths that exercise lane remainders.
+        let pool = ReaderPool::new(3);
+        assert_eq!(pool.serve_batch(&handle, &batch), sequential);
+        // Mixed query kinds in one batch share the same context safely.
+        let mut mixed = QueryBatch::new();
+        mixed.push(100, Query::GlobalTopK { k: 5 });
+        mixed.push(101, jobs[3].1.clone());
+        mixed.push(102, Query::GlobalTopK { k: 2 });
+        let mixed_seq: Vec<Served> = mixed
+            .jobs
+            .iter()
+            .map(|(qid, q)| handle.serve(*qid, q))
+            .collect();
+        assert_eq!(handle.serve_batch(&mixed), mixed_seq);
+        assert_eq!(pool.serve_batch(&handle, &mixed), mixed_seq);
+        // Degenerate batches hold the shape.
+        assert!(handle.serve_batch(&QueryBatch::new()).is_empty());
+        assert!(pool.serve_batch(&handle, &QueryBatch::new()).is_empty());
+    }
+
+    #[test]
+    fn deadline_budgets_cut_walks_deterministically_under_a_manual_clock() {
+        use ppr_telemetry::ManualClock;
+        let stream = edges(100, 971);
+        let config = MonteCarloConfig::new(0.2, 3).with_seed(973);
+        let mut engine = IncrementalPageRank::new_empty(100, config);
+        engine.apply_arrivals(&stream);
+        let serving = QueryEngine::new(engine, 19);
+        let handle = serving.handle();
+        let jobs: Vec<(u64, Query)> = (0..6u64)
+            .map(|qid| {
+                (
+                    qid,
+                    Query::PersonalizedTopK {
+                        seed: NodeId(qid as u32),
+                        k: 3,
+                        walk_length: 800,
+                        fetch_budget: None,
+                    },
+                )
+            })
+            .collect();
+        let unbudgeted = handle.serve_batch(&QueryBatch::of(&jobs));
+
+        // A frozen clock with a non-zero budget never expires: bit-identical.
+        let frozen = Arc::new(ManualClock::new());
+        let roomy = QueryBatch::of(&jobs).with_deadline(Arc::clone(&frozen) as _, 1);
+        assert_eq!(handle.serve_batch(&roomy), unbudgeted);
+
+        // Budget zero expires at the first fetch of every walk: partial answers,
+        // the deadline flag set, the fetch-budget flag untouched — and the cut
+        // is replayable bit-for-bit.
+        let instant = QueryBatch::of(&jobs).with_deadline(Arc::clone(&frozen) as _, 0);
+        let cut = handle.serve_batch(&instant);
+        for served in &cut {
+            assert!(served.deadline_exhausted, "query {}", served.query_id);
+            assert!(!served.budget_exhausted);
+            assert_eq!(served.fetches, 0, "expired before any fetch");
+        }
+        assert_eq!(handle.serve_batch(&instant), cut, "deterministic replay");
+        let pool = ReaderPool::new(2);
+        assert_eq!(pool.serve_batch(&handle, &instant), cut, "pool agrees");
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn batch_telemetry_counts_sizes_and_saved_fetches() {
+        let stream = edges(90, 981);
+        let config = MonteCarloConfig::new(0.2, 3).with_seed(983);
+        let tele = ppr_telemetry::Telemetry::new();
+        let mut serving =
+            QueryEngine::new(IncrementalPageRank::new_empty(90, config), 23).with_telemetry(&tele);
+        serving.commit_arrivals(&stream);
+        let handle = serving.handle();
+        // Eight walks from one seed: within a query the walker's own memory
+        // dedups, but across queries the batch-local layer answers repeats.
+        let jobs: Vec<(u64, Query)> = (0..8u64)
+            .map(|qid| {
+                (
+                    qid,
+                    Query::PersonalizedTopK {
+                        seed: NodeId(1),
+                        k: 3,
+                        walk_length: 700,
+                        fetch_budget: None,
+                    },
+                )
+            })
+            .collect();
+        handle.serve_batch(&QueryBatch::of(&jobs));
+        let snap = serving.telemetry_snapshot().expect("registry attached");
+        let sizes = snap.histogram("query.batch_size").expect("batch sizes");
+        assert_eq!(sizes.count, 1);
+        assert_eq!(sizes.sum, 8);
+        assert!(
+            snap.counter("query.batch_fetch_saved").unwrap_or(0) > 0,
+            "repeated seeds must hit the batch-local layer"
+        );
+        assert_eq!(snap.counter("query.deadline_exhausted"), Some(0));
+
+        // An instantly-expiring deadline shows up on the exhaustion counter.
+        let clock = Arc::new(ppr_telemetry::ManualClock::new());
+        handle.serve_batch(&QueryBatch::of(&jobs[..2]).with_deadline(clock as _, 0));
+        let snap = serving.telemetry_snapshot().expect("registry attached");
+        assert_eq!(snap.counter("query.deadline_exhausted"), Some(2));
     }
 
     #[test]

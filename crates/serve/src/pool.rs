@@ -6,6 +6,7 @@
 //! query_id)`, the pool's scheduling — which worker runs which query, in which
 //! order, overlapping which commits — can never change a result, only its latency.
 
+use crate::batch::{QueryBatch, StitchContext};
 use crate::engine::ServeHandle;
 use crate::generation::{Query, Served};
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -84,6 +85,77 @@ impl ReaderPool {
         }
         out.into_iter()
             .map(|s| s.expect("every submitted query reports back"))
+            .collect()
+    }
+
+    /// Serves a [`QueryBatch`] across the pool under **one** generation pin.
+    ///
+    /// The batch is split into `min(threads, len)` lanes by the deterministic
+    /// assignment `lane = slot % lanes` — which worker answers which query is
+    /// fixed by the batch shape, never by scheduling.  Each lane runs its
+    /// queries through one pooled [`StitchContext`] (batch-local fetch layer +
+    /// reusable scratch), and answers return in submission order.  Because each
+    /// answer is a pure function of `(pinned generation, query_seed, query_id)`,
+    /// the results are bit-identical to [`ReaderPool::serve_all`] and to
+    /// [`ServeHandle::serve_batch`] — lanes change who pays which fetch, never
+    /// any answer (absent an expiring deadline).
+    pub fn serve_batch(&self, handle: &ServeHandle, batch: &QueryBatch) -> Vec<Served> {
+        let spans = handle.query_spans().map(Arc::clone);
+        if let Some(s) = spans.as_deref() {
+            s.batch_size.record(batch.len() as u64);
+        }
+        let view = {
+            let _pin = spans.as_deref().map(|s| s.tele.time(&s.pin));
+            handle.pin()
+        };
+        let lanes = self.threads().min(batch.len().max(1));
+        let (done_tx, done_rx) = channel::<(Vec<(usize, Served)>, StitchContext)>();
+        for lane in 0..lanes {
+            let jobs: Vec<(usize, u64, Query)> = batch
+                .jobs
+                .iter()
+                .enumerate()
+                .filter(|(slot, _)| slot % lanes == lane)
+                .map(|(slot, (query_id, query))| (slot, *query_id, query.clone()))
+                .collect();
+            let view = view.clone();
+            let deadline = batch.deadline.clone();
+            let spans = spans.clone();
+            let query_seed = handle.query_seed();
+            let mut ctx = handle.scratch_pool().take();
+            let done = done_tx.clone();
+            self.execute(move || {
+                ctx.begin_batch();
+                let spans = spans.as_deref();
+                let mut results = Vec::with_capacity(jobs.len());
+                for (slot, query_id, query) in jobs {
+                    let _latency = spans.map(|s| s.tele.time(&s.latency));
+                    let served = view.answer_in_context(
+                        query_seed,
+                        query_id,
+                        &query,
+                        &mut ctx,
+                        deadline.as_ref(),
+                        spans,
+                    );
+                    results.push((slot, served));
+                }
+                let _ = done.send((results, ctx));
+            });
+        }
+        drop(done_tx);
+        let mut out: Vec<Option<Served>> = vec![None; batch.len()];
+        for (results, ctx) in done_rx {
+            if let Some(s) = spans.as_deref() {
+                s.batch_fetch_saved.add(ctx.saved());
+            }
+            handle.scratch_pool().put(ctx);
+            for (slot, served) in results {
+                out[slot] = Some(served);
+            }
+        }
+        out.into_iter()
+            .map(|s| s.expect("every batch lane reports back"))
             .collect()
     }
 }

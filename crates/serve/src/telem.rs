@@ -5,8 +5,9 @@
 //! times the commit lifecycle (`commit.apply` → `commit.mirror` →
 //! `commit.wal_sync` → `commit.publish`) and `QuerySpans` times the query lifecycle
 //! (`query.pin` → `query.walk` → `query.topk`, under an overall
-//! `query.latency`) and counts served queries, fetches, and budget
-//! exhaustions.  Both bundles hold [`Histogram`]/[`Counter`] handles created
+//! `query.latency`) and counts served queries, fetches, budget/deadline
+//! exhaustions, and the batch-serving instruments (`query.batch_size`,
+//! `query.batch_fetch_saved`).  Both bundles hold [`Histogram`]/[`Counter`] handles created
 //! once at [`crate::QueryEngine::with_telemetry`] time, so recording on the
 //! hot path is handle-local — no registry lock, no allocation.
 
@@ -90,6 +91,12 @@ pub(crate) struct QuerySpans {
     pub(crate) served: Counter,
     /// `query.budget_exhausted`: walks cut short by their fetch budget.
     pub(crate) budget_exhausted: Counter,
+    /// `query.deadline_exhausted`: walks cut short by their deadline budget.
+    pub(crate) deadline_exhausted: Counter,
+    /// `query.batch_size`: queries per served batch.
+    pub(crate) batch_size: Histogram,
+    /// `query.batch_fetch_saved`: fetches answered by a batch-local stitch layer.
+    pub(crate) batch_fetch_saved: Counter,
 }
 
 impl QuerySpans {
@@ -102,6 +109,9 @@ impl QuerySpans {
             fetches: tele.histogram("query.fetches"),
             served: tele.counter("query.served"),
             budget_exhausted: tele.counter("query.budget_exhausted"),
+            deadline_exhausted: tele.counter("query.deadline_exhausted"),
+            batch_size: tele.histogram("query.batch_size"),
+            batch_fetch_saved: tele.counter("query.batch_fetch_saved"),
             tele: tele.clone(),
         }
     }

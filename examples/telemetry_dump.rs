@@ -7,7 +7,7 @@
 use fast_ppr::prelude::*;
 use fast_ppr::telemetry::{render_jsonl_line, render_prometheus};
 use ppr_graph::generators::{preferential_attachment_edges, PreferentialAttachmentConfig};
-use ppr_serve::Query;
+use ppr_serve::{Query, QueryBatch};
 
 fn main() {
     // A synthetic follower graph arriving as an edge stream.
@@ -42,6 +42,26 @@ fn main() {
                 fetch_budget: Some(500),
             },
         );
+    }
+
+    // Batched read path: the same query shape through `QueryBatch`, pinning the
+    // generation once per batch of 16 and sharing stitch-fetch state, so the
+    // batch-size histogram and the batch_fetch_saved counter record too.
+    for group in 0..4u64 {
+        let mut batch = QueryBatch::new();
+        for slot in 0..16u64 {
+            let qid = 64 + group * 16 + slot;
+            batch.push(
+                qid,
+                Query::PersonalizedTopK {
+                    seed: NodeId((qid * 31 % 2_000) as u32),
+                    k: 10,
+                    walk_length: 2_000,
+                    fetch_budget: Some(500),
+                },
+            );
+        }
+        handle.serve_batch(&batch);
     }
 
     // One collect() sees every layer: store, walk arena, commit path, fetch

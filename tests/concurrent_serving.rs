@@ -25,7 +25,7 @@
 //! count and any read/write interleaving.
 
 use fast_ppr::prelude::*;
-use fast_ppr::serve::{Answer, PinnedView, Query, Served};
+use fast_ppr::serve::{Answer, PinnedView, Query, QueryBatch, ServeEngine, Served};
 use ppr_graph::generators::{preferential_attachment_edges, PreferentialAttachmentConfig};
 use ppr_graph::stream::random_permutation;
 use ppr_graph::Edge;
@@ -374,6 +374,77 @@ fn reader_pool_width_never_changes_answers() {
             "a {width}-thread pool must answer exactly like a single thread"
         );
     }
+}
+
+/// The batched-execution differential core: commits `ops` through `engine`, then
+/// serves one query set sequentially (per-query pin) and through [`QueryBatch`]es
+/// of widths 1, 4, and 32 — same-thread and fanned across pools — asserting every
+/// batched answer is bit-identical to its sequentially served twin.
+fn assert_batched_serving_matches_sequential<E: ServeEngine>(ops: &[Op], engine: E, context: &str) {
+    let mut serving = QueryEngine::new(engine, QUERY_SEED);
+    for op in ops {
+        match op {
+            Op::Arrive(batch) => serving.commit_arrivals(batch),
+            Op::Delete(batch) => serving.commit_deletions(batch),
+        };
+    }
+    // Duplicate seeds on purpose (qid % 4 repeats the query shapes): batch-local
+    // fetch sharing is heaviest exactly when it must not perturb anything.
+    let jobs: Vec<(u64, Query)> = (0..64u64).map(|qid| (qid, query_for(qid))).collect();
+    let handle = serving.handle();
+    let sequential: Vec<Served> = jobs.iter().map(|(qid, q)| handle.serve(*qid, q)).collect();
+    for width in [1usize, 4, 32] {
+        let batches: Vec<QueryBatch> = jobs.chunks(width).map(QueryBatch::of).collect();
+        let same_thread: Vec<Served> = batches.iter().flat_map(|b| handle.serve_batch(b)).collect();
+        assert_eq!(
+            same_thread, sequential,
+            "{context}: width-{width} same-thread batches diverge"
+        );
+        for threads in thread_counts() {
+            let pool = ReaderPool::new(threads);
+            let fanned: Vec<Served> = batches
+                .iter()
+                .flat_map(|b| pool.serve_batch(&handle, b))
+                .collect();
+            assert_eq!(
+                fanned, sequential,
+                "{context}: width-{width} batches over {threads} readers diverge"
+            );
+        }
+    }
+}
+
+#[test]
+fn batched_serving_is_bit_identical_on_every_store_layout() {
+    // The tentpole acceptance differential: one pin per batch, a shared
+    // stitch-fetch layer, and pooled scratch must be invisible in the answer
+    // bits — on the flat, sharded, and disk-backed walk stores alike.
+    let ops = schedule(741);
+    let config = MonteCarloConfig::new(0.2, 3).with_seed(743);
+
+    assert_batched_serving_matches_sequential(
+        &ops,
+        IncrementalPageRank::<WalkStore>::new_empty(NODES, config),
+        "flat in-memory",
+    );
+    assert_batched_serving_matches_sequential(
+        &ops,
+        IncrementalPageRank::<ShardedWalkStore>::from_graph_sharded(
+            DynamicGraph::with_nodes(NODES),
+            config,
+            3,
+            2,
+        ),
+        "sharded",
+    );
+    let dir = ppr_persist::TempDir::new("batched-serving-disk");
+    let engine = DurablePageRank::create_durable_disk(
+        dir.path().join("store"),
+        DynamicGraph::with_nodes(NODES),
+        config,
+    )
+    .expect("create disk durable");
+    assert_batched_serving_matches_sequential(&ops, engine, "disk durable");
 }
 
 #[test]

@@ -642,6 +642,67 @@ proptest! {
     }
 }
 
+/// An arbitrary serving query: mostly personalized walks over a small seed space
+/// (duplicate seeds within a batch are likely, on purpose — that is where the
+/// batch-local fetch layer shares most), plus some global-rank queries.
+fn arb_query(n: u32) -> impl Strategy<Value = ppr_serve::Query> {
+    prop_oneof![
+        5 => (0..n, 1usize..6, 100usize..500, 0u64..40).prop_map(
+            |(seed, k, walk_length, budget)| ppr_serve::Query::PersonalizedTopK {
+                seed: NodeId(seed),
+                k,
+                walk_length,
+                // budget 0 stands in for "unbudgeted" to keep the tuple flat.
+                fetch_budget: if budget == 0 { None } else { Some(budget) },
+            }
+        ),
+        1 => (1usize..8).prop_map(|k| ppr_serve::Query::GlobalTopK { k }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Batched execution is answer-invisible for *arbitrary* batch compositions:
+    /// any mix of queries (duplicate seeds included), chopped into batches of any
+    /// width, served same-thread or fanned over any pool width, returns exactly
+    /// the per-query-serve answers.
+    #[test]
+    fn arbitrary_query_batches_serve_bit_identically(
+        edges in proptest::collection::vec(arb_edge(18), 20..120),
+        queries in proptest::collection::vec(arb_query(18), 1..40),
+        seed in 0u64..1_000,
+        width in 1usize..12,
+        pool_threads in 1usize..5,
+    ) {
+        use ppr_serve::QueryBatch;
+        let mut engine =
+            IncrementalPageRank::new_empty(18, MonteCarloConfig::new(0.25, 2).with_seed(seed));
+        engine.apply_arrivals(&edges);
+        let serving = QueryEngine::new(engine, seed ^ 0xBA7C4);
+        let handle = serving.handle();
+        let jobs: Vec<(u64, ppr_serve::Query)> = queries
+            .into_iter()
+            .enumerate()
+            .map(|(qid, q)| (qid as u64, q))
+            .collect();
+        let sequential: Vec<ppr_serve::Served> =
+            jobs.iter().map(|(qid, q)| handle.serve(*qid, q)).collect();
+        let batches: Vec<QueryBatch> = jobs.chunks(width).map(QueryBatch::of).collect();
+        let same_thread: Vec<ppr_serve::Served> = batches
+            .iter()
+            .flat_map(|b| handle.serve_batch(b))
+            .collect();
+        prop_assert_eq!(&same_thread, &sequential, "same-thread batches diverge");
+        let pool = ReaderPool::new(pool_threads);
+        let fanned: Vec<ppr_serve::Served> = batches
+            .iter()
+            .flat_map(|b| pool.serve_batch(&handle, b))
+            .collect();
+        prop_assert_eq!(&fanned, &sequential, "fanned batches diverge");
+    }
+}
+
 /// An arbitrary scenario phase kind, kept small enough to replay dozens of drawn
 /// scenarios per property run.
 fn arb_phase_kind() -> impl Strategy<Value = PhaseKind> {

@@ -415,6 +415,37 @@ fn telemetry_sampling_never_changes_any_corpus_outcome() {
 }
 
 #[test]
+fn batched_query_tides_change_no_digest_or_answer() {
+    // The batched-serving invariance oracle at corpus scale: replaying the
+    // query-tides scenario with its query tides chunked into batches of any
+    // width (the `PPR_BATCH_WIDTH` CI knob drives `ScenarioRunner::new`'s
+    // default through the same path) must change neither one served answer nor
+    // the final store digest, at one reader and at the matrix thread count.
+    let scenario = corpus::query_tides();
+    let trace = Trace::compile(&scenario);
+    let config = scenario.engine_config();
+    let run = |readers: usize, width: usize| {
+        ScenarioRunner::new(readers).with_batch_width(width).replay(
+            &trace,
+            IncrementalPageRank::<WalkStore>::new_empty(scenario.nodes, config),
+        )
+    };
+    let (e0, o0) = run(1, 0);
+    for readers in thread_counts() {
+        for width in [0usize, 1, 4, 32] {
+            let (e, o) = run(readers, width);
+            let context = format!("width {width}, {readers} readers");
+            assert_eq!(o.answers, o0.answers, "{context}: answers");
+            assert_eq!(
+                StoreDigest::of(e.walk_store()),
+                StoreDigest::of(e0.walk_store()),
+                "{context}: store digest"
+            );
+        }
+    }
+}
+
+#[test]
 fn reader_pool_width_never_changes_a_scenario_outcome() {
     let scenario = corpus::query_tides();
     let trace = Trace::compile(&scenario);

@@ -107,6 +107,19 @@ pub mod strategy {
         }
     }
 
+    impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+        type Value = (A::Value, B::Value, C::Value, D::Value);
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (
+                self.0.generate(rng),
+                self.1.generate(rng),
+                self.2.generate(rng),
+                self.3.generate(rng),
+            )
+        }
+    }
+
     /// A type-erased strategy, used by [`Union`] and the `prop_oneof!` macro.
     pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
 
